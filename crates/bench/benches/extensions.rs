@@ -1,0 +1,132 @@
+//! Benchmarks for the extension systems: overlay allocation (ILP vs
+//! candidate DP), joint code+data allocation, placement, and the WCET
+//! analysis. These back the DESIGN.md §6 ablation notes with numbers.
+
+use casa_bench::experiments::LINE_SIZE;
+use casa_bench::runner::prepared;
+use casa_core::data_alloc::run_joint_flow;
+use casa_core::overlay::{run_overlay_flow, OverlayMethod};
+use casa_core::placement::run_placement_flow;
+use casa_core::wcet::{wcet_bound, WcetCosts};
+use casa_energy::TechParams;
+use casa_ilp::SolverOptions;
+use casa_mem::cache::CacheConfig;
+use casa_workloads::{mediabench, BranchBehavior, Walker};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_overlay(c: &mut Criterion) {
+    let w = prepared(mediabench::adpcm(), 1, 2004);
+    let cache = CacheConfig::direct_mapped(128, LINE_SIZE);
+    let mut group = c.benchmark_group("overlay/adpcm");
+    group.sample_size(10);
+    group.bench_function("ilp_2_phases", |b| {
+        b.iter(|| {
+            black_box(
+                run_overlay_flow(
+                    &w.program,
+                    &w.profile,
+                    &w.exec,
+                    cache,
+                    128,
+                    2,
+                    OverlayMethod::Ilp,
+                    &TechParams::default(),
+                    &SolverOptions::default(),
+                )
+                .expect("overlay ilp"),
+            )
+        })
+    });
+    group.bench_function("dp_4_phases", |b| {
+        b.iter(|| {
+            black_box(
+                run_overlay_flow(
+                    &w.program,
+                    &w.profile,
+                    &w.exec,
+                    cache,
+                    128,
+                    4,
+                    OverlayMethod::CandidateDp,
+                    &TechParams::default(),
+                    &SolverOptions::default(),
+                )
+                .expect("overlay dp"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_joint_data(c: &mut Criterion) {
+    let spec = mediabench::adpcm();
+    let compiled = spec.compile();
+    let walker = Walker::new(&compiled.program, &compiled.behaviors);
+    let (exec, profile, data) = walker
+        .run_with_data(&compiled, 2004)
+        .expect("adpcm runs with data");
+    let sizes: Vec<u32> = compiled.data_objects.iter().map(|d| d.size).collect();
+    let cache = CacheConfig::direct_mapped(128, LINE_SIZE);
+    let mut group = c.benchmark_group("joint_data/adpcm");
+    group.sample_size(10);
+    group.bench_function("joint_flow_256", |b| {
+        b.iter(|| {
+            black_box(
+                run_joint_flow(
+                    &compiled.program,
+                    &profile,
+                    &exec,
+                    &data,
+                    &sizes,
+                    cache,
+                    256,
+                    true,
+                    &TechParams::default(),
+                )
+                .expect("joint flow"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_placement_and_wcet(c: &mut Criterion) {
+    let w = prepared(mediabench::g721(), 1, 2004);
+    let cache = CacheConfig::direct_mapped(1024, LINE_SIZE);
+    let mut group = c.benchmark_group("analysis/g721");
+    group.sample_size(10);
+    group.bench_function("placement_flow", |b| {
+        b.iter(|| {
+            black_box(
+                run_placement_flow(&w.program, &w.profile, &w.exec, cache, &TechParams::default())
+                    .expect("placement"),
+            )
+        })
+    });
+    // WCET over the initial layout.
+    let r = run_placement_flow(&w.program, &w.profile, &w.exec, cache, &TechParams::default())
+        .expect("placement");
+    let spec = mediabench::g721().compile();
+    let bounds: HashMap<_, _> = spec
+        .behaviors
+        .iter()
+        .filter_map(|(&blk, &beh)| match beh {
+            BranchBehavior::Loop { trips, .. } => Some((blk, trips + 1)),
+            BranchBehavior::Prob { .. } => None,
+        })
+        .collect();
+    group.bench_function("wcet_bound", |b| {
+        b.iter(|| {
+            black_box(
+                wcet_bound(&w.program, &r.traces, &r.layout, &bounds, &WcetCosts::default())
+                    .expect("bound"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay, bench_joint_data, bench_placement_and_wcet);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 4 regeneration bench: CASA vs. Steinke on MPEG with a 2 kB
+//! direct-mapped I-cache. Prints the figure's series once (as the
+//! paper reports them — % of Steinke = 100%), then measures the cost
+//! of regenerating one sweep point.
+
+use casa_bench::experiments::fig4;
+use casa_bench::runner::prepared;
+use casa_workloads::mediabench;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let w = prepared(mediabench::mpeg(), 1, 2004);
+
+    // Regenerate and print the full figure once.
+    let rows = fig4(&w, 2048, &[128, 256, 512, 1024]);
+    println!("\nFigure 4 (CASA as % of Steinke = 100%):");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "SPM [B]", "SP acc%", "I$ acc%", "I$ miss%", "energy%"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            r.spm_size, r.spm_accesses_pct, r.cache_accesses_pct, r.cache_misses_pct, r.energy_pct
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("mpeg_one_sweep_point_512", |b| {
+        b.iter(|| black_box(fig4(&w, 2048, &[512])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

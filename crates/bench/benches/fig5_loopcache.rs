@@ -1,0 +1,36 @@
+//! Figure 5 regeneration bench: scratchpad + CASA vs. preloaded loop
+//! cache + Ross on MPEG. Prints the figure's series once (% of the
+//! loop-cache system = 100%), then measures one sweep point.
+
+use casa_bench::experiments::fig5;
+use casa_bench::runner::prepared;
+use casa_workloads::mediabench;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let w = prepared(mediabench::mpeg(), 1, 2004);
+
+    let rows = fig5(&w, 2048, &[128, 256, 512, 1024]);
+    println!("\nFigure 5 (SPM system as % of loop-cache system = 100%):");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10}",
+        "size [B]", "SP/LC acc%", "I$ acc%", "I$ miss%", "energy%"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
+            r.size, r.local_accesses_pct, r.cache_accesses_pct, r.cache_misses_pct, r.energy_pct
+        );
+    }
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("mpeg_one_sweep_point_512", |b| {
+        b.iter(|| black_box(fig5(&w, 2048, &[512])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

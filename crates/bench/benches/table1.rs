@@ -1,0 +1,57 @@
+//! Table 1 regeneration bench: prints the full table once (energy in
+//! µJ for SP(CASA) / SP(Steinke) / LC(Ross) with improvement columns,
+//! exactly the rows the paper reports), then measures the per-row
+//! pipeline cost for each benchmark.
+
+use casa_bench::experiments::{paper_sizes, table1};
+use casa_bench::runner::{prepared, PreparedWorkload};
+use casa_workloads::mediabench;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let prepared_all: Vec<PreparedWorkload> = mediabench::all()
+        .into_iter()
+        .map(|s| prepared(s, 1, 2004))
+        .collect();
+
+    println!("\nTable 1 (energies in µJ):");
+    println!(
+        "{:<8} {:>7} {:>11} {:>12} {:>10} {:>14} {:>12}",
+        "bench", "size", "SP(CASA)", "SP(Steinke)", "LC(Ross)", "vs Steinke %", "vs LC %"
+    );
+    for w in &prepared_all {
+        let (cache, sizes) = paper_sizes(&w.name);
+        let block = table1(w, cache, &sizes);
+        for r in &block.rows {
+            println!(
+                "{:<8} {:>7} {:>11.2} {:>12.2} {:>10.2} {:>14.1} {:>12.1}",
+                r.benchmark,
+                r.mem_size,
+                r.sp_casa_uj,
+                r.sp_steinke_uj,
+                r.lc_ross_uj,
+                r.casa_vs_steinke_pct(),
+                r.casa_vs_lc_pct()
+            );
+        }
+        println!(
+            "{:<8} {:>7} {:>11} {:>12} {:>10} {:>14.1} {:>12.1}",
+            "", "avg", "", "", "", block.avg_vs_steinke(), block.avg_vs_lc()
+        );
+    }
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for w in &prepared_all {
+        let (cache, sizes) = paper_sizes(&w.name);
+        let mid = sizes[sizes.len() / 2];
+        group.bench_function(format!("{}_one_row", w.name), |b| {
+            b.iter(|| black_box(table1(w, cache, &[mid])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

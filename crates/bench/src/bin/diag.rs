@@ -1,0 +1,93 @@
+//! Workload diagnostics: code size, hot-set size, baseline cache
+//! behaviour and conflict-graph density at the paper's cache sizes.
+//! Used to calibrate the synthetic benchmarks; not part of the
+//! reproduced tables.
+
+use casa_bench::experiments::{paper_sizes, LINE_SIZE};
+use casa_bench::runner::prepared;
+use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa_energy::TechParams;
+use casa_mem::cache::CacheConfig;
+use casa_workloads::mediabench;
+
+fn main() {
+    for spec in mediabench::all() {
+        let name = spec.name.clone();
+        let (cache_size, sizes) = paper_sizes(&name);
+        let w = prepared(spec, 1, 2004);
+        let code = w.program.code_size();
+        // Hot set: blocks contributing the top 95% of fetches.
+        let mut per_block: Vec<(u64, u32)> = w
+            .program
+            .blocks()
+            .iter()
+            .map(|b| (w.profile.fetches(&w.program, b.id()), b.size()))
+            .collect();
+        per_block.sort_by_key(|&(f, _)| std::cmp::Reverse(f));
+        let total_fetches: u64 = per_block.iter().map(|&(f, _)| f).sum();
+        let mut acc = 0u64;
+        let mut hot_bytes = 0u32;
+        for &(f, s) in &per_block {
+            if acc as f64 >= 0.95 * total_fetches as f64 {
+                break;
+            }
+            acc += f;
+            hot_bytes += s;
+        }
+        // Per-function footprint and heat.
+        for f in w.program.functions() {
+            let bytes: u32 = f.blocks().iter().map(|&b| w.program.block(b).size()).sum();
+            let fetches: u64 = f
+                .blocks()
+                .iter()
+                .map(|&b| w.profile.fetches(&w.program, b))
+                .sum();
+            println!("    fn {:<16} {:>6} B {:>10} fetches", f.name(), bytes, fetches);
+        }
+        let cfg = FlowConfig {
+            cache: CacheConfig::direct_mapped(cache_size, LINE_SIZE),
+            spm_size: sizes[0],
+            allocator: AllocatorKind::None,
+            tech: TechParams::default(),
+        };
+        let base = run_spm_flow(&w.program, &w.profile, &w.exec, &cfg).unwrap();
+        let stats = base.final_sim.stats;
+        println!(
+            "{name}: code {code} B, hot(95%) {hot_bytes} B, cache {cache_size} B, pressure {:.2}",
+            f64::from(hot_bytes) / f64::from(cache_size)
+        );
+        println!(
+            "  fetches {}, miss rate {:.2}%, conflict edges {}, traces {}",
+            stats.fetches,
+            100.0 * stats.miss_rate(),
+            base.conflict_graph.edge_count(),
+            base.traces.len(),
+        );
+        let conflict_misses: u64 = (0..base.conflict_graph.len())
+            .map(|i| base.conflict_graph.conflict_misses_of(i))
+            .sum();
+        println!(
+            "  misses {} (conflict {}, cold {})",
+            stats.cache_misses,
+            conflict_misses,
+            stats.cache_misses - conflict_misses
+        );
+        // Model fidelity: CASA's predicted energy vs. re-simulated.
+        for &spm in &sizes {
+            let cfg = FlowConfig {
+                cache: CacheConfig::direct_mapped(cache_size, LINE_SIZE),
+                spm_size: spm,
+                allocator: AllocatorKind::CasaBb,
+                tech: TechParams::default(),
+            };
+            let r = run_spm_flow(&w.program, &w.profile, &w.exec, &cfg).unwrap();
+            println!(
+                "  CASA @{spm:>5}: predicted {:>10.1} µJ, simulated {:>10.1} µJ, misses {} -> {}",
+                r.allocation.predicted_energy.unwrap_or(0.0) / 1000.0,
+                r.energy_uj(),
+                stats.cache_misses,
+                r.final_sim.stats.cache_misses,
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 1 reproduction: overall energy savings for adpcm / g721 /
+//! mpeg across memory sizes, for SP(CASA), SP(Steinke) and LC(Ross).
+//!
+//! Usage: `cargo run --release -p casa-bench --bin table1 [scale]`
+
+use casa_bench::experiments::{paper_sizes, table1, Table1Row};
+use casa_bench::runner::prepared;
+use casa_workloads::mediabench;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let timing = std::env::args().any(|a| a == "--timing");
+
+    println!("Table 1 — overall energy savings (energies in µJ)\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>13} {:>11} {:>18} {:>16}",
+        "benchmark", "size[B]", "SP(CASA)", "SP(Steinke)", "LC(Ross)", "CASA vs Steinke %", "CASA vs LC %"
+    );
+
+    for spec in mediabench::all() {
+        let name = spec.name.clone();
+        let (cache, sizes) = paper_sizes(&name);
+        let w = prepared(spec, scale, 2004);
+        let block = table1(&w, cache, &sizes);
+        for r in &block.rows {
+            println!(
+                "{:<10} {:>8} {:>12.2} {:>13.2} {:>11.2} {:>18.1} {:>16.1}",
+                r.benchmark,
+                r.mem_size,
+                r.sp_casa_uj,
+                r.sp_steinke_uj,
+                r.lc_ross_uj,
+                r.casa_vs_steinke_pct(),
+                r.casa_vs_lc_pct()
+            );
+        }
+        println!(
+            "{:<10} {:>8} {:>12} {:>13} {:>11} {:>18.1} {:>16.1}",
+            "", "avg", "", "", "", block.avg_vs_steinke(), block.avg_vs_lc()
+        );
+        if timing {
+            let max_t = block
+                .rows
+                .iter()
+                .map(|r: &Table1Row| r.casa_solver_secs)
+                .fold(0.0f64, f64::max);
+            println!("{:<10} max CASA solver time: {:.4} s", "", max_t);
+        }
+        println!();
+    }
+    println!("paper averages: adpcm 29.0/44.1, g721 8.2/19.7, mpeg 28.0/26.0");
+}

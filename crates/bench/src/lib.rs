@@ -1,0 +1,24 @@
+//! # casa-bench — experiment drivers
+//!
+//! Reproduces every table and figure of the paper's evaluation (§6):
+//!
+//! * [`experiments::fig4`] — CASA vs. Steinke on MPEG (2 kB
+//!   direct-mapped I-cache), parameters as % of Steinke = 100%.
+//! * [`experiments::fig5`] — CASA scratchpad vs. Ross preloaded loop
+//!   cache, parameters as % of loop cache = 100%.
+//! * [`experiments::table1`] — energy (µJ) for all three benchmarks ×
+//!   all memory sizes × {SP(CASA), SP(Steinke), LC(Ross)} with
+//!   improvement percentages and per-benchmark averages.
+//!
+//! Run the binaries (`cargo run --release -p casa-bench --bin table1`)
+//! for the full tables; the criterion benches under `benches/` measure
+//! the same pipelines for the §4 runtime claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::{fig4, fig5, table1};
+pub use runner::{prepared, PreparedWorkload};

@@ -1,0 +1,68 @@
+//! Shared experiment plumbing: compile a benchmark spec, run the
+//! walker once, and hand the pieces to the flows.
+
+use casa_ir::{Profile, Program};
+use casa_mem::ExecutionTrace;
+use casa_workloads::spec::BenchmarkSpec;
+use casa_workloads::Walker;
+
+/// A compiled benchmark with one recorded execution.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// Benchmark name.
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The execution profile (matches `exec`).
+    pub profile: Profile,
+    /// The dynamic block sequence all flows replay.
+    pub exec: ExecutionTrace,
+}
+
+/// Compile `spec`, optionally scaling loop trip counts by `scale`,
+/// and record one execution with `seed`.
+///
+/// # Panics
+///
+/// Panics if the walk fails (spec bug) — experiment drivers want a
+/// loud failure, not a `Result`.
+pub fn prepared(mut spec: BenchmarkSpec, scale: u64, seed: u64) -> PreparedWorkload {
+    if scale > 1 {
+        spec.scale_trips(scale);
+    }
+    let name = spec.name.clone();
+    let w = spec.compile();
+    let walker = Walker::new(&w.program, &w.behaviors);
+    let (exec, profile) = walker
+        .run(seed)
+        .unwrap_or_else(|e| panic!("workload {name} failed to execute: {e}"));
+    PreparedWorkload {
+        name,
+        program: w.program,
+        profile,
+        exec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_workloads::mediabench;
+
+    #[test]
+    fn prepares_adpcm() {
+        let p = prepared(mediabench::adpcm(), 1, 42);
+        assert_eq!(p.name, "adpcm");
+        p.exec.check(&p.program).expect("legal");
+        assert!(p.profile.total_fetches(&p.program) > 10_000);
+    }
+
+    #[test]
+    fn scale_lengthens_execution() {
+        let a = prepared(mediabench::adpcm(), 1, 42);
+        let b = prepared(mediabench::adpcm(), 2, 42);
+        assert!(
+            b.profile.total_fetches(&b.program) > a.profile.total_fetches(&a.program)
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Allocation results shared by every allocator.
+
+use casa_trace::TraceSet;
+use serde::{Deserialize, Serialize};
+
+/// Which memory objects go onto the scratchpad.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// `on_spm[i]` — whether object `i` is allocated to the
+    /// scratchpad. (`l(x_i) == 0` in the paper's encoding.)
+    pub on_spm: Vec<bool>,
+    /// Model-predicted total energy in nJ (the ILP objective), when
+    /// the allocator computes one.
+    pub predicted_energy: Option<f64>,
+    /// Solver nodes / iterations spent, for the runtime claim of §4.
+    pub solver_nodes: u64,
+}
+
+impl Allocation {
+    /// The all-in-main-memory allocation for `n` objects.
+    pub fn none(n: usize) -> Self {
+        Allocation {
+            on_spm: vec![false; n],
+            predicted_energy: None,
+            solver_nodes: 0,
+        }
+    }
+
+    /// Number of objects placed on the scratchpad.
+    pub fn spm_count(&self) -> usize {
+        self.on_spm.iter().filter(|&&b| b).count()
+    }
+
+    /// Total scratchpad bytes used under `traces`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation length does not match `traces`.
+    pub fn spm_bytes(&self, traces: &TraceSet) -> u32 {
+        assert_eq!(self.on_spm.len(), traces.len());
+        traces
+            .traces()
+            .iter()
+            .filter(|t| self.on_spm[t.id().index()])
+            .map(|t| t.code_size())
+            .sum()
+    }
+
+    /// Convert to the per-trace bank placement the layout engine
+    /// expects (single bank 0).
+    pub fn to_placement(&self) -> Vec<Option<u8>> {
+        self.on_spm
+            .iter()
+            .map(|&b| if b { Some(0) } else { None })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        let a = Allocation::none(3);
+        assert_eq!(a.spm_count(), 0);
+        assert_eq!(a.to_placement(), vec![None, None, None]);
+    }
+
+    #[test]
+    fn placement_maps_to_bank_zero() {
+        let a = Allocation {
+            on_spm: vec![true, false, true],
+            predicted_energy: None,
+            solver_nodes: 0,
+        };
+        assert_eq!(a.spm_count(), 2);
+        assert_eq!(a.to_placement(), vec![Some(0), None, Some(0)]);
+    }
+}

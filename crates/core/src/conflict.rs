@@ -1,0 +1,286 @@
+//! The conflict graph `G = (X, E)` of paper §3.3.
+//!
+//! Vertices are memory objects (traces); vertex weight `f_i` is the
+//! object's instruction-fetch count; a directed edge `e_ij` with
+//! weight `m_ij` records that `m_ij` misses of `x_i` were caused by
+//! `x_j` evicting `x_i`'s cache lines.
+
+use casa_ir::Program;
+use casa_mem::SimOutcome;
+use casa_trace::{Layout, TraceSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The profiled conflict graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictGraph {
+    /// `f_i`: instruction fetches per memory object.
+    fetches: Vec<u64>,
+    /// `S(x_i)`: allocatable size (NOP padding stripped).
+    sizes: Vec<u32>,
+    /// `m_ij`, sparse.
+    edges: HashMap<(usize, usize), u64>,
+    /// Cold misses per object (not part of the paper's graph, kept for
+    /// diagnostics).
+    cold: Vec<u64>,
+}
+
+impl ConflictGraph {
+    /// Build the graph from a profiling simulation (paper fig. 3:
+    /// "Trace Generation → Profiling → Conflict Graph").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` was produced for a different trace set (length
+    /// mismatch).
+    pub fn from_simulation(traces: &TraceSet, sim: &SimOutcome) -> Self {
+        assert_eq!(
+            sim.trace_fetches.len(),
+            traces.len(),
+            "simulation does not match the trace set"
+        );
+        ConflictGraph {
+            fetches: sim.trace_fetches.clone(),
+            sizes: traces.traces().iter().map(|t| t.code_size()).collect(),
+            edges: sim.conflicts.misses_between.clone(),
+            cold: sim.conflicts.cold_misses.clone(),
+        }
+    }
+
+    /// Construct directly from parts (used by tests and the static
+    /// approximation).
+    pub fn from_parts(
+        fetches: Vec<u64>,
+        sizes: Vec<u32>,
+        edges: HashMap<(usize, usize), u64>,
+    ) -> Self {
+        assert_eq!(fetches.len(), sizes.len());
+        let n = fetches.len();
+        for &(i, j) in edges.keys() {
+            assert!(i < n && j < n, "edge ({i},{j}) out of range");
+        }
+        let cold = vec![0; n];
+        ConflictGraph {
+            fetches,
+            sizes,
+            edges,
+            cold,
+        }
+    }
+
+    /// Number of memory objects.
+    pub fn len(&self) -> usize {
+        self.fetches.len()
+    }
+
+    /// Whether the graph has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.fetches.is_empty()
+    }
+
+    /// `f_i` — instruction fetches of object `i`.
+    pub fn fetches_of(&self, i: usize) -> u64 {
+        self.fetches[i]
+    }
+
+    /// `S(x_i)` — allocatable size of object `i` in bytes.
+    pub fn size_of(&self, i: usize) -> u32 {
+        self.sizes[i]
+    }
+
+    /// `m_ij` — conflict misses of `i` caused by `j`.
+    pub fn misses_between(&self, i: usize, j: usize) -> u64 {
+        self.edges.get(&(i, j)).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `((i, j), m_ij)` for all non-zero edges.
+    pub fn edges(&self) -> impl Iterator<Item = ((usize, usize), u64)> + '_ {
+        self.edges.iter().map(|(&e, &m)| (e, m))
+    }
+
+    /// Total conflict misses of object `i` (eq. 3).
+    pub fn conflict_misses_of(&self, i: usize) -> u64 {
+        self.edges
+            .iter()
+            .filter(|((vi, _), _)| *vi == i)
+            .map(|(_, &m)| m)
+            .sum()
+    }
+
+    /// Cold misses of object `i` (diagnostic; not in the ILP).
+    pub fn cold_misses_of(&self, i: usize) -> u64 {
+        self.cold.get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The neighbour set `N_i = { j : e_ij ∈ E }` of eq. (3).
+    pub fn neighbours(&self, i: usize) -> Vec<usize> {
+        let mut n: Vec<usize> = self
+            .edges
+            .keys()
+            .filter(|(vi, _)| *vi == i)
+            .map(|&(_, j)| j)
+            .collect();
+        n.sort_unstable();
+        n.dedup();
+        n
+    }
+
+    /// Graphviz DOT rendering (paper fig. 2 style: vertices weighted
+    /// by `f_i`, edges by `m_ij`).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph conflicts {\n  node [shape=circle];\n");
+        for i in 0..self.len() {
+            let _ = writeln!(out, "  {i} [label=\"x{i}\\nf={}\"];", self.fetches[i]);
+        }
+        let mut edges: Vec<_> = self.edges.iter().collect();
+        edges.sort();
+        for (&(i, j), &m) in edges {
+            let _ = writeln!(out, "  {i} -> {j} [label=\"{m}\"];");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A *static* conflict approximation from address overlap only: two
+/// objects conflict if their main-memory images share a cache set, and
+/// the edge weight is the pessimistic bound `min(exec_i, exec_j)`
+/// per shared set. The paper argues (§2) that such layout-only
+/// reasoning is imprecise — this function exists so the benches can
+/// quantify exactly how pessimistic it is against the profiled graph.
+pub fn static_approximation(
+    program: &Program,
+    traces: &TraceSet,
+    layout: &Layout,
+    cache_size: u32,
+    line_size: u32,
+    fetches: &[u64],
+) -> ConflictGraph {
+    let num_sets = cache_size / line_size;
+    let n = traces.len();
+    // Which sets each trace touches in main memory.
+    let mut sets_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for t in traces.traces() {
+        let loc = layout.trace_location(t.id());
+        if loc.region != casa_trace::Region::Main {
+            continue;
+        }
+        let start_line = loc.addr / line_size;
+        let end_line = (loc.addr + t.padded_size(line_size)).div_ceil(line_size);
+        let mut sets: Vec<u32> = (start_line..end_line).map(|l| l % num_sets).collect();
+        sets.sort_unstable();
+        sets.dedup();
+        sets_of[t.id().index()] = sets;
+    }
+    let _ = program;
+    let mut edges = HashMap::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || fetches[i] == 0 || fetches[j] == 0 {
+                continue;
+            }
+            let shared = sets_of[i]
+                .iter()
+                .filter(|s| sets_of[j].binary_search(s).is_ok())
+                .count() as u64;
+            if shared > 0 {
+                // Pessimistic: every shared set could thrash on every
+                // pass over the smaller object.
+                let m = shared * fetches[i].min(fetches[j]) / (sets_of[i].len().max(1) as u64);
+                if m > 0 {
+                    edges.insert((i, j), m);
+                }
+            }
+        }
+    }
+    let sizes: Vec<u32> = traces.traces().iter().map(|t| t.code_size()).collect();
+    ConflictGraph::from_parts(fetches.to_vec(), sizes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> ConflictGraph {
+        let mut edges = HashMap::new();
+        edges.insert((0, 1), 10);
+        edges.insert((1, 0), 8);
+        edges.insert((0, 2), 3);
+        ConflictGraph::from_parts(vec![100, 80, 20], vec![64, 32, 16], edges)
+    }
+
+    #[test]
+    fn accessors() {
+        let g = small_graph();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.fetches_of(0), 100);
+        assert_eq!(g.size_of(1), 32);
+        assert_eq!(g.misses_between(0, 1), 10);
+        assert_eq!(g.misses_between(2, 0), 0);
+        assert_eq!(g.conflict_misses_of(0), 13);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbours(0), vec![1, 2]);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn dot_export_mentions_weights() {
+        let g = small_graph();
+        let dot = g.to_dot();
+        assert!(dot.contains("f=100"));
+        assert!(dot.contains("0 -> 1 [label=\"10\"]"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn static_approximation_is_pessimistic_about_overlap() {
+        use casa_ir::inst::{InstKind, IsaMode};
+        use casa_ir::{Profile, ProgramBuilder};
+        use casa_trace::trace::{form_traces, TraceConfig};
+        use casa_trace::Layout;
+        // Two blocks one cache-size apart: the static model must see
+        // the overlap; a disjoint pair must stay edge-free.
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let x = b.block(f);
+        let filler = b.block(f);
+        let y = b.block(f);
+        let ex = b.block(f);
+        b.push_n(x, InstKind::Alu, 3);
+        b.jump(x, y);
+        b.push_n(filler, InstKind::Alu, 11);
+        b.jump(filler, ex);
+        b.push_n(y, InstKind::Alu, 3);
+        b.branch(y, x, ex);
+        b.push(ex, InstKind::Alu);
+        b.exit(ex);
+        let p = b.finish().unwrap();
+        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let layout = Layout::initial(&p, &ts);
+        // Everything "hot" for the approximation.
+        let fetches = vec![100u64; ts.len()];
+        let g = static_approximation(&p, &ts, &layout, 64, 16, &fetches);
+        let (ti, tj) = (ts.trace_of(x).index(), ts.trace_of(y).index());
+        assert!(
+            g.misses_between(ti, tj) > 0,
+            "overlapping traces must get a static edge"
+        );
+        // x at [0,16) and filler at [16,64) share no 64 B-cache set.
+        let tf = ts.trace_of(filler).index();
+        assert_eq!(g.misses_between(ti, tf), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_rejected() {
+        let mut edges = HashMap::new();
+        edges.insert((0, 5), 1);
+        ConflictGraph::from_parts(vec![1], vec![1], edges);
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's energy model, eqs. (1)–(6).
+//!
+//! For a memory object `x_i` with fetch count `f_i`:
+//!
+//! ```text
+//! E_Cache(x_i) = f_i·E_hit + Σ_{j ∈ N_i} Miss(x_i, x_j)·(E_miss − E_hit)   (5)
+//! E_SP(x_i)    = f_i·E_SP_hit                                              (6)
+//! ```
+//!
+//! and `Miss(x_i, x_j)` vanishes when either object sits on the
+//! scratchpad (eqs. 8–9), making the total energy of an allocation a
+//! quadratic pseudo-boolean function of the location variables — the
+//! function both the ILP formulation and the specialized branch &
+//! bound minimize.
+
+use crate::conflict::ConflictGraph;
+use casa_energy::EnergyTable;
+
+/// Evaluates the §3.4 model over a conflict graph.
+#[derive(Debug, Clone)]
+pub struct EnergyModel<'a> {
+    graph: &'a ConflictGraph,
+    table: &'a EnergyTable,
+}
+
+impl<'a> EnergyModel<'a> {
+    /// A model over `graph` with per-event energies from `table`.
+    pub fn new(graph: &'a ConflictGraph, table: &'a EnergyTable) -> Self {
+        EnergyModel { graph, table }
+    }
+
+    /// The underlying conflict graph.
+    pub fn graph(&self) -> &ConflictGraph {
+        self.graph
+    }
+
+    /// The energy table.
+    pub fn table(&self) -> &EnergyTable {
+        self.table
+    }
+
+    /// `E_SP(x_i)` — eq. (6), in nJ.
+    pub fn spm_energy(&self, i: usize) -> f64 {
+        self.graph.fetches_of(i) as f64 * self.table.spm_access
+    }
+
+    /// `E_Cache(x_i)` assuming every conflictor stays cacheable —
+    /// eq. (5), in nJ.
+    pub fn cache_energy(&self, i: usize) -> f64 {
+        let hits_part = self.graph.fetches_of(i) as f64 * self.table.cache_hit;
+        let miss_part = self.graph.conflict_misses_of(i) as f64 * self.table.miss_premium();
+        hits_part + miss_part
+    }
+
+    /// Total predicted energy (nJ) of an allocation: the paper's
+    /// eq. (11) evaluated directly. `on_spm[i]` means `l(x_i) = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on_spm.len()` differs from the graph size.
+    #[allow(clippy::needless_range_loop)] // on_spm and graph indexed together
+    pub fn total_energy(&self, on_spm: &[bool]) -> f64 {
+        assert_eq!(on_spm.len(), self.graph.len(), "allocation length");
+        let mut e = 0.0;
+        for i in 0..self.graph.len() {
+            let f = self.graph.fetches_of(i) as f64;
+            if on_spm[i] {
+                e += f * self.table.spm_access;
+            } else {
+                e += f * self.table.cache_hit;
+            }
+        }
+        let premium = self.table.miss_premium();
+        for ((i, j), m) in self.graph.edges() {
+            // Miss(x_i, x_j) survives only if BOTH stay cacheable
+            // (l_i·l_j term of eq. 11; self-edges reduce to l_i).
+            if !on_spm[i] && !on_spm[j] {
+                e += m as f64 * premium;
+            }
+        }
+        e
+    }
+
+    /// Convenience: energy with nothing allocated (the cache-only
+    /// baseline that the paper's figures normalize against).
+    pub fn baseline_energy(&self) -> f64 {
+        self.total_energy(&vec![false; self.graph.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn table() -> EnergyTable {
+        EnergyTable {
+            cache_hit: 1.0,
+            cache_miss: 101.0,
+            spm_access: 0.4,
+            lc_access: 0.0,
+            lc_controller: 0.0,
+            mm_word: 24.0,
+            l2_access: 0.0,
+        }
+    }
+
+    fn graph() -> ConflictGraph {
+        let mut edges = HashMap::new();
+        edges.insert((0, 1), 10); // x0 misses 10x because of x1
+        edges.insert((1, 0), 5);
+        ConflictGraph::from_parts(vec![100, 50], vec![32, 16], edges)
+    }
+
+    #[test]
+    fn per_object_energies_follow_equations() {
+        let g = graph();
+        let t = table();
+        let m = EnergyModel::new(&g, &t);
+        // eq 6: 100 fetches * 0.4.
+        assert!((m.spm_energy(0) - 40.0).abs() < 1e-9);
+        // eq 5: 100*1.0 + 10*(101-1) = 1100.
+        assert!((m.cache_energy(0) - 1100.0).abs() < 1e-9);
+        // x1: 50*1 + 5*100 = 550.
+        assert!((m.cache_energy(1) - 550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_energy_drops_conflicts_when_either_side_on_spm() {
+        let g = graph();
+        let t = table();
+        let m = EnergyModel::new(&g, &t);
+        // Nothing allocated: 100 + 50 hits + (10+5)*100 premium.
+        assert!((m.baseline_energy() - (150.0 + 1500.0)).abs() < 1e-9);
+        // x0 on SPM: x0 costs 40; x1 hits 50; ALL conflicts vanish
+        // (both edges involve x0).
+        assert!((m.total_energy(&[true, false]) - 90.0).abs() < 1e-9);
+        // x1 on SPM: x0 hits 100, x1 costs 20, conflicts vanish.
+        assert!((m.total_energy(&[false, true]) - 120.0).abs() < 1e-9);
+        // Both on SPM: 40 + 20.
+        assert!((m.total_energy(&[true, true]) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_edge_counts_only_when_cached() {
+        let mut edges = HashMap::new();
+        edges.insert((0, 0), 7); // self-conflict (object bigger than cache)
+        let g = ConflictGraph::from_parts(vec![10], vec![8], edges);
+        let t = table();
+        let m = EnergyModel::new(&g, &t);
+        assert!((m.total_energy(&[false]) - (10.0 + 700.0)).abs() < 1e-9);
+        assert!((m.total_energy(&[true]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation length")]
+    fn wrong_length_panics() {
+        let g = graph();
+        let t = table();
+        EnergyModel::new(&g, &t).total_energy(&[true]);
+    }
+}

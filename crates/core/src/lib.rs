@@ -1,0 +1,67 @@
+//! # casa-core — Cache-Aware Scratchpad Allocation
+//!
+//! The paper's contribution (Verma/Wehmeyer/Marwedel, DATE 2004):
+//! given a program partitioned into memory objects (traces), a
+//! profiled **conflict graph** capturing which objects evict which in
+//! the I-cache, and per-access energies, choose the subset of objects
+//! to *copy* onto the scratchpad that minimizes instruction-memory
+//! energy.
+//!
+//! * [`conflict`] — the conflict graph `G = (X, E)` of §3.3, built
+//!   from the simulator's eviction attribution, plus a static
+//!   address-overlap approximation for comparison.
+//! * [`energy_model`] — eqs. (1)–(6): per-object cache/scratchpad
+//!   energy and whole-allocation evaluation.
+//! * [`casa_ilp`] — the ILP of eqs. (7)–(17), in the paper's exact
+//!   linearization (binary `L`, constraints 13–15) or the tighter
+//!   standard AND-linearization, solved by `casa-ilp`'s branch & bound.
+//! * [`casa_bb`] — a specialized exact branch & bound over the same
+//!   objective that exploits the problem's structure (positive
+//!   conflict weights, single capacity constraint); orders of
+//!   magnitude faster on large conflict graphs and cross-validated
+//!   against the ILP by property tests.
+//! * [`greedy`] — a density-greedy heuristic (incumbent provider and
+//!   ablation point).
+//! * [`steinke`] — the DATE'02 baseline: cache-oblivious fetch-count
+//!   knapsack with *move* semantics.
+//! * [`ross`] — the preloaded-loop-cache baseline: density-greedy
+//!   selection of ≤ N loops/functions.
+//! * [`flow`] — the fig. 3 experimental workflow: trace formation →
+//!   profiling simulation → conflict graph → allocation → re-layout →
+//!   final simulation → energy report.
+//! * [`multi_spm`] — the paper's §4 extension to multiple scratchpads.
+//! * [`overlay`] — the paper's §7 future-work extension: phase-wise
+//!   dynamic copying of objects with DMA cost accounting.
+//! * [`placement`] — the related-work comparator: cache-aware code
+//!   placement (trace reordering) without any scratchpad.
+//! * [`wcet`] — structural worst-case execution time bounds,
+//!   quantifying the intro's claim that scratchpads allow tighter
+//!   WCET prediction than caches.
+//! * [`data_alloc`] — the paper's other future-work item: joint
+//!   code+data allocation over the disjoint union of the I- and
+//!   D-side conflict graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod casa_bb;
+pub mod casa_ilp;
+pub mod conflict;
+pub mod data_alloc;
+pub mod energy_model;
+pub mod flow;
+pub mod greedy;
+pub mod multi_spm;
+pub mod overlay;
+pub mod placement;
+pub mod report;
+pub mod ross;
+pub mod steinke;
+pub mod wcet;
+
+pub use allocation::Allocation;
+pub use conflict::ConflictGraph;
+pub use energy_model::EnergyModel;
+pub use flow::{AllocatorKind, FlowConfig, FlowReport};
+pub use report::EnergyBreakdown;

@@ -1,0 +1,253 @@
+//! Multiple-scratchpad extension (paper §4, last paragraph).
+//!
+//! "If we had more than one scratchpad at the same horizontal level
+//! ... we only need to repeat inequation (17) for every scratchpad.
+//! An additional constraint ensuring that a memory object is assigned
+//! to at most one scratchpad is also required."
+//!
+//! Per object `i` and bank `b` a binary `y_ib` selects the bank;
+//! `l_i = 1 − Σ_b y_ib` stays the cached indicator. Bank capacities
+//! are per-bank copies of eq. (17), and the objective charges each
+//! bank its own per-access energy (smaller banks are cheaper).
+
+use crate::conflict::ConflictGraph;
+use casa_energy::{spm_access_energy, EnergyTable, TechParams};
+use casa_ilp::{solve, ConstraintOp, Model, Sense, SolveError, SolverOptions};
+use serde::{Deserialize, Serialize};
+
+/// Result of a multi-bank allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSpmAllocation {
+    /// `bank[i]` — the scratchpad bank of object `i`, or `None` for
+    /// cached.
+    pub bank: Vec<Option<u8>>,
+    /// Model-predicted total energy (nJ).
+    pub predicted_energy: f64,
+    /// Branch-and-bound nodes used.
+    pub solver_nodes: u64,
+}
+
+impl MultiSpmAllocation {
+    /// Bytes used in each bank.
+    pub fn bank_usage(&self, graph: &ConflictGraph, n_banks: usize) -> Vec<u32> {
+        let mut used = vec![0u32; n_banks];
+        for (i, b) in self.bank.iter().enumerate() {
+            if let Some(b) = b {
+                used[*b as usize] += graph.size_of(i);
+            }
+        }
+        used
+    }
+}
+
+/// Exactly allocate objects across several scratchpad banks.
+///
+/// `capacities[b]` is the size of bank `b`; per-bank access energies
+/// are derived from the bank sizes via cacti-lite. Cache hit/miss
+/// energies come from `table`.
+///
+/// # Errors
+///
+/// Propagates ILP solver failures.
+///
+/// # Panics
+///
+/// Panics if `capacities` is empty.
+#[allow(clippy::needless_range_loop)] // bank/object grids indexed together
+pub fn allocate_multi_spm(
+    graph: &ConflictGraph,
+    table: &EnergyTable,
+    capacities: &[u32],
+    tech: &TechParams,
+    options: &SolverOptions,
+) -> Result<MultiSpmAllocation, SolveError> {
+    assert!(!capacities.is_empty(), "need at least one bank");
+    let n = graph.len();
+    let n_banks = capacities.len();
+    let premium = table.miss_premium();
+    let bank_energy: Vec<f64> = capacities
+        .iter()
+        .map(|&c| spm_access_energy(c.max(1), tech))
+        .collect();
+
+    let mut ilp = Model::new(Sense::Minimize);
+    // y[i][b]: object i lives in bank b.
+    let y: Vec<Vec<casa_ilp::Var>> = (0..n)
+        .map(|i| {
+            (0..n_banks)
+                .map(|b| ilp.binary(format!("y{i}_{b}")))
+                .collect()
+        })
+        .collect();
+    // l[i]: object i cached. Tied by Σ_b y_ib + l_i = 1.
+    let l: Vec<casa_ilp::Var> = (0..n).map(|i| ilp.binary(format!("l{i}"))).collect();
+    for i in 0..n {
+        let mut terms: Vec<(casa_ilp::Var, f64)> =
+            y[i].iter().map(|&v| (v, 1.0)).collect();
+        terms.push((l[i], 1.0));
+        ilp.add_constraint(terms, ConstraintOp::Eq, 1.0);
+    }
+
+    // Objective.
+    let mut objective: Vec<(casa_ilp::Var, f64)> = Vec::new();
+    for i in 0..n {
+        let f = graph.fetches_of(i) as f64;
+        objective.push((l[i], f * table.cache_hit));
+        for b in 0..n_banks {
+            objective.push((y[i][b], f * bank_energy[b]));
+        }
+    }
+    // Quadratic conflicts via tight linearization on l.
+    use std::collections::HashMap;
+    let mut linear_extra: Vec<f64> = vec![0.0; n];
+    let mut pair_weight: HashMap<(usize, usize), f64> = HashMap::new();
+    for ((i, j), m) in graph.edges() {
+        if i == j {
+            linear_extra[i] += m as f64 * premium;
+        } else {
+            *pair_weight.entry((i.min(j), i.max(j))).or_insert(0.0) += m as f64 * premium;
+        }
+    }
+    for i in 0..n {
+        if linear_extra[i] != 0.0 {
+            objective.push((l[i], linear_extra[i]));
+        }
+    }
+    let mut pairs: Vec<_> = pair_weight.into_iter().collect();
+    pairs.sort_by_key(|a| a.0);
+    for ((i, j), w) in pairs {
+        let big_l = ilp.continuous(format!("L{i}_{j}"), 0.0, 1.0);
+        objective.push((big_l, w));
+        ilp.add_constraint(
+            [(l[i], 1.0), (l[j], 1.0), (big_l, -1.0)],
+            ConstraintOp::Le,
+            1.0,
+        );
+    }
+    ilp.set_objective(objective);
+
+    // Per-bank capacity: repeat eq. (17).
+    for b in 0..n_banks {
+        ilp.add_constraint(
+            (0..n).map(|i| (y[i][b], f64::from(graph.size_of(i)))),
+            ConstraintOp::Le,
+            f64::from(capacities[b]),
+        );
+    }
+
+    let sol = solve(&ilp, options)?;
+    let mut bank = vec![None; n];
+    for i in 0..n {
+        for b in 0..n_banks {
+            if sol.bool_value(y[i][b]) {
+                bank[i] = Some(b as u8);
+            }
+        }
+    }
+    Ok(MultiSpmAllocation {
+        bank,
+        predicted_energy: sol.objective(),
+        solver_nodes: sol.nodes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn table() -> EnergyTable {
+        EnergyTable {
+            cache_hit: 1.0,
+            cache_miss: 101.0,
+            spm_access: 0.4,
+            lc_access: 0.0,
+            lc_controller: 0.0,
+            mm_word: 24.0,
+            l2_access: 0.0,
+        }
+    }
+
+    #[test]
+    fn splits_objects_across_banks() {
+        // Two hot objects of 64 B each; two banks of 64 B: both fit
+        // only if each takes its own bank.
+        let g = ConflictGraph::from_parts(
+            vec![10_000, 10_000],
+            vec![64, 64],
+            HashMap::new(),
+        );
+        let a = allocate_multi_spm(
+            &g,
+            &table(),
+            &[64, 64],
+            &TechParams::default(),
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let banks: Vec<Option<u8>> = a.bank.clone();
+        assert!(banks[0].is_some() && banks[1].is_some());
+        assert_ne!(banks[0], banks[1], "one object per bank");
+        assert_eq!(a.bank_usage(&g, 2), vec![64, 64]);
+    }
+
+    #[test]
+    fn hot_object_gets_cheaper_small_bank() {
+        // One small cheap bank, one big bank; single small hot object
+        // should take the small (cheaper per access) bank.
+        let g = ConflictGraph::from_parts(vec![10_000], vec![32], HashMap::new());
+        let a = allocate_multi_spm(
+            &g,
+            &table(),
+            &[64, 2048],
+            &TechParams::default(),
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(a.bank[0], Some(0), "small bank is cheaper per access");
+    }
+
+    #[test]
+    fn capacity_respected_per_bank() {
+        let g = ConflictGraph::from_parts(
+            vec![100, 100, 100],
+            vec![48, 48, 48],
+            HashMap::new(),
+        );
+        let a = allocate_multi_spm(
+            &g,
+            &table(),
+            &[64, 64],
+            &TechParams::default(),
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let usage = a.bank_usage(&g, 2);
+        assert!(usage[0] <= 64 && usage[1] <= 64);
+        // Only two of three fit (one per bank).
+        assert_eq!(a.bank.iter().filter(|b| b.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn conflicts_still_drive_selection() {
+        let mut e = HashMap::new();
+        e.insert((0, 1), 1000);
+        e.insert((1, 0), 1000);
+        let g = ConflictGraph::from_parts(
+            vec![100, 100, 5000],
+            vec![64, 64, 64],
+            e,
+        );
+        // One bank, room for one object: a conflictor must win.
+        let a = allocate_multi_spm(
+            &g,
+            &table(),
+            &[64],
+            &TechParams::default(),
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert!(a.bank[0].is_some() || a.bank[1].is_some());
+        assert_eq!(a.bank[2], None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Energy accounting over simulation results.
+
+use casa_energy::EnergyTable;
+use casa_mem::FetchStats;
+use serde::{Deserialize, Serialize};
+
+/// Instruction-memory energy of one simulated run, split by component
+/// (all values in nJ except [`Self::total_uj`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy of I-cache hits.
+    pub cache_hit_energy: f64,
+    /// Energy of I-cache misses (lookup + line fill + refill).
+    pub cache_miss_energy: f64,
+    /// Scratchpad access energy.
+    pub spm_energy: f64,
+    /// Loop-cache array access energy.
+    pub lc_energy: f64,
+    /// Loop-cache controller energy (paid on every fetch when a loop
+    /// cache is present).
+    pub lc_controller_energy: f64,
+    /// Overlay DMA energy: words copied main-memory → scratchpad by
+    /// the overlay manager (zero for static allocation).
+    pub overlay_copy_energy: f64,
+    /// L2 energy: lookups, refill writes and the off-chip words the
+    /// L2 could not filter (zero without an L2).
+    pub l2_energy: f64,
+    /// Total in nJ.
+    pub total_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Compute the breakdown for `stats` under `table`. Set
+    /// `lc_present` when the hierarchy includes a loop cache, so the
+    /// controller tax applies to every fetch.
+    pub fn from_stats(stats: &FetchStats, table: &EnergyTable, lc_present: bool) -> Self {
+        let cache_hit_energy = stats.cache_hits as f64 * table.cache_hit;
+        let cache_miss_energy = stats.cache_misses as f64 * table.cache_miss;
+        let spm_energy = stats.spm_accesses as f64 * table.spm_access;
+        let lc_energy = stats.loop_cache_accesses as f64 * table.lc_access;
+        let lc_controller_energy = if lc_present {
+            stats.fetches as f64 * table.lc_controller
+        } else {
+            0.0
+        };
+        // A copied word is read from off-chip memory and written into
+        // the scratchpad array.
+        let overlay_copy_energy =
+            stats.overlay_copy_words as f64 * (table.mm_word + table.spm_access);
+        // With an L2 present, `table.cache_miss` is the *local* L1
+        // miss cost (see `EnergyTable::with_l2`); the fill source is
+        // charged here: one L2 lookup per L1 miss, one refill write
+        // per L2 miss, plus the off-chip words the L2 let through.
+        let l2_energy = if stats.l2_accesses > 0 {
+            (stats.l2_accesses + stats.l2_misses) as f64 * table.l2_access
+                + stats.main_word_accesses as f64 * table.mm_word
+        } else {
+            0.0
+        };
+        let total_nj = cache_hit_energy
+            + cache_miss_energy
+            + spm_energy
+            + lc_energy
+            + lc_controller_energy
+            + overlay_copy_energy
+            + l2_energy;
+        EnergyBreakdown {
+            cache_hit_energy,
+            cache_miss_energy,
+            spm_energy,
+            lc_energy,
+            lc_controller_energy,
+            overlay_copy_energy,
+            l2_energy,
+            total_nj,
+        }
+    }
+
+    /// Total in µJ (the unit of the paper's Table 1).
+    pub fn total_uj(&self) -> f64 {
+        self.total_nj / 1000.0
+    }
+}
+
+/// Render a one-screen text summary of a flow report (used by the
+/// examples and handy in downstream tools' logs).
+pub fn render_summary(title: &str, report: &crate::flow::FlowReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let stats = &report.final_sim.stats;
+    let _ = writeln!(out, "=== {title} ===");
+    let _ = writeln!(
+        out,
+        "objects: {} traces ({} on SPM, {} B used), {} conflict edges",
+        report.traces.len(),
+        report.allocation.spm_count(),
+        report.allocation.spm_bytes(&report.traces),
+        report.conflict_graph.edge_count(),
+    );
+    let _ = writeln!(
+        out,
+        "fetches: {} (SPM {}, I$ {} = {} hits + {} misses)",
+        stats.fetches, stats.spm_accesses, stats.cache_accesses, stats.cache_hits, stats.cache_misses,
+    );
+    let b = &report.breakdown;
+    let _ = writeln!(
+        out,
+        "energy: {:.2} µJ (hits {:.1} nJ, misses {:.1} nJ, SPM {:.1} nJ)",
+        report.energy_uj(),
+        b.cache_hit_energy,
+        b.cache_miss_energy,
+        b.spm_energy,
+    );
+    let _ = writeln!(out, "allocator time: {:?}", report.solver_time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EnergyTable {
+        EnergyTable {
+            cache_hit: 1.0,
+            cache_miss: 100.0,
+            spm_access: 0.4,
+            lc_access: 0.5,
+            lc_controller: 0.1,
+            mm_word: 24.0,
+            l2_access: 0.0,
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_components() {
+        let stats = FetchStats {
+            fetches: 100,
+            spm_accesses: 30,
+            loop_cache_accesses: 0,
+            cache_accesses: 70,
+            cache_hits: 60,
+            cache_misses: 10,
+            main_word_accesses: 40,
+            overlay_copy_words: 0,
+            l2_accesses: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+        };
+        let b = EnergyBreakdown::from_stats(&stats, &table(), false);
+        assert!((b.spm_energy - 12.0).abs() < 1e-9);
+        assert!((b.cache_hit_energy - 60.0).abs() < 1e-9);
+        assert!((b.cache_miss_energy - 1000.0).abs() < 1e-9);
+        assert_eq!(b.lc_controller_energy, 0.0);
+        assert!((b.total_nj - 1072.0).abs() < 1e-9);
+        assert!((b.total_uj() - 1.072).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controller_tax_applies_to_every_fetch() {
+        let stats = FetchStats {
+            fetches: 100,
+            loop_cache_accesses: 40,
+            cache_accesses: 60,
+            cache_hits: 60,
+            ..FetchStats::new()
+        };
+        let b = EnergyBreakdown::from_stats(&stats, &table(), true);
+        assert!((b.lc_energy - 20.0).abs() < 1e-9);
+        assert!((b.lc_controller_energy - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! The preloaded-loop-cache baseline (Ross / Gordon-Ross & Vahid,
+//! IEEE CAL 2002): greedily preload the most valuable loops and
+//! functions, limited by the controller's comparator slots.
+//!
+//! Candidate units are natural loops and whole functions. Each unit
+//! is ranked by *execution density* (fetches per byte of its
+//! main-memory span) and selected greedily until either the loop-cache
+//! capacity or the object limit (typically 4) is hit — the
+//! architectural ceiling the paper's fig. 5 exposes as scratchpad
+//! sizes grow.
+
+use casa_ir::loops::all_natural_loops;
+use casa_ir::{BlockId, Profile, Program};
+use casa_trace::{Layout, Region, TraceSet};
+use serde::{Deserialize, Serialize};
+
+/// One preloadable candidate: a loop or a function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreloadUnit {
+    /// Human-readable description ("loop@bb12", "fn main").
+    pub name: String,
+    /// Main-memory span `[start, end)` covering the unit.
+    pub range: (u32, u32),
+    /// Instruction fetches attributed to the unit's blocks.
+    pub fetches: u64,
+}
+
+impl PreloadUnit {
+    /// Span size in bytes.
+    pub fn size(&self) -> u32 {
+        self.range.1 - self.range.0
+    }
+}
+
+/// The loop-cache assignment: the ranges to preload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopCacheAssignment {
+    /// Chosen units, in selection order.
+    pub units: Vec<PreloadUnit>,
+}
+
+impl LoopCacheAssignment {
+    /// The `[start, end)` ranges for
+    /// [`casa_mem::LoopCacheController::preload`].
+    pub fn ranges(&self) -> Vec<(u32, u32)> {
+        self.units.iter().map(|u| u.range).collect()
+    }
+
+    /// Total preloaded bytes.
+    pub fn bytes(&self) -> u32 {
+        self.units.iter().map(|u| u.size()).sum()
+    }
+}
+
+/// Compute the contiguous main-memory span of a set of blocks, if the
+/// span contains only those blocks' traces (a unit that interleaves
+/// with foreign code cannot be expressed as one controller range).
+fn unit_span(
+    blocks: &[BlockId],
+    traces: &TraceSet,
+    layout: &Layout,
+) -> Option<(u32, u32)> {
+    let mut tids: Vec<usize> = blocks
+        .iter()
+        .map(|&b| traces.trace_of(b).index())
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut start = u32::MAX;
+    let mut end = 0u32;
+    for &ti in &tids {
+        let t = &traces.traces()[ti];
+        let loc = layout.trace_location(t.id());
+        if loc.region != Region::Main {
+            return None;
+        }
+        start = start.min(loc.addr);
+        end = end.max(loc.addr + t.padded_size(layout.line_size()));
+    }
+    if start >= end {
+        return None;
+    }
+    // Contiguity: every trace whose slot intersects the span must be
+    // one of ours.
+    for t in traces.traces() {
+        let loc = layout.trace_location(t.id());
+        if loc.region != Region::Main {
+            continue;
+        }
+        let (s, e) = (loc.addr, loc.addr + t.padded_size(layout.line_size()));
+        if s < end && e > start && !tids.contains(&t.id().index()) {
+            return None;
+        }
+    }
+    Some((start, end))
+}
+
+/// Greedy preloaded-loop-cache allocation.
+///
+/// Returns the chosen units; the caller preloads
+/// [`LoopCacheAssignment::ranges`] into the controller.
+pub fn allocate_loop_cache(
+    program: &Program,
+    profile: &Profile,
+    traces: &TraceSet,
+    layout: &Layout,
+    capacity: u32,
+    max_objects: usize,
+) -> LoopCacheAssignment {
+    let mut candidates: Vec<PreloadUnit> = Vec::new();
+
+    for l in all_natural_loops(program) {
+        if let Some(range) = unit_span(&l.body, traces, layout) {
+            let fetches: u64 = l.body.iter().map(|&b| profile.fetches(program, b)).sum();
+            candidates.push(PreloadUnit {
+                name: format!("loop@{}", l.header),
+                range,
+                fetches,
+            });
+        }
+    }
+    for f in program.functions() {
+        if let Some(range) = unit_span(f.blocks(), traces, layout) {
+            let fetches: u64 = f
+                .blocks()
+                .iter()
+                .map(|&b| profile.fetches(program, b))
+                .sum();
+            candidates.push(PreloadUnit {
+                name: format!("fn {}", f.name()),
+                range,
+                fetches,
+            });
+        }
+    }
+
+    // Execution-time density, descending; deterministic tie-break.
+    candidates.sort_by(|a, b| {
+        let da = a.fetches as f64 / f64::from(a.size().max(1));
+        let db = b.fetches as f64 / f64::from(b.size().max(1));
+        db.partial_cmp(&da)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.range.cmp(&b.range))
+    });
+
+    let mut chosen: Vec<PreloadUnit> = Vec::new();
+    let mut used = 0u32;
+    for c in candidates {
+        if chosen.len() >= max_objects {
+            break;
+        }
+        if c.fetches == 0 || used + c.size() > capacity {
+            continue;
+        }
+        // Skip units overlapping an already chosen range (nested
+        // loops inside a chosen function, etc.).
+        if chosen
+            .iter()
+            .any(|u| c.range.0 < u.range.1 && c.range.1 > u.range.0)
+        {
+            continue;
+        }
+        used += c.size();
+        chosen.push(c);
+    }
+    LoopCacheAssignment { units: chosen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_ir::inst::{InstKind, IsaMode};
+    use casa_ir::ProgramBuilder;
+    use casa_trace::trace::{form_traces, TraceConfig};
+
+    /// main with one hot loop and a cold tail, plus a helper function.
+    fn setup() -> (Program, Profile, TraceSet, Layout) {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("main");
+        let g = b.function("helper");
+        let pre = b.block(f);
+        let head = b.block(f);
+        let body = b.block(f);
+        let tail = b.block(f);
+        let gb = b.block(g);
+        b.push_n(pre, InstKind::Alu, 2);
+        b.fall_through(pre, head);
+        b.push_n(head, InstKind::Alu, 1);
+        b.branch(head, tail, body);
+        b.push_n(body, InstKind::Alu, 4);
+        b.jump(body, head);
+        b.push_n(tail, InstKind::Alu, 1);
+        b.call(tail, g, tail); // structurally fine for this test
+        b.push_n(gb, InstKind::Alu, 3);
+        b.ret(gb);
+        let p = b.finish().unwrap();
+        let mut prof = Profile::new();
+        prof.add_block(pre, 1);
+        prof.add_block(head, 101);
+        prof.add_block(body, 100);
+        prof.add_block(tail, 1);
+        prof.add_block(gb, 1);
+        let ts = form_traces(&p, &prof, TraceConfig::new(256, 16));
+        let layout = Layout::initial(&p, &ts);
+        (p, prof, ts, layout)
+    }
+
+    #[test]
+    fn hot_loop_chosen_first() {
+        let (p, prof, ts, layout) = setup();
+        let a = allocate_loop_cache(&p, &prof, &ts, &layout, 1024, 4);
+        assert!(!a.units.is_empty());
+        assert!(
+            a.units[0].name.starts_with("loop@"),
+            "hot loop first, got {:?}",
+            a.units[0].name
+        );
+        assert!(a.bytes() <= 1024);
+    }
+
+    #[test]
+    fn object_limit_binds() {
+        let (p, prof, ts, layout) = setup();
+        let a = allocate_loop_cache(&p, &prof, &ts, &layout, 4096, 1);
+        assert_eq!(a.units.len(), 1);
+    }
+
+    #[test]
+    fn capacity_binds() {
+        let (p, prof, ts, layout) = setup();
+        // Tiny capacity: nothing fits.
+        let a = allocate_loop_cache(&p, &prof, &ts, &layout, 8, 4);
+        assert!(a.units.is_empty());
+    }
+
+    #[test]
+    fn overlapping_units_not_double_preloaded() {
+        let (p, prof, ts, layout) = setup();
+        let a = allocate_loop_cache(&p, &prof, &ts, &layout, 4096, 4);
+        for (i, u) in a.units.iter().enumerate() {
+            for v in &a.units[i + 1..] {
+                assert!(
+                    u.range.1 <= v.range.0 || v.range.1 <= u.range.0,
+                    "{u:?} overlaps {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_usable_by_controller() {
+        let (p, prof, ts, layout) = setup();
+        let a = allocate_loop_cache(&p, &prof, &ts, &layout, 1024, 4);
+        let mut lc = casa_mem::LoopCacheController::new(1024, 4);
+        lc.preload(&a.ranges()).expect("ranges fit the controller");
+    }
+}

@@ -1,0 +1,483 @@
+//! Worst-case execution time (WCET) bounds.
+//!
+//! The paper's introduction motivates scratchpads over caches partly
+//! because they "allow tighter bounds on WCET prediction of the
+//! system". This module makes that claim measurable: a sound,
+//! structural WCET bound computed over the loop-bounded call/CFG
+//! structure, where
+//!
+//! * an instruction fetched from the **scratchpad** costs its base
+//!   cycles (deterministic single-cycle fetch), while
+//! * an instruction fetched through the **cache** must be assumed a
+//!   miss (this analysis performs no cache hit classification — the
+//!   point being that *without* expensive cache analysis, the cache
+//!   contributes the full miss penalty to the bound).
+//!
+//! The bound is computed bottom-up over the acyclic call graph:
+//! `wcet(f) = longest path through f's DAG of loop bodies`, each
+//! natural loop weighted by its bound.
+
+use casa_ir::callgraph::CallGraph;
+use casa_ir::loops::natural_loops;
+use casa_ir::{BlockId, FunctionId, Program, Terminator};
+use casa_trace::{Layout, Region, TraceSet};
+use std::collections::HashMap;
+
+/// Per-fetch cycle costs for the WCET bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcetCosts {
+    /// Extra cycles per instruction fetched through the cache,
+    /// assumed to miss (line fill from off-chip memory).
+    pub cache_miss_penalty: u64,
+    /// Extra cycles per scratchpad fetch (0 for single-cycle SPM).
+    pub spm_penalty: u64,
+}
+
+impl Default for WcetCosts {
+    fn default() -> Self {
+        WcetCosts {
+            cache_miss_penalty: 20,
+            spm_penalty: 0,
+        }
+    }
+}
+
+/// Errors of the WCET analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WcetError {
+    /// The call graph is recursive: no structural bound exists.
+    Recursion,
+    /// A loop header has no bound in `loop_bounds`.
+    MissingLoopBound {
+        /// The unbounded loop's header.
+        header: BlockId,
+    },
+    /// The CFG of a function is irreducible for this analysis (a
+    /// block outside any loop is re-entered).
+    Irreducible {
+        /// The function that failed.
+        function: FunctionId,
+    },
+}
+
+impl std::fmt::Display for WcetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WcetError::Recursion => write!(f, "recursive call graph has no structural bound"),
+            WcetError::MissingLoopBound { header } => {
+                write!(f, "loop at {header} has no iteration bound")
+            }
+            WcetError::Irreducible { function } => {
+                write!(f, "function {function} has an irreducible region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WcetError {}
+
+/// Worst-case fetch cycles of one block under `layout`.
+fn block_cost(
+    program: &Program,
+    traces: &TraceSet,
+    layout: &Layout,
+    block: BlockId,
+    costs: &WcetCosts,
+) -> u64 {
+    let tid = traces.trace_of(block);
+    let on_spm = matches!(layout.trace_location(tid).region, Region::Spm(_));
+    let penalty = if on_spm {
+        costs.spm_penalty
+    } else {
+        costs.cache_miss_penalty
+    };
+    let mut cycles: u64 = program
+        .block(block)
+        .insts()
+        .iter()
+        .map(|i| u64::from(i.kind().base_cycles()) + penalty)
+        .sum();
+    // Conservative glue-jump charge: when this block ends its trace
+    // and the trace carries an appended jump, the fall-through exit
+    // fetches it. Charging it on every execution of the block keeps
+    // the bound sound regardless of which exit edge is taken.
+    let trace = traces.trace(tid);
+    if trace.glue_jump_size().is_some() && trace.blocks().last() == Some(&block) {
+        cycles += u64::from(casa_ir::InstKind::Jump.base_cycles()) + penalty;
+    }
+    cycles
+}
+
+/// Compute a structural WCET bound (cycles) for the whole program.
+///
+/// `loop_bounds` maps every natural-loop header to its maximum
+/// iteration count per loop entry.
+///
+/// # Errors
+///
+/// See [`WcetError`].
+pub fn wcet_bound(
+    program: &Program,
+    traces: &TraceSet,
+    layout: &Layout,
+    loop_bounds: &HashMap<BlockId, u64>,
+    costs: &WcetCosts,
+) -> Result<u64, WcetError> {
+    let cg = CallGraph::compute(program);
+    let order = cg.topological_order().ok_or(WcetError::Recursion)?;
+    // Process callees first.
+    let mut fn_wcet: HashMap<FunctionId, u64> = HashMap::new();
+    for &f in order.iter().rev() {
+        let w = function_wcet(program, traces, layout, loop_bounds, costs, &fn_wcet, f)?;
+        fn_wcet.insert(f, w);
+    }
+    Ok(fn_wcet[&program.entry()])
+}
+
+/// Longest-path bound through one function.
+///
+/// Strategy: collapse each natural loop into its header with weight
+/// `bound × (longest path through one iteration)`, then longest path
+/// over the resulting DAG via memoized DFS.
+fn function_wcet(
+    program: &Program,
+    traces: &TraceSet,
+    layout: &Layout,
+    loop_bounds: &HashMap<BlockId, u64>,
+    costs: &WcetCosts,
+    fn_wcet: &HashMap<FunctionId, u64>,
+    f: FunctionId,
+) -> Result<u64, WcetError> {
+    let loops = natural_loops(program, f);
+    // Innermost-first processing: sort loops by body size ascending.
+    let mut loops = loops;
+    loops.sort_by_key(|l| l.len());
+    // weight[b]: cycles charged when executing b once (including any
+    // collapsed inner loop rooted at b).
+    let mut weight: HashMap<BlockId, u64> = HashMap::new();
+    // Successor override: edges leaving a collapsed loop are taken
+    // from its exit edges.
+    let mut collapsed: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    // Membership: block -> header of the innermost collapsed loop.
+    let mut owner: HashMap<BlockId, BlockId> = HashMap::new();
+
+    let base_cost = |b: BlockId| block_cost(program, traces, layout, b, costs);
+    let call_cost = |b: BlockId| -> u64 {
+        match program.block(b).terminator() {
+            Terminator::Call { callee, .. } => *fn_wcet.get(&callee).unwrap_or(&0),
+            _ => 0,
+        }
+    };
+
+    for l in &loops {
+        let bound = *loop_bounds
+            .get(&l.header)
+            .ok_or(WcetError::MissingLoopBound { header: l.header })?;
+        // Longest acyclic path through one iteration: DFS over the
+        // loop body from header, ignoring back edges to the header.
+        let mut memo: HashMap<BlockId, u64> = HashMap::new();
+        let one_iter = loop_longest(
+            program,
+            l.header,
+            l,
+            &weight,
+            &collapsed,
+            &owner,
+            &base_cost,
+            &call_cost,
+            &mut memo,
+            &mut Vec::new(),
+        )
+        .ok_or(WcetError::Irreducible { function: f })?;
+        // Exits of the loop: successors of body blocks outside the body.
+        let mut exits: Vec<BlockId> = Vec::new();
+        for &b in &l.body {
+            for s in program.block(b).terminator().successors() {
+                if !l.contains(s) && !exits.contains(&s) {
+                    exits.push(s);
+                }
+            }
+        }
+        // The header now represents the whole loop: bound iterations
+        // plus one final header evaluation to exit.
+        weight.insert(
+            l.header,
+            bound * one_iter + base_cost(l.header) + call_cost(l.header),
+        );
+        collapsed.insert(l.header, exits);
+        for &b in &l.body {
+            if b != l.header {
+                owner.insert(b, l.header);
+            }
+        }
+    }
+
+    // Longest path over the collapsed DAG from the entry.
+    let mut memo: HashMap<BlockId, u64> = HashMap::new();
+    dag_longest(
+        program,
+        program.function(f).entry(),
+        &weight,
+        &collapsed,
+        &owner,
+        &base_cost,
+        &call_cost,
+        &mut memo,
+        &mut Vec::new(),
+    )
+    .ok_or(WcetError::Irreducible { function: f })
+}
+
+/// Longest path from `b` to any function exit over the collapsed
+/// graph. Returns `None` on a cycle (irreducible after collapsing).
+#[allow(clippy::too_many_arguments)]
+fn dag_longest(
+    program: &Program,
+    b: BlockId,
+    weight: &HashMap<BlockId, u64>,
+    collapsed: &HashMap<BlockId, Vec<BlockId>>,
+    owner: &HashMap<BlockId, BlockId>,
+    base_cost: &dyn Fn(BlockId) -> u64,
+    call_cost: &dyn Fn(BlockId) -> u64,
+    memo: &mut HashMap<BlockId, u64>,
+    path: &mut Vec<BlockId>,
+) -> Option<u64> {
+    if let Some(&w) = memo.get(&b) {
+        return Some(w);
+    }
+    if path.contains(&b) {
+        return None; // residual cycle
+    }
+    // Blocks inside a collapsed loop are accounted by their header.
+    if owner.contains_key(&b) {
+        return Some(0);
+    }
+    path.push(b);
+    let own = weight
+        .get(&b)
+        .copied()
+        .unwrap_or_else(|| base_cost(b) + call_cost(b));
+    let succs: Vec<BlockId> = match collapsed.get(&b) {
+        Some(exits) => exits.clone(),
+        None => program.block(b).terminator().successors(),
+    };
+    let mut best_succ = 0;
+    for s in succs {
+        let w = dag_longest(
+            program, s, weight, collapsed, owner, base_cost, call_cost, memo, path,
+        )?;
+        best_succ = best_succ.max(w);
+    }
+    path.pop();
+    let total = own + best_succ;
+    memo.insert(b, total);
+    Some(total)
+}
+
+/// Longest path through one loop iteration: from the header through
+/// body blocks, stopping before re-entering the header or leaving the
+/// loop.
+#[allow(clippy::too_many_arguments)]
+fn loop_longest(
+    program: &Program,
+    b: BlockId,
+    l: &casa_ir::loops::NaturalLoop,
+    weight: &HashMap<BlockId, u64>,
+    collapsed: &HashMap<BlockId, Vec<BlockId>>,
+    owner: &HashMap<BlockId, BlockId>,
+    base_cost: &dyn Fn(BlockId) -> u64,
+    call_cost: &dyn Fn(BlockId) -> u64,
+    memo: &mut HashMap<BlockId, u64>,
+    path: &mut Vec<BlockId>,
+) -> Option<u64> {
+    if let Some(&w) = memo.get(&b) {
+        return Some(w);
+    }
+    if path.contains(&b) {
+        return None;
+    }
+    // Inner collapsed loops are represented by their headers; skip
+    // blocks owned by an inner loop other than this one's header.
+    if let Some(&h) = owner.get(&b) {
+        if h != b && l.contains(h) {
+            return Some(0);
+        }
+    }
+    path.push(b);
+    let own = weight
+        .get(&b)
+        .copied()
+        .unwrap_or_else(|| base_cost(b) + call_cost(b));
+    let succs: Vec<BlockId> = match collapsed.get(&b) {
+        Some(exits) => exits.clone(),
+        None => program.block(b).terminator().successors(),
+    };
+    let mut best = 0;
+    for s in succs {
+        if s == l.header || !l.contains(s) {
+            continue; // back edge or loop exit: iteration ends
+        }
+        let w = loop_longest(
+            program, s, l, weight, collapsed, owner, base_cost, call_cost, memo, path,
+        )?;
+        best = best.max(w);
+    }
+    path.pop();
+    let total = own + best;
+    memo.insert(b, total);
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_ir::inst::{InstKind, IsaMode};
+    use casa_ir::{Profile, ProgramBuilder};
+    use casa_trace::layout::PlacementSemantics;
+    use casa_trace::trace::{form_traces, TraceConfig};
+
+    /// main: 2 alu; loop(header: 1 alu + branch; body: 3 alu + jump)
+    /// bound N; exit: 1 alu.
+    fn looped(n_body: usize) -> (Program, BlockId, TraceSet) {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("main");
+        let pre = b.block(f);
+        let head = b.block(f);
+        let body = b.block(f);
+        let ex = b.block(f);
+        b.push_n(pre, InstKind::Alu, 2);
+        b.fall_through(pre, head);
+        b.push(head, InstKind::Alu);
+        b.branch(head, ex, body);
+        b.push_n(body, InstKind::Alu, n_body);
+        b.jump(body, head);
+        b.push(ex, InstKind::Alu);
+        b.exit(ex);
+        let p = b.finish().unwrap();
+        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        (p, head, ts)
+    }
+
+    #[test]
+    fn simple_loop_bound_is_exact_shape() {
+        let (p, head, ts) = looped(3);
+        let layout = Layout::initial(&p, &ts);
+        let mut bounds = HashMap::new();
+        bounds.insert(head, 10u64);
+        let costs = WcetCosts {
+            cache_miss_penalty: 0, // isolate the structural part
+            spm_penalty: 0,
+        };
+        let w = wcet_bound(&p, &ts, &layout, &bounds, &costs).unwrap();
+        // Base cycles: head = 1 alu + 1 branch = 2; body = 3 alu + 3
+        // (jump) = 6; so 10 iterations * 8, plus pre (2 alu), the
+        // final header evaluation (2) and exit (1 alu).
+        assert_eq!(w, 2 + 10 * 8 + 2 + 1);
+    }
+
+    #[test]
+    fn spm_allocation_tightens_the_bound() {
+        let (p, head, ts) = looped(3);
+        let mut bounds = HashMap::new();
+        bounds.insert(head, 100u64);
+        let costs = WcetCosts::default();
+        let base = wcet_bound(&p, &ts, &Layout::initial(&p, &ts), &bounds, &costs).unwrap();
+        // Put the loop's traces on the SPM.
+        let mut placement = vec![None; ts.len()];
+        for t in ts.traces() {
+            if t.blocks().contains(&head) {
+                placement[t.id().index()] = Some(0);
+            }
+        }
+        let layout = Layout::with_placement(&p, &ts, &placement, PlacementSemantics::Copy);
+        let tight = wcet_bound(&p, &ts, &layout, &bounds, &costs).unwrap();
+        assert!(
+            tight < base / 2,
+            "SPM placement must tighten the bound: {base} -> {tight}"
+        );
+    }
+
+    #[test]
+    fn missing_bound_reported() {
+        let (p, head, ts) = looped(1);
+        let layout = Layout::initial(&p, &ts);
+        let err =
+            wcet_bound(&p, &ts, &layout, &HashMap::new(), &WcetCosts::default()).unwrap_err();
+        assert_eq!(err, WcetError::MissingLoopBound { header: head });
+        assert!(err.to_string().contains("bound"));
+    }
+
+    #[test]
+    fn recursion_reported() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let f0 = b.block(f);
+        let f1 = b.block(f);
+        b.push(f0, InstKind::Alu);
+        b.call(f0, f, f1);
+        b.push(f1, InstKind::Alu);
+        b.ret(f1);
+        let p = b.finish().unwrap();
+        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let layout = Layout::initial(&p, &ts);
+        assert_eq!(
+            wcet_bound(&p, &ts, &layout, &HashMap::new(), &WcetCosts::default()),
+            Err(WcetError::Recursion)
+        );
+    }
+
+    #[test]
+    fn calls_contribute_callee_wcet() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let main = b.function("main");
+        let leaf = b.function("leaf");
+        let m0 = b.block(main);
+        let m1 = b.block(main);
+        b.push(m0, InstKind::Alu);
+        b.call(m0, leaf, m1);
+        b.push(m1, InstKind::Alu);
+        b.exit(m1);
+        let l0 = b.block(leaf);
+        b.push_n(l0, InstKind::Alu, 9);
+        b.ret(l0);
+        let p = b.finish().unwrap();
+        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let layout = Layout::initial(&p, &ts);
+        let costs = WcetCosts {
+            cache_miss_penalty: 0,
+            spm_penalty: 0,
+        };
+        let w = wcet_bound(&p, &ts, &layout, &HashMap::new(), &costs).unwrap();
+        // m0: 1 alu + call(3cy) = 4; leaf: 9 alu + ret(3) = 12; m1: 1.
+        assert_eq!(w, 4 + 12 + 1);
+    }
+
+    #[test]
+    fn branchier_path_dominates() {
+        // Diamond where the then-arm is much longer.
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let e = b.block(f);
+        let long = b.block(f);
+        let short = b.block(f);
+        let j = b.block(f);
+        b.push(e, InstKind::Alu);
+        b.branch(e, long, short);
+        b.push_n(long, InstKind::Alu, 20);
+        b.jump(long, j);
+        b.push(short, InstKind::Alu);
+        b.fall_through(short, j);
+        b.push(j, InstKind::Alu);
+        b.exit(j);
+        let p = b.finish().unwrap();
+        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(512, 16));
+        let layout = Layout::initial(&p, &ts);
+        let costs = WcetCosts {
+            cache_miss_penalty: 0,
+            spm_penalty: 0,
+        };
+        let w = wcet_bound(&p, &ts, &layout, &HashMap::new(), &costs).unwrap();
+        // e: 1+1(branch) = 2; long: 20 + 3(jump) = 23; j: 1.
+        assert_eq!(w, 2 + 23 + 1);
+    }
+}

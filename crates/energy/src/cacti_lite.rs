@@ -1,0 +1,193 @@
+//! Simplified CACTI-style per-access energy equations.
+//!
+//! Geometry: an SRAM of `size` bytes with row width `row_bytes` has
+//! `rows = size / row_bytes` rows of `8·row_bytes` cells. A read
+//! drives one wordline (energy ∝ cells per row), swings every column
+//! pair (∝ rows per column × columns), senses the columns, and drives
+//! the output. Caches add a tag array read plus `assoc` tag
+//! comparisons; scratchpads have neither (Banakar's observation — the
+//! source of the SPM's energy advantage).
+
+use crate::tech::TechParams;
+
+fn log2_ceil(v: u32) -> u32 {
+    assert!(v > 0);
+    32 - (v - 1).leading_zeros()
+}
+
+/// Energy of reading one row-organized SRAM array (data path only).
+fn array_read_energy(rows: u32, cells_per_row: u32, out_bits: u32, tech: &TechParams) -> f64 {
+    let decode = tech.decoder_per_bit * f64::from(log2_ceil(rows.max(2)));
+    let wordline = tech.wordline_per_cell * f64::from(cells_per_row);
+    let bitline = tech.bitline_per_cell * f64::from(rows) * f64::from(cells_per_row);
+    let sense = tech.senseamp_per_col * f64::from(cells_per_row);
+    let output = tech.output_per_bit * f64::from(out_bits);
+    decode + wordline + bitline + sense + output
+}
+
+/// Per-access (hit) energy of a set-associative cache, in nJ.
+///
+/// All `assoc` ways of the indexed set are read in parallel (data +
+/// tag), the tags are compared, and one 32-bit instruction is driven
+/// out.
+///
+/// # Panics
+///
+/// Panics if the geometry is inconsistent (zero sizes, size not a
+/// multiple of `line_size * assoc`).
+pub fn cache_access_energy(size: u32, line_size: u32, assoc: u32, tech: &TechParams) -> f64 {
+    assert!(size > 0 && line_size > 0 && assoc > 0);
+    assert!(
+        size.is_multiple_of(line_size * assoc),
+        "size must be a multiple of line_size * assoc"
+    );
+    let sets = size / (line_size * assoc);
+    let tag_bits = tech.addr_bits - log2_ceil(sets.max(2)) - log2_ceil(line_size);
+    // Data array: one set row holds `assoc` lines.
+    let data_cells_per_row = 8 * line_size * assoc;
+    let data = array_read_energy(sets, data_cells_per_row, 32, tech);
+    // Tag array: `assoc` tags + valid bits per row.
+    let tag_cells_per_row = (tag_bits + 1) * assoc;
+    let tag = array_read_energy(sets, tag_cells_per_row, tag_bits * assoc, tech);
+    let compare = tech.tag_compare_per_bit * f64::from(tag_bits * assoc);
+    data + tag + compare
+}
+
+/// Per-access energy of a scratchpad of `size` bytes, in nJ.
+///
+/// The scratchpad is organized like the data array of a cache with
+/// 8-byte rows but has no tag array and no comparators.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn spm_access_energy(size: u32, tech: &TechParams) -> f64 {
+    assert!(size > 0, "scratchpad size must be non-zero");
+    let row_bytes = 8u32.min(size);
+    let rows = (size / row_bytes).max(1);
+    array_read_energy(rows, 8 * row_bytes, 32, tech)
+}
+
+/// Loop-cache energies, in nJ: `(array_access, controller_per_fetch)`.
+///
+/// The array is scratchpad-like; the controller performs two address
+/// comparisons per preloadable object on **every** instruction fetch
+/// (hit or not), which is why real designs cap `max_objects` at a
+/// handful.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0` or `max_objects == 0`.
+pub fn loop_cache_energy(capacity: u32, max_objects: usize, tech: &TechParams) -> (f64, f64) {
+    assert!(capacity > 0 && max_objects > 0);
+    let array = spm_access_energy(capacity, tech);
+    let controller = tech.lc_comparator * 2.0 * max_objects as f64;
+    (array, controller)
+}
+
+/// Off-chip main-memory energy per 32-bit word, in nJ.
+pub fn main_memory_word_energy(tech: &TechParams) -> f64 {
+    tech.main_memory_word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(128), 7);
+        assert_eq!(log2_ceil(129), 8);
+    }
+
+    #[test]
+    fn cache_energy_in_nanojoule_range() {
+        // 2 kB direct-mapped, 16 B lines at 0.5 µm: O(1) nJ.
+        let e = cache_access_energy(2048, 16, 1, &t());
+        assert!(e > 0.3 && e < 10.0, "2kB cache hit = {e} nJ");
+    }
+
+    #[test]
+    fn cache_energy_monotonic_in_size() {
+        let sizes = [128u32, 256, 512, 1024, 2048, 4096];
+        let es: Vec<f64> = sizes
+            .iter()
+            .map(|&s| cache_access_energy(s, 16, 1, &t()))
+            .collect();
+        for w in es.windows(2) {
+            assert!(w[0] < w[1], "cache energy must grow with size: {es:?}");
+        }
+    }
+
+    #[test]
+    fn associativity_costs_energy() {
+        let dm = cache_access_energy(2048, 16, 1, &t());
+        let w2 = cache_access_energy(2048, 16, 2, &t());
+        let w4 = cache_access_energy(2048, 16, 4, &t());
+        assert!(dm < w2 && w2 < w4, "parallel way reads cost energy");
+    }
+
+    #[test]
+    fn spm_beats_cache_of_equal_size() {
+        for &s in &[128u32, 256, 512, 1024, 2048] {
+            let spm = spm_access_energy(s, &t());
+            let cache = cache_access_energy(s, 16, 1, &t());
+            assert!(
+                spm < cache,
+                "SPM({s}) = {spm} must be below cache({s}) = {cache}"
+            );
+        }
+    }
+
+    #[test]
+    fn spm_energy_monotonic() {
+        let es: Vec<f64> = [64u32, 128, 256, 512, 1024]
+            .iter()
+            .map(|&s| spm_access_energy(s, &t()))
+            .collect();
+        for w in es.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn loop_cache_controller_grows_with_slots() {
+        let (a4, c4) = loop_cache_energy(512, 4, &t());
+        let (a8, c8) = loop_cache_energy(512, 8, &t());
+        assert_eq!(a4, a8, "array energy independent of slots");
+        assert!(c8 > c4, "more comparators, more energy");
+    }
+
+    #[test]
+    fn loop_cache_array_matches_spm() {
+        let (a, _) = loop_cache_energy(256, 4, &t());
+        assert_eq!(a, spm_access_energy(256, &t()));
+    }
+
+    #[test]
+    fn main_memory_dwarfs_cache_hit() {
+        let hit = cache_access_energy(2048, 16, 1, &t());
+        let mm = main_memory_word_energy(&t());
+        assert!(mm > 5.0 * hit, "off-chip word ({mm}) >> on-chip hit ({hit})");
+    }
+
+    #[test]
+    fn tiny_spm_handled() {
+        // 64-byte scratchpad (adpcm's smallest) must still work.
+        let e = spm_access_energy(64, &t());
+        assert!(e > 0.0 && e < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_cache_geometry_panics() {
+        cache_access_energy(100, 16, 1, &t());
+    }
+}

@@ -1,0 +1,119 @@
+//! Static (leakage) energy model.
+//!
+//! The paper's evaluation is dynamic-energy only (standard for
+//! 0.5 µm, where leakage is negligible), but the trade-off the paper
+//! opens — a scratchpad is smaller and simpler than a cache of equal
+//! capacity — becomes even more favourable at smaller geometries where
+//! leakage dominates. This module provides a per-byte leakage-power
+//! model so experiments can report total energy
+//! `E_dyn + P_leak · t_exec` with the execution time taken from the
+//! simulator's cycle model.
+
+use crate::tech::TechParams;
+use serde::{Deserialize, Serialize};
+
+/// Leakage-power coefficients, in nW per byte of on-chip SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageParams {
+    /// Leakage of a cache byte (data + tags + comparators keep more
+    /// transistors on standby).
+    pub cache_nw_per_byte: f64,
+    /// Leakage of a scratchpad byte (plain SRAM array).
+    pub spm_nw_per_byte: f64,
+    /// Core clock frequency in MHz (converts cycles to seconds).
+    pub clock_mhz: f64,
+}
+
+impl LeakageParams {
+    /// Defaults for the paper's node: leakage is tiny at 0.5 µm, but
+    /// the *ratio* cache-vs-SPM is what the comparisons use.
+    pub fn um500() -> Self {
+        LeakageParams {
+            cache_nw_per_byte: 0.035,
+            spm_nw_per_byte: 0.020,
+            clock_mhz: 50.0,
+        }
+    }
+}
+
+impl Default for LeakageParams {
+    fn default() -> Self {
+        LeakageParams::um500()
+    }
+}
+
+/// Static energy (nJ) of a memory configuration over `cycles` of
+/// execution: `P_leak · t` with `t = cycles / f_clk`.
+///
+/// `tag_overhead_bytes` approximates the cache's tag array as extra
+/// leaking bytes; pass the value from [`cache_tag_bytes`].
+pub fn static_energy(
+    cache_bytes: u32,
+    tag_overhead_bytes: u32,
+    spm_bytes: u32,
+    cycles: u64,
+    params: &LeakageParams,
+) -> f64 {
+    let seconds = cycles as f64 / (params.clock_mhz * 1e6);
+    let cache_w = f64::from(cache_bytes + tag_overhead_bytes) * params.cache_nw_per_byte;
+    let spm_w = f64::from(spm_bytes) * params.spm_nw_per_byte;
+    // nW · s = nJ.
+    (cache_w + spm_w) * seconds
+}
+
+/// Bytes of tag + valid storage of a cache (the leakage overhead a
+/// scratchpad avoids).
+pub fn cache_tag_bytes(size: u32, line_size: u32, assoc: u32, tech: &TechParams) -> u32 {
+    let sets = size / (line_size * assoc);
+    let set_bits = 32 - (sets.max(2) - 1).leading_zeros();
+    let offset_bits = 32 - (line_size - 1).leading_zeros();
+    let tag_bits = tech.addr_bits - set_bits - offset_bits;
+    // (tag + valid) per line, rounded up to bytes.
+    (sets * assoc * (tag_bits + 1)).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spm_leaks_less_than_cache_per_byte() {
+        let p = LeakageParams::default();
+        assert!(p.spm_nw_per_byte < p.cache_nw_per_byte);
+    }
+
+    #[test]
+    fn static_energy_scales_linearly_with_time() {
+        let p = LeakageParams::default();
+        let e1 = static_energy(2048, 100, 1024, 1_000_000, &p);
+        let e2 = static_energy(2048, 100, 1024, 2_000_000, &p);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn tag_bytes_reasonable_for_paper_caches() {
+        let tech = TechParams::default();
+        // 2 kB DM, 16 B lines: 128 sets, tag 32-7-4 = 21 bits (+valid).
+        let b = cache_tag_bytes(2048, 16, 1, &tech);
+        assert_eq!(b, (128 * 22u32).div_ceil(8));
+        // More associativity, more tags for the same capacity.
+        assert!(cache_tag_bytes(2048, 16, 4, &tech) > 0);
+    }
+
+    #[test]
+    fn equal_capacity_cache_leaks_more_than_spm() {
+        let p = LeakageParams::default();
+        let tech = TechParams::default();
+        let cycles = 10_000_000;
+        let cache_only = static_energy(
+            1024,
+            cache_tag_bytes(1024, 16, 1, &tech),
+            0,
+            cycles,
+            &p,
+        );
+        let spm_only = static_energy(0, 0, 1024, cycles, &p);
+        assert!(spm_only < cache_only);
+    }
+}

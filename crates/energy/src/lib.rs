@@ -1,0 +1,37 @@
+//! # casa-energy — per-access energy models
+//!
+//! The paper takes per-access energies from CACTI (caches, loop cache)
+//! and from the Banakar/Steinke scratchpad model, and measures main
+//! memory on an evaluation board. None of those numbers are published
+//! in the paper, so this crate implements **cacti-lite**: a simplified
+//! analytical RC model in the spirit of CACTI / Kamble & Ghosh for a
+//! 0.5 µm process, with all coefficients in one documented place
+//! ([`tech::TechParams`]).
+//!
+//! Absolute joules therefore differ from the authors' setup — every
+//! reproduced figure/table reports *ratios* against a baseline, which
+//! is also how the paper presents its figures. What the model does
+//! guarantee (and what the results depend on):
+//!
+//! * `E_spm(size) < E_cache_hit(size)` — no tag path (Banakar),
+//! * `E_cache_hit ≪ E_cache_miss` — a miss pays the lookup, the
+//!   off-chip line fill, and the refill write,
+//! * monotonic growth of per-access energy with capacity,
+//! * a loop-cache controller cost charged on **every** fetch, growing
+//!   with the number of comparator slots — the architectural tax the
+//!   paper's §2 describes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cacti_lite;
+pub mod leakage;
+pub mod table;
+pub mod tech;
+
+pub use cacti_lite::{
+    cache_access_energy, loop_cache_energy, main_memory_word_energy, spm_access_energy,
+};
+pub use leakage::LeakageParams;
+pub use table::EnergyTable;
+pub use tech::TechParams;

@@ -1,0 +1,154 @@
+//! Aggregated per-event energy table for one memory configuration.
+
+use crate::cacti_lite::{
+    cache_access_energy, loop_cache_energy, main_memory_word_energy, spm_access_energy,
+};
+use crate::tech::TechParams;
+use serde::{Deserialize, Serialize};
+
+/// Energy (nJ) of each countable event in the instruction memory
+/// system. This is the `E_*` vocabulary of the paper's §3.4 energy
+/// model: [`Self::cache_hit`] is `E_Cache_hit`, [`Self::cache_miss`]
+/// is `E_Cache_miss`, [`Self::spm_access`] is `E_SP_hit`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTable {
+    /// I-cache hit.
+    pub cache_hit: f64,
+    /// I-cache miss: lookup + off-chip line fill + refill write +
+    /// fixed overhead.
+    pub cache_miss: f64,
+    /// Scratchpad access (`E_SP_hit`).
+    pub spm_access: f64,
+    /// Loop-cache array access (excluding the controller).
+    pub lc_access: f64,
+    /// Loop-cache controller tax, paid on *every* fetch when a loop
+    /// cache is present.
+    pub lc_controller: f64,
+    /// Off-chip main-memory access per 32-bit word.
+    pub mm_word: f64,
+    /// L2 cache access, when an L2 is modeled (0 otherwise).
+    pub l2_access: f64,
+}
+
+impl EnergyTable {
+    /// Build the table for a cache of `(cache_size, line_size, assoc)`
+    /// with a scratchpad of `spm_size` bytes (pass 0 for none) and an
+    /// optional loop cache `(capacity, max_objects)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see
+    /// [`crate::cacti_lite::cache_access_energy`]).
+    pub fn build(
+        cache_size: u32,
+        line_size: u32,
+        assoc: u32,
+        spm_size: u32,
+        loop_cache: Option<(u32, usize)>,
+        tech: &TechParams,
+    ) -> Self {
+        let cache_hit = cache_access_energy(cache_size, line_size, assoc, tech);
+        let mm_word = main_memory_word_energy(tech);
+        let words_per_line = f64::from(line_size / 4);
+        // A miss pays: the lookup that missed, the line fill from main
+        // memory, writing the line into the array (≈ one more array
+        // access), and fixed control overhead.
+        let cache_miss = 2.0 * cache_hit + words_per_line * mm_word + tech.miss_overhead;
+        let spm_access = if spm_size > 0 {
+            spm_access_energy(spm_size, tech)
+        } else {
+            0.0
+        };
+        let (lc_access, lc_controller) = match loop_cache {
+            Some((cap, slots)) => loop_cache_energy(cap, slots, tech),
+            None => (0.0, 0.0),
+        };
+        EnergyTable {
+            cache_hit,
+            cache_miss,
+            spm_access,
+            lc_access,
+            lc_controller,
+            mm_word,
+            l2_access: 0.0,
+        }
+    }
+
+    /// Extend the table with an L2 of `(size, line, assoc)`. With an
+    /// L2 present, [`Self::cache_miss`] is reinterpreted by the
+    /// energy accounting as the *local* L1 miss cost (lookup + refill
+    /// write, no fill source), and the fill source is charged per L2
+    /// hit/miss separately.
+    pub fn with_l2(mut self, size: u32, line_size: u32, assoc: u32, tech: &TechParams) -> Self {
+        self.l2_access = crate::cacti_lite::cache_access_energy(size, line_size, assoc, tech);
+        // Local L1 miss cost: the lookup that missed + the refill
+        // write into the L1 array + control overhead.
+        self.cache_miss = 2.0 * self.cache_hit + tech.miss_overhead;
+        self
+    }
+
+    /// The per-miss energy premium `E_Cache_miss − E_Cache_hit` that
+    /// drives the paper's eq. (5).
+    pub fn miss_premium(&self) -> f64 {
+        self.cache_miss - self.cache_hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_orderings_hold() {
+        // mpeg configuration: 2 kB DM cache, 1 kB SPM.
+        let t = EnergyTable::build(2048, 16, 1, 1024, None, &TechParams::default());
+        assert!(t.spm_access < t.cache_hit, "E_SP < E_hit");
+        assert!(t.cache_hit < t.cache_miss / 10.0, "E_hit << E_miss");
+        assert!(t.miss_premium() > 0.0);
+    }
+
+    #[test]
+    fn spm_smaller_than_cache_wins_more() {
+        // A 128 B SPM next to a 2 kB cache is far cheaper per access.
+        let t = EnergyTable::build(2048, 16, 1, 128, None, &TechParams::default());
+        assert!(t.spm_access < 0.5 * t.cache_hit);
+    }
+
+    #[test]
+    fn loop_cache_fields_populated() {
+        let t = EnergyTable::build(2048, 16, 1, 0, Some((512, 4)), &TechParams::default());
+        assert!(t.lc_access > 0.0);
+        assert!(t.lc_controller > 0.0);
+        assert_eq!(t.spm_access, 0.0);
+        // LC array + controller still beats a cache hit for small LC.
+        assert!(t.lc_access + t.lc_controller < t.cache_hit);
+    }
+
+    #[test]
+    fn no_spm_means_zero_spm_energy() {
+        let t = EnergyTable::build(1024, 16, 1, 0, None, &TechParams::default());
+        assert_eq!(t.spm_access, 0.0);
+        assert_eq!(t.lc_access, 0.0);
+    }
+
+    #[test]
+    fn l2_extension_reinterprets_miss_cost() {
+        let base = EnergyTable::build(128, 16, 1, 0, None, &TechParams::default());
+        let with = base.with_l2(1024, 16, 1, &TechParams::default());
+        assert!(with.l2_access > 0.0);
+        // Local L1 miss cost excludes the off-chip fill.
+        assert!(with.cache_miss < base.cache_miss);
+        // The L2 is bigger than the L1, so costlier per access than an
+        // L1 hit but far cheaper than going off-chip.
+        assert!(with.l2_access > with.cache_hit);
+        assert!(with.l2_access < with.mm_word);
+    }
+
+    #[test]
+    fn miss_includes_linefill() {
+        let t16 = EnergyTable::build(1024, 16, 1, 0, None, &TechParams::default());
+        let t32 = EnergyTable::build(1024, 32, 1, 0, None, &TechParams::default());
+        // Longer lines fill more words per miss.
+        assert!(t32.cache_miss > t16.cache_miss);
+    }
+}

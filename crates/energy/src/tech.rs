@@ -1,0 +1,91 @@
+//! Technology coefficients for the cacti-lite model.
+//!
+//! All energies are in **nanojoules** and all coefficients model an
+//! on-chip SRAM in a 0.5 µm process at 3.3 V (the paper's technology
+//! node). Each coefficient is an *effective* energy per switching
+//! event — gate/wire capacitance folded together with `½CV²` — chosen
+//! so that composite per-access energies land in the nanojoule range
+//! typical of published 0.5 µm figures, with off-chip accesses two
+//! orders of magnitude above on-chip hits.
+
+use serde::{Deserialize, Serialize};
+
+/// Effective per-event energy coefficients (nJ).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Row-decoder energy per address bit decoded.
+    pub decoder_per_bit: f64,
+    /// Wordline energy per cell attached to the driven row.
+    pub wordline_per_cell: f64,
+    /// Bitline energy per cell on a swung column pair (scales with the
+    /// number of rows, i.e. the column height).
+    pub bitline_per_cell: f64,
+    /// Sense-amplifier energy per sensed column.
+    pub senseamp_per_col: f64,
+    /// Tag-comparator energy per compared tag bit per way.
+    pub tag_compare_per_bit: f64,
+    /// Output-driver energy per output bit.
+    pub output_per_bit: f64,
+    /// Loop-cache controller energy per range comparator per fetch
+    /// (two 32-bit magnitude comparisons per preloadable object).
+    pub lc_comparator: f64,
+    /// Off-chip main-memory energy per 32-bit word transferred,
+    /// including pad/bus drivers (evaluation-board scale).
+    pub main_memory_word: f64,
+    /// Fixed miss overhead (miss detection, refill control).
+    pub miss_overhead: f64,
+    /// Address-space width in bits (for tag widths).
+    pub addr_bits: u32,
+}
+
+impl TechParams {
+    /// The default 0.5 µm / 3.3 V coefficient set used by every
+    /// experiment in this reproduction.
+    pub fn um500() -> Self {
+        TechParams {
+            decoder_per_bit: 0.018,
+            wordline_per_cell: 0.0011,
+            bitline_per_cell: 0.000045,
+            senseamp_per_col: 0.0026,
+            tag_compare_per_bit: 0.004,
+            output_per_bit: 0.0018,
+            lc_comparator: 0.055,
+            main_memory_word: 24.0,
+            miss_overhead: 1.5,
+            addr_bits: 32,
+        }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams::um500()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let t = TechParams::default();
+        assert!(t.decoder_per_bit > 0.0);
+        assert!(t.wordline_per_cell > 0.0);
+        assert!(t.bitline_per_cell > 0.0);
+        assert!(t.senseamp_per_col > 0.0);
+        assert!(t.tag_compare_per_bit > 0.0);
+        assert!(t.output_per_bit > 0.0);
+        assert!(t.lc_comparator > 0.0);
+        assert!(t.miss_overhead > 0.0);
+        assert_eq!(t.addr_bits, 32);
+    }
+
+    #[test]
+    fn off_chip_dwarfs_on_chip_coefficients() {
+        let t = TechParams::default();
+        // The board-measured off-chip word access is orders of
+        // magnitude above any single on-chip coefficient.
+        assert!(t.main_memory_word > 100.0 * t.senseamp_per_col);
+    }
+}

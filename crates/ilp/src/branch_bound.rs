@@ -1,0 +1,339 @@
+//! Best-first branch & bound over the integral variables of a
+//! [`Model`], using the simplex LP relaxation for bounds.
+
+use crate::model::{Model, Sense};
+use crate::simplex::{solve_lp, LpResult};
+use crate::solution::{Solution, SolveError, Status};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Tunables for the branch-and-bound search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Integrality tolerance: a relaxation value within `int_tol` of
+    /// an integer counts as integral.
+    pub int_tol: f64,
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: u64,
+    /// Absolute optimality gap at which a node is pruned against the
+    /// incumbent.
+    pub gap_tol: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            int_tol: 1e-6,
+            max_nodes: 2_000_000,
+            gap_tol: 1e-9,
+        }
+    }
+}
+
+struct Node {
+    bounds: Vec<(f64, f64)>,
+    /// LP bound of the parent (optimistic value for this node), in
+    /// minimization orientation.
+    bound: f64,
+}
+
+struct HeapEntry {
+    bound: f64,
+    seq: u64,
+    node: Node,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest bound first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Solve `model` to integral optimality.
+///
+/// # Errors
+///
+/// * [`SolveError::Infeasible`] — no integral point satisfies the
+///   constraints.
+/// * [`SolveError::Unbounded`] — the root relaxation is unbounded.
+/// * [`SolveError::NodeLimit`] — the node limit was exhausted before
+///   any feasible integral point was found.
+/// * [`SolveError::IterationLimit`] — simplex failed to converge.
+pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
+    // Work in minimization orientation internally.
+    let sense_sign = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let root_bounds: Vec<(f64, f64)> = model.vars().map(|v| model.var_kind(v).bounds()).collect();
+    let integral: Vec<usize> = model
+        .vars()
+        .filter(|&v| model.var_kind(v).is_integral())
+        .map(|v| v.index())
+        .collect();
+
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    heap.push(HeapEntry {
+        bound: f64::NEG_INFINITY,
+        seq,
+        node: Node {
+            bounds: root_bounds,
+            bound: f64::NEG_INFINITY,
+        },
+    });
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-oriented obj)
+    let mut nodes = 0u64;
+    let mut root_unbounded = false;
+
+    while let Some(HeapEntry { node, .. }) = heap.pop() {
+        nodes += 1;
+        if nodes > options.max_nodes {
+            return match incumbent {
+                Some((values, obj)) => Ok(Solution::new(
+                    values,
+                    sense_sign * obj,
+                    Status::Feasible,
+                    nodes,
+                )),
+                None => Err(SolveError::NodeLimit {
+                    limit: options.max_nodes,
+                }),
+            };
+        }
+        // Prune against incumbent using the parent bound.
+        if let Some((_, best)) = &incumbent {
+            if node.bound >= *best - options.gap_tol {
+                continue;
+            }
+        }
+        let lp = solve_lp(model, &node.bounds)?;
+        let (values, objective) = match lp {
+            LpResult::Infeasible => continue,
+            LpResult::Unbounded => {
+                if nodes == 1 {
+                    root_unbounded = true;
+                    break;
+                }
+                // A bounded-variable subproblem cannot be unbounded if
+                // the root was bounded; treat defensively as a dead end.
+                continue;
+            }
+            LpResult::Optimal { values, objective } => (values, objective),
+        };
+        let min_obj = sense_sign * objective;
+        if let Some((_, best)) = &incumbent {
+            if min_obj >= *best - options.gap_tol {
+                continue;
+            }
+        }
+        // Find the most fractional integral variable.
+        let mut branch_var: Option<(usize, f64)> = None;
+        let mut best_frac = options.int_tol;
+        for &i in &integral {
+            let x = values[i];
+            let frac = (x - x.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some((i, x));
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral: candidate incumbent.
+                let rounded: Vec<f64> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| {
+                        if integral.contains(&i) {
+                            x.round()
+                        } else {
+                            x
+                        }
+                    })
+                    .collect();
+                match &incumbent {
+                    Some((_, best)) if min_obj >= *best - options.gap_tol => {}
+                    _ => incumbent = Some((rounded, min_obj)),
+                }
+            }
+            Some((i, x)) => {
+                let (lb, ub) = node.bounds[i];
+                let floor = x.floor();
+                let ceil = x.ceil();
+                if floor >= lb - options.int_tol {
+                    let mut b = node.bounds.clone();
+                    b[i] = (lb, floor);
+                    seq += 1;
+                    heap.push(HeapEntry {
+                        bound: min_obj,
+                        seq,
+                        node: Node {
+                            bounds: b,
+                            bound: min_obj,
+                        },
+                    });
+                }
+                if ceil <= ub + options.int_tol {
+                    let mut b = node.bounds.clone();
+                    b[i] = (ceil, ub);
+                    seq += 1;
+                    heap.push(HeapEntry {
+                        bound: min_obj,
+                        seq,
+                        node: Node {
+                            bounds: b,
+                            bound: min_obj,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    if root_unbounded {
+        return Err(SolveError::Unbounded);
+    }
+    match incumbent {
+        Some((values, obj)) => Ok(Solution::new(
+            values,
+            sense_sign * obj,
+            Status::Optimal,
+            nodes,
+        )),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Model};
+
+    #[test]
+    fn binary_knapsack_exact() {
+        // max 10a + 6b + 4c s.t. a+b+c <= 2 (binaries) -> 16.
+        let mut m = Model::maximize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.set_objective([(a, 10.0), (b, 6.0), (c, 4.0)]);
+        m.add_constraint([(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
+        let s = solve(&m, &SolverOptions::default()).unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 16.0).abs() < 1e-6);
+        assert!(s.bool_value(a) && s.bool_value(b) && !s.bool_value(c));
+    }
+
+    #[test]
+    fn integer_variable_branching() {
+        // max x + y s.t. 2x + y <= 7, x + 3y <= 9, integer x,y >= 0.
+        // LP optimum fractional; integer optimum = 4 (e.g. x=3,y=1 or x=2,y=2).
+        let mut m = Model::maximize();
+        let x = m.integer("x", 0, 10);
+        let y = m.integer("y", 0, 10);
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_constraint([(x, 2.0), (y, 1.0)], ConstraintOp::Le, 7.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], ConstraintOp::Le, 9.0);
+        let s = solve(&m, &SolverOptions::default()).unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-6, "obj {}", s.objective());
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // x + y = 1.5 with binaries: LP feasible, no integral point.
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 1.5);
+        assert_eq!(
+            solve(&m, &SolverOptions::default()).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn unbounded_reported() {
+        let mut m = Model::maximize();
+        let x = m.integer("x", 0, i64::MAX >> 8);
+        m.set_objective([(x, 1.0)]);
+        // Huge but finite domain: not unbounded, returns the ub.
+        let s = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(s.objective() > 1e10);
+
+        let mut m2 = Model::maximize();
+        let y = m2.continuous("y", 0.0, f64::INFINITY);
+        let z = m2.binary("z");
+        m2.set_objective([(y, 1.0), (z, 1.0)]);
+        assert_eq!(
+            solve(&m2, &SolverOptions::default()).unwrap_err(),
+            SolveError::Unbounded
+        );
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 3x + y, x binary, y continuous in [0, 10],
+        // s.t. x + y >= 1.5. Best: x=0, y=1.5 -> 1.5.
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 10.0);
+        m.set_objective([(x, 3.0), (y, 1.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.5);
+        let s = solve(&m, &SolverOptions::default()).unwrap();
+        assert!((s.objective() - 1.5).abs() < 1e-6);
+        assert!(!s.bool_value(x));
+        assert!((s.value(y) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        // A problem needing branching, with max_nodes = 1.
+        let mut m = Model::maximize();
+        let x = m.integer("x", 0, 10);
+        let y = m.integer("y", 0, 10);
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_constraint([(x, 2.0), (y, 1.0)], ConstraintOp::Le, 7.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], ConstraintOp::Le, 9.0);
+        let opts = SolverOptions {
+            max_nodes: 1,
+            ..SolverOptions::default()
+        };
+        match solve(&m, &opts) {
+            Err(SolveError::NodeLimit { limit: 1 }) => {}
+            Ok(s) => assert_eq!(s.status(), Status::Feasible),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn objective_constant_carried_through() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.set_objective([(x, -2.0)]);
+        m.add_objective_constant(5.0);
+        let s = solve(&m, &SolverOptions::default()).unwrap();
+        // min -2x + 5 -> x=1, obj 3.
+        assert!((s.objective() - 3.0).abs() < 1e-9);
+        assert!(s.bool_value(x));
+    }
+}

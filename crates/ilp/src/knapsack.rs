@@ -1,0 +1,156 @@
+//! Exact 0/1 knapsack by dynamic programming.
+//!
+//! Steinke et al. (DATE 2002) formulate scratchpad allocation as a 0/1
+//! knapsack over profit-weighted memory objects; this module provides
+//! the exact solver the baseline allocator uses. Complexity is
+//! `O(n · capacity)`, which is trivial for realistic scratchpad sizes
+//! (≤ a few kB).
+
+/// Solution of a 0/1 knapsack instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackSolution {
+    /// Indices of the chosen items, ascending.
+    pub chosen: Vec<usize>,
+    /// Total profit of the chosen items.
+    pub profit: u64,
+    /// Total weight of the chosen items.
+    pub weight: u32,
+}
+
+/// Maximize total profit subject to `Σ weight <= capacity`.
+///
+/// Items with zero weight and positive profit are always taken; items
+/// with zero profit are never taken (so the chosen set is minimal
+/// among optimal sets with respect to useless items).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != profits.len()`.
+pub fn knapsack_01(weights: &[u32], profits: &[u64], capacity: u32) -> KnapsackSolution {
+    assert_eq!(
+        weights.len(),
+        profits.len(),
+        "weights and profits must be parallel"
+    );
+    let n = weights.len();
+    let cap = capacity as usize;
+    // dp[w] = best profit using items seen so far at weight exactly <= w.
+    let mut dp = vec![0u64; cap + 1];
+    // take[i][w] bitset: whether item i is taken at dp state w.
+    let mut take = vec![false; n * (cap + 1)];
+
+    for i in 0..n {
+        let wi = weights[i] as usize;
+        let pi = profits[i];
+        if pi == 0 {
+            continue;
+        }
+        if wi == 0 {
+            for w in 0..=cap {
+                dp[w] += pi;
+                take[i * (cap + 1) + w] = true;
+            }
+            continue;
+        }
+        if wi > cap {
+            continue;
+        }
+        for w in (wi..=cap).rev() {
+            let cand = dp[w - wi] + pi;
+            if cand > dp[w] {
+                dp[w] = cand;
+                take[i * (cap + 1) + w] = true;
+            }
+        }
+    }
+
+    // Backtrack.
+    let mut chosen = Vec::new();
+    let mut w = cap;
+    for i in (0..n).rev() {
+        if take[i * (cap + 1) + w] {
+            chosen.push(i);
+            w -= (weights[i] as usize).min(w);
+        }
+    }
+    chosen.reverse();
+    let profit = chosen.iter().map(|&i| profits[i]).sum();
+    let weight = chosen.iter().map(|&i| weights[i]).sum();
+    debug_assert_eq!(profit, dp[cap]);
+    KnapsackSolution {
+        chosen,
+        profit,
+        weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_instance() {
+        // weights 1,3,4,5; profits 1,4,5,7; cap 7 -> take {3,4} = 9.
+        let s = knapsack_01(&[1, 3, 4, 5], &[1, 4, 5, 7], 7);
+        assert_eq!(s.profit, 9);
+        assert_eq!(s.chosen, vec![1, 2]);
+        assert_eq!(s.weight, 7);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let s = knapsack_01(&[], &[], 10);
+        assert_eq!(s.profit, 0);
+        assert!(s.chosen.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_takes_only_weightless() {
+        let s = knapsack_01(&[0, 2], &[5, 10], 0);
+        assert_eq!(s.profit, 5);
+        assert_eq!(s.chosen, vec![0]);
+    }
+
+    #[test]
+    fn item_bigger_than_capacity_skipped() {
+        let s = knapsack_01(&[100], &[1000], 10);
+        assert_eq!(s.profit, 0);
+        assert!(s.chosen.is_empty());
+    }
+
+    #[test]
+    fn zero_profit_items_never_chosen() {
+        let s = knapsack_01(&[1, 1], &[0, 3], 2);
+        assert_eq!(s.chosen, vec![1]);
+        assert_eq!(s.profit, 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        // Deterministic pseudo-random items.
+        let mut state: u64 = 42;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for _case in 0..50 {
+            let n = (next() % 8 + 1) as usize;
+            let cap = next() % 30;
+            let weights: Vec<u32> = (0..n).map(|_| next() % 12).collect();
+            let profits: Vec<u64> = (0..n).map(|_| (next() % 50) as u64).collect();
+            let dp = knapsack_01(&weights, &profits, cap);
+            // Brute force.
+            let mut best = 0u64;
+            for mask in 0u32..(1 << n) {
+                let w: u32 = (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+                if w <= cap {
+                    let p: u64 =
+                        (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| profits[i]).sum();
+                    best = best.max(p);
+                }
+            }
+            assert_eq!(dp.profit, best, "weights {weights:?} profits {profits:?} cap {cap}");
+            assert!(dp.weight <= cap || dp.chosen.iter().all(|&i| weights[i] == 0));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # casa-ilp — 0/1 integer linear programming
+//!
+//! The paper solves the CASA allocation problem with a commercial ILP
+//! solver (CPLEX). No such solver is available here — and the Rust
+//! ecosystem's ILP story was one of the reproduction risks — so this
+//! crate implements the required machinery from scratch:
+//!
+//! * a [`model`] builder for linear programs with continuous, integer
+//!   and binary variables,
+//! * a dense **two-phase primal simplex** ([`simplex`]) for LP
+//!   relaxations, with a Bland's-rule fallback against cycling,
+//! * **branch & bound** ([`branch_bound`]) over the integer variables,
+//!   best-first by relaxation bound, and
+//! * an exact **0/1 knapsack** dynamic program ([`knapsack`]) used by
+//!   the Steinke baseline allocator,
+//! * a **presolve** pass ([`presolve`]) — activity-based row
+//!   elimination and bound tightening — and
+//! * a **CPLEX LP-format writer** ([`lp_format`]) for cross-checking
+//!   formulations against external solvers.
+//!
+//! The solver is exact: property tests compare it against brute-force
+//! enumeration on small random instances.
+//!
+//! # Example
+//!
+//! ```
+//! use casa_ilp::model::{Model, Sense, ConstraintOp};
+//! use casa_ilp::branch_bound::{solve, SolverOptions};
+//!
+//! // max x + 2y  s.t.  x + y <= 1, binaries.
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.binary("x");
+//! let y = m.binary("y");
+//! m.set_objective([(x, 1.0), (y, 2.0)]);
+//! m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.0);
+//! let sol = solve(&m, &SolverOptions::default())?;
+//! assert_eq!(sol.value(y).round() as i32, 1);
+//! assert_eq!(sol.value(x).round() as i32, 0);
+//! # Ok::<(), casa_ilp::solution::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod knapsack;
+pub mod lp_format;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+pub mod solution;
+
+pub use branch_bound::{solve, SolverOptions};
+pub use knapsack::knapsack_01;
+pub use lp_format::to_lp_format;
+pub use presolve::{presolve, solve_presolved};
+pub use model::{ConstraintOp, Model, Sense, Var};
+pub use solution::{Solution, SolveError, Status};

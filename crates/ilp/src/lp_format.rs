@@ -1,0 +1,150 @@
+//! CPLEX LP-format export.
+//!
+//! The paper solved its formulation with CPLEX; this writer emits any
+//! [`Model`] in the standard LP file format so a formulation built
+//! here can be fed to CPLEX/Gurobi/HiGHS for cross-checking the
+//! in-tree solver (or just inspected by eye).
+
+use crate::model::{ConstraintOp, Model, Sense, VarKind};
+use std::fmt::Write as _;
+
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 'x');
+    }
+    out
+}
+
+fn write_terms(out: &mut String, terms: &[(crate::model::Var, f64)], model: &Model) {
+    let mut first = true;
+    for &(v, c) in terms {
+        if c == 0.0 {
+            continue;
+        }
+        let name = sanitize(model.var_name(v));
+        if first {
+            let _ = write!(out, "{c} {name}");
+            first = false;
+        } else if c >= 0.0 {
+            let _ = write!(out, " + {c} {name}");
+        } else {
+            let _ = write!(out, " - {} {name}", -c);
+        }
+    }
+    if first {
+        out.push('0');
+    }
+}
+
+/// Render `model` in CPLEX LP format.
+pub fn to_lp_format(model: &Model) -> String {
+    let mut out = String::new();
+    out.push_str(match model.sense() {
+        Sense::Minimize => "Minimize\n obj: ",
+        Sense::Maximize => "Maximize\n obj: ",
+    });
+    write_terms(&mut out, model.objective(), model);
+    out.push_str("\nSubject To\n");
+    for (i, con) in model.constraints().iter().enumerate() {
+        let _ = write!(out, " c{i}: ");
+        write_terms(&mut out, &con.terms, model);
+        let op = match con.op {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Eq => "=",
+        };
+        let _ = writeln!(out, " {op} {}", con.rhs);
+    }
+    // Bounds for non-binary variables.
+    let mut bounds = String::new();
+    let mut binaries = String::new();
+    let mut generals = String::new();
+    for v in model.vars() {
+        let name = sanitize(model.var_name(v));
+        match model.var_kind(v) {
+            VarKind::Binary => {
+                let _ = writeln!(binaries, " {name}");
+            }
+            VarKind::Integer { lb, ub } => {
+                let _ = writeln!(generals, " {name}");
+                let _ = writeln!(bounds, " {lb} <= {name} <= {ub}");
+            }
+            VarKind::Continuous { lb, ub } => {
+                if ub.is_finite() {
+                    let _ = writeln!(bounds, " {lb} <= {name} <= {ub}");
+                } else {
+                    let _ = writeln!(bounds, " {name} >= {lb}");
+                }
+            }
+        }
+    }
+    if !bounds.is_empty() {
+        out.push_str("Bounds\n");
+        out.push_str(&bounds);
+    }
+    if !generals.is_empty() {
+        out.push_str("Generals\n");
+        out.push_str(&generals);
+    }
+    if !binaries.is_empty() {
+        out.push_str("Binaries\n");
+        out.push_str(&binaries);
+    }
+    out.push_str("End\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn renders_all_sections() {
+        let mut m = Model::maximize();
+        let x = m.binary("x");
+        let y = m.continuous("flow rate", 0.0, 5.5);
+        let z = m.integer("z", -2, 7);
+        m.set_objective([(x, 1.0), (y, 2.0), (z, -0.5)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint([(z, 2.0)], ConstraintOp::Eq, 2.0);
+        let lp = to_lp_format(&m);
+        assert!(lp.starts_with("Maximize"));
+        assert!(lp.contains("c0: 1 x + 1 flow_rate <= 4"));
+        assert!(lp.contains("c1: 2 z = 2"));
+        assert!(lp.contains("Bounds"));
+        assert!(lp.contains("0 <= flow_rate <= 5.5"));
+        assert!(lp.contains("-2 <= z <= 7"));
+        assert!(lp.contains("Binaries\n x"));
+        assert!(lp.contains("Generals\n z"));
+        assert!(lp.ends_with("End\n"));
+    }
+
+    #[test]
+    fn negative_coefficients_use_minus() {
+        let mut m = Model::minimize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        m.set_objective([(a, 1.0), (b, -3.0)]);
+        let lp = to_lp_format(&m);
+        assert!(lp.contains("1 a - 3 b"), "{lp}");
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let m = Model::minimize();
+        let lp = to_lp_format(&m);
+        assert!(lp.contains("obj: 0"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("l(x_1)"), "l_x_1_");
+        assert_eq!(sanitize("3abc"), "x3abc");
+        assert_eq!(sanitize(""), "x");
+    }
+}

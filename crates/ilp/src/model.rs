@@ -1,0 +1,353 @@
+//! Linear/integer program construction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Raw column index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relation of a constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Domain of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Continuous within `[lb, ub]`.
+    Continuous {
+        /// Lower bound (may be 0).
+        lb: f64,
+        /// Upper bound (use `f64::INFINITY` for none).
+        ub: f64,
+    },
+    /// Integer within `[lb, ub]`.
+    Integer {
+        /// Lower bound.
+        lb: i64,
+        /// Upper bound.
+        ub: i64,
+    },
+    /// Binary (0 or 1).
+    Binary,
+}
+
+impl VarKind {
+    /// Continuous relaxation bounds of the variable.
+    pub fn bounds(&self) -> (f64, f64) {
+        match *self {
+            VarKind::Continuous { lb, ub } => (lb, ub),
+            VarKind::Integer { lb, ub } => (lb as f64, ub as f64),
+            VarKind::Binary => (0.0, 1.0),
+        }
+    }
+
+    /// Whether the variable must take an integral value.
+    pub fn is_integral(&self) -> bool {
+        matches!(self, VarKind::Integer { .. } | VarKind::Binary)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct VarData {
+    pub(crate) name: String,
+    pub(crate) kind: VarKind,
+}
+
+/// One constraint row: `Σ coef·var (op) rhs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse row terms `(variable, coefficient)`.
+    pub terms: Vec<(Var, f64)>,
+    /// Relation.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A mixed 0/1-integer linear program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    sense: Sense,
+    vars: Vec<VarData>,
+    objective: Vec<(Var, f64)>,
+    objective_constant: f64,
+    constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// An empty model optimizing in the given direction.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            objective: Vec::new(),
+            objective_constant: 0.0,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Shorthand for `Model::new(Sense::Minimize)`.
+    pub fn minimize() -> Self {
+        Model::new(Sense::Minimize)
+    }
+
+    /// Shorthand for `Model::new(Sense::Maximize)`.
+    pub fn maximize() -> Self {
+        Model::new(Sense::Maximize)
+    }
+
+    /// The optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a binary variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> Var {
+        self.add_var(name, VarKind::Binary)
+    }
+
+    /// Add a continuous variable bounded to `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb > ub` or either bound is NaN.
+    pub fn continuous(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> Var {
+        assert!(!lb.is_nan() && !ub.is_nan(), "bounds must not be NaN");
+        assert!(lb <= ub, "lower bound exceeds upper bound");
+        self.add_var(name, VarKind::Continuous { lb, ub })
+    }
+
+    /// Add an integer variable bounded to `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb > ub`.
+    pub fn integer(&mut self, name: impl Into<String>, lb: i64, ub: i64) -> Var {
+        assert!(lb <= ub, "lower bound exceeds upper bound");
+        self.add_var(name, VarKind::Integer { lb, ub })
+    }
+
+    fn add_var(&mut self, name: impl Into<String>, kind: VarKind) -> Var {
+        let v = Var(self.vars.len() as u32);
+        self.vars.push(VarData {
+            name: name.into(),
+            kind,
+        });
+        v
+    }
+
+    /// Set the objective to `Σ coef·var` (replaces any previous one).
+    pub fn set_objective(&mut self, terms: impl IntoIterator<Item = (Var, f64)>) {
+        self.objective = terms.into_iter().collect();
+    }
+
+    /// Add `c` to the objective's constant offset (reported in
+    /// [`crate::Solution::objective`], irrelevant to the argmin).
+    pub fn add_objective_constant(&mut self, c: f64) {
+        self.objective_constant += c;
+    }
+
+    /// Append a constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is NaN or any coefficient is NaN, or a term
+    /// references a variable not in this model.
+    pub fn add_constraint(
+        &mut self,
+        terms: impl IntoIterator<Item = (Var, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) {
+        let terms: Vec<(Var, f64)> = terms.into_iter().collect();
+        assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
+        for &(v, c) in &terms {
+            assert!(!c.is_nan(), "constraint coefficient must not be NaN");
+            assert!(v.index() < self.vars.len(), "variable {v} not in model");
+        }
+        self.constraints.push(Constraint { terms, op, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Objective terms.
+    pub fn objective(&self) -> &[(Var, f64)] {
+        &self.objective
+    }
+
+    /// Constant offset of the objective.
+    pub fn objective_constant(&self) -> f64 {
+        self.objective_constant
+    }
+
+    /// Kind of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not from this model.
+    pub fn var_kind(&self, v: Var) -> VarKind {
+        self.vars[v.index()].kind
+    }
+
+    /// Name of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not from this model.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Iterate over all variables.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.vars.len() as u32).map(Var)
+    }
+
+    /// Evaluate the objective (including constant) at `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_vars()`.
+    pub fn eval_objective(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.num_vars());
+        self.objective_constant
+            + self
+                .objective
+                .iter()
+                .map(|&(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Check whether `values` satisfies every constraint and variable
+    /// bound to tolerance `tol` (integrality of integer variables is
+    /// also required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_vars()`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        assert_eq!(values.len(), self.num_vars());
+        for (i, vd) in self.vars.iter().enumerate() {
+            let (lb, ub) = vd.kind.bounds();
+            let x = values[i];
+            if x < lb - tol || x > ub + tol {
+                return false;
+            }
+            if vd.kind.is_integral() && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        for con in &self.constraints {
+            let lhs: f64 = con.terms.iter().map(|&(v, c)| c * values[v.index()]).sum();
+            let ok = match con.op {
+                ConstraintOp::Le => lhs <= con.rhs + tol,
+                ConstraintOp::Ge => lhs >= con.rhs - tol,
+                ConstraintOp::Eq => (lhs - con.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 5.0);
+        let z = m.integer("z", -2, 7);
+        m.set_objective([(x, 1.0), (y, -1.0)]);
+        m.add_objective_constant(10.0);
+        m.add_constraint([(x, 1.0), (z, 2.0)], ConstraintOp::Le, 4.0);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.var_name(y), "y");
+        assert!(m.var_kind(x).is_integral());
+        assert!(!m.var_kind(y).is_integral());
+        assert_eq!(m.var_kind(z).bounds(), (-2.0, 7.0));
+        assert_eq!(m.eval_objective(&[1.0, 3.0, 0.0]), 10.0 + 1.0 - 3.0);
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_rows() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 5.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 2.0);
+        assert!(m.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 0.5], 1e-9)); // row violated
+        assert!(!m.is_feasible(&[0.5, 2.0], 1e-9)); // x not integral
+        assert!(!m.is_feasible(&[1.0, 6.0], 1e-9)); // y above ub
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds")]
+    fn bad_bounds_panic() {
+        let mut m = Model::minimize();
+        m.continuous("y", 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in model")]
+    fn foreign_var_rejected() {
+        let mut m1 = Model::minimize();
+        let mut m2 = Model::minimize();
+        let _x1 = m1.binary("x");
+        let x_foreign = Var(5);
+        m2.add_constraint([(x_foreign, 1.0)], ConstraintOp::Le, 1.0);
+    }
+
+    #[test]
+    fn display_var() {
+        assert_eq!(Var(3).to_string(), "x3");
+    }
+}

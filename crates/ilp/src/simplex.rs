@@ -1,0 +1,547 @@
+//! Dense two-phase primal simplex for LP relaxations.
+//!
+//! The solver works on a bounded-variable model: every variable has a
+//! finite lower bound and a (possibly infinite) upper bound. Variables
+//! are shifted to `x' = x - lb >= 0`; finite upper bounds become extra
+//! `x' <= ub - lb` rows; variables whose bounds pin them (`lb == ub`,
+//! which is how branch & bound fixes binaries) are substituted out and
+//! never enter the tableau, keeping node LPs small.
+//!
+//! Anti-cycling: Dantzig pricing switches to Bland's rule after a
+//! fixed number of iterations, which guarantees termination.
+
+use crate::model::{ConstraintOp, Model, Sense};
+use crate::solution::SolveError;
+
+/// Result of one LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal point found: variable values (in model order) and the
+    /// objective value *including* the model's constant offset.
+    Optimal {
+        /// Values of all model variables.
+        values: Vec<f64>,
+        /// Objective at the optimum.
+        objective: f64,
+    },
+    /// No feasible point under the given bounds.
+    Infeasible,
+    /// Objective unbounded in the optimization direction.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+/// Iterations of Dantzig pricing before switching to Bland's rule.
+const BLAND_AFTER: u64 = 10_000;
+/// Hard iteration cap per phase.
+const MAX_ITERS: u64 = 200_000;
+
+/// Solve the continuous relaxation of `model` with per-variable bounds
+/// `bounds` overriding the model's own (used by branch & bound to fix
+/// and tighten variables).
+///
+/// # Errors
+///
+/// Returns [`SolveError::IterationLimit`] if simplex fails to converge
+/// within the iteration cap.
+///
+/// # Panics
+///
+/// Panics if `bounds.len() != model.num_vars()`, any lower bound is
+/// infinite/NaN, or `lb > ub` for some variable.
+pub fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, SolveError> {
+    assert_eq!(bounds.len(), model.num_vars(), "one bound pair per var");
+    for &(lb, ub) in bounds {
+        assert!(lb.is_finite(), "lower bounds must be finite");
+        assert!(!ub.is_nan() && lb <= ub + EPS, "invalid bounds");
+    }
+
+    // Partition variables: fixed (lb == ub) are substituted constants;
+    // free ones get tableau columns.
+    let n_model = model.num_vars();
+    let mut col_of = vec![usize::MAX; n_model];
+    let mut free_vars = Vec::new();
+    for i in 0..n_model {
+        let (lb, ub) = bounds[i];
+        if ub - lb > EPS {
+            col_of[i] = free_vars.len();
+            free_vars.push(i);
+        }
+    }
+    let n = free_vars.len();
+
+    // Objective over shifted free variables (minimization form).
+    let sign = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0f64; n];
+    let mut obj_base = model.objective_constant();
+    for &(v, c) in model.objective() {
+        let i = v.index();
+        obj_base += c * bounds[i].0;
+        if col_of[i] != usize::MAX {
+            cost[col_of[i]] += sign * c;
+        }
+    }
+
+    // Build rows: model constraints + finite-ub rows, shifted, b >= 0.
+    struct Row {
+        coefs: Vec<f64>, // dense over free columns
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for con in model.constraints() {
+        let mut coefs = vec![0.0f64; n];
+        let mut rhs = con.rhs;
+        let mut any = false;
+        for &(v, c) in &con.terms {
+            let i = v.index();
+            rhs -= c * bounds[i].0;
+            if col_of[i] != usize::MAX {
+                coefs[col_of[i]] += c;
+                if c != 0.0 {
+                    any = true;
+                }
+            }
+        }
+        if !any && coefs.iter().all(|&c| c.abs() <= EPS) {
+            // All variables fixed: the row is a pure feasibility check.
+            let ok = match con.op {
+                ConstraintOp::Le => 0.0 <= rhs + 1e-7,
+                ConstraintOp::Ge => 0.0 >= rhs - 1e-7,
+                ConstraintOp::Eq => rhs.abs() <= 1e-7,
+            };
+            if !ok {
+                return Ok(LpResult::Infeasible);
+            }
+            continue;
+        }
+        rows.push(Row {
+            coefs,
+            op: con.op,
+            rhs,
+        });
+    }
+    for (j, &i) in free_vars.iter().enumerate() {
+        let (lb, ub) = bounds[i];
+        if ub.is_finite() {
+            let mut coefs = vec![0.0f64; n];
+            coefs[j] = 1.0;
+            rows.push(Row {
+                coefs,
+                op: ConstraintOp::Le,
+                rhs: ub - lb,
+            });
+        }
+    }
+
+    // Normalize to b >= 0.
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for c in &mut row.coefs {
+                *c = -*c;
+            }
+            row.op = match row.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    if n == 0 {
+        // Everything fixed and all rows checked above.
+        let values: Vec<f64> = (0..n_model).map(|i| bounds[i].0).collect();
+        let objective = model.eval_objective(&values);
+        return Ok(LpResult::Optimal { values, objective });
+    }
+
+    // Column layout: [structural n][slack/surplus][artificial][rhs].
+    let n_slack = rows
+        .iter()
+        .filter(|r| matches!(r.op, ConstraintOp::Le | ConstraintOp::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|r| matches!(r.op, ConstraintOp::Ge | ConstraintOp::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+    let mut t = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let art_start = n + n_slack;
+    {
+        let mut s = n;
+        let mut a = art_start;
+        for (i, row) in rows.iter().enumerate() {
+            t[i][..n].copy_from_slice(&row.coefs);
+            t[i][total] = row.rhs;
+            match row.op {
+                ConstraintOp::Le => {
+                    t[i][s] = 1.0;
+                    basis[i] = s;
+                    s += 1;
+                }
+                ConstraintOp::Ge => {
+                    t[i][s] = -1.0;
+                    s += 1;
+                    t[i][a] = 1.0;
+                    basis[i] = a;
+                    a += 1;
+                }
+                ConstraintOp::Eq => {
+                    t[i][a] = 1.0;
+                    basis[i] = a;
+                    a += 1;
+                }
+            }
+        }
+    }
+
+    // ---- Phase 1: minimize sum of artificials ----
+    if n_art > 0 {
+        let mut c1 = vec![0.0f64; total];
+        for c in c1.iter_mut().skip(art_start) {
+            *c = 1.0;
+        }
+        let (opt, feasible) = run_phase(&mut t, &mut basis, &c1, total, usize::MAX)?;
+        let _ = feasible;
+        if opt > 1e-6 {
+            return Ok(LpResult::Infeasible);
+        }
+        // Drive remaining artificials out of the basis.
+        let mut i = 0;
+        while i < t.len() {
+            if basis[i] >= art_start {
+                // Pivot on any usable non-artificial column.
+                if let Some(j) = (0..art_start).find(|&j| t[i][j].abs() > 1e-7) {
+                    pivot(&mut t, &mut basis, i, j, total);
+                } else {
+                    // Redundant row: drop it.
+                    t.remove(i);
+                    basis.remove(i);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // ---- Phase 2: original objective, artificials barred ----
+    let mut c2 = vec![0.0f64; total];
+    c2[..n].copy_from_slice(&cost);
+    let bar_from = if n_art > 0 { art_start } else { usize::MAX };
+    let (opt, bounded) = run_phase(&mut t, &mut basis, &c2, total, bar_from)?;
+    if !bounded {
+        return Ok(LpResult::Unbounded);
+    }
+
+    // Extract solution.
+    let mut shifted = vec![0.0f64; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            shifted[b] = t[i][total];
+        }
+    }
+    let mut values = vec![0.0f64; n_model];
+    for i in 0..n_model {
+        values[i] = bounds[i].0;
+    }
+    for (j, &i) in free_vars.iter().enumerate() {
+        values[i] += shifted[j].max(0.0);
+    }
+    // `opt` equals cost·shifted (minimization form over shifted vars);
+    // fold the variable shift and the sense back in.
+    let objective = obj_base + sign * opt;
+    Ok(LpResult::Optimal { values, objective })
+}
+
+/// Run simplex with cost vector `c` (columns `>= bar_from` may not
+/// enter the basis). Returns `(objective, bounded)`; when unbounded,
+/// `objective` is meaningless and `bounded` is false.
+fn run_phase(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    c: &[f64],
+    total: usize,
+    bar_from: usize,
+) -> Result<(f64, bool), SolveError> {
+    let m = t.len();
+    // Reduced-cost row: z = c_B B^-1 A - c ; store d_j = cbar_j.
+    let mut d = c.to_vec();
+    let mut obj = 0.0f64;
+    for i in 0..m {
+        let cb = c[basis[i]];
+        if cb != 0.0 {
+            obj += cb * t[i][total];
+            for j in 0..total {
+                d[j] -= cb * t[i][j];
+            }
+        }
+    }
+
+    let mut iters: u64 = 0;
+    loop {
+        iters += 1;
+        if iters > MAX_ITERS {
+            return Err(SolveError::IterationLimit);
+        }
+        let bland = iters > BLAND_AFTER;
+        // Entering column: d_j < -eps.
+        let mut enter = None;
+        if bland {
+            for (j, &dj) in d.iter().enumerate() {
+                if j >= bar_from {
+                    break;
+                }
+                if dj < -EPS {
+                    enter = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -EPS;
+            for (j, &dj) in d.iter().enumerate() {
+                if j >= bar_from {
+                    break;
+                }
+                if dj < best {
+                    best = dj;
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(j) = enter else {
+            return Ok((obj, true));
+        };
+        // Ratio test; ties broken by smallest basis index (Bland).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = t[i][j];
+            if a > EPS {
+                let ratio = t[i][total] / a;
+                let take = match leave {
+                    None => true,
+                    Some(l) => {
+                        ratio < best_ratio - EPS
+                            || (ratio < best_ratio + EPS && basis[i] < basis[l])
+                    }
+                };
+                if take {
+                    best_ratio = ratio.min(best_ratio);
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(r) = leave else {
+            return Ok((obj, false)); // unbounded
+        };
+        pivot_with_costs(t, basis, &mut d, &mut obj, r, j, total);
+    }
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], r: usize, j: usize, total: usize) {
+    let piv = t[r][j];
+    debug_assert!(piv.abs() > 1e-12, "zero pivot");
+    let inv = 1.0 / piv;
+    for v in t[r].iter_mut() {
+        *v *= inv;
+    }
+    let pivot_row = t[r].clone();
+    for (i, row) in t.iter_mut().enumerate() {
+        if i != r {
+            let f = row[j];
+            if f != 0.0 {
+                for (v, &p) in row.iter_mut().zip(&pivot_row).take(total + 1) {
+                    *v -= f * p;
+                }
+            }
+        }
+    }
+    basis[r] = j;
+}
+
+fn pivot_with_costs(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    d: &mut [f64],
+    obj: &mut f64,
+    r: usize,
+    j: usize,
+    total: usize,
+) {
+    pivot(t, basis, r, j, total);
+    // After the pivot, the entering variable's basic value is
+    // t[r][total] (= the ratio theta). The objective changes by
+    // d_j · theta, and the reduced costs by d -= d_j · (pivot row).
+    let f = d[j];
+    if f != 0.0 {
+        *obj += f * t[r][total];
+        let row = &t[r];
+        for (dv, &p) in d.iter_mut().zip(row.iter()).take(total) {
+            *dv -= f * p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn bounds_of(m: &Model) -> Vec<(f64, f64)> {
+        m.vars().map(|v| m.var_kind(v).bounds()).collect()
+    }
+
+    #[test]
+    fn simple_lp_max() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y in [0, 10].
+        // Optimum: x=4, y=0, obj=12.
+        let mut m = Model::maximize();
+        let x = m.continuous("x", 0.0, 10.0);
+        let y = m.continuous("y", 0.0, 10.0);
+        m.set_objective([(x, 3.0), (y, 2.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], ConstraintOp::Le, 6.0);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal { values, objective } => {
+                assert!((values[0] - 4.0).abs() < 1e-6, "x = {}", values[0]);
+                assert!(values[1].abs() < 1e-6);
+                assert!((objective - 12.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_ge_rows() {
+        // min x + y s.t. x + y = 3, x >= 1 -> obj 3.
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0);
+        m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 1.0);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal { objective, values } => {
+                assert!((objective - 3.0).abs() < 1e-6);
+                assert!(values[0] >= 1.0 - 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 1.0);
+        m.set_objective([(x, 1.0)]);
+        m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(solve_lp(&m, &bounds_of(&m)).unwrap(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::maximize();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        m.set_objective([(x, 1.0)]);
+        assert_eq!(solve_lp(&m, &bounds_of(&m)).unwrap(), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn fixed_variables_substituted() {
+        // x fixed at 1 by bounds; min y s.t. y >= 2 - x -> y = 1.
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 1.0);
+        let y = m.continuous("y", 0.0, 10.0);
+        m.set_objective([(y, 1.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 2.0);
+        let b = vec![(1.0, 1.0), (0.0, 10.0)];
+        match solve_lp(&m, &b).unwrap() {
+            LpResult::Optimal { values, objective } => {
+                assert_eq!(values[0], 1.0);
+                assert!((values[1] - 1.0).abs() < 1e-6);
+                assert!((objective - 1.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_fixed_feasibility_check() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 1.0);
+        m.set_objective([(x, 1.0)]);
+        m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 2.0);
+        // x fixed at 1: constraint 1 >= 2 fails.
+        assert_eq!(
+            solve_lp(&m, &[(1.0, 1.0)]).unwrap(),
+            LpResult::Infeasible
+        );
+        // Relax rhs via fixing x=1 with feasible row.
+        let mut m2 = Model::minimize();
+        let x2 = m2.continuous("x", 0.0, 1.0);
+        m2.set_objective([(x2, 3.0)]);
+        m2.add_objective_constant(2.0);
+        m2.add_constraint([(x2, 1.0)], ConstraintOp::Le, 2.0);
+        match solve_lp(&m2, &[(1.0, 1.0)]).unwrap() {
+            LpResult::Optimal { objective, .. } => assert!((objective - 5.0).abs() < 1e-9),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn objective_constant_included() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 5.0);
+        m.set_objective([(x, 2.0)]);
+        m.add_objective_constant(100.0);
+        m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 3.0);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal { objective, .. } => {
+                assert!((objective - 106.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x, x in [2, 5] -> 2.
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 2.0, 5.0);
+        m.set_objective([(x, 1.0)]);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal { values, objective } => {
+                assert!((values[0] - 2.0).abs() < 1e-9);
+                assert!((objective - 2.0).abs() < 1e-9);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Klee-Minty-ish degenerate rows; just assert it terminates
+        // with the right optimum.
+        let mut m = Model::maximize();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        let z = m.continuous("z", 0.0, f64::INFINITY);
+        m.set_objective([(x, 10.0), (y, 1.0), (z, 0.0)]);
+        m.add_constraint([(x, 1.0)], ConstraintOp::Le, 1.0);
+        m.add_constraint([(x, 20.0), (y, 1.0)], ConstraintOp::Le, 20.0);
+        m.add_constraint([(x, 1.0), (z, 1.0)], ConstraintOp::Le, 1.0);
+        m.add_constraint([(x, 1.0), (y, 0.0), (z, -1.0)], ConstraintOp::Le, 1.0);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal { objective, .. } => {
+                assert!(objective >= 20.0 - 1e-6, "objective {objective}");
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Solver results and errors.
+
+use crate::model::Var;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Terminal status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Proven optimal.
+    Optimal,
+    /// A feasible solution was found but optimality was not proven
+    /// within the node limit.
+    Feasible,
+}
+
+/// A solution vector with its objective value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective: f64,
+    status: Status,
+    nodes: u64,
+}
+
+impl Solution {
+    pub(crate) fn new(values: Vec<f64>, objective: f64, status: Status, nodes: u64) -> Self {
+        Solution {
+            values,
+            objective,
+            status,
+            nodes,
+        }
+    }
+
+    /// Value of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not from the solved model.
+    pub fn value(&self, v: Var) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Value of a binary variable `v` rounded to `bool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not from the solved model.
+    pub fn bool_value(&self, v: Var) -> bool {
+        self.value(v) > 0.5
+    }
+
+    /// All values, indexed by [`Var::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Objective value (including the model's constant offset).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Terminal status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Branch-and-bound nodes explored.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+}
+
+/// Why a solve produced no solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The node limit was reached before any feasible integral point
+    /// was found.
+    NodeLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::NodeLimit { limit } => {
+                write!(f, "no integral solution within {limit} nodes")
+            }
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solution::new(vec![0.0, 1.0], 3.5, Status::Optimal, 7);
+        assert_eq!(s.value(Var(1)), 1.0);
+        assert!(s.bool_value(Var(1)));
+        assert!(!s.bool_value(Var(0)));
+        assert_eq!(s.objective(), 3.5);
+        assert_eq!(s.status(), Status::Optimal);
+        assert_eq!(s.nodes(), 7);
+        assert_eq!(s.values(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(SolveError::Infeasible.to_string().contains("infeasible"));
+        assert!(SolveError::NodeLimit { limit: 5 }.to_string().contains('5'));
+    }
+}

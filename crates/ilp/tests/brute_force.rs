@@ -1,0 +1,145 @@
+//! Property tests: the ILP solver (simplex + branch & bound) against
+//! brute-force enumeration on small random binary programs.
+
+use casa_ilp::model::{ConstraintOp, Model, Sense};
+use casa_ilp::{solve, SolveError, SolverOptions};
+use proptest::prelude::*;
+
+/// Build a random binary program with `n` variables and `m`
+/// constraints from integer coefficient pools (exact arithmetic in
+/// the brute force).
+fn build(
+    n: usize,
+    obj: &[i32],
+    rows: &[(Vec<i32>, u8, i32)],
+    maximize: bool,
+) -> (Model, Vec<casa_ilp::Var>) {
+    let mut model = if maximize {
+        Model::new(Sense::Maximize)
+    } else {
+        Model::new(Sense::Minimize)
+    };
+    let vars: Vec<_> = (0..n).map(|i| model.binary(format!("b{i}"))).collect();
+    model.set_objective(vars.iter().zip(obj).map(|(&v, &c)| (v, f64::from(c))));
+    for (coefs, op, rhs) in rows {
+        let op = match op % 3 {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        model.add_constraint(
+            vars.iter().zip(coefs).map(|(&v, &c)| (v, f64::from(c))),
+            op,
+            f64::from(*rhs),
+        );
+    }
+    (model, vars)
+}
+
+/// Exhaustive optimum over all 2^n assignments, or None if infeasible.
+fn brute_force(
+    n: usize,
+    obj: &[i32],
+    rows: &[(Vec<i32>, u8, i32)],
+    maximize: bool,
+) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    for mask in 0u32..(1 << n) {
+        let x = |i: usize| i64::from((mask >> i) & 1);
+        let feasible = rows.iter().all(|(coefs, op, rhs)| {
+            let lhs: i64 = coefs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| i64::from(c) * x(i))
+                .sum();
+            match op % 3 {
+                0 => lhs <= i64::from(*rhs),
+                1 => lhs >= i64::from(*rhs),
+                _ => lhs == i64::from(*rhs),
+            }
+        });
+        if feasible {
+            let val: i64 = obj
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| i64::from(c) * x(i))
+                .sum();
+            best = Some(match best {
+                None => val,
+                Some(b) if maximize => b.max(val),
+                Some(b) => b.min(val),
+            });
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn ilp_matches_brute_force(
+        n in 1usize..6,
+        maximize in any::<bool>(),
+        obj in prop::collection::vec(-9i32..10, 6),
+        rows in prop::collection::vec(
+            (prop::collection::vec(-5i32..6, 6), any::<u8>(), -8i32..12),
+            0..4,
+        ),
+    ) {
+        let obj = &obj[..n];
+        let rows: Vec<(Vec<i32>, u8, i32)> = rows
+            .into_iter()
+            .map(|(c, op, r)| (c[..n].to_vec(), op, r))
+            .collect();
+        let (model, _) = build(n, obj, &rows, maximize);
+        let expected = brute_force(n, obj, &rows, maximize);
+        match (solve(&model, &SolverOptions::default()), expected) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!(
+                    (sol.objective() - best as f64).abs() < 1e-6,
+                    "solver {} vs brute force {}",
+                    sol.objective(),
+                    best
+                );
+                // The returned point must itself be feasible.
+                prop_assert!(model.is_feasible(sol.values(), 1e-6));
+            }
+            (Err(SolveError::Infeasible), None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver {got:?} disagrees with brute force {want:?}"
+                )));
+            }
+        }
+    }
+
+    /// Pure knapsack instances: DP and ILP agree.
+    #[test]
+    fn knapsack_dp_matches_ilp(
+        n in 1usize..7,
+        weights in prop::collection::vec(0u32..15, 7),
+        profits in prop::collection::vec(0u64..50, 7),
+        cap in 0u32..40,
+    ) {
+        let weights = &weights[..n];
+        let profits = &profits[..n];
+        let dp = casa_ilp::knapsack_01(weights, profits, cap);
+
+        let mut model = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| model.binary(format!("x{i}"))).collect();
+        model.set_objective(vars.iter().zip(profits).map(|(&v, &p)| (v, p as f64)));
+        model.add_constraint(
+            vars.iter().zip(weights).map(|(&v, &w)| (v, f64::from(w))),
+            ConstraintOp::Le,
+            f64::from(cap),
+        );
+        let sol = solve(&model, &SolverOptions::default()).expect("knapsack always feasible");
+        prop_assert!(
+            (sol.objective() - dp.profit as f64).abs() < 1e-6,
+            "ilp {} vs dp {}",
+            sol.objective(),
+            dp.profit
+        );
+    }
+}

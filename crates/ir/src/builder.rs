@@ -1,0 +1,309 @@
+//! Fluent construction of [`Program`]s.
+//!
+//! The builder appends the encoded control-transfer instruction when a
+//! terminator needs one (jumps, branches, calls, returns), so block
+//! byte sizes always match what a real code generator would emit.
+//! Fall-through and exit terminators add no instruction.
+
+use crate::function::Function;
+use crate::ids::{BlockId, FunctionId};
+use crate::inst::{InstKind, Instruction, IsaMode};
+use crate::program::{BasicBlock, Program, Terminator};
+use crate::validate::{self, ValidateError};
+
+/// Incrementally builds a [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use casa_ir::builder::ProgramBuilder;
+/// use casa_ir::inst::{InstKind, IsaMode};
+///
+/// let mut b = ProgramBuilder::new(IsaMode::Thumb);
+/// let main = b.function("main");
+/// let head = b.block(main);
+/// let body = b.block(main);
+/// let tail = b.block(main);
+/// b.push_n(head, InstKind::Alu, 2);
+/// b.fall_through(head, body);
+/// b.push_n(body, InstKind::Load, 1);
+/// b.branch(body, body, tail); // loop back or fall through
+/// b.push(tail, InstKind::Alu);
+/// b.exit(tail);
+/// let program = b.finish()?;
+/// assert_eq!(program.functions().len(), 1);
+/// # Ok::<(), casa_ir::validate::ValidateError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    mode: IsaMode,
+    functions: Vec<Function>,
+    blocks: Vec<PendingBlock>,
+    entry: Option<FunctionId>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingBlock {
+    id: BlockId,
+    function: FunctionId,
+    insts: Vec<Instruction>,
+    terminator: Option<Terminator>,
+}
+
+impl ProgramBuilder {
+    /// Start a new program in the given ISA mode, named `"program"`.
+    pub fn new(mode: IsaMode) -> Self {
+        ProgramBuilder {
+            name: "program".to_owned(),
+            mode,
+            functions: Vec::new(),
+            blocks: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Set the program name used in reports.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The ISA mode instructions are sized for.
+    pub fn mode(&self) -> IsaMode {
+        self.mode
+    }
+
+    /// Create a new function. The first function created is the
+    /// program entry unless [`Self::set_entry`] overrides it.
+    pub fn function(&mut self, name: impl Into<String>) -> FunctionId {
+        let id = FunctionId::from_raw(self.functions.len() as u32);
+        self.functions.push(Function::new(id, name.into()));
+        if self.entry.is_none() {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Override the program entry function.
+    pub fn set_entry(&mut self, f: FunctionId) -> &mut Self {
+        self.entry = Some(f);
+        self
+    }
+
+    /// Create a new, empty block inside `f`. The first block created
+    /// in a function is its entry.
+    pub fn block(&mut self, f: FunctionId) -> BlockId {
+        let id = BlockId::from_raw(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock {
+            id,
+            function: f,
+            insts: Vec::new(),
+            terminator: None,
+        });
+        self.functions[f.index()].add_block(id);
+        id
+    }
+
+    /// Append one instruction of `kind` to `block`.
+    pub fn push(&mut self, block: BlockId, kind: InstKind) -> &mut Self {
+        let inst = Instruction::new(kind, self.mode);
+        self.pending_mut(block).insts.push(inst);
+        self
+    }
+
+    /// Append `n` instructions of `kind` to `block`.
+    pub fn push_n(&mut self, block: BlockId, kind: InstKind, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.push(block, kind);
+        }
+        self
+    }
+
+    /// Terminate `block` by falling through to `next` (no encoded
+    /// instruction).
+    pub fn fall_through(&mut self, block: BlockId, next: BlockId) -> &mut Self {
+        self.terminate(block, Terminator::FallThrough { next }, None)
+    }
+
+    /// Terminate `block` with an unconditional jump to `target`.
+    pub fn jump(&mut self, block: BlockId, target: BlockId) -> &mut Self {
+        self.terminate(block, Terminator::Jump { target }, Some(InstKind::Jump))
+    }
+
+    /// Terminate `block` with a conditional branch: `taken` when the
+    /// condition holds, otherwise fall through to `fallthrough`.
+    pub fn branch(&mut self, block: BlockId, taken: BlockId, fallthrough: BlockId) -> &mut Self {
+        self.terminate(
+            block,
+            Terminator::Branch { taken, fallthrough },
+            Some(InstKind::BranchCond),
+        )
+    }
+
+    /// Terminate `block` with a call to `callee`; control resumes at
+    /// `return_to`.
+    pub fn call(&mut self, block: BlockId, callee: FunctionId, return_to: BlockId) -> &mut Self {
+        self.terminate(
+            block,
+            Terminator::Call { callee, return_to },
+            Some(InstKind::Call),
+        )
+    }
+
+    /// Terminate `block` with a function return.
+    pub fn ret(&mut self, block: BlockId) -> &mut Self {
+        self.terminate(block, Terminator::Return, Some(InstKind::Return))
+    }
+
+    /// Terminate `block` with program exit (no encoded instruction).
+    pub fn exit(&mut self, block: BlockId) -> &mut Self {
+        self.terminate(block, Terminator::Exit, None)
+    }
+
+    fn terminate(
+        &mut self,
+        block: BlockId,
+        terminator: Terminator,
+        inst: Option<InstKind>,
+    ) -> &mut Self {
+        let mode = self.mode;
+        let pending = self.pending_mut(block);
+        if let Some(kind) = inst {
+            pending.insts.push(Instruction::new(kind, mode));
+        }
+        pending.terminator = Some(terminator);
+        self
+    }
+
+    fn pending_mut(&mut self, block: BlockId) -> &mut PendingBlock {
+        let pending = &mut self.blocks[block.index()];
+        assert!(
+            pending.terminator.is_none(),
+            "block {block} is already terminated"
+        );
+        pending
+    }
+
+    /// Finish construction, validating the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if any block lacks a terminator,
+    /// any edge crosses a function boundary illegally, a referenced
+    /// block/function does not exist, any block is empty, or the
+    /// program has no entry function.
+    pub fn finish(self) -> Result<Program, ValidateError> {
+        let entry = self.entry.ok_or(ValidateError::NoEntry)?;
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for pb in self.blocks {
+            let term = pb
+                .terminator
+                .ok_or(ValidateError::MissingTerminator { block: pb.id })?;
+            blocks.push(BasicBlock::new(pb.id, pb.function, pb.insts, term));
+        }
+        let program = Program {
+            name: self.name,
+            mode: self.mode,
+            functions: self.functions,
+            blocks,
+            entry,
+        };
+        validate::validate(&program)?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_appends_instruction() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let x = b.block(f);
+        let y = b.block(f);
+        b.push(x, InstKind::Alu);
+        b.jump(x, y);
+        b.exit(y);
+        // y would be empty -> push something first
+        let err = b.finish();
+        assert!(err.is_err(), "empty block y should be rejected");
+    }
+
+    #[test]
+    fn full_build_round_trip() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let g = b.function("g");
+        let f0 = b.block(f);
+        let f1 = b.block(f);
+        let g0 = b.block(g);
+        b.push(f0, InstKind::Alu);
+        b.call(f0, g, f1);
+        b.push(f1, InstKind::Alu);
+        b.exit(f1);
+        b.push(g0, InstKind::Mul);
+        b.ret(g0);
+        let p = b.finish().expect("valid");
+        assert_eq!(p.blocks().len(), 3);
+        // f0: alu + call = 2 insts; g0: mul + ret = 2.
+        assert_eq!(p.block(f0).len(), 2);
+        assert_eq!(p.block(g0).len(), 2);
+        assert_eq!(p.entry(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let x = b.block(f);
+        b.push(x, InstKind::Alu);
+        b.exit(x);
+        b.exit(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn push_after_terminate_panics() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let x = b.block(f);
+        b.push(x, InstKind::Alu);
+        b.exit(x);
+        b.push(x, InstKind::Alu);
+    }
+
+    #[test]
+    fn entry_defaults_to_first_function() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("first");
+        let g = b.function("second");
+        let fb = b.block(f);
+        b.push(fb, InstKind::Alu);
+        b.exit(fb);
+        let gb = b.block(g);
+        b.push(gb, InstKind::Alu);
+        b.ret(gb);
+        let p = b.finish().expect("valid");
+        assert_eq!(p.entry(), f);
+    }
+
+    #[test]
+    fn set_entry_overrides() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("first");
+        let g = b.function("second");
+        b.set_entry(g);
+        let fb = b.block(f);
+        b.push(fb, InstKind::Alu);
+        b.ret(fb);
+        let gb = b.block(g);
+        b.push(gb, InstKind::Alu);
+        b.exit(gb);
+        let p = b.finish().expect("valid");
+        assert_eq!(p.entry(), g);
+    }
+}

@@ -1,0 +1,209 @@
+//! Call-graph analysis.
+//!
+//! The execution walker requires call graphs to be acyclic (no
+//! recursion — typical for the embedded codes the paper targets, and
+//! required for the preloaded-loop-cache reasoning about whole
+//! functions); this module computes the graph, detects recursion, and
+//! provides topological orders and transitive code sizes (a function
+//! plus everything it can call — the footprint a preloaded function
+//! actually needs if its callees are to stay resident too).
+
+use crate::ids::FunctionId;
+use crate::program::{Program, Terminator};
+
+/// The program's call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]` — functions `f` calls directly (deduplicated,
+    /// sorted).
+    callees: Vec<Vec<FunctionId>>,
+    /// `callers[f]` — functions calling `f` directly.
+    callers: Vec<Vec<FunctionId>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `program`.
+    pub fn compute(program: &Program) -> Self {
+        let n = program.functions().len();
+        let mut callees: Vec<Vec<FunctionId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FunctionId>> = vec![Vec::new(); n];
+        for block in program.blocks() {
+            if let Terminator::Call { callee, .. } = block.terminator() {
+                let caller = block.function();
+                callees[caller.index()].push(callee);
+                callers[callee.index()].push(caller);
+            }
+        }
+        for v in callees.iter_mut().chain(callers.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions `f` calls directly.
+    pub fn callees(&self, f: FunctionId) -> &[FunctionId] {
+        &self.callees[f.index()]
+    }
+
+    /// Functions that call `f` directly.
+    pub fn callers(&self, f: FunctionId) -> &[FunctionId] {
+        &self.callers[f.index()]
+    }
+
+    /// Whether `f` calls no one.
+    pub fn is_leaf(&self, f: FunctionId) -> bool {
+        self.callees[f.index()].is_empty()
+    }
+
+    /// A topological order (callees after callers), or `None` if the
+    /// call graph is cyclic (direct or mutual recursion).
+    pub fn topological_order(&self) -> Option<Vec<FunctionId>> {
+        let n = self.callees.len();
+        let mut indegree = vec![0usize; n];
+        for cs in &self.callees {
+            for c in cs {
+                indegree[c.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            out.push(FunctionId::from_raw(i as u32));
+            for c in &self.callees[i] {
+                indegree[c.index()] -= 1;
+                if indegree[c.index()] == 0 {
+                    queue.push(c.index());
+                }
+            }
+        }
+        (out.len() == n).then_some(out)
+    }
+
+    /// Whether the program contains (possibly mutual) recursion.
+    pub fn has_recursion(&self) -> bool {
+        self.topological_order().is_none()
+    }
+
+    /// The transitive closure of functions reachable from `f` via
+    /// calls, including `f`, in id order.
+    pub fn reachable_from(&self, f: FunctionId) -> Vec<FunctionId> {
+        let mut seen = vec![false; self.callees.len()];
+        let mut stack = vec![f];
+        seen[f.index()] = true;
+        while let Some(g) = stack.pop() {
+            for &c in self.callees(g) {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        (0..self.callees.len())
+            .filter(|&i| seen[i])
+            .map(|i| FunctionId::from_raw(i as u32))
+            .collect()
+    }
+
+    /// Code size of `f` plus everything it can transitively call —
+    /// the real footprint of preloading `f` "with its callees".
+    pub fn transitive_size(&self, program: &Program, f: FunctionId) -> u32 {
+        self.reachable_from(f)
+            .iter()
+            .flat_map(|&g| program.function(g).blocks())
+            .map(|&b| program.block(b).size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{InstKind, IsaMode};
+
+    /// main -> a -> b, main -> b.
+    fn diamond_calls() -> (Program, [FunctionId; 3]) {
+        let mut bld = ProgramBuilder::new(IsaMode::Arm);
+        let main = bld.function("main");
+        let a = bld.function("a");
+        let b = bld.function("b");
+        let m0 = bld.block(main);
+        let m1 = bld.block(main);
+        let m2 = bld.block(main);
+        bld.push(m0, InstKind::Alu);
+        bld.call(m0, a, m1);
+        bld.push(m1, InstKind::Alu);
+        bld.call(m1, b, m2);
+        bld.push(m2, InstKind::Alu);
+        bld.exit(m2);
+        let a0 = bld.block(a);
+        let a1 = bld.block(a);
+        bld.push(a0, InstKind::Alu);
+        bld.call(a0, b, a1);
+        bld.push(a1, InstKind::Alu);
+        bld.ret(a1);
+        let b0 = bld.block(b);
+        bld.push_n(b0, InstKind::Alu, 3);
+        bld.ret(b0);
+        (bld.finish().unwrap(), [main, a, b])
+    }
+
+    #[test]
+    fn edges_and_leaves() {
+        let (p, [main, a, b]) = diamond_calls();
+        let cg = CallGraph::compute(&p);
+        assert_eq!(cg.callees(main), &[a, b]);
+        assert_eq!(cg.callees(a), &[b]);
+        assert!(cg.is_leaf(b));
+        assert_eq!(cg.callers(b), &[main, a]);
+        assert!(cg.callers(main).is_empty());
+    }
+
+    #[test]
+    fn topological_order_respects_calls() {
+        let (p, [main, a, b]) = diamond_calls();
+        let cg = CallGraph::compute(&p);
+        let order = cg.topological_order().expect("acyclic");
+        let pos = |f: FunctionId| order.iter().position(|&g| g == f).unwrap();
+        assert!(pos(main) < pos(a));
+        assert!(pos(a) < pos(b));
+        assert!(!cg.has_recursion());
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut bld = ProgramBuilder::new(IsaMode::Arm);
+        let f = bld.function("f");
+        let f0 = bld.block(f);
+        let f1 = bld.block(f);
+        bld.push(f0, InstKind::Alu);
+        bld.call(f0, f, f1); // direct recursion
+        bld.push(f1, InstKind::Alu);
+        bld.ret(f1);
+        let p = bld.finish().unwrap();
+        let cg = CallGraph::compute(&p);
+        assert!(cg.has_recursion());
+        assert!(cg.topological_order().is_none());
+    }
+
+    #[test]
+    fn transitive_size_includes_callees() {
+        let (p, [main, a, b]) = diamond_calls();
+        let cg = CallGraph::compute(&p);
+        let size = |f| {
+            p.function(f)
+                .blocks()
+                .iter()
+                .map(|&blk| p.block(blk).size())
+                .sum::<u32>()
+        };
+        assert_eq!(cg.transitive_size(&p, b), size(b));
+        assert_eq!(cg.transitive_size(&p, a), size(a) + size(b));
+        assert_eq!(
+            cg.transitive_size(&p, main),
+            size(main) + size(a) + size(b)
+        );
+        assert_eq!(cg.reachable_from(main).len(), 3);
+    }
+}

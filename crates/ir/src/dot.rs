@@ -1,0 +1,140 @@
+//! Graphviz (DOT) export of program CFGs.
+
+use crate::profile::Profile;
+use crate::program::{Program, Terminator};
+use std::fmt::Write as _;
+
+/// Render the whole-program CFG as Graphviz DOT.
+///
+/// Each function becomes a cluster; edges are annotated with their
+/// kind (fall-through edges dashed). When a profile is supplied,
+/// blocks show execution counts and edges show traversal counts.
+pub fn program_to_dot(program: &Program, profile: Option<&Profile>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", program.name());
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for func in program.functions() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", func.id().index());
+        let _ = writeln!(out, "    label=\"{}\";", func.name());
+        for &b in func.blocks() {
+            let block = program.block(b);
+            let count = profile.map(|p| p.block_count(b));
+            let label = match count {
+                Some(c) => format!("{b}\\n{} insts, {}B\\nexec {c}", block.len(), block.size()),
+                None => format!("{b}\\n{} insts, {}B", block.len(), block.size()),
+            };
+            let _ = writeln!(out, "    {} [label=\"{label}\"];", b.index());
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for block in program.blocks() {
+        let from = block.id();
+        let edge_attr = |to, style: &str| -> String {
+            let count = profile.map(|p| p.edge_count(from, to));
+            match count {
+                Some(c) => format!("[{style}label=\"{c}\"]"),
+                None if style.is_empty() => String::new(),
+                None => format!("[{}]", style.trim_end_matches(", ")),
+            }
+        };
+        match block.terminator() {
+            Terminator::FallThrough { next } => {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} {};",
+                    from.index(),
+                    next.index(),
+                    edge_attr(next, "style=dashed, ")
+                );
+            }
+            Terminator::Jump { target } => {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} {};",
+                    from.index(),
+                    target.index(),
+                    edge_attr(target, "")
+                );
+            }
+            Terminator::Branch { taken, fallthrough } => {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} {};",
+                    from.index(),
+                    taken.index(),
+                    edge_attr(taken, "color=blue, ")
+                );
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} {};",
+                    from.index(),
+                    fallthrough.index(),
+                    edge_attr(fallthrough, "style=dashed, ")
+                );
+            }
+            Terminator::Call { callee, return_to } => {
+                let callee_entry = program.function(callee).entry();
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [color=gray, label=\"call\"];",
+                    from.index(),
+                    callee_entry.index()
+                );
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} {};",
+                    from.index(),
+                    return_to.index(),
+                    edge_attr(return_to, "style=dotted, ")
+                );
+            }
+            Terminator::Return | Terminator::Exit => {}
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{InstKind, IsaMode};
+
+    fn sample() -> Program {
+        let mut bld = ProgramBuilder::new(IsaMode::Arm);
+        let f = bld.function("f");
+        let g = bld.function("callee");
+        let a = bld.block(f);
+        let b = bld.block(f);
+        let gb = bld.block(g);
+        bld.push(a, InstKind::Alu);
+        bld.call(a, g, b);
+        bld.push(b, InstKind::Alu);
+        bld.exit(b);
+        bld.push(gb, InstKind::Alu);
+        bld.ret(gb);
+        bld.finish().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_clusters_and_edges() {
+        let p = sample();
+        let dot = program_to_dot(&p, None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.contains("label=\"callee\""));
+        assert!(dot.contains("call"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_with_profile_shows_counts() {
+        let p = sample();
+        let mut prof = Profile::new();
+        prof.add_block(p.function(p.entry()).entry(), 42);
+        let dot = program_to_dot(&p, Some(&prof));
+        assert!(dot.contains("exec 42"));
+    }
+}

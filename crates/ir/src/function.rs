@@ -1,0 +1,88 @@
+//! Functions: named groups of basic blocks with a designated entry.
+
+use crate::ids::{BlockId, FunctionId};
+use serde::{Deserialize, Serialize};
+
+/// A function: an entry block plus the list of blocks it owns.
+///
+/// Functions matter to two consumers: the preloaded-loop-cache
+/// baseline (Ross), which may preload whole functions, and trace
+/// formation, which never grows traces across function boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    id: FunctionId,
+    name: String,
+    blocks: Vec<BlockId>,
+    entry: Option<BlockId>,
+}
+
+impl Function {
+    pub(crate) fn new(id: FunctionId, name: String) -> Self {
+        Function {
+            id,
+            name,
+            blocks: Vec::new(),
+            entry: None,
+        }
+    }
+
+    pub(crate) fn add_block(&mut self, block: BlockId) {
+        if self.entry.is_none() {
+            self.entry = Some(block);
+        }
+        self.blocks.push(block);
+    }
+
+    /// This function's id.
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks owned by this function, in insertion order. The first
+    /// block is the entry.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks (a validated
+    /// [`crate::Program`] never contains such a function).
+    pub fn entry(&self) -> BlockId {
+        self.entry.expect("function has no blocks")
+    }
+
+    /// The entry block, or `None` for an empty function.
+    pub fn entry_opt(&self) -> Option<BlockId> {
+        self.entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_block_becomes_entry() {
+        let mut f = Function::new(FunctionId::from_raw(0), "f".into());
+        assert!(f.entry_opt().is_none());
+        f.add_block(BlockId::from_raw(5));
+        f.add_block(BlockId::from_raw(6));
+        assert_eq!(f.entry(), BlockId::from_raw(5));
+        assert_eq!(f.blocks().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no blocks")]
+    fn entry_panics_when_empty() {
+        let f = Function::new(FunctionId::from_raw(0), "f".into());
+        let _ = f.entry();
+    }
+}

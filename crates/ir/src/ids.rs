@@ -1,0 +1,78 @@
+//! Strongly-typed identifiers for IR entities.
+//!
+//! Blocks are numbered globally across the whole [`crate::Program`]
+//! (not per function); this keeps conflict-graph and layout code free
+//! of (function, block) pairs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a [`crate::Function`] within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FunctionId(pub(crate) u32);
+
+/// Identifier of a [`crate::BasicBlock`], global across the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub(crate) u32);
+
+impl FunctionId {
+    /// Create a function id from a raw index.
+    ///
+    /// Mostly useful in tests; prefer the ids handed out by
+    /// [`crate::ProgramBuilder::function`].
+    pub fn from_raw(raw: u32) -> Self {
+        FunctionId(raw)
+    }
+
+    /// The raw index of this function inside [`crate::Program::functions`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Create a block id from a raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        BlockId(raw)
+    }
+
+    /// The raw index of this block inside [`crate::Program::blocks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_raw_index() {
+        assert_eq!(FunctionId::from_raw(7).index(), 7);
+        assert_eq!(BlockId::from_raw(42).index(), 42);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(FunctionId::from_raw(3).to_string(), "fn3");
+        assert_eq!(BlockId::from_raw(9).to_string(), "bb9");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(BlockId::from_raw(1) < BlockId::from_raw(2));
+        assert!(FunctionId::from_raw(0) < FunctionId::from_raw(1));
+    }
+}

@@ -1,0 +1,201 @@
+//! Instructions and ISA modes.
+//!
+//! The allocation problem only depends on instruction *sizes* (they
+//! determine memory-object sizes and cache-line mappings) and on
+//! whether an instruction ends a basic block. We therefore model a
+//! small abstract instruction set rather than real ARM encodings.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Instruction-set mode, fixing the byte size of every instruction.
+///
+/// The paper's ARM7T supports both 32-bit ARM and 16-bit Thumb
+/// encodings; instruction size changes how many instructions share a
+/// cache line, which matters for conflict behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IsaMode {
+    /// 32-bit encodings (4 bytes per instruction).
+    Arm,
+    /// 16-bit encodings (2 bytes per instruction).
+    Thumb,
+}
+
+impl IsaMode {
+    /// The size of one instruction in bytes.
+    pub fn inst_bytes(self) -> u32 {
+        match self {
+            IsaMode::Arm => 4,
+            IsaMode::Thumb => 2,
+        }
+    }
+}
+
+impl fmt::Display for IsaMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaMode::Arm => write!(f, "arm"),
+            IsaMode::Thumb => write!(f, "thumb"),
+        }
+    }
+}
+
+/// The abstract operation an instruction performs.
+///
+/// Only the distinction between ordinary instructions, control
+/// transfers and NOPs is observable by the simulator; the finer kinds
+/// exist so synthetic workloads can mimic realistic instruction mixes
+/// (and so cycle estimation in the memory simulator can charge
+/// different base cycles per kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstKind {
+    /// Arithmetic/logic operation.
+    Alu,
+    /// Multiply (slower on ARM7).
+    Mul,
+    /// Data-memory load.
+    Load,
+    /// Data-memory store.
+    Store,
+    /// Conditional branch (ends a block).
+    BranchCond,
+    /// Unconditional jump (ends a block).
+    Jump,
+    /// Function call (ends a block).
+    Call,
+    /// Function return (ends a block).
+    Return,
+    /// No-operation; used for cache-line alignment padding.
+    Nop,
+}
+
+impl InstKind {
+    /// Whether this kind terminates a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            InstKind::BranchCond | InstKind::Jump | InstKind::Call | InstKind::Return
+        )
+    }
+
+    /// Base CPU cycles for this kind on an ARM7-like core (fetch
+    /// overheads excluded; the memory simulator adds those).
+    pub fn base_cycles(self) -> u32 {
+        match self {
+            InstKind::Alu | InstKind::Nop => 1,
+            InstKind::Mul => 4,
+            InstKind::Load => 3,
+            InstKind::Store => 2,
+            InstKind::BranchCond => 1,
+            InstKind::Jump | InstKind::Call | InstKind::Return => 3,
+        }
+    }
+}
+
+impl fmt::Display for InstKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstKind::Alu => "alu",
+            InstKind::Mul => "mul",
+            InstKind::Load => "load",
+            InstKind::Store => "store",
+            InstKind::BranchCond => "bcc",
+            InstKind::Jump => "b",
+            InstKind::Call => "bl",
+            InstKind::Return => "ret",
+            InstKind::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One instruction: a kind plus its encoded size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    kind: InstKind,
+    size: u32,
+}
+
+impl Instruction {
+    /// Create an instruction of `kind` sized for `mode`.
+    pub fn new(kind: InstKind, mode: IsaMode) -> Self {
+        Instruction {
+            kind,
+            size: mode.inst_bytes(),
+        }
+    }
+
+    /// Create an instruction with an explicit byte size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn with_size(kind: InstKind, size: u32) -> Self {
+        assert!(size > 0, "instruction size must be non-zero");
+        Instruction { kind, size }
+    }
+
+    /// The operation kind.
+    pub fn kind(&self) -> InstKind {
+        self.kind
+    }
+
+    /// Encoded size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}B]", self.kind, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_mode_sizes() {
+        assert_eq!(IsaMode::Arm.inst_bytes(), 4);
+        assert_eq!(IsaMode::Thumb.inst_bytes(), 2);
+    }
+
+    #[test]
+    fn terminator_kinds() {
+        assert!(InstKind::Jump.is_terminator());
+        assert!(InstKind::BranchCond.is_terminator());
+        assert!(InstKind::Call.is_terminator());
+        assert!(InstKind::Return.is_terminator());
+        assert!(!InstKind::Alu.is_terminator());
+        assert!(!InstKind::Nop.is_terminator());
+        assert!(!InstKind::Load.is_terminator());
+    }
+
+    #[test]
+    fn instruction_takes_mode_size() {
+        let i = Instruction::new(InstKind::Alu, IsaMode::Thumb);
+        assert_eq!(i.size(), 2);
+        assert_eq!(i.kind(), InstKind::Alu);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = Instruction::with_size(InstKind::Alu, 0);
+    }
+
+    #[test]
+    fn base_cycles_sane() {
+        assert!(InstKind::Mul.base_cycles() > InstKind::Alu.base_cycles());
+        assert!(InstKind::Load.base_cycles() > InstKind::Store.base_cycles());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::new(InstKind::Jump, IsaMode::Arm);
+        assert_eq!(i.to_string(), "b[4B]");
+        assert_eq!(IsaMode::Thumb.to_string(), "thumb");
+    }
+}

@@ -1,0 +1,55 @@
+//! # casa-ir — embedded program intermediate representation
+//!
+//! This crate provides the program representation that the rest of the
+//! CASA reproduction operates on. The DATE 2004 paper ("Cache-Aware
+//! Scratchpad Allocation Algorithm", Verma/Wehmeyer/Marwedel) works on
+//! compiled ARM7T binaries; we substitute a compact IR that preserves
+//! everything the allocation problem depends on:
+//!
+//! * instructions with byte sizes (ARM = 4 bytes, Thumb = 2 bytes),
+//! * basic blocks with explicit terminators (fall-through edges are
+//!   what trace formation follows),
+//! * functions and a whole-[`Program`],
+//! * control-flow utilities ([`mod@cfg`]), natural-loop detection
+//!   ([`loops`], needed by the preloaded-loop-cache baseline),
+//!   call-graph analysis ([`callgraph`]), and
+//! * execution [`profile::Profile`]s (block and edge counts) with flow
+//!   conservation checks.
+//!
+//! # Example
+//!
+//! ```
+//! use casa_ir::builder::ProgramBuilder;
+//! use casa_ir::inst::{InstKind, IsaMode};
+//!
+//! let mut b = ProgramBuilder::new(IsaMode::Arm);
+//! let f = b.function("main");
+//! let entry = b.block(f);
+//! b.push_n(entry, InstKind::Alu, 4);
+//! b.ret(entry);
+//! let program = b.finish()?;
+//! assert_eq!(program.function(f).name(), "main");
+//! # Ok::<(), casa_ir::validate::ValidateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod callgraph;
+pub mod cfg;
+pub mod dot;
+pub mod function;
+pub mod ids;
+pub mod inst;
+pub mod loops;
+pub mod profile;
+pub mod program;
+pub mod validate;
+
+pub use builder::ProgramBuilder;
+pub use function::Function;
+pub use ids::{BlockId, FunctionId};
+pub use inst::{InstKind, Instruction, IsaMode};
+pub use profile::Profile;
+pub use program::{BasicBlock, Program, Terminator};

@@ -1,0 +1,317 @@
+//! Basic blocks, terminators and the whole-program container.
+
+use crate::function::Function;
+use crate::ids::{BlockId, FunctionId};
+use crate::inst::{Instruction, IsaMode};
+use serde::{Deserialize, Serialize};
+
+/// How control leaves a basic block.
+///
+/// Fall-through edges are distinguished from explicit jumps because
+/// trace formation (Tomiyama-style, paper §3.2) grows traces along
+/// fall-through edges only: a trace must be a *straight-line* path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Control continues at `next` without a branch instruction; the
+    /// two blocks must be laid out adjacently for this to be free.
+    FallThrough {
+        /// The successor block.
+        next: BlockId,
+    },
+    /// Unconditional jump to `target`.
+    Jump {
+        /// The jump target block.
+        target: BlockId,
+    },
+    /// Conditional branch: `taken` if the condition holds, otherwise
+    /// fall through to `fallthrough`.
+    Branch {
+        /// Target when the branch is taken.
+        taken: BlockId,
+        /// Fall-through successor (must be laid out adjacently).
+        fallthrough: BlockId,
+    },
+    /// Call into `callee`; execution resumes at `return_to` after the
+    /// callee returns.
+    Call {
+        /// Called function.
+        callee: FunctionId,
+        /// Block control returns to.
+        return_to: BlockId,
+    },
+    /// Return from the current function.
+    Return,
+    /// Program exit.
+    Exit,
+}
+
+impl Terminator {
+    /// Intra-procedural successor blocks (callees are not included;
+    /// the return-to block of a call *is*, since it will execute next
+    /// within this function's CFG).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::FallThrough { next } => vec![next],
+            Terminator::Jump { target } => vec![target],
+            Terminator::Branch { taken, fallthrough } => vec![taken, fallthrough],
+            Terminator::Call { return_to, .. } => vec![return_to],
+            Terminator::Return | Terminator::Exit => vec![],
+        }
+    }
+
+    /// The fall-through successor, if any.
+    ///
+    /// Trace formation may merge a block with this successor; all
+    /// other successor kinds require an explicit control transfer.
+    pub fn fallthrough_successor(&self) -> Option<BlockId> {
+        match *self {
+            Terminator::FallThrough { next } => Some(next),
+            Terminator::Branch { fallthrough, .. } => Some(fallthrough),
+            _ => None,
+        }
+    }
+
+    /// Whether the block ends in an explicit unconditional transfer,
+    /// i.e. it can be placed anywhere without changing semantics.
+    pub fn is_unconditional_transfer(&self) -> bool {
+        matches!(
+            self,
+            Terminator::Jump { .. } | Terminator::Return | Terminator::Exit
+        )
+    }
+}
+
+/// A basic block: a maximal straight-line instruction sequence with a
+/// single entry and a single [`Terminator`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    id: BlockId,
+    function: FunctionId,
+    insts: Vec<Instruction>,
+    terminator: Terminator,
+}
+
+impl BasicBlock {
+    pub(crate) fn new(
+        id: BlockId,
+        function: FunctionId,
+        insts: Vec<Instruction>,
+        terminator: Terminator,
+    ) -> Self {
+        BasicBlock {
+            id,
+            function,
+            insts,
+            terminator,
+        }
+    }
+
+    /// This block's id.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The function this block belongs to.
+    pub fn function(&self) -> FunctionId {
+        self.function
+    }
+
+    /// The instructions of the block (terminator instruction included
+    /// as the last element when one exists).
+    pub fn insts(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// How control leaves the block.
+    pub fn terminator(&self) -> Terminator {
+        self.terminator
+    }
+
+    /// Total size of the block in bytes.
+    pub fn size(&self) -> u32 {
+        self.insts.iter().map(|i| i.size()).sum()
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the block contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// A whole program: all functions and all basic blocks, plus the entry
+/// function.
+///
+/// Construct programs through [`crate::ProgramBuilder`]; it guarantees
+/// the structural invariants that [`crate::validate`] checks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) mode: IsaMode,
+    pub(crate) functions: Vec<Function>,
+    pub(crate) blocks: Vec<BasicBlock>,
+    pub(crate) entry: FunctionId,
+}
+
+impl Program {
+    /// The program's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ISA mode all instructions were sized for.
+    pub fn mode(&self) -> IsaMode {
+        self.mode
+    }
+
+    /// The program entry function.
+    pub fn entry(&self) -> FunctionId {
+        self.entry
+    }
+
+    /// All functions.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// All basic blocks, indexed by [`BlockId::index`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Look up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn function(&self, id: FunctionId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Look up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Total code size in bytes (no alignment padding).
+    pub fn code_size(&self) -> u32 {
+        self.blocks.iter().map(|b| b.size()).sum()
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Iterate over the block ids of one function, in insertion order.
+    pub fn function_blocks(&self, id: FunctionId) -> impl Iterator<Item = BlockId> + '_ {
+        self.function(id).blocks().iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::InstKind;
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("main");
+        let e = b.block(f);
+        let x = b.block(f);
+        b.push_n(e, InstKind::Alu, 3);
+        b.fall_through(e, x);
+        b.push_n(x, InstKind::Alu, 1);
+        b.exit(x);
+        b.finish().expect("valid program")
+    }
+
+    #[test]
+    fn sizes_accumulate() {
+        let p = tiny();
+        // 3 ALU + fallthrough (no inst) + 1 ALU + exit: exit adds a
+        // jump-like instruction? No: exit terminator has no encoded
+        // instruction in our model, so 4 instructions of 4 bytes.
+        assert_eq!(p.inst_count(), 4);
+        assert_eq!(p.code_size(), 16);
+    }
+
+    #[test]
+    fn successors_of_terminators() {
+        let a = BlockId::from_raw(1);
+        let b = BlockId::from_raw(2);
+        assert_eq!(Terminator::FallThrough { next: a }.successors(), vec![a]);
+        assert_eq!(Terminator::Jump { target: b }.successors(), vec![b]);
+        assert_eq!(
+            Terminator::Branch {
+                taken: a,
+                fallthrough: b
+            }
+            .successors(),
+            vec![a, b]
+        );
+        assert!(Terminator::Return.successors().is_empty());
+        assert!(Terminator::Exit.successors().is_empty());
+        assert_eq!(
+            Terminator::Call {
+                callee: FunctionId::from_raw(0),
+                return_to: a
+            }
+            .successors(),
+            vec![a]
+        );
+    }
+
+    #[test]
+    fn fallthrough_successor_only_for_fallthrough_kinds() {
+        let a = BlockId::from_raw(1);
+        let b = BlockId::from_raw(2);
+        assert_eq!(
+            Terminator::FallThrough { next: a }.fallthrough_successor(),
+            Some(a)
+        );
+        assert_eq!(
+            Terminator::Branch {
+                taken: a,
+                fallthrough: b
+            }
+            .fallthrough_successor(),
+            Some(b)
+        );
+        assert_eq!(Terminator::Jump { target: a }.fallthrough_successor(), None);
+        assert_eq!(Terminator::Return.fallthrough_successor(), None);
+    }
+
+    #[test]
+    fn unconditional_transfer_classification() {
+        assert!(Terminator::Jump {
+            target: BlockId::from_raw(0)
+        }
+        .is_unconditional_transfer());
+        assert!(Terminator::Return.is_unconditional_transfer());
+        assert!(Terminator::Exit.is_unconditional_transfer());
+        assert!(!Terminator::FallThrough {
+            next: BlockId::from_raw(0)
+        }
+        .is_unconditional_transfer());
+    }
+
+    #[test]
+    fn lookups_work() {
+        let p = tiny();
+        let f = p.entry();
+        assert_eq!(p.function(f).name(), "main");
+        let blocks: Vec<_> = p.function_blocks(f).collect();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(p.block(blocks[0]).function(), f);
+    }
+}

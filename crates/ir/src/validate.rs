@@ -1,0 +1,193 @@
+//! Structural validation of [`Program`]s.
+
+use crate::ids::{BlockId, FunctionId};
+use crate::program::{Program, Terminator};
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The program has no entry function.
+    NoEntry,
+    /// A block was never given a terminator.
+    MissingTerminator {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// A block contains no instructions.
+    EmptyBlock {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// A terminator references a block in a different function
+    /// without going through a call.
+    CrossFunctionEdge {
+        /// Source block.
+        from: BlockId,
+        /// Target block (in another function).
+        to: BlockId,
+    },
+    /// A terminator or call references an id that does not exist.
+    DanglingReference {
+        /// Source block.
+        from: BlockId,
+        /// Description of the bad reference.
+        what: String,
+    },
+    /// A function owns no blocks.
+    EmptyFunction {
+        /// The offending function.
+        function: FunctionId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NoEntry => write!(f, "program has no entry function"),
+            ValidateError::MissingTerminator { block } => {
+                write!(f, "block {block} has no terminator")
+            }
+            ValidateError::EmptyBlock { block } => write!(f, "block {block} is empty"),
+            ValidateError::CrossFunctionEdge { from, to } => {
+                write!(f, "edge {from} -> {to} crosses a function boundary")
+            }
+            ValidateError::DanglingReference { from, what } => {
+                write!(f, "block {from} references missing {what}")
+            }
+            ValidateError::EmptyFunction { function } => {
+                write!(f, "function {function} owns no blocks")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Check all structural invariants of `program`.
+///
+/// # Errors
+///
+/// Returns the first defect found; see [`ValidateError`].
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let n_blocks = program.blocks.len() as u32;
+    let n_funcs = program.functions.len() as u32;
+    let check_block = |from: BlockId, to: BlockId| -> Result<(), ValidateError> {
+        if to.index() as u32 >= n_blocks {
+            return Err(ValidateError::DanglingReference {
+                from,
+                what: format!("block {to}"),
+            });
+        }
+        Ok(())
+    };
+
+    for func in &program.functions {
+        if func.blocks().is_empty() {
+            return Err(ValidateError::EmptyFunction {
+                function: func.id(),
+            });
+        }
+    }
+
+    for block in &program.blocks {
+        if block.is_empty() {
+            return Err(ValidateError::EmptyBlock { block: block.id() });
+        }
+        let from = block.id();
+        match block.terminator() {
+            Terminator::FallThrough { next } => {
+                check_block(from, next)?;
+                same_function(program, from, next)?;
+            }
+            Terminator::Jump { target } => {
+                check_block(from, target)?;
+                same_function(program, from, target)?;
+            }
+            Terminator::Branch { taken, fallthrough } => {
+                check_block(from, taken)?;
+                check_block(from, fallthrough)?;
+                same_function(program, from, taken)?;
+                same_function(program, from, fallthrough)?;
+            }
+            Terminator::Call { callee, return_to } => {
+                if callee.index() as u32 >= n_funcs {
+                    return Err(ValidateError::DanglingReference {
+                        from,
+                        what: format!("function {callee}"),
+                    });
+                }
+                check_block(from, return_to)?;
+                same_function(program, from, return_to)?;
+            }
+            Terminator::Return | Terminator::Exit => {}
+        }
+    }
+    Ok(())
+}
+
+fn same_function(program: &Program, from: BlockId, to: BlockId) -> Result<(), ValidateError> {
+    if program.block(from).function() != program.block(to).function() {
+        return Err(ValidateError::CrossFunctionEdge { from, to });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{InstKind, IsaMode};
+
+    #[test]
+    fn cross_function_jump_rejected() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let g = b.function("g");
+        let fb = b.block(f);
+        let gb = b.block(g);
+        b.push(fb, InstKind::Alu);
+        b.jump(fb, gb); // illegal: jump into another function
+        b.push(gb, InstKind::Alu);
+        b.ret(gb);
+        match b.finish() {
+            Err(ValidateError::CrossFunctionEdge { .. }) => {}
+            other => panic!("expected CrossFunctionEdge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let _g = b.function("empty");
+        let fb = b.block(f);
+        b.push(fb, InstKind::Alu);
+        b.exit(fb);
+        match b.finish() {
+            Err(ValidateError::EmptyFunction { .. }) => {}
+            other => panic!("expected EmptyFunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ValidateError::MissingTerminator {
+            block: BlockId::from_raw(3),
+        };
+        assert!(e.to_string().contains("bb3"));
+        let e = ValidateError::NoEntry;
+        assert!(e.to_string().contains("entry"));
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new(IsaMode::Arm);
+        let f = b.function("f");
+        let x = b.block(f);
+        b.push(x, InstKind::Alu);
+        b.exit(x);
+        assert!(b.finish().is_ok());
+    }
+}

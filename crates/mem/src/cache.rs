@@ -1,0 +1,419 @@
+//! Set-associative instruction cache model.
+//!
+//! Implements the paper's mapping function (§3.3):
+//!
+//! ```text
+//! Map(addr) = (addr / line) mod (CacheSize / (Associativity · line))
+//! ```
+//!
+//! plus the replacement policies whose antisymmetric victim relation
+//! defines the conflict graph.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Cache replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used.
+    Lru,
+    /// First-in-first-out (oldest fill evicted).
+    Fifo,
+    /// ARM-style round-robin victim counter per set.
+    RoundRobin,
+    /// Uniform random victim, deterministic under the given seed.
+    Random(u64),
+}
+
+/// Static cache parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u32,
+    /// Line size in bytes.
+    pub line_size: u32,
+    /// Number of ways (1 = direct-mapped).
+    pub associativity: u32,
+    /// Replacement policy (irrelevant for direct-mapped caches).
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// A direct-mapped cache (the paper's experiments use 2 kB / 1 kB /
+    /// 128 B direct-mapped I-caches with 16-byte lines).
+    pub fn direct_mapped(size: u32, line_size: u32) -> Self {
+        CacheConfig {
+            size,
+            line_size,
+            associativity: 1,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.size / (self.line_size * self.associativity)
+    }
+
+    /// The set an address maps to — the paper's `Map` function.
+    pub fn map(&self, addr: u32) -> u32 {
+        (addr / self.line_size) % self.num_sets()
+    }
+
+    /// The tag of an address.
+    pub fn tag(&self, addr: u32) -> u32 {
+        addr / (self.line_size * self.num_sets())
+    }
+
+    /// 32-bit words per line (line-fill transfer count on a miss).
+    pub fn words_per_line(&self) -> u32 {
+        self.line_size / 4
+    }
+
+    fn validate(&self) {
+        assert!(self.line_size.is_power_of_two(), "line size must be 2^k");
+        assert!(
+            self.associativity >= 1 && self.size.is_multiple_of(self.line_size * self.associativity),
+            "size must be a multiple of line_size * associativity"
+        );
+        assert!(self.num_sets().is_power_of_two(), "sets must be 2^k");
+    }
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Set index the address mapped to.
+    pub set: u32,
+    /// Way the line resides in after the access.
+    pub way: u32,
+    /// On a miss that replaced a valid line: that line's tag.
+    pub evicted_tag: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    valid: bool,
+    tag: u32,
+    /// Monotonic stamp: last-use time for LRU, fill time for FIFO.
+    stamp: u64,
+}
+
+/// A set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    ways: Vec<Way>, // num_sets * associativity, row-major by set
+    rr_counters: Vec<u32>,
+    rng: SmallRng,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Create an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not internally consistent
+    /// (non-power-of-two line size or set count, zero ways).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        let n = (config.num_sets() * config.associativity) as usize;
+        let seed = match config.policy {
+            ReplacementPolicy::Random(s) => s,
+            _ => 0,
+        };
+        Cache {
+            config,
+            ways: vec![
+                Way {
+                    valid: false,
+                    tag: 0,
+                    stamp: 0
+                };
+                n
+            ],
+            rr_counters: vec![0; config.num_sets() as usize],
+            rng: SmallRng::seed_from_u64(seed),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Access `addr`, updating state. Returns hit/miss plus victim
+    /// information for conflict attribution.
+    pub fn access(&mut self, addr: u32) -> CacheAccess {
+        self.clock += 1;
+        let set = self.config.map(addr);
+        let tag = self.config.tag(addr);
+        let assoc = self.config.associativity as usize;
+        let base = set as usize * assoc;
+
+        // Hit path.
+        for w in 0..assoc {
+            let way = &mut self.ways[base + w];
+            if way.valid && way.tag == tag {
+                if matches!(self.config.policy, ReplacementPolicy::Lru) {
+                    way.stamp = self.clock;
+                }
+                self.hits += 1;
+                return CacheAccess {
+                    hit: true,
+                    set,
+                    way: w as u32,
+                    evicted_tag: None,
+                };
+            }
+        }
+
+        // Miss: pick a victim way.
+        self.misses += 1;
+        let victim = self.pick_victim(set);
+        let slot = &mut self.ways[base + victim];
+        let evicted_tag = slot.valid.then_some(slot.tag);
+        slot.valid = true;
+        slot.tag = tag;
+        slot.stamp = self.clock;
+        CacheAccess {
+            hit: false,
+            set,
+            way: victim as u32,
+            evicted_tag,
+        }
+    }
+
+    fn pick_victim(&mut self, set: u32) -> usize {
+        let assoc = self.config.associativity as usize;
+        let base = set as usize * assoc;
+        // Prefer an invalid way.
+        if let Some(w) = (0..assoc).find(|&w| !self.ways[base + w].valid) {
+            return w;
+        }
+        match self.config.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => (0..assoc)
+                .min_by_key(|&w| self.ways[base + w].stamp)
+                .expect("at least one way"),
+            ReplacementPolicy::RoundRobin => {
+                let c = &mut self.rr_counters[set as usize];
+                let w = *c as usize;
+                *c = (*c + 1) % self.config.associativity;
+                w
+            }
+            ReplacementPolicy::Random(_) => self.rng.gen_range(0..assoc),
+        }
+    }
+
+    /// Look up whether `addr` is currently resident (no state change).
+    pub fn probe(&self, addr: u32) -> bool {
+        let set = self.config.map(addr);
+        let tag = self.config.tag(addr);
+        let assoc = self.config.associativity as usize;
+        let base = set as usize * assoc;
+        (0..assoc).any(|w| self.ways[base + w].valid && self.ways[base + w].tag == tag)
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidate all lines and reset counters.
+    pub fn reset(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+            w.stamp = 0;
+        }
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+        for c in &mut self.rr_counters {
+            *c = 0;
+        }
+    }
+
+    /// Reconstruct the base address of a line from its set and tag
+    /// (inverse of [`CacheConfig::map`] / [`CacheConfig::tag`]).
+    pub fn line_addr(&self, set: u32, tag: u32) -> u32 {
+        (tag * self.config.num_sets() + set) * self.config.line_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_64b() -> Cache {
+        // 64 B direct-mapped, 16 B lines -> 4 sets.
+        Cache::new(CacheConfig::direct_mapped(64, 16))
+    }
+
+    #[test]
+    fn mapping_function_matches_paper() {
+        let c = CacheConfig::direct_mapped(2048, 16);
+        assert_eq!(c.num_sets(), 128);
+        assert_eq!(c.map(0), 0);
+        assert_eq!(c.map(16), 1);
+        assert_eq!(c.map(2048), 0); // wraps at cache size
+        assert_eq!(c.tag(0), 0);
+        assert_eq!(c.tag(2048), 1);
+    }
+
+    #[test]
+    fn associative_mapping() {
+        let c = CacheConfig {
+            size: 2048,
+            line_size: 16,
+            associativity: 2,
+            policy: ReplacementPolicy::Lru,
+        };
+        assert_eq!(c.num_sets(), 64);
+        // Two addresses one "way-stride" apart map to the same set.
+        assert_eq!(c.map(0), c.map(1024));
+        assert_ne!(c.tag(0), c.tag(1024));
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = dm_64b();
+        let a = c.access(0);
+        assert!(!a.hit);
+        assert_eq!(a.evicted_tag, None);
+        let a = c.access(4); // same line
+        assert!(a.hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn conflict_eviction_direct_mapped() {
+        let mut c = dm_64b();
+        c.access(0); // set 0, tag 0
+        let a = c.access(64); // set 0, tag 1: evicts tag 0
+        assert!(!a.hit);
+        assert_eq!(a.evicted_tag, Some(0));
+        assert_eq!(c.line_addr(a.set, a.evicted_tag.unwrap()), 0);
+        let a = c.access(0); // misses again (thrash)
+        assert!(!a.hit);
+        assert_eq!(a.evicted_tag, Some(1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cfg = CacheConfig {
+            size: 64,
+            line_size: 16,
+            associativity: 2,
+            policy: ReplacementPolicy::Lru,
+        };
+        let mut c = Cache::new(cfg);
+        // 2 sets. Addresses 0, 32, 64 all map to set 0.
+        c.access(0); // fill way0 tag0
+        c.access(32); // fill way1 tag1
+        c.access(0); // touch tag0 -> tag1 is LRU
+        let a = c.access(64); // evicts tag1
+        assert_eq!(a.evicted_tag, Some(c.config().tag(32)));
+        assert!(c.probe(0));
+        assert!(!c.probe(32));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_fill() {
+        let cfg = CacheConfig {
+            size: 64,
+            line_size: 16,
+            associativity: 2,
+            policy: ReplacementPolicy::Fifo,
+        };
+        let mut c = Cache::new(cfg);
+        c.access(0); // oldest fill
+        c.access(32);
+        c.access(0); // hit: does NOT refresh FIFO stamp
+        let a = c.access(64);
+        assert_eq!(a.evicted_tag, Some(c.config().tag(0)));
+    }
+
+    #[test]
+    fn round_robin_cycles_ways() {
+        let cfg = CacheConfig {
+            size: 64,
+            line_size: 16,
+            associativity: 2,
+            policy: ReplacementPolicy::RoundRobin,
+        };
+        let mut c = Cache::new(cfg);
+        c.access(0);
+        c.access(32);
+        let a1 = c.access(64);
+        let a2 = c.access(96);
+        assert_ne!(a1.way, a2.way, "round robin alternates victims");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let cfg = CacheConfig {
+                size: 128,
+                line_size: 16,
+                associativity: 4,
+                policy: ReplacementPolicy::Random(seed),
+            };
+            let mut c = Cache::new(cfg);
+            let addrs = [0u32, 128, 256, 384, 512, 0, 128, 640, 256];
+            addrs.iter().map(|&a| c.access(a).hit).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(7), mk(7));
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = dm_64b();
+        c.access(0);
+        let h = c.hits();
+        let m = c.misses();
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert_eq!((c.hits(), c.misses()), (h, m));
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = dm_64b();
+        c.access(0);
+        c.reset();
+        assert!(!c.probe(0));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn bad_line_size_panics() {
+        Cache::new(CacheConfig::direct_mapped(64, 12));
+    }
+
+    #[test]
+    fn line_addr_round_trips() {
+        let c = dm_64b();
+        for addr in (0..512).step_by(16) {
+            let set = c.config().map(addr);
+            let tag = c.config().tag(addr);
+            assert_eq!(c.line_addr(set, tag), addr);
+        }
+    }
+}

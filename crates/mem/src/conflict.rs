@@ -1,0 +1,180 @@
+//! Conflict-miss attribution (paper §3.3).
+//!
+//! The conflict graph's edge weight `m_ij` counts the misses of memory
+//! object `x_i` that occur *because* `x_j` replaced one of `x_i`'s
+//! cache lines. The recorder tracks, per `(set, tag)` line identity,
+//! which memory object most recently evicted it; when that line is
+//! re-fetched and misses, the miss is charged to the recorded evictor.
+//! Misses on lines that were never evicted are *cold* (compulsory)
+//! misses and carry no conflict edge.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Raw conflict data produced by one simulation run, at memory-object
+/// (trace) granularity. Indices are [`casa_trace::TraceId::index`]
+/// values.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawConflicts {
+    /// `m_ij`: conflict misses of object `i` caused by object `j`.
+    pub misses_between: HashMap<(usize, usize), u64>,
+    /// Cold (compulsory) misses per object.
+    pub cold_misses: Vec<u64>,
+}
+
+impl RawConflicts {
+    /// Total conflict misses of object `i` (the paper's eq. 3 sum).
+    pub fn conflict_misses_of(&self, i: usize) -> u64 {
+        self.misses_between
+            .iter()
+            .filter(|((vi, _), _)| *vi == i)
+            .map(|(_, &m)| m)
+            .sum()
+    }
+
+    /// Total misses of object `i` including cold misses.
+    pub fn total_misses_of(&self, i: usize) -> u64 {
+        self.conflict_misses_of(i) + self.cold_misses.get(i).copied().unwrap_or(0)
+    }
+}
+
+/// Tracks eviction causality during a simulation run.
+#[derive(Debug, Clone)]
+pub struct ConflictRecorder {
+    n_objects: usize,
+    /// (set, tag) -> object that most recently evicted this line.
+    evicted_by: HashMap<(u32, u32), usize>,
+    conflicts: RawConflicts,
+}
+
+impl ConflictRecorder {
+    /// A recorder for `n_objects` memory objects.
+    pub fn new(n_objects: usize) -> Self {
+        ConflictRecorder {
+            n_objects,
+            evicted_by: HashMap::new(),
+            conflicts: RawConflicts {
+                misses_between: HashMap::new(),
+                cold_misses: vec![0; n_objects],
+            },
+        }
+    }
+
+    /// Record a cache miss of object `missed` on line `(set, tag)`;
+    /// if the miss replaced a valid line, `evicted_tag` names it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `missed` is out of range.
+    pub fn on_miss(&mut self, missed: usize, set: u32, tag: u32, evicted_tag: Option<u32>) {
+        assert!(missed < self.n_objects, "object index out of range");
+        // Charge the miss: conflict if this line was evicted before.
+        match self.evicted_by.get(&(set, tag)) {
+            Some(&evictor) => {
+                *self
+                    .conflicts
+                    .misses_between
+                    .entry((missed, evictor))
+                    .or_insert(0) += 1;
+            }
+            None => {
+                self.conflicts.cold_misses[missed] += 1;
+            }
+        }
+        // Record the eviction we caused, for the victim's future miss.
+        if let Some(et) = evicted_tag {
+            self.evicted_by.insert((set, et), missed);
+        }
+        // Our own line is now resident; clear stale eviction records
+        // so a later self-re-fetch after *another* eviction is charged
+        // to the right causer.
+        self.evicted_by.remove(&(set, tag));
+    }
+
+    /// Finish recording and return the collected conflicts.
+    pub fn into_conflicts(self) -> RawConflicts {
+        self.conflicts
+    }
+
+    /// The conflicts collected so far.
+    pub fn conflicts(&self) -> &RawConflicts {
+        &self.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_has_no_edge() {
+        let mut r = ConflictRecorder::new(2);
+        r.on_miss(0, 0, 0, None);
+        let c = r.into_conflicts();
+        assert_eq!(c.cold_misses[0], 1);
+        assert!(c.misses_between.is_empty());
+    }
+
+    #[test]
+    fn thrash_creates_mutual_edges() {
+        // Objects 0 and 1 alternate on the same set/line:
+        // 0 cold-misses (evicts nothing), 1 misses evicting 0's tag,
+        // 0 re-misses (charged to 1), 1 re-misses (charged to 0)...
+        let mut r = ConflictRecorder::new(2);
+        r.on_miss(0, 0, 10, None); // cold
+        r.on_miss(1, 0, 11, Some(10)); // cold for 1; evicts 0's line
+        r.on_miss(0, 0, 10, Some(11)); // conflict: caused by 1
+        r.on_miss(1, 0, 11, Some(10)); // conflict: caused by 0
+        let c = r.into_conflicts();
+        assert_eq!(c.cold_misses, vec![1, 1]);
+        assert_eq!(c.misses_between[&(0, 1)], 1);
+        assert_eq!(c.misses_between[&(1, 0)], 1);
+        assert_eq!(c.conflict_misses_of(0), 1);
+        assert_eq!(c.total_misses_of(0), 2);
+    }
+
+    #[test]
+    fn re_eviction_charges_latest_evictor() {
+        let mut r = ConflictRecorder::new(3);
+        r.on_miss(0, 0, 10, None); // 0 resident
+        r.on_miss(1, 0, 11, Some(10)); // 1 evicts 0
+        r.on_miss(2, 0, 12, Some(11)); // 2 evicts 1
+        // 0 returns: evicted_by[(0,10)] == 1, so charge 1 (who evicted
+        // 0), not 2.
+        r.on_miss(0, 0, 10, Some(12));
+        let c = r.conflicts();
+        assert_eq!(c.misses_between[&(0, 1)], 1);
+        assert!(!c.misses_between.contains_key(&(0, 2)));
+    }
+
+    #[test]
+    fn self_conflict_possible() {
+        // An object larger than the cache evicts its own lines.
+        let mut r = ConflictRecorder::new(1);
+        r.on_miss(0, 0, 1, None);
+        r.on_miss(0, 0, 2, Some(1)); // evicts own line
+        r.on_miss(0, 0, 1, Some(2)); // self-conflict
+        let c = r.into_conflicts();
+        assert_eq!(c.misses_between[&(0, 0)], 1);
+    }
+
+    #[test]
+    fn stale_record_cleared_on_refill() {
+        let mut r = ConflictRecorder::new(2);
+        r.on_miss(0, 0, 10, None);
+        r.on_miss(1, 0, 11, Some(10)); // 1 evicts 0
+        r.on_miss(0, 0, 10, Some(11)); // 0 back, charged to 1; record cleared
+        r.on_miss(1, 0, 11, Some(10)); // 1 back, charged to 0
+        r.on_miss(0, 0, 10, Some(11)); // 0 back again: charged to 1 (fresh record)
+        let c = r.into_conflicts();
+        assert_eq!(c.misses_between[&(0, 1)], 2);
+        assert_eq!(c.misses_between[&(1, 0)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let mut r = ConflictRecorder::new(1);
+        r.on_miss(1, 0, 0, None);
+    }
+}

@@ -1,0 +1,329 @@
+//! The instruction memory system: cache + optional scratchpad banks or
+//! loop cache, backed by off-chip main memory.
+
+use crate::cache::{Cache, CacheAccess, CacheConfig};
+use crate::loop_cache::{LoopCacheController, PreloadError};
+use crate::scratchpad::Scratchpad;
+use crate::stats::FetchStats;
+use casa_trace::{Location, Region};
+use serde::{Deserialize, Serialize};
+
+/// Static description of an instruction memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 I-cache parameters.
+    pub cache: CacheConfig,
+    /// Optional unified L2 I-cache behind the L1 (paper §4: the CASA
+    /// formulation is unchanged by deeper hierarchies — L2 misses are
+    /// a subset of L1 misses). Must use the same line size as L1.
+    pub l2: Option<CacheConfig>,
+    /// Scratchpad bank sizes in bytes (empty = no scratchpad).
+    pub spm_sizes: Vec<u32>,
+    /// Loop cache `(capacity, max_objects)`, if present.
+    pub loop_cache: Option<(u32, usize)>,
+    /// Main-memory ranges statically preloaded into the loop cache.
+    pub loop_cache_preload: Vec<(u32, u32)>,
+}
+
+impl HierarchyConfig {
+    /// Scratchpad-plus-cache system (paper fig. 1(a)) with one bank.
+    pub fn spm_system(cache: CacheConfig, spm_size: u32) -> Self {
+        HierarchyConfig {
+            cache,
+            l2: None,
+            spm_sizes: vec![spm_size],
+            loop_cache: None,
+            loop_cache_preload: Vec::new(),
+        }
+    }
+
+    /// Loop-cache-plus-cache system (paper fig. 1(b)).
+    pub fn loop_cache_system(
+        cache: CacheConfig,
+        capacity: u32,
+        max_objects: usize,
+        preload: Vec<(u32, u32)>,
+    ) -> Self {
+        HierarchyConfig {
+            cache,
+            l2: None,
+            spm_sizes: Vec::new(),
+            loop_cache: Some((capacity, max_objects)),
+            loop_cache_preload: preload,
+        }
+    }
+
+    /// Add an L2 I-cache behind the L1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the L2 line size differs from the L1's (line-fill
+    /// accounting assumes equal lines).
+    pub fn with_l2(mut self, l2: CacheConfig) -> Self {
+        assert_eq!(
+            l2.line_size, self.cache.line_size,
+            "L2 line size must match L1"
+        );
+        self.l2 = Some(l2);
+        self
+    }
+
+    /// Cache-only system (no SPM, no loop cache).
+    pub fn cache_only(cache: CacheConfig) -> Self {
+        HierarchyConfig {
+            cache,
+            l2: None,
+            spm_sizes: Vec::new(),
+            loop_cache: None,
+            loop_cache_preload: Vec::new(),
+        }
+    }
+}
+
+/// How a fetch was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchEvent {
+    /// Served by scratchpad bank `bank`.
+    Spm {
+        /// The bank index.
+        bank: u8,
+    },
+    /// Served by the loop cache.
+    LoopCache,
+    /// Went to the I-cache; carries the cache outcome for conflict
+    /// attribution.
+    Cache(CacheAccess),
+}
+
+/// A live instruction memory system with counters.
+#[derive(Debug, Clone)]
+pub struct InstMemorySystem {
+    cache: Cache,
+    l2: Option<Cache>,
+    spm: Vec<Scratchpad>,
+    loop_cache: Option<LoopCacheController>,
+    stats: FetchStats,
+}
+
+impl InstMemorySystem {
+    /// Build the system described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PreloadError`] if the loop-cache preload violates
+    /// the controller's limits.
+    pub fn new(config: &HierarchyConfig) -> Result<Self, PreloadError> {
+        let loop_cache = match config.loop_cache {
+            Some((cap, max)) => {
+                let mut lc = LoopCacheController::new(cap, max);
+                lc.preload(&config.loop_cache_preload)?;
+                Some(lc)
+            }
+            None => None,
+        };
+        Ok(InstMemorySystem {
+            cache: Cache::new(config.cache),
+            l2: config.l2.map(Cache::new),
+            spm: config.spm_sizes.iter().map(|&s| Scratchpad::new(s)).collect(),
+            loop_cache,
+            stats: FetchStats::new(),
+        })
+    }
+
+    /// Fetch one instruction from `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` names a scratchpad bank the system does not
+    /// have, or an address outside that bank — both indicate a layout
+    /// bug, not a runtime condition.
+    pub fn fetch(&mut self, loc: Location) -> FetchEvent {
+        self.stats.fetches += 1;
+        match loc.region {
+            Region::Spm(bank) => {
+                let spm = self
+                    .spm
+                    .get_mut(bank as usize)
+                    .unwrap_or_else(|| panic!("no scratchpad bank {bank}"));
+                spm.access(loc.addr);
+                self.stats.spm_accesses += 1;
+                FetchEvent::Spm { bank }
+            }
+            Region::Main => {
+                if let Some(lc) = &mut self.loop_cache {
+                    if lc.access(loc.addr) {
+                        self.stats.loop_cache_accesses += 1;
+                        return FetchEvent::LoopCache;
+                    }
+                }
+                let access = self.cache.access(loc.addr);
+                self.stats.cache_accesses += 1;
+                if access.hit {
+                    self.stats.cache_hits += 1;
+                } else {
+                    self.stats.cache_misses += 1;
+                    let words = self.cache.config().words_per_line() as u64;
+                    match &mut self.l2 {
+                        Some(l2) => {
+                            self.stats.l2_accesses += 1;
+                            if l2.access(loc.addr).hit {
+                                self.stats.l2_hits += 1;
+                            } else {
+                                self.stats.l2_misses += 1;
+                                self.stats.main_word_accesses += words;
+                            }
+                        }
+                        None => self.stats.main_word_accesses += words,
+                    }
+                }
+                FetchEvent::Cache(access)
+            }
+        }
+    }
+
+    /// The I-cache (for tag/set arithmetic).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &FetchStats {
+        &self.stats
+    }
+
+    /// Reset all state: cache contents and every counter. Loop-cache
+    /// preloads persist (they are static program data).
+    pub fn reset(&mut self) {
+        self.cache.reset();
+        if let Some(l2) = &mut self.l2 {
+            l2.reset();
+        }
+        for s in &mut self.spm {
+            s.reset();
+        }
+        if let Some(lc) = &mut self.loop_cache {
+            lc.reset();
+        }
+        self.stats = FetchStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn loc(region: Region, addr: u32) -> Location {
+        Location { region, addr }
+    }
+
+    #[test]
+    fn spm_fetch_bypasses_cache() {
+        let cfg = HierarchyConfig::spm_system(CacheConfig::direct_mapped(64, 16), 128);
+        let mut sys = InstMemorySystem::new(&cfg).unwrap();
+        sys.fetch(loc(Region::Spm(0), 0));
+        sys.fetch(loc(Region::Spm(0), 4));
+        assert_eq!(sys.stats().spm_accesses, 2);
+        assert_eq!(sys.stats().cache_accesses, 0);
+        assert!(sys.stats().is_consistent());
+    }
+
+    #[test]
+    fn main_fetch_uses_cache_and_counts_linefill() {
+        let cfg = HierarchyConfig::cache_only(CacheConfig::direct_mapped(64, 16));
+        let mut sys = InstMemorySystem::new(&cfg).unwrap();
+        let e = sys.fetch(loc(Region::Main, 0));
+        assert!(matches!(e, FetchEvent::Cache(a) if !a.hit));
+        let e = sys.fetch(loc(Region::Main, 4));
+        assert!(matches!(e, FetchEvent::Cache(a) if a.hit));
+        // One miss = one 16-byte line fill = 4 words.
+        assert_eq!(sys.stats().main_word_accesses, 4);
+        assert!(sys.stats().is_consistent());
+    }
+
+    #[test]
+    fn loop_cache_intercepts_preloaded_range() {
+        let cfg = HierarchyConfig::loop_cache_system(
+            CacheConfig::direct_mapped(64, 16),
+            128,
+            4,
+            vec![(0, 32)],
+        );
+        let mut sys = InstMemorySystem::new(&cfg).unwrap();
+        assert!(matches!(
+            sys.fetch(loc(Region::Main, 0)),
+            FetchEvent::LoopCache
+        ));
+        assert!(matches!(
+            sys.fetch(loc(Region::Main, 32)),
+            FetchEvent::Cache(_)
+        ));
+        assert_eq!(sys.stats().loop_cache_accesses, 1);
+        assert_eq!(sys.stats().cache_accesses, 1);
+        assert!(sys.stats().is_consistent());
+    }
+
+    #[test]
+    fn bad_preload_propagates_error() {
+        let cfg = HierarchyConfig::loop_cache_system(
+            CacheConfig::direct_mapped(64, 16),
+            16,
+            1,
+            vec![(0, 32)], // 32 bytes > 16 capacity
+        );
+        assert!(InstMemorySystem::new(&cfg).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "no scratchpad bank")]
+    fn fetch_from_missing_bank_panics() {
+        let cfg = HierarchyConfig::cache_only(CacheConfig::direct_mapped(64, 16));
+        let mut sys = InstMemorySystem::new(&cfg).unwrap();
+        sys.fetch(loc(Region::Spm(0), 0));
+    }
+
+    #[test]
+    fn l2_filters_main_memory_traffic() {
+        let cfg = HierarchyConfig::cache_only(CacheConfig::direct_mapped(64, 16))
+            .with_l2(CacheConfig::direct_mapped(256, 16));
+        let mut sys = InstMemorySystem::new(&cfg).unwrap();
+        // Two lines that conflict in the 64 B L1 but coexist in the
+        // 256 B L2: after the cold pass, thrashing L1 misses hit L2.
+        for _ in 0..5 {
+            sys.fetch(loc(Region::Main, 0));
+            sys.fetch(loc(Region::Main, 64));
+        }
+        let st = sys.stats();
+        assert!(st.is_consistent());
+        assert_eq!(st.l2_accesses, st.cache_misses);
+        assert_eq!(st.l2_misses, 2, "only the two cold fills reach memory");
+        assert!(st.l2_hits >= 6);
+        assert_eq!(st.main_word_accesses, 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size must match")]
+    fn l2_line_size_mismatch_panics() {
+        let _ = HierarchyConfig::cache_only(CacheConfig::direct_mapped(64, 16))
+            .with_l2(CacheConfig::direct_mapped(256, 32));
+    }
+
+    #[test]
+    fn reset_clears_counters_keeps_preload() {
+        let cfg = HierarchyConfig::loop_cache_system(
+            CacheConfig::direct_mapped(64, 16),
+            128,
+            4,
+            vec![(0, 32)],
+        );
+        let mut sys = InstMemorySystem::new(&cfg).unwrap();
+        sys.fetch(loc(Region::Main, 0));
+        sys.reset();
+        assert_eq!(sys.stats().fetches, 0);
+        // Preload persists: the fetch still hits the loop cache.
+        assert!(matches!(
+            sys.fetch(loc(Region::Main, 0)),
+            FetchEvent::LoopCache
+        ));
+    }
+}

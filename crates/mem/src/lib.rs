@@ -1,0 +1,42 @@
+//! # casa-mem — instruction memory-hierarchy simulator
+//!
+//! Substitute for the authors' `memsim` (paper §5): simulates the
+//! instruction side of the paper's architecture (fig. 1) at
+//! instruction-fetch granularity:
+//!
+//! * a set-associative L1 **I-cache** ([`cache`]) with LRU / FIFO /
+//!   round-robin / random replacement,
+//! * a non-cacheable **scratchpad** region ([`scratchpad`]),
+//! * a **preloaded loop cache** controller ([`loop_cache`]) holding a
+//!   bounded number of address ranges (fig. 1(b)),
+//! * off-chip **main memory** supplying cache line fills,
+//! * a **fetch engine** ([`fetch`]) replaying a dynamic basic-block
+//!   sequence against a [`casa_trace::Layout`], and
+//! * a **conflict recorder** ([`conflict`]) attributing every conflict
+//!   miss of memory object `x_i` to the object `x_j` that evicted its
+//!   line — the raw material of the paper's conflict graph (§3.3).
+//!
+//! The fetch engine guarantees the paper's eq. (4): for every memory
+//! object, `fetches == hits + misses` regardless of hierarchy, which
+//! the property tests assert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod conflict;
+pub mod data;
+pub mod fetch;
+pub mod hierarchy;
+pub mod loop_cache;
+pub mod scratchpad;
+pub mod stats;
+
+pub use cache::{Cache, CacheConfig, ReplacementPolicy};
+pub use conflict::ConflictRecorder;
+pub use data::{simulate_data, DataAccess, DataSimOutcome, DataTrace};
+pub use fetch::{simulate, ExecutionTrace, Replayer, SimOutcome};
+pub use hierarchy::{HierarchyConfig, InstMemorySystem};
+pub use loop_cache::LoopCacheController;
+pub use scratchpad::Scratchpad;
+pub use stats::FetchStats;

@@ -1,0 +1,33 @@
+//! # casa-trace — trace formation and code layout
+//!
+//! Implements the paper's §3.2 preprocessing: programs are partitioned
+//! into **traces** — frequently-executed straight-line paths of basic
+//! blocks connected by fall-through edges — which become the *memory
+//! objects* (MOs) that the allocators place. Key properties preserved
+//! from the paper:
+//!
+//! * traces are capped below the scratchpad size (larger traces could
+//!   never be allocated whole),
+//! * a trace whose last block would fall through to code outside the
+//!   trace gets an **appended unconditional jump**, making the trace an
+//!   atomic unit placeable anywhere in memory,
+//! * traces are **padded with NOPs** to the next cache-line boundary in
+//!   main memory, so every cache miss is attributable to exactly one
+//!   trace, and
+//! * the NOP padding is **stripped** before a trace is copied to the
+//!   scratchpad (paper §4: `S(x_i)` excludes the padding).
+//!
+//! The [`layout`] module realizes both placement semantics the paper
+//! contrasts: CASA **copies** traces to the scratchpad leaving the main
+//! memory image untouched, while Steinke's allocator **moves** them,
+//! compacting the remaining code and thereby re-mapping every
+//! downstream trace onto different cache lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod trace;
+
+pub use layout::{Layout, Location, Region};
+pub use trace::{Trace, TraceConfig, TraceId, TraceSet};

@@ -1,0 +1,158 @@
+//! Property tests for trace formation and layout over random
+//! programs.
+
+use casa_ir::inst::{InstKind, IsaMode};
+use casa_ir::{BlockId, Profile, Program, ProgramBuilder};
+use casa_trace::layout::PlacementSemantics;
+use casa_trace::trace::{form_traces, TraceConfig};
+use casa_trace::{Layout, Region};
+use proptest::prelude::*;
+
+/// Build a random single-function program: a chain of blocks with a
+/// mix of fall-throughs, jumps and branches (all edges forward-or-self
+/// to keep it simple; trace formation doesn't care about execution).
+fn random_program(block_sizes: &[u8], edge_choice: &[u8]) -> Program {
+    let mut b = ProgramBuilder::new(IsaMode::Arm);
+    let f = b.function("f");
+    let n = block_sizes.len();
+    let ids: Vec<BlockId> = (0..n).map(|_| b.block(f)).collect();
+    for (i, (&sz, &e)) in block_sizes.iter().zip(edge_choice).enumerate() {
+        b.push_n(ids[i], InstKind::Alu, usize::from(sz % 14) + 1);
+        if i + 1 == n {
+            b.exit(ids[i]);
+        } else {
+            match e % 3 {
+                0 => {
+                    b.fall_through(ids[i], ids[i + 1]);
+                }
+                1 => {
+                    b.jump(ids[i], ids[i + 1]);
+                }
+                _ => {
+                    let taken = ids[(usize::from(e) * 7) % (i + 1)];
+                    b.branch(ids[i], taken, ids[i + 1]);
+                }
+            }
+        }
+    }
+    b.finish().expect("valid")
+}
+
+fn random_profile(program: &Program, counts: &[u16]) -> Profile {
+    let mut p = Profile::new();
+    for (block, &c) in program.blocks().iter().zip(counts) {
+        p.add_block(block.id(), u64::from(c));
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trace formation is a partition: every block in exactly one
+    /// trace, fall-through order preserved inside traces, sizes capped
+    /// (except oversized singletons), padding to line multiples.
+    #[test]
+    fn formation_is_a_partition(
+        block_sizes in prop::collection::vec(any::<u8>(), 1..24),
+        edges in prop::collection::vec(any::<u8>(), 24),
+        cap_pow in 5u32..9,
+    ) {
+        let p = random_program(&block_sizes, &edges);
+        let profile = Profile::new();
+        let cap = 1u32 << cap_pow;
+        let ts = form_traces(&p, &profile, TraceConfig::new(cap, 16));
+        let mut seen = vec![0u32; p.blocks().len()];
+        for t in ts.traces() {
+            prop_assert!(!t.is_empty());
+            for &b in t.blocks() {
+                seen[b.index()] += 1;
+                prop_assert_eq!(ts.trace_of(b), t.id());
+            }
+            // Within-trace adjacency is fall-through.
+            for w in t.blocks().windows(2) {
+                prop_assert_eq!(
+                    p.block(w[0]).terminator().fallthrough_successor(),
+                    Some(w[1])
+                );
+            }
+            // Size cap (multi-block traces only; single oversized
+            // blocks are allowed through as unallocatable).
+            if t.len() > 1 {
+                prop_assert!(t.code_size() <= cap, "{} > {}", t.code_size(), cap);
+            }
+            prop_assert_eq!(t.padded_size(16) % 16, 0);
+            prop_assert!(t.padded_size(16) >= t.code_size());
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Layout invariants: main-memory trace slots are disjoint and
+    /// line-aligned; copy semantics preserves every non-SPM address
+    /// against the initial layout.
+    #[test]
+    fn layout_slots_disjoint_and_copy_stable(
+        block_sizes in prop::collection::vec(any::<u8>(), 1..20),
+        edges in prop::collection::vec(any::<u8>(), 20),
+        counts in prop::collection::vec(any::<u16>(), 20),
+        spm_mask in any::<u32>(),
+    ) {
+        let p = random_program(&block_sizes, &edges);
+        let profile = random_profile(&p, &counts);
+        let ts = form_traces(&p, &profile, TraceConfig::new(128, 16));
+        let initial = Layout::initial(&p, &ts);
+        // Slots: sorted by address, non-overlapping.
+        let mut slots: Vec<(u32, u32)> = ts
+            .traces()
+            .iter()
+            .map(|t| {
+                let loc = initial.trace_location(t.id());
+                prop_assert_eq!(loc.region, Region::Main);
+                prop_assert_eq!(loc.addr % 16, 0);
+                Ok((loc.addr, t.padded_size(16)))
+            })
+            .collect::<Result<_, _>>()?;
+        slots.sort();
+        for w in slots.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+        // Copy semantics: unallocated traces keep their addresses.
+        let placement: Vec<Option<u8>> = (0..ts.len())
+            .map(|i| ((spm_mask >> (i % 32)) & 1 == 1).then_some(0))
+            .collect();
+        let copied = Layout::with_placement(&p, &ts, &placement, PlacementSemantics::Copy);
+        for t in ts.traces() {
+            if placement[t.id().index()].is_none() {
+                prop_assert_eq!(
+                    copied.trace_location(t.id()),
+                    initial.trace_location(t.id()),
+                    "copy semantics must not move cached traces"
+                );
+            } else {
+                prop_assert!(matches!(
+                    copied.trace_location(t.id()).region,
+                    Region::Spm(0)
+                ));
+            }
+        }
+    }
+
+    /// Fetch-count conservation: the sum of trace fetches equals the
+    /// profile's total fetches plus glue-jump traversals.
+    #[test]
+    fn trace_fetches_conserve_profile(
+        block_sizes in prop::collection::vec(any::<u8>(), 1..20),
+        edges in prop::collection::vec(any::<u8>(), 20),
+        counts in prop::collection::vec(1u16..100, 20),
+    ) {
+        let p = random_program(&block_sizes, &edges);
+        let profile = random_profile(&p, &counts);
+        let ts = form_traces(&p, &profile, TraceConfig::new(96, 16));
+        let trace_sum: u64 = ts.traces().iter().map(|t| t.fetches(&p, &profile)).sum();
+        let base = profile.total_fetches(&p);
+        prop_assert!(trace_sum >= base);
+        // Glue traversals are bounded by total block executions.
+        let execs: u64 = p.blocks().iter().map(|b| profile.block_count(b.id())).sum();
+        prop_assert!(trace_sum <= base + execs);
+    }
+}

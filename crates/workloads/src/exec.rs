@@ -1,0 +1,397 @@
+//! The execution walker: turns a compiled workload into a dynamic
+//! basic-block sequence plus the matching profile.
+//!
+//! This substitutes for running the benchmark under ARMulator: the
+//! walker interprets the CFG, counting loop trips deterministically
+//! and drawing data-dependent branch outcomes from a seeded RNG, so a
+//! given `(workload, seed)` pair always produces the identical
+//! execution — which lets every allocator be evaluated on exactly the
+//! same dynamic instruction stream.
+
+use crate::spec::Workload;
+use casa_ir::inst::InstKind;
+use casa_ir::{BlockId, Profile, Program, Terminator};
+use casa_mem::data::DataAccessKind;
+use casa_mem::{DataAccess, DataTrace, ExecutionTrace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// How a `Branch` terminator behaves dynamically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BranchBehavior {
+    /// Taken with probability `taken` on each evaluation.
+    Prob {
+        /// Probability the branch is taken.
+        taken: f64,
+    },
+    /// Counted loop test: per entry into the loop the continue arm is
+    /// chosen `trips` times, then the exit arm once.
+    Loop {
+        /// Iterations per loop entry.
+        trips: u64,
+        /// Whether the *taken* arm is the loop exit (as the spec
+        /// compiler emits) or the continue edge.
+        taken_is_exit: bool,
+    },
+}
+
+/// A walk failed to terminate or encountered a broken CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkError {
+    /// `max_steps` block executions happened without reaching `Exit`.
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// `Return` executed with an empty call stack.
+    ReturnWithoutCall {
+        /// The returning block.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for WalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalkError::StepLimit { limit } => {
+                write!(f, "execution did not exit within {limit} block steps")
+            }
+            WalkError::ReturnWithoutCall { block } => {
+                write!(f, "block {block} returned with an empty call stack")
+            }
+        }
+    }
+}
+
+impl Error for WalkError {}
+
+/// Interprets a program's CFG under a set of branch behaviours.
+#[derive(Debug, Clone)]
+pub struct Walker<'a> {
+    program: &'a Program,
+    behaviors: &'a HashMap<BlockId, BranchBehavior>,
+    /// Hard cap on executed blocks (default 50 million).
+    pub max_steps: u64,
+}
+
+impl<'a> Walker<'a> {
+    /// A walker over `program` with the given branch behaviours.
+    /// Branches without a behaviour entry default to 50/50.
+    pub fn new(program: &'a Program, behaviors: &'a HashMap<BlockId, BranchBehavior>) -> Self {
+        Walker {
+            program,
+            behaviors,
+            max_steps: 50_000_000,
+        }
+    }
+
+    /// Run the program from its entry, returning the dynamic block
+    /// sequence and the execution profile (consistent with each other
+    /// by construction).
+    ///
+    /// # Errors
+    ///
+    /// [`WalkError::StepLimit`] if the program does not exit within
+    /// `max_steps` blocks; [`WalkError::ReturnWithoutCall`] on a
+    /// malformed call structure.
+    pub fn run(&self, seed: u64) -> Result<(ExecutionTrace, Profile), WalkError> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut seq: Vec<BlockId> = Vec::new();
+        let mut profile = Profile::new();
+        let mut stack: Vec<BlockId> = Vec::new();
+        let mut loop_counters: HashMap<BlockId, u64> = HashMap::new();
+
+        let mut cur = self
+            .program
+            .function(self.program.entry())
+            .entry();
+        let mut steps: u64 = 0;
+        loop {
+            steps += 1;
+            if steps > self.max_steps {
+                return Err(WalkError::StepLimit {
+                    limit: self.max_steps,
+                });
+            }
+            seq.push(cur);
+            profile.add_block(cur, 1);
+            let term = self.program.block(cur).terminator();
+            let next = match term {
+                Terminator::FallThrough { next } | Terminator::Jump { target: next } => Some(next),
+                Terminator::Branch { taken, fallthrough } => {
+                    let take = match self.behaviors.get(&cur) {
+                        Some(BranchBehavior::Prob { taken: p }) => rng.gen_bool(p.clamp(0.0, 1.0)),
+                        Some(BranchBehavior::Loop {
+                            trips,
+                            taken_is_exit,
+                        }) => {
+                            let c = loop_counters.entry(cur).or_insert(0);
+                            let exit_now = *c >= *trips;
+                            *c = if exit_now { 0 } else { *c + 1 };
+                            exit_now == *taken_is_exit
+                        }
+                        None => rng.gen_bool(0.5),
+                    };
+                    Some(if take { taken } else { fallthrough })
+                }
+                Terminator::Call { callee, return_to } => {
+                    stack.push(return_to);
+                    // The profile's edges are intra-procedural (they
+                    // must satisfy flow conservation against the CFG's
+                    // successor lists), so a call's edge goes to its
+                    // return-to block, not into the callee.
+                    profile.add_edge(cur, return_to, 1);
+                    cur = self.program.function(callee).entry();
+                    continue;
+                }
+                Terminator::Return => match stack.pop() {
+                    Some(r) => {
+                        // Return edges are implicit (the CFG gives
+                        // Return no successors), so no edge is
+                        // recorded.
+                        cur = r;
+                        continue;
+                    }
+                    None => return Err(WalkError::ReturnWithoutCall { block: cur }),
+                },
+                Terminator::Exit => None,
+            };
+            if let Some(n) = next {
+                profile.add_edge(cur, n, 1);
+                cur = n;
+            } else {
+                break;
+            }
+        }
+        Ok((ExecutionTrace::new(seq), profile))
+    }
+
+    /// Like [`Self::run`], additionally producing the data-access
+    /// stream of `workload`'s modeled data objects: every executed
+    /// `Load`/`Store` instruction of a function with a data array
+    /// touches the next word of that array (a sequential sweep that
+    /// wraps — the access pattern of the paper's media kernels).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` does not correspond to `self`'s program
+    /// (mismatched function count).
+    pub fn run_with_data(
+        &self,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<(ExecutionTrace, Profile, DataTrace), WalkError> {
+        assert_eq!(
+            workload.data_object_of.len(),
+            self.program.functions().len(),
+            "workload does not match the program"
+        );
+        let (exec, profile) = self.run(seed)?;
+        let mut cursors = vec![0u32; workload.data_objects.len()];
+        let mut accesses = Vec::new();
+        let mut kinds = Vec::new();
+        for &block in exec.blocks() {
+            let f = self.program.block(block).function();
+            let Some(obj) = workload.data_object_of[f.index()] else {
+                continue;
+            };
+            let size = workload.data_objects[obj].size;
+            for inst in self.program.block(block).insts() {
+                let kind = match inst.kind() {
+                    InstKind::Load => DataAccessKind::Load,
+                    InstKind::Store => DataAccessKind::Store,
+                    _ => continue,
+                };
+                accesses.push(DataAccess {
+                    object: obj,
+                    offset: cursors[obj],
+                });
+                kinds.push(kind);
+                cursors[obj] = (cursors[obj] + 4) % size.max(4);
+            }
+        }
+        Ok((exec, profile, DataTrace::with_kinds(accesses, kinds)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BenchmarkSpec, Element, FunctionSpec};
+    use casa_ir::IsaMode;
+
+    fn looped_workload(trips: u64) -> crate::spec::Workload {
+        BenchmarkSpec::new(
+            "w",
+            IsaMode::Arm,
+            vec![FunctionSpec::new(
+                "main",
+                vec![Element::loop_of(trips, vec![Element::Straight(3)])],
+            )],
+        )
+        .compile()
+    }
+
+    #[test]
+    fn loop_trip_count_exact() {
+        let w = looped_workload(7);
+        let walker = Walker::new(&w.program, &w.behaviors);
+        let (exec, profile) = walker.run(1).unwrap();
+        exec.check(&w.program).expect("legal execution");
+        profile.check_flow(&w.program).expect("flow conserved");
+        // Find the loop header: executed trips + 1 times.
+        let header = w
+            .program
+            .blocks()
+            .iter()
+            .find(|b| matches!(b.terminator(), casa_ir::Terminator::Branch { .. }))
+            .unwrap()
+            .id();
+        assert_eq!(profile.block_count(header), 8);
+    }
+
+    #[test]
+    fn walk_is_deterministic_per_seed() {
+        let w = BenchmarkSpec::new(
+            "w",
+            IsaMode::Arm,
+            vec![FunctionSpec::new(
+                "main",
+                vec![Element::loop_of(
+                    50,
+                    vec![Element::cond(0.4, vec![Element::Straight(2)], vec![])],
+                )],
+            )],
+        )
+        .compile();
+        let walker = Walker::new(&w.program, &w.behaviors);
+        let (a, _) = walker.run(99).unwrap();
+        let (b, _) = walker.run(99).unwrap();
+        let (c, _) = walker.run(100).unwrap();
+        assert_eq!(a.blocks(), b.blocks());
+        assert_ne!(a.blocks(), c.blocks(), "different seed, different path");
+    }
+
+    #[test]
+    fn calls_and_returns_balanced() {
+        let w = BenchmarkSpec::new(
+            "w",
+            IsaMode::Arm,
+            vec![
+                FunctionSpec::new(
+                    "main",
+                    vec![Element::loop_of(4, vec![Element::Call(1)])],
+                ),
+                FunctionSpec::new("leaf", vec![Element::Straight(5)]),
+            ],
+        )
+        .compile();
+        let walker = Walker::new(&w.program, &w.behaviors);
+        let (exec, profile) = walker.run(0).unwrap();
+        exec.check(&w.program).expect("legal");
+        profile.check_flow(&w.program).expect("flow conserved");
+        // The leaf entry executes exactly 4 times.
+        let leaf = w.program.functions()[1].entry();
+        assert_eq!(profile.block_count(leaf), 4);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let w = looped_workload(1_000_000);
+        let mut walker = Walker::new(&w.program, &w.behaviors);
+        walker.max_steps = 100;
+        assert_eq!(
+            walker.run(0).unwrap_err(),
+            WalkError::StepLimit { limit: 100 }
+        );
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let w = BenchmarkSpec::new(
+            "w",
+            IsaMode::Arm,
+            vec![FunctionSpec::new(
+                "main",
+                vec![Element::loop_of(
+                    3,
+                    vec![Element::loop_of(5, vec![Element::Straight(1)])],
+                )],
+            )],
+        )
+        .compile();
+        let walker = Walker::new(&w.program, &w.behaviors);
+        let (_, profile) = walker.run(0).unwrap();
+        profile.check_flow(&w.program).expect("flow conserved");
+        // Inner header runs (5+1) per outer iteration * 3 outer = 18.
+        let headers: Vec<_> = w
+            .program
+            .blocks()
+            .iter()
+            .filter(|b| matches!(b.terminator(), casa_ir::Terminator::Branch { .. }))
+            .map(|b| b.id())
+            .collect();
+        assert_eq!(headers.len(), 2);
+        let counts: Vec<u64> = headers.iter().map(|&h| profile.block_count(h)).collect();
+        assert!(counts.contains(&4), "outer header 3+1: {counts:?}");
+        assert!(counts.contains(&18), "inner header 3*(5+1): {counts:?}");
+    }
+
+    #[test]
+    fn data_stream_sweeps_declared_arrays() {
+        use crate::spec::FunctionSpec;
+        let spec = BenchmarkSpec::new(
+            "d",
+            IsaMode::Arm,
+            vec![
+                FunctionSpec::new(
+                    "main",
+                    vec![Element::loop_of(3, vec![Element::Call(1)])],
+                ),
+                // 10 straight insts contain 2 loads and 1 store per
+                // the deterministic mix.
+                FunctionSpec::new("kernel", vec![Element::Straight(10)]).with_data(32),
+            ],
+        );
+        let w = spec.compile();
+        assert_eq!(w.data_objects.len(), 1);
+        assert_eq!(w.data_objects[0].size, 32);
+        let walker = Walker::new(&w.program, &w.behaviors);
+        let (_, _, data) = walker.run_with_data(&w, 0).unwrap();
+        // 3 calls × 3 memory insts each.
+        assert_eq!(data.len(), 9);
+        for a in data.accesses() {
+            assert_eq!(a.object, 0);
+            assert!(a.offset < 32);
+        }
+        // Sequential sweep wraps at the array size.
+        let offsets: Vec<u32> = data.accesses().iter().map(|a| a.offset).collect();
+        assert_eq!(offsets, vec![0, 4, 8, 12, 16, 20, 24, 28, 0]);
+    }
+
+    #[test]
+    fn functions_without_data_emit_nothing() {
+        let spec = BenchmarkSpec::new(
+            "d",
+            IsaMode::Arm,
+            vec![FunctionSpec::new("main", vec![Element::Straight(20)])],
+        );
+        let w = spec.compile();
+        let walker = Walker::new(&w.program, &w.behaviors);
+        let (_, _, data) = walker.run_with_data(&w, 0).unwrap();
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WalkError::StepLimit { limit: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,136 @@
+//! Seeded random benchmark generator, used by cross-crate property
+//! tests to exercise the whole pipeline on arbitrary program shapes.
+
+use crate::spec::{BenchmarkSpec, Element, FunctionSpec};
+use casa_ir::IsaMode;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bounds for the random generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of functions (≥ 1).
+    pub max_functions: usize,
+    /// Elements per body (top level and nested).
+    pub max_elements: usize,
+    /// Maximum loop/cond nesting depth.
+    pub max_depth: usize,
+    /// Maximum straight-line run length.
+    pub max_straight: usize,
+    /// Maximum loop trip count.
+    pub max_trips: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            max_functions: 4,
+            max_elements: 4,
+            max_depth: 3,
+            max_straight: 12,
+            max_trips: 8,
+        }
+    }
+}
+
+/// Generate a random benchmark spec. The same `(seed, config)` pair
+/// always yields the same spec.
+///
+/// Calls only target *later* functions, so call graphs are acyclic and
+/// every walk terminates.
+pub fn random_spec(seed: u64, config: &GeneratorConfig) -> BenchmarkSpec {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_funcs = rng.gen_range(1..=config.max_functions.max(1));
+    let mut functions = Vec::with_capacity(n_funcs);
+    for i in 0..n_funcs {
+        let body = gen_elems(&mut rng, config, config.max_depth, i + 1, n_funcs);
+        functions.push(FunctionSpec::new(format!("f{i}"), body));
+    }
+    BenchmarkSpec::new(format!("random{seed}"), IsaMode::Arm, functions)
+}
+
+fn gen_elems(
+    rng: &mut SmallRng,
+    config: &GeneratorConfig,
+    depth: usize,
+    callee_from: usize,
+    n_funcs: usize,
+) -> Vec<Element> {
+    let n = rng.gen_range(1..=config.max_elements.max(1));
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let can_nest = depth > 0;
+        let can_call = callee_from < n_funcs;
+        let choice = rng.gen_range(0..100);
+        let elem = if choice < 45 || (!can_nest && !can_call) {
+            Element::Straight(rng.gen_range(1..=config.max_straight.max(1)))
+        } else if choice < 65 && can_nest {
+            Element::loop_of(
+                rng.gen_range(1..=config.max_trips.max(1)),
+                gen_elems(rng, config, depth - 1, callee_from, n_funcs),
+            )
+        } else if choice < 85 && can_nest {
+            let p = rng.gen_range(0.0..=1.0);
+            let then_body = gen_elems(rng, config, depth - 1, callee_from, n_funcs);
+            let else_body = if rng.gen_bool(0.5) {
+                vec![]
+            } else {
+                gen_elems(rng, config, depth - 1, callee_from, n_funcs)
+            };
+            Element::cond(p, then_body, else_body)
+        } else if can_call {
+            Element::Call(rng.gen_range(callee_from..n_funcs))
+        } else {
+            Element::Straight(rng.gen_range(1..=config.max_straight.max(1)))
+        };
+        out.push(elem);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Walker;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = GeneratorConfig::default();
+        assert_eq!(random_spec(5, &c), random_spec(5, &c));
+        assert_ne!(random_spec(5, &c), random_spec(6, &c));
+    }
+
+    #[test]
+    fn generated_programs_compile_and_run() {
+        let c = GeneratorConfig::default();
+        for seed in 0..30 {
+            let w = random_spec(seed, &c).compile();
+            let walker = Walker::new(&w.program, &w.behaviors);
+            let (exec, profile) = walker
+                .run(seed)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            exec.check(&w.program)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            profile
+                .check_flow(&w.program)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn call_graph_is_acyclic_so_walks_terminate() {
+        // Deep config with many calls; termination is the assertion.
+        let c = GeneratorConfig {
+            max_functions: 6,
+            max_elements: 5,
+            max_depth: 4,
+            max_straight: 6,
+            max_trips: 4,
+        };
+        for seed in 100..110 {
+            let w = random_spec(seed, &c).compile();
+            let walker = Walker::new(&w.program, &w.behaviors);
+            walker.run(seed).unwrap();
+        }
+    }
+}

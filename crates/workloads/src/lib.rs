@@ -1,0 +1,31 @@
+//! # casa-workloads — synthetic benchmark programs
+//!
+//! The paper evaluates on Mediabench programs (adpcm, g721, mpeg)
+//! compiled for ARM7T and traced with ARMulator. Neither the compiled
+//! binaries nor the instruction traces are available, so this crate
+//! builds **structural substitutes**: programs with the same code
+//! sizes (≈1 kB, ≈4.7 kB, ≈19.5 kB), realistic function/loop-nest
+//! shapes and hot-spot distributions, described declaratively as
+//! [`spec::BenchmarkSpec`]s and compiled to [`casa_ir::Program`]s.
+//!
+//! Execution is produced by a deterministic walker ([`exec`]): loop
+//! headers count trip counts, data-dependent branches draw from a
+//! seeded RNG. The walker emits the dynamic basic-block sequence (the
+//! stand-in for the ARMulator instruction trace) *and* the matching
+//! [`casa_ir::Profile`] — consistent by construction, which the tests
+//! verify via flow conservation.
+//!
+//! [`generator`] additionally provides a seeded random-program
+//! generator used by the cross-crate property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod generator;
+pub mod mediabench;
+pub mod spec;
+
+pub use exec::{BranchBehavior, WalkError, Walker};
+pub use mediabench::{adpcm, epic, g721, mpeg};
+pub use spec::{BenchmarkSpec, Element, FunctionSpec, Workload};

@@ -1,0 +1,424 @@
+//! Declarative benchmark specifications.
+//!
+//! A benchmark is a list of functions; each function body is a list of
+//! [`Element`]s (straight-line code, loops, conditionals, calls). The
+//! spec compiles to a validated [`Program`] plus the branch behaviours
+//! the execution walker needs. Synthetic Mediabench stand-ins are
+//! written in this vocabulary (see [`crate::mediabench`]).
+
+use crate::exec::BranchBehavior;
+use casa_ir::inst::InstKind;
+use casa_ir::{BlockId, FunctionId, IsaMode, Program, ProgramBuilder};
+use std::collections::HashMap;
+
+/// One structural element of a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// `n` straight-line instructions (a deterministic ALU/load/store
+    /// mix).
+    Straight(usize),
+    /// A counted loop: the body runs `trips` times per entry into the
+    /// loop.
+    Loop {
+        /// Iterations per loop entry.
+        trips: u64,
+        /// Loop body.
+        body: Vec<Element>,
+    },
+    /// A data-dependent two-way conditional.
+    Cond {
+        /// Probability of the then-arm, in `[0, 1]`.
+        p_then: f64,
+        /// Then-arm body.
+        then_body: Vec<Element>,
+        /// Else-arm body (may be empty).
+        else_body: Vec<Element>,
+    },
+    /// A call to another function of the spec, by index.
+    Call(usize),
+}
+
+impl Element {
+    /// Shorthand for a counted loop.
+    pub fn loop_of(trips: u64, body: Vec<Element>) -> Self {
+        Element::Loop { trips, body }
+    }
+
+    /// Shorthand for a conditional.
+    pub fn cond(p_then: f64, then_body: Vec<Element>, else_body: Vec<Element>) -> Self {
+        Element::Cond {
+            p_then,
+            then_body,
+            else_body,
+        }
+    }
+}
+
+/// One function of a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSpec {
+    /// Function name.
+    pub name: String,
+    /// Body elements.
+    pub body: Vec<Element>,
+    /// Size of the function's working data array in bytes (0 = the
+    /// function touches no modeled data; its loads/stores hit
+    /// registers, stack or immediate tables).
+    pub data_bytes: u32,
+}
+
+impl FunctionSpec {
+    /// A named function with the given body and no modeled data.
+    pub fn new(name: impl Into<String>, body: Vec<Element>) -> Self {
+        FunctionSpec {
+            name: name.into(),
+            body,
+            data_bytes: 0,
+        }
+    }
+
+    /// Attach a working data array of `bytes` to the function: its
+    /// `Load`/`Store` instructions will sweep this array sequentially
+    /// during execution.
+    pub fn with_data(mut self, bytes: u32) -> Self {
+        self.data_bytes = bytes;
+        self
+    }
+}
+
+/// A whole benchmark: functions (index 0 is `main`) plus a name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name.
+    pub name: String,
+    /// ISA mode for instruction sizing.
+    pub mode: IsaMode,
+    /// Functions; index 0 is the entry.
+    pub functions: Vec<FunctionSpec>,
+}
+
+/// A data object modeled for the data-side extension: one working
+/// array per function that declared `data_bytes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataObjectSpec {
+    /// Human-readable name (`"<function>.data"`).
+    pub name: String,
+    /// Array size in bytes.
+    pub size: u32,
+    /// Owning function.
+    pub function: FunctionId,
+}
+
+/// A compiled benchmark: the program plus branch behaviours.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The compiled program.
+    pub program: Program,
+    /// Behaviour of every `Branch` terminator, keyed by block.
+    pub behaviors: HashMap<BlockId, BranchBehavior>,
+    /// Modeled data objects, one per function with `data_bytes > 0`.
+    pub data_objects: Vec<DataObjectSpec>,
+    /// `data_object_of[f]` — index into `data_objects` for function
+    /// `f`, if it has one.
+    pub data_object_of: Vec<Option<usize>>,
+}
+
+impl BenchmarkSpec {
+    /// A named benchmark in the given ISA mode.
+    pub fn new(name: impl Into<String>, mode: IsaMode, functions: Vec<FunctionSpec>) -> Self {
+        BenchmarkSpec {
+            name: name.into(),
+            mode,
+            functions,
+        }
+    }
+
+    /// Compile the spec into a program and walker behaviours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Element::Call`] references a function index out
+    /// of range, a probability is outside `[0, 1]`, or the produced
+    /// program fails validation (a builder bug, not a user error).
+    pub fn compile(&self) -> Workload {
+        let mut b = ProgramBuilder::new(self.mode);
+        b.name(self.name.clone());
+        let mut behaviors = HashMap::new();
+        let fids: Vec<FunctionId> = self
+            .functions
+            .iter()
+            .map(|f| b.function(f.name.clone()))
+            .collect();
+        for (idx, fspec) in self.functions.iter().enumerate() {
+            let f = fids[idx];
+            let entry = b.block(f);
+            // Small prologue so no block is empty.
+            b.push_n(entry, InstKind::Alu, 2);
+            let last = build_elems(&mut b, f, &fids, entry, &fspec.body, &mut behaviors);
+            b.push(last, InstKind::Alu);
+            if idx == 0 {
+                b.exit(last);
+            } else {
+                b.ret(last);
+            }
+        }
+        let program = b.finish().expect("spec compiles to a valid program");
+        let mut data_objects = Vec::new();
+        let mut data_object_of = vec![None; self.functions.len()];
+        for (idx, fspec) in self.functions.iter().enumerate() {
+            if fspec.data_bytes > 0 {
+                data_object_of[idx] = Some(data_objects.len());
+                data_objects.push(DataObjectSpec {
+                    name: format!("{}.data", fspec.name),
+                    size: fspec.data_bytes,
+                    function: fids[idx],
+                });
+            }
+        }
+        Workload {
+            program,
+            behaviors,
+            data_objects,
+            data_object_of,
+        }
+    }
+
+    /// Scale every loop's trip count by `factor` (≥ 1). Used to grow
+    /// execution length without changing code size.
+    pub fn scale_trips(&mut self, factor: u64) {
+        fn scale(elems: &mut [Element], factor: u64) {
+            for e in elems {
+                match e {
+                    Element::Loop { trips, body } => {
+                        *trips *= factor;
+                        scale(body, factor);
+                    }
+                    Element::Cond {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        scale(then_body, factor);
+                        scale(else_body, factor);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for f in &mut self.functions {
+            scale(&mut f.body, factor);
+        }
+    }
+}
+
+/// Deterministic "realistic" instruction mix for straight-line code:
+/// roughly 60% ALU, 20% load, 10% store, 10% multiply.
+fn mix_kind(i: usize) -> InstKind {
+    match i % 10 {
+        0 | 1 | 2 | 3 | 5 | 6 => InstKind::Alu,
+        4 | 7 => InstKind::Load,
+        8 => InstKind::Store,
+        _ => InstKind::Mul,
+    }
+}
+
+/// Build `elems` starting in open block `cur`; returns the open block
+/// the caller must terminate.
+fn build_elems(
+    b: &mut ProgramBuilder,
+    f: FunctionId,
+    fids: &[FunctionId],
+    mut cur: BlockId,
+    elems: &[Element],
+    behaviors: &mut HashMap<BlockId, BranchBehavior>,
+) -> BlockId {
+    for e in elems {
+        match e {
+            Element::Straight(n) => {
+                // Real compilers emit basic blocks of ~5–15
+                // instructions; long straight runs are split into
+                // fall-through chains so trace formation sees
+                // realistic block granularity (the fall-through edges
+                // merge back into one trace when the cap allows).
+                const CHUNKS: [usize; 6] = [12, 9, 14, 11, 8, 13];
+                let mut emitted = 0;
+                let mut chunk_idx = cur.index();
+                let mut room = CHUNKS[chunk_idx % CHUNKS.len()];
+                while emitted < *n {
+                    if room == 0 {
+                        let next = b.block(f);
+                        b.fall_through(cur, next);
+                        cur = next;
+                        chunk_idx += 1;
+                        room = CHUNKS[chunk_idx % CHUNKS.len()];
+                    }
+                    b.push(cur, mix_kind(emitted));
+                    emitted += 1;
+                    room -= 1;
+                }
+            }
+            Element::Call(idx) => {
+                assert!(*idx < fids.len(), "call target {idx} out of range");
+                let ret = b.block(f);
+                b.push(cur, InstKind::Alu); // argument setup
+                b.call(cur, fids[*idx], ret);
+                b.push(ret, InstKind::Alu); // result use
+                cur = ret;
+            }
+            Element::Loop { trips, body } => {
+                let header = b.block(f);
+                let body_first = b.block(f);
+                let exit = b.block(f);
+                b.fall_through(cur, header);
+                // Header: induction update + exit test. Taken = exit.
+                b.push_n(header, InstKind::Alu, 2);
+                b.branch(header, exit, body_first);
+                behaviors.insert(
+                    header,
+                    BranchBehavior::Loop {
+                        trips: *trips,
+                        taken_is_exit: true,
+                    },
+                );
+                b.push(body_first, InstKind::Alu);
+                let body_last = build_elems(b, f, fids, body_first, body, behaviors);
+                b.push(body_last, InstKind::Alu);
+                b.jump(body_last, header);
+                b.push(exit, InstKind::Alu);
+                cur = exit;
+            }
+            Element::Cond {
+                p_then,
+                then_body,
+                else_body,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(p_then),
+                    "probability {p_then} outside [0, 1]"
+                );
+                let then_first = b.block(f);
+                let else_first = b.block(f);
+                let join = b.block(f);
+                b.push(cur, InstKind::Alu); // the compare
+                b.branch(cur, then_first, else_first);
+                behaviors.insert(cur, BranchBehavior::Prob { taken: *p_then });
+                b.push(then_first, InstKind::Alu);
+                let then_last = build_elems(b, f, fids, then_first, then_body, behaviors);
+                b.jump(then_last, join);
+                b.push(else_first, InstKind::Alu);
+                let else_last = build_elems(b, f, fids, else_first, else_body, behaviors);
+                b.fall_through(else_last, join);
+                b.push(join, InstKind::Alu);
+                cur = join;
+            }
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_ir::loops::all_natural_loops;
+
+    fn tiny_spec() -> BenchmarkSpec {
+        BenchmarkSpec::new(
+            "tiny",
+            IsaMode::Arm,
+            vec![
+                FunctionSpec::new(
+                    "main",
+                    vec![
+                        Element::Straight(4),
+                        Element::loop_of(
+                            10,
+                            vec![Element::Call(1), Element::cond(
+                                0.3,
+                                vec![Element::Straight(2)],
+                                vec![],
+                            )],
+                        ),
+                    ],
+                ),
+                FunctionSpec::new("helper", vec![Element::Straight(6)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn compiles_to_valid_program() {
+        let w = tiny_spec().compile();
+        assert_eq!(w.program.functions().len(), 2);
+        assert_eq!(w.program.name(), "tiny");
+        assert!(w.program.code_size() > 0);
+    }
+
+    #[test]
+    fn loop_structure_detected() {
+        let w = tiny_spec().compile();
+        let loops = all_natural_loops(&w.program);
+        assert_eq!(loops.len(), 1, "one loop in main");
+    }
+
+    #[test]
+    fn behaviors_cover_all_branches() {
+        let w = tiny_spec().compile();
+        for block in w.program.blocks() {
+            if matches!(
+                block.terminator(),
+                casa_ir::Terminator::Branch { .. }
+            ) {
+                assert!(
+                    w.behaviors.contains_key(&block.id()),
+                    "branch {} lacks behaviour",
+                    block.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_trips_multiplies_loops() {
+        let mut s = tiny_spec();
+        s.scale_trips(5);
+        match &s.functions[0].body[1] {
+            Element::Loop { trips, .. } => assert_eq!(*trips, 50),
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straight_mix_is_realistic() {
+        // 10 instructions contain ALU, loads, a store and a multiply.
+        let kinds: Vec<InstKind> = (0..10).map(mix_kind).collect();
+        assert!(kinds.contains(&InstKind::Alu));
+        assert!(kinds.contains(&InstKind::Load));
+        assert!(kinds.contains(&InstKind::Store));
+        assert!(kinds.contains(&InstKind::Mul));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_call_target_panics() {
+        BenchmarkSpec::new(
+            "bad",
+            IsaMode::Arm,
+            vec![FunctionSpec::new("main", vec![Element::Call(7)])],
+        )
+        .compile();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_probability_panics() {
+        BenchmarkSpec::new(
+            "bad",
+            IsaMode::Arm,
+            vec![FunctionSpec::new(
+                "main",
+                vec![Element::cond(1.5, vec![], vec![])],
+            )],
+        )
+        .compile();
+    }
+}

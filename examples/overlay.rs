@@ -1,0 +1,91 @@
+//! Overlay (dynamic copying) extension — the paper's stated future
+//! work. A program with two sequential hot phases gets its scratchpad
+//! contents swapped at the phase boundary; the ILP weighs the DMA
+//! transfer cost against the per-phase gains.
+//!
+//! ```sh
+//! cargo run --release --example overlay
+//! ```
+
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::overlay::{run_overlay_flow, OverlayMethod};
+use casa::energy::TechParams;
+use casa::ilp::SolverOptions;
+use casa::ir::inst::IsaMode;
+use casa::mem::cache::CacheConfig;
+use casa::workloads::spec::{BenchmarkSpec, Element, FunctionSpec};
+use casa::workloads::Walker;
+
+fn main() {
+    // Two sequential phases: a long loop over kernel A, then a long
+    // loop over kernel B. Statically, only one kernel fits the SPM;
+    // the overlay holds A during phase 1 and B during phase 2.
+    let spec = BenchmarkSpec::new(
+        "phased",
+        IsaMode::Arm,
+        vec![
+            FunctionSpec::new(
+                "main",
+                vec![
+                    Element::Straight(4),
+                    Element::loop_of(3_000, vec![Element::Call(1)]),
+                    Element::loop_of(3_000, vec![Element::Call(2)]),
+                    Element::Straight(4),
+                ],
+            ),
+            FunctionSpec::new("kernel_a", vec![Element::Straight(20)]),
+            FunctionSpec::new("kernel_b", vec![Element::Straight(20)]),
+        ],
+    );
+    let w = spec.compile();
+    let walker = Walker::new(&w.program, &w.behaviors);
+    let (exec, profile) = walker.run(1).expect("phased program runs");
+
+    let cache = CacheConfig::direct_mapped(128, 16);
+    let spm = 96; // holds one kernel (~88 B), not both
+
+    let stat = run_spm_flow(
+        &w.program,
+        &profile,
+        &exec,
+        &FlowConfig {
+            cache,
+            spm_size: spm,
+            allocator: AllocatorKind::CasaBb,
+            tech: TechParams::default(),
+        },
+    )
+    .expect("static flow");
+    println!(
+        "static CASA:  {:>8.2} µJ ({} objects on SPM for the whole run)",
+        stat.energy_uj(),
+        stat.allocation.spm_count()
+    );
+
+    let overlay = run_overlay_flow(
+        &w.program,
+        &profile,
+        &exec,
+        cache,
+        spm,
+        2, // phases
+        OverlayMethod::Ilp,
+        &TechParams::default(),
+        &SolverOptions::default(),
+    )
+    .expect("overlay flow");
+    println!(
+        "overlay (2 phases): {:>8.2} µJ ({} copy-ins, {} words DMA)",
+        overlay.energy_uj(),
+        overlay.allocation.copy_ins(),
+        overlay.final_sim.stats.overlay_copy_words
+    );
+    for (p, phase) in overlay.allocation.per_phase.iter().enumerate() {
+        let objs: Vec<usize> = (0..phase.len()).filter(|&i| phase[i]).collect();
+        println!("  phase {p}: objects {objs:?} on SPM");
+    }
+    println!(
+        "\noverlay saving vs static: {:.1} %",
+        100.0 * (1.0 - overlay.energy_uj() / stat.energy_uj())
+    );
+}

@@ -1,0 +1,68 @@
+//! WCET bounds: the intro's claim that scratchpads "allow tighter
+//! bounds on WCET prediction" made concrete. Without cache analysis,
+//! every cached fetch must be assumed a miss in a sound bound;
+//! scratchpad fetches are deterministic. CASA's allocation therefore
+//! tightens the structural WCET bound of the hot code.
+//!
+//! ```sh
+//! cargo run --release --example wcet_bounds
+//! ```
+
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::wcet::{wcet_bound, WcetCosts};
+use casa::energy::TechParams;
+use casa::mem::cache::CacheConfig;
+use casa::workloads::{mediabench, BranchBehavior, Walker};
+use std::collections::HashMap;
+
+fn main() {
+    let w = mediabench::adpcm().compile();
+    let walker = Walker::new(&w.program, &w.behaviors);
+    let (exec, profile) = walker.run(2004).expect("adpcm runs");
+
+    // Loop bounds come from the workload's counted-loop behaviours —
+    // exactly the bounds a WCET annotation would provide.
+    let loop_bounds: HashMap<_, _> = w
+        .behaviors
+        .iter()
+        .filter_map(|(&block, &b)| match b {
+            BranchBehavior::Loop { trips, .. } => Some((block, trips + 1)),
+            BranchBehavior::Prob { .. } => None,
+        })
+        .collect();
+
+    let costs = WcetCosts::default();
+    println!("adpcm, 128 B I-cache, miss penalty {} cycles\n", costs.cache_miss_penalty);
+    println!("{:>8} {:>16} {:>14}", "SPM [B]", "WCET bound [cy]", "tightening %");
+
+    let mut baseline = None;
+    for spm in [0u32, 64, 128, 256] {
+        let r = run_spm_flow(
+            &w.program,
+            &profile,
+            &exec,
+            &FlowConfig {
+                cache: CacheConfig::direct_mapped(128, 16),
+                spm_size: spm.max(16),
+                allocator: if spm == 0 {
+                    AllocatorKind::None
+                } else {
+                    AllocatorKind::CasaBb
+                },
+                tech: TechParams::default(),
+            },
+        )
+        .expect("flow");
+        let bound = wcet_bound(&w.program, &r.traces, &r.layout, &loop_bounds, &costs)
+            .expect("structural bound exists");
+        let base = *baseline.get_or_insert(bound);
+        println!(
+            "{:>8} {:>16} {:>14.1}",
+            spm,
+            bound,
+            100.0 * (1.0 - bound as f64 / base as f64)
+        );
+    }
+    println!("\nThe bound drops as CASA moves hot loop bodies to the scratchpad,");
+    println!("where fetch latency is deterministic (no miss assumption needed).");
+}

@@ -1,0 +1,48 @@
+//! # casa — Cache-Aware Scratchpad Allocation
+//!
+//! Facade crate for the reproduction of *"Cache-Aware Scratchpad
+//! Allocation Algorithm"* (Verma, Wehmeyer, Marwedel — DATE 2004).
+//! Re-exports every workspace crate under one roof so downstream users
+//! can depend on a single crate:
+//!
+//! * [`ir`] — embedded program IR, CFG, loops, profiles
+//! * [`trace`] — trace formation, NOP padding, code layout
+//! * [`mem`] — I-cache / scratchpad / loop-cache / main-memory simulator
+//! * [`ilp`] — 0/1 ILP solver (simplex + branch & bound) and knapsack DP
+//! * [`energy`] — cacti-lite per-access energy models
+//! * [`core`] — conflict graph, CASA allocator, Steinke & Ross baselines
+//! * [`workloads`] — synthetic Mediabench-like benchmark programs
+//!
+//! See `examples/quickstart.rs` for the end-to-end workflow of the
+//! paper's figure 3.
+//!
+//! ```
+//! use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+//! use casa::energy::TechParams;
+//! use casa::mem::cache::CacheConfig;
+//! use casa::workloads::{mediabench, Walker};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = mediabench::adpcm().compile();
+//! let walker = Walker::new(&w.program, &w.behaviors);
+//! let (exec, profile) = walker.run(2004)?;
+//! let report = run_spm_flow(&w.program, &profile, &exec, &FlowConfig {
+//!     cache: CacheConfig::direct_mapped(128, 16),
+//!     spm_size: 128,
+//!     allocator: AllocatorKind::CasaBb,
+//!     tech: TechParams::default(),
+//! })?;
+//! assert!(report.energy_uj() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use casa_core as core;
+pub use casa_energy as energy;
+pub use casa_ilp as ilp;
+pub use casa_ir as ir;
+pub use casa_mem as mem;
+pub use casa_trace as trace;
+pub use casa_workloads as workloads;

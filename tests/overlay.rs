@@ -1,0 +1,146 @@
+//! Integration tests for the overlay (dynamic copying) extension.
+
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::overlay::{run_overlay_flow, OverlayMethod};
+use casa::energy::TechParams;
+use casa::ilp::SolverOptions;
+use casa::ir::inst::IsaMode;
+use casa::mem::cache::CacheConfig;
+use casa::workloads::spec::{BenchmarkSpec, Element, FunctionSpec};
+use casa::workloads::Walker;
+
+fn phased_workload() -> (casa::ir::Program, casa::ir::Profile, casa::mem::ExecutionTrace) {
+    let spec = BenchmarkSpec::new(
+        "phased",
+        IsaMode::Arm,
+        vec![
+            FunctionSpec::new(
+                "main",
+                vec![
+                    Element::Straight(4),
+                    Element::loop_of(1_500, vec![Element::Call(1)]),
+                    Element::loop_of(1_500, vec![Element::Call(2)]),
+                    Element::Straight(4),
+                ],
+            ),
+            FunctionSpec::new("kernel_a", vec![Element::Straight(20)]),
+            FunctionSpec::new("kernel_b", vec![Element::Straight(20)]),
+        ],
+    );
+    let w = spec.compile();
+    let walker = Walker::new(&w.program, &w.behaviors);
+    let (exec, profile) = walker.run(1).expect("runs");
+    (w.program, profile, exec)
+}
+
+const CACHE: CacheConfig = CacheConfig {
+    size: 128,
+    line_size: 16,
+    associativity: 1,
+    policy: casa::mem::cache::ReplacementPolicy::Lru,
+};
+
+#[test]
+fn overlay_beats_static_on_phased_program() {
+    let (program, profile, exec) = phased_workload();
+    let stat = run_spm_flow(
+        &program,
+        &profile,
+        &exec,
+        &FlowConfig {
+            cache: CACHE,
+            spm_size: 96,
+            allocator: AllocatorKind::CasaBb,
+            tech: TechParams::default(),
+        },
+    )
+    .expect("static");
+    let overlay = run_overlay_flow(
+        &program,
+        &profile,
+        &exec,
+        CACHE,
+        96,
+        2,
+        OverlayMethod::Ilp,
+        &TechParams::default(),
+        &SolverOptions::default(),
+    )
+    .expect("overlay");
+    assert!(
+        overlay.energy_uj() < stat.energy_uj(),
+        "overlay {} must beat static {} on a phased program",
+        overlay.energy_uj(),
+        stat.energy_uj()
+    );
+    assert!(overlay.allocation.copy_ins() >= 2, "contents must swap");
+    assert!(overlay.final_sim.stats.overlay_copy_words > 0);
+    assert!(overlay.final_sim.check_fetch_identity());
+}
+
+#[test]
+fn overlay_capacity_respected_per_phase() {
+    let (program, profile, exec) = phased_workload();
+    let overlay = run_overlay_flow(
+        &program,
+        &profile,
+        &exec,
+        CACHE,
+        96,
+        3,
+        OverlayMethod::Ilp,
+        &TechParams::default(),
+        &SolverOptions::default(),
+    )
+    .expect("overlay");
+    for phase in &overlay.allocation.per_phase {
+        let used: u32 = overlay
+            .traces
+            .traces()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| phase[*i])
+            .map(|(_, t)| t.code_size())
+            .sum();
+        assert!(used <= 96, "phase uses {used} B of a 96 B scratchpad");
+    }
+}
+
+#[test]
+fn more_phases_never_hurt_much() {
+    // With the same windows the 1-phase overlay is static CASA plus a
+    // one-time DMA; additional phases can only enable improvements
+    // (paying DMA only when it amortizes). Allow a small tolerance
+    // for per-phase profiling noise (cold caches at phase starts).
+    let (program, profile, exec) = phased_workload();
+    let one = run_overlay_flow(
+        &program,
+        &profile,
+        &exec,
+        CACHE,
+        96,
+        1,
+        OverlayMethod::Ilp,
+        &TechParams::default(),
+        &SolverOptions::default(),
+    )
+    .expect("1 phase");
+    let four = run_overlay_flow(
+        &program,
+        &profile,
+        &exec,
+        CACHE,
+        96,
+        4,
+        OverlayMethod::Ilp,
+        &TechParams::default(),
+        &SolverOptions::default(),
+    )
+    .expect("4 phases");
+    assert!(
+        four.energy_uj() <= one.energy_uj() * 1.05,
+        "4 phases {} should not lose to 1 phase {}",
+        four.energy_uj(),
+        one.energy_uj()
+    );
+}

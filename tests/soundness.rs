@@ -1,0 +1,116 @@
+#![allow(clippy::needless_range_loop)] // parallel test arrays
+
+//! Soundness properties tying the static analyses to the simulator.
+
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::overlay::{allocate_overlay, allocate_overlay_dp};
+use casa::core::wcet::{wcet_bound, WcetCosts};
+use casa::energy::{EnergyTable, TechParams};
+use casa::ilp::SolverOptions;
+use casa::mem::cache::CacheConfig;
+use casa::workloads::generator::{random_spec, GeneratorConfig};
+use casa::workloads::{BranchBehavior, Walker};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The structural WCET bound dominates the simulated execution
+    /// time of *any* run whose loop trip counts respect the bounds.
+    #[test]
+    fn wcet_bound_dominates_simulation(seed in 0u64..300) {
+        let spec = random_spec(seed, &GeneratorConfig::default());
+        let w = spec.compile();
+        let walker = Walker::new(&w.program, &w.behaviors);
+        let (exec, profile) = walker.run(seed).expect("runs");
+        // True loop bounds straight from the counted-loop behaviours.
+        let bounds: HashMap<_, _> = w
+            .behaviors
+            .iter()
+            .filter_map(|(&b, &beh)| match beh {
+                BranchBehavior::Loop { trips, .. } => Some((b, trips)),
+                BranchBehavior::Prob { .. } => None,
+            })
+            .collect();
+        let costs = WcetCosts {
+            cache_miss_penalty: 20,
+            spm_penalty: 0,
+        };
+        for allocator in [AllocatorKind::None, AllocatorKind::CasaBb] {
+            let r = run_spm_flow(
+                &w.program,
+                &profile,
+                &exec,
+                &FlowConfig {
+                    cache: CacheConfig::direct_mapped(128, 16),
+                    spm_size: 128,
+                    allocator,
+                    tech: TechParams::default(),
+                },
+            )
+            .expect("flow");
+            let bound = wcet_bound(&w.program, &r.traces, &r.layout, &bounds, &costs)
+                .expect("generated programs are acyclic with bounded loops");
+            let actual = r.final_sim.total_cycles(costs.cache_miss_penalty);
+            prop_assert!(
+                actual <= bound,
+                "seed {}: simulated {} cycles exceed the WCET bound {} ({:?})",
+                seed,
+                actual,
+                bound,
+                allocator
+            );
+        }
+    }
+
+    /// The exact overlay ILP never loses to the candidate-set DP, and
+    /// both respect per-phase capacity, on random phased instances.
+    #[test]
+    fn overlay_ilp_dominates_dp(
+        n in 2usize..5,
+        phases in 1usize..4,
+        cap in 32u32..200,
+        seed in 0u64..5_000,
+    ) {
+        use casa::core::conflict::ConflictGraph;
+        let mut state = seed.wrapping_mul(0x9E3779B9).wrapping_add(11);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let sizes: Vec<u32> = (0..n).map(|_| (next() % 100 + 8) as u32).collect();
+        let graphs: Vec<ConflictGraph> = (0..phases)
+            .map(|_| {
+                let fetches: Vec<u64> = (0..n).map(|_| next() % 5_000).collect();
+                let mut edges = HashMap::new();
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j && next() % 3 == 0 {
+                            edges.insert((i, j), next() % 300);
+                        }
+                    }
+                }
+                ConflictGraph::from_parts(fetches, sizes.clone(), edges)
+            })
+            .collect();
+        let table = EnergyTable::build(128, 16, 1, cap.max(16), None, &TechParams::default());
+        let ilp = allocate_overlay(&graphs, &table, cap, &SolverOptions::default())
+            .expect("overlay ILP solves");
+        let dp = allocate_overlay_dp(&graphs, &table, cap);
+        prop_assert!(
+            ilp.predicted_energy <= dp.predicted_energy + 1e-6 * dp.predicted_energy.abs().max(1.0),
+            "ILP {} must not lose to DP {}",
+            ilp.predicted_energy,
+            dp.predicted_energy
+        );
+        for alloc in [&ilp.per_phase, &dp.per_phase] {
+            for phase in alloc {
+                let used: u32 = (0..n).filter(|&i| phase[i]).map(|i| sizes[i]).sum();
+                prop_assert!(used <= cap);
+            }
+        }
+    }
+}

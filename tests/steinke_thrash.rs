@@ -1,0 +1,223 @@
+//! Regression test for the paper's §2 claim about Steinke's
+//! allocator: because memory objects are *moved* (not copied), "the
+//! layout of the entire program is changed, which may cause
+//! non-conflicting memory objects to conflict with each other and
+//! lead to erratic results" — up to cache thrashing.
+//!
+//! The program below is constructed so that both allocators pick the
+//! same (optimal-looking) object `H`, yet:
+//!
+//! * CASA copies `H` to the scratchpad — every remaining object keeps
+//!   its address and the hierarchy runs conflict-free;
+//! * Steinke moves `H` out — the code behind it slides down by
+//!   exactly `|H|`, which re-maps the hot object `M` onto the cache
+//!   sets of the hot object `A` and the two thrash on every loop
+//!   iteration.
+
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::energy::TechParams;
+use casa::ir::inst::{InstKind, IsaMode};
+use casa::ir::{BlockId, Profile, ProgramBuilder};
+use casa::mem::cache::CacheConfig;
+use casa::mem::ExecutionTrace;
+
+const N: u64 = 400; // loop iterations
+
+struct Setup {
+    program: casa::ir::Program,
+    profile: Profile,
+    exec: ExecutionTrace,
+    a1_entry: BlockId,
+    h_entry: BlockId,
+    m_entry: BlockId,
+}
+
+/// Build: main loop calling H twice, A once, M once per iteration.
+/// Address plan (16 B lines, 256 B cache = 16 sets):
+///   main traces [0, 112), A [112, 176) sets 7-10,
+///   H [176, 240) sets 11-14, cold [240, 432), M [432, 496) sets 11-14.
+/// So initially only H and M conflict; removing H's 64 bytes slides M
+/// onto A's sets.
+fn build() -> Setup {
+    let mut b = ProgramBuilder::new(IsaMode::Arm);
+    let main = b.function("main");
+    let fa = b.function("a");
+    let fh = b.function("h");
+    let fcold = b.function("cold");
+    let fm = b.function("m");
+
+    // main
+    let eb = b.block(main);
+    let lh = b.block(main);
+    let body = b.block(main);
+    let r1 = b.block(main);
+    let r2 = b.block(main);
+    let r3 = b.block(main);
+    let r4 = b.block(main);
+    let ex = b.block(main);
+    b.push_n(eb, InstKind::Alu, 2);
+    b.fall_through(eb, lh);
+    b.push(lh, InstKind::Alu);
+    b.branch(lh, ex, body);
+    b.push(body, InstKind::Alu);
+    b.call(body, fh, r1);
+    b.push(r1, InstKind::Alu);
+    b.call(r1, fh, r2);
+    b.push(r2, InstKind::Alu);
+    b.call(r2, fa, r3);
+    b.push(r3, InstKind::Alu);
+    b.call(r3, fm, r4);
+    b.push(r4, InstKind::Alu);
+    b.jump(r4, lh);
+    b.push(ex, InstKind::Alu);
+    b.exit(ex);
+
+    // a / h: 64 B leaf functions; cold: 192 B leaf.
+    let a1_entry = b.block(fa);
+    b.push_n(a1_entry, InstKind::Alu, 15);
+    b.ret(a1_entry);
+    let h_entry = b.block(fh);
+    b.push_n(h_entry, InstKind::Alu, 15);
+    b.ret(h_entry);
+    let cold_entry = b.block(fcold);
+    b.push_n(cold_entry, InstKind::Alu, 47);
+    b.ret(cold_entry);
+    let m_entry = b.block(fm);
+    b.push_n(m_entry, InstKind::Alu, 15);
+    b.ret(m_entry);
+
+    let program = b.finish().expect("valid program");
+
+    // One deterministic execution: N iterations of the loop.
+    let mut seq = vec![eb];
+    let mut profile = Profile::new();
+    profile.add_block(eb, 1);
+    profile.add_edge(eb, lh, 1);
+    for _ in 0..N {
+        for &blk in &[lh, body, h_entry, r1, h_entry, r2, a1_entry, r3, m_entry, r4] {
+            seq.push(blk);
+            profile.add_block(blk, 1);
+        }
+        profile.add_edge(lh, body, 1);
+        profile.add_edge(body, r1, 1);
+        profile.add_edge(r1, r2, 1);
+        profile.add_edge(r2, r3, 1);
+        profile.add_edge(r3, r4, 1);
+        profile.add_edge(r4, lh, 1);
+    }
+    seq.push(lh);
+    seq.push(ex);
+    profile.add_block(lh, 1);
+    profile.add_block(ex, 1);
+    profile.add_edge(lh, ex, 1);
+    let exec = ExecutionTrace::new(seq);
+    exec.check(&program).expect("legal execution");
+    profile.check_flow(&program).expect("flow conserved");
+
+    Setup {
+        program,
+        profile,
+        exec,
+        a1_entry,
+        h_entry,
+        m_entry,
+    }
+}
+
+fn config(allocator: AllocatorKind) -> FlowConfig {
+    FlowConfig {
+        cache: CacheConfig::direct_mapped(256, 16),
+        spm_size: 64,
+        allocator,
+        tech: TechParams::default(),
+    }
+}
+
+#[test]
+fn move_semantics_recreates_conflicts_copy_does_not() {
+    let s = build();
+
+    // Sanity on the address plan: initially A and M share no cache
+    // sets, H and M share all of theirs.
+    let baseline = run_spm_flow(&s.program, &s.profile, &s.exec, &config(AllocatorKind::None))
+        .expect("baseline");
+    let set_range = |loc: casa::trace::Location, bytes: u32| -> Vec<u32> {
+        (loc.addr..loc.addr + bytes)
+            .step_by(16)
+            .map(|a| (a / 16) % 16)
+            .collect()
+    };
+    let traces = &baseline.traces;
+    let layout = &baseline.layout;
+    let a_sets = set_range(layout.block_location(traces, s.a1_entry), 64);
+    let h_sets = set_range(layout.block_location(traces, s.h_entry), 64);
+    let m_sets = set_range(layout.block_location(traces, s.m_entry), 64);
+    assert_eq!(h_sets, m_sets, "H and M must collide initially");
+    assert!(
+        a_sets.iter().all(|x| !h_sets.contains(x)),
+        "A and H must be disjoint initially: {a_sets:?} vs {h_sets:?}"
+    );
+
+    let casa = run_spm_flow(&s.program, &s.profile, &s.exec, &config(AllocatorKind::CasaBb))
+        .expect("casa");
+    let steinke = run_spm_flow(
+        &s.program,
+        &s.profile,
+        &s.exec,
+        &config(AllocatorKind::Steinke),
+    )
+    .expect("steinke");
+
+    // Both allocators choose H — the hottest 64-byte object.
+    let h_trace = traces.trace_of(s.h_entry).index();
+    assert!(casa.allocation.on_spm[h_trace], "CASA allocates H");
+    assert!(steinke.allocation.on_spm[h_trace], "Steinke allocates H");
+
+    // CASA (copy): conflict-free steady state.
+    assert!(
+        casa.final_sim.stats.cache_misses < N / 2,
+        "CASA should run nearly miss-free, got {}",
+        casa.final_sim.stats.cache_misses
+    );
+    // Steinke (move): A and M now thrash every iteration.
+    assert!(
+        steinke.final_sim.stats.cache_misses > 3 * N,
+        "Steinke's moved layout should thrash, got {} misses",
+        steinke.final_sim.stats.cache_misses
+    );
+    assert!(
+        steinke.energy_uj() > 2.0 * casa.energy_uj(),
+        "thrashing must dominate energy: steinke {} vs casa {}",
+        steinke.energy_uj(),
+        casa.energy_uj()
+    );
+
+    // And the post-move M really sits on A's sets.
+    let m_sets_after = set_range(
+        steinke.layout.block_location(&steinke.traces, s.m_entry),
+        64,
+    );
+    assert_eq!(
+        m_sets_after, a_sets,
+        "the move must slide M onto A's cache sets"
+    );
+}
+
+#[test]
+fn all_casa_variants_identical_on_this_instance() {
+    let s = build();
+    let energies: Vec<f64> = [
+        AllocatorKind::CasaBb,
+        AllocatorKind::CasaIlpPaper,
+        AllocatorKind::CasaIlpTight,
+    ]
+    .into_iter()
+    .map(|k| {
+        run_spm_flow(&s.program, &s.profile, &s.exec, &config(k))
+            .expect("flow")
+            .energy_uj()
+    })
+    .collect();
+    assert!((energies[0] - energies[1]).abs() < 1e-9);
+    assert!((energies[0] - energies[2]).abs() < 1e-9);
+}
