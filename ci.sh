@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Repository CI: formatting, lints, then the tier-1 gate.
+# Usage: ./ci.sh
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

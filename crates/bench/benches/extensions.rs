@@ -100,14 +100,26 @@ fn bench_placement_and_wcet(c: &mut Criterion) {
     group.bench_function("placement_flow", |b| {
         b.iter(|| {
             black_box(
-                run_placement_flow(&w.program, &w.profile, &w.exec, cache, &TechParams::default())
-                    .expect("placement"),
+                run_placement_flow(
+                    &w.program,
+                    &w.profile,
+                    &w.exec,
+                    cache,
+                    &TechParams::default(),
+                )
+                .expect("placement"),
             )
         })
     });
     // WCET over the initial layout.
-    let r = run_placement_flow(&w.program, &w.profile, &w.exec, cache, &TechParams::default())
-        .expect("placement");
+    let r = run_placement_flow(
+        &w.program,
+        &w.profile,
+        &w.exec,
+        cache,
+        &TechParams::default(),
+    )
+    .expect("placement");
     let spec = mediabench::g721().compile();
     let bounds: HashMap<_, _> = spec
         .behaviors
@@ -120,13 +132,24 @@ fn bench_placement_and_wcet(c: &mut Criterion) {
     group.bench_function("wcet_bound", |b| {
         b.iter(|| {
             black_box(
-                wcet_bound(&w.program, &r.traces, &r.layout, &bounds, &WcetCosts::default())
-                    .expect("bound"),
+                wcet_bound(
+                    &w.program,
+                    &r.traces,
+                    &r.layout,
+                    &bounds,
+                    &WcetCosts::default(),
+                )
+                .expect("bound"),
             )
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_overlay, bench_joint_data, bench_placement_and_wcet);
+criterion_group!(
+    benches,
+    bench_overlay,
+    bench_joint_data,
+    bench_placement_and_wcet
+);
 criterion_main!(benches);

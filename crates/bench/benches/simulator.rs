@@ -56,14 +56,10 @@ fn bench_fetch_engine(c: &mut Criterion) {
     let cfg = HierarchyConfig::spm_system(CacheConfig::direct_mapped(1024, 16), 1024);
     let mut group = c.benchmark_group("fetch_engine");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(
-        w.profile.total_fetches(&w.program),
-    ));
+    group.throughput(Throughput::Elements(w.profile.total_fetches(&w.program)));
     group.bench_function("g721_full_replay", |b| {
         b.iter(|| {
-            black_box(
-                simulate(&w.program, &traces, &layout, &w.exec, &cfg).expect("simulates"),
-            )
+            black_box(simulate(&w.program, &traces, &layout, &w.exec, &cfg).expect("simulates"))
         })
     });
     group.finish();
@@ -84,12 +80,15 @@ fn bench_trace_formation(c: &mut Criterion) {
     // Cold profile: formation must behave with all-zero counts too.
     let empty = Profile::new();
     group.bench_function("mpeg_19k_cold_profile", |b| {
-        b.iter(|| {
-            black_box(form_traces(&w.program, &empty, TraceConfig::new(1024, 16)))
-        })
+        b.iter(|| black_box(form_traces(&w.program, &empty, TraceConfig::new(1024, 16))))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_cache_access, bench_fetch_engine, bench_trace_formation);
+criterion_group!(
+    benches,
+    bench_cache_access,
+    bench_fetch_engine,
+    bench_trace_formation
+);
 criterion_main!(benches);

@@ -37,7 +37,13 @@ fn bench_table1(c: &mut Criterion) {
         }
         println!(
             "{:<8} {:>7} {:>11} {:>12} {:>10} {:>14.1} {:>12.1}",
-            "", "avg", "", "", "", block.avg_vs_steinke(), block.avg_vs_lc()
+            "",
+            "avg",
+            "",
+            "",
+            "",
+            block.avg_vs_steinke(),
+            block.avg_vs_lc()
         );
     }
 

@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p casa-bench --bin ablation [scale]`
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
-use casa_bench::runner::prepared;
+use casa_bench::runner::{cli_scale, prepared};
 use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
 use casa_core::overlay::{run_overlay_flow, OverlayMethod};
 use casa_core::placement::run_placement_flow;
@@ -15,10 +15,7 @@ use casa_mem::cache::CacheConfig;
 use casa_workloads::mediabench;
 
 fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let scale = cli_scale();
     println!("Ablation — instruction-memory energy (µJ), mid-size SPM per benchmark\n");
     println!(
         "{:<8} {:>10} {:>11} {:>10} {:>10} {:>10} {:>10}",
@@ -49,10 +46,15 @@ fn main() {
         let steinke = run(AllocatorKind::Steinke);
         let greedy = run(AllocatorKind::CasaGreedy);
         let casa = run(AllocatorKind::CasaBb);
-        let placement =
-            run_placement_flow(&w.program, &w.profile, &w.exec, cache, &TechParams::default())
-                .expect("placement flow")
-                .energy_uj();
+        let placement = run_placement_flow(
+            &w.program,
+            &w.profile,
+            &w.exec,
+            cache,
+            &TechParams::default(),
+        )
+        .expect("placement flow")
+        .energy_uj();
         let overlay = run_overlay_flow(
             &w.program,
             &w.profile,

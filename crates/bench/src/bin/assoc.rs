@@ -10,17 +10,14 @@
 //! Usage: `cargo run --release -p casa-bench --bin assoc [scale]`
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
-use casa_bench::runner::prepared;
+use casa_bench::runner::{cli_scale, prepared};
 use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
 use casa_energy::TechParams;
 use casa_mem::cache::{CacheConfig, ReplacementPolicy};
 use casa_workloads::mediabench;
 
 fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let scale = cli_scale();
     println!("Associativity sweep — CASA vs no allocation, mid-size SPM\n");
     println!(
         "{:<8} {:>6} {:>12} {:>12} {:>10} {:>12}",

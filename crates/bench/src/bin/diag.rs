@@ -42,7 +42,12 @@ fn main() {
                 .iter()
                 .map(|&b| w.profile.fetches(&w.program, b))
                 .sum();
-            println!("    fn {:<16} {:>6} B {:>10} fetches", f.name(), bytes, fetches);
+            println!(
+                "    fn {:<16} {:>6} B {:>10} fetches",
+                f.name(),
+                bytes,
+                fetches
+            );
         }
         let cfg = FlowConfig {
             cache: CacheConfig::direct_mapped(cache_size, LINE_SIZE),

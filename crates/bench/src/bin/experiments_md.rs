@@ -26,8 +26,11 @@ const PAPER_TABLE1: &[(&str, u32, f64, f64, f64)] = &[
 ];
 
 /// Paper per-benchmark averages: (benchmark, vs Steinke %, vs LC %).
-const PAPER_AVGS: &[(&str, f64, f64)] =
-    &[("adpcm", 29.0, 44.1), ("g721", 8.2, 19.7), ("mpeg", 28.0, 26.0)];
+const PAPER_AVGS: &[(&str, f64, f64)] = &[
+    ("adpcm", 29.0, 44.1),
+    ("g721", 8.2, 19.7),
+    ("mpeg", 28.0, 26.0),
+];
 
 fn paper_improvement(bench: &str, size: u32) -> Option<(f64, f64)> {
     PAPER_TABLE1
@@ -165,7 +168,9 @@ fn main() {
             r.size, r.local_accesses_pct, r.cache_accesses_pct, r.cache_misses_pct, r.energy_pct
         );
     }
-    let misses_fall = rows5.windows(2).all(|w| w[1].cache_misses_pct <= w[0].cache_misses_pct + 5.0);
+    let misses_fall = rows5
+        .windows(2)
+        .all(|w| w[1].cache_misses_pct <= w[0].cache_misses_pct + 5.0);
     let always_wins = rows5.iter().all(|r| r.energy_pct < 100.0);
     let _ = writeln!(
         md,

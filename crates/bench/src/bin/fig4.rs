@@ -4,14 +4,11 @@
 //! Usage: `cargo run --release -p casa-bench --bin fig4 [scale]`
 
 use casa_bench::experiments::fig4;
-use casa_bench::runner::prepared;
+use casa_bench::runner::{cli_scale, prepared};
 use casa_workloads::mediabench;
 
 fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let scale = cli_scale();
     let w = prepared(mediabench::mpeg(), scale, 2004);
     println!("Figure 4 — CASA vs. Steinke, MPEG, 2 kB direct-mapped I-cache");
     println!("(all values as % of Steinke = 100%)\n");
@@ -22,11 +19,7 @@ fn main() {
     for r in fig4(&w, 2048, &[128, 256, 512, 1024]) {
         println!(
             "{:>8} {:>12.1} {:>14.1} {:>14.1} {:>10.1}",
-            r.spm_size,
-            r.spm_accesses_pct,
-            r.cache_accesses_pct,
-            r.cache_misses_pct,
-            r.energy_pct
+            r.spm_size, r.spm_accesses_pct, r.cache_accesses_pct, r.cache_misses_pct, r.energy_pct
         );
     }
     println!("\npaper shape: SP acc < 100, I$ acc > 100, I$ miss << 100, energy < 100");

@@ -1,0 +1,57 @@
+//! Deterministic parallel Table-1 sweep.
+//!
+//! Runs the canonical Table-1 grid (3 benchmarks × 4 local-memory
+//! sizes × {SP(CASA), SP(Steinke), LC(Ross)}) once single-threaded
+//! and once with the configured worker count, verifies the two
+//! reports are byte-identical modulo timing, and writes the parallel
+//! run (plus the serial baseline's wall clock and the speedup) to
+//! `BENCH_sweep.json`.
+//!
+//! Usage: `cargo run --release -p casa-bench --bin sweep [scale]`
+//! Worker count: `CASA_SWEEP_THREADS` (default: available cores).
+
+use casa_bench::runner::cli_scale;
+use casa_bench::sweep::{sweep_threads, SweepGrid};
+
+fn main() {
+    let scale = cli_scale();
+    let threads = sweep_threads();
+    let grid = SweepGrid::table1_paper(scale, 2004);
+    println!(
+        "sweep: {} cells over {} workloads (scale {scale}), {threads} worker(s)",
+        grid.cell_count(),
+        grid.workload_count()
+    );
+
+    let serial = grid.run_with_threads(1);
+    let parallel = grid.run_with_threads(threads);
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "sweep results must not depend on the worker count"
+    );
+    println!("determinism: serial and {threads}-worker reports are byte-identical");
+
+    let speedup = serial.total_secs / parallel.total_secs.max(1e-12);
+    println!(
+        "serial {:.2} s, parallel {:.2} s ({speedup:.2}x with {threads} worker(s))",
+        serial.total_secs, parallel.total_secs
+    );
+
+    for c in &parallel.cells {
+        println!(
+            "{:<8} {:<14} {:>6} B  {:>12.2} µJ  {:>9} nodes  {:>8.4} s",
+            c.benchmark, c.flavor, c.local_size, c.energy_uj, c.solver_nodes, c.cell_secs
+        );
+    }
+
+    // Full report plus the serial baseline for the speedup record.
+    let json = format!(
+        "{{\"serial_total_secs\":{},\"parallel_speedup\":{},\"report\":{}}}",
+        serial.total_secs,
+        speedup,
+        parallel.to_json()
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json ({} bytes)", json.len());
+}

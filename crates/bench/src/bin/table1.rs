@@ -4,20 +4,23 @@
 //! Usage: `cargo run --release -p casa-bench --bin table1 [scale]`
 
 use casa_bench::experiments::{paper_sizes, table1, Table1Row};
-use casa_bench::runner::prepared;
+use casa_bench::runner::{cli_scale, prepared};
 use casa_workloads::mediabench;
 
 fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let scale = cli_scale();
     let timing = std::env::args().any(|a| a == "--timing");
 
     println!("Table 1 — overall energy savings (energies in µJ)\n");
     println!(
         "{:<10} {:>8} {:>12} {:>13} {:>11} {:>18} {:>16}",
-        "benchmark", "size[B]", "SP(CASA)", "SP(Steinke)", "LC(Ross)", "CASA vs Steinke %", "CASA vs LC %"
+        "benchmark",
+        "size[B]",
+        "SP(CASA)",
+        "SP(Steinke)",
+        "LC(Ross)",
+        "CASA vs Steinke %",
+        "CASA vs LC %"
     );
 
     for spec in mediabench::all() {
@@ -39,7 +42,13 @@ fn main() {
         }
         println!(
             "{:<10} {:>8} {:>12} {:>13} {:>11} {:>18.1} {:>16.1}",
-            "", "avg", "", "", "", block.avg_vs_steinke(), block.avg_vs_lc()
+            "",
+            "avg",
+            "",
+            "",
+            "",
+            block.avg_vs_steinke(),
+            block.avg_vs_lc()
         );
         if timing {
             let max_t = block

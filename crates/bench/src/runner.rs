@@ -19,6 +19,16 @@ pub struct PreparedWorkload {
     pub exec: ExecutionTrace,
 }
 
+/// The optional positional `[scale]` argument shared by the
+/// experiment binaries: first CLI argument when it parses as an
+/// integer, else 1.
+pub fn cli_scale() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Compile `spec`, optionally scaling loop trip counts by `scale`,
 /// and record one execution with `seed`.
 ///
@@ -61,8 +71,6 @@ mod tests {
     fn scale_lengthens_execution() {
         let a = prepared(mediabench::adpcm(), 1, 42);
         let b = prepared(mediabench::adpcm(), 2, 42);
-        assert!(
-            b.profile.total_fetches(&b.program) > a.profile.total_fetches(&a.program)
-        );
+        assert!(b.profile.total_fetches(&b.program) > a.profile.total_fetches(&a.program));
     }
 }

@@ -322,10 +322,7 @@ mod tests {
             let bb = allocate_bb(&m, cap);
             let ilp =
                 allocate_ilp(&m, cap, Linearization::Tight, &SolverOptions::default()).unwrap();
-            let (eb, ei) = (
-                bb.predicted_energy.unwrap(),
-                ilp.predicted_energy.unwrap(),
-            );
+            let (eb, ei) = (bb.predicted_energy.unwrap(), ilp.predicted_energy.unwrap());
             assert!(
                 (eb - ei).abs() < 1e-6 * ei.max(1.0),
                 "case {case}: bb {eb} vs ilp {ei}"

@@ -214,10 +214,8 @@ mod tests {
         let t = table();
         let m = EnergyModel::new(&g, &t);
         for cap in [0u32, 64, 128, 192] {
-            let p = allocate_ilp(&m, cap, Linearization::Paper, &SolverOptions::default())
-                .unwrap();
-            let q = allocate_ilp(&m, cap, Linearization::Tight, &SolverOptions::default())
-                .unwrap();
+            let p = allocate_ilp(&m, cap, Linearization::Paper, &SolverOptions::default()).unwrap();
+            let q = allocate_ilp(&m, cap, Linearization::Tight, &SolverOptions::default()).unwrap();
             let ep = p.predicted_energy.unwrap();
             let eq = q.predicted_energy.unwrap();
             assert!(
@@ -243,8 +241,7 @@ mod tests {
         let g = thrash_graph();
         let t = table();
         let m = EnergyModel::new(&g, &t);
-        let a = allocate_ilp(&m, 10_000, Linearization::Tight, &SolverOptions::default())
-            .unwrap();
+        let a = allocate_ilp(&m, 10_000, Linearization::Tight, &SolverOptions::default()).unwrap();
         // All three objects have positive fetch counts: all on SPM.
         assert_eq!(a.spm_count(), 3);
     }
@@ -255,8 +252,7 @@ mod tests {
         let t = table();
         let m = EnergyModel::new(&g, &t);
         for cap in [0u32, 63, 64, 127, 128, 191, 192] {
-            let a = allocate_ilp(&m, cap, Linearization::Tight, &SolverOptions::default())
-                .unwrap();
+            let a = allocate_ilp(&m, cap, Linearization::Tight, &SolverOptions::default()).unwrap();
             let used: u32 = (0..g.len())
                 .filter(|&i| a.on_spm[i])
                 .map(|i| g.size_of(i))

@@ -6,27 +6,81 @@
 //! `x_j` evicting `x_i`'s cache lines.
 
 use casa_ir::Program;
-use casa_mem::SimOutcome;
+use casa_mem::{CacheConfig, SimOutcome};
 use casa_trace::{Layout, TraceSet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// The profiled conflict graph.
+///
+/// Stored as a CSR (compressed sparse row) adjacency built once at
+/// construction: row `i` of [`Self::adj`] holds `(j, m_ij)` sorted by
+/// `j`, so edge lookups are a binary search, per-object conflict sums
+/// are precomputed, and every iteration order is deterministic (the
+/// seed version filtered a `HashMap` per call, which was O(E) per
+/// query and made float summations over [`Self::edges`] depend on the
+/// process-random hash order).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConflictGraph {
     /// `f_i`: instruction fetches per memory object.
     fetches: Vec<u64>,
     /// `S(x_i)`: allocatable size (NOP padding stripped).
     sizes: Vec<u32>,
-    /// `m_ij`, sparse.
-    edges: HashMap<(usize, usize), u64>,
+    /// CSR row offsets: row `i` spans `adj[row_ptr[i]..row_ptr[i + 1]]`.
+    row_ptr: Vec<usize>,
+    /// `(j, m_ij)` pairs, sorted by `j` within each row.
+    adj: Vec<(usize, u64)>,
+    /// `Σ_j m_ij` per row — eq. (3)'s per-object conflict-miss total.
+    conflict_sums: Vec<u64>,
     /// Cold misses per object (not part of the paper's graph, kept for
     /// diagnostics).
     cold: Vec<u64>,
 }
 
+fn build_csr(
+    n: usize,
+    edges: &HashMap<(usize, usize), u64>,
+) -> (Vec<usize>, Vec<(usize, u64)>, Vec<u64>) {
+    let mut sorted: Vec<((usize, usize), u64)> = edges.iter().map(|(&e, &m)| (e, m)).collect();
+    sorted.sort_unstable_by_key(|&(e, _)| e);
+    let mut row_ptr = vec![0usize; n + 1];
+    let mut adj = Vec::with_capacity(sorted.len());
+    let mut sums = vec![0u64; n];
+    for ((i, j), m) in sorted {
+        row_ptr[i + 1] += 1;
+        adj.push((j, m));
+        sums[i] += m;
+    }
+    for i in 0..n {
+        row_ptr[i + 1] += row_ptr[i];
+    }
+    (row_ptr, adj, sums)
+}
+
 impl ConflictGraph {
+    fn from_edge_map(
+        fetches: Vec<u64>,
+        sizes: Vec<u32>,
+        edges: &HashMap<(usize, usize), u64>,
+        cold: Vec<u64>,
+    ) -> Self {
+        let n = fetches.len();
+        let (row_ptr, adj, conflict_sums) = build_csr(n, edges);
+        ConflictGraph {
+            fetches,
+            sizes,
+            row_ptr,
+            adj,
+            conflict_sums,
+            cold,
+        }
+    }
+
+    fn row(&self, i: usize) -> &[(usize, u64)] {
+        &self.adj[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
     /// Build the graph from a profiling simulation (paper fig. 3:
     /// "Trace Generation → Profiling → Conflict Graph").
     ///
@@ -40,12 +94,12 @@ impl ConflictGraph {
             traces.len(),
             "simulation does not match the trace set"
         );
-        ConflictGraph {
-            fetches: sim.trace_fetches.clone(),
-            sizes: traces.traces().iter().map(|t| t.code_size()).collect(),
-            edges: sim.conflicts.misses_between.clone(),
-            cold: sim.conflicts.cold_misses.clone(),
-        }
+        ConflictGraph::from_edge_map(
+            sim.trace_fetches.clone(),
+            traces.traces().iter().map(|t| t.code_size()).collect(),
+            &sim.conflicts.misses_between,
+            sim.conflicts.cold_misses.clone(),
+        )
     }
 
     /// Construct directly from parts (used by tests and the static
@@ -61,12 +115,7 @@ impl ConflictGraph {
             assert!(i < n && j < n, "edge ({i},{j}) out of range");
         }
         let cold = vec![0; n];
-        ConflictGraph {
-            fetches,
-            sizes,
-            edges,
-            cold,
-        }
+        ConflictGraph::from_edge_map(fetches, sizes, &edges, cold)
     }
 
     /// Number of memory objects.
@@ -91,21 +140,22 @@ impl ConflictGraph {
 
     /// `m_ij` — conflict misses of `i` caused by `j`.
     pub fn misses_between(&self, i: usize, j: usize) -> u64 {
-        self.edges.get(&(i, j)).copied().unwrap_or(0)
+        let row = self.row(i);
+        match row.binary_search_by_key(&j, |&(nj, _)| nj) {
+            Ok(pos) => row[pos].1,
+            Err(_) => 0,
+        }
     }
 
-    /// Iterate over `((i, j), m_ij)` for all non-zero edges.
+    /// Iterate over `((i, j), m_ij)` for all edges, in ascending
+    /// `(i, j)` order (deterministic — safe to fold floats over).
     pub fn edges(&self) -> impl Iterator<Item = ((usize, usize), u64)> + '_ {
-        self.edges.iter().map(|(&e, &m)| (e, m))
+        (0..self.len()).flat_map(move |i| self.row(i).iter().map(move |&(j, m)| ((i, j), m)))
     }
 
-    /// Total conflict misses of object `i` (eq. 3).
+    /// Total conflict misses of object `i` (eq. 3). Precomputed — O(1).
     pub fn conflict_misses_of(&self, i: usize) -> u64 {
-        self.edges
-            .iter()
-            .filter(|((vi, _), _)| *vi == i)
-            .map(|(_, &m)| m)
-            .sum()
+        self.conflict_sums[i]
     }
 
     /// Cold misses of object `i` (diagnostic; not in the ILP).
@@ -115,20 +165,13 @@ impl ConflictGraph {
 
     /// Number of directed edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.adj.len()
     }
 
-    /// The neighbour set `N_i = { j : e_ij ∈ E }` of eq. (3).
+    /// The neighbour set `N_i = { j : e_ij ∈ E }` of eq. (3), in
+    /// ascending order.
     pub fn neighbours(&self, i: usize) -> Vec<usize> {
-        let mut n: Vec<usize> = self
-            .edges
-            .keys()
-            .filter(|(vi, _)| *vi == i)
-            .map(|&(_, j)| j)
-            .collect();
-        n.sort_unstable();
-        n.dedup();
-        n
+        self.row(i).iter().map(|&(j, _)| j).collect()
     }
 
     /// Graphviz DOT rendering (paper fig. 2 style: vertices weighted
@@ -138,9 +181,7 @@ impl ConflictGraph {
         for i in 0..self.len() {
             let _ = writeln!(out, "  {i} [label=\"x{i}\\nf={}\"];", self.fetches[i]);
         }
-        let mut edges: Vec<_> = self.edges.iter().collect();
-        edges.sort();
-        for (&(i, j), &m) in edges {
+        for ((i, j), m) in self.edges() {
             let _ = writeln!(out, "  {i} -> {j} [label=\"{m}\"];");
         }
         out.push_str("}\n");
@@ -158,13 +199,13 @@ pub fn static_approximation(
     program: &Program,
     traces: &TraceSet,
     layout: &Layout,
-    cache_size: u32,
-    line_size: u32,
+    cache: &CacheConfig,
     fetches: &[u64],
 ) -> ConflictGraph {
-    let num_sets = cache_size / line_size;
+    let line_size = cache.line_size;
     let n = traces.len();
-    // Which sets each trace touches in main memory.
+    // Which sets each trace touches in main memory, per the cache's own
+    // `Map` function (so associativity folds lines into sets correctly).
     let mut sets_of: Vec<Vec<u32>> = vec![Vec::new(); n];
     for t in traces.traces() {
         let loc = layout.trace_location(t.id());
@@ -173,7 +214,9 @@ pub fn static_approximation(
         }
         let start_line = loc.addr / line_size;
         let end_line = (loc.addr + t.padded_size(line_size)).div_ceil(line_size);
-        let mut sets: Vec<u32> = (start_line..end_line).map(|l| l % num_sets).collect();
+        let mut sets: Vec<u32> = (start_line..end_line)
+            .map(|l| cache.map(l * line_size))
+            .collect();
         sets.sort_unstable();
         sets.dedup();
         sets_of[t.id().index()] = sets;
@@ -238,14 +281,16 @@ mod tests {
         assert!(dot.starts_with("digraph"));
     }
 
-    #[test]
-    fn static_approximation_is_pessimistic_about_overlap() {
+    // A program whose traces land at lines 0 (x), 1-3 (filler), and
+    // 4 (y) of main memory with 16-byte lines.
+    fn line_spaced_program() -> (
+        casa_ir::Program,
+        casa_ir::BlockId,
+        casa_ir::BlockId,
+        casa_ir::BlockId,
+    ) {
         use casa_ir::inst::{InstKind, IsaMode};
-        use casa_ir::{Profile, ProgramBuilder};
-        use casa_trace::trace::{form_traces, TraceConfig};
-        use casa_trace::Layout;
-        // Two blocks one cache-size apart: the static model must see
-        // the overlap; a disjoint pair must stay edge-free.
+        use casa_ir::ProgramBuilder;
         let mut b = ProgramBuilder::new(IsaMode::Arm);
         let f = b.function("f");
         let x = b.block(f);
@@ -260,12 +305,23 @@ mod tests {
         b.branch(y, x, ex);
         b.push(ex, InstKind::Alu);
         b.exit(ex);
-        let p = b.finish().unwrap();
+        (b.finish().unwrap(), x, filler, y)
+    }
+
+    #[test]
+    fn static_approximation_is_pessimistic_about_overlap() {
+        use casa_ir::Profile;
+        use casa_trace::trace::{form_traces, TraceConfig};
+        use casa_trace::Layout;
+        // Two blocks one cache-size apart: the static model must see
+        // the overlap; a disjoint pair must stay edge-free.
+        let (p, x, filler, y) = line_spaced_program();
         let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
         let layout = Layout::initial(&p, &ts);
         // Everything "hot" for the approximation.
         let fetches = vec![100u64; ts.len()];
-        let g = static_approximation(&p, &ts, &layout, 64, 16, &fetches);
+        let cache = CacheConfig::direct_mapped(64, 16);
+        let g = static_approximation(&p, &ts, &layout, &cache, &fetches);
         let (ti, tj) = (ts.trace_of(x).index(), ts.trace_of(y).index());
         assert!(
             g.misses_between(ti, tj) > 0,
@@ -274,6 +330,94 @@ mod tests {
         // x at [0,16) and filler at [16,64) share no 64 B-cache set.
         let tf = ts.trace_of(filler).index();
         assert_eq!(g.misses_between(ti, tf), 0);
+    }
+
+    #[test]
+    fn static_approximation_respects_associativity() {
+        use casa_ir::Profile;
+        use casa_mem::ReplacementPolicy;
+        use casa_trace::trace::{form_traces, TraceConfig};
+        use casa_trace::Layout;
+        // 128 B 2-way cache with 16 B lines has 4 sets, so line 0 (x)
+        // and line 4 (y) collide in set 0. Treating it as direct-mapped
+        // (8 sets, the old `cache_size / line_size` bug) would put them
+        // in sets 0 and 4 and miss the conflict entirely.
+        let (p, x, filler, y) = line_spaced_program();
+        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let layout = Layout::initial(&p, &ts);
+        let fetches = vec![100u64; ts.len()];
+        let cache = CacheConfig {
+            size: 128,
+            line_size: 16,
+            associativity: 2,
+            policy: ReplacementPolicy::Lru,
+        };
+        assert_eq!(cache.num_sets(), 4);
+        let g = static_approximation(&p, &ts, &layout, &cache, &fetches);
+        let (ti, tj) = (ts.trace_of(x).index(), ts.trace_of(y).index());
+        assert!(
+            g.misses_between(ti, tj) > 0,
+            "2-way folding maps lines 0 and 4 to the same set"
+        );
+        // filler occupies lines 1-3 -> sets 1-3, disjoint from x's set 0.
+        let tf = ts.trace_of(filler).index();
+        assert_eq!(g.misses_between(ti, tf), 0);
+    }
+
+    #[test]
+    fn csr_matches_naive_edge_scan() {
+        // Pseudo-random graph (deterministic LCG); every CSR accessor
+        // must agree with a direct scan over the generating edge map.
+        let n = 23usize;
+        let mut state = 0x2004_cafe_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut edges = HashMap::new();
+        for _ in 0..150 {
+            let i = (next() as usize) % n;
+            let j = (next() as usize) % n;
+            if i != j {
+                edges.insert((i, j), next() % 1000 + 1);
+            }
+        }
+        let fetches: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+        let sizes: Vec<u32> = (0..n as u32).map(|i| 16 * (i + 1)).collect();
+        let g = ConflictGraph::from_parts(fetches, sizes, edges.clone());
+
+        assert_eq!(g.edge_count(), edges.len());
+        for i in 0..n {
+            let naive_sum: u64 = edges
+                .iter()
+                .filter(|&(&(vi, _), _)| vi == i)
+                .map(|(_, &m)| m)
+                .sum();
+            assert_eq!(g.conflict_misses_of(i), naive_sum, "sum of row {i}");
+            let mut naive_nbrs: Vec<usize> = edges
+                .keys()
+                .filter(|&&(vi, _)| vi == i)
+                .map(|&(_, j)| j)
+                .collect();
+            naive_nbrs.sort_unstable();
+            assert_eq!(g.neighbours(i), naive_nbrs, "neighbours of {i}");
+            for j in 0..n {
+                assert_eq!(
+                    g.misses_between(i, j),
+                    edges.get(&(i, j)).copied().unwrap_or(0),
+                    "m_({i},{j})"
+                );
+            }
+        }
+        // edges() is complete and strictly ordered.
+        let listed: Vec<_> = g.edges().collect();
+        assert_eq!(listed.len(), edges.len());
+        assert!(listed.windows(2).all(|w| w[0].0 < w[1].0));
+        for (e, m) in listed {
+            assert_eq!(edges.get(&e), Some(&m));
+        }
     }
 
     #[test]

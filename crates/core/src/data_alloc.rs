@@ -119,7 +119,12 @@ pub fn run_joint_flow(
     // Profile both sides with everything cached.
     let code_sim0 = simulate(program, &traces, &layout0, exec, &cfg)?;
     let code_graph = ConflictGraph::from_simulation(&traces, &code_sim0);
-    let data_sim0 = simulate_data(data_trace, data_sizes, &vec![false; data_sizes.len()], cache);
+    let data_sim0 = simulate_data(
+        data_trace,
+        data_sizes,
+        &vec![false; data_sizes.len()],
+        cache,
+    );
     let data_graph = ConflictGraph::from_parts(
         data_sim0.object_accesses.clone(),
         data_sizes.to_vec(),
@@ -142,8 +147,7 @@ pub fn run_joint_flow(
         let model = EnergyModel::new(&code_graph, &table);
         let a = allocate_bb(&model, spm_size);
         let data_model = EnergyModel::new(&data_graph, &table);
-        let predicted =
-            a.predicted_energy.unwrap_or(0.0) + data_model.baseline_energy();
+        let predicted = a.predicted_energy.unwrap_or(0.0) + data_model.baseline_energy();
         (a.on_spm, vec![false; data_sizes.len()], predicted)
     };
 
@@ -178,13 +182,7 @@ mod tests {
     use casa_mem::data::DataAccess;
 
     /// Code side: trivial; data side: two thrashing arrays.
-    fn setup() -> (
-        Program,
-        Profile,
-        ExecutionTrace,
-        DataTrace,
-        Vec<u32>,
-    ) {
+    fn setup() -> (Program, Profile, ExecutionTrace, DataTrace, Vec<u32>) {
         use casa_ir::inst::{InstKind, IsaMode};
         use casa_ir::ProgramBuilder;
         let mut b = ProgramBuilder::new(IsaMode::Arm);
@@ -201,13 +199,22 @@ mod tests {
         let mut acc = Vec::new();
         for _ in 0..50 {
             for off in (0..64).step_by(4) {
-                acc.push(DataAccess { object: 0, offset: off });
+                acc.push(DataAccess {
+                    object: 0,
+                    offset: off,
+                });
             }
             for off in (0..64).step_by(4) {
-                acc.push(DataAccess { object: 1, offset: off });
+                acc.push(DataAccess {
+                    object: 1,
+                    offset: off,
+                });
             }
         }
-        acc.push(DataAccess { object: 2, offset: 0 });
+        acc.push(DataAccess {
+            object: 2,
+            offset: 0,
+        });
         (p, profile, exec, DataTrace::new(acc), sizes)
     }
 

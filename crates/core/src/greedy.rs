@@ -98,11 +98,7 @@ mod tests {
 
     #[test]
     fn greedy_respects_capacity() {
-        let g = ConflictGraph::from_parts(
-            vec![100, 200, 300],
-            vec![40, 40, 40],
-            HashMap::new(),
-        );
+        let g = ConflictGraph::from_parts(vec![100, 200, 300], vec![40, 40, 40], HashMap::new());
         let t = table();
         let m = EnergyModel::new(&g, &t);
         let a = allocate_greedy(&m, 80);

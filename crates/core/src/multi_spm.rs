@@ -82,8 +82,7 @@ pub fn allocate_multi_spm(
     // l[i]: object i cached. Tied by Σ_b y_ib + l_i = 1.
     let l: Vec<casa_ilp::Var> = (0..n).map(|i| ilp.binary(format!("l{i}"))).collect();
     for i in 0..n {
-        let mut terms: Vec<(casa_ilp::Var, f64)> =
-            y[i].iter().map(|&v| (v, 1.0)).collect();
+        let mut terms: Vec<(casa_ilp::Var, f64)> = y[i].iter().map(|&v| (v, 1.0)).collect();
         terms.push((l[i], 1.0));
         ilp.add_constraint(terms, ConstraintOp::Eq, 1.0);
     }
@@ -172,11 +171,7 @@ mod tests {
     fn splits_objects_across_banks() {
         // Two hot objects of 64 B each; two banks of 64 B: both fit
         // only if each takes its own bank.
-        let g = ConflictGraph::from_parts(
-            vec![10_000, 10_000],
-            vec![64, 64],
-            HashMap::new(),
-        );
+        let g = ConflictGraph::from_parts(vec![10_000, 10_000], vec![64, 64], HashMap::new());
         let a = allocate_multi_spm(
             &g,
             &table(),
@@ -209,11 +204,7 @@ mod tests {
 
     #[test]
     fn capacity_respected_per_bank() {
-        let g = ConflictGraph::from_parts(
-            vec![100, 100, 100],
-            vec![48, 48, 48],
-            HashMap::new(),
-        );
+        let g = ConflictGraph::from_parts(vec![100, 100, 100], vec![48, 48, 48], HashMap::new());
         let a = allocate_multi_spm(
             &g,
             &table(),
@@ -233,11 +224,7 @@ mod tests {
         let mut e = HashMap::new();
         e.insert((0, 1), 1000);
         e.insert((1, 0), 1000);
-        let g = ConflictGraph::from_parts(
-            vec![100, 100, 5000],
-            vec![64, 64, 64],
-            e,
-        );
+        let g = ConflictGraph::from_parts(vec![100, 100, 5000], vec![64, 64, 64], e);
         // One bank, room for one object: a conflictor must win.
         let a = allocate_multi_spm(
             &g,

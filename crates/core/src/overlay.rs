@@ -236,7 +236,10 @@ pub fn allocate_overlay_dp(
         .iter()
         .map(|g| {
             let model = EnergyModel::new(g, table);
-            candidates.iter().map(|set| model.total_energy(set)).collect()
+            candidates
+                .iter()
+                .map(|set| model.total_energy(set))
+                .collect()
         })
         .collect();
     // DMA cost of switching candidate a -> b (objects newly on SPM).
@@ -244,9 +247,7 @@ pub fn allocate_overlay_dp(
         candidates[to]
             .iter()
             .enumerate()
-            .filter(|&(i, &on)| {
-                on && !from.map(|f| candidates[f][i]).unwrap_or(false)
-            })
+            .filter(|&(i, &on)| on && !from.map(|f| candidates[f][i]).unwrap_or(false))
             .map(|(i, _)| copy_cost(graphs[0].size_of(i), table))
             .sum()
     };
@@ -261,7 +262,11 @@ pub fn allocate_overlay_dp(
         for k in 0..c {
             for prev in 0..c {
                 let step = cost[p - 1][prev]
-                    + if prev == k { 0.0 } else { switch_cost(Some(prev), k) }
+                    + if prev == k {
+                        0.0
+                    } else {
+                        switch_cost(Some(prev), k)
+                    }
                     + phase_energy[p][k];
                 if step < cost[p][k] {
                     cost[p][k] = step;
@@ -371,10 +376,7 @@ pub fn run_overlay_flow(
     let len = exec.len();
     let mut boundaries: Vec<usize> = (0..=phases).map(|p| p * len / phases).collect();
     boundaries.dedup();
-    let windows: Vec<std::ops::Range<usize>> = boundaries
-        .windows(2)
-        .map(|w| w[0]..w[1])
-        .collect();
+    let windows: Vec<std::ops::Range<usize>> = boundaries.windows(2).map(|w| w[0]..w[1]).collect();
 
     // Profile each phase separately (fresh cache per phase: the
     // conservative per-phase conflict view).
@@ -403,8 +405,7 @@ pub fn run_overlay_flow(
             .iter()
             .map(|&b| if b { Some(0) } else { None })
             .collect();
-        let layout =
-            Layout::with_placement(program, &traces, &placement, PlacementSemantics::Copy);
+        let layout = Layout::with_placement(program, &traces, &placement, PlacementSemantics::Copy);
         for (i, t) in traces.traces().iter().enumerate() {
             if on_spm[i] && !prev[i] {
                 session.charge_copy_words(u64::from(t.code_size().div_ceil(4)));
@@ -483,8 +484,7 @@ mod tests {
         let g = ConflictGraph::from_parts(vec![1000, 1000, 3000], vec![64, 64, 64], edges);
         let t = table();
         let overlay =
-            allocate_overlay(std::slice::from_ref(&g), &t, 64, &SolverOptions::default())
-                .unwrap();
+            allocate_overlay(std::slice::from_ref(&g), &t, 64, &SolverOptions::default()).unwrap();
         let model = EnergyModel::new(&g, &t);
         let stat = allocate_bb(&model, 64);
         // Equally good chosen set (the instance is symmetric in
@@ -501,17 +501,15 @@ mod tests {
             .filter(|&i| overlay.per_phase[0][i])
             .map(|i| copy_cost(g.size_of(i), &t))
             .sum();
-        assert!(
-            (overlay.predicted_energy - (stat.predicted_energy.unwrap() + dma)).abs() < 1e-6
-        );
+        assert!((overlay.predicted_energy - (stat.predicted_energy.unwrap() + dma)).abs() < 1e-6);
     }
 
     #[test]
     fn capacity_respected_every_phase() {
         let g0 = graph(vec![500, 400, 300], vec![40, 40, 40]);
         let g1 = graph(vec![300, 400, 500], vec![40, 40, 40]);
-        let a = allocate_overlay(&[g0.clone(), g1], &table(), 80, &SolverOptions::default())
-            .unwrap();
+        let a =
+            allocate_overlay(&[g0.clone(), g1], &table(), 80, &SolverOptions::default()).unwrap();
         for phase in &a.per_phase {
             let used: u32 = (0..3).filter(|&i| phase[i]).map(|i| g0.size_of(i)).sum();
             assert!(used <= 80);
@@ -525,8 +523,7 @@ mod tests {
         let g1 = graph(vec![10, 100_000], vec![64, 64]);
         let t = table();
         let ilp =
-            allocate_overlay(&[g0.clone(), g1.clone()], &t, 64, &SolverOptions::default())
-                .unwrap();
+            allocate_overlay(&[g0.clone(), g1.clone()], &t, 64, &SolverOptions::default()).unwrap();
         let dp = allocate_overlay_dp(&[g0, g1], &t, 64);
         assert!(
             dp.predicted_energy >= ilp.predicted_energy - 1e-6,

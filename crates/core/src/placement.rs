@@ -91,9 +91,7 @@ pub fn conflict_aware_order(
         if direct > 0 {
             // Try padding with the coldest unplaced traces until i's
             // span becomes conflict-free (or we run out of fillers).
-            let mut fillers: Vec<usize> = (0..n)
-                .filter(|&j| !placed[j] && j != i)
-                .collect();
+            let mut fillers: Vec<usize> = (0..n).filter(|&j| !placed[j] && j != i).collect();
             fillers.sort_by_key(|&j| (fetches[j], j));
             let mut trial_cursor = cursor;
             let mut used: Vec<usize> = Vec::new();
@@ -158,7 +156,11 @@ pub fn run_placement_flow(
 ) -> Result<PlacementReport, PreloadError> {
     let line = cache.line_size;
     // No SPM: cap traces at the cache size (placement granularity).
-    let traces = form_traces(program, profile, TraceConfig::new(cache.size.max(line), line));
+    let traces = form_traces(
+        program,
+        profile,
+        TraceConfig::new(cache.size.max(line), line),
+    );
     let layout0 = Layout::initial(program, &traces);
     let cfg = HierarchyConfig::cache_only(cache);
     let sim0 = simulate(program, &traces, &layout0, exec, &cfg)?;
@@ -178,8 +180,7 @@ pub fn run_placement_flow(
     // order if the reordering did not actually reduce misses (greedy
     // placement has no optimality guarantee; a production placer
     // always validates against the profile).
-    let (order, layout, final_sim) = if candidate_sim.stats.cache_misses < sim0.stats.cache_misses
-    {
+    let (order, layout, final_sim) = if candidate_sim.stats.cache_misses < sim0.stats.cache_misses {
         (candidate_order, candidate_layout, candidate_sim)
     } else {
         let order: Vec<TraceId> = traces.traces().iter().map(|t| t.id()).collect();

@@ -100,7 +100,11 @@ pub fn render_summary(title: &str, report: &crate::flow::FlowReport) -> String {
     let _ = writeln!(
         out,
         "fetches: {} (SPM {}, I$ {} = {} hits + {} misses)",
-        stats.fetches, stats.spm_accesses, stats.cache_accesses, stats.cache_hits, stats.cache_misses,
+        stats.fetches,
+        stats.spm_accesses,
+        stats.cache_accesses,
+        stats.cache_hits,
+        stats.cache_misses,
     );
     let b = &report.breakdown;
     let _ = writeln!(

@@ -55,15 +55,8 @@ impl LoopCacheAssignment {
 /// Compute the contiguous main-memory span of a set of blocks, if the
 /// span contains only those blocks' traces (a unit that interleaves
 /// with foreign code cannot be expressed as one controller range).
-fn unit_span(
-    blocks: &[BlockId],
-    traces: &TraceSet,
-    layout: &Layout,
-) -> Option<(u32, u32)> {
-    let mut tids: Vec<usize> = blocks
-        .iter()
-        .map(|&b| traces.trace_of(b).index())
-        .collect();
+fn unit_span(blocks: &[BlockId], traces: &TraceSet, layout: &Layout) -> Option<(u32, u32)> {
+    let mut tids: Vec<usize> = blocks.iter().map(|&b| traces.trace_of(b).index()).collect();
     tids.sort_unstable();
     tids.dedup();
     let mut start = u32::MAX;

@@ -401,8 +401,7 @@ mod tests {
     fn missing_bound_reported() {
         let (p, head, ts) = looped(1);
         let layout = Layout::initial(&p, &ts);
-        let err =
-            wcet_bound(&p, &ts, &layout, &HashMap::new(), &WcetCosts::default()).unwrap_err();
+        let err = wcet_bound(&p, &ts, &layout, &HashMap::new(), &WcetCosts::default()).unwrap_err();
         assert_eq!(err, WcetError::MissingLoopBound { header: head });
         assert!(err.to_string().contains("bound"));
     }

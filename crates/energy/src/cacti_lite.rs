@@ -175,7 +175,10 @@ mod tests {
     fn main_memory_dwarfs_cache_hit() {
         let hit = cache_access_energy(2048, 16, 1, &t());
         let mm = main_memory_word_energy(&t());
-        assert!(mm > 5.0 * hit, "off-chip word ({mm}) >> on-chip hit ({hit})");
+        assert!(
+            mm > 5.0 * hit,
+            "off-chip word ({mm}) >> on-chip hit ({hit})"
+        );
     }
 
     #[test]

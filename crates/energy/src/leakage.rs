@@ -106,13 +106,7 @@ mod tests {
         let p = LeakageParams::default();
         let tech = TechParams::default();
         let cycles = 10_000_000;
-        let cache_only = static_energy(
-            1024,
-            cache_tag_bytes(1024, 16, 1, &tech),
-            0,
-            cycles,
-            &p,
-        );
+        let cache_only = static_energy(1024, cache_tag_bytes(1024, 16, 1, &tech), 0, cycles, &p);
         let spm_only = static_energy(0, 0, 1024, cycles, &p);
         assert!(spm_only < cache_only);
     }

@@ -88,6 +88,10 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveEr
         .filter(|&v| model.var_kind(v).is_integral())
         .map(|v| v.index())
         .collect();
+    let mut is_integral = vec![false; model.num_vars()];
+    for &i in &integral {
+        is_integral[i] = true;
+    }
 
     let mut heap = BinaryHeap::new();
     let mut seq = 0u64;
@@ -158,21 +162,19 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveEr
         }
         match branch_var {
             None => {
-                // Integral: candidate incumbent.
+                // Integral: candidate incumbent. Rounding can move each
+                // integral coordinate by up to `int_tol`, so the raw LP
+                // objective may drift from the rounded point by up to
+                // int_tol·Σ|c|; re-evaluate on the rounded vector.
                 let rounded: Vec<f64> = values
                     .iter()
                     .enumerate()
-                    .map(|(i, &x)| {
-                        if integral.contains(&i) {
-                            x.round()
-                        } else {
-                            x
-                        }
-                    })
+                    .map(|(i, &x)| if is_integral[i] { x.round() } else { x })
                     .collect();
+                let rounded_obj = sense_sign * model.eval_objective(&rounded);
                 match &incumbent {
-                    Some((_, best)) if min_obj >= *best - options.gap_tol => {}
-                    _ => incumbent = Some((rounded, min_obj)),
+                    Some((_, best)) if rounded_obj >= *best - options.gap_tol => {}
+                    _ => incumbent = Some((rounded, rounded_obj)),
                 }
             }
             Some((i, x)) => {
@@ -323,6 +325,29 @@ mod tests {
             Ok(s) => assert_eq!(s.status(), Status::Feasible),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn incumbent_objective_matches_rounded_point() {
+        // With a loose integrality tolerance the root LP solution
+        // x = 0.95 already counts as integral; the incumbent must
+        // report the objective of the *rounded* point x = 1, not the
+        // raw LP objective 0.95.
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0, 10);
+        m.set_objective([(x, 1.0)]);
+        m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 0.95);
+        let opts = SolverOptions {
+            int_tol: 0.1,
+            ..SolverOptions::default()
+        };
+        let s = solve(&m, &opts).unwrap();
+        assert!((s.value(x) - 1.0).abs() < 1e-12);
+        assert!(
+            (s.objective() - 1.0).abs() < 1e-12,
+            "objective {} should equal the rounded point's objective",
+            s.objective()
+        );
     }
 
     #[test]

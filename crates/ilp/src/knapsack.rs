@@ -142,14 +142,22 @@ mod tests {
             // Brute force.
             let mut best = 0u64;
             for mask in 0u32..(1 << n) {
-                let w: u32 = (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+                let w: u32 = (0..n)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| weights[i])
+                    .sum();
                 if w <= cap {
-                    let p: u64 =
-                        (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| profits[i]).sum();
+                    let p: u64 = (0..n)
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| profits[i])
+                        .sum();
                     best = best.max(p);
                 }
             }
-            assert_eq!(dp.profit, best, "weights {weights:?} profits {profits:?} cap {cap}");
+            assert_eq!(
+                dp.profit, best,
+                "weights {weights:?} profits {profits:?} cap {cap}"
+            );
             assert!(dp.weight <= cap || dp.chosen.iter().all(|&i| weights[i] == 0));
         }
     }

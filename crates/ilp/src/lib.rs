@@ -53,6 +53,6 @@ pub mod solution;
 pub use branch_bound::{solve, SolverOptions};
 pub use knapsack::knapsack_01;
 pub use lp_format::to_lp_format;
-pub use presolve::{presolve, solve_presolved};
 pub use model::{ConstraintOp, Model, Sense, Var};
+pub use presolve::{presolve, solve_presolved};
 pub use solution::{Solution, SolveError, Status};

@@ -11,7 +11,13 @@ use std::fmt::Write as _;
 fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         out.insert(0, 'x');

@@ -332,11 +332,7 @@ mod tests {
         m.set_objective([(l0, 5.0), (l1, 3.0), (big_l, 10.0)]);
         m.add_constraint([(l0, 1.0), (big_l, -1.0)], ConstraintOp::Ge, 0.0);
         m.add_constraint([(l1, 1.0), (big_l, -1.0)], ConstraintOp::Ge, 0.0);
-        m.add_constraint(
-            [(l0, 1.0), (l1, 1.0), (big_l, -2.0)],
-            ConstraintOp::Le,
-            1.0,
-        );
+        m.add_constraint([(l0, 1.0), (l1, 1.0), (big_l, -2.0)], ConstraintOp::Le, 1.0);
         // Capacity forcing both on the scratchpad: l0 + l1 <= 0.
         m.add_constraint([(l0, 1.0), (l1, 1.0)], ConstraintOp::Le, 0.0);
         let pre = presolve(&m).unwrap();

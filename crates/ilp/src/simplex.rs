@@ -478,10 +478,7 @@ mod tests {
         m.set_objective([(x, 1.0)]);
         m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 2.0);
         // x fixed at 1: constraint 1 >= 2 fails.
-        assert_eq!(
-            solve_lp(&m, &[(1.0, 1.0)]).unwrap(),
-            LpResult::Infeasible
-        );
+        assert_eq!(solve_lp(&m, &[(1.0, 1.0)]).unwrap(), LpResult::Infeasible);
         // Relax rhs via fixing x=1 with feasible row.
         let mut m2 = Model::minimize();
         let x2 = m2.continuous("x", 0.0, 1.0);

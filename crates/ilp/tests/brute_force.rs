@@ -37,12 +37,7 @@ fn build(
 }
 
 /// Exhaustive optimum over all 2^n assignments, or None if infeasible.
-fn brute_force(
-    n: usize,
-    obj: &[i32],
-    rows: &[(Vec<i32>, u8, i32)],
-    maximize: bool,
-) -> Option<i64> {
+fn brute_force(n: usize, obj: &[i32], rows: &[(Vec<i32>, u8, i32)], maximize: bool) -> Option<i64> {
     let mut best: Option<i64> = None;
     for mask in 0u32..(1 << n) {
         let x = |i: usize| i64::from((mask >> i) & 1);

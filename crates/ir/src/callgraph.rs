@@ -200,10 +200,7 @@ mod tests {
         };
         assert_eq!(cg.transitive_size(&p, b), size(b));
         assert_eq!(cg.transitive_size(&p, a), size(a) + size(b));
-        assert_eq!(
-            cg.transitive_size(&p, main),
-            size(main) + size(a) + size(b)
-        );
+        assert_eq!(cg.transitive_size(&p, main), size(main) + size(a) + size(b));
         assert_eq!(cg.reachable_from(main).len(), 3);
     }
 }

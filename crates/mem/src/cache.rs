@@ -74,7 +74,10 @@ impl CacheConfig {
     fn validate(&self) {
         assert!(self.line_size.is_power_of_two(), "line size must be 2^k");
         assert!(
-            self.associativity >= 1 && self.size.is_multiple_of(self.line_size * self.associativity),
+            self.associativity >= 1
+                && self
+                    .size
+                    .is_multiple_of(self.line_size * self.associativity),
             "size must be a multiple of line_size * associativity"
         );
         assert!(self.num_sets().is_power_of_two(), "sets must be 2^k");
@@ -196,8 +199,14 @@ impl Cache {
     fn pick_victim(&mut self, set: u32) -> usize {
         let assoc = self.config.associativity as usize;
         let base = set as usize * assoc;
-        // Prefer an invalid way.
+        // Prefer an invalid way. Round-robin's fill pointer must still
+        // advance on these cold allocations (ARM-style counters track
+        // every linefill, not just evictions), or the counter decouples
+        // from the true fill order.
         if let Some(w) = (0..assoc).find(|&w| !self.ways[base + w].valid) {
+            if matches!(self.config.policy, ReplacementPolicy::RoundRobin) {
+                self.rr_counters[set as usize] = ((w + 1) % assoc) as u32;
+            }
             return w;
         }
         match self.config.policy {
@@ -362,6 +371,23 @@ mod tests {
         let a1 = c.access(64);
         let a2 = c.access(96);
         assert_ne!(a1.way, a2.way, "round robin alternates victims");
+    }
+
+    #[test]
+    fn round_robin_victim_sequence_pinned() {
+        // 4-way, 64 B, 16 B lines -> a single set; addresses n*64 all
+        // collide. The fill pointer advances on every allocation (cold
+        // fills included), so victims proceed 0,1,2,3 during the cold
+        // fill and keep cycling 0,1,2,3,0 once the set is full.
+        let cfg = CacheConfig {
+            size: 64,
+            line_size: 16,
+            associativity: 4,
+            policy: ReplacementPolicy::RoundRobin,
+        };
+        let mut c = Cache::new(cfg);
+        let ways: Vec<u32> = (0..9u32).map(|n| c.access(n * 64).way).collect();
+        assert_eq!(ways, vec![0, 1, 2, 3, 0, 1, 2, 3, 0]);
     }
 
     #[test]

@@ -139,8 +139,8 @@ mod tests {
         r.on_miss(0, 0, 10, None); // 0 resident
         r.on_miss(1, 0, 11, Some(10)); // 1 evicts 0
         r.on_miss(2, 0, 12, Some(11)); // 2 evicts 1
-        // 0 returns: evicted_by[(0,10)] == 1, so charge 1 (who evicted
-        // 0), not 2.
+                                       // 0 returns: evicted_by[(0,10)] == 1, so charge 1 (who evicted
+                                       // 0), not 2.
         r.on_miss(0, 0, 10, Some(12));
         let c = r.conflicts();
         assert_eq!(c.misses_between[&(0, 1)], 1);

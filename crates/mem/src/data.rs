@@ -252,8 +252,22 @@ mod tests {
         );
         assert!(out.check_access_identity());
         assert!(out.cache_misses > 8, "thrash expected");
-        assert!(out.conflicts.misses_between.get(&(0, 1)).copied().unwrap_or(0) > 0);
-        assert!(out.conflicts.misses_between.get(&(1, 0)).copied().unwrap_or(0) > 0);
+        assert!(
+            out.conflicts
+                .misses_between
+                .get(&(0, 1))
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        assert!(
+            out.conflicts
+                .misses_between
+                .get(&(1, 0))
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]
@@ -297,9 +311,18 @@ mod tests {
         use super::DataAccessKind::{Load, Store};
         // Store to line A, then evict it via a conflicting line B.
         let accesses = vec![
-            DataAccess { object: 0, offset: 0 },
-            DataAccess { object: 1, offset: 0 },
-            DataAccess { object: 0, offset: 0 },
+            DataAccess {
+                object: 0,
+                offset: 0,
+            },
+            DataAccess {
+                object: 1,
+                offset: 0,
+            },
+            DataAccess {
+                object: 0,
+                offset: 0,
+            },
         ];
         let kinds = vec![Store, Load, Load];
         let out = simulate_data(
@@ -313,8 +336,14 @@ mod tests {
         // Loads-only traces never write back.
         let out2 = simulate_data(
             &DataTrace::new(vec![
-                DataAccess { object: 0, offset: 0 },
-                DataAccess { object: 1, offset: 0 },
+                DataAccess {
+                    object: 0,
+                    offset: 0,
+                },
+                DataAccess {
+                    object: 1,
+                    offset: 0,
+                },
             ]),
             &[16, 16],
             &[false, false],
@@ -327,7 +356,10 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_object_panics() {
         simulate_data(
-            &DataTrace::new(vec![DataAccess { object: 3, offset: 0 }]),
+            &DataTrace::new(vec![DataAccess {
+                object: 3,
+                offset: 0,
+            }]),
             &[8],
             &[false],
             CacheConfig::direct_mapped(64, 16),
@@ -338,7 +370,10 @@ mod tests {
     #[should_panic(expected = "outside object")]
     fn bad_offset_panics() {
         simulate_data(
-            &DataTrace::new(vec![DataAccess { object: 0, offset: 64 }]),
+            &DataTrace::new(vec![DataAccess {
+                object: 0,
+                offset: 64,
+            }]),
             &[8],
             &[false],
             CacheConfig::direct_mapped(64, 16),

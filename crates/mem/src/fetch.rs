@@ -243,8 +243,7 @@ impl Replayer {
                         .glue_location(tid)
                         .expect("trace with glue jump has a glue location");
                     self.serve(ti, glue);
-                    self.base_cycles +=
-                        u64::from(casa_ir::InstKind::Jump.base_cycles());
+                    self.base_cycles += u64::from(casa_ir::InstKind::Jump.base_cycles());
                 }
             }
         }

@@ -124,7 +124,11 @@ impl InstMemorySystem {
         Ok(InstMemorySystem {
             cache: Cache::new(config.cache),
             l2: config.l2.map(Cache::new),
-            spm: config.spm_sizes.iter().map(|&s| Scratchpad::new(s)).collect(),
+            spm: config
+                .spm_sizes
+                .iter()
+                .map(|&s| Scratchpad::new(s))
+                .collect(),
             loop_cache,
             stats: FetchStats::new(),
         })

@@ -40,3 +40,17 @@ pub use hierarchy::{HierarchyConfig, InstMemorySystem};
 pub use loop_cache::LoopCacheController;
 pub use scratchpad::Scratchpad;
 pub use stats::FetchStats;
+
+// The sweep engine in casa-bench shares simulators and their outputs
+// across worker threads; keep that property compile-time checked here
+// where the types live (note `Cache` holds its own RNG — `Sync` holds
+// because all mutation goes through `&mut self`).
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Cache>();
+    _assert_send_sync::<CacheConfig>();
+    _assert_send_sync::<ExecutionTrace>();
+    _assert_send_sync::<SimOutcome>();
+    _assert_send_sync::<InstMemorySystem>();
+    _assert_send_sync::<FetchStats>();
+};

@@ -38,15 +38,13 @@ impl ReferenceCache {
             None
         } else {
             let victim_idx = match self.cfg.policy {
-                ReplacementPolicy::Lru => self
-                    .sets[set]
+                ReplacementPolicy::Lru => self.sets[set]
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, e)| e.1)
                     .map(|(i, _)| i)
                     .unwrap(),
-                ReplacementPolicy::Fifo => self
-                    .sets[set]
+                ReplacementPolicy::Fifo => self.sets[set]
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, e)| e.2)

@@ -345,8 +345,20 @@ mod tests {
         // t0: 4 insts = 16B -> padded 16. t1: 2 insts = 8 -> padded 16.
         let la = l.block_location(&ts, a);
         let lb = l.block_location(&ts, b);
-        assert_eq!(la, Location { region: Region::Main, addr: 0 });
-        assert_eq!(lb, Location { region: Region::Main, addr: 16 });
+        assert_eq!(
+            la,
+            Location {
+                region: Region::Main,
+                addr: 0
+            }
+        );
+        assert_eq!(
+            lb,
+            Location {
+                region: Region::Main,
+                addr: 16
+            }
+        );
         assert_eq!(l.main_image_size(), 32);
         assert_eq!(l.spm_used(), &[0]);
     }
@@ -364,12 +376,18 @@ mod tests {
         // t0 fetched from SPM at 0.
         assert_eq!(
             l.block_location(&ts, a),
-            Location { region: Region::Spm(0), addr: 0 }
+            Location {
+                region: Region::Spm(0),
+                addr: 0
+            }
         );
         // t1 keeps its original main address 16 (slot for t0 intact).
         assert_eq!(
             l.block_location(&ts, b),
-            Location { region: Region::Main, addr: 16 }
+            Location {
+                region: Region::Main,
+                addr: 16
+            }
         );
         assert_eq!(l.spm_used(), &[16]);
         assert_eq!(l.main_image_size(), 32);
@@ -388,7 +406,10 @@ mod tests {
         // t1 moves down to address 0: the hole left by t0 is closed.
         assert_eq!(
             l.block_location(&ts, b),
-            Location { region: Region::Main, addr: 0 }
+            Location {
+                region: Region::Main,
+                addr: 0
+            }
         );
         assert_eq!(l.main_image_size(), 16);
     }

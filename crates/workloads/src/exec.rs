@@ -105,10 +105,7 @@ impl<'a> Walker<'a> {
         let mut stack: Vec<BlockId> = Vec::new();
         let mut loop_counters: HashMap<BlockId, u64> = HashMap::new();
 
-        let mut cur = self
-            .program
-            .function(self.program.entry())
-            .entry();
+        let mut cur = self.program.function(self.program.entry()).entry();
         let mut steps: u64 = 0;
         loop {
             steps += 1;
@@ -286,10 +283,7 @@ mod tests {
             "w",
             IsaMode::Arm,
             vec![
-                FunctionSpec::new(
-                    "main",
-                    vec![Element::loop_of(4, vec![Element::Call(1)])],
-                ),
+                FunctionSpec::new("main", vec![Element::loop_of(4, vec![Element::Call(1)])]),
                 FunctionSpec::new("leaf", vec![Element::Straight(5)]),
             ],
         )
@@ -352,10 +346,7 @@ mod tests {
             "d",
             IsaMode::Arm,
             vec![
-                FunctionSpec::new(
-                    "main",
-                    vec![Element::loop_of(3, vec![Element::Call(1)])],
-                ),
+                FunctionSpec::new("main", vec![Element::loop_of(3, vec![Element::Call(1)])]),
                 // 10 straight insts contain 2 loads and 1 store per
                 // the deterministic mix.
                 FunctionSpec::new("kernel", vec![Element::Straight(10)]).with_data(32),

@@ -29,3 +29,13 @@ pub mod spec;
 pub use exec::{BranchBehavior, WalkError, Walker};
 pub use mediabench::{adpcm, epic, g721, mpeg};
 pub use spec::{BenchmarkSpec, Element, FunctionSpec, Workload};
+
+// Sweep workers prepare workloads concurrently and share the results
+// read-only; the specs and everything they compile to must stay Send
+// + Sync (the walker's RNG state is owned, not shared).
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<BenchmarkSpec>();
+    _assert_send_sync::<Workload>();
+    _assert_send_sync::<BranchBehavior>();
+};

@@ -38,10 +38,7 @@ pub fn adpcm() -> BenchmarkSpec {
                 "main",
                 vec![
                     Straight(10),
-                    lp(
-                        1200,
-                        vec![Call(1), cond(0.02, vec![Call(2)], vec![])],
-                    ),
+                    lp(1200, vec![Call(1), cond(0.02, vec![Call(2)], vec![])]),
                     Straight(8),
                 ],
             )
@@ -245,11 +242,11 @@ pub fn mpeg() -> BenchmarkSpec {
                     lp(
                         40, // macroblocks per frame
                         vec![
-                            Call(2), // vld
-                            Call(3), // dequant
-                            Call(4), // idct
-                            Call(9), // motion compensation
-                            Call(10),  // add_block
+                            Call(2),  // vld
+                            Call(3),  // dequant
+                            Call(4),  // idct
+                            Call(9),  // motion compensation
+                            Call(10), // add_block
                             Call(11), // mb_writeback
                         ],
                     ),
@@ -281,10 +278,7 @@ pub fn mpeg() -> BenchmarkSpec {
                 "dequant",
                 vec![
                     Straight(11),
-                    lp(
-                        32,
-                        vec![Straight(8), cond(0.3, vec![Straight(4)], vec![])],
-                    ),
+                    lp(32, vec![Straight(8), cond(0.3, vec![Straight(4)], vec![])]),
                     Straight(8),
                 ],
             ),
@@ -293,7 +287,7 @@ pub fn mpeg() -> BenchmarkSpec {
                 "idct",
                 vec![
                     Straight(8),
-                    lp(8, vec![Call(5)]), // rows
+                    lp(8, vec![Call(5)]),      // rows
                     lp(8, vec![Straight(46)]), // columns, inlined kernel
                     Straight(8),
                 ],
@@ -326,8 +320,15 @@ pub fn mpeg() -> BenchmarkSpec {
                 ],
             ),
             // 8: cold utility bulk to reach 19.5 kB of code.
-            FunctionSpec::new("util_a", vec![Straight(144), cond(0.5, vec![Straight(81)], vec![Straight(81)]), Straight(108)]),
-                        // 9: motion_comp — forward/backward/bidirectional forms.
+            FunctionSpec::new(
+                "util_a",
+                vec![
+                    Straight(144),
+                    cond(0.5, vec![Straight(81)], vec![Straight(81)]),
+                    Straight(108),
+                ],
+            ),
+            // 9: motion_comp — forward/backward/bidirectional forms.
             FunctionSpec::new(
                 "motion_comp",
                 vec![
@@ -370,11 +371,7 @@ pub fn mpeg() -> BenchmarkSpec {
             // 12: store_frame — output conversion loop.
             FunctionSpec::new(
                 "store_frame",
-                vec![
-                    Straight(10),
-                    lp(24, vec![Straight(9)]),
-                    Straight(8),
-                ],
+                vec![Straight(10), lp(24, vec![Straight(9)]), Straight(8)],
             ),
             // 13: picture_header — lukewarm parse code.
             FunctionSpec::new(
@@ -397,13 +394,62 @@ pub fn mpeg() -> BenchmarkSpec {
                     Straight(40),
                 ],
             ),
-FunctionSpec::new("util_b", vec![Straight(135), cond(0.5, vec![Straight(90)], vec![Straight(72)]), Straight(126)]),
-            FunctionSpec::new("util_c", vec![Straight(153), cond(0.5, vec![Straight(76)], vec![Straight(86)]), Straight(99)]),
-            FunctionSpec::new("util_d", vec![Straight(126), cond(0.5, vec![Straight(68)], vec![Straight(76)]), Straight(117)]),
-            FunctionSpec::new("util_e", vec![Straight(140), cond(0.5, vec![Straight(86)], vec![Straight(68)]), Straight(112)]),
-            FunctionSpec::new("util_f", vec![Straight(130), cond(0.5, vec![Straight(72)], vec![Straight(81)]), Straight(122)]),
-            FunctionSpec::new("util_g", vec![Straight(117), cond(0.5, vec![Straight(63)], vec![Straight(68)]), Straight(94)]),
-            FunctionSpec::new("util_h", vec![Straight(112), cond(0.5, vec![Straight(58)], vec![Straight(63)]), Straight(90)]),
+            FunctionSpec::new(
+                "util_b",
+                vec![
+                    Straight(135),
+                    cond(0.5, vec![Straight(90)], vec![Straight(72)]),
+                    Straight(126),
+                ],
+            ),
+            FunctionSpec::new(
+                "util_c",
+                vec![
+                    Straight(153),
+                    cond(0.5, vec![Straight(76)], vec![Straight(86)]),
+                    Straight(99),
+                ],
+            ),
+            FunctionSpec::new(
+                "util_d",
+                vec![
+                    Straight(126),
+                    cond(0.5, vec![Straight(68)], vec![Straight(76)]),
+                    Straight(117),
+                ],
+            ),
+            FunctionSpec::new(
+                "util_e",
+                vec![
+                    Straight(140),
+                    cond(0.5, vec![Straight(86)], vec![Straight(68)]),
+                    Straight(112),
+                ],
+            ),
+            FunctionSpec::new(
+                "util_f",
+                vec![
+                    Straight(130),
+                    cond(0.5, vec![Straight(72)], vec![Straight(81)]),
+                    Straight(122),
+                ],
+            ),
+            FunctionSpec::new(
+                "util_g",
+                vec![
+                    Straight(117),
+                    cond(0.5, vec![Straight(63)], vec![Straight(68)]),
+                    Straight(94),
+                ],
+            ),
+            FunctionSpec::new(
+                "util_h",
+                vec![
+                    Straight(112),
+                    cond(0.5, vec![Straight(58)], vec![Straight(63)]),
+                    Straight(90),
+                ],
+            ),
         ],
     )
 }
@@ -445,11 +491,7 @@ pub fn epic() -> BenchmarkSpec {
             // 2: filter_cols — vertical wavelet pass (strided).
             FunctionSpec::new(
                 "filter_cols",
-                vec![
-                    Straight(12),
-                    lp(32, vec![Straight(30)]),
-                    Straight(10),
-                ],
+                vec![Straight(12), lp(32, vec![Straight(30)]), Straight(10)],
             )
             .with_data(512),
             // 3: quantize_band — branchy quantization.
@@ -474,10 +516,7 @@ pub fn epic() -> BenchmarkSpec {
                 "run_length_encode",
                 vec![
                     Straight(14),
-                    lp(
-                        48,
-                        vec![cond(0.6, vec![Straight(4)], vec![Straight(9)])],
-                    ),
+                    lp(48, vec![cond(0.6, vec![Straight(4)], vec![Straight(9)])]),
                     Straight(12),
                 ],
             )
@@ -553,9 +592,9 @@ mod tests {
         for spec in all() {
             let w = spec.compile();
             let walker = Walker::new(&w.program, &w.behaviors);
-            let (exec, profile) = walker.run(7).unwrap_or_else(|e| {
-                panic!("{} failed to run: {e}", w.program.name())
-            });
+            let (exec, profile) = walker
+                .run(7)
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", w.program.name()));
             exec.check(&w.program)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.program.name()));
             profile

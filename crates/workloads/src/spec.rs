@@ -332,11 +332,10 @@ mod tests {
                         Element::Straight(4),
                         Element::loop_of(
                             10,
-                            vec![Element::Call(1), Element::cond(
-                                0.3,
-                                vec![Element::Straight(2)],
-                                vec![],
-                            )],
+                            vec![
+                                Element::Call(1),
+                                Element::cond(0.3, vec![Element::Straight(2)], vec![]),
+                            ],
                         ),
                     ],
                 ),
@@ -364,10 +363,7 @@ mod tests {
     fn behaviors_cover_all_branches() {
         let w = tiny_spec().compile();
         for block in w.program.blocks() {
-            if matches!(
-                block.terminator(),
-                casa_ir::Terminator::Branch { .. }
-            ) {
+            if matches!(block.terminator(), casa_ir::Terminator::Branch { .. }) {
                 assert!(
                     w.behaviors.contains_key(&block.id()),
                     "branch {} lacks behaviour",

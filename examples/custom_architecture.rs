@@ -11,10 +11,10 @@
 //! cargo run --release --example custom_architecture
 //! ```
 
+use casa::core::casa_bb::allocate_bb;
 use casa::core::conflict::ConflictGraph;
 use casa::core::energy_model::EnergyModel;
 use casa::core::report::EnergyBreakdown;
-use casa::core::casa_bb::allocate_bb;
 use casa::energy::{EnergyTable, TechParams};
 use casa::mem::cache::{CacheConfig, ReplacementPolicy};
 use casa::mem::{simulate, HierarchyConfig};
@@ -82,10 +82,7 @@ fn main() {
     let sim = simulate(&w.program, &traces, &layout, &exec, &cfg).expect("final run");
     let base = EnergyBreakdown::from_stats(&sim0.stats, &table, false);
     let opt = EnergyBreakdown::from_stats(&sim.stats, &table, false);
-    println!(
-        "\n{:<24} {:>12} {:>12}",
-        "", "baseline", "CASA"
-    );
+    println!("\n{:<24} {:>12} {:>12}", "", "baseline", "CASA");
     println!(
         "{:<24} {:>12} {:>12}",
         "L1 misses", sim0.stats.cache_misses, sim.stats.cache_misses

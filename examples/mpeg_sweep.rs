@@ -40,8 +40,7 @@ fn main() {
                 allocator: alloc,
                 tech: TechParams::default(),
             };
-            let r = run_spm_flow(&w.program, &profile, &exec, &cfg)
-                .expect("flow succeeds");
+            let r = run_spm_flow(&w.program, &profile, &exec, &cfg).expect("flow succeeds");
             row.push(r.energy_uj());
         }
         println!(

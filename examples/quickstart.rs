@@ -41,10 +41,7 @@ fn main() {
     // Fix the call target: main should call kernel_a (1) and kernel_b (3).
     let spec = {
         let mut s = spec;
-        s.functions[0].body[1] = Element::loop_of(
-            2_000,
-            vec![Element::Call(1), Element::Call(3)],
-        );
+        s.functions[0].body[1] = Element::loop_of(2_000, vec![Element::Call(1), Element::Call(3)]);
         s
     };
     let workload = spec.compile();
@@ -84,8 +81,7 @@ fn main() {
     );
 
     // 5. CASA.
-    let casa =
-        run_spm_flow(&workload.program, &profile, &exec, &config).expect("CASA flow");
+    let casa = run_spm_flow(&workload.program, &profile, &exec, &config).expect("CASA flow");
     println!(
         "CASA:      {:>8.2} µJ ({} I-cache misses, {} objects on SPM, ILP solved in {:?})",
         casa.energy_uj(),
@@ -101,6 +97,9 @@ fn main() {
     // 6. One-screen summary plus the conflict graph the ILP saw
     //    (paper fig. 2).
     println!();
-    print!("{}", casa::core::report::render_summary("quickstart / CASA", &casa));
+    print!(
+        "{}",
+        casa::core::report::render_summary("quickstart / CASA", &casa)
+    );
     println!("\nconflict graph (DOT):\n{}", casa.conflict_graph.to_dot());
 }

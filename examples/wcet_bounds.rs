@@ -32,8 +32,14 @@ fn main() {
         .collect();
 
     let costs = WcetCosts::default();
-    println!("adpcm, 128 B I-cache, miss penalty {} cycles\n", costs.cache_miss_penalty);
-    println!("{:>8} {:>16} {:>14}", "SPM [B]", "WCET bound [cy]", "tightening %");
+    println!(
+        "adpcm, 128 B I-cache, miss penalty {} cycles\n",
+        costs.cache_miss_penalty
+    );
+    println!(
+        "{:>8} {:>16} {:>14}",
+        "SPM [B]", "WCET bound [cy]", "tightening %"
+    );
 
     let mut baseline = None;
     for spm in [0u32, 64, 128, 256] {

@@ -111,8 +111,8 @@ fn l2_reduces_miss_cost_but_not_the_allocation_logic() {
     .expect("profiling");
     let traces = &r.traces;
     let layout = Layout::initial(&w.program, traces);
-    let with_l2 = HierarchyConfig::spm_system(l1, 128)
-        .with_l2(CacheConfig::direct_mapped(1024, 16));
+    let with_l2 =
+        HierarchyConfig::spm_system(l1, 128).with_l2(CacheConfig::direct_mapped(1024, 16));
     let sim_l2 = simulate(&w.program, traces, &layout, &exec, &with_l2).expect("l2 sim");
     let g_l1 = &r.conflict_graph;
     let g_l2 = ConflictGraph::from_simulation(traces, &sim_l2);

@@ -9,7 +9,11 @@ use casa::mem::cache::CacheConfig;
 use casa::workloads::spec::{BenchmarkSpec, Element, FunctionSpec};
 use casa::workloads::Walker;
 
-fn phased_workload() -> (casa::ir::Program, casa::ir::Profile, casa::mem::ExecutionTrace) {
+fn phased_workload() -> (
+    casa::ir::Program,
+    casa::ir::Profile,
+    casa::mem::ExecutionTrace,
+) {
     let spec = BenchmarkSpec::new(
         "phased",
         IsaMode::Arm,

@@ -94,7 +94,9 @@ fn build() -> Setup {
     profile.add_block(eb, 1);
     profile.add_edge(eb, lh, 1);
     for _ in 0..N {
-        for &blk in &[lh, body, h_entry, r1, h_entry, r2, a1_entry, r3, m_entry, r4] {
+        for &blk in &[
+            lh, body, h_entry, r1, h_entry, r2, a1_entry, r3, m_entry, r4,
+        ] {
             seq.push(blk);
             profile.add_block(blk, 1);
         }
@@ -139,8 +141,13 @@ fn move_semantics_recreates_conflicts_copy_does_not() {
 
     // Sanity on the address plan: initially A and M share no cache
     // sets, H and M share all of theirs.
-    let baseline = run_spm_flow(&s.program, &s.profile, &s.exec, &config(AllocatorKind::None))
-        .expect("baseline");
+    let baseline = run_spm_flow(
+        &s.program,
+        &s.profile,
+        &s.exec,
+        &config(AllocatorKind::None),
+    )
+    .expect("baseline");
     let set_range = |loc: casa::trace::Location, bytes: u32| -> Vec<u32> {
         (loc.addr..loc.addr + bytes)
             .step_by(16)
@@ -158,8 +165,13 @@ fn move_semantics_recreates_conflicts_copy_does_not() {
         "A and H must be disjoint initially: {a_sets:?} vs {h_sets:?}"
     );
 
-    let casa = run_spm_flow(&s.program, &s.profile, &s.exec, &config(AllocatorKind::CasaBb))
-        .expect("casa");
+    let casa = run_spm_flow(
+        &s.program,
+        &s.profile,
+        &s.exec,
+        &config(AllocatorKind::CasaBb),
+    )
+    .expect("casa");
     let steinke = run_spm_flow(
         &s.program,
         &s.profile,

@@ -17,7 +17,11 @@ struct Prepared {
 
 fn prepare_all() -> Vec<Prepared> {
     // (benchmark, paper cache size, a mid-sweep SPM size)
-    let cfg = [("adpcm", 128u32, 128u32), ("g721", 1024, 512), ("mpeg", 2048, 512)];
+    let cfg = [
+        ("adpcm", 128u32, 128u32),
+        ("g721", 1024, 512),
+        ("mpeg", 2048, 512),
+    ];
     mediabench::all()
         .into_iter()
         .zip(cfg)
@@ -50,10 +54,20 @@ fn flow_config(p: &Prepared, allocator: AllocatorKind) -> FlowConfig {
 #[test]
 fn casa_beats_doing_nothing_on_every_benchmark() {
     for p in prepare_all() {
-        let none = run_spm_flow(&p.program, &p.profile, &p.exec, &flow_config(&p, AllocatorKind::None))
-            .expect("baseline");
-        let casa = run_spm_flow(&p.program, &p.profile, &p.exec, &flow_config(&p, AllocatorKind::CasaBb))
-            .expect("casa");
+        let none = run_spm_flow(
+            &p.program,
+            &p.profile,
+            &p.exec,
+            &flow_config(&p, AllocatorKind::None),
+        )
+        .expect("baseline");
+        let casa = run_spm_flow(
+            &p.program,
+            &p.profile,
+            &p.exec,
+            &flow_config(&p, AllocatorKind::CasaBb),
+        )
+        .expect("casa");
         assert!(
             casa.energy_uj() < none.energy_uj(),
             "{}: CASA {} must beat baseline {}",
@@ -88,7 +102,11 @@ fn capacity_constraint_respected_by_every_allocator() {
                 used,
                 p.spm_size
             );
-            assert!(r.final_sim.check_fetch_identity(), "{} {kind:?}: eq. (4)", p.name);
+            assert!(
+                r.final_sim.check_fetch_identity(),
+                "{} {kind:?}: eq. (4)",
+                p.name
+            );
             assert!(r.final_sim.stats.is_consistent(), "{} {kind:?}", p.name);
         }
     }
@@ -97,8 +115,13 @@ fn capacity_constraint_respected_by_every_allocator() {
 #[test]
 fn exact_casa_never_worse_than_greedy_in_the_model() {
     for p in prepare_all() {
-        let exact = run_spm_flow(&p.program, &p.profile, &p.exec, &flow_config(&p, AllocatorKind::CasaBb))
-            .expect("exact");
+        let exact = run_spm_flow(
+            &p.program,
+            &p.profile,
+            &p.exec,
+            &flow_config(&p, AllocatorKind::CasaBb),
+        )
+        .expect("exact");
         let greedy = run_spm_flow(
             &p.program,
             &p.profile,
@@ -143,10 +166,20 @@ fn loop_cache_never_preloads_more_than_four_objects() {
 #[test]
 fn workflow_is_deterministic() {
     let p = &prepare_all()[0];
-    let a = run_spm_flow(&p.program, &p.profile, &p.exec, &flow_config(p, AllocatorKind::CasaBb))
-        .expect("run 1");
-    let b = run_spm_flow(&p.program, &p.profile, &p.exec, &flow_config(p, AllocatorKind::CasaBb))
-        .expect("run 2");
+    let a = run_spm_flow(
+        &p.program,
+        &p.profile,
+        &p.exec,
+        &flow_config(p, AllocatorKind::CasaBb),
+    )
+    .expect("run 1");
+    let b = run_spm_flow(
+        &p.program,
+        &p.profile,
+        &p.exec,
+        &flow_config(p, AllocatorKind::CasaBb),
+    )
+    .expect("run 2");
     assert_eq!(a.allocation.on_spm, b.allocation.on_spm);
     assert_eq!(a.final_sim.stats, b.final_sim.stats);
     assert_eq!(a.energy_uj(), b.energy_uj());
@@ -188,10 +221,20 @@ fn two_level_claim_multilevel_cache_unchanged_formulation() {
     // different backing hierarchy), i.e. nothing in the formulation
     // pins it to one hierarchy.
     let p = &prepare_all()[1];
-    let casa = run_spm_flow(&p.program, &p.profile, &p.exec, &flow_config(p, AllocatorKind::CasaBb))
-        .expect("casa");
-    let none = run_spm_flow(&p.program, &p.profile, &p.exec, &flow_config(p, AllocatorKind::None))
-        .expect("none");
+    let casa = run_spm_flow(
+        &p.program,
+        &p.profile,
+        &p.exec,
+        &flow_config(p, AllocatorKind::CasaBb),
+    )
+    .expect("casa");
+    let none = run_spm_flow(
+        &p.program,
+        &p.profile,
+        &p.exec,
+        &flow_config(p, AllocatorKind::None),
+    )
+    .expect("none");
     // Fewer L1 misses means fewer L2 accesses by construction.
     assert!(casa.final_sim.stats.cache_misses < none.final_sim.stats.cache_misses);
     assert!(casa.final_sim.stats.main_word_accesses < none.final_sim.stats.main_word_accesses);
@@ -224,7 +267,11 @@ fn thumb_mode_workflow_end_to_end() {
     assert_eq!(w.program.code_size(), 2 * w.program.inst_count() as u32);
     let walker = Walker::new(&w.program, &w.behaviors);
     let (exec, profile) = walker.run(5).expect("thumb program runs");
-    for allocator in [AllocatorKind::None, AllocatorKind::CasaBb, AllocatorKind::Steinke] {
+    for allocator in [
+        AllocatorKind::None,
+        AllocatorKind::CasaBb,
+        AllocatorKind::Steinke,
+    ] {
         let r = run_spm_flow(
             &w.program,
             &profile,

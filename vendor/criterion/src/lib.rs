@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion`], [`Criterion::benchmark_group`], `sample_size`,
+//! `throughput`, `bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a plain
+//! wall-clock mean instead of criterion's statistical machinery.
+//! Results print one line per benchmark:
+//! `bench <group>/<name> ... <mean> ns/iter (<n> samples)`.
+
+use std::time::Instant;
+
+/// Expected per-iteration work, used only for the printed label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: u64,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called `samples` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = f();
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Top-level harness state (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), 10, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks (subset of
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput (printed with results).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.sample_size as u64, self.throughput, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: u64, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters == 0 {
+        0
+    } else {
+        b.total_nanos / u128::from(b.iters)
+    };
+    let tp_str = match tp {
+        Some(Throughput::Elements(n)) => format!(" [{n} elems/iter]"),
+        Some(Throughput::Bytes(n)) => format!(" [{n} B/iter]"),
+        None => String::new(),
+    };
+    println!(
+        "bench {name} ... {mean} ns/iter ({} samples){tp_str}",
+        b.iters
+    );
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` names the workspace
+//! imports (both the traits and the derive macros). The derives are
+//! no-ops; nothing in the workspace serializes through serde's data
+//! model — structured output (e.g. `BENCH_sweep.json`) is produced by
+//! hand-rolled, deterministic JSON writers instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
