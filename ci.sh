@@ -16,4 +16,18 @@ cargo test -q
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "== cargo doc --no-deps -p casa-obs"
+cargo doc --no-deps -p casa-obs
+
+echo "== observability smoke: sweep --smoke --trace-out"
+rm -f /tmp/casa_trace.json
+# Run from /tmp so the smoke report does not clobber the repo's
+# checked-in full-grid BENCH_sweep.json.
+ROOT="$(pwd)"
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke --trace-out /tmp/casa_trace.json)
+test -s /tmp/casa_trace.json || { echo "trace file empty or missing"; exit 1; }
+# Valid JSON + well-formed spans: re-parse it with the diag renderer.
+cargo run --release -q -p casa-bench --bin diag -- --render-trace /tmp/casa_trace.json | grep -q "simulate" \
+  || { echo "trace does not cover the simulate phase"; exit 1; }
+
 echo "CI OK"

@@ -2,15 +2,67 @@
 //! behaviour and conflict-graph density at the paper's cache sizes.
 //! Used to calibrate the synthetic benchmarks; not part of the
 //! reproduced tables.
+//!
+//! Usage: `cargo run --release -p casa-bench --bin diag
+//!         [--trace-out <path>] [--render-trace <path>]`
+//!
+//! With `--trace-out` (or `CASA_TRACE=1`) the flows run instrumented
+//! and a per-phase span-tree table is printed at the end.
+//! `--render-trace <path>` instead re-parses a previously captured
+//! Chrome `trace_event` file and prints its span tree, then exits.
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
-use casa_bench::runner::prepared;
-use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa_bench::runner::{cli_obs, prepared};
+use casa_core::flow::{run_spm_flow_obs, AllocatorKind, FlowConfig};
 use casa_energy::TechParams;
 use casa_mem::cache::CacheConfig;
+use casa_obs::{render_span_table, EventKind, TraceEvent};
 use casa_workloads::mediabench;
 
+/// Rebuild span/instant events from a Chrome `trace_event` JSON file.
+/// Parent links are not stored in the Chrome format; the span-tree
+/// renderer reconstructs nesting from time containment per track.
+fn parse_chrome_trace(json: &str) -> Vec<TraceEvent> {
+    let v = serde::json::parse(json).expect("malformed trace JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    events
+        .iter()
+        .filter_map(|e| {
+            let kind = match e.get("ph")?.as_str()? {
+                "X" => EventKind::Span,
+                "i" => EventKind::Instant,
+                _ => return None,
+            };
+            Some(TraceEvent {
+                name: e.get("name")?.as_str()?.to_string(),
+                kind,
+                tid: e.get("tid")?.as_f64()? as u32,
+                parent: None,
+                ts_us: e.get("ts")?.as_f64()? as u64,
+                dur_us: e.get("dur").and_then(|d| d.as_f64()).map(|d| d as u64),
+                args: Vec::new(),
+            })
+        })
+        .collect()
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--render-trace" {
+            let path = args.next().expect("--render-trace needs a path");
+            let json =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            let events = parse_chrome_trace(&json);
+            println!("span tree of {path} ({} events):", events.len());
+            print!("{}", render_span_table(&events));
+            return;
+        }
+    }
+    let cli = cli_obs();
     for spec in mediabench::all() {
         let name = spec.name.clone();
         let (cache_size, sizes) = paper_sizes(&name);
@@ -55,7 +107,7 @@ fn main() {
             allocator: AllocatorKind::None,
             tech: TechParams::default(),
         };
-        let base = run_spm_flow(&w.program, &w.profile, &w.exec, &cfg).unwrap();
+        let base = run_spm_flow_obs(&w.program, &w.profile, &w.exec, &cfg, &cli.obs).unwrap();
         let stats = base.final_sim.stats;
         println!(
             "{name}: code {code} B, hot(95%) {hot_bytes} B, cache {cache_size} B, pressure {:.2}",
@@ -85,7 +137,7 @@ fn main() {
                 allocator: AllocatorKind::CasaBb,
                 tech: TechParams::default(),
             };
-            let r = run_spm_flow(&w.program, &w.profile, &w.exec, &cfg).unwrap();
+            let r = run_spm_flow_obs(&w.program, &w.profile, &w.exec, &cfg, &cli.obs).unwrap();
             println!(
                 "  CASA @{spm:>5}: predicted {:>10.1} µJ, simulated {:>10.1} µJ, misses {} -> {}",
                 r.allocation.predicted_energy.unwrap_or(0.0) / 1000.0,
@@ -94,5 +146,12 @@ fn main() {
                 r.final_sim.stats.cache_misses,
             );
         }
+    }
+    if cli.obs.is_enabled() {
+        println!("\nper-phase span tree:");
+        print!("{}", render_span_table(&cli.obs.events()));
+    }
+    if let Some(path) = cli.finish() {
+        println!("wrote Chrome trace to {}", path.display());
     }
 }

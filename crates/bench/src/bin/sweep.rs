@@ -7,16 +7,27 @@
 //! run (plus the serial baseline's wall clock and the speedup) to
 //! `BENCH_sweep.json`.
 //!
-//! Usage: `cargo run --release -p casa-bench --bin sweep [scale]`
+//! Usage: `cargo run --release -p casa-bench --bin sweep [scale]
+//!         [--smoke] [--trace-out <path>]`
 //! Worker count: `CASA_SWEEP_THREADS` (default: available cores).
+//! `--smoke` swaps the full grid for [`SweepGrid::smoke`] (one adpcm
+//! workload, three cells) — the CI smoke configuration.
+//! `--trace-out <path>` (or `CASA_TRACE=1`) instruments every flow
+//! phase and writes a Chrome `trace_event` timeline.
 
-use casa_bench::runner::cli_scale;
+use casa_bench::runner::{cli_obs, cli_scale};
 use casa_bench::sweep::{sweep_threads, SweepGrid};
 
 fn main() {
     let scale = cli_scale();
     let threads = sweep_threads();
-    let grid = SweepGrid::table1_paper(scale, 2004);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cli = cli_obs();
+    let grid = if smoke {
+        SweepGrid::smoke(scale, 2004)
+    } else {
+        SweepGrid::table1_paper(scale, 2004)
+    };
     println!(
         "sweep: {} cells over {} workloads (scale {scale}), {threads} worker(s)",
         grid.cell_count(),
@@ -24,11 +35,11 @@ fn main() {
     );
 
     let serial = grid.run_with_threads(1);
-    let parallel = grid.run_with_threads(threads);
+    let parallel = grid.run_with_threads_obs(threads, &cli.obs);
     assert_eq!(
         serial.deterministic_json(),
         parallel.deterministic_json(),
-        "sweep results must not depend on the worker count"
+        "sweep results must not depend on the worker count or tracing"
     );
     println!("determinism: serial and {threads}-worker reports are byte-identical");
 
@@ -41,8 +52,25 @@ fn main() {
     for c in &parallel.cells {
         println!(
             "{:<8} {:<14} {:>6} B  {:>12.2} µJ  {:>9} nodes  {:>8.4} s",
-            c.benchmark, c.flavor, c.local_size, c.energy_uj, c.solver_nodes, c.cell_secs
+            c.benchmark,
+            c.flavor,
+            c.local_size,
+            c.energy_uj,
+            c.solver_nodes
+                .map_or_else(|| "-".to_string(), |n| n.to_string()),
+            c.cell_secs
         );
+    }
+    if !parallel.phases.is_empty() {
+        println!("\nper-phase rollup:");
+        for p in &parallel.phases {
+            println!(
+                "  {:<12} {:>5} spans  {:>10.3} ms",
+                p.name,
+                p.count,
+                p.total_us as f64 / 1000.0
+            );
+        }
     }
 
     // Full report plus the serial baseline for the speedup record.
@@ -54,4 +82,7 @@ fn main() {
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     println!("wrote BENCH_sweep.json ({} bytes)", json.len());
+    if let Some(path) = cli.finish() {
+        println!("wrote Chrome trace to {}", path.display());
+    }
 }

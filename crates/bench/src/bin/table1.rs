@@ -1,15 +1,20 @@
 //! Table 1 reproduction: overall energy savings for adpcm / g721 /
 //! mpeg across memory sizes, for SP(CASA), SP(Steinke) and LC(Ross).
 //!
-//! Usage: `cargo run --release -p casa-bench --bin table1 [scale]`
+//! Usage: `cargo run --release -p casa-bench --bin table1 [scale]
+//!         [--timing] [--trace-out <path>]`
+//!
+//! `--trace-out <path>` (or `CASA_TRACE=1`) instruments every flow
+//! and writes a Chrome `trace_event` timeline of all rows.
 
-use casa_bench::experiments::{paper_sizes, table1, Table1Row};
-use casa_bench::runner::{cli_scale, prepared};
+use casa_bench::experiments::{paper_sizes, table1_obs, Table1Row};
+use casa_bench::runner::{cli_obs, cli_scale, prepared};
 use casa_workloads::mediabench;
 
 fn main() {
     let scale = cli_scale();
     let timing = std::env::args().any(|a| a == "--timing");
+    let cli = cli_obs();
 
     println!("Table 1 — overall energy savings (energies in µJ)\n");
     println!(
@@ -27,7 +32,7 @@ fn main() {
         let name = spec.name.clone();
         let (cache, sizes) = paper_sizes(&name);
         let w = prepared(spec, scale, 2004);
-        let block = table1(&w, cache, &sizes);
+        let block = table1_obs(&w, cache, &sizes, &cli.obs);
         for r in &block.rows {
             println!(
                 "{:<10} {:>8} {:>12.2} {:>13.2} {:>11.2} {:>18.1} {:>16.1}",
@@ -61,4 +66,7 @@ fn main() {
         println!();
     }
     println!("paper averages: adpcm 29.0/44.1, g721 8.2/19.7, mpeg 28.0/26.0");
+    if let Some(path) = cli.finish() {
+        println!("wrote Chrome trace to {}", path.display());
+    }
 }

@@ -1,9 +1,12 @@
 //! The paper's experiments, one function per table/figure.
 
 use crate::runner::PreparedWorkload;
-use casa_core::flow::{run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig, FlowReport};
+use casa_core::flow::{
+    run_loop_cache_flow_obs, run_spm_flow_obs, AllocatorKind, FlowConfig, FlowReport,
+};
 use casa_energy::TechParams;
 use casa_mem::cache::CacheConfig;
+use casa_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 /// Loop-cache comparator slots assumed throughout (paper §5: "maximum
@@ -24,17 +27,32 @@ fn spm_config(cache_size: u32, spm_size: u32, allocator: AllocatorKind) -> FlowC
 /// Run one SPM flow, panicking on failure (experiment drivers want
 /// loud failures).
 fn spm_flow(w: &PreparedWorkload, cache_size: u32, spm: u32, alloc: AllocatorKind) -> FlowReport {
-    run_spm_flow(
+    spm_flow_obs(w, cache_size, spm, alloc, &Obs::disabled())
+}
+
+fn spm_flow_obs(
+    w: &PreparedWorkload,
+    cache_size: u32,
+    spm: u32,
+    alloc: AllocatorKind,
+    obs: &Obs,
+) -> FlowReport {
+    run_spm_flow_obs(
         &w.program,
         &w.profile,
         &w.exec,
         &spm_config(cache_size, spm, alloc),
+        obs,
     )
     .unwrap_or_else(|e| panic!("{} spm flow failed: {e}", w.name))
 }
 
 fn lc_flow(w: &PreparedWorkload, cache_size: u32, capacity: u32) -> FlowReport {
-    run_loop_cache_flow(
+    lc_flow_obs(w, cache_size, capacity, &Obs::disabled())
+}
+
+fn lc_flow_obs(w: &PreparedWorkload, cache_size: u32, capacity: u32, obs: &Obs) -> FlowReport {
+    run_loop_cache_flow_obs(
         &w.program,
         &w.profile,
         &w.exec,
@@ -42,6 +60,7 @@ fn lc_flow(w: &PreparedWorkload, cache_size: u32, capacity: u32) -> FlowReport {
         capacity,
         LOOP_CACHE_SLOTS,
         &TechParams::default(),
+        obs,
     )
     .unwrap_or_else(|e| panic!("{} loop-cache flow failed: {e}", w.name))
 }
@@ -185,12 +204,19 @@ impl Table1Block {
 /// Table 1 for one benchmark: `cache_size` per the paper (2 kB mpeg,
 /// 1 kB g721, 128 B adpcm), `sizes` are the SPM/LC sizes of the rows.
 pub fn table1(w: &PreparedWorkload, cache_size: u32, sizes: &[u32]) -> Table1Block {
+    table1_obs(w, cache_size, sizes, &Obs::disabled())
+}
+
+/// [`table1`] with observability: every flow of every row runs
+/// instrumented against `obs`, so a `--trace-out` run of the table1
+/// binary yields a span timeline covering all 3×N×3 flows.
+pub fn table1_obs(w: &PreparedWorkload, cache_size: u32, sizes: &[u32], obs: &Obs) -> Table1Block {
     let rows = sizes
         .iter()
         .map(|&size| {
-            let casa = spm_flow(w, cache_size, size, AllocatorKind::CasaBb);
-            let steinke = spm_flow(w, cache_size, size, AllocatorKind::Steinke);
-            let lc = lc_flow(w, cache_size, size);
+            let casa = spm_flow_obs(w, cache_size, size, AllocatorKind::CasaBb, obs);
+            let steinke = spm_flow_obs(w, cache_size, size, AllocatorKind::Steinke, obs);
+            let lc = lc_flow_obs(w, cache_size, size, obs);
             Table1Row {
                 benchmark: w.name.clone(),
                 mem_size: size,

@@ -1,10 +1,14 @@
 //! Shared experiment plumbing: compile a benchmark spec, run the
-//! walker once, and hand the pieces to the flows.
+//! walker once, and hand the pieces to the flows — plus the CLI
+//! observability wiring (`CASA_TRACE=1`, `--trace-out <path>`) shared
+//! by the experiment binaries.
 
 use casa_ir::{Profile, Program};
 use casa_mem::ExecutionTrace;
+use casa_obs::{chrome_trace_json, Obs};
 use casa_workloads::spec::BenchmarkSpec;
 use casa_workloads::Walker;
+use std::path::PathBuf;
 
 /// A compiled benchmark with one recorded execution.
 #[derive(Debug, Clone)]
@@ -19,14 +23,87 @@ pub struct PreparedWorkload {
     pub exec: ExecutionTrace,
 }
 
+/// Flags that consume the following argument, skipped by
+/// [`cli_scale`] when scanning for the positional scale.
+const VALUE_FLAGS: &[&str] = &["--trace-out", "--render-trace"];
+
 /// The optional positional `[scale]` argument shared by the
-/// experiment binaries: first CLI argument when it parses as an
-/// integer, else 1.
+/// experiment binaries: the first CLI argument that parses as an
+/// integer, else 1. Flags (`--timing`, `--smoke`, `--trace-out
+/// <path>`, ...) anywhere on the command line are skipped, so
+/// `sweep --trace-out t.json 4` and `sweep 4 --trace-out t.json`
+/// both mean scale 4.
 pub fn cli_scale() -> u64 {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            let _ = args.next();
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        if let Ok(v) = a.parse() {
+            return v;
+        }
+    }
+    1
+}
+
+/// Observability wiring for an experiment binary.
+///
+/// Instrumentation turns on when either `CASA_TRACE` is set to a
+/// non-empty value other than `0` **or** `--trace-out <path>` is on
+/// the command line; [`CliObs::finish`] then writes the Chrome
+/// `trace_event` JSON (open with `chrome://tracing` or Perfetto) to
+/// the requested path, defaulting to `casa_trace.json`.
+#[derive(Debug)]
+pub struct CliObs {
+    /// The observability handle to thread through the flows.
+    pub obs: Obs,
+    /// Where `--trace-out` asked the Chrome trace to go.
+    pub trace_out: Option<PathBuf>,
+}
+
+/// Parse `--trace-out` / `CASA_TRACE` from the environment.
+pub fn cli_obs() -> CliObs {
+    let mut trace_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            trace_out = Some(PathBuf::from(
+                args.next().expect("--trace-out needs a path"),
+            ));
+        }
+    }
+    let obs = if trace_out.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::from_env()
+    };
+    CliObs { obs, trace_out }
+}
+
+impl CliObs {
+    /// When instrumentation is on, write the collected span timeline
+    /// as Chrome `trace_event` JSON and return the path written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (experiment drivers want
+    /// loud failures).
+    pub fn finish(&self) -> Option<PathBuf> {
+        if !self.obs.is_enabled() {
+            return None;
+        }
+        let path = self
+            .trace_out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("casa_trace.json"));
+        let json = chrome_trace_json(&self.obs.events());
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        Some(path)
+    }
 }
 
 /// Compile `spec`, optionally scaling loop trip counts by `scale`,

@@ -33,15 +33,16 @@
 
 use crate::experiments::{paper_sizes, LINE_SIZE, LOOP_CACHE_SLOTS};
 use crate::runner::{prepared, PreparedWorkload};
-use casa_core::flow::{run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig};
+use casa_core::flow::{run_loop_cache_flow_obs, run_spm_flow_obs, AllocatorKind, FlowConfig};
 use casa_energy::TechParams;
 use casa_mem::CacheConfig;
+use casa_obs::{merge_snapshot, snapshot_to_json, ArgValue, EventKind, MetricsSnapshot, Obs};
 use casa_workloads::mediabench;
 use casa_workloads::spec::BenchmarkSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 // The whole point of the pool is shipping these across threads; fail
@@ -52,6 +53,7 @@ const _: () = {
     assert_send_sync::<SweepGrid>();
     assert_send_sync::<casa_core::flow::FlowReport>();
     assert_send_sync::<CellResult>();
+    assert_send_sync::<Obs>();
 };
 
 /// One distinct workload: a benchmark walked once per (scale, seed).
@@ -124,12 +126,31 @@ pub struct CellResult {
     pub cache_accesses: u64,
     /// I-cache misses in the final simulation.
     pub cache_misses: u64,
-    /// Branch-and-bound nodes the allocator explored.
-    pub solver_nodes: u64,
+    /// Branch-and-bound nodes the allocator explored. `None` for
+    /// flows without a tree search (Steinke's knapsack, the greedy
+    /// heuristic, the cache-only baseline, and the loop cache) —
+    /// previously these reported a misleading `0`.
+    pub solver_nodes: Option<u64>,
     /// Allocator wall time, seconds.
     pub solver_secs: f64,
     /// Whole-cell wall time (flow including simulation), seconds.
     pub cell_secs: f64,
+    /// Per-cell metric snapshot (counters/gauges/histograms from the
+    /// instrumented flow). Empty when observability is off; reported
+    /// by [`SweepReport::to_json`] only, never by
+    /// [`SweepReport::deterministic_json`].
+    pub metrics: MetricsSnapshot,
+}
+
+/// Aggregated wall time of one span name across the whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseRollup {
+    /// Span name (`trace`, `conflict`, `solve`, `simulate`, ...).
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: u64,
 }
 
 /// Preparation record for one distinct workload.
@@ -156,6 +177,13 @@ pub struct SweepReport {
     pub workloads: Vec<WorkloadPrep>,
     /// Cell results, in grid order regardless of execution order.
     pub cells: Vec<CellResult>,
+    /// Merge of every cell's metric snapshot, in grid order (counters
+    /// and histograms sum; gauges keep the last cell's value). Empty
+    /// when observability is off.
+    pub metrics: MetricsSnapshot,
+    /// Per-phase span rollups across the whole sweep. Empty when
+    /// observability is off.
+    pub phases: Vec<PhaseRollup>,
 }
 
 /// Resolve the sweep worker count: `CASA_SWEEP_THREADS` when set and
@@ -267,6 +295,30 @@ impl SweepGrid {
         g
     }
 
+    /// The smallest useful grid: adpcm at its paper cache size with
+    /// one CASA cell, one Steinke cell and one loop-cache cell. Used
+    /// by CI smoke runs (`sweep --smoke`).
+    pub fn smoke(scale: u64, seed: u64) -> SweepGrid {
+        let mut g = SweepGrid::new();
+        let (cache_size, sizes) = paper_sizes("adpcm");
+        let w = g.workload("adpcm", scale, seed);
+        let cache = CacheConfig::direct_mapped(cache_size, LINE_SIZE);
+        let size = sizes[0];
+        for alloc in [AllocatorKind::CasaBb, AllocatorKind::Steinke] {
+            g.push_spm(
+                w,
+                FlowConfig {
+                    cache,
+                    spm_size: size,
+                    allocator: alloc,
+                    tech: TechParams::default(),
+                },
+            );
+        }
+        g.push_loop_cache(w, cache, size);
+        g
+    }
+
     /// Run the sweep with [`sweep_threads`] workers.
     pub fn run(&self) -> SweepReport {
         self.run_with_threads(sweep_threads())
@@ -282,6 +334,22 @@ impl SweepGrid {
     /// Panics if any cell's flow fails — sweeps are experiment
     /// drivers and want loud failures, like [`prepared`].
     pub fn run_with_threads(&self, threads: usize) -> SweepReport {
+        self.run_with_threads_obs(threads, &Obs::disabled())
+    }
+
+    /// [`Self::run_with_threads`] with observability. When `obs` is
+    /// enabled, every cell runs with a **fresh registry sharing
+    /// `obs`'s trace collector**: spans from all cells land in one
+    /// timeline (grouped under per-cell `cell` spans) while each
+    /// cell's counters stay isolated in its own [`CellResult::metrics`]
+    /// snapshot, so the metric values are independent of which worker
+    /// ran what. [`SweepReport::deterministic_json`] is byte-identical
+    /// with observability on or off, for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Self::run_with_threads`].
+    pub fn run_with_threads_obs(&self, threads: usize, obs: &Obs) -> SweepReport {
         let threads = threads.max(1);
         let t_total = Instant::now();
 
@@ -303,7 +371,12 @@ impl SweepGrid {
                         }
                         let k = &workloads[i];
                         let t = Instant::now();
+                        let span = obs.span_with(
+                            "prepare",
+                            vec![("benchmark".into(), ArgValue::Str(k.benchmark.clone()))],
+                        );
                         let w = prepared(spec_by_name(&k.benchmark), k.scale, k.seed);
+                        drop(span);
                         *slots[i].lock().unwrap() = Some((w, t.elapsed().as_secs_f64()));
                     });
                 }
@@ -336,7 +409,14 @@ impl SweepGrid {
                         let cell = &self.cells[i];
                         let w = &prepared_workloads[cell.workload].0;
                         let key = &self.workloads[cell.workload];
-                        *slots[i].lock().unwrap() = Some(run_cell(key, w, &cell.kind));
+                        // Fresh registry per cell, shared timeline:
+                        // counters stay per-cell deterministic while
+                        // spans interleave into one Chrome trace.
+                        let cell_obs = match obs.collector() {
+                            Some(c) => Obs::with_collector(Arc::clone(c)),
+                            None => Obs::disabled(),
+                        };
+                        *slots[i].lock().unwrap() = Some(run_cell(key, w, &cell.kind, &cell_obs));
                     });
                 }
             });
@@ -356,6 +436,34 @@ impl SweepGrid {
                 prepare_secs: *secs,
             })
             .collect();
+        // Per-phase rollup and the merged metric view, both in
+        // deterministic order (span names sorted; cells in grid
+        // order).
+        let mut metrics = MetricsSnapshot::new();
+        for c in &cells {
+            merge_snapshot(&mut metrics, &c.metrics);
+        }
+        let phases = if obs.is_enabled() {
+            let mut agg: std::collections::BTreeMap<String, (u64, u64)> =
+                std::collections::BTreeMap::new();
+            for e in obs.events() {
+                if e.kind == EventKind::Span {
+                    let slot = agg.entry(e.name).or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += e.dur_us.unwrap_or(0);
+                }
+            }
+            agg.into_iter()
+                .map(|(name, (count, total_us))| PhaseRollup {
+                    name,
+                    count,
+                    total_us,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         SweepReport {
             threads,
             prepare_secs,
@@ -363,25 +471,34 @@ impl SweepGrid {
             total_secs: t_total.elapsed().as_secs_f64(),
             workloads,
             cells,
+            metrics,
+            phases,
         }
     }
 }
 
-fn run_cell(key: &WorkloadKey, w: &PreparedWorkload, kind: &CellKind) -> CellResult {
+fn run_cell(key: &WorkloadKey, w: &PreparedWorkload, kind: &CellKind, obs: &Obs) -> CellResult {
     let t = Instant::now();
-    let (report, flavor, cache, local_size) = match kind {
+    let (flavor, local_size) = match kind {
+        CellKind::Spm(config) => (format!("spm:{:?}", config.allocator), config.spm_size),
+        CellKind::LoopCache { capacity, .. } => ("loop-cache".to_string(), *capacity),
+    };
+    let span = obs.span_with(
+        "cell",
+        vec![
+            ("benchmark".into(), ArgValue::Str(key.benchmark.clone())),
+            ("flavor".into(), ArgValue::Str(flavor.clone())),
+            ("local_size".into(), ArgValue::U64(u64::from(local_size))),
+        ],
+    );
+    let (report, cache) = match kind {
         CellKind::Spm(config) => {
-            let r = run_spm_flow(&w.program, &w.profile, &w.exec, config)
+            let r = run_spm_flow_obs(&w.program, &w.profile, &w.exec, config, obs)
                 .unwrap_or_else(|e| panic!("{} spm cell failed: {e}", w.name));
-            (
-                r,
-                format!("spm:{:?}", config.allocator),
-                config.cache,
-                config.spm_size,
-            )
+            (r, config.cache)
         }
         CellKind::LoopCache { cache, capacity } => {
-            let r = run_loop_cache_flow(
+            let r = run_loop_cache_flow_obs(
                 &w.program,
                 &w.profile,
                 &w.exec,
@@ -389,10 +506,23 @@ fn run_cell(key: &WorkloadKey, w: &PreparedWorkload, kind: &CellKind) -> CellRes
                 *capacity,
                 LOOP_CACHE_SLOTS,
                 &TechParams::default(),
+                obs,
             )
             .unwrap_or_else(|e| panic!("{} loop-cache cell failed: {e}", w.name));
-            (r, "loop-cache".to_string(), *cache, *capacity)
+            (r, *cache)
         }
+    };
+    drop(span);
+    // B&B/ILP flows have a real node count; knapsack, greedy, the
+    // baseline and the loop cache have no tree search to report.
+    let solver_nodes = match kind {
+        CellKind::Spm(config) => match config.allocator {
+            AllocatorKind::CasaBb | AllocatorKind::CasaIlpPaper | AllocatorKind::CasaIlpTight => {
+                Some(report.allocation.solver_nodes)
+            }
+            _ => None,
+        },
+        CellKind::LoopCache { .. } => None,
     };
     let stats = &report.final_sim.stats;
     CellResult {
@@ -408,9 +538,10 @@ fn run_cell(key: &WorkloadKey, w: &PreparedWorkload, kind: &CellKind) -> CellRes
         loop_cache_accesses: stats.loop_cache_accesses,
         cache_accesses: stats.cache_accesses,
         cache_misses: stats.cache_misses,
-        solver_nodes: report.allocation.solver_nodes,
+        solver_nodes,
         solver_secs: report.solver_time.as_secs_f64(),
         cell_secs: t.elapsed().as_secs_f64(),
+        metrics: obs.snapshot(),
     }
 }
 
@@ -463,7 +594,8 @@ impl CellResult {
             self.loop_cache_accesses,
             self.cache_accesses,
             self.cache_misses,
-            self.solver_nodes,
+            self.solver_nodes
+                .map_or_else(|| "null".to_string(), |n| n.to_string()),
         );
         if with_timings {
             let _ = write!(
@@ -472,6 +604,9 @@ impl CellResult {
                 jnum(self.solver_secs),
                 jnum(self.cell_secs)
             );
+            if !self.metrics.is_empty() {
+                let _ = write!(s, ",\"metrics\":{}", snapshot_to_json(&self.metrics));
+            }
         }
         s.push('}');
         s
@@ -504,15 +639,29 @@ impl SweepReport {
             })
             .collect();
         let cells: Vec<String> = self.cells.iter().map(|c| c.json(true)).collect();
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"name\":\"{}\",\"count\":{},\"total_us\":{}}}",
+                    json_escape(&p.name),
+                    p.count,
+                    p.total_us
+                )
+            })
+            .collect();
         format!(
             "{{\"threads\":{},\"prepare_secs\":{},\"execute_secs\":{},\"total_secs\":{},\
-             \"workloads\":[{}],\"cells\":[{}]}}",
+             \"workloads\":[{}],\"cells\":[{}],\"metrics\":{},\"phases\":[{}]}}",
             self.threads,
             jnum(self.prepare_secs),
             jnum(self.execute_secs),
             jnum(self.total_secs),
             workloads.join(","),
-            cells.join(",")
+            cells.join(","),
+            snapshot_to_json(&self.metrics),
+            phases.join(",")
         )
     }
 }
@@ -599,12 +748,58 @@ mod tests {
         }
         // The seeded-Random cell really ran with its policy.
         assert!(r1.cells.iter().any(|c| c.policy == "Random(7)"));
-        // SPM cells record solver activity; Steinke's knapsack and the
-        // loop-cache flow report zero nodes.
+        // B&B cells record solver activity; Steinke's knapsack and
+        // the loop-cache flow have no tree search to report.
         assert!(r1
             .cells
             .iter()
-            .any(|c| c.flavor == "spm:CasaBb" && c.solver_nodes > 0));
+            .any(|c| c.flavor == "spm:CasaBb" && c.solver_nodes.is_some_and(|n| n > 0)));
+        for c in &r1.cells {
+            if c.flavor == "spm:Steinke" || c.flavor == "loop-cache" {
+                assert_eq!(c.solver_nodes, None, "no search in {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_sweep_is_deterministic_and_matches_uninstrumented() {
+        let g = small_grid();
+        let plain = g.run_with_threads(2);
+        let reports: Vec<SweepReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| g.run_with_threads_obs(t, &Obs::enabled()))
+            .collect();
+        // Byte-identical across worker counts AND against the
+        // uninstrumented run: metrics and spans are quarantined away
+        // from deterministic_json.
+        for r in &reports {
+            assert_eq!(plain.deterministic_json(), r.deterministic_json());
+        }
+        // The metric values themselves are also worker-count
+        // independent (per-cell registries, grid-order merge).
+        for r in &reports[1..] {
+            assert_eq!(reports[0].metrics, r.metrics);
+            for (a, b) in reports[0].cells.iter().zip(&r.cells) {
+                assert_eq!(a.metrics, b.metrics);
+            }
+        }
+        // Rollups cover the whole fig. 3 pipeline for every cell.
+        let r = &reports[0];
+        assert!(!r.metrics.is_empty());
+        let phase = |name: &str| r.phases.iter().find(|p| p.name == name);
+        for name in ["cell", "trace", "conflict", "solve", "simulate"] {
+            let p = phase(name).unwrap_or_else(|| panic!("missing phase {name}"));
+            assert_eq!(p.count, g.cell_count() as u64, "phase {name}");
+        }
+        assert_eq!(phase("prepare").unwrap().count, 1);
+        // The full JSON carries the metrics section; histogram keys in
+        // it are sorted (BTreeMap order).
+        let full = r.to_json();
+        assert!(full.contains("\"metrics\":{\""));
+        assert!(full.contains("\"phases\":[{\"name\":\"cell\""));
+        let plain_full = plain.to_json();
+        assert!(plain_full.contains("\"metrics\":{}"));
+        assert!(plain_full.contains("\"phases\":[]"));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::allocation::Allocation;
 use crate::energy_model::EnergyModel;
+use casa_obs::{ArgValue, Obs};
 
 /// Exactly solve the CASA allocation for a scratchpad of `capacity`
 /// bytes.
@@ -30,6 +31,14 @@ use crate::energy_model::EnergyModel;
 /// repository (see `benches/solver.rs`); worst-case exponential like
 /// any exact solver for an NP-complete problem.
 pub fn allocate_bb(model: &EnergyModel<'_>, capacity: u32) -> Allocation {
+    allocate_bb_obs(model, capacity, &Obs::disabled())
+}
+
+/// [`allocate_bb`] with observability: wraps the search in a
+/// `solve.bb` span, counts explored nodes (`core.bb.nodes`) and
+/// incumbent improvements (`core.bb.incumbents`), and emits a
+/// `bb.incumbent` instant event per improvement.
+pub fn allocate_bb_obs(model: &EnergyModel<'_>, capacity: u32, obs: &Obs) -> Allocation {
     let g = model.graph();
     let t = model.table();
     let n = g.len();
@@ -122,9 +131,11 @@ pub fn allocate_bb(model: &EnergyModel<'_>, capacity: u32) -> Allocation {
         pairs: &'s [(usize, usize, f64)],
         incident: &'s [Vec<usize>],
         nodes: u64,
+        incumbents: u64,
         node_budget: u64,
         best_sav: f64,
         best_chosen: Vec<bool>,
+        obs: &'s Obs,
     }
 
     impl Search<'_> {
@@ -163,6 +174,14 @@ pub fn allocate_bb(model: &EnergyModel<'_>, capacity: u32) -> Allocation {
             if cur_sav > self.best_sav + 1e-9 {
                 self.best_sav = cur_sav;
                 self.best_chosen = chosen.clone();
+                self.incumbents += 1;
+                self.obs.instant(
+                    "bb.incumbent",
+                    vec![
+                        ("savings".into(), ArgValue::F64(cur_sav)),
+                        ("node".into(), ArgValue::U64(self.nodes)),
+                    ],
+                );
             }
             if pos >= self.order.len() {
                 return;
@@ -200,6 +219,7 @@ pub fn allocate_bb(model: &EnergyModel<'_>, capacity: u32) -> Allocation {
         }
     }
 
+    let span = obs.span("solve.bb");
     let sizes: Vec<u32> = (0..n).map(|i| g.size_of(i)).collect();
     let mut search = Search {
         order: &order,
@@ -209,9 +229,11 @@ pub fn allocate_bb(model: &EnergyModel<'_>, capacity: u32) -> Allocation {
         pairs: &pairs,
         incident: &incident,
         nodes: 0,
+        incumbents: 0,
         node_budget: 50_000_000,
         best_sav,
         best_chosen: best_chosen.clone(),
+        obs,
     };
     {
         let mut chosen = vec![false; n];
@@ -235,6 +257,9 @@ pub fn allocate_bb(model: &EnergyModel<'_>, capacity: u32) -> Allocation {
     let _ = best_sav;
     let on_spm = search.best_chosen;
     let nodes = search.nodes;
+    obs.add("core.bb.nodes", nodes);
+    obs.add("core.bb.incumbents", search.incumbents);
+    drop(span);
 
     let predicted = model.total_energy(&on_spm);
     Allocation {

@@ -23,7 +23,7 @@
 use crate::allocation::Allocation;
 use crate::energy_model::EnergyModel;
 use casa_ilp::model::VarKind;
-use casa_ilp::{solve, ConstraintOp, Model, Sense, SolveError, SolverOptions, Var};
+use casa_ilp::{ConstraintOp, Model, Sense, SolveError, SolverOptions, Var};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -141,8 +141,33 @@ pub fn allocate_ilp(
     lin: Linearization,
     options: &SolverOptions,
 ) -> Result<Allocation, SolveError> {
+    allocate_ilp_obs(model, capacity, lin, options, &casa_obs::Obs::disabled())
+}
+
+/// [`allocate_ilp`] with observability: model construction happens
+/// under a `solve.ilp.build` span, and the branch & bound runs through
+/// [`casa_ilp::solve_obs`], so `ilp.bb.nodes` / `ilp.bb.incumbents` /
+/// `ilp.simplex.pivots` counters and `bb.incumbent` instant events
+/// land in `obs`.
+///
+/// # Errors
+///
+/// Propagates solver failures exactly like [`allocate_ilp`].
+pub fn allocate_ilp_obs(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    lin: Linearization,
+    options: &SolverOptions,
+    obs: &casa_obs::Obs,
+) -> Result<Allocation, SolveError> {
+    let build_span = obs.span("solve.ilp.build");
     let (ilp, l) = build_model(model, capacity, lin);
-    let sol = solve(&ilp, options)?;
+    drop(build_span);
+    obs.add("ilp.model.vars", ilp.num_vars() as u64);
+    obs.add("ilp.model.integer_vars", integer_var_count(&ilp) as u64);
+    let solve_span = obs.span("solve.ilp");
+    let sol = casa_ilp::solve_obs(&ilp, options, obs)?;
+    drop(solve_span);
     let on_spm: Vec<bool> = l.iter().map(|&v| !sol.bool_value(v)).collect();
     // Report the model-evaluated energy rather than the raw objective
     // so Paper/Tight report identically even under LP round-off.

@@ -102,6 +102,32 @@ impl ConflictGraph {
         )
     }
 
+    /// [`Self::from_simulation`] with observability: wraps CSR
+    /// construction in a `conflict.build` span and records the graph
+    /// shape — vertex/edge counts plus histograms of row degree (how
+    /// many distinct evictors each object has) and edge weight
+    /// (`m_ij` magnitudes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` was produced for a different trace set.
+    pub fn from_simulation_obs(traces: &TraceSet, sim: &SimOutcome, obs: &casa_obs::Obs) -> Self {
+        let span = obs.span("conflict.build");
+        let g = ConflictGraph::from_simulation(traces, sim);
+        obs.add("conflict.vertices", g.len() as u64);
+        obs.add("conflict.edges", g.edge_count() as u64);
+        if obs.is_enabled() {
+            for i in 0..g.len() {
+                obs.record("conflict.row_degree", g.row(i).len() as u64);
+            }
+            for (_, m) in g.edges() {
+                obs.record("conflict.edge_weight", m);
+            }
+        }
+        drop(span);
+        g
+    }
+
     /// Construct directly from parts (used by tests and the static
     /// approximation).
     pub fn from_parts(

@@ -11,8 +11,8 @@
 //! block sequence, so allocators are compared on identical executions.
 
 use crate::allocation::Allocation;
-use crate::casa_bb::allocate_bb;
-use crate::casa_ilp::{allocate_ilp, Linearization};
+use crate::casa_bb::allocate_bb_obs;
+use crate::casa_ilp::{allocate_ilp_obs, Linearization};
 use crate::conflict::ConflictGraph;
 use crate::energy_model::EnergyModel;
 use crate::greedy::allocate_greedy;
@@ -24,9 +24,12 @@ use casa_ilp::{SolveError, SolverOptions};
 use casa_ir::{Profile, Program};
 use casa_mem::cache::CacheConfig;
 use casa_mem::loop_cache::PreloadError;
-use casa_mem::{simulate, ExecutionTrace, HierarchyConfig, SimOutcome};
+use casa_mem::{
+    simulate, simulate_observed, ExecutionTrace, HierarchyConfig, SetStatsRecorder, SimOutcome,
+};
+use casa_obs::Obs;
 use casa_trace::layout::PlacementSemantics;
-use casa_trace::trace::{form_traces, TraceConfig};
+use casa_trace::trace::{form_traces_obs, TraceConfig};
 use casa_trace::{Layout, TraceSet};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -155,15 +158,44 @@ pub fn run_spm_flow(
     exec: &ExecutionTrace,
     config: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
+    run_spm_flow_obs(program, profile, exec, config, &Obs::disabled())
+}
+
+/// [`run_spm_flow`] with observability: every phase of fig. 3 runs
+/// under its own span (`trace` → `profile_sim` → `conflict` →
+/// `solve` → `layout` → `simulate`), the final simulation feeds a
+/// [`SetStatsRecorder`] whose per-set hit/miss/eviction counters are
+/// exported to `obs`, and the energy breakdown lands in gauges.
+///
+/// With a disabled [`Obs`] this is exactly [`run_spm_flow`]: the
+/// uninstrumented simulation path is monomorphized with the no-op
+/// recorder and allocates nothing for observability.
+///
+/// # Errors
+///
+/// Same as [`run_spm_flow`].
+pub fn run_spm_flow_obs(
+    program: &Program,
+    profile: &Profile,
+    exec: &ExecutionTrace,
+    config: &FlowConfig,
+    obs: &Obs,
+) -> Result<FlowReport, FlowError> {
     let line = config.cache.line_size;
     let trace_cap = config.spm_size.max(line);
-    let traces = form_traces(program, profile, TraceConfig::new(trace_cap, line));
+    let span = obs.span("trace");
+    let traces = form_traces_obs(program, profile, TraceConfig::new(trace_cap, line), obs);
+    drop(span);
 
     // Profiling run: everything in main memory.
     let layout0 = Layout::initial(program, &traces);
     let prof_cfg = HierarchyConfig::spm_system(config.cache, config.spm_size);
+    let span = obs.span("profile_sim");
     let sim0 = simulate(program, &traces, &layout0, exec, &prof_cfg)?;
-    let graph = ConflictGraph::from_simulation(&traces, &sim0);
+    drop(span);
+    let span = obs.span("conflict");
+    let graph = ConflictGraph::from_simulation_obs(&traces, &sim0, obs);
+    drop(span);
 
     let table = EnergyTable::build(
         config.cache.size,
@@ -175,21 +207,24 @@ pub fn run_spm_flow(
     );
     let model = EnergyModel::new(&graph, &table);
 
+    let span = obs.span("solve");
     let started = std::time::Instant::now();
     let allocation = match config.allocator {
-        AllocatorKind::CasaIlpPaper => allocate_ilp(
+        AllocatorKind::CasaIlpPaper => allocate_ilp_obs(
             &model,
             config.spm_size,
             Linearization::Paper,
             &SolverOptions::default(),
+            obs,
         )?,
-        AllocatorKind::CasaIlpTight => allocate_ilp(
+        AllocatorKind::CasaIlpTight => allocate_ilp_obs(
             &model,
             config.spm_size,
             Linearization::Tight,
             &SolverOptions::default(),
+            obs,
         )?,
-        AllocatorKind::CasaBb => allocate_bb(&model, config.spm_size),
+        AllocatorKind::CasaBb => allocate_bb_obs(&model, config.spm_size, obs),
         AllocatorKind::CasaGreedy => allocate_greedy(&model, config.spm_size),
         AllocatorKind::Steinke => {
             let fetches: Vec<u64> = (0..graph.len()).map(|i| graph.fetches_of(i)).collect();
@@ -199,15 +234,31 @@ pub fn run_spm_flow(
         AllocatorKind::None => Allocation::none(graph.len()),
     };
     let solver_time = started.elapsed();
+    obs.add("solver.nodes", allocation.solver_nodes);
+    obs.add("solver.spm_objects", allocation.spm_count() as u64);
+    drop(span);
 
+    let span = obs.span("layout");
     let layout = Layout::with_placement(
         program,
         &traces,
         &allocation.to_placement(),
         config.allocator.semantics(),
     );
-    let final_sim = simulate(program, &traces, &layout, exec, &prof_cfg)?;
+    drop(span);
+    let span = obs.span("simulate");
+    let final_sim = if obs.is_enabled() {
+        let recorder = SetStatsRecorder::new(config.cache.num_sets() as usize);
+        let (sim, recorder) =
+            simulate_observed(program, &traces, &layout, exec, &prof_cfg, recorder)?;
+        recorder.export(obs);
+        sim
+    } else {
+        simulate(program, &traces, &layout, exec, &prof_cfg)?
+    };
+    drop(span);
     let breakdown = EnergyBreakdown::from_stats(&final_sim.stats, &table, false);
+    export_energy(obs, &breakdown);
 
     Ok(FlowReport {
         traces,
@@ -241,18 +292,64 @@ pub fn run_loop_cache_flow(
     max_objects: usize,
     tech: &TechParams,
 ) -> Result<FlowReport, FlowError> {
+    run_loop_cache_flow_obs(
+        program,
+        profile,
+        exec,
+        cache,
+        capacity,
+        max_objects,
+        tech,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_loop_cache_flow`] with observability — the loop-cache analog
+/// of [`run_spm_flow_obs`], with a `solve` span around the preload
+/// heuristic instead of the ILP/B&B.
+///
+/// # Errors
+///
+/// Same as [`run_loop_cache_flow`].
+#[allow(clippy::too_many_arguments)] // mirrors run_loop_cache_flow + obs
+pub fn run_loop_cache_flow_obs(
+    program: &Program,
+    profile: &Profile,
+    exec: &ExecutionTrace,
+    cache: CacheConfig,
+    capacity: u32,
+    max_objects: usize,
+    tech: &TechParams,
+    obs: &Obs,
+) -> Result<FlowReport, FlowError> {
     let line = cache.line_size;
     let trace_cap = capacity.max(line);
-    let traces = form_traces(program, profile, TraceConfig::new(trace_cap, line));
+    let span = obs.span("trace");
+    let traces = form_traces_obs(program, profile, TraceConfig::new(trace_cap, line), obs);
+    drop(span);
     let layout = Layout::initial(program, &traces);
 
+    let span = obs.span("solve");
     let started = std::time::Instant::now();
     let assignment = allocate_loop_cache(program, profile, &traces, &layout, capacity, max_objects);
     let solver_time = started.elapsed();
+    obs.add("solver.lc_ranges", assignment.ranges().len() as u64);
+    drop(span);
 
     let cfg = HierarchyConfig::loop_cache_system(cache, capacity, max_objects, assignment.ranges());
-    let final_sim = simulate(program, &traces, &layout, exec, &cfg)?;
-    let graph = ConflictGraph::from_simulation(&traces, &final_sim);
+    let span = obs.span("simulate");
+    let final_sim = if obs.is_enabled() {
+        let recorder = SetStatsRecorder::new(cache.num_sets() as usize);
+        let (sim, recorder) = simulate_observed(program, &traces, &layout, exec, &cfg, recorder)?;
+        recorder.export(obs);
+        sim
+    } else {
+        simulate(program, &traces, &layout, exec, &cfg)?
+    };
+    drop(span);
+    let span = obs.span("conflict");
+    let graph = ConflictGraph::from_simulation_obs(&traces, &final_sim, obs);
+    drop(span);
 
     let table = EnergyTable::build(
         cache.size,
@@ -263,6 +360,7 @@ pub fn run_loop_cache_flow(
         tech,
     );
     let breakdown = EnergyBreakdown::from_stats(&final_sim.stats, &table, true);
+    export_energy(obs, &breakdown);
     let n = traces.len();
 
     Ok(FlowReport {
@@ -276,6 +374,21 @@ pub fn run_loop_cache_flow(
         breakdown,
         solver_time,
     })
+}
+
+/// Record the component energy breakdown as gauges (nanojoules, the
+/// breakdown's native unit; `energy.total_uj` additionally in µJ to
+/// match Table 1).
+fn export_energy(obs: &Obs, b: &EnergyBreakdown) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.gauge_set("energy.cache_hit_nj", b.cache_hit_energy);
+    obs.gauge_set("energy.cache_miss_nj", b.cache_miss_energy);
+    obs.gauge_set("energy.spm_nj", b.spm_energy);
+    obs.gauge_set("energy.lc_nj", b.lc_energy + b.lc_controller_energy);
+    obs.gauge_set("energy.l2_nj", b.l2_energy);
+    obs.gauge_set("energy.total_uj", b.total_uj());
 }
 
 #[cfg(test)]
@@ -410,6 +523,77 @@ mod tests {
         assert!(text.contains("traces"));
         assert!(text.contains("energy:"));
         assert!(text.contains("µJ"));
+    }
+
+    #[test]
+    fn observed_flow_matches_plain_and_covers_phases() {
+        let (p, prof, exec) = thrash_workload();
+        let cfg = config(AllocatorKind::CasaBb);
+        let plain = run_spm_flow(&p, &prof, &exec, &cfg).unwrap();
+
+        let obs = Obs::enabled();
+        let observed = run_spm_flow_obs(&p, &prof, &exec, &cfg, &obs).unwrap();
+        assert_eq!(plain.allocation.on_spm, observed.allocation.on_spm);
+        assert_eq!(
+            plain.final_sim.stats.cache_misses,
+            observed.final_sim.stats.cache_misses
+        );
+        assert!((plain.energy_uj() - observed.energy_uj()).abs() < 1e-12);
+
+        // The span tree covers every phase of fig. 3.
+        let events = obs.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        for phase in [
+            "trace",
+            "profile_sim",
+            "conflict",
+            "solve",
+            "layout",
+            "simulate",
+        ] {
+            assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+        }
+
+        // Metrics: solver effort, graph shape, per-set cache activity
+        // and energy all landed.
+        use casa_obs::MetricValue;
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.get("solver.nodes"),
+            Some(&MetricValue::Counter(plain.allocation.solver_nodes))
+        );
+        assert_eq!(
+            snap.get("conflict.vertices"),
+            Some(&MetricValue::Counter(plain.conflict_graph.len() as u64))
+        );
+        match snap.get("sim.cache.misses") {
+            Some(&MetricValue::Counter(m)) => {
+                assert_eq!(m, plain.final_sim.stats.cache_misses)
+            }
+            other => panic!("missing sim.cache.misses: {other:?}"),
+        }
+        match snap.get("energy.total_uj") {
+            Some(&MetricValue::Gauge(e)) => assert!((e - plain.energy_uj()).abs() < 1e-12),
+            other => panic!("missing energy.total_uj: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observed_loop_cache_flow_matches_plain() {
+        let (p, prof, exec) = thrash_workload();
+        let cache = CacheConfig::direct_mapped(64, 16);
+        let plain =
+            run_loop_cache_flow(&p, &prof, &exec, cache, 64, 4, &TechParams::default()).unwrap();
+        let obs = Obs::enabled();
+        let observed =
+            run_loop_cache_flow_obs(&p, &prof, &exec, cache, 64, 4, &TechParams::default(), &obs)
+                .unwrap();
+        assert!((plain.energy_uj() - observed.energy_uj()).abs() < 1e-12);
+        assert_eq!(
+            plain.final_sim.stats.cache_misses,
+            observed.final_sim.stats.cache_misses
+        );
+        assert!(!obs.events().is_empty());
     }
 
     #[test]

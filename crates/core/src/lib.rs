@@ -63,5 +63,8 @@ pub mod wcet;
 pub use allocation::Allocation;
 pub use conflict::ConflictGraph;
 pub use energy_model::EnergyModel;
-pub use flow::{AllocatorKind, FlowConfig, FlowReport};
+pub use flow::{
+    run_loop_cache_flow, run_loop_cache_flow_obs, run_spm_flow, run_spm_flow_obs, AllocatorKind,
+    FlowConfig, FlowReport,
+};
 pub use report::EnergyBreakdown;

@@ -2,8 +2,9 @@
 //! [`Model`], using the simplex LP relaxation for bounds.
 
 use crate::model::{Model, Sense};
-use crate::simplex::{solve_lp, LpResult};
+use crate::simplex::{solve_lp_counted, LpResult};
 use crate::solution::{Solution, SolveError, Status};
+use casa_obs::{ArgValue, Obs};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -65,6 +66,23 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Search-effort statistics from one branch-and-bound run — the
+/// numbers the observability layer exposes instead of the old single
+/// hand-threaded `solver_nodes` integer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BbStats {
+    /// Branch-and-bound nodes popped (LP relaxations attempted).
+    pub nodes: u64,
+    /// Times a new incumbent replaced the previous best.
+    pub incumbent_updates: u64,
+    /// Simplex pivots summed over every node LP.
+    pub simplex_pivots: u64,
+    /// Best proven optimistic bound in the model's own orientation
+    /// (equals the objective when the search closed); `None` if no
+    /// finite bound was established.
+    pub best_bound: Option<f64>,
+}
+
 /// Solve `model` to integral optimality.
 ///
 /// # Errors
@@ -76,6 +94,51 @@ impl Ord for HeapEntry {
 ///   any feasible integral point was found.
 /// * [`SolveError::IterationLimit`] — simplex failed to converge.
 pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
+    solve_with_stats(model, options, &Obs::disabled()).0
+}
+
+/// Like [`solve`], recording solver internals into `obs`: counters
+/// `ilp.bb.nodes` / `ilp.bb.incumbents` / `ilp.simplex.pivots`, gauge
+/// `ilp.bb.best_bound`, and an instant trace event per incumbent
+/// improvement.
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`solve`].
+pub fn solve_obs(
+    model: &Model,
+    options: &SolverOptions,
+    obs: &Obs,
+) -> Result<Solution, SolveError> {
+    let (result, stats) = solve_with_stats(model, options, obs);
+    obs.add("ilp.bb.nodes", stats.nodes);
+    obs.add("ilp.bb.incumbents", stats.incumbent_updates);
+    obs.add("ilp.simplex.pivots", stats.simplex_pivots);
+    if let Some(b) = stats.best_bound {
+        obs.gauge_set("ilp.bb.best_bound", b);
+    }
+    result
+}
+
+/// Core search: returns the solution (or error) together with
+/// [`BbStats`]; incumbent improvements are emitted as instant trace
+/// events on `obs` while the search runs.
+pub fn solve_with_stats(
+    model: &Model,
+    options: &SolverOptions,
+    obs: &Obs,
+) -> (Result<Solution, SolveError>, BbStats) {
+    let mut stats = BbStats::default();
+    let result = solve_inner(model, options, obs, &mut stats);
+    (result, stats)
+}
+
+fn solve_inner(
+    model: &Model,
+    options: &SolverOptions,
+    obs: &Obs,
+    stats: &mut BbStats,
+) -> Result<Solution, SolveError> {
     // Work in minimization orientation internally.
     let sense_sign = match model.sense() {
         Sense::Minimize => 1.0,
@@ -107,10 +170,18 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveEr
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-oriented obj)
     let mut nodes = 0u64;
     let mut root_unbounded = false;
+    // Best-first pops see non-decreasing parent bounds, so the bound
+    // of the most recent pop is a valid global optimistic bound.
+    let mut bound_floor = f64::NEG_INFINITY;
 
     while let Some(HeapEntry { node, .. }) = heap.pop() {
         nodes += 1;
+        stats.nodes = nodes;
+        bound_floor = bound_floor.max(node.bound);
         if nodes > options.max_nodes {
+            if bound_floor.is_finite() {
+                stats.best_bound = Some(sense_sign * bound_floor);
+            }
             return match incumbent {
                 Some((values, obj)) => Ok(Solution::new(
                     values,
@@ -129,7 +200,8 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveEr
                 continue;
             }
         }
-        let lp = solve_lp(model, &node.bounds)?;
+        let (lp, pivots) = solve_lp_counted(model, &node.bounds)?;
+        stats.simplex_pivots += pivots;
         let (values, objective) = match lp {
             LpResult::Infeasible => continue,
             LpResult::Unbounded => {
@@ -174,7 +246,20 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveEr
                 let rounded_obj = sense_sign * model.eval_objective(&rounded);
                 match &incumbent {
                     Some((_, best)) if rounded_obj >= *best - options.gap_tol => {}
-                    _ => incumbent = Some((rounded, rounded_obj)),
+                    _ => {
+                        incumbent = Some((rounded, rounded_obj));
+                        stats.incumbent_updates += 1;
+                        obs.instant(
+                            "bb.incumbent",
+                            vec![
+                                (
+                                    "objective".to_string(),
+                                    ArgValue::F64(sense_sign * rounded_obj),
+                                ),
+                                ("node".to_string(), ArgValue::U64(nodes)),
+                            ],
+                        );
+                    }
                 }
             }
             Some((i, x)) => {
@@ -215,12 +300,17 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveEr
         return Err(SolveError::Unbounded);
     }
     match incumbent {
-        Some((values, obj)) => Ok(Solution::new(
-            values,
-            sense_sign * obj,
-            Status::Optimal,
-            nodes,
-        )),
+        Some((values, obj)) => {
+            // Search closed: the incumbent is proven optimal, so the
+            // bound equals the objective.
+            stats.best_bound = Some(sense_sign * obj);
+            Ok(Solution::new(
+                values,
+                sense_sign * obj,
+                Status::Optimal,
+                nodes,
+            ))
+        }
         None => Err(SolveError::Infeasible),
     }
 }
@@ -348,6 +438,57 @@ mod tests {
             "objective {} should equal the rounded point's objective",
             s.objective()
         );
+    }
+
+    #[test]
+    fn observed_solve_records_search_effort() {
+        let mut m = Model::maximize();
+        let x = m.integer("x", 0, 10);
+        let y = m.integer("y", 0, 10);
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_constraint([(x, 2.0), (y, 1.0)], ConstraintOp::Le, 7.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], ConstraintOp::Le, 9.0);
+        let obs = Obs::enabled();
+        let s = solve_obs(&m, &SolverOptions::default(), &obs).unwrap();
+        let snap = obs.snapshot();
+        let counter = |name: &str| match snap.get(name) {
+            Some(casa_obs::MetricValue::Counter(v)) => *v,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        assert_eq!(counter("ilp.bb.nodes"), s.nodes());
+        assert!(counter("ilp.bb.incumbents") >= 1);
+        assert!(counter("ilp.simplex.pivots") > 0);
+        match snap.get("ilp.bb.best_bound") {
+            Some(casa_obs::MetricValue::Gauge(b)) => {
+                assert!(
+                    (b - s.objective()).abs() < 1e-9,
+                    "closed search: bound = obj"
+                )
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        // One instant event per incumbent improvement.
+        let incumbents = obs
+            .events()
+            .iter()
+            .filter(|e| e.name == "bb.incumbent")
+            .count() as u64;
+        assert_eq!(incumbents, counter("ilp.bb.incumbents"));
+    }
+
+    #[test]
+    fn stats_match_between_plain_and_observed_solve() {
+        let mut m = Model::maximize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.set_objective([(a, 10.0), (b, 6.0), (c, 4.0)]);
+        m.add_constraint([(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
+        let plain = solve(&m, &SolverOptions::default()).unwrap();
+        let (observed, stats) = solve_with_stats(&m, &SolverOptions::default(), &Obs::enabled());
+        let observed = observed.unwrap();
+        assert_eq!(plain.values(), observed.values());
+        assert_eq!(plain.nodes(), stats.nodes);
     }
 
     #[test]

@@ -50,9 +50,10 @@ pub mod presolve;
 pub mod simplex;
 pub mod solution;
 
-pub use branch_bound::{solve, SolverOptions};
+pub use branch_bound::{solve, solve_obs, solve_with_stats, BbStats, SolverOptions};
 pub use knapsack::knapsack_01;
 pub use lp_format::to_lp_format;
 pub use model::{ConstraintOp, Model, Sense, Var};
-pub use presolve::{presolve, solve_presolved};
+pub use presolve::{presolve, solve_presolved, solve_presolved_obs};
+pub use simplex::solve_lp_counted;
 pub use solution::{Solution, SolveError, Status};

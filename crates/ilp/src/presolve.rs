@@ -16,9 +16,10 @@
 //! is a solution of the original — so [`solve_presolved`] is a
 //! drop-in replacement for [`crate::solve`].
 
-use crate::branch_bound::{solve, SolverOptions};
+use crate::branch_bound::{solve, solve_obs, SolverOptions};
 use crate::model::{ConstraintOp, Model, VarKind};
 use crate::solution::{Solution, SolveError};
+use casa_obs::Obs;
 
 /// Outcome of presolving.
 #[derive(Debug, Clone)]
@@ -220,6 +221,27 @@ pub fn presolve(model: &Model) -> Result<Presolved, SolveError> {
 pub fn solve_presolved(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
     let pre = presolve(model)?;
     solve(&pre.model, options)
+}
+
+/// Like [`solve_presolved`], recording presolve reductions (counters
+/// `ilp.presolve.rows_removed` / `vars_fixed` / `passes`) and solver
+/// internals (see [`solve_obs`]) into `obs`.
+///
+/// # Errors
+///
+/// Same as [`crate::solve`].
+pub fn solve_presolved_obs(
+    model: &Model,
+    options: &SolverOptions,
+    obs: &Obs,
+) -> Result<Solution, SolveError> {
+    let _span = obs.span("presolve");
+    let pre = presolve(model)?;
+    drop(_span);
+    obs.add("ilp.presolve.rows_removed", pre.rows_removed as u64);
+    obs.add("ilp.presolve.vars_fixed", pre.vars_fixed as u64);
+    obs.add("ilp.presolve.passes", pre.passes as u64);
+    solve_obs(&pre.model, options, obs)
 }
 
 #[cfg(test)]

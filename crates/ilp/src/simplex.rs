@@ -50,6 +50,35 @@ const MAX_ITERS: u64 = 200_000;
 /// Panics if `bounds.len() != model.num_vars()`, any lower bound is
 /// infinite/NaN, or `lb > ub` for some variable.
 pub fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, SolveError> {
+    solve_lp_counted(model, bounds).map(|(r, _)| r)
+}
+
+/// Like [`solve_lp`], but also reports how many simplex pivots the
+/// solve performed (both phases plus artificial drive-out pivots) —
+/// the search-effort number the observability layer records.
+///
+/// # Errors
+///
+/// Returns [`SolveError::IterationLimit`] if simplex fails to converge
+/// within the iteration cap.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`solve_lp`].
+pub fn solve_lp_counted(
+    model: &Model,
+    bounds: &[(f64, f64)],
+) -> Result<(LpResult, u64), SolveError> {
+    let mut pivots = 0u64;
+    let result = solve_lp_inner(model, bounds, &mut pivots)?;
+    Ok((result, pivots))
+}
+
+fn solve_lp_inner(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    pivots: &mut u64,
+) -> Result<LpResult, SolveError> {
     assert_eq!(bounds.len(), model.num_vars(), "one bound pair per var");
     for &(lb, ub) in bounds {
         assert!(lb.is_finite(), "lower bounds must be finite");
@@ -207,7 +236,7 @@ pub fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, SolveE
         for c in c1.iter_mut().skip(art_start) {
             *c = 1.0;
         }
-        let (opt, feasible) = run_phase(&mut t, &mut basis, &c1, total, usize::MAX)?;
+        let (opt, feasible) = run_phase(&mut t, &mut basis, &c1, total, usize::MAX, pivots)?;
         let _ = feasible;
         if opt > 1e-6 {
             return Ok(LpResult::Infeasible);
@@ -219,6 +248,7 @@ pub fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, SolveE
                 // Pivot on any usable non-artificial column.
                 if let Some(j) = (0..art_start).find(|&j| t[i][j].abs() > 1e-7) {
                     pivot(&mut t, &mut basis, i, j, total);
+                    *pivots += 1;
                 } else {
                     // Redundant row: drop it.
                     t.remove(i);
@@ -234,7 +264,7 @@ pub fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, SolveE
     let mut c2 = vec![0.0f64; total];
     c2[..n].copy_from_slice(&cost);
     let bar_from = if n_art > 0 { art_start } else { usize::MAX };
-    let (opt, bounded) = run_phase(&mut t, &mut basis, &c2, total, bar_from)?;
+    let (opt, bounded) = run_phase(&mut t, &mut basis, &c2, total, bar_from, pivots)?;
     if !bounded {
         return Ok(LpResult::Unbounded);
     }
@@ -268,6 +298,7 @@ fn run_phase(
     c: &[f64],
     total: usize,
     bar_from: usize,
+    pivots: &mut u64,
 ) -> Result<(f64, bool), SolveError> {
     let m = t.len();
     // Reduced-cost row: z = c_B B^-1 A - c ; store d_j = cbar_j.
@@ -341,6 +372,7 @@ fn run_phase(
             return Ok((obj, false)); // unbounded
         };
         pivot_with_costs(t, basis, &mut d, &mut obj, r, j, total);
+        *pivots += 1;
     }
 }
 
@@ -519,6 +551,22 @@ mod tests {
             }
             other => panic!("expected optimal, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn counted_pivots_track_search_effort() {
+        let mut m = Model::maximize();
+        let x = m.continuous("x", 0.0, 10.0);
+        let y = m.continuous("y", 0.0, 10.0);
+        m.set_objective([(x, 3.0), (y, 2.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], ConstraintOp::Le, 6.0);
+        let (res, pivots) = solve_lp_counted(&m, &bounds_of(&m)).unwrap();
+        assert!(matches!(res, LpResult::Optimal { .. }));
+        assert!(pivots > 0, "a non-trivial LP needs at least one pivot");
+        // A model with every variable fixed solves by substitution.
+        let (_, pivots) = solve_lp_counted(&m, &[(1.0, 1.0), (1.0, 1.0)]).unwrap();
+        assert_eq!(pivots, 0);
     }
 
     #[test]

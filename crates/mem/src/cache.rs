@@ -9,6 +9,7 @@
 //! plus the replacement policies whose antisymmetric victim relation
 //! defines the conflict graph.
 
+use casa_obs::LocalCounter;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -113,8 +114,8 @@ pub struct Cache {
     rr_counters: Vec<u32>,
     rng: SmallRng,
     clock: u64,
-    hits: u64,
-    misses: u64,
+    hits: LocalCounter,
+    misses: LocalCounter,
 }
 
 impl Cache {
@@ -144,8 +145,8 @@ impl Cache {
             rr_counters: vec![0; config.num_sets() as usize],
             rng: SmallRng::seed_from_u64(seed),
             clock: 0,
-            hits: 0,
-            misses: 0,
+            hits: LocalCounter::new(),
+            misses: LocalCounter::new(),
         }
     }
 
@@ -170,7 +171,7 @@ impl Cache {
                 if matches!(self.config.policy, ReplacementPolicy::Lru) {
                     way.stamp = self.clock;
                 }
-                self.hits += 1;
+                self.hits.inc();
                 return CacheAccess {
                     hit: true,
                     set,
@@ -181,7 +182,7 @@ impl Cache {
         }
 
         // Miss: pick a victim way.
-        self.misses += 1;
+        self.misses.inc();
         let victim = self.pick_victim(set);
         let slot = &mut self.ways[base + victim];
         let evicted_tag = slot.valid.then_some(slot.tag);
@@ -234,12 +235,12 @@ impl Cache {
 
     /// Hits recorded so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Misses recorded so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
     }
 
     /// Invalidate all lines and reset counters.
@@ -249,8 +250,8 @@ impl Cache {
             w.stamp = 0;
         }
         self.clock = 0;
-        self.hits = 0;
-        self.misses = 0;
+        self.hits = LocalCounter::new();
+        self.misses = LocalCounter::new();
         for c in &mut self.rr_counters {
             *c = 0;
         }

@@ -18,6 +18,7 @@
 use crate::conflict::{ConflictRecorder, RawConflicts};
 use crate::hierarchy::{FetchEvent, HierarchyConfig, InstMemorySystem};
 use crate::loop_cache::PreloadError;
+use crate::recorder::{NullRecorder, Recorder};
 use crate::stats::FetchStats;
 use casa_ir::{BlockId, Program, Terminator};
 use casa_trace::{Layout, TraceSet};
@@ -165,9 +166,12 @@ impl SimOutcome {
 
 /// Incremental fetch-engine session: replay segments of an execution,
 /// optionally switching layouts (scratchpad contents) between them.
+///
+/// Generic over an event [`Recorder`] (default: none) that observes
+/// every cache/SPM/loop-cache event the replay generates.
 #[derive(Debug, Clone)]
-pub struct Replayer {
-    system: InstMemorySystem,
+pub struct Replayer<R: Recorder = NullRecorder> {
+    system: InstMemorySystem<R>,
     recorder: ConflictRecorder,
     trace_fetches: Vec<u64>,
     trace_hits: Vec<u64>,
@@ -188,9 +192,26 @@ impl Replayer {
     /// Returns a [`PreloadError`] if `config` carries an invalid
     /// loop-cache preload.
     pub fn new(traces: &TraceSet, config: &HierarchyConfig) -> Result<Self, PreloadError> {
+        Replayer::with_recorder(traces, config, NullRecorder)
+    }
+}
+
+impl<R: Recorder> Replayer<R> {
+    /// Like [`Replayer::new`], but every memory-system event is also
+    /// reported to `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PreloadError`] if `config` carries an invalid
+    /// loop-cache preload.
+    pub fn with_recorder(
+        traces: &TraceSet,
+        config: &HierarchyConfig,
+        recorder: R,
+    ) -> Result<Self, PreloadError> {
         let n = traces.len();
         Ok(Replayer {
-            system: InstMemorySystem::new(config)?,
+            system: InstMemorySystem::with_recorder(config, recorder)?,
             recorder: ConflictRecorder::new(n),
             trace_fetches: vec![0; n],
             trace_hits: vec![0; n],
@@ -275,16 +296,21 @@ impl Replayer {
 
     /// Counters so far (cheap, copyable).
     pub fn stats(&self) -> FetchStats {
-        let mut s = *self.system.stats();
+        let mut s = self.system.stats();
         s.overlay_copy_words = self.copy_words;
         s
     }
 
     /// Finish the session.
     pub fn into_outcome(self) -> SimOutcome {
-        let mut stats = *self.system.stats();
+        self.into_outcome_and_recorder().0
+    }
+
+    /// Finish the session, also yielding the event recorder.
+    pub fn into_outcome_and_recorder(self) -> (SimOutcome, R) {
+        let mut stats = self.system.stats();
         stats.overlay_copy_words = self.copy_words;
-        SimOutcome {
+        let outcome = SimOutcome {
             stats,
             trace_fetches: self.trace_fetches,
             trace_hits: self.trace_hits,
@@ -293,7 +319,8 @@ impl Replayer {
             trace_lc: self.trace_lc,
             conflicts: self.recorder.into_conflicts(),
             base_cycles: self.base_cycles,
-        }
+        };
+        (outcome, self.system.into_recorder())
     }
 }
 
@@ -320,6 +347,30 @@ pub fn simulate(
     let mut session = Replayer::new(traces, config)?;
     session.replay(program, traces, layout, exec, 0..exec.len());
     Ok(session.into_outcome())
+}
+
+/// Like [`simulate`], but reporting every memory-system event to
+/// `recorder` and returning it alongside the outcome.
+///
+/// # Errors
+///
+/// Returns a [`PreloadError`] if `config` carries an invalid loop-cache
+/// preload.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`].
+pub fn simulate_observed<R: Recorder>(
+    program: &Program,
+    traces: &TraceSet,
+    layout: &Layout,
+    exec: &ExecutionTrace,
+    config: &HierarchyConfig,
+    recorder: R,
+) -> Result<(SimOutcome, R), PreloadError> {
+    let mut session = Replayer::with_recorder(traces, config, recorder)?;
+    session.replay(program, traces, layout, exec, 0..exec.len());
+    Ok(session.into_outcome_and_recorder())
 }
 
 #[cfg(test)]

@@ -3,8 +3,9 @@
 
 use crate::cache::{Cache, CacheAccess, CacheConfig};
 use crate::loop_cache::{LoopCacheController, PreloadError};
+use crate::recorder::{NullRecorder, Recorder};
 use crate::scratchpad::Scratchpad;
-use crate::stats::FetchStats;
+use crate::stats::{FetchCounters, FetchStats};
 use casa_trace::{Location, Region};
 use serde::{Deserialize, Serialize};
 
@@ -96,23 +97,42 @@ pub enum FetchEvent {
 }
 
 /// A live instruction memory system with counters.
+///
+/// Generic over a [`Recorder`] that observes every event; the default
+/// [`NullRecorder`] monomorphizes every recorder call away, so the
+/// uninstrumented system is exactly as fast as before the trait
+/// existed.
 #[derive(Debug, Clone)]
-pub struct InstMemorySystem {
+pub struct InstMemorySystem<R: Recorder = NullRecorder> {
     cache: Cache,
     l2: Option<Cache>,
     spm: Vec<Scratchpad>,
     loop_cache: Option<LoopCacheController>,
-    stats: FetchStats,
+    counters: FetchCounters,
+    recorder: R,
 }
 
 impl InstMemorySystem {
-    /// Build the system described by `config`.
+    /// Build the system described by `config` (no event recording).
     ///
     /// # Errors
     ///
     /// Returns a [`PreloadError`] if the loop-cache preload violates
     /// the controller's limits.
     pub fn new(config: &HierarchyConfig) -> Result<Self, PreloadError> {
+        InstMemorySystem::with_recorder(config, NullRecorder)
+    }
+}
+
+impl<R: Recorder> InstMemorySystem<R> {
+    /// Build the system described by `config`, reporting every event
+    /// to `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PreloadError`] if the loop-cache preload violates
+    /// the controller's limits.
+    pub fn with_recorder(config: &HierarchyConfig, recorder: R) -> Result<Self, PreloadError> {
         let loop_cache = match config.loop_cache {
             Some((cap, max)) => {
                 let mut lc = LoopCacheController::new(cap, max);
@@ -130,7 +150,8 @@ impl InstMemorySystem {
                 .map(|&s| Scratchpad::new(s))
                 .collect(),
             loop_cache,
-            stats: FetchStats::new(),
+            counters: FetchCounters::new(),
+            recorder,
         })
     }
 
@@ -142,7 +163,7 @@ impl InstMemorySystem {
     /// have, or an address outside that bank — both indicate a layout
     /// bug, not a runtime condition.
     pub fn fetch(&mut self, loc: Location) -> FetchEvent {
-        self.stats.fetches += 1;
+        self.counters.fetches.inc();
         match loc.region {
             Region::Spm(bank) => {
                 let spm = self
@@ -150,34 +171,43 @@ impl InstMemorySystem {
                     .get_mut(bank as usize)
                     .unwrap_or_else(|| panic!("no scratchpad bank {bank}"));
                 spm.access(loc.addr);
-                self.stats.spm_accesses += 1;
+                self.counters.spm_accesses.inc();
+                self.recorder.spm_access(bank);
                 FetchEvent::Spm { bank }
             }
             Region::Main => {
                 if let Some(lc) = &mut self.loop_cache {
                     if lc.access(loc.addr) {
-                        self.stats.loop_cache_accesses += 1;
+                        self.counters.loop_cache_accesses.inc();
+                        self.recorder.loop_cache_access();
                         return FetchEvent::LoopCache;
                     }
                 }
                 let access = self.cache.access(loc.addr);
-                self.stats.cache_accesses += 1;
+                self.counters.cache_accesses.inc();
+                self.recorder.cache_access(access.set, access.hit);
                 if access.hit {
-                    self.stats.cache_hits += 1;
+                    self.counters.cache_hits.inc();
                 } else {
-                    self.stats.cache_misses += 1;
+                    self.counters.cache_misses.inc();
+                    self.recorder.cache_fill(access.set);
+                    if access.evicted_tag.is_some() {
+                        self.recorder.cache_eviction(access.set);
+                    }
                     let words = self.cache.config().words_per_line() as u64;
                     match &mut self.l2 {
                         Some(l2) => {
-                            self.stats.l2_accesses += 1;
-                            if l2.access(loc.addr).hit {
-                                self.stats.l2_hits += 1;
+                            self.counters.l2_accesses.inc();
+                            let l2_hit = l2.access(loc.addr).hit;
+                            self.recorder.l2_access(l2_hit);
+                            if l2_hit {
+                                self.counters.l2_hits.inc();
                             } else {
-                                self.stats.l2_misses += 1;
-                                self.stats.main_word_accesses += words;
+                                self.counters.l2_misses.inc();
+                                self.counters.main_word_accesses.add(words);
                             }
                         }
-                        None => self.stats.main_word_accesses += words,
+                        None => self.counters.main_word_accesses.add(words),
                     }
                 }
                 FetchEvent::Cache(access)
@@ -190,13 +220,24 @@ impl InstMemorySystem {
         &self.cache
     }
 
-    /// Counters accumulated so far.
-    pub fn stats(&self) -> &FetchStats {
-        &self.stats
+    /// Counters accumulated so far, as a plain-integer snapshot.
+    pub fn stats(&self) -> FetchStats {
+        self.counters.view()
+    }
+
+    /// The event recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Tear down, yielding the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
     }
 
     /// Reset all state: cache contents and every counter. Loop-cache
-    /// preloads persist (they are static program data).
+    /// preloads persist (they are static program data). The recorder
+    /// is NOT reset — it may hold cumulative cross-run state.
     pub fn reset(&mut self) {
         self.cache.reset();
         if let Some(l2) = &mut self.l2 {
@@ -208,7 +249,7 @@ impl InstMemorySystem {
         if let Some(lc) = &mut self.loop_cache {
             lc.reset();
         }
-        self.stats = FetchStats::new();
+        self.counters = FetchCounters::new();
     }
 }
 

@@ -29,17 +29,19 @@ pub mod data;
 pub mod fetch;
 pub mod hierarchy;
 pub mod loop_cache;
+pub mod recorder;
 pub mod scratchpad;
 pub mod stats;
 
 pub use cache::{Cache, CacheConfig, ReplacementPolicy};
 pub use conflict::ConflictRecorder;
 pub use data::{simulate_data, DataAccess, DataSimOutcome, DataTrace};
-pub use fetch::{simulate, ExecutionTrace, Replayer, SimOutcome};
+pub use fetch::{simulate, simulate_observed, ExecutionTrace, Replayer, SimOutcome};
 pub use hierarchy::{HierarchyConfig, InstMemorySystem};
 pub use loop_cache::LoopCacheController;
+pub use recorder::{NullRecorder, Recorder, SetStatsRecorder};
 pub use scratchpad::Scratchpad;
-pub use stats::FetchStats;
+pub use stats::{FetchCounters, FetchStats};
 
 // The sweep engine in casa-bench shares simulators and their outputs
 // across worker threads; keep that property compile-time checked here

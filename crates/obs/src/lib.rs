@@ -1,0 +1,226 @@
+//! `casa-obs`: zero-dependency structured observability for the CASA
+//! workspace.
+//!
+//! Three pieces, all pure `std`:
+//!
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`])
+//!   — typed, `Send + Sync`, global-free. Snapshots are
+//!   [`BTreeMap`](std::collections::BTreeMap)s, so JSON export
+//!   iterates in sorted key order and is deterministic by
+//!   construction.
+//! * **Tracing** ([`TraceCollector`], RAII [`Span`] guards, instant
+//!   events) — hierarchical spans with monotonic microsecond
+//!   timestamps and explicit parent links, exportable as Chrome
+//!   `trace_event` JSON ([`chrome_trace_json`]) for
+//!   `chrome://tracing` / Perfetto, or summarized as an indented
+//!   table ([`render_span_table`]).
+//! * **The [`Obs`] handle** — a cheap clonable facade the allocation
+//!   flow threads through its phases. A disabled handle
+//!   ([`Obs::disabled`]) makes every call a no-op without heap
+//!   traffic, so instrumented code paths cost nothing when
+//!   observability is off; [`Obs::from_env`] enables it when
+//!   `CASA_TRACE` is set.
+//!
+//! Timing lives only in trace events; metric snapshots carry counts
+//! and values, never wall clock — that split is what lets
+//! deterministic report sections include metrics while quarantining
+//! timing to the non-deterministic sections.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use export::{chrome_trace_json, jnum, json_escape, snapshot_to_json};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, merge_snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
+    LocalCounter, MetricValue, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    render_span_table, span_tree, ArgValue, EventKind, Span, SpanSummary, TraceCollector,
+    TraceEvent,
+};
+
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct ObsInner {
+    registry: Registry,
+    collector: Arc<TraceCollector>,
+}
+
+/// Handle threaded through the allocation flow. Clones share the same
+/// registry and trace collector; a disabled handle is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A handle on which every operation is a no-op.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle with a fresh registry and trace collector.
+    pub fn enabled() -> Obs {
+        Obs::with_collector(Arc::new(TraceCollector::new()))
+    }
+
+    /// An enabled handle with a fresh registry but a shared trace
+    /// collector — lets parallel per-cell registries feed one
+    /// timeline.
+    pub fn with_collector(collector: Arc<TraceCollector>) -> Obs {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                registry: Registry::new(),
+                collector,
+            })),
+        }
+    }
+
+    /// Enabled iff `CASA_TRACE` is set to a non-empty value other
+    /// than `0`.
+    pub fn from_env() -> Obs {
+        match std::env::var("CASA_TRACE") {
+            Ok(v) if !v.is_empty() && v != "0" => Obs::enabled(),
+            _ => Obs::disabled(),
+        }
+    }
+
+    /// Whether instrumentation is live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metric registry, if enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// The trace collector, if enabled.
+    pub fn collector(&self) -> Option<&Arc<TraceCollector>> {
+        self.inner.as_deref().map(|i| &i.collector)
+    }
+
+    /// Open a span (no-op guard when disabled).
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            Some(i) => i.collector.begin_span(name, Vec::new()),
+            None => Span::noop(),
+        }
+    }
+
+    /// Open a span with arguments (no-op guard when disabled).
+    pub fn span_with(&self, name: &str, args: Vec<(String, ArgValue)>) -> Span {
+        match &self.inner {
+            Some(i) => i.collector.begin_span(name, args),
+            None => Span::noop(),
+        }
+    }
+
+    /// Record an instant event.
+    pub fn instant(&self, name: &str, args: Vec<(String, ArgValue)>) {
+        if let Some(i) = &self.inner {
+            i.collector.instant(name, args);
+        }
+    }
+
+    /// Add to a named counter.
+    pub fn add(&self, name: &str, v: u64) {
+        if let Some(i) = &self.inner {
+            i.registry.counter(name).add(v);
+        }
+    }
+
+    /// Set a named gauge.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(i) = &self.inner {
+            i.registry.gauge(name).set(v);
+        }
+    }
+
+    /// Record a histogram observation.
+    pub fn record(&self, name: &str, v: u64) {
+        if let Some(i) = &self.inner {
+            i.registry.histogram(name).record(v);
+        }
+    }
+
+    /// Snapshot the registry; empty when disabled.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(i) => i.registry.snapshot(),
+            None => MetricsSnapshot::new(),
+        }
+    }
+
+    /// Snapshot the trace events; empty when disabled.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(i) => i.collector.events(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        let _g = obs.span("phase");
+        obs.add("n", 5);
+        obs.gauge_set("g", 1.0);
+        obs.record("h", 9);
+        obs.instant("i", Vec::new());
+        assert!(!obs.is_enabled());
+        assert!(obs.snapshot().is_empty());
+        assert!(obs.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_handle_records_and_clones_share() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        {
+            let _g = obs.span("outer");
+            clone.add("n", 2);
+            clone.add("n", 3);
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.get("n"), Some(&MetricValue::Counter(5)));
+        let events = obs.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "outer");
+        assert!(events[0].dur_us.is_some());
+    }
+
+    #[test]
+    fn shared_collector_distinct_registries() {
+        let collector = Arc::new(TraceCollector::new());
+        let a = Obs::with_collector(Arc::clone(&collector));
+        let b = Obs::with_collector(Arc::clone(&collector));
+        a.add("x", 1);
+        b.add("x", 10);
+        {
+            let _ga = a.span("a");
+        }
+        {
+            let _gb = b.span("b");
+        }
+        assert_eq!(a.snapshot().get("x"), Some(&MetricValue::Counter(1)));
+        assert_eq!(b.snapshot().get("x"), Some(&MetricValue::Counter(10)));
+        assert_eq!(collector.events().len(), 2, "one timeline for both");
+    }
+
+    #[test]
+    fn obs_is_send_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Obs>();
+    }
+}

@@ -1,0 +1,459 @@
+//! Typed counters, gauges and histograms in a global-free [`Registry`].
+//!
+//! Two counter flavours serve two regimes:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] are atomic handles vended
+//!   by a [`Registry`]; the registry is `Send + Sync`, so handles can
+//!   be updated from the sweep thread pool without coordination.
+//! * [`LocalCounter`] is a plain `u64` for single-owner hot paths (the
+//!   fetch engine increments one per simulated instruction); it costs
+//!   exactly an integer add and is flushed into a registry — or viewed
+//!   as a snapshot struct — after the run.
+//!
+//! Exported state is always read through [`Registry::snapshot`], which
+//! returns a [`MetricsSnapshot`] — a `BTreeMap`, so iteration (and the
+//! JSON rendering in [`crate::export`]) is in sorted key order and
+//! therefore deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A plain single-owner counter for hot paths: no atomics, no
+/// allocation, `Copy`. The uninstrumented path pays one integer add.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LocalCounter(u64);
+
+impl LocalCounter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        LocalCounter(0)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A monotonically increasing atomic counter handle.
+///
+/// Cloning shares the underlying cell; all updates use relaxed
+/// ordering (counters are statistics, not synchronization).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere (useful for tests).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic `f64` gauge handle (stored as bit pattern; last write
+/// wins).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not registered anywhere.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of
+/// two, covering the whole `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// An atomic histogram handle over `u64` samples with power-of-two
+/// buckets: bucket 0 holds zeros, bucket `k >= 1` holds values in
+/// `[2^(k-1), 2^k)`.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The bucket index a value falls into.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `k` can hold (inclusive).
+pub fn bucket_upper_bound(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << k) - 1,
+    }
+}
+
+impl Histogram {
+    /// A histogram not registered anywhere.
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = (0..HISTOGRAM_BUCKETS)
+            .filter_map(|k| {
+                let c = self.0.buckets[k].load(Ordering::Relaxed);
+                (c > 0).then_some((bucket_upper_bound(k), c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Immutable view of a histogram: non-empty buckets as
+/// `(inclusive upper bound, count)` in ascending bound order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// `(upper_bound, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Merge another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for &(le, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&le, |&(b, _)| b) {
+                Ok(i) => self.buckets[i].1 += c,
+                Err(i) => self.buckets.insert(i, (le, c)),
+            }
+        }
+    }
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A last-write-wins gauge.
+    Gauge(f64),
+    /// A bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time view of a registry: metric name → value, sorted by
+/// name (it is a `BTreeMap`), which is what makes the JSON export
+/// deterministic.
+pub type MetricsSnapshot = BTreeMap<String, MetricValue>;
+
+/// Merge `from` into `into`: counters add, histograms merge, gauges
+/// take `from`'s value; a kind mismatch is resolved in `from`'s
+/// favour.
+pub fn merge_snapshot(into: &mut MetricsSnapshot, from: &MetricsSnapshot) {
+    for (name, v) in from {
+        match (into.get_mut(name), v) {
+            (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+            (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+            (slot, v) => {
+                let v = v.clone();
+                match slot {
+                    Some(s) => *s = v,
+                    None => {
+                        into.insert(name.clone(), v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A global-free metric registry: create one per scope you want to
+/// aggregate over (one per sweep cell, one per process, ...), pass it
+/// by reference, snapshot it at the end. `Send + Sync`; handle lookup
+/// takes a lock, updates through handles are lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.write().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.write().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Get or register the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.write().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().unwrap().len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_counter_is_a_plain_add() {
+        let mut c = LocalCounter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn bucket_index_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's upper bound falls into that bucket, and its
+        // successor into the next.
+        for k in 0..HISTOGRAM_BUCKETS {
+            let ub = bucket_upper_bound(k);
+            assert_eq!(bucket_index(ub), k, "upper bound of bucket {k}");
+            if k < 64 {
+                assert_eq!(bucket_index(ub + 1), k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_into_expected_buckets() {
+        let h = Histogram::detached();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        // 0 -> bucket 0 (le 0); 1 -> le 1; 2,3 -> le 3; 4 -> le 7;
+        // 1000 -> le 1023.
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        a.record(1);
+        a.record(100);
+        b.record(1);
+        b.record(5);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 107);
+        assert_eq!(s.buckets, vec![(1, 2), (7, 1), (127, 1)]);
+    }
+
+    #[test]
+    fn registry_vends_shared_handles() {
+        let r = Registry::new();
+        let c1 = r.counter("x");
+        let c2 = r.counter("x");
+        c1.add(2);
+        c2.inc();
+        assert_eq!(r.counter("x").get(), 3);
+        r.gauge("g").set(1.5);
+        r.histogram("h").record(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.get("x"), Some(&MetricValue::Counter(3)));
+        assert_eq!(snap.get("g"), Some(&MetricValue::Gauge(1.5)));
+        let keys: Vec<&str> = snap.keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["g", "h", "x"], "sorted iteration order");
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshots_merge_deterministically() {
+        let r1 = Registry::new();
+        r1.counter("n").add(2);
+        r1.gauge("g").set(1.0);
+        let r2 = Registry::new();
+        r2.counter("n").add(3);
+        r2.gauge("g").set(2.0);
+        let mut s = r1.snapshot();
+        merge_snapshot(&mut s, &r2.snapshot());
+        assert_eq!(s.get("n"), Some(&MetricValue::Counter(5)));
+        assert_eq!(s.get("g"), Some(&MetricValue::Gauge(2.0)), "last wins");
+    }
+
+    #[test]
+    fn registry_is_send_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Registry>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<Gauge>();
+        assert_send_sync::<Histogram>();
+    }
+}

@@ -1,0 +1,452 @@
+//! Hierarchical spans with monotonic timings.
+//!
+//! A [`TraceCollector`] accumulates span and instant events from any
+//! number of threads; timestamps are microseconds since the
+//! collector's epoch, measured with [`std::time::Instant`] (monotonic,
+//! immune to wall-clock steps). Spans are RAII guards ([`Span`]):
+//! opening one records a begin event and pushes it on the current
+//! thread's span stack, dropping it fills in the duration. Parent
+//! links are recorded explicitly at begin time, so tree reconstruction
+//! does not depend on timestamp resolution.
+//!
+//! Events re-imported from an exported Chrome trace lose the explicit
+//! parent links; [`span_tree`] falls back to timestamp-containment
+//! nesting in that case.
+
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// A typed argument attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+/// What kind of event a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration span (Chrome phase `X`).
+    Span,
+    /// A point event (Chrome phase `i`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name.
+    pub name: String,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Track ordinal: threads are numbered in first-event order.
+    pub tid: u32,
+    /// Index of the enclosing span in the event list, if known.
+    pub parent: Option<usize>,
+    /// Microseconds since the collector epoch.
+    pub ts_us: u64,
+    /// Span duration in microseconds; `None` while still open (or for
+    /// instant events).
+    pub dur_us: Option<u64>,
+    /// Attached arguments, in insertion order.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+#[derive(Debug, Default)]
+struct CollectorState {
+    events: Vec<TraceEvent>,
+    /// Thread ordinal assignment, in first-event order.
+    threads: Vec<ThreadId>,
+    /// Per-ordinal stack of open span indices.
+    stacks: Vec<Vec<usize>>,
+}
+
+/// Thread-safe accumulator of span / instant events.
+#[derive(Debug)]
+pub struct TraceCollector {
+    epoch: Instant,
+    state: Mutex<CollectorState>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector::new()
+    }
+}
+
+impl TraceCollector {
+    /// A fresh collector; its epoch is `now`.
+    pub fn new() -> Self {
+        TraceCollector {
+            epoch: Instant::now(),
+            state: Mutex::new(CollectorState::default()),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn ordinal(state: &mut CollectorState, id: ThreadId) -> u32 {
+        if let Some(i) = state.threads.iter().position(|&t| t == id) {
+            return i as u32;
+        }
+        state.threads.push(id);
+        state.stacks.push(Vec::new());
+        (state.threads.len() - 1) as u32
+    }
+
+    /// Open a span; the returned guard closes it on drop.
+    pub fn begin_span(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        args: Vec<(String, ArgValue)>,
+    ) -> Span {
+        let ts = self.now_us();
+        let mut st = self.state.lock().unwrap();
+        let tid = Self::ordinal(&mut st, std::thread::current().id());
+        let parent = st.stacks[tid as usize].last().copied();
+        let idx = st.events.len();
+        st.events.push(TraceEvent {
+            name: name.into(),
+            kind: EventKind::Span,
+            tid,
+            parent,
+            ts_us: ts,
+            dur_us: None,
+            args,
+        });
+        st.stacks[tid as usize].push(idx);
+        Span {
+            inner: Some((Arc::clone(self), idx)),
+        }
+    }
+
+    fn end_span(&self, idx: usize) {
+        let ts = self.now_us();
+        let mut st = self.state.lock().unwrap();
+        let ev = &mut st.events[idx];
+        ev.dur_us = Some(ts.saturating_sub(ev.ts_us));
+        let tid = ev.tid as usize;
+        // Guards drop LIFO per thread in normal use; `retain` keeps
+        // the stack sane even if one escapes its scope out of order.
+        st.stacks[tid].retain(|&i| i != idx);
+    }
+
+    /// Record a point event on the current thread.
+    pub fn instant(&self, name: impl Into<String>, args: Vec<(String, ArgValue)>) {
+        let ts = self.now_us();
+        let mut st = self.state.lock().unwrap();
+        let tid = Self::ordinal(&mut st, std::thread::current().id());
+        let parent = st.stacks[tid as usize].last().copied();
+        st.events.push(TraceEvent {
+            name: name.into(),
+            kind: EventKind::Instant,
+            tid,
+            parent,
+            ts_us: ts,
+            dur_us: None,
+            args,
+        });
+    }
+
+    /// Snapshot all events. Spans still open are reported with their
+    /// duration so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let now = self.now_us();
+        let st = self.state.lock().unwrap();
+        st.events
+            .iter()
+            .map(|e| {
+                let mut e = e.clone();
+                if e.kind == EventKind::Span && e.dur_us.is_none() {
+                    e.dur_us = Some(now.saturating_sub(e.ts_us));
+                }
+                e
+            })
+            .collect()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// RAII guard for an open span; ends the span when dropped. A no-op
+/// guard ([`Span::noop`]) is free.
+#[must_use = "a span measures the scope it is alive in"]
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<(Arc<TraceCollector>, usize)>,
+}
+
+impl Span {
+    /// A guard that records nothing.
+    pub fn noop() -> Span {
+        Span { inner: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((collector, idx)) = self.inner.take() {
+            collector.end_span(idx);
+        }
+    }
+}
+
+/// One row of an aggregated span tree: siblings with the same name are
+/// merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    /// Span name.
+    pub name: String,
+    /// Number of merged spans.
+    pub count: u64,
+    /// Total duration, microseconds.
+    pub total_us: u64,
+    /// Duration not covered by child spans, microseconds.
+    pub self_us: u64,
+}
+
+/// Nesting fallback for events without parent links (e.g. re-imported
+/// Chrome traces): a span's parent is the most recent earlier span on
+/// the same track that contains it.
+fn containment_parents(events: &[TraceEvent]) -> Vec<Option<usize>> {
+    let mut parents = vec![None; events.len()];
+    let mut stacks: Vec<Vec<usize>> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let tid = e.tid as usize;
+        if stacks.len() <= tid {
+            stacks.resize(tid + 1, Vec::new());
+        }
+        let end = e.ts_us + e.dur_us.unwrap_or(0);
+        let stack = &mut stacks[tid];
+        while let Some(&top) = stack.last() {
+            let t = &events[top];
+            let t_end = t.ts_us + t.dur_us.unwrap_or(0);
+            // Pop spans that closed strictly before this one starts;
+            // on equal boundaries insertion order decides (earlier
+            // event = outer scope).
+            if t.ts_us <= e.ts_us && end <= t_end {
+                break;
+            }
+            stack.pop();
+        }
+        parents[i] = stack.last().copied();
+        if e.kind == EventKind::Span {
+            stack.push(i);
+        }
+    }
+    parents
+}
+
+/// Aggregate spans into a tree, merging same-name siblings; rows come
+/// out in depth-first order (children ordered by first occurrence).
+pub fn span_tree(events: &[TraceEvent]) -> Vec<SpanSummary> {
+    let parents: Vec<Option<usize>> = if events.iter().any(|e| e.parent.is_some()) {
+        events.iter().map(|e| e.parent).collect()
+    } else {
+        containment_parents(events)
+    };
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); events.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.kind != EventKind::Span {
+            continue;
+        }
+        match parents[i] {
+            Some(p) if events[p].kind == EventKind::Span => children[p].push(i),
+            _ => roots.push(i),
+        }
+    }
+
+    fn emit(
+        events: &[TraceEvent],
+        children: &[Vec<usize>],
+        group: &[usize],
+        depth: usize,
+        out: &mut Vec<SpanSummary>,
+    ) {
+        // Merge same-name spans in this sibling group, keeping first
+        // occurrence order.
+        let mut names: Vec<&str> = Vec::new();
+        for &i in group {
+            if !names.contains(&events[i].name.as_str()) {
+                names.push(&events[i].name);
+            }
+        }
+        for name in names {
+            let members: Vec<usize> = group
+                .iter()
+                .copied()
+                .filter(|&i| events[i].name == name)
+                .collect();
+            let total: u64 = members.iter().map(|&i| events[i].dur_us.unwrap_or(0)).sum();
+            let child_total: u64 = members
+                .iter()
+                .flat_map(|&i| &children[i])
+                .map(|&c| events[c].dur_us.unwrap_or(0))
+                .sum();
+            let row = SpanSummary {
+                depth,
+                name: name.to_string(),
+                count: members.len() as u64,
+                total_us: total,
+                self_us: total.saturating_sub(child_total),
+            };
+            out.push(row);
+            let grand: Vec<usize> = members
+                .iter()
+                .flat_map(|&i| children[i].iter().copied())
+                .collect();
+            if !grand.is_empty() {
+                emit(events, children, &grand, depth + 1, out);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    emit(events, &children, &roots, 0, &mut out);
+    out
+}
+
+/// Render [`span_tree`] as a fixed-width table.
+pub fn render_span_table(events: &[TraceEvent]) -> String {
+    let rows = span_tree(events);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<44} {:>7} {:>12} {:>12}\n",
+        "span", "calls", "total ms", "self ms"
+    ));
+    for r in &rows {
+        let name = format!("{}{}", "  ".repeat(r.depth), r.name);
+        s.push_str(&format!(
+            "{:<44} {:>7} {:>12.3} {:>12.3}\n",
+            name,
+            r.count,
+            r.total_us as f64 / 1000.0,
+            r.self_us as f64 / 1000.0
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, tid: u32, parent: Option<usize>, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            kind: EventKind::Span,
+            tid,
+            parent,
+            ts_us: ts,
+            dur_us: Some(dur),
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn guards_nest_and_time() {
+        let c = Arc::new(TraceCollector::new());
+        {
+            let _outer = c.begin_span("outer", Vec::new());
+            {
+                let _inner = c.begin_span("inner", Vec::new());
+                c.instant("tick", vec![("n".to_string(), ArgValue::U64(1))]);
+            }
+        }
+        let events = c.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[1].parent, Some(0), "inner nests under outer");
+        assert_eq!(events[2].parent, Some(1), "instant nests under inner");
+        assert!(events[0].dur_us.unwrap() >= events[1].dur_us.unwrap());
+    }
+
+    #[test]
+    fn tree_merges_same_name_siblings() {
+        let events = vec![
+            ev("run", 0, None, 0, 100),
+            ev("cell", 0, Some(0), 0, 40),
+            ev("solve", 0, Some(1), 10, 20),
+            ev("cell", 0, Some(0), 40, 40),
+            ev("solve", 0, Some(3), 50, 30),
+        ];
+        let rows = span_tree(&events);
+        assert_eq!(rows.len(), 3);
+        assert_eq!((rows[0].name.as_str(), rows[0].count), ("run", 1));
+        assert_eq!((rows[1].name.as_str(), rows[1].count), ("cell", 2));
+        assert_eq!(rows[1].total_us, 80);
+        assert_eq!(rows[1].self_us, 80 - 50);
+        assert_eq!((rows[2].name.as_str(), rows[2].count), ("solve", 2));
+        assert_eq!(rows[2].depth, 2);
+    }
+
+    #[test]
+    fn containment_fallback_reconstructs_nesting() {
+        let mut events = vec![
+            ev("root", 0, None, 0, 100),
+            ev("child", 0, None, 10, 20),
+            ev("sibling", 0, None, 40, 10),
+            ev("other-thread", 1, None, 0, 50),
+        ];
+        for e in &mut events {
+            e.parent = None;
+        }
+        let rows = span_tree(&events);
+        let root = rows.iter().find(|r| r.name == "root").unwrap();
+        assert_eq!(root.depth, 0);
+        assert_eq!(rows.iter().find(|r| r.name == "child").unwrap().depth, 1);
+        assert_eq!(rows.iter().find(|r| r.name == "sibling").unwrap().depth, 1);
+        assert_eq!(
+            rows.iter()
+                .find(|r| r.name == "other-thread")
+                .unwrap()
+                .depth,
+            0,
+            "tracks do not nest across threads"
+        );
+        assert_eq!(root.self_us, 100 - 30);
+    }
+
+    #[test]
+    fn render_produces_indented_rows() {
+        let events = vec![ev("a", 0, None, 0, 1000), ev("b", 0, Some(0), 0, 500)];
+        let table = render_span_table(&events);
+        assert!(table.contains("a "));
+        assert!(table.contains("  b"));
+        assert!(table.contains("1.000"));
+    }
+
+    #[test]
+    fn open_spans_report_partial_duration() {
+        let c = Arc::new(TraceCollector::new());
+        let _open = c.begin_span("open", Vec::new());
+        let events = c.events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].dur_us.is_some(), "open span gets duration-so-far");
+    }
+
+    #[test]
+    fn collector_is_send_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceCollector>();
+    }
+}

@@ -30,4 +30,4 @@ pub mod layout;
 pub mod trace;
 
 pub use layout::{Layout, Location, Region};
-pub use trace::{Trace, TraceConfig, TraceId, TraceSet};
+pub use trace::{form_traces, form_traces_obs, Trace, TraceConfig, TraceId, TraceSet};

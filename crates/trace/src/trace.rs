@@ -284,6 +284,45 @@ pub fn form_traces(program: &Program, profile: &Profile, config: TraceConfig) ->
     }
 }
 
+/// [`form_traces`] with observability: wraps formation in a
+/// `trace.form` span and records how many traces were built, how many
+/// needed glue jumps, the total NOP padding, and a histogram of padded
+/// trace sizes.
+///
+/// With a disabled [`casa_obs::Obs`] this is exactly [`form_traces`].
+pub fn form_traces_obs(
+    program: &Program,
+    profile: &Profile,
+    config: TraceConfig,
+    obs: &casa_obs::Obs,
+) -> TraceSet {
+    let span = obs.span("trace.form");
+    let ts = form_traces(program, profile, config);
+    obs.add("trace.objects", ts.len() as u64);
+    obs.add(
+        "trace.glue_jumps",
+        ts.traces()
+            .iter()
+            .filter(|t| t.glue_jump_size().is_some())
+            .count() as u64,
+    );
+    obs.add(
+        "trace.padding_bytes",
+        ts.traces()
+            .iter()
+            .map(|t| u64::from(t.padding(ts.line_size())))
+            .sum(),
+    );
+    for t in ts.traces() {
+        obs.record(
+            "trace.object_size",
+            u64::from(t.padded_size(ts.line_size())),
+        );
+    }
+    drop(span);
+    ts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +426,45 @@ mod tests {
         assert_eq!(ta.glue_jump_size(), Some(4));
         // 10 execs * 2 insts + 10 glue-jump fetches.
         assert_eq!(ta.fetches(&p, &prof), 30);
+    }
+
+    #[test]
+    fn observed_formation_matches_plain_and_records_metrics() {
+        let (p, ids) = chain_program();
+        let prof = hot_profile(&ids);
+        let config = TraceConfig::new(20, 4);
+        let plain = form_traces(&p, &prof, config);
+
+        let obs = casa_obs::Obs::enabled();
+        let observed = form_traces_obs(&p, &prof, config, &obs);
+        assert_eq!(plain, observed);
+
+        let snap = obs.snapshot();
+        use casa_obs::MetricValue;
+        assert_eq!(
+            snap.get("trace.objects"),
+            Some(&MetricValue::Counter(observed.len() as u64))
+        );
+        let glue = observed
+            .traces()
+            .iter()
+            .filter(|t| t.glue_jump_size().is_some())
+            .count() as u64;
+        assert_eq!(
+            snap.get("trace.glue_jumps"),
+            Some(&MetricValue::Counter(glue))
+        );
+        match snap.get("trace.object_size") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, observed.len() as u64),
+            other => panic!("expected size histogram, got {other:?}"),
+        }
+        // One span covering formation.
+        assert_eq!(obs.events().len(), 1);
+
+        // A disabled Obs records nothing but returns the same traces.
+        let off = casa_obs::Obs::disabled();
+        assert_eq!(form_traces_obs(&p, &prof, config, &off), plain);
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

@@ -4,7 +4,12 @@
 //! imports (both the traits and the derive macros). The derives are
 //! no-ops; nothing in the workspace serializes through serde's data
 //! model — structured output (e.g. `BENCH_sweep.json`) is produced by
-//! hand-rolled, deterministic JSON writers instead.
+//! hand-rolled, deterministic JSON writers instead. The [`json`]
+//! module provides the small parsing surface tests use to validate
+//! that hand-rolled output (trace exports, bench reports) is
+//! well-formed JSON.
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 
