@@ -30,4 +30,25 @@ test -s /tmp/casa_trace.json || { echo "trace file empty or missing"; exit 1; }
 cargo run --release -q -p casa-bench --bin diag -- --render-trace /tmp/casa_trace.json | grep -q "simulate" \
   || { echo "trace does not cover the simulate phase"; exit 1; }
 
+echo "== budget-stress smoke: sweep --smoke --budget-nodes 1"
+# The harshest anytime setting: a single search node per cell. The
+# sweep bin itself asserts every cell still answers (status present;
+# finite gap >= 0 unless a fallback substituted) and that the
+# node-budgeted report stays byte-identical across worker counts.
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke --budget-nodes 1)
+
+echo "== deprecated-shim grep"
+# The pre-engine entry points survive only as #[deprecated] shims;
+# nothing outside their defining modules (and the tests that pin the
+# shims themselves) may call them.
+if grep -rn "run_spm_flow_obs(\|run_loop_cache_flow_obs(\|form_traces_obs(\|solve_obs(\|solve_with_stats(" \
+    crates src examples \
+    --include='*.rs' \
+    | grep -v "^crates/core/src/flow.rs:" \
+    | grep -v "^crates/trace/src/trace.rs:" \
+    | grep -v "^crates/ilp/src/branch_bound.rs:" \
+    | grep -v "^crates/ilp/src/engine.rs:"; then
+  echo "deprecated shim called outside its defining module"; exit 1
+fi
+
 echo "CI OK"

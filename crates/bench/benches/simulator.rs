@@ -51,7 +51,12 @@ fn bench_cache_access(c: &mut Criterion) {
 
 fn bench_fetch_engine(c: &mut Criterion) {
     let w = prepared(mediabench::g721(), 1, 2004);
-    let traces = form_traces(&w.program, &w.profile, TraceConfig::new(1024, 16));
+    let traces = form_traces(
+        &w.program,
+        &w.profile,
+        TraceConfig::new(1024, 16),
+        &casa_obs::Obs::disabled(),
+    );
     let layout = Layout::initial(&w.program, &traces);
     let cfg = HierarchyConfig::spm_system(CacheConfig::direct_mapped(1024, 16), 1024);
     let mut group = c.benchmark_group("fetch_engine");
@@ -74,13 +79,21 @@ fn bench_trace_formation(c: &mut Criterion) {
                 &w.program,
                 &w.profile,
                 TraceConfig::new(1024, 16),
+                &casa_obs::Obs::disabled(),
             ))
         })
     });
     // Cold profile: formation must behave with all-zero counts too.
     let empty = Profile::new();
     group.bench_function("mpeg_19k_cold_profile", |b| {
-        b.iter(|| black_box(form_traces(&w.program, &empty, TraceConfig::new(1024, 16))))
+        b.iter(|| {
+            black_box(form_traces(
+                &w.program,
+                &empty,
+                TraceConfig::new(1024, 16),
+                &casa_obs::Obs::disabled(),
+            ))
+        })
     });
     group.finish();
 }

@@ -10,7 +10,7 @@ use casa_core::casa_bb::allocate_bb;
 use casa_core::casa_ilp::{allocate_ilp, Linearization};
 use casa_core::conflict::ConflictGraph;
 use casa_core::energy_model::EnergyModel;
-use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa_core::greedy::allocate_greedy;
 use casa_energy::{EnergyTable, TechParams};
 use casa_ilp::SolverOptions;
@@ -29,8 +29,10 @@ fn graph_of(spec: casa_workloads::BenchmarkSpec) -> (String, ConflictGraph, Ener
         spm_size: spm,
         allocator: AllocatorKind::None,
         tech: TechParams::default(),
+        trace_cap: None,
     };
-    let r = run_spm_flow(&w.program, &w.profile, &w.exec, &cfg).expect("profiling flow");
+    let r = run_spm_flow(&w.program, &w.profile, &w.exec, &cfg, &FlowCtx::default())
+        .expect("profiling flow");
     let table = EnergyTable::build(cache_size, LINE_SIZE, 1, spm, None, &TechParams::default());
     (name, r.conflict_graph, table, spm)
 }

@@ -6,7 +6,7 @@
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
 use casa_bench::runner::{cli_scale, prepared};
-use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa_core::overlay::{run_overlay_flow, OverlayMethod};
 use casa_core::placement::run_placement_flow;
 use casa_energy::TechParams;
@@ -37,7 +37,9 @@ fn main() {
                     spm_size: spm,
                     allocator: alloc,
                     tech: TechParams::default(),
+                    trace_cap: None,
                 },
+                &FlowCtx::default(),
             )
             .expect("flow")
             .energy_uj()

@@ -11,7 +11,7 @@
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
 use casa_bench::runner::{cli_scale, prepared};
-use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa_energy::TechParams;
 use casa_mem::cache::{CacheConfig, ReplacementPolicy};
 use casa_workloads::mediabench;
@@ -45,7 +45,9 @@ fn main() {
                         spm_size: spm,
                         allocator: alloc,
                         tech: TechParams::default(),
+                        trace_cap: None,
                     },
+                    &FlowCtx::default(),
                 )
                 .expect("flow")
             };

@@ -13,7 +13,7 @@
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
 use casa_bench::runner::{cli_obs, prepared};
-use casa_core::flow::{run_spm_flow_obs, AllocatorKind, FlowConfig};
+use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa_energy::TechParams;
 use casa_mem::cache::CacheConfig;
 use casa_obs::{render_span_table, EventKind, TraceEvent};
@@ -106,8 +106,16 @@ fn main() {
             spm_size: sizes[0],
             allocator: AllocatorKind::None,
             tech: TechParams::default(),
+            trace_cap: None,
         };
-        let base = run_spm_flow_obs(&w.program, &w.profile, &w.exec, &cfg, &cli.obs).unwrap();
+        let base = run_spm_flow(
+            &w.program,
+            &w.profile,
+            &w.exec,
+            &cfg,
+            &FlowCtx::observed(&cli.obs),
+        )
+        .unwrap();
         let stats = base.final_sim.stats;
         println!(
             "{name}: code {code} B, hot(95%) {hot_bytes} B, cache {cache_size} B, pressure {:.2}",
@@ -136,8 +144,16 @@ fn main() {
                 spm_size: spm,
                 allocator: AllocatorKind::CasaBb,
                 tech: TechParams::default(),
+                trace_cap: None,
             };
-            let r = run_spm_flow_obs(&w.program, &w.profile, &w.exec, &cfg, &cli.obs).unwrap();
+            let r = run_spm_flow(
+                &w.program,
+                &w.profile,
+                &w.exec,
+                &cfg,
+                &FlowCtx::observed(&cli.obs),
+            )
+            .unwrap();
             println!(
                 "  CASA @{spm:>5}: predicted {:>10.1} µJ, simulated {:>10.1} µJ, misses {} -> {}",
                 r.allocation.predicted_energy.unwrap_or(0.0) / 1000.0,

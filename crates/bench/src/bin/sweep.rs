@@ -8,14 +8,21 @@
 //! `BENCH_sweep.json`.
 //!
 //! Usage: `cargo run --release -p casa-bench --bin sweep [scale]
-//!         [--smoke] [--trace-out <path>]`
+//!         [--smoke] [--trace-out <path>]
+//!         [--budget-nodes <n>] [--budget-ms <ms>]`
 //! Worker count: `CASA_SWEEP_THREADS` (default: available cores).
 //! `--smoke` swaps the full grid for [`SweepGrid::smoke`] (one adpcm
 //! workload, three cells) — the CI smoke configuration.
 //! `--trace-out <path>` (or `CASA_TRACE=1`) instruments every flow
 //! phase and writes a Chrome `trace_event` timeline.
+//! `--budget-nodes <n>` / `--budget-ms <ms>` solve every cell under
+//! the given anytime budget: cells then report `status` (`optimal` /
+//! `feasible` / `fallback`) and the proven optimality `gap`. Node
+//! budgets keep the byte-identical determinism guarantee; wall-clock
+//! budgets are machine-dependent, so the byte-equality check is
+//! skipped and `deterministic_json` redacts the affected columns.
 
-use casa_bench::runner::{cli_obs, cli_scale};
+use casa_bench::runner::{cli_budget, cli_obs, cli_scale};
 use casa_bench::sweep::{sweep_threads, SweepGrid};
 
 fn main() {
@@ -23,25 +30,50 @@ fn main() {
     let threads = sweep_threads();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cli = cli_obs();
-    let grid = if smoke {
+    let budget = cli_budget();
+    let mut grid = if smoke {
         SweepGrid::smoke(scale, 2004)
     } else {
         SweepGrid::table1_paper(scale, 2004)
     };
+    grid.set_budget(budget.clone());
     println!(
         "sweep: {} cells over {} workloads (scale {scale}), {threads} worker(s)",
         grid.cell_count(),
         grid.workload_count()
     );
+    if !budget.is_unlimited() {
+        println!("per-cell solver budget: {budget:?}");
+    }
 
     let serial = grid.run_with_threads(1);
     let parallel = grid.run_with_threads_obs(threads, &cli.obs);
-    assert_eq!(
-        serial.deterministic_json(),
-        parallel.deterministic_json(),
-        "sweep results must not depend on the worker count or tracing"
-    );
-    println!("determinism: serial and {threads}-worker reports are byte-identical");
+    if budget.has_wall_clock() {
+        // Where a deadline or cancellation lands in the search depends
+        // on machine speed, so the reports are legitimately allowed to
+        // differ; deterministic_json redacts those columns instead.
+        println!("wall-clock budget: skipping the byte-equality check");
+    } else {
+        assert_eq!(
+            serial.deterministic_json(),
+            parallel.deterministic_json(),
+            "sweep results must not depend on the worker count or tracing"
+        );
+        println!("determinism: serial and {threads}-worker reports are byte-identical");
+    }
+
+    // Anytime contract: a budget may truncate the search, but every
+    // cell still answers — with a status, and (unless a fallback
+    // allocator substituted) a finite proven gap.
+    for c in &parallel.cells {
+        assert!(!c.status.is_empty(), "cell without a status: {c:?}");
+        if c.status != "fallback" {
+            let gap = c
+                .gap
+                .unwrap_or_else(|| panic!("{} cell missing gap: {c:?}", c.flavor));
+            assert!(gap.is_finite() && gap >= 0.0, "unproven gap {gap} in {c:?}");
+        }
+    }
 
     let speedup = serial.total_secs / parallel.total_secs.max(1e-12);
     println!(
@@ -51,13 +83,15 @@ fn main() {
 
     for c in &parallel.cells {
         println!(
-            "{:<8} {:<14} {:>6} B  {:>12.2} µJ  {:>9} nodes  {:>8.4} s",
+            "{:<8} {:<14} {:>6} B  {:>12.2} µJ  {:>9} nodes  {:<8} {:>10}  {:>8.4} s",
             c.benchmark,
             c.flavor,
             c.local_size,
             c.energy_uj,
             c.solver_nodes
                 .map_or_else(|| "-".to_string(), |n| n.to_string()),
+            c.status,
+            c.gap.map_or_else(|| "-".to_string(), |g| format!("{g:.3}")),
             c.cell_secs
         );
     }

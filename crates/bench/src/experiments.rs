@@ -2,7 +2,8 @@
 
 use crate::runner::PreparedWorkload;
 use casa_core::flow::{
-    run_loop_cache_flow_obs, run_spm_flow_obs, AllocatorKind, FlowConfig, FlowReport,
+    run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig, FlowCtx, FlowReport,
+    LoopCacheConfig,
 };
 use casa_energy::TechParams;
 use casa_mem::cache::CacheConfig;
@@ -21,6 +22,7 @@ fn spm_config(cache_size: u32, spm_size: u32, allocator: AllocatorKind) -> FlowC
         spm_size,
         allocator,
         tech: TechParams::default(),
+        trace_cap: None,
     }
 }
 
@@ -37,12 +39,12 @@ fn spm_flow_obs(
     alloc: AllocatorKind,
     obs: &Obs,
 ) -> FlowReport {
-    run_spm_flow_obs(
+    run_spm_flow(
         &w.program,
         &w.profile,
         &w.exec,
         &spm_config(cache_size, spm, alloc),
-        obs,
+        &FlowCtx::observed(obs),
     )
     .unwrap_or_else(|e| panic!("{} spm flow failed: {e}", w.name))
 }
@@ -52,15 +54,16 @@ fn lc_flow(w: &PreparedWorkload, cache_size: u32, capacity: u32) -> FlowReport {
 }
 
 fn lc_flow_obs(w: &PreparedWorkload, cache_size: u32, capacity: u32, obs: &Obs) -> FlowReport {
-    run_loop_cache_flow_obs(
+    run_loop_cache_flow(
         &w.program,
         &w.profile,
         &w.exec,
-        CacheConfig::direct_mapped(cache_size, LINE_SIZE),
-        capacity,
-        LOOP_CACHE_SLOTS,
-        &TechParams::default(),
-        obs,
+        &LoopCacheConfig::new(
+            CacheConfig::direct_mapped(cache_size, LINE_SIZE),
+            capacity,
+            LOOP_CACHE_SLOTS,
+        ),
+        &FlowCtx::observed(obs),
     )
     .unwrap_or_else(|e| panic!("{} loop-cache flow failed: {e}", w.name))
 }

@@ -3,6 +3,7 @@
 //! observability wiring (`CASA_TRACE=1`, `--trace-out <path>`) shared
 //! by the experiment binaries.
 
+use casa_core::engine::Budget;
 use casa_ir::{Profile, Program};
 use casa_mem::ExecutionTrace;
 use casa_obs::{chrome_trace_json, Obs};
@@ -25,7 +26,12 @@ pub struct PreparedWorkload {
 
 /// Flags that consume the following argument, skipped by
 /// [`cli_scale`] when scanning for the positional scale.
-const VALUE_FLAGS: &[&str] = &["--trace-out", "--render-trace"];
+const VALUE_FLAGS: &[&str] = &[
+    "--trace-out",
+    "--render-trace",
+    "--budget-nodes",
+    "--budget-ms",
+];
 
 /// The optional positional `[scale]` argument shared by the
 /// experiment binaries: the first CLI argument that parses as an
@@ -48,6 +54,36 @@ pub fn cli_scale() -> u64 {
         }
     }
     1
+}
+
+/// Parse the per-cell solver budget flags shared by the experiment
+/// binaries: `--budget-nodes <n>` caps branch & bound nodes,
+/// `--budget-ms <ms>` sets a wall-clock deadline. Both may be
+/// combined; with neither present the budget is unlimited.
+///
+/// # Panics
+///
+/// Panics when a flag is present without a parseable value
+/// (experiment drivers want loud failures).
+pub fn cli_budget() -> Budget {
+    let mut budget = Budget::unlimited();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--budget-nodes" => {
+                let v = args.next().expect("--budget-nodes needs a count");
+                budget = budget.with_nodes(v.parse().expect("--budget-nodes takes an integer"));
+            }
+            "--budget-ms" => {
+                let v = args.next().expect("--budget-ms needs milliseconds");
+                budget = budget.with_deadline(std::time::Duration::from_millis(
+                    v.parse().expect("--budget-ms takes an integer"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    budget
 }
 
 /// Observability wiring for an experiment binary.

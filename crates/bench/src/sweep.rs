@@ -33,7 +33,10 @@
 
 use crate::experiments::{paper_sizes, LINE_SIZE, LOOP_CACHE_SLOTS};
 use crate::runner::{prepared, PreparedWorkload};
-use casa_core::flow::{run_loop_cache_flow_obs, run_spm_flow_obs, AllocatorKind, FlowConfig};
+use casa_core::engine::Budget;
+use casa_core::flow::{
+    run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig, FlowCtx, LoopCacheConfig,
+};
 use casa_energy::TechParams;
 use casa_mem::CacheConfig;
 use casa_obs::{merge_snapshot, snapshot_to_json, ArgValue, EventKind, MetricsSnapshot, Obs};
@@ -90,11 +93,13 @@ pub struct SweepCell {
     pub kind: CellKind,
 }
 
-/// A sweep: distinct workloads plus the cells that reference them.
+/// A sweep: distinct workloads plus the cells that reference them,
+/// all solved under one per-cell [`Budget`] (unlimited by default).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepGrid {
     workloads: Vec<WorkloadKey>,
     cells: Vec<SweepCell>,
+    budget: Budget,
 }
 
 /// Per-cell measurements. Wall-clock fields (`solver_secs`,
@@ -131,6 +136,22 @@ pub struct CellResult {
     /// heuristic, the cache-only baseline, and the loop cache) —
     /// previously these reported a misleading `0`.
     pub solver_nodes: Option<u64>,
+    /// Allocation proof status (`"optimal"`, `"feasible"`,
+    /// `"fallback"`); loop-cache cells report `"optimal"` in the
+    /// completion sense of the preload heuristic.
+    pub status: String,
+    /// Proven absolute optimality gap in energy units: `Some(0.0)`
+    /// for optimal cells, `Some(g)` for budget-truncated ones, `None`
+    /// when a fallback allocator answered (no bound is claimed).
+    pub gap: Option<f64>,
+    /// Which budget dimension stopped the allocator (`"nodes"`,
+    /// `"deadline"`, `"cancelled"`), if any.
+    pub budget_kind: Option<String>,
+    /// Whether the cell's budget had a wall-clock dimension (deadline
+    /// or cancel token). When true, [`SweepReport::deterministic_json`]
+    /// redacts `status`/`gap`/`budget_kind`/`solver_nodes` — where the
+    /// clock stops the search is not reproducible byte-for-byte.
+    pub wall_clock_budget: bool,
     /// Allocator wall time, seconds.
     pub solver_secs: f64,
     /// Whole-cell wall time (flow including simulation), seconds.
@@ -263,6 +284,17 @@ impl SweepGrid {
         self.workloads.len()
     }
 
+    /// Set the per-cell solver budget (applied to every cell's
+    /// allocator; unlimited by default).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The per-cell solver budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
     /// The canonical Table-1 sweep: every paper benchmark × four
     /// local-memory sizes × {SP(CASA), SP(Steinke), LC(Ross)} at the
     /// paper's per-benchmark cache size (adpcm's paper row set is
@@ -286,6 +318,7 @@ impl SweepGrid {
                             spm_size: size,
                             allocator: alloc,
                             tech: TechParams::default(),
+                            trace_cap: None,
                         },
                     );
                 }
@@ -312,6 +345,7 @@ impl SweepGrid {
                     spm_size: size,
                     allocator: alloc,
                     tech: TechParams::default(),
+                    trace_cap: None,
                 },
             );
         }
@@ -416,7 +450,8 @@ impl SweepGrid {
                             Some(c) => Obs::with_collector(Arc::clone(c)),
                             None => Obs::disabled(),
                         };
-                        *slots[i].lock().unwrap() = Some(run_cell(key, w, &cell.kind, &cell_obs));
+                        *slots[i].lock().unwrap() =
+                            Some(run_cell(key, w, &cell.kind, &self.budget, &cell_obs));
                     });
                 }
             });
@@ -477,7 +512,13 @@ impl SweepGrid {
     }
 }
 
-fn run_cell(key: &WorkloadKey, w: &PreparedWorkload, kind: &CellKind, obs: &Obs) -> CellResult {
+fn run_cell(
+    key: &WorkloadKey,
+    w: &PreparedWorkload,
+    kind: &CellKind,
+    budget: &Budget,
+    obs: &Obs,
+) -> CellResult {
     let t = Instant::now();
     let (flavor, local_size) = match kind {
         CellKind::Spm(config) => (format!("spm:{:?}", config.allocator), config.spm_size),
@@ -491,24 +532,17 @@ fn run_cell(key: &WorkloadKey, w: &PreparedWorkload, kind: &CellKind, obs: &Obs)
             ("local_size".into(), ArgValue::U64(u64::from(local_size))),
         ],
     );
+    let ctx = FlowCtx::observed(obs).with_budget(budget.clone());
     let (report, cache) = match kind {
         CellKind::Spm(config) => {
-            let r = run_spm_flow_obs(&w.program, &w.profile, &w.exec, config, obs)
+            let r = run_spm_flow(&w.program, &w.profile, &w.exec, config, &ctx)
                 .unwrap_or_else(|e| panic!("{} spm cell failed: {e}", w.name));
             (r, config.cache)
         }
         CellKind::LoopCache { cache, capacity } => {
-            let r = run_loop_cache_flow_obs(
-                &w.program,
-                &w.profile,
-                &w.exec,
-                *cache,
-                *capacity,
-                LOOP_CACHE_SLOTS,
-                &TechParams::default(),
-                obs,
-            )
-            .unwrap_or_else(|e| panic!("{} loop-cache cell failed: {e}", w.name));
+            let lc = LoopCacheConfig::new(*cache, *capacity, LOOP_CACHE_SLOTS);
+            let r = run_loop_cache_flow(&w.program, &w.profile, &w.exec, &lc, &ctx)
+                .unwrap_or_else(|e| panic!("{} loop-cache cell failed: {e}", w.name));
             (r, *cache)
         }
     };
@@ -539,6 +573,10 @@ fn run_cell(key: &WorkloadKey, w: &PreparedWorkload, kind: &CellKind, obs: &Obs)
         cache_accesses: stats.cache_accesses,
         cache_misses: stats.cache_misses,
         solver_nodes,
+        status: report.alloc_status.as_str().to_string(),
+        gap: report.alloc_status.gap(),
+        budget_kind: report.stopped_by.map(|k| k.as_str().to_string()),
+        wall_clock_budget: budget.has_wall_clock(),
         solver_secs: report.solver_time.as_secs_f64(),
         cell_secs: t.elapsed().as_secs_f64(),
         metrics: obs.snapshot(),
@@ -581,7 +619,7 @@ impl CellResult {
             "{{\"benchmark\":\"{}\",\"scale\":{},\"seed\":{},\"flavor\":\"{}\",\
              \"cache_size\":{},\"policy\":\"{}\",\"local_size\":{},\
              \"energy_uj\":{},\"spm_accesses\":{},\"loop_cache_accesses\":{},\
-             \"cache_accesses\":{},\"cache_misses\":{},\"solver_nodes\":{}",
+             \"cache_accesses\":{},\"cache_misses\":{}",
             json_escape(&self.benchmark),
             self.scale,
             self.seed,
@@ -594,9 +632,24 @@ impl CellResult {
             self.loop_cache_accesses,
             self.cache_accesses,
             self.cache_misses,
-            self.solver_nodes
-                .map_or_else(|| "null".to_string(), |n| n.to_string()),
         );
+        // Under a wall-clock budget, where the search stops (and thus
+        // the node count, status and gap) depends on machine speed —
+        // those fields are real results but not reproducible bytes, so
+        // the deterministic view redacts them.
+        if with_timings || !self.wall_clock_budget {
+            let _ = write!(
+                s,
+                ",\"solver_nodes\":{},\"status\":\"{}\",\"gap\":{},\"budget_kind\":{}",
+                self.solver_nodes
+                    .map_or_else(|| "null".to_string(), |n| n.to_string()),
+                json_escape(&self.status),
+                self.gap.map_or_else(|| "null".to_string(), jnum),
+                self.budget_kind
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), |k| format!("\"{}\"", json_escape(k))),
+            );
+        }
         if with_timings {
             let _ = write!(
                 s,
@@ -686,6 +739,7 @@ mod tests {
                         spm_size: spm,
                         allocator: alloc,
                         tech: TechParams::default(),
+                        trace_cap: None,
                     },
                 );
             }
@@ -705,6 +759,7 @@ mod tests {
                 spm_size: 128,
                 allocator: AllocatorKind::CasaBb,
                 tech: TechParams::default(),
+                trace_cap: None,
             },
         );
         g
@@ -830,6 +885,63 @@ mod tests {
         let fallback = sweep_threads();
         assert!(fallback >= 1);
         std::env::remove_var("CASA_SWEEP_THREADS");
+    }
+
+    #[test]
+    fn node_budget_sweep_reports_status_and_stays_deterministic() {
+        let mut g = small_grid();
+        g.set_budget(Budget::nodes(1));
+        let r1 = g.run_with_threads(1);
+        let r2 = g.run_with_threads(2);
+        let r4 = g.run_with_threads(4);
+        // Node budgets are machine-independent: byte-identical across
+        // worker counts, status columns included.
+        assert_eq!(r1.deterministic_json(), r2.deterministic_json());
+        assert_eq!(r1.deterministic_json(), r4.deterministic_json());
+        assert!(r1.deterministic_json().contains("\"status\""));
+        for c in &r1.cells {
+            assert!(!c.status.is_empty(), "{c:?}");
+            assert!(!c.wall_clock_budget);
+            if c.status != "fallback" {
+                let gap = c.gap.expect("non-fallback cells report a gap");
+                assert!(gap.is_finite() && gap >= 0.0, "{c:?}");
+            }
+        }
+        // The truncated B&B cells surface which budget dimension
+        // stopped them; completion-sense cells (Steinke, loop cache)
+        // stay optimal with no stop.
+        assert!(r1
+            .cells
+            .iter()
+            .any(|c| c.flavor == "spm:CasaBb" && c.budget_kind.as_deref() == Some("nodes")));
+        for c in &r1.cells {
+            if c.flavor == "spm:Steinke" || c.flavor == "loop-cache" {
+                assert_eq!(c.status, "optimal", "{c:?}");
+                assert_eq!(c.budget_kind, None);
+            }
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_redacts_nondeterministic_columns() {
+        let mut g = small_grid();
+        // A generous deadline never fires, but its mere presence makes
+        // node counts machine-dependent in principle — the
+        // deterministic view must not carry them.
+        g.set_budget(Budget::unlimited().with_deadline(std::time::Duration::from_secs(3600)));
+        let r = g.run_with_threads(1);
+        let det = r.deterministic_json();
+        assert!(!det.contains("\"status\""));
+        assert!(!det.contains("\"gap\""));
+        assert!(!det.contains("\"solver_nodes\""));
+        assert!(!det.contains("\"budget_kind\""));
+        let full = r.to_json();
+        assert!(full.contains("\"status\""));
+        assert!(full.contains("\"gap\""));
+        for c in &r.cells {
+            assert!(c.wall_clock_budget);
+            assert_eq!(c.status, "optimal", "deadline never fires: {c:?}");
+        }
     }
 
     #[test]

@@ -19,146 +19,266 @@
 //! `a_i + Σ_j w_ij`, and a fractional knapsack over optimistic
 //! savings is an admissible upper bound — the classic knapsack bound,
 //! here applied to a quadratic objective.
+//!
+//! The search is **anytime**: [`allocate_bb_budgeted`] takes a
+//! [`Budget`] and an optional warm start, always returns its best
+//! incumbent, and reports the proven optimality gap (in energy units)
+//! from the root fractional bound when the budget stops it early.
 
 use crate::allocation::Allocation;
 use crate::energy_model::EnergyModel;
+use casa_ilp::engine::{Budget, BudgetKind, CancelToken};
 use casa_obs::{ArgValue, Obs};
+use std::time::Instant;
+
+/// Default node allowance when the caller's [`Budget`] has none: deep
+/// enough to close every instance in this repository.
+const DEFAULT_NODE_BUDGET: u64 = 50_000_000;
+
+/// How often (in nodes) the DFS polls wall-clock budgets.
+const CLOCK_POLL_MASK: u64 = 0xFFF;
+
+/// Outcome of a budgeted CASA branch & bound: the incumbent allocation
+/// plus proof quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BbOutcome {
+    /// Best allocation found (optimal when `stopped_by` is `None`).
+    pub allocation: Allocation,
+    /// Proven absolute optimality gap in the energy table's units
+    /// (the incumbent's predicted energy is within `gap` of the true
+    /// optimum). `0.0` when the search closed.
+    pub gap: f64,
+    /// Which budget dimension stopped the search, if any.
+    pub stopped_by: Option<BudgetKind>,
+}
+
+impl BbOutcome {
+    /// Whether the search closed (the allocation is proven optimal).
+    pub fn is_optimal(&self) -> bool {
+        self.stopped_by.is_none()
+    }
+}
+
+/// Problem data shared by the search, the greedy incumbent, and the
+/// root bound: linear savings, merged pair weights, density order.
+pub(crate) struct SavingsModel {
+    n: usize,
+    a: Vec<f64>,
+    sizes: Vec<u32>,
+    pairs: Vec<(usize, usize, f64)>,
+    incident: Vec<Vec<usize>>,
+    opt: Vec<f64>,
+    /// Positive-saving candidates that occupy space, densest first.
+    order: Vec<usize>,
+    /// Zero-size objects with positive saving: free wins.
+    free: Vec<usize>,
+}
+
+impl SavingsModel {
+    pub(crate) fn new(model: &EnergyModel<'_>, capacity: u32) -> Self {
+        let g = model.graph();
+        let t = model.table();
+        let n = g.len();
+        let premium = t.miss_premium();
+
+        // Linear savings and pair weights.
+        let mut a: Vec<f64> = (0..n)
+            .map(|i| g.fetches_of(i) as f64 * (t.cache_hit - t.spm_access))
+            .collect();
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+        {
+            use std::collections::HashMap;
+            let mut acc: HashMap<(usize, usize), f64> = HashMap::new();
+            for ((i, j), m) in g.edges() {
+                if i == j {
+                    a[i] += m as f64 * premium;
+                } else {
+                    *acc.entry((i.min(j), i.max(j))).or_insert(0.0) += m as f64 * premium;
+                }
+            }
+            pairs.extend(acc.into_iter().map(|((i, j), w)| (i, j, w)));
+            pairs.sort_by_key(|x| (x.0, x.1));
+        }
+        // Optimistic saving per item: a_i + all incident pair weights.
+        let mut opt = a.clone();
+        let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (p, &(i, j, w)) in pairs.iter().enumerate() {
+            opt[i] += w;
+            opt[j] += w;
+            incident[i].push(p);
+            incident[j].push(p);
+        }
+
+        // Candidates: positive optimistic saving and fits at all.
+        // Order by optimistic density, best first (drives both
+        // branching and the fractional bound).
+        let mut order: Vec<usize> = (0..n)
+            .filter(|&i| opt[i] > 0.0 && g.size_of(i) <= capacity && g.size_of(i) > 0)
+            .collect();
+        let free: Vec<usize> = (0..n)
+            .filter(|&i| opt[i] > 0.0 && g.size_of(i) == 0)
+            .collect();
+        order.sort_by(|&x, &y| {
+            let dx = opt[x] / f64::from(g.size_of(x));
+            let dy = opt[y] / f64::from(g.size_of(y));
+            dy.partial_cmp(&dx).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let sizes: Vec<u32> = (0..n).map(|i| g.size_of(i)).collect();
+        SavingsModel {
+            n,
+            a,
+            sizes,
+            pairs,
+            incident,
+            opt,
+            order,
+            free,
+        }
+    }
+
+    /// Exact savings of a chosen set (each pair counted once).
+    pub(crate) fn exact_savings(&self, chosen: &[bool]) -> f64 {
+        let mut s = 0.0;
+        for (i, &c) in chosen.iter().enumerate().take(self.n) {
+            if c {
+                s += self.a[i];
+            }
+        }
+        for &(i, j, w) in &self.pairs {
+            if chosen[i] || chosen[j] {
+                s += w;
+            }
+        }
+        s
+    }
+
+    /// Fractional knapsack bound on savings from `order[pos..]` with
+    /// `cap_left` capacity. Items are in density order, so the greedy
+    /// fractional fill is optimal for the relaxation.
+    fn fractional_bound(&self, pos: usize, cap_left: u32) -> f64 {
+        let mut ub = 0.0;
+        let mut cap = f64::from(cap_left);
+        for &i in &self.order[pos..] {
+            let s = f64::from(self.sizes[i]);
+            if s <= cap {
+                ub += self.opt[i];
+                cap -= s;
+            } else {
+                ub += self.opt[i] * cap / s;
+                break;
+            }
+        }
+        ub
+    }
+
+    /// Admissible upper bound on the savings of *any* feasible set:
+    /// free items at their optimistic value plus the fractional
+    /// knapsack over the sized candidates.
+    pub(crate) fn root_bound(&self, capacity: u32) -> f64 {
+        let free: f64 = self.free.iter().map(|&i| self.opt[i]).sum();
+        free + self.fractional_bound(0, capacity)
+    }
+
+    /// Greedy incumbent: walk the density order, take what fits, plus
+    /// every free item.
+    fn greedy_chosen(&self, capacity: u32) -> Vec<bool> {
+        let mut chosen = vec![false; self.n];
+        let mut cap_left = capacity;
+        for &i in &self.order {
+            if self.sizes[i] <= cap_left {
+                chosen[i] = true;
+                cap_left -= self.sizes[i];
+            }
+        }
+        for &i in &self.free {
+            chosen[i] = true;
+        }
+        chosen
+    }
+
+    /// Whether `chosen` respects the capacity (free items are free).
+    fn fits(&self, chosen: &[bool], capacity: u32) -> bool {
+        let used: u64 = (0..self.n)
+            .filter(|&i| chosen[i])
+            .map(|i| u64::from(self.sizes[i]))
+            .sum();
+        used <= u64::from(capacity)
+    }
+}
 
 /// Exactly solve the CASA allocation for a scratchpad of `capacity`
 /// bytes.
 ///
 /// Runs in the paper's "< 1 s" regime for every benchmark in this
 /// repository (see `benches/solver.rs`); worst-case exponential like
-/// any exact solver for an NP-complete problem.
+/// any exact solver for an NP-complete problem. For bounded-effort
+/// solves use [`allocate_bb_budgeted`].
 pub fn allocate_bb(model: &EnergyModel<'_>, capacity: u32) -> Allocation {
-    allocate_bb_obs(model, capacity, &Obs::disabled())
+    allocate_bb_budgeted(
+        model,
+        capacity,
+        &Budget::unlimited(),
+        None,
+        &Obs::disabled(),
+    )
+    .allocation
 }
 
-/// [`allocate_bb`] with observability: wraps the search in a
-/// `solve.bb` span, counts explored nodes (`core.bb.nodes`) and
-/// incumbent improvements (`core.bb.incumbents`), and emits a
-/// `bb.incumbent` instant event per improvement.
+/// [`allocate_bb`] with observability (unlimited budget).
 pub fn allocate_bb_obs(model: &EnergyModel<'_>, capacity: u32, obs: &Obs) -> Allocation {
-    let g = model.graph();
-    let t = model.table();
-    let n = g.len();
-    let premium = t.miss_premium();
+    allocate_bb_budgeted(model, capacity, &Budget::unlimited(), None, obs).allocation
+}
 
-    // Linear savings and pair weights.
-    let mut a: Vec<f64> = (0..n)
-        .map(|i| g.fetches_of(i) as f64 * (t.cache_hit - t.spm_access))
-        .collect();
-    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
-    {
-        use std::collections::HashMap;
-        let mut acc: HashMap<(usize, usize), f64> = HashMap::new();
-        for ((i, j), m) in g.edges() {
-            if i == j {
-                a[i] += m as f64 * premium;
-            } else {
-                *acc.entry((i.min(j), i.max(j))).or_insert(0.0) += m as f64 * premium;
-            }
-        }
-        pairs.extend(acc.into_iter().map(|((i, j), w)| (i, j, w)));
-        pairs.sort_by_key(|x| (x.0, x.1));
-    }
-    // Optimistic saving per item: a_i + all incident pair weights.
-    let mut opt = a.clone();
-    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (p, &(i, j, w)) in pairs.iter().enumerate() {
-        opt[i] += w;
-        opt[j] += w;
-        incident[i].push(p);
-        incident[j].push(p);
-    }
+/// Anytime CASA branch & bound: solve within `budget`, optionally
+/// seeded with a `warm_start` scratchpad set (one flag per object;
+/// infeasible or mis-sized warm starts are ignored).
+///
+/// The search keeps a feasible incumbent from t=0 — the better of the
+/// built-in density-greedy fill and the warm start — so budget
+/// exhaustion degrades the proof, never the availability, of an
+/// allocation. Observability: the search runs in a `solve.bb` span
+/// with `core.bb.nodes` / `core.bb.incumbents` counters, `bb.incumbent`
+/// instant events, a `core.bb.gap` gauge, and a
+/// `core.engine.budget.<kind>` counter when a budget dimension fires.
+pub fn allocate_bb_budgeted(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    budget: &Budget,
+    warm_start: Option<&[bool]>,
+    obs: &Obs,
+) -> BbOutcome {
+    let sm = SavingsModel::new(model, capacity);
+    let n = sm.n;
 
-    // Candidates: positive optimistic saving and fits at all.
-    // Order by optimistic density, best first (drives both branching
-    // and the fractional bound).
-    let mut order: Vec<usize> = (0..n)
-        .filter(|&i| opt[i] > 0.0 && g.size_of(i) <= capacity && g.size_of(i) > 0)
-        .collect();
-    // Zero-size objects with positive saving are free wins; handled
-    // separately below (sizes are never 0 for real traces, but the
-    // API allows it).
-    let free: Vec<usize> = (0..n)
-        .filter(|&i| opt[i] > 0.0 && g.size_of(i) == 0)
-        .collect();
-    order.sort_by(|&x, &y| {
-        let dx = opt[x] / f64::from(g.size_of(x));
-        let dy = opt[y] / f64::from(g.size_of(y));
-        dy.partial_cmp(&dx).unwrap_or(std::cmp::Ordering::Equal)
-    });
-
-    // Greedy incumbent: walk the order, take what fits, count EXACT
-    // savings (pairs counted once).
-    let exact_savings = |chosen: &[bool]| -> f64 {
-        let mut s = 0.0;
-        for i in 0..n {
-            if chosen[i] {
-                s += a[i];
+    let mut best_chosen = sm.greedy_chosen(capacity);
+    let mut best_sav = sm.exact_savings(&best_chosen);
+    if let Some(ws) = warm_start {
+        if ws.len() == n && sm.fits(ws, capacity) {
+            let sav = sm.exact_savings(ws);
+            if sav > best_sav {
+                best_chosen = ws.to_vec();
+                best_sav = sav;
             }
-        }
-        for &(i, j, w) in &pairs {
-            if chosen[i] || chosen[j] {
-                s += w;
-            }
-        }
-        s
-    };
-    let mut best_chosen = vec![false; n];
-    {
-        let mut cap_left = capacity;
-        for &i in &order {
-            if g.size_of(i) <= cap_left {
-                best_chosen[i] = true;
-                cap_left -= g.size_of(i);
-            }
-        }
-        for &i in &free {
-            best_chosen[i] = true;
         }
     }
-    let mut best_sav = exact_savings(&best_chosen);
 
     // DFS over `order` positions: at each position decide take/skip.
     // State: current savings (exact), pairs already counted, capacity.
     struct Search<'s> {
-        order: &'s [usize],
-        sizes: Vec<u32>,
-        a: &'s [f64],
-        opt: &'s [f64],
-        pairs: &'s [(usize, usize, f64)],
-        incident: &'s [Vec<usize>],
+        sm: &'s SavingsModel,
         nodes: u64,
         incumbents: u64,
         node_budget: u64,
+        deadline_at: Option<Instant>,
+        cancel: Option<&'s CancelToken>,
+        stopped: Option<BudgetKind>,
         best_sav: f64,
         best_chosen: Vec<bool>,
         obs: &'s Obs,
     }
 
     impl Search<'_> {
-        /// Fractional knapsack bound on additional savings from
-        /// positions >= pos with `cap_left` capacity. Items are in
-        /// density order, so the greedy fractional fill is optimal
-        /// for the relaxation.
-        fn upper_bound(&self, pos: usize, cap_left: u32) -> f64 {
-            let mut ub = 0.0;
-            let mut cap = f64::from(cap_left);
-            for &i in &self.order[pos..] {
-                let s = f64::from(self.sizes[i]);
-                if s <= cap {
-                    ub += self.opt[i];
-                    cap -= s;
-                } else {
-                    ub += self.opt[i] * cap / s;
-                    break;
-                }
-            }
-            ub
-        }
-
         fn dfs(
             &mut self,
             pos: usize,
@@ -167,9 +287,27 @@ pub fn allocate_bb_obs(model: &EnergyModel<'_>, capacity: u32, obs: &Obs) -> All
             chosen: &mut Vec<bool>,
             pair_counted: &mut Vec<bool>,
         ) {
+            if self.stopped.is_some() {
+                return; // budget exhausted: unwind without working
+            }
             self.nodes += 1;
             if self.nodes > self.node_budget {
-                return; // budget exhausted: incumbent is kept (see caller)
+                self.stopped = Some(BudgetKind::Nodes);
+                return;
+            }
+            if self.nodes & CLOCK_POLL_MASK == 0 {
+                if let Some(token) = self.cancel {
+                    if token.is_cancelled() {
+                        self.stopped = Some(BudgetKind::Cancelled);
+                        return;
+                    }
+                }
+                if let Some(at) = self.deadline_at {
+                    if Instant::now() >= at {
+                        self.stopped = Some(BudgetKind::Deadline);
+                        return;
+                    }
+                }
             }
             if cur_sav > self.best_sav + 1e-9 {
                 self.best_sav = cur_sav;
@@ -183,28 +321,28 @@ pub fn allocate_bb_obs(model: &EnergyModel<'_>, capacity: u32, obs: &Obs) -> All
                     ],
                 );
             }
-            if pos >= self.order.len() {
+            if pos >= self.sm.order.len() {
                 return;
             }
-            if cur_sav + self.upper_bound(pos, cap_left) <= self.best_sav + 1e-9 {
+            if cur_sav + self.sm.fractional_bound(pos, cap_left) <= self.best_sav + 1e-9 {
                 return; // prune
             }
-            let i = self.order[pos];
+            let i = self.sm.order[pos];
             // Branch 1: take i (if it fits).
-            if self.sizes[i] <= cap_left {
-                let mut gained = self.a[i];
+            if self.sm.sizes[i] <= cap_left {
+                let mut gained = self.sm.a[i];
                 let mut newly: Vec<usize> = Vec::new();
-                for &p in &self.incident[i] {
+                for &p in &self.sm.incident[i] {
                     if !pair_counted[p] {
                         pair_counted[p] = true;
                         newly.push(p);
-                        gained += self.pairs[p].2;
+                        gained += self.sm.pairs[p].2;
                     }
                 }
                 chosen[i] = true;
                 self.dfs(
                     pos + 1,
-                    cap_left - self.sizes[i],
+                    cap_left - self.sm.sizes[i],
                     cur_sav + gained,
                     chosen,
                     pair_counted,
@@ -220,52 +358,71 @@ pub fn allocate_bb_obs(model: &EnergyModel<'_>, capacity: u32, obs: &Obs) -> All
     }
 
     let span = obs.span("solve.bb");
-    let sizes: Vec<u32> = (0..n).map(|i| g.size_of(i)).collect();
+    // A pre-cancelled token stops before the first node; check once
+    // up front so the DFS poll interval can stay sparse.
+    let pre_stopped = match (&budget.cancel, budget.max_nodes) {
+        (Some(token), _) if token.is_cancelled() => Some(BudgetKind::Cancelled),
+        (_, Some(0)) => Some(BudgetKind::Nodes),
+        _ => None,
+    };
     let mut search = Search {
-        order: &order,
-        sizes,
-        a: &a,
-        opt: &opt,
-        pairs: &pairs,
-        incident: &incident,
+        sm: &sm,
         nodes: 0,
         incumbents: 0,
-        node_budget: 50_000_000,
+        node_budget: budget.max_nodes.unwrap_or(DEFAULT_NODE_BUDGET),
+        deadline_at: budget.deadline.map(|d| Instant::now() + d),
+        cancel: budget.cancel.as_ref(),
+        stopped: pre_stopped,
         best_sav,
-        best_chosen: best_chosen.clone(),
+        best_chosen,
         obs,
     };
     {
         let mut chosen = vec![false; n];
-        for &i in &free {
+        for &i in &sm.free {
             chosen[i] = true;
         }
-        let mut pair_counted = vec![false; pairs.len()];
+        let mut pair_counted = vec![false; sm.pairs.len()];
         let mut base = 0.0;
-        for &i in &free {
-            base += a[i];
-            for &p in &incident[i] {
+        for &i in &sm.free {
+            base += sm.a[i];
+            for &p in &sm.incident[i] {
                 if !pair_counted[p] {
                     pair_counted[p] = true;
-                    base += pairs[p].2;
+                    base += sm.pairs[p].2;
                 }
             }
         }
         search.dfs(0, capacity, base, &mut chosen, &mut pair_counted);
     }
-    best_sav = search.best_sav.max(best_sav);
-    let _ = best_sav;
+    best_sav = search.best_sav;
     let on_spm = search.best_chosen;
     let nodes = search.nodes;
+    let stopped_by = search.stopped;
     obs.add("core.bb.nodes", nodes);
     obs.add("core.bb.incumbents", search.incumbents);
+
+    // Savings and energy differ by the fixed baseline, so the proven
+    // savings gap IS the energy gap: root_bound − best known savings.
+    let gap = match stopped_by {
+        None => 0.0,
+        Some(_) => (sm.root_bound(capacity) - best_sav).max(0.0),
+    };
+    obs.gauge_set("core.bb.gap", gap);
+    if let Some(kind) = stopped_by {
+        obs.add(&format!("core.engine.budget.{}", kind.as_str()), 1);
+    }
     drop(span);
 
     let predicted = model.total_energy(&on_spm);
-    Allocation {
-        on_spm,
-        predicted_energy: Some(predicted),
-        solver_nodes: nodes,
+    BbOutcome {
+        allocation: Allocation {
+            on_spm,
+            predicted_energy: Some(predicted),
+            solver_nodes: nodes,
+        },
+        gap,
+        stopped_by,
     }
 }
 
@@ -393,5 +550,120 @@ mod tests {
         let a = allocate_bb(&m, 64);
         assert!(a.on_spm[0] || a.on_spm[1]);
         assert!(!a.on_spm[2]);
+    }
+
+    #[test]
+    fn one_node_budget_returns_incumbent_with_finite_gap() {
+        let g = graph(
+            vec![1000, 1000, 3000],
+            vec![64, 64, 64],
+            &[(0, 1, 500), (1, 0, 500)],
+        );
+        let t = table();
+        let m = EnergyModel::new(&g, &t);
+        let full = allocate_bb(&m, 128);
+        let out = allocate_bb_budgeted(&m, 128, &Budget::nodes(1), None, &Obs::disabled());
+        assert_eq!(out.stopped_by, Some(BudgetKind::Nodes));
+        assert!(out.gap.is_finite() && out.gap >= 0.0);
+        // The incumbent (greedy fill) is feasible and within the gap
+        // of the optimum.
+        let e_inc = out.allocation.predicted_energy.unwrap();
+        let e_opt = full.predicted_energy.unwrap();
+        assert!(e_inc >= e_opt - 1e-9);
+        assert!(e_inc - e_opt <= out.gap + 1e-9, "gap does not cover truth");
+    }
+
+    #[test]
+    fn gap_monotone_in_node_budget_and_zero_at_closure() {
+        let mut state: u64 = 41;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let n = 8usize;
+        let fetches: Vec<u64> = (0..n).map(|_| next() % 2000).collect();
+        let sizes: Vec<u32> = (0..n).map(|_| (next() % 96 + 8) as u32).collect();
+        let mut edges = HashMap::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && next() % 3 == 0 {
+                    edges.insert((i, j), next() % 300);
+                }
+            }
+        }
+        let g = ConflictGraph::from_parts(fetches, sizes, edges);
+        let t = table();
+        let m = EnergyModel::new(&g, &t);
+        let mut last_gap = f64::INFINITY;
+        let mut budget = 1u64;
+        loop {
+            let out = allocate_bb_budgeted(&m, 160, &Budget::nodes(budget), None, &Obs::disabled());
+            assert!(out.gap >= 0.0);
+            assert!(out.gap <= last_gap + 1e-9, "gap grew at budget {budget}");
+            last_gap = out.gap;
+            if out.is_optimal() {
+                assert_eq!(out.gap, 0.0);
+                break;
+            }
+            budget *= 2;
+            assert!(budget < 1 << 30, "search failed to close");
+        }
+    }
+
+    #[test]
+    fn warm_start_adopted_when_better_than_greedy() {
+        // Any feasible warm start must never make the outcome worse,
+        // and an optimal warm start is kept verbatim at 0-node budget
+        // if it beats greedy.
+        let g = graph(
+            vec![1000, 1000, 3000],
+            vec![64, 64, 64],
+            &[(0, 1, 500), (1, 0, 500)],
+        );
+        let t = table();
+        let m = EnergyModel::new(&g, &t);
+        let full = allocate_bb(&m, 128);
+        let out = allocate_bb_budgeted(
+            &m,
+            128,
+            &Budget::nodes(1),
+            Some(&full.on_spm),
+            &Obs::disabled(),
+        );
+        assert_eq!(
+            out.allocation.predicted_energy, full.predicted_energy,
+            "optimal warm start must survive a 1-node budget"
+        );
+        // Oversized warm starts are ignored, not adopted.
+        let bad = vec![true; 3];
+        let out2 = allocate_bb_budgeted(&m, 64, &Budget::nodes(1), Some(&bad), &Obs::disabled());
+        let used: u32 = (0..g.len())
+            .filter(|&i| out2.allocation.on_spm[i])
+            .map(|i| g.size_of(i))
+            .sum();
+        assert!(used <= 64, "infeasible warm start leaked into outcome");
+    }
+
+    #[test]
+    fn cancelled_token_still_yields_greedy_incumbent() {
+        let g = graph(
+            vec![1000, 1000, 3000],
+            vec![64, 64, 64],
+            &[(0, 1, 500), (1, 0, 500)],
+        );
+        let t = table();
+        let m = EnergyModel::new(&g, &t);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = allocate_bb_budgeted(
+            &m,
+            128,
+            &Budget::unlimited().with_cancel(token),
+            None,
+            &Obs::disabled(),
+        );
+        assert_eq!(out.stopped_by, Some(BudgetKind::Cancelled));
+        assert!(out.allocation.predicted_energy.is_some());
+        assert!(out.gap.is_finite());
     }
 }

@@ -22,6 +22,7 @@
 
 use crate::allocation::Allocation;
 use crate::energy_model::EnergyModel;
+use casa_ilp::engine::{Budget, BudgetKind, SolveRequest};
 use casa_ilp::model::VarKind;
 use casa_ilp::{ConstraintOp, Model, Sense, SolveError, SolverOptions, Var};
 use serde::{Deserialize, Serialize};
@@ -41,12 +42,26 @@ pub enum Linearization {
 /// bytes. Returns the ILP plus the `l(x_i)` variables in object
 /// order. Exposed separately from [`allocate_ilp`] so tests and
 /// benches can inspect the formulation.
-#[allow(clippy::needless_range_loop)] // parallel arrays indexed together
 pub fn build_model(
     model: &EnergyModel<'_>,
     capacity: u32,
     lin: Linearization,
 ) -> (Model, Vec<Var>) {
+    let (ilp, l, _) = build_model_parts(model, capacity, lin);
+    (ilp, l)
+}
+
+/// [`build_model`] variant that also returns the linearization
+/// variables `L(x_i,x_j)` keyed by unordered object pair — needed to
+/// translate a scratchpad set into a full warm-start vector (see
+/// [`warm_start_values`]).
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+#[allow(clippy::type_complexity)] // (model, selection vars, pair vars) is the natural shape
+pub fn build_model_parts(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    lin: Linearization,
+) -> (Model, Vec<Var>, Vec<((usize, usize), Var)>) {
     let g = model.graph();
     let t = model.table();
     let n = g.len();
@@ -87,11 +102,13 @@ pub fn build_model(
 
     let mut pairs: Vec<((usize, usize), f64)> = pair_weight.into_iter().collect();
     pairs.sort_by_key(|a| a.0);
+    let mut pair_vars: Vec<((usize, usize), Var)> = Vec::with_capacity(pairs.len());
     for ((i, j), w) in pairs {
         let big_l = match lin {
             Linearization::Paper => ilp.binary(format!("L{i}_{j}")),
             Linearization::Tight => ilp.continuous(format!("L{i}_{j}"), 0.0, 1.0),
         };
+        pair_vars.push(((i, j), big_l));
         objective.push((big_l, w));
         match lin {
             Linearization::Paper => {
@@ -126,7 +143,28 @@ pub fn build_model(
         total_size - f64::from(capacity),
     );
 
-    (ilp, l)
+    (ilp, l, pair_vars)
+}
+
+/// Translate a scratchpad set into a full assignment of the CASA ILP:
+/// `l_i = 1` iff object `i` stays cached, `L_ij = l_i·l_j`. The result
+/// is feasible whenever `on_spm` respects the capacity, so it can seed
+/// [`SolveRequest::warm_start`].
+pub fn warm_start_values(
+    ilp: &Model,
+    l: &[Var],
+    pair_vars: &[((usize, usize), Var)],
+    on_spm: &[bool],
+) -> Vec<f64> {
+    let mut values = vec![0.0; ilp.num_vars()];
+    for (i, &v) in l.iter().enumerate() {
+        values[v.index()] = if on_spm[i] { 0.0 } else { 1.0 };
+    }
+    for &((i, j), v) in pair_vars {
+        let both_cached = !on_spm[i] && !on_spm[j];
+        values[v.index()] = if both_cached { 1.0 } else { 0.0 };
+    }
+    values
 }
 
 /// Solve the CASA allocation exactly via the generic ILP solver.
@@ -146,9 +184,9 @@ pub fn allocate_ilp(
 
 /// [`allocate_ilp`] with observability: model construction happens
 /// under a `solve.ilp.build` span, and the branch & bound runs through
-/// [`casa_ilp::solve_obs`], so `ilp.bb.nodes` / `ilp.bb.incumbents` /
-/// `ilp.simplex.pivots` counters and `bb.incumbent` instant events
-/// land in `obs`.
+/// the engine ([`SolveRequest::observe`]), so `ilp.bb.nodes` /
+/// `ilp.bb.incumbents` / `ilp.simplex.pivots` counters and
+/// `bb.incumbent` instant events land in `obs`.
 ///
 /// # Errors
 ///
@@ -160,22 +198,80 @@ pub fn allocate_ilp_obs(
     options: &SolverOptions,
     obs: &casa_obs::Obs,
 ) -> Result<Allocation, SolveError> {
+    allocate_ilp_budgeted(
+        model,
+        capacity,
+        lin,
+        options,
+        &Budget::unlimited(),
+        None,
+        obs,
+    )
+    .map(|outcome| outcome.allocation)
+}
+
+/// Outcome of a budgeted CASA ILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpOutcome {
+    /// Best allocation found within the budget.
+    pub allocation: Allocation,
+    /// Proven absolute optimality gap in energy units (`0.0` when the
+    /// search closed).
+    pub gap: f64,
+    /// Which budget dimension stopped the search, if any.
+    pub stopped_by: Option<BudgetKind>,
+}
+
+/// Anytime CASA ILP: solve within `budget`, optionally warm-started
+/// from a scratchpad set (translated to a full assignment through
+/// [`warm_start_values`]). Budget exhaustion with an incumbent returns
+/// `Ok` with the proven gap; only incumbent-less exhaustion or real
+/// solver trouble is an error.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the engine — see
+/// [`SolveRequest::solve`].
+pub fn allocate_ilp_budgeted(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    lin: Linearization,
+    options: &SolverOptions,
+    budget: &Budget,
+    warm_start: Option<&[bool]>,
+    obs: &casa_obs::Obs,
+) -> Result<IlpOutcome, SolveError> {
     let build_span = obs.span("solve.ilp.build");
-    let (ilp, l) = build_model(model, capacity, lin);
+    let (ilp, l, pair_vars) = build_model_parts(model, capacity, lin);
     drop(build_span);
     obs.add("ilp.model.vars", ilp.num_vars() as u64);
     obs.add("ilp.model.integer_vars", integer_var_count(&ilp) as u64);
     let solve_span = obs.span("solve.ilp");
-    let sol = casa_ilp::solve_obs(&ilp, options, obs)?;
+    let mut request = SolveRequest::new(&ilp)
+        .options(*options)
+        .budget(budget.clone())
+        .observe(obs);
+    let warm_values;
+    if let Some(ws) = warm_start {
+        if ws.len() == l.len() {
+            warm_values = warm_start_values(&ilp, &l, &pair_vars, ws);
+            request = request.warm_start(&warm_values);
+        }
+    }
+    let out = request.solve()?;
     drop(solve_span);
-    let on_spm: Vec<bool> = l.iter().map(|&v| !sol.bool_value(v)).collect();
+    let on_spm: Vec<bool> = l.iter().map(|&v| !out.solution.bool_value(v)).collect();
     // Report the model-evaluated energy rather than the raw objective
     // so Paper/Tight report identically even under LP round-off.
     let predicted = model.total_energy(&on_spm);
-    Ok(Allocation {
-        on_spm,
-        predicted_energy: Some(predicted),
-        solver_nodes: sol.nodes(),
+    Ok(IlpOutcome {
+        allocation: Allocation {
+            on_spm,
+            predicted_energy: Some(predicted),
+            solver_nodes: out.solution.nodes(),
+        },
+        gap: out.gap(),
+        stopped_by: out.stopped_by,
     })
 }
 

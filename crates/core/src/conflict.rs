@@ -342,7 +342,12 @@ mod tests {
         // Two blocks one cache-size apart: the static model must see
         // the overlap; a disjoint pair must stay edge-free.
         let (p, x, filler, y) = line_spaced_program();
-        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let ts = form_traces(
+            &p,
+            &Profile::new(),
+            TraceConfig::new(256, 16),
+            &casa_obs::Obs::disabled(),
+        );
         let layout = Layout::initial(&p, &ts);
         // Everything "hot" for the approximation.
         let fetches = vec![100u64; ts.len()];
@@ -369,7 +374,12 @@ mod tests {
         // (8 sets, the old `cache_size / line_size` bug) would put them
         // in sets 0 and 4 and miss the conflict entirely.
         let (p, x, filler, y) = line_spaced_program();
-        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let ts = form_traces(
+            &p,
+            &Profile::new(),
+            TraceConfig::new(256, 16),
+            &casa_obs::Obs::disabled(),
+        );
         let layout = Layout::initial(&p, &ts);
         let fetches = vec![100u64; ts.len()];
         let cache = CacheConfig {

@@ -112,7 +112,12 @@ pub fn run_joint_flow(
     tech: &TechParams,
 ) -> Result<JointReport, PreloadError> {
     let line = cache.line_size;
-    let traces = form_traces(program, profile, TraceConfig::new(spm_size.max(line), line));
+    let traces = form_traces(
+        program,
+        profile,
+        TraceConfig::new(spm_size.max(line), line),
+        &casa_obs::Obs::disabled(),
+    );
     let layout0 = Layout::initial(program, &traces);
     let cfg = HierarchyConfig::spm_system(cache, spm_size);
 

@@ -9,18 +9,21 @@
 //!
 //! Both the profiling and the final run replay the *same* dynamic
 //! block sequence, so allocators are compared on identical executions.
+//!
+//! The canonical entry points take a [`FlowCtx`] bundling everything
+//! ambient to a run — observability sink, solver [`Budget`], and the
+//! simulator recorder choice — so one signature serves the silent, the
+//! instrumented, and the budgeted cases. The former `*_obs` twins
+//! remain as deprecated shims for one release.
 
 use crate::allocation::Allocation;
-use crate::casa_bb::allocate_bb_obs;
-use crate::casa_ilp::{allocate_ilp_obs, Linearization};
 use crate::conflict::ConflictGraph;
 use crate::energy_model::EnergyModel;
-use crate::greedy::allocate_greedy;
+use crate::engine::{allocate_budgeted, AllocStatus, Budget, BudgetKind};
 use crate::report::EnergyBreakdown;
 use crate::ross::{allocate_loop_cache, LoopCacheAssignment};
-use crate::steinke::allocate_steinke;
 use casa_energy::{EnergyTable, TechParams};
-use casa_ilp::{SolveError, SolverOptions};
+use casa_ilp::SolveError;
 use casa_ir::{Profile, Program};
 use casa_mem::cache::CacheConfig;
 use casa_mem::loop_cache::PreloadError;
@@ -29,7 +32,7 @@ use casa_mem::{
 };
 use casa_obs::Obs;
 use casa_trace::layout::PlacementSemantics;
-use casa_trace::trace::{form_traces_obs, TraceConfig};
+use casa_trace::trace::{form_traces, TraceConfig};
 use casa_trace::{Layout, TraceSet};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -64,6 +67,41 @@ impl AllocatorKind {
     }
 }
 
+/// An invalid [`FlowConfig`], caught at construction time by
+/// [`FlowConfigBuilder::build`] rather than deep inside the flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `spm_size == 0`: the scratchpad flow needs at least one byte of
+    /// scratchpad (use [`AllocatorKind::None`] with a nonzero size to
+    /// model the cache-only baseline).
+    ZeroSpmSize,
+    /// The requested trace cap is smaller than one cache line, so no
+    /// trace could hold even a single line.
+    TraceCapBelowLine {
+        /// The rejected cap in bytes.
+        trace_cap: u32,
+        /// The cache line size in bytes.
+        line_size: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroSpmSize => write!(f, "spm_size must be nonzero"),
+            ConfigError::TraceCapBelowLine {
+                trace_cap,
+                line_size,
+            } => write!(
+                f,
+                "trace cap {trace_cap} is below the cache line size {line_size}"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Configuration of one scratchpad-system experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FlowConfig {
@@ -75,6 +113,176 @@ pub struct FlowConfig {
     pub allocator: AllocatorKind,
     /// Energy-model technology coefficients.
     pub tech: TechParams,
+    /// Maximum trace size in bytes; `None` caps traces at `spm_size`
+    /// (the paper's choice — every trace must fit the scratchpad).
+    pub trace_cap: Option<u32>,
+}
+
+impl FlowConfig {
+    /// A config with the paper's defaults for the derived knobs
+    /// (`trace_cap = None`). Not validated; use [`FlowConfig::builder`]
+    /// to reject degenerate setups early.
+    pub fn new(cache: CacheConfig, spm_size: u32, allocator: AllocatorKind) -> Self {
+        FlowConfig {
+            cache,
+            spm_size,
+            allocator,
+            tech: TechParams::default(),
+            trace_cap: None,
+        }
+    }
+
+    /// Start a validating builder.
+    pub fn builder(
+        cache: CacheConfig,
+        spm_size: u32,
+        allocator: AllocatorKind,
+    ) -> FlowConfigBuilder {
+        FlowConfigBuilder {
+            config: FlowConfig::new(cache, spm_size, allocator),
+        }
+    }
+
+    /// The effective trace cap: `trace_cap` if set, else `spm_size`,
+    /// never below one cache line.
+    pub fn effective_trace_cap(&self) -> u32 {
+        self.trace_cap
+            .unwrap_or(self.spm_size)
+            .max(self.cache.line_size)
+    }
+}
+
+/// Validating builder for [`FlowConfig`] — see [`FlowConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct FlowConfigBuilder {
+    config: FlowConfig,
+}
+
+impl FlowConfigBuilder {
+    /// Override the technology coefficients.
+    #[must_use]
+    pub fn tech(mut self, tech: TechParams) -> Self {
+        self.config.tech = tech;
+        self
+    }
+
+    /// Cap traces at `bytes` instead of the scratchpad size.
+    #[must_use]
+    pub fn trace_cap(mut self, bytes: u32) -> Self {
+        self.config.trace_cap = Some(bytes);
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroSpmSize`] if `spm_size == 0`;
+    /// [`ConfigError::TraceCapBelowLine`] if an explicit trace cap is
+    /// smaller than the cache line size.
+    pub fn build(self) -> Result<FlowConfig, ConfigError> {
+        if self.config.spm_size == 0 {
+            return Err(ConfigError::ZeroSpmSize);
+        }
+        if let Some(cap) = self.config.trace_cap {
+            if cap < self.config.cache.line_size {
+                return Err(ConfigError::TraceCapBelowLine {
+                    trace_cap: cap,
+                    line_size: self.config.cache.line_size,
+                });
+            }
+        }
+        Ok(self.config)
+    }
+}
+
+/// Configuration of the preloaded-loop-cache baseline flow
+/// (fig. 1(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopCacheConfig {
+    /// L1 I-cache.
+    pub cache: CacheConfig,
+    /// Loop-cache capacity in bytes.
+    pub capacity: u32,
+    /// Controller limit on preloadable ranges.
+    pub max_objects: usize,
+    /// Energy-model technology coefficients.
+    pub tech: TechParams,
+}
+
+impl LoopCacheConfig {
+    /// A loop-cache config with default technology coefficients.
+    pub fn new(cache: CacheConfig, capacity: u32, max_objects: usize) -> Self {
+        LoopCacheConfig {
+            cache,
+            capacity,
+            max_objects,
+            tech: TechParams::default(),
+        }
+    }
+}
+
+/// Which recorder instruments the **final** simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecorderKind {
+    /// Per-set statistics when the context's [`Obs`] is enabled, the
+    /// allocation-free path otherwise (the pre-`FlowCtx` behaviour).
+    #[default]
+    Auto,
+    /// Never record, even under an enabled [`Obs`].
+    Null,
+    /// Always run the [`SetStatsRecorder`] (its export is still a
+    /// no-op under a disabled [`Obs`]).
+    SetStats,
+}
+
+/// Everything ambient to one flow run: where telemetry goes, how much
+/// solver effort is allowed, and how the final simulation is recorded.
+///
+/// `FlowCtx::default()` reproduces the historical silent behaviour:
+/// disabled observability, unlimited budget, auto recorder.
+#[derive(Debug, Clone, Default)]
+pub struct FlowCtx {
+    /// Observability sink (cheap to clone; disabled handles are
+    /// no-ops).
+    pub obs: Obs,
+    /// Solver budget; [`Budget::unlimited`] runs to optimality.
+    pub budget: Budget,
+    /// Recorder for the final simulation.
+    pub recorder: RecorderKind,
+}
+
+impl FlowCtx {
+    /// Instrumented context: `obs`, unlimited budget, auto recorder.
+    pub fn observed(obs: &Obs) -> Self {
+        FlowCtx {
+            obs: obs.clone(),
+            ..FlowCtx::default()
+        }
+    }
+
+    /// Budgeted context: disabled observability, `budget`, auto
+    /// recorder.
+    pub fn budgeted(budget: Budget) -> Self {
+        FlowCtx {
+            budget,
+            ..FlowCtx::default()
+        }
+    }
+
+    /// Replace the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replace the recorder choice.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderKind) -> Self {
+        self.recorder = recorder;
+        self
+    }
 }
 
 /// Everything one workflow run produces.
@@ -88,6 +296,10 @@ pub struct FlowReport {
     pub conflict_graph: ConflictGraph,
     /// The chosen allocation (empty for the loop-cache flow).
     pub allocation: Allocation,
+    /// Proof status of the allocation under the run's budget.
+    pub alloc_status: AllocStatus,
+    /// Which budget dimension stopped the allocator, if any.
+    pub stopped_by: Option<BudgetKind>,
     /// Loop-cache assignment (loop-cache flow only).
     pub loop_cache: Option<LoopCacheAssignment>,
     /// Simulation of the final configuration.
@@ -110,7 +322,10 @@ impl FlowReport {
 /// A workflow failure.
 #[derive(Debug)]
 pub enum FlowError {
-    /// The ILP solver failed.
+    /// The ILP solver failed. Since the budgeted engine degrades to
+    /// the greedy heuristic instead of failing, this no longer occurs
+    /// in the scratchpad flow; the variant remains for the deprecated
+    /// shims' signatures.
     Solve(SolveError),
     /// Loop-cache preloading failed (allocator produced ranges the
     /// controller rejects — a bug, surfaced rather than panicking).
@@ -140,13 +355,18 @@ impl From<PreloadError> for FlowError {
     }
 }
 
-/// Run the scratchpad workflow (paper fig. 1(a) + fig. 3).
+/// Run the scratchpad workflow (paper fig. 1(a) + fig. 3) under `ctx`.
+///
+/// Every phase runs under its own span (`trace` → `profile_sim` →
+/// `conflict` → `solve` → `layout` → `simulate`) when `ctx.obs` is
+/// enabled; the allocator runs through the anytime engine under
+/// `ctx.budget`, so budget exhaustion yields the incumbent with its
+/// proven gap ([`FlowReport::alloc_status`]) instead of an error.
 ///
 /// # Errors
 ///
-/// Returns [`FlowError::Solve`] if the ILP solver fails (the
-/// formulation is always feasible, so this indicates an iteration
-/// limit).
+/// Returns [`FlowError::Preload`] if hierarchy construction fails
+/// (does not occur for scratchpad systems in practice).
 ///
 /// # Panics
 ///
@@ -157,34 +377,13 @@ pub fn run_spm_flow(
     profile: &Profile,
     exec: &ExecutionTrace,
     config: &FlowConfig,
+    ctx: &FlowCtx,
 ) -> Result<FlowReport, FlowError> {
-    run_spm_flow_obs(program, profile, exec, config, &Obs::disabled())
-}
-
-/// [`run_spm_flow`] with observability: every phase of fig. 3 runs
-/// under its own span (`trace` → `profile_sim` → `conflict` →
-/// `solve` → `layout` → `simulate`), the final simulation feeds a
-/// [`SetStatsRecorder`] whose per-set hit/miss/eviction counters are
-/// exported to `obs`, and the energy breakdown lands in gauges.
-///
-/// With a disabled [`Obs`] this is exactly [`run_spm_flow`]: the
-/// uninstrumented simulation path is monomorphized with the no-op
-/// recorder and allocates nothing for observability.
-///
-/// # Errors
-///
-/// Same as [`run_spm_flow`].
-pub fn run_spm_flow_obs(
-    program: &Program,
-    profile: &Profile,
-    exec: &ExecutionTrace,
-    config: &FlowConfig,
-    obs: &Obs,
-) -> Result<FlowReport, FlowError> {
+    let obs = &ctx.obs;
     let line = config.cache.line_size;
-    let trace_cap = config.spm_size.max(line);
+    let trace_cap = config.effective_trace_cap();
     let span = obs.span("trace");
-    let traces = form_traces_obs(program, profile, TraceConfig::new(trace_cap, line), obs);
+    let traces = form_traces(program, profile, TraceConfig::new(trace_cap, line), obs);
     drop(span);
 
     // Profiling run: everything in main memory.
@@ -209,31 +408,9 @@ pub fn run_spm_flow_obs(
 
     let span = obs.span("solve");
     let started = std::time::Instant::now();
-    let allocation = match config.allocator {
-        AllocatorKind::CasaIlpPaper => allocate_ilp_obs(
-            &model,
-            config.spm_size,
-            Linearization::Paper,
-            &SolverOptions::default(),
-            obs,
-        )?,
-        AllocatorKind::CasaIlpTight => allocate_ilp_obs(
-            &model,
-            config.spm_size,
-            Linearization::Tight,
-            &SolverOptions::default(),
-            obs,
-        )?,
-        AllocatorKind::CasaBb => allocate_bb_obs(&model, config.spm_size, obs),
-        AllocatorKind::CasaGreedy => allocate_greedy(&model, config.spm_size),
-        AllocatorKind::Steinke => {
-            let fetches: Vec<u64> = (0..graph.len()).map(|i| graph.fetches_of(i)).collect();
-            let sizes: Vec<u32> = (0..graph.len()).map(|i| graph.size_of(i)).collect();
-            allocate_steinke(&fetches, &sizes, config.spm_size)
-        }
-        AllocatorKind::None => Allocation::none(graph.len()),
-    };
+    let outcome = allocate_budgeted(&model, config.spm_size, config.allocator, &ctx.budget, obs);
     let solver_time = started.elapsed();
+    let allocation = outcome.allocation;
     obs.add("solver.nodes", allocation.solver_nodes);
     obs.add("solver.spm_objects", allocation.spm_count() as u64);
     drop(span);
@@ -247,15 +424,7 @@ pub fn run_spm_flow_obs(
     );
     drop(span);
     let span = obs.span("simulate");
-    let final_sim = if obs.is_enabled() {
-        let recorder = SetStatsRecorder::new(config.cache.num_sets() as usize);
-        let (sim, recorder) =
-            simulate_observed(program, &traces, &layout, exec, &prof_cfg, recorder)?;
-        recorder.export(obs);
-        sim
-    } else {
-        simulate(program, &traces, &layout, exec, &prof_cfg)?
-    };
+    let final_sim = run_final_sim(program, &traces, &layout, exec, &prof_cfg, ctx)?;
     drop(span);
     let breakdown = EnergyBreakdown::from_stats(&final_sim.stats, &table, false);
     export_energy(obs, &breakdown);
@@ -265,6 +434,8 @@ pub fn run_spm_flow_obs(
         layout,
         conflict_graph: graph,
         allocation,
+        alloc_status: outcome.status,
+        stopped_by: outcome.stopped_by,
         loop_cache: None,
         final_sim,
         energy_table: table,
@@ -273,11 +444,31 @@ pub fn run_spm_flow_obs(
     })
 }
 
-/// Run the preloaded-loop-cache workflow (paper fig. 1(b)).
+/// Deprecated shim over [`run_spm_flow`] with an explicit [`Obs`].
+///
+/// # Errors
+///
+/// Same as [`run_spm_flow`].
+#[deprecated(since = "0.2.0", note = "use run_spm_flow with FlowCtx::observed(obs)")]
+pub fn run_spm_flow_obs(
+    program: &Program,
+    profile: &Profile,
+    exec: &ExecutionTrace,
+    config: &FlowConfig,
+    obs: &Obs,
+) -> Result<FlowReport, FlowError> {
+    run_spm_flow(program, profile, exec, config, &FlowCtx::observed(obs))
+}
+
+/// Run the preloaded-loop-cache workflow (paper fig. 1(b)) under
+/// `ctx`.
 ///
 /// Trace generation is applied identically ("for a fair comparison,
 /// traces are generated for both" — paper §5); the loop cache then
 /// preloads whole loops/functions on the *unchanged* initial layout.
+/// The preload heuristic always runs to completion, so
+/// [`FlowReport::alloc_status`] is [`AllocStatus::Optimal`] in the
+/// completion sense of its own objective.
 ///
 /// # Errors
 ///
@@ -287,45 +478,17 @@ pub fn run_loop_cache_flow(
     program: &Program,
     profile: &Profile,
     exec: &ExecutionTrace,
-    cache: CacheConfig,
-    capacity: u32,
-    max_objects: usize,
-    tech: &TechParams,
+    config: &LoopCacheConfig,
+    ctx: &FlowCtx,
 ) -> Result<FlowReport, FlowError> {
-    run_loop_cache_flow_obs(
-        program,
-        profile,
-        exec,
-        cache,
-        capacity,
-        max_objects,
-        tech,
-        &Obs::disabled(),
-    )
-}
-
-/// [`run_loop_cache_flow`] with observability — the loop-cache analog
-/// of [`run_spm_flow_obs`], with a `solve` span around the preload
-/// heuristic instead of the ILP/B&B.
-///
-/// # Errors
-///
-/// Same as [`run_loop_cache_flow`].
-#[allow(clippy::too_many_arguments)] // mirrors run_loop_cache_flow + obs
-pub fn run_loop_cache_flow_obs(
-    program: &Program,
-    profile: &Profile,
-    exec: &ExecutionTrace,
-    cache: CacheConfig,
-    capacity: u32,
-    max_objects: usize,
-    tech: &TechParams,
-    obs: &Obs,
-) -> Result<FlowReport, FlowError> {
+    let obs = &ctx.obs;
+    let cache = config.cache;
+    let capacity = config.capacity;
+    let max_objects = config.max_objects;
     let line = cache.line_size;
     let trace_cap = capacity.max(line);
     let span = obs.span("trace");
-    let traces = form_traces_obs(program, profile, TraceConfig::new(trace_cap, line), obs);
+    let traces = form_traces(program, profile, TraceConfig::new(trace_cap, line), obs);
     drop(span);
     let layout = Layout::initial(program, &traces);
 
@@ -338,14 +501,7 @@ pub fn run_loop_cache_flow_obs(
 
     let cfg = HierarchyConfig::loop_cache_system(cache, capacity, max_objects, assignment.ranges());
     let span = obs.span("simulate");
-    let final_sim = if obs.is_enabled() {
-        let recorder = SetStatsRecorder::new(cache.num_sets() as usize);
-        let (sim, recorder) = simulate_observed(program, &traces, &layout, exec, &cfg, recorder)?;
-        recorder.export(obs);
-        sim
-    } else {
-        simulate(program, &traces, &layout, exec, &cfg)?
-    };
+    let final_sim = run_final_sim(program, &traces, &layout, exec, &cfg, ctx)?;
     drop(span);
     let span = obs.span("conflict");
     let graph = ConflictGraph::from_simulation_obs(&traces, &final_sim, obs);
@@ -357,7 +513,7 @@ pub fn run_loop_cache_flow_obs(
         cache.associativity,
         0,
         Some((capacity, max_objects)),
-        tech,
+        &config.tech,
     );
     let breakdown = EnergyBreakdown::from_stats(&final_sim.stats, &table, true);
     export_energy(obs, &breakdown);
@@ -368,12 +524,68 @@ pub fn run_loop_cache_flow_obs(
         layout,
         conflict_graph: graph,
         allocation: Allocation::none(n),
+        alloc_status: AllocStatus::Optimal,
+        stopped_by: None,
         loop_cache: Some(assignment),
         final_sim,
         energy_table: table,
         breakdown,
         solver_time,
     })
+}
+
+/// Deprecated shim over [`run_loop_cache_flow`] with unpacked
+/// parameters and an explicit [`Obs`].
+///
+/// # Errors
+///
+/// Same as [`run_loop_cache_flow`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use run_loop_cache_flow with LoopCacheConfig and FlowCtx::observed(obs)"
+)]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
+pub fn run_loop_cache_flow_obs(
+    program: &Program,
+    profile: &Profile,
+    exec: &ExecutionTrace,
+    cache: CacheConfig,
+    capacity: u32,
+    max_objects: usize,
+    tech: &TechParams,
+    obs: &Obs,
+) -> Result<FlowReport, FlowError> {
+    let config = LoopCacheConfig {
+        cache,
+        capacity,
+        max_objects,
+        tech: *tech,
+    };
+    run_loop_cache_flow(program, profile, exec, &config, &FlowCtx::observed(obs))
+}
+
+/// The final simulation under the context's recorder choice.
+fn run_final_sim(
+    program: &Program,
+    traces: &TraceSet,
+    layout: &Layout,
+    exec: &ExecutionTrace,
+    cfg: &HierarchyConfig,
+    ctx: &FlowCtx,
+) -> Result<SimOutcome, PreloadError> {
+    let record = match ctx.recorder {
+        RecorderKind::Auto => ctx.obs.is_enabled(),
+        RecorderKind::Null => false,
+        RecorderKind::SetStats => true,
+    };
+    if record {
+        let recorder = SetStatsRecorder::new(cfg.cache.num_sets() as usize);
+        let (sim, recorder) = simulate_observed(program, traces, layout, exec, cfg, recorder)?;
+        recorder.export(&ctx.obs);
+        Ok(sim)
+    } else {
+        simulate(program, traces, layout, exec, cfg)
+    }
 }
 
 /// Record the component energy breakdown as gauges (nanojoules, the
@@ -434,19 +646,18 @@ mod tests {
     }
 
     fn config(allocator: AllocatorKind) -> FlowConfig {
-        FlowConfig {
-            cache: CacheConfig::direct_mapped(64, 16),
-            spm_size: 32,
-            allocator,
-            tech: TechParams::default(),
-        }
+        FlowConfig::new(CacheConfig::direct_mapped(64, 16), 32, allocator)
+    }
+
+    fn ctx() -> FlowCtx {
+        FlowCtx::default()
     }
 
     #[test]
     fn casa_eliminates_thrashing() {
         let (p, prof, exec) = thrash_workload();
-        let none = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::None)).unwrap();
-        let casa = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaBb)).unwrap();
+        let none = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::None), &ctx()).unwrap();
+        let casa = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaBb), &ctx()).unwrap();
         assert!(none.final_sim.stats.cache_misses > 100, "baseline thrashes");
         assert!(
             casa.final_sim.stats.cache_misses < 10,
@@ -457,20 +668,35 @@ mod tests {
         // One of the two thrashing traces is on the SPM (plus possibly
         // small leftovers that still fit).
         assert!(casa.allocation.spm_count() >= 1);
+        // An unlimited budget proves optimality.
+        assert!(casa.alloc_status.is_optimal());
+        assert_eq!(casa.stopped_by, None);
     }
 
     #[test]
     fn all_casa_variants_agree_on_energy() {
         let (p, prof, exec) = thrash_workload();
-        let e_bb = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaBb))
+        let e_bb = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaBb), &ctx())
             .unwrap()
             .energy_uj();
-        let e_paper = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaIlpPaper))
-            .unwrap()
-            .energy_uj();
-        let e_tight = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaIlpTight))
-            .unwrap()
-            .energy_uj();
+        let e_paper = run_spm_flow(
+            &p,
+            &prof,
+            &exec,
+            &config(AllocatorKind::CasaIlpPaper),
+            &ctx(),
+        )
+        .unwrap()
+        .energy_uj();
+        let e_tight = run_spm_flow(
+            &p,
+            &prof,
+            &exec,
+            &config(AllocatorKind::CasaIlpTight),
+            &ctx(),
+        )
+        .unwrap()
+        .energy_uj();
         assert!((e_bb - e_paper).abs() < 1e-9, "{e_bb} vs {e_paper}");
         assert!((e_bb - e_tight).abs() < 1e-9);
     }
@@ -484,7 +710,7 @@ mod tests {
             AllocatorKind::CasaGreedy,
             AllocatorKind::Steinke,
         ] {
-            let r = run_spm_flow(&p, &prof, &exec, &config(kind)).unwrap();
+            let r = run_spm_flow(&p, &prof, &exec, &config(kind), &ctx()).unwrap();
             assert!(
                 r.final_sim.check_fetch_identity(),
                 "{kind:?} violates eq. (4)"
@@ -500,14 +726,15 @@ mod tests {
             &p,
             &prof,
             &exec,
-            CacheConfig::direct_mapped(64, 16),
-            64,
-            4,
-            &TechParams::default(),
+            &LoopCacheConfig::new(CacheConfig::direct_mapped(64, 16), 64, 4),
+            &ctx(),
         )
         .unwrap();
         assert!(r.final_sim.stats.is_consistent());
         assert!(r.loop_cache.is_some());
+        // Completion semantics: the preload heuristic always finishes.
+        assert!(r.alloc_status.is_optimal());
+        assert_eq!(r.alloc_status.gap(), Some(0.0));
         // The hot head/far loop spans the whole program here; the
         // controller may or may not capture it, but energy must be
         // computed either way.
@@ -517,7 +744,7 @@ mod tests {
     #[test]
     fn summary_renders_key_figures() {
         let (p, prof, exec) = thrash_workload();
-        let r = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaBb)).unwrap();
+        let r = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaBb), &ctx()).unwrap();
         let text = crate::report::render_summary("demo", &r);
         assert!(text.contains("=== demo ==="));
         assert!(text.contains("traces"));
@@ -529,10 +756,10 @@ mod tests {
     fn observed_flow_matches_plain_and_covers_phases() {
         let (p, prof, exec) = thrash_workload();
         let cfg = config(AllocatorKind::CasaBb);
-        let plain = run_spm_flow(&p, &prof, &exec, &cfg).unwrap();
+        let plain = run_spm_flow(&p, &prof, &exec, &cfg, &ctx()).unwrap();
 
         let obs = Obs::enabled();
-        let observed = run_spm_flow_obs(&p, &prof, &exec, &cfg, &obs).unwrap();
+        let observed = run_spm_flow(&p, &prof, &exec, &cfg, &FlowCtx::observed(&obs)).unwrap();
         assert_eq!(plain.allocation.on_spm, observed.allocation.on_spm);
         assert_eq!(
             plain.final_sim.stats.cache_misses,
@@ -582,12 +809,11 @@ mod tests {
     fn observed_loop_cache_flow_matches_plain() {
         let (p, prof, exec) = thrash_workload();
         let cache = CacheConfig::direct_mapped(64, 16);
-        let plain =
-            run_loop_cache_flow(&p, &prof, &exec, cache, 64, 4, &TechParams::default()).unwrap();
+        let lc = LoopCacheConfig::new(cache, 64, 4);
+        let plain = run_loop_cache_flow(&p, &prof, &exec, &lc, &ctx()).unwrap();
         let obs = Obs::enabled();
         let observed =
-            run_loop_cache_flow_obs(&p, &prof, &exec, cache, 64, 4, &TechParams::default(), &obs)
-                .unwrap();
+            run_loop_cache_flow(&p, &prof, &exec, &lc, &FlowCtx::observed(&obs)).unwrap();
         assert!((plain.energy_uj() - observed.energy_uj()).abs() < 1e-12);
         assert_eq!(
             plain.final_sim.stats.cache_misses,
@@ -597,9 +823,92 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_match_canonical_flows() {
+        let (p, prof, exec) = thrash_workload();
+        let cfg = config(AllocatorKind::CasaBb);
+        let canonical = run_spm_flow(&p, &prof, &exec, &cfg, &ctx()).unwrap();
+        let cache = CacheConfig::direct_mapped(64, 16);
+        let lc_canonical = run_loop_cache_flow(
+            &p,
+            &prof,
+            &exec,
+            &LoopCacheConfig::new(cache, 64, 4),
+            &ctx(),
+        )
+        .unwrap();
+        #[allow(deprecated)]
+        {
+            let shim = run_spm_flow_obs(&p, &prof, &exec, &cfg, &Obs::disabled()).unwrap();
+            assert_eq!(canonical.allocation.on_spm, shim.allocation.on_spm);
+            assert!((canonical.energy_uj() - shim.energy_uj()).abs() < 1e-12);
+            let lc_shim = run_loop_cache_flow_obs(
+                &p,
+                &prof,
+                &exec,
+                cache,
+                64,
+                4,
+                &TechParams::default(),
+                &Obs::disabled(),
+            )
+            .unwrap();
+            assert!((lc_canonical.energy_uj() - lc_shim.energy_uj()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_node_budget_still_allocates_with_finite_gap() {
+        let (p, prof, exec) = thrash_workload();
+        let ctx = FlowCtx::budgeted(Budget::nodes(1));
+        for kind in [
+            AllocatorKind::CasaBb,
+            AllocatorKind::CasaIlpPaper,
+            AllocatorKind::CasaIlpTight,
+        ] {
+            let r = run_spm_flow(&p, &prof, &exec, &config(kind), &ctx).unwrap();
+            match &r.alloc_status {
+                AllocStatus::Optimal => {}
+                AllocStatus::Feasible { gap } => {
+                    assert!(gap.is_finite() && *gap >= 0.0, "{kind:?} gap {gap}")
+                }
+                AllocStatus::Fallback { reason } => {
+                    assert!(!reason.is_empty(), "{kind:?}")
+                }
+            }
+            assert!(r.final_sim.stats.is_consistent());
+        }
+    }
+
+    #[test]
+    fn config_builder_validates() {
+        let cache = CacheConfig::direct_mapped(64, 16);
+        assert_eq!(
+            FlowConfig::builder(cache, 0, AllocatorKind::CasaBb).build(),
+            Err(ConfigError::ZeroSpmSize)
+        );
+        assert_eq!(
+            FlowConfig::builder(cache, 32, AllocatorKind::CasaBb)
+                .trace_cap(8)
+                .build(),
+            Err(ConfigError::TraceCapBelowLine {
+                trace_cap: 8,
+                line_size: 16
+            })
+        );
+        let ok = FlowConfig::builder(cache, 32, AllocatorKind::CasaBb)
+            .trace_cap(16)
+            .build()
+            .unwrap();
+        assert_eq!(ok.effective_trace_cap(), 16);
+        assert_eq!(config(AllocatorKind::CasaBb).effective_trace_cap(), 32);
+        let err = ConfigError::ZeroSpmSize;
+        assert!(err.to_string().contains("nonzero"));
+    }
+
+    #[test]
     fn solver_runtime_recorded() {
         let (p, prof, exec) = thrash_workload();
-        let r = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaBb)).unwrap();
+        let r = run_spm_flow(&p, &prof, &exec, &config(AllocatorKind::CasaBb), &ctx()).unwrap();
         // The §4 claim: well under a second at these sizes.
         assert!(r.solver_time < Duration::from_secs(1));
     }

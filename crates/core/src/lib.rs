@@ -22,6 +22,10 @@
 //!   against the ILP by property tests.
 //! * [`greedy`] — a density-greedy heuristic (incumbent provider and
 //!   ablation point).
+//! * [`engine`] — the anytime allocation engine: any allocator under a
+//!   wall-clock/node/cancellation [`engine::Budget`], warm-started and
+//!   degrading gracefully to an incumbent-with-gap or the greedy
+//!   heuristic instead of failing.
 //! * [`steinke`] — the DATE'02 baseline: cache-oblivious fetch-count
 //!   knapsack with *move* semantics.
 //! * [`ross`] — the preloaded-loop-cache baseline: density-greedy
@@ -50,6 +54,7 @@ pub mod casa_ilp;
 pub mod conflict;
 pub mod data_alloc;
 pub mod energy_model;
+pub mod engine;
 pub mod flow;
 pub mod greedy;
 pub mod multi_spm;
@@ -63,8 +68,11 @@ pub mod wcet;
 pub use allocation::Allocation;
 pub use conflict::ConflictGraph;
 pub use energy_model::EnergyModel;
+pub use engine::{allocate_budgeted, AllocOutcome, AllocStatus, Budget, BudgetKind, CancelToken};
 pub use flow::{
-    run_loop_cache_flow, run_loop_cache_flow_obs, run_spm_flow, run_spm_flow_obs, AllocatorKind,
-    FlowConfig, FlowReport,
+    run_loop_cache_flow, run_spm_flow, AllocatorKind, ConfigError, FlowConfig, FlowCtx, FlowReport,
+    LoopCacheConfig, RecorderKind,
 };
+#[allow(deprecated)]
+pub use flow::{run_loop_cache_flow_obs, run_spm_flow_obs};
 pub use report::EnergyBreakdown;

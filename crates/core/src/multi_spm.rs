@@ -12,7 +12,7 @@
 
 use crate::conflict::ConflictGraph;
 use casa_energy::{spm_access_energy, EnergyTable, TechParams};
-use casa_ilp::{solve, ConstraintOp, Model, Sense, SolveError, SolverOptions};
+use casa_ilp::{ConstraintOp, Model, Sense, SolveError, SolveRequest, SolverOptions};
 use serde::{Deserialize, Serialize};
 
 /// Result of a multi-bank allocation.
@@ -134,7 +134,7 @@ pub fn allocate_multi_spm(
         );
     }
 
-    let sol = solve(&ilp, options)?;
+    let sol = SolveRequest::new(&ilp).options(*options).solve()?.solution;
     let mut bank = vec![None; n];
     for i in 0..n {
         for b in 0..n_banks {

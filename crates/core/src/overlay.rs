@@ -24,7 +24,7 @@
 use crate::conflict::ConflictGraph;
 use crate::report::EnergyBreakdown;
 use casa_energy::EnergyTable;
-use casa_ilp::{solve, ConstraintOp, Model, Sense, SolveError, SolverOptions, Var};
+use casa_ilp::{ConstraintOp, Model, Sense, SolveError, SolveRequest, SolverOptions, Var};
 use casa_ir::Program;
 use casa_mem::loop_cache::PreloadError;
 use casa_mem::{ExecutionTrace, HierarchyConfig, Replayer, SimOutcome};
@@ -181,7 +181,7 @@ pub fn allocate_overlay(
     ilp.set_objective(objective);
     ilp.add_objective_constant(constant);
 
-    let sol = solve(&ilp, options)?;
+    let sol = SolveRequest::new(&ilp).options(*options).solve()?.solution;
     let per_phase: Vec<Vec<bool>> = (0..phases)
         .map(|p| (0..n).map(|i| !sol.bool_value(l[p][i])).collect())
         .collect();
@@ -367,7 +367,12 @@ pub fn run_overlay_flow(
     assert!(phases > 0, "need at least one phase");
     assert!(!exec.is_empty(), "empty execution");
     let line = cache.line_size;
-    let traces = form_traces(program, profile, TraceConfig::new(spm_size.max(line), line));
+    let traces = form_traces(
+        program,
+        profile,
+        TraceConfig::new(spm_size.max(line), line),
+        &casa_obs::Obs::disabled(),
+    );
     let layout0 = Layout::initial(program, &traces);
     let cfg = HierarchyConfig::spm_system(cache, spm_size);
     let table = EnergyTable::build(cache.size, line, cache.associativity, spm_size, None, tech);

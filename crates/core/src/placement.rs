@@ -160,6 +160,7 @@ pub fn run_placement_flow(
         program,
         profile,
         TraceConfig::new(cache.size.max(line), line),
+        &casa_obs::Obs::disabled(),
     );
     let layout0 = Layout::initial(program, &traces);
     let cfg = HierarchyConfig::cache_only(cache);
@@ -205,6 +206,7 @@ mod tests {
     use super::*;
     use casa_ir::inst::{InstKind, IsaMode};
     use casa_ir::{BlockId, ProgramBuilder};
+    use casa_obs::Obs;
 
     /// Two hot kernels exactly one cache apart (thrash) plus cold
     /// filler that a smarter order can interpose.
@@ -244,7 +246,7 @@ mod tests {
         let (p, profile, exec, _, _) = thrash_setup();
         let cache = CacheConfig::direct_mapped(64, 16);
         // Baseline: program order thrashes.
-        let traces = form_traces(&p, &profile, TraceConfig::new(64, 16));
+        let traces = form_traces(&p, &profile, TraceConfig::new(64, 16), &Obs::disabled());
         let layout0 = Layout::initial(&p, &traces);
         let cfg = HierarchyConfig::cache_only(cache);
         let base = simulate(&p, &traces, &layout0, &exec, &cfg).unwrap();
@@ -265,7 +267,7 @@ mod tests {
         let (p, profile, exec, _, _) = thrash_setup();
         let _ = exec;
         let cache = CacheConfig::direct_mapped(64, 16);
-        let traces = form_traces(&p, &profile, TraceConfig::new(64, 16));
+        let traces = form_traces(&p, &profile, TraceConfig::new(64, 16), &Obs::disabled());
         let fetches: Vec<u64> = traces
             .traces()
             .iter()
@@ -284,7 +286,7 @@ mod tests {
         let (p, _, _, _, _) = thrash_setup();
         let empty = Profile::new();
         let cache = CacheConfig::direct_mapped(64, 16);
-        let traces = form_traces(&p, &empty, TraceConfig::new(64, 16));
+        let traces = form_traces(&p, &empty, TraceConfig::new(64, 16), &Obs::disabled());
         let fetches = vec![0u64; traces.len()];
         let order = conflict_aware_order(&traces, &fetches, &cache);
         assert_eq!(order.len(), traces.len());

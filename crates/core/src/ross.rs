@@ -193,7 +193,12 @@ mod tests {
         prof.add_block(body, 100);
         prof.add_block(tail, 1);
         prof.add_block(gb, 1);
-        let ts = form_traces(&p, &prof, TraceConfig::new(256, 16));
+        let ts = form_traces(
+            &p,
+            &prof,
+            TraceConfig::new(256, 16),
+            &casa_obs::Obs::disabled(),
+        );
         let layout = Layout::initial(&p, &ts);
         (p, prof, ts, layout)
     }

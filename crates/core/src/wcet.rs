@@ -354,7 +354,12 @@ mod tests {
         b.push(ex, InstKind::Alu);
         b.exit(ex);
         let p = b.finish().unwrap();
-        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let ts = form_traces(
+            &p,
+            &Profile::new(),
+            TraceConfig::new(256, 16),
+            &casa_obs::Obs::disabled(),
+        );
         (p, head, ts)
     }
 
@@ -417,7 +422,12 @@ mod tests {
         b.push(f1, InstKind::Alu);
         b.ret(f1);
         let p = b.finish().unwrap();
-        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let ts = form_traces(
+            &p,
+            &Profile::new(),
+            TraceConfig::new(256, 16),
+            &casa_obs::Obs::disabled(),
+        );
         let layout = Layout::initial(&p, &ts);
         assert_eq!(
             wcet_bound(&p, &ts, &layout, &HashMap::new(), &WcetCosts::default()),
@@ -440,7 +450,12 @@ mod tests {
         b.push_n(l0, InstKind::Alu, 9);
         b.ret(l0);
         let p = b.finish().unwrap();
-        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(256, 16));
+        let ts = form_traces(
+            &p,
+            &Profile::new(),
+            TraceConfig::new(256, 16),
+            &casa_obs::Obs::disabled(),
+        );
         let layout = Layout::initial(&p, &ts);
         let costs = WcetCosts {
             cache_miss_penalty: 0,
@@ -469,7 +484,12 @@ mod tests {
         b.push(j, InstKind::Alu);
         b.exit(j);
         let p = b.finish().unwrap();
-        let ts = form_traces(&p, &Profile::new(), TraceConfig::new(512, 16));
+        let ts = form_traces(
+            &p,
+            &Profile::new(),
+            TraceConfig::new(512, 16),
+            &casa_obs::Obs::disabled(),
+        );
         let layout = Layout::initial(&p, &ts);
         let costs = WcetCosts {
             cache_miss_penalty: 0,

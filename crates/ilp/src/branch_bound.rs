@@ -1,12 +1,17 @@
 //! Best-first branch & bound over the integral variables of a
 //! [`Model`], using the simplex LP relaxation for bounds.
+//!
+//! The search itself lives in [`crate::engine`]; this module keeps the
+//! solver tunables ([`SolverOptions`]), the effort statistics
+//! ([`BbStats`]) and `#[deprecated]` shims for the pre-engine entry
+//! points (`solve` / `solve_obs` / `solve_with_stats`), which are kept
+//! for one PR and then removed. New code should build a
+//! [`SolveRequest`](crate::engine::SolveRequest).
 
-use crate::model::{Model, Sense};
-use crate::simplex::{solve_lp_counted, LpResult};
-use crate::solution::{Solution, SolveError, Status};
-use casa_obs::{ArgValue, Obs};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::engine::SolveRequest;
+use crate::model::Model;
+use crate::solution::{Solution, SolveError};
+use casa_obs::Obs;
 
 /// Tunables for the branch-and-bound search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,41 +33,6 @@ impl Default for SolverOptions {
             max_nodes: 2_000_000,
             gap_tol: 1e-9,
         }
-    }
-}
-
-struct Node {
-    bounds: Vec<(f64, f64)>,
-    /// LP bound of the parent (optimistic value for this node), in
-    /// minimization orientation.
-    bound: f64,
-}
-
-struct HeapEntry {
-    bound: f64,
-    seq: u64,
-    node: Node,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; we want the smallest bound first.
-        other
-            .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -93,8 +63,15 @@ pub struct BbStats {
 /// * [`SolveError::NodeLimit`] — the node limit was exhausted before
 ///   any feasible integral point was found.
 /// * [`SolveError::IterationLimit`] — simplex failed to converge.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a casa_ilp::engine::SolveRequest instead; it adds budgets, warm starts and gap reporting"
+)]
 pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
-    solve_with_stats(model, options, &Obs::disabled()).0
+    SolveRequest::new(model)
+        .options(*options)
+        .solve()
+        .map(|outcome| outcome.solution)
 }
 
 /// Like [`solve`], recording solver internals into `obs`: counters
@@ -105,220 +82,47 @@ pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveEr
 /// # Errors
 ///
 /// Fails under the same conditions as [`solve`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use casa_ilp::engine::SolveRequest::new(model).observe(obs).solve() instead"
+)]
 pub fn solve_obs(
     model: &Model,
     options: &SolverOptions,
     obs: &Obs,
 ) -> Result<Solution, SolveError> {
-    let (result, stats) = solve_with_stats(model, options, obs);
-    obs.add("ilp.bb.nodes", stats.nodes);
-    obs.add("ilp.bb.incumbents", stats.incumbent_updates);
-    obs.add("ilp.simplex.pivots", stats.simplex_pivots);
-    if let Some(b) = stats.best_bound {
-        obs.gauge_set("ilp.bb.best_bound", b);
-    }
-    result
+    SolveRequest::new(model)
+        .options(*options)
+        .observe(obs)
+        .solve()
+        .map(|outcome| outcome.solution)
 }
 
 /// Core search: returns the solution (or error) together with
 /// [`BbStats`]; incumbent improvements are emitted as instant trace
 /// events on `obs` while the search runs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use casa_ilp::engine::SolveRequest::solve_with_stats instead"
+)]
 pub fn solve_with_stats(
     model: &Model,
     options: &SolverOptions,
     obs: &Obs,
 ) -> (Result<Solution, SolveError>, BbStats) {
-    let mut stats = BbStats::default();
-    let result = solve_inner(model, options, obs, &mut stats);
-    (result, stats)
-}
-
-fn solve_inner(
-    model: &Model,
-    options: &SolverOptions,
-    obs: &Obs,
-    stats: &mut BbStats,
-) -> Result<Solution, SolveError> {
-    // Work in minimization orientation internally.
-    let sense_sign = match model.sense() {
-        Sense::Minimize => 1.0,
-        Sense::Maximize => -1.0,
-    };
-
-    let root_bounds: Vec<(f64, f64)> = model.vars().map(|v| model.var_kind(v).bounds()).collect();
-    let integral: Vec<usize> = model
-        .vars()
-        .filter(|&v| model.var_kind(v).is_integral())
-        .map(|v| v.index())
-        .collect();
-    let mut is_integral = vec![false; model.num_vars()];
-    for &i in &integral {
-        is_integral[i] = true;
-    }
-
-    let mut heap = BinaryHeap::new();
-    let mut seq = 0u64;
-    heap.push(HeapEntry {
-        bound: f64::NEG_INFINITY,
-        seq,
-        node: Node {
-            bounds: root_bounds,
-            bound: f64::NEG_INFINITY,
-        },
-    });
-
-    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-oriented obj)
-    let mut nodes = 0u64;
-    let mut root_unbounded = false;
-    // Best-first pops see non-decreasing parent bounds, so the bound
-    // of the most recent pop is a valid global optimistic bound.
-    let mut bound_floor = f64::NEG_INFINITY;
-
-    while let Some(HeapEntry { node, .. }) = heap.pop() {
-        nodes += 1;
-        stats.nodes = nodes;
-        bound_floor = bound_floor.max(node.bound);
-        if nodes > options.max_nodes {
-            if bound_floor.is_finite() {
-                stats.best_bound = Some(sense_sign * bound_floor);
-            }
-            return match incumbent {
-                Some((values, obj)) => Ok(Solution::new(
-                    values,
-                    sense_sign * obj,
-                    Status::Feasible,
-                    nodes,
-                )),
-                None => Err(SolveError::NodeLimit {
-                    limit: options.max_nodes,
-                }),
-            };
-        }
-        // Prune against incumbent using the parent bound.
-        if let Some((_, best)) = &incumbent {
-            if node.bound >= *best - options.gap_tol {
-                continue;
-            }
-        }
-        let (lp, pivots) = solve_lp_counted(model, &node.bounds)?;
-        stats.simplex_pivots += pivots;
-        let (values, objective) = match lp {
-            LpResult::Infeasible => continue,
-            LpResult::Unbounded => {
-                if nodes == 1 {
-                    root_unbounded = true;
-                    break;
-                }
-                // A bounded-variable subproblem cannot be unbounded if
-                // the root was bounded; treat defensively as a dead end.
-                continue;
-            }
-            LpResult::Optimal { values, objective } => (values, objective),
-        };
-        let min_obj = sense_sign * objective;
-        if let Some((_, best)) = &incumbent {
-            if min_obj >= *best - options.gap_tol {
-                continue;
-            }
-        }
-        // Find the most fractional integral variable.
-        let mut branch_var: Option<(usize, f64)> = None;
-        let mut best_frac = options.int_tol;
-        for &i in &integral {
-            let x = values[i];
-            let frac = (x - x.round()).abs();
-            if frac > best_frac {
-                best_frac = frac;
-                branch_var = Some((i, x));
-            }
-        }
-        match branch_var {
-            None => {
-                // Integral: candidate incumbent. Rounding can move each
-                // integral coordinate by up to `int_tol`, so the raw LP
-                // objective may drift from the rounded point by up to
-                // int_tol·Σ|c|; re-evaluate on the rounded vector.
-                let rounded: Vec<f64> = values
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &x)| if is_integral[i] { x.round() } else { x })
-                    .collect();
-                let rounded_obj = sense_sign * model.eval_objective(&rounded);
-                match &incumbent {
-                    Some((_, best)) if rounded_obj >= *best - options.gap_tol => {}
-                    _ => {
-                        incumbent = Some((rounded, rounded_obj));
-                        stats.incumbent_updates += 1;
-                        obs.instant(
-                            "bb.incumbent",
-                            vec![
-                                (
-                                    "objective".to_string(),
-                                    ArgValue::F64(sense_sign * rounded_obj),
-                                ),
-                                ("node".to_string(), ArgValue::U64(nodes)),
-                            ],
-                        );
-                    }
-                }
-            }
-            Some((i, x)) => {
-                let (lb, ub) = node.bounds[i];
-                let floor = x.floor();
-                let ceil = x.ceil();
-                if floor >= lb - options.int_tol {
-                    let mut b = node.bounds.clone();
-                    b[i] = (lb, floor);
-                    seq += 1;
-                    heap.push(HeapEntry {
-                        bound: min_obj,
-                        seq,
-                        node: Node {
-                            bounds: b,
-                            bound: min_obj,
-                        },
-                    });
-                }
-                if ceil <= ub + options.int_tol {
-                    let mut b = node.bounds.clone();
-                    b[i] = (ceil, ub);
-                    seq += 1;
-                    heap.push(HeapEntry {
-                        bound: min_obj,
-                        seq,
-                        node: Node {
-                            bounds: b,
-                            bound: min_obj,
-                        },
-                    });
-                }
-            }
-        }
-    }
-
-    if root_unbounded {
-        return Err(SolveError::Unbounded);
-    }
-    match incumbent {
-        Some((values, obj)) => {
-            // Search closed: the incumbent is proven optimal, so the
-            // bound equals the objective.
-            stats.best_bound = Some(sense_sign * obj);
-            Ok(Solution::new(
-                values,
-                sense_sign * obj,
-                Status::Optimal,
-                nodes,
-            ))
-        }
-        None => Err(SolveError::Infeasible),
-    }
+    let (result, stats) = SolveRequest::new(model)
+        .options(*options)
+        .observe(obs)
+        .solve_with_stats();
+    (result.map(|outcome| outcome.solution), stats)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // this module pins the shims' behavior for their final PR
 mod tests {
     use super::*;
     use crate::model::{ConstraintOp, Model};
+    use crate::solution::Status;
 
     #[test]
     fn binary_knapsack_exact() {
@@ -399,7 +203,9 @@ mod tests {
 
     #[test]
     fn node_limit_respected() {
-        // A problem needing branching, with max_nodes = 1.
+        // A problem needing branching, with max_nodes = 1. The shim
+        // surfaces the engine behavior: an incumbent in hand means
+        // Ok(Feasible); none means Err(NodeLimit).
         let mut m = Model::maximize();
         let x = m.integer("x", 0, 10);
         let y = m.integer("y", 0, 10);

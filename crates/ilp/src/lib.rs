@@ -16,7 +16,11 @@
 //! * a **presolve** pass ([`presolve`]) — activity-based row
 //!   elimination and bound tightening — and
 //! * a **CPLEX LP-format writer** ([`lp_format`]) for cross-checking
-//!   formulations against external solvers.
+//!   formulations against external solvers,
+//! * an **anytime engine** ([`engine`]) — the single budgeted entry
+//!   point ([`engine::SolveRequest`]) with wall-clock deadlines, node
+//!   limits, cooperative cancellation, warm starts, and
+//!   gap-reporting outcomes instead of hard failures.
 //!
 //! The solver is exact: property tests compare it against brute-force
 //! enumeration on small random instances.
@@ -25,7 +29,7 @@
 //!
 //! ```
 //! use casa_ilp::model::{Model, Sense, ConstraintOp};
-//! use casa_ilp::branch_bound::{solve, SolverOptions};
+//! use casa_ilp::engine::{Budget, SolveRequest};
 //!
 //! // max x + 2y  s.t.  x + y <= 1, binaries.
 //! let mut m = Model::new(Sense::Maximize);
@@ -33,9 +37,10 @@
 //! let y = m.binary("y");
 //! m.set_objective([(x, 1.0), (y, 2.0)]);
 //! m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.0);
-//! let sol = solve(&m, &SolverOptions::default())?;
-//! assert_eq!(sol.value(y).round() as i32, 1);
-//! assert_eq!(sol.value(x).round() as i32, 0);
+//! let out = SolveRequest::new(&m).budget(Budget::nodes(10_000)).solve()?;
+//! assert!(out.is_optimal());
+//! assert_eq!(out.solution.value(y).round() as i32, 1);
+//! assert_eq!(out.solution.value(x).round() as i32, 0);
 //! # Ok::<(), casa_ilp::solution::SolveError>(())
 //! ```
 
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod branch_bound;
+pub mod engine;
 pub mod knapsack;
 pub mod lp_format;
 pub mod model;
@@ -50,7 +56,10 @@ pub mod presolve;
 pub mod simplex;
 pub mod solution;
 
-pub use branch_bound::{solve, solve_obs, solve_with_stats, BbStats, SolverOptions};
+#[allow(deprecated)] // shims re-exported for one PR; see branch_bound docs
+pub use branch_bound::{solve, solve_obs, solve_with_stats};
+pub use branch_bound::{BbStats, SolverOptions};
+pub use engine::{Budget, BudgetKind, CancelToken, EngineStatus, SolveOutcome, SolveRequest};
 pub use knapsack::knapsack_01;
 pub use lp_format::to_lp_format;
 pub use model::{ConstraintOp, Model, Sense, Var};

@@ -16,7 +16,8 @@
 //! is a solution of the original — so [`solve_presolved`] is a
 //! drop-in replacement for [`crate::solve`].
 
-use crate::branch_bound::{solve, solve_obs, SolverOptions};
+use crate::branch_bound::SolverOptions;
+use crate::engine::SolveRequest;
 use crate::model::{ConstraintOp, Model, VarKind};
 use crate::solution::{Solution, SolveError};
 use casa_obs::Obs;
@@ -220,12 +221,16 @@ pub fn presolve(model: &Model) -> Result<Presolved, SolveError> {
 /// Same as [`crate::solve`].
 pub fn solve_presolved(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
     let pre = presolve(model)?;
-    solve(&pre.model, options)
+    SolveRequest::new(&pre.model)
+        .options(*options)
+        .solve()
+        .map(|outcome| outcome.solution)
 }
 
 /// Like [`solve_presolved`], recording presolve reductions (counters
 /// `ilp.presolve.rows_removed` / `vars_fixed` / `passes`) and solver
-/// internals (see [`solve_obs`]) into `obs`.
+/// internals (see [`crate::engine::SolveRequest::observe`]) into
+/// `obs`.
 ///
 /// # Errors
 ///
@@ -241,13 +246,24 @@ pub fn solve_presolved_obs(
     obs.add("ilp.presolve.rows_removed", pre.rows_removed as u64);
     obs.add("ilp.presolve.vars_fixed", pre.vars_fixed as u64);
     obs.add("ilp.presolve.passes", pre.passes as u64);
-    solve_obs(&pre.model, options, obs)
+    SolveRequest::new(&pre.model)
+        .options(*options)
+        .observe(obs)
+        .solve()
+        .map(|outcome| outcome.solution)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{ConstraintOp, Model};
+
+    fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
+        SolveRequest::new(model)
+            .options(*options)
+            .solve()
+            .map(|outcome| outcome.solution)
+    }
 
     #[test]
     fn redundant_rows_dropped() {

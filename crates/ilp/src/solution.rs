@@ -88,6 +88,13 @@ pub enum SolveError {
     },
     /// The simplex iteration limit was exceeded (numerical trouble).
     IterationLimit,
+    /// The wall-clock deadline expired before any feasible integral
+    /// point was found.
+    Deadline,
+    /// The solve was cancelled through a
+    /// [`CancelToken`](crate::engine::CancelToken) before any feasible
+    /// integral point was found.
+    Cancelled,
 }
 
 impl fmt::Display for SolveError {
@@ -99,6 +106,10 @@ impl fmt::Display for SolveError {
                 write!(f, "no integral solution within {limit} nodes")
             }
             SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::Deadline => {
+                write!(f, "no integral solution before the wall-clock deadline")
+            }
+            SolveError::Cancelled => write!(f, "solve cancelled before an integral solution"),
         }
     }
 }

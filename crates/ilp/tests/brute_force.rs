@@ -2,8 +2,16 @@
 //! brute-force enumeration on small random binary programs.
 
 use casa_ilp::model::{ConstraintOp, Model, Sense};
-use casa_ilp::{solve, SolveError, SolverOptions};
+use casa_ilp::{Solution, SolveError, SolveRequest, SolverOptions};
 use proptest::prelude::*;
+
+/// The old `solve()` surface, expressed through the engine entry point.
+fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
+    SolveRequest::new(model)
+        .options(*options)
+        .solve()
+        .map(|outcome| outcome.solution)
+}
 
 /// Build a random binary program with `n` variables and `m`
 /// constraints from integer coefficient pools (exact arithmetic in

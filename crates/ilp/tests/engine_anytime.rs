@@ -1,0 +1,120 @@
+//! Property tests for the anytime engine (satellite of the engine PR):
+//!
+//! 1. `Optimal` outcomes from the engine equal the old `solve()`
+//!    result — same objective, same point.
+//! 2. `Feasible` gaps are always ≥ 0 and monotonically non-increasing
+//!    as the node budget grows (the deterministic best-first search
+//!    has the prefix property: the state at node N is identical for
+//!    every budget ≥ N, the incumbent never worsens, and the proven
+//!    bound never loosens).
+#![allow(deprecated)] // compares the engine against the old solve() shim
+
+use casa_ilp::engine::{Budget, EngineStatus, SolveRequest};
+use casa_ilp::model::{ConstraintOp, Model, Sense};
+use casa_ilp::{solve, SolveError, SolverOptions};
+use proptest::prelude::*;
+
+/// Random binary program over integer coefficient pools.
+fn build(n: usize, obj: &[i32], rows: &[(Vec<i32>, u8, i32)], maximize: bool) -> Model {
+    let mut model = if maximize {
+        Model::new(Sense::Maximize)
+    } else {
+        Model::new(Sense::Minimize)
+    };
+    let vars: Vec<_> = (0..n).map(|i| model.binary(format!("b{i}"))).collect();
+    model.set_objective(vars.iter().zip(obj).map(|(&v, &c)| (v, f64::from(c))));
+    for (coefs, op, rhs) in rows {
+        let op = match op % 3 {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        model.add_constraint(
+            vars.iter().zip(coefs).map(|(&v, &c)| (v, f64::from(c))),
+            op,
+            f64::from(*rhs),
+        );
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn optimal_outcomes_match_old_solve_and_gaps_shrink(
+        n in 1usize..6,
+        maximize in any::<bool>(),
+        obj in prop::collection::vec(-9i32..10, 6),
+        rows in prop::collection::vec(
+            (prop::collection::vec(-5i32..6, 6), any::<u8>(), -8i32..12),
+            0..4,
+        ),
+    ) {
+        let obj = &obj[..n];
+        let rows: Vec<(Vec<i32>, u8, i32)> = rows
+            .into_iter()
+            .map(|(c, op, r)| (c[..n].to_vec(), op, r))
+            .collect();
+        let model = build(n, obj, &rows, maximize);
+        let opts = SolverOptions::default();
+
+        let old = solve(&model, &opts);
+        let engine = SolveRequest::new(&model).options(opts).solve();
+        match (old, engine) {
+            (Ok(old_sol), Ok(out)) => {
+                // Unbudgeted runs must close the search and agree with
+                // the legacy entry point byte for byte.
+                prop_assert!(out.is_optimal());
+                prop_assert_eq!(out.gap(), 0.0);
+                prop_assert_eq!(old_sol.values(), out.solution.values());
+                prop_assert!((old_sol.objective() - out.solution.objective()).abs() < 1e-12);
+
+                // Anytime runs: warm-start with the optimum so every
+                // budget yields Ok, then check the gap contract.
+                let mut last_gap = f64::INFINITY;
+                let mut budget = 1u64;
+                loop {
+                    let budgeted = SolveRequest::new(&model)
+                        .options(opts)
+                        .budget(Budget::nodes(budget))
+                        .warm_start(old_sol.values())
+                        .solve();
+                    let Ok(b) = budgeted else {
+                        return Err(TestCaseError::fail(format!(
+                            "warm-started budgeted solve failed: {budgeted:?}"
+                        )));
+                    };
+                    let gap = b.gap();
+                    prop_assert!(gap >= 0.0, "negative gap {gap}");
+                    prop_assert!(
+                        gap <= last_gap + 1e-9,
+                        "gap grew from {last_gap} to {gap} at budget {budget}"
+                    );
+                    if let EngineStatus::Feasible { gap } = b.status {
+                        prop_assert!(gap >= 0.0);
+                    }
+                    // The warm-started incumbent never loses quality.
+                    prop_assert!(
+                        (b.solution.objective() - old_sol.objective()).abs() < 1e-9,
+                        "incumbent {} drifted from optimum {}",
+                        b.solution.objective(),
+                        old_sol.objective()
+                    );
+                    last_gap = gap;
+                    if b.is_optimal() {
+                        break;
+                    }
+                    budget *= 2;
+                    prop_assert!(budget < 1 << 24, "search failed to close");
+                }
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (old, engine) => {
+                return Err(TestCaseError::fail(format!(
+                    "old {old:?} disagrees with engine {engine:?}"
+                )));
+            }
+        }
+    }
+}

@@ -402,7 +402,12 @@ mod tests {
         bld.exit(ex);
         let p = bld.finish().unwrap();
         let prof = Profile::new();
-        let ts = form_traces(&p, &prof, TraceConfig::new(256, 16));
+        let ts = form_traces(
+            &p,
+            &prof,
+            TraceConfig::new(256, 16),
+            &casa_obs::Obs::disabled(),
+        );
         // Execution: (head far)*4 then exit.
         let mut seq = Vec::new();
         for _ in 0..4 {
@@ -518,7 +523,12 @@ mod tests {
         bld.exit(b);
         let p = bld.finish().unwrap();
         let prof = Profile::new();
-        let ts = form_traces(&p, &prof, TraceConfig::new(12, 4));
+        let ts = form_traces(
+            &p,
+            &prof,
+            TraceConfig::new(12, 4),
+            &casa_obs::Obs::disabled(),
+        );
         assert_eq!(ts.len(), 2, "cap must split a and b");
         let layout = Layout::initial(&p, &ts);
         let exec = ExecutionTrace::new(vec![a, b]);

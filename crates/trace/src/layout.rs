@@ -334,7 +334,12 @@ mod tests {
         bld.exit(b);
         let p = bld.finish().unwrap();
         let prof = Profile::new();
-        let ts = form_traces(&p, &prof, TraceConfig::new(256, 16));
+        let ts = form_traces(
+            &p,
+            &prof,
+            TraceConfig::new(256, 16),
+            &casa_obs::Obs::disabled(),
+        );
         (p, ts, a, b)
     }
 
@@ -428,7 +433,12 @@ mod tests {
         bld.exit(b);
         let p = bld.finish().unwrap();
         let prof = Profile::new();
-        let ts = form_traces(&p, &prof, TraceConfig::new(12, 4));
+        let ts = form_traces(
+            &p,
+            &prof,
+            TraceConfig::new(12, 4),
+            &casa_obs::Obs::disabled(),
+        );
         let ta = ts.trace_of(a);
         assert_eq!(ts.trace(ta).glue_jump_size(), Some(4));
         let l = Layout::initial(&p, &ts);

@@ -30,4 +30,6 @@ pub mod layout;
 pub mod trace;
 
 pub use layout::{Layout, Location, Region};
-pub use trace::{form_traces, form_traces_obs, Trace, TraceConfig, TraceId, TraceSet};
+#[allow(deprecated)] // shim re-exported for one PR; see its docs
+pub use trace::form_traces_obs;
+pub use trace::{form_traces, Trace, TraceConfig, TraceId, TraceSet};

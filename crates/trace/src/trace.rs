@@ -200,7 +200,46 @@ fn round_up(v: u32, to: u32) -> u32 {
 /// the scratchpad (the capacity constraint excludes it), matching the
 /// paper's rule that only traces smaller than the scratchpad are
 /// candidates.
-pub fn form_traces(program: &Program, profile: &Profile, config: TraceConfig) -> TraceSet {
+///
+/// Formation is wrapped in a `trace.form` span on `obs`, recording how
+/// many traces were built, how many needed glue jumps, the total NOP
+/// padding, and a histogram of padded trace sizes. Pass
+/// [`casa_obs::Obs::disabled`] (free) when observability is not
+/// wanted: the result is identical either way.
+pub fn form_traces(
+    program: &Program,
+    profile: &Profile,
+    config: TraceConfig,
+    obs: &casa_obs::Obs,
+) -> TraceSet {
+    let span = obs.span("trace.form");
+    let ts = form_traces_impl(program, profile, config);
+    obs.add("trace.objects", ts.len() as u64);
+    obs.add(
+        "trace.glue_jumps",
+        ts.traces()
+            .iter()
+            .filter(|t| t.glue_jump_size().is_some())
+            .count() as u64,
+    );
+    obs.add(
+        "trace.padding_bytes",
+        ts.traces()
+            .iter()
+            .map(|t| u64::from(t.padding(ts.line_size())))
+            .sum(),
+    );
+    for t in ts.traces() {
+        obs.record(
+            "trace.object_size",
+            u64::from(t.padded_size(ts.line_size())),
+        );
+    }
+    drop(span);
+    ts
+}
+
+fn form_traces_impl(program: &Program, profile: &Profile, config: TraceConfig) -> TraceSet {
     let n = program.blocks().len();
     let jump_size = program.mode().inst_bytes();
     let mut assigned = vec![false; n];
@@ -284,48 +323,30 @@ pub fn form_traces(program: &Program, profile: &Profile, config: TraceConfig) ->
     }
 }
 
-/// [`form_traces`] with observability: wraps formation in a
-/// `trace.form` span and records how many traces were built, how many
-/// needed glue jumps, the total NOP padding, and a histogram of padded
-/// trace sizes.
-///
-/// With a disabled [`casa_obs::Obs`] this is exactly [`form_traces`].
+/// Former observability twin of [`form_traces`]; the obs handle is now
+/// a parameter of the canonical function.
+#[deprecated(
+    since = "0.2.0",
+    note = "form_traces now takes the Obs handle directly; call it instead"
+)]
 pub fn form_traces_obs(
     program: &Program,
     profile: &Profile,
     config: TraceConfig,
     obs: &casa_obs::Obs,
 ) -> TraceSet {
-    let span = obs.span("trace.form");
-    let ts = form_traces(program, profile, config);
-    obs.add("trace.objects", ts.len() as u64);
-    obs.add(
-        "trace.glue_jumps",
-        ts.traces()
-            .iter()
-            .filter(|t| t.glue_jump_size().is_some())
-            .count() as u64,
-    );
-    obs.add(
-        "trace.padding_bytes",
-        ts.traces()
-            .iter()
-            .map(|t| u64::from(t.padding(ts.line_size())))
-            .sum(),
-    );
-    for t in ts.traces() {
-        obs.record(
-            "trace.object_size",
-            u64::from(t.padded_size(ts.line_size())),
-        );
-    }
-    drop(span);
-    ts
+    form_traces(program, profile, config, obs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Unobserved formation; shadows the canonical 4-arg function so
+    /// the many assertions below stay focused on trace shapes.
+    fn form_traces(program: &Program, profile: &Profile, config: TraceConfig) -> TraceSet {
+        super::form_traces(program, profile, config, &casa_obs::Obs::disabled())
+    }
     use casa_ir::inst::{InstKind, IsaMode};
     use casa_ir::ProgramBuilder;
 
@@ -436,7 +457,7 @@ mod tests {
         let plain = form_traces(&p, &prof, config);
 
         let obs = casa_obs::Obs::enabled();
-        let observed = form_traces_obs(&p, &prof, config, &obs);
+        let observed = super::form_traces(&p, &prof, config, &obs);
         assert_eq!(plain, observed);
 
         let snap = obs.snapshot();
@@ -463,8 +484,13 @@ mod tests {
 
         // A disabled Obs records nothing but returns the same traces.
         let off = casa_obs::Obs::disabled();
-        assert_eq!(form_traces_obs(&p, &prof, config, &off), plain);
+        assert_eq!(super::form_traces(&p, &prof, config, &off), plain);
         assert!(off.snapshot().is_empty());
+        // The deprecated shim stays behavior-identical for its last PR.
+        #[allow(deprecated)]
+        {
+            assert_eq!(form_traces_obs(&p, &prof, config, &off), plain);
+        }
     }
 
     #[test]

@@ -4,9 +4,14 @@
 use casa_ir::inst::{InstKind, IsaMode};
 use casa_ir::{BlockId, Profile, Program, ProgramBuilder};
 use casa_trace::layout::PlacementSemantics;
-use casa_trace::trace::{form_traces, TraceConfig};
-use casa_trace::{Layout, Region};
+use casa_trace::trace::TraceConfig;
+use casa_trace::{Layout, Region, TraceSet};
 use proptest::prelude::*;
+
+/// Unobserved formation, to keep the property bodies terse.
+fn form_traces(program: &Program, profile: &Profile, config: TraceConfig) -> TraceSet {
+    casa_trace::form_traces(program, profile, config, &casa_obs::Obs::disabled())
+}
 
 /// Build a random single-function program: a chain of blocks with a
 /// mix of fall-throughs, jumps and branches (all edges forward-or-self

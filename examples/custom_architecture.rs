@@ -47,7 +47,12 @@ fn main() {
 
     // Trace formation + profiling run (L1-only analysis, per §4 the
     // L2 needs no special handling).
-    let traces = form_traces(&w.program, &profile, TraceConfig::new(spm, 16));
+    let traces = form_traces(
+        &w.program,
+        &profile,
+        TraceConfig::new(spm, 16),
+        &casa::obs::Obs::disabled(),
+    );
     let layout0 = Layout::initial(&w.program, &traces);
     let cfg = HierarchyConfig::spm_system(l1, spm).with_l2(l2);
     let sim0 = simulate(&w.program, &traces, &layout0, &exec, &cfg).expect("profiling run");

@@ -8,7 +8,9 @@
 //! cargo run --release --example loopcache_duel
 //! ```
 
-use casa::core::flow::{run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{
+    run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig, FlowCtx, LoopCacheConfig,
+};
 use casa::energy::TechParams;
 use casa::mem::cache::CacheConfig;
 use casa::workloads::mediabench;
@@ -35,17 +37,17 @@ fn main() {
                 spm_size: size,
                 allocator: AllocatorKind::CasaBb,
                 tech: TechParams::default(),
+                trace_cap: None,
             },
+            &FlowCtx::default(),
         )
         .expect("spm flow");
         let lc = run_loop_cache_flow(
             &w.program,
             &profile,
             &exec,
-            cache,
-            size,
-            4,
-            &TechParams::default(),
+            &LoopCacheConfig::new(cache, size, 4),
+            &FlowCtx::default(),
         )
         .expect("loop cache flow");
         let units = lc

@@ -6,7 +6,7 @@
 //! cargo run --release --example mpeg_sweep
 //! ```
 
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::energy::TechParams;
 use casa::mem::cache::CacheConfig;
 use casa::workloads::mediabench;
@@ -39,8 +39,10 @@ fn main() {
                 spm_size: spm,
                 allocator: alloc,
                 tech: TechParams::default(),
+                trace_cap: None,
             };
-            let r = run_spm_flow(&w.program, &profile, &exec, &cfg).expect("flow succeeds");
+            let r = run_spm_flow(&w.program, &profile, &exec, &cfg, &FlowCtx::default())
+                .expect("flow succeeds");
             row.push(r.energy_uj());
         }
         println!(

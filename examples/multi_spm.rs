@@ -9,7 +9,7 @@
 //! ```
 
 use casa::core::conflict::ConflictGraph;
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::core::multi_spm::allocate_multi_spm;
 use casa::energy::{EnergyTable, TechParams};
 use casa::ilp::SolverOptions;
@@ -33,7 +33,9 @@ fn main() {
             spm_size: 256,
             allocator: AllocatorKind::None,
             tech: TechParams::default(),
+            trace_cap: None,
         },
+        &FlowCtx::default(),
     )
     .expect("profiling flow");
     let graph: &ConflictGraph = &probe.conflict_graph;

@@ -7,7 +7,7 @@
 //! cargo run --release --example overlay
 //! ```
 
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::core::overlay::{run_overlay_flow, OverlayMethod};
 use casa::energy::TechParams;
 use casa::ilp::SolverOptions;
@@ -53,7 +53,9 @@ fn main() {
             spm_size: spm,
             allocator: AllocatorKind::CasaBb,
             tech: TechParams::default(),
+            trace_cap: None,
         },
+        &FlowCtx::default(),
     )
     .expect("static flow");
     println!(

@@ -9,7 +9,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::energy::TechParams;
 use casa::ir::inst::IsaMode;
 use casa::mem::cache::CacheConfig;
@@ -61,6 +61,7 @@ fn main() {
         spm_size: 64,
         allocator: AllocatorKind::CasaIlpPaper, // the paper's exact ILP
         tech: TechParams::default(),
+        trace_cap: None,
     };
 
     // 4. Baseline: no allocation.
@@ -72,6 +73,7 @@ fn main() {
             allocator: AllocatorKind::None,
             ..config
         },
+        &FlowCtx::default(),
     )
     .expect("baseline flow");
     println!(
@@ -81,7 +83,14 @@ fn main() {
     );
 
     // 5. CASA.
-    let casa = run_spm_flow(&workload.program, &profile, &exec, &config).expect("CASA flow");
+    let casa = run_spm_flow(
+        &workload.program,
+        &profile,
+        &exec,
+        &config,
+        &FlowCtx::default(),
+    )
+    .expect("CASA flow");
     println!(
         "CASA:      {:>8.2} µJ ({} I-cache misses, {} objects on SPM, ILP solved in {:?})",
         casa.energy_uj(),

@@ -8,7 +8,7 @@
 //! cargo run --release --example wcet_bounds
 //! ```
 
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::core::wcet::{wcet_bound, WcetCosts};
 use casa::energy::TechParams;
 use casa::mem::cache::CacheConfig;
@@ -56,7 +56,9 @@ fn main() {
                     AllocatorKind::CasaBb
                 },
                 tech: TechParams::default(),
+                trace_cap: None,
             },
+            &FlowCtx::default(),
         )
         .expect("flow");
         let bound = wcet_bound(&w.program, &r.traces, &r.layout, &loop_bounds, &costs)

@@ -17,7 +17,7 @@
 //! paper's figure 3.
 //!
 //! ```
-//! use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+//! use casa::core::flow::{AllocatorKind, FlowConfig, FlowCtx, run_spm_flow};
 //! use casa::energy::TechParams;
 //! use casa::mem::cache::CacheConfig;
 //! use casa::workloads::{mediabench, Walker};
@@ -26,12 +26,14 @@
 //! let w = mediabench::adpcm().compile();
 //! let walker = Walker::new(&w.program, &w.behaviors);
 //! let (exec, profile) = walker.run(2004)?;
-//! let report = run_spm_flow(&w.program, &profile, &exec, &FlowConfig {
-//!     cache: CacheConfig::direct_mapped(128, 16),
-//!     spm_size: 128,
-//!     allocator: AllocatorKind::CasaBb,
-//!     tech: TechParams::default(),
-//! })?;
+//! let config = FlowConfig::builder(
+//!     CacheConfig::direct_mapped(128, 16),
+//!     128,
+//!     AllocatorKind::CasaBb,
+//! )
+//! .tech(TechParams::default())
+//! .build()?;
+//! let report = run_spm_flow(&w.program, &profile, &exec, &config, &FlowCtx::default())?;
 //! assert!(report.energy_uj() > 0.0);
 //! # Ok(())
 //! # }
@@ -44,5 +46,6 @@ pub use casa_energy as energy;
 pub use casa_ilp as ilp;
 pub use casa_ir as ir;
 pub use casa_mem as mem;
+pub use casa_obs as obs;
 pub use casa_trace as trace;
 pub use casa_workloads as workloads;

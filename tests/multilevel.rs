@@ -10,7 +10,7 @@
 //! total energy drop too.
 
 use casa::core::conflict::ConflictGraph;
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::core::report::EnergyBreakdown;
 use casa::energy::{EnergyTable, TechParams};
 use casa::mem::cache::CacheConfig;
@@ -39,7 +39,9 @@ fn l1_driven_allocation_also_cuts_l2_traffic_and_energy() {
             spm_size: 128,
             allocator: AllocatorKind::CasaBb,
             tech,
+            trace_cap: None,
         },
+        &FlowCtx::default(),
     )
     .expect("casa flow");
 
@@ -106,7 +108,9 @@ fn l2_reduces_miss_cost_but_not_the_allocation_logic() {
             spm_size: 128,
             allocator: AllocatorKind::None,
             tech: TechParams::default(),
+            trace_cap: None,
         },
+        &FlowCtx::default(),
     )
     .expect("profiling");
     let traces = &r.traces;

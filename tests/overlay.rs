@@ -1,6 +1,6 @@
 //! Integration tests for the overlay (dynamic copying) extension.
 
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::core::overlay::{run_overlay_flow, OverlayMethod};
 use casa::energy::TechParams;
 use casa::ilp::SolverOptions;
@@ -56,7 +56,9 @@ fn overlay_beats_static_on_phased_program() {
             spm_size: 96,
             allocator: AllocatorKind::CasaBb,
             tech: TechParams::default(),
+            trace_cap: None,
         },
+        &FlowCtx::default(),
     )
     .expect("static");
     let overlay = run_overlay_flow(

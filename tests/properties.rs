@@ -7,7 +7,7 @@ use casa::core::casa_bb::allocate_bb;
 use casa::core::casa_ilp::{allocate_ilp, Linearization};
 use casa::core::conflict::ConflictGraph;
 use casa::core::energy_model::EnergyModel;
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::energy::{EnergyTable, TechParams};
 use casa::ilp::SolverOptions;
 use casa::mem::cache::CacheConfig;
@@ -45,8 +45,9 @@ proptest! {
             spm_size,
             allocator: AllocatorKind::CasaBb,
             tech: TechParams::default(),
+            trace_cap: None,
         };
-        let casa = run_spm_flow(&w.program, &profile, &exec, &cfg).expect("casa flow");
+        let casa = run_spm_flow(&w.program, &profile, &exec, &cfg, &FlowCtx::default()).expect("casa flow");
         prop_assert!(casa.final_sim.check_fetch_identity());
         prop_assert!(casa.final_sim.stats.is_consistent());
         prop_assert!(casa.allocation.spm_bytes(&casa.traces) <= spm_size);
@@ -56,7 +57,8 @@ proptest! {
             &profile,
             &exec,
             &FlowConfig { allocator: AllocatorKind::None, ..cfg },
-        ).expect("baseline flow");
+        &FlowCtx::default(),
+).expect("baseline flow");
         prop_assert!(casa.energy_uj() <= base.energy_uj() + 1e-9);
         // Total fetches are identical across configurations (same
         // dynamic execution replayed).
@@ -171,8 +173,9 @@ proptest! {
             spm_size: 64,
             allocator: AllocatorKind::None,
             tech: TechParams::default(),
+            trace_cap: None,
         };
-        let r = run_spm_flow(&w.program, &profile, &exec, &cfg).expect("flow");
+        let r = run_spm_flow(&w.program, &profile, &exec, &cfg, &FlowCtx::default()).expect("flow");
         // Simulated fetches = profile fetches + glue-jump fetches;
         // glue fetches are bounded by the number of block transitions.
         let profile_fetches = profile.total_fetches(&w.program);

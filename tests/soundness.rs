@@ -2,7 +2,7 @@
 
 //! Soundness properties tying the static analyses to the simulator.
 
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::core::overlay::{allocate_overlay, allocate_overlay_dp};
 use casa::core::wcet::{wcet_bound, WcetCosts};
 use casa::energy::{EnergyTable, TechParams};
@@ -47,8 +47,10 @@ proptest! {
                     spm_size: 128,
                     allocator,
                     tech: TechParams::default(),
+                    trace_cap: None,
                 },
-            )
+            &FlowCtx::default(),
+)
             .expect("flow");
             let bound = wcet_bound(&w.program, &r.traces, &r.layout, &bounds, &costs)
                 .expect("generated programs are acyclic with bounded loops");

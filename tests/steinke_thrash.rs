@@ -14,7 +14,7 @@
 //!   sets of the hot object `A` and the two thrash on every loop
 //!   iteration.
 
-use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa::energy::TechParams;
 use casa::ir::inst::{InstKind, IsaMode};
 use casa::ir::{BlockId, Profile, ProgramBuilder};
@@ -132,6 +132,7 @@ fn config(allocator: AllocatorKind) -> FlowConfig {
         spm_size: 64,
         allocator,
         tech: TechParams::default(),
+        trace_cap: None,
     }
 }
 
@@ -146,6 +147,7 @@ fn move_semantics_recreates_conflicts_copy_does_not() {
         &s.profile,
         &s.exec,
         &config(AllocatorKind::None),
+        &FlowCtx::default(),
     )
     .expect("baseline");
     let set_range = |loc: casa::trace::Location, bytes: u32| -> Vec<u32> {
@@ -170,6 +172,7 @@ fn move_semantics_recreates_conflicts_copy_does_not() {
         &s.profile,
         &s.exec,
         &config(AllocatorKind::CasaBb),
+        &FlowCtx::default(),
     )
     .expect("casa");
     let steinke = run_spm_flow(
@@ -177,6 +180,7 @@ fn move_semantics_recreates_conflicts_copy_does_not() {
         &s.profile,
         &s.exec,
         &config(AllocatorKind::Steinke),
+        &FlowCtx::default(),
     )
     .expect("steinke");
 
@@ -225,9 +229,15 @@ fn all_casa_variants_identical_on_this_instance() {
     ]
     .into_iter()
     .map(|k| {
-        run_spm_flow(&s.program, &s.profile, &s.exec, &config(k))
-            .expect("flow")
-            .energy_uj()
+        run_spm_flow(
+            &s.program,
+            &s.profile,
+            &s.exec,
+            &config(k),
+            &FlowCtx::default(),
+        )
+        .expect("flow")
+        .energy_uj()
     })
     .collect();
     assert!((energies[0] - energies[1]).abs() < 1e-9);

@@ -1,7 +1,9 @@
 //! End-to-end integration tests: the full fig. 3 workflow on every
 //! synthetic Mediabench workload, across allocators and hierarchies.
 
-use casa::core::flow::{run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig};
+use casa::core::flow::{
+    run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig, FlowCtx, LoopCacheConfig,
+};
 use casa::energy::TechParams;
 use casa::mem::cache::{CacheConfig, ReplacementPolicy};
 use casa::workloads::{mediabench, Walker};
@@ -48,6 +50,7 @@ fn flow_config(p: &Prepared, allocator: AllocatorKind) -> FlowConfig {
         spm_size: p.spm_size,
         allocator,
         tech: TechParams::default(),
+        trace_cap: None,
     }
 }
 
@@ -59,6 +62,7 @@ fn casa_beats_doing_nothing_on_every_benchmark() {
             &p.profile,
             &p.exec,
             &flow_config(&p, AllocatorKind::None),
+            &FlowCtx::default(),
         )
         .expect("baseline");
         let casa = run_spm_flow(
@@ -66,6 +70,7 @@ fn casa_beats_doing_nothing_on_every_benchmark() {
             &p.profile,
             &p.exec,
             &flow_config(&p, AllocatorKind::CasaBb),
+            &FlowCtx::default(),
         )
         .expect("casa");
         assert!(
@@ -91,8 +96,14 @@ fn capacity_constraint_respected_by_every_allocator() {
             AllocatorKind::CasaGreedy,
             AllocatorKind::Steinke,
         ] {
-            let r = run_spm_flow(&p.program, &p.profile, &p.exec, &flow_config(&p, kind))
-                .expect("flow");
+            let r = run_spm_flow(
+                &p.program,
+                &p.profile,
+                &p.exec,
+                &flow_config(&p, kind),
+                &FlowCtx::default(),
+            )
+            .expect("flow");
             let used = r.allocation.spm_bytes(&r.traces);
             assert!(
                 used <= p.spm_size,
@@ -120,6 +131,7 @@ fn exact_casa_never_worse_than_greedy_in_the_model() {
             &p.profile,
             &p.exec,
             &flow_config(&p, AllocatorKind::CasaBb),
+            &FlowCtx::default(),
         )
         .expect("exact");
         let greedy = run_spm_flow(
@@ -127,6 +139,7 @@ fn exact_casa_never_worse_than_greedy_in_the_model() {
             &p.profile,
             &p.exec,
             &flow_config(&p, AllocatorKind::CasaGreedy),
+            &FlowCtx::default(),
         )
         .expect("greedy");
         let (e, g) = (
@@ -150,10 +163,8 @@ fn loop_cache_never_preloads_more_than_four_objects() {
             &p.program,
             &p.profile,
             &p.exec,
-            CacheConfig::direct_mapped(p.cache_size, 16),
-            p.spm_size,
-            4,
-            &TechParams::default(),
+            &LoopCacheConfig::new(CacheConfig::direct_mapped(p.cache_size, 16), p.spm_size, 4),
+            &FlowCtx::default(),
         )
         .expect("loop-cache flow");
         let lc = r.loop_cache.expect("assignment present");
@@ -171,6 +182,7 @@ fn workflow_is_deterministic() {
         &p.profile,
         &p.exec,
         &flow_config(p, AllocatorKind::CasaBb),
+        &FlowCtx::default(),
     )
     .expect("run 1");
     let b = run_spm_flow(
@@ -178,6 +190,7 @@ fn workflow_is_deterministic() {
         &p.profile,
         &p.exec,
         &flow_config(p, AllocatorKind::CasaBb),
+        &FlowCtx::default(),
     )
     .expect("run 2");
     assert_eq!(a.allocation.on_spm, b.allocation.on_spm);
@@ -204,8 +217,9 @@ fn replacement_policies_all_supported_end_to_end() {
             spm_size: p.spm_size,
             allocator: AllocatorKind::CasaBb,
             tech: TechParams::default(),
+            trace_cap: None,
         };
-        let r = run_spm_flow(&p.program, &p.profile, &p.exec, &cfg)
+        let r = run_spm_flow(&p.program, &p.profile, &p.exec, &cfg, &FlowCtx::default())
             .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
         assert!(r.final_sim.check_fetch_identity(), "{policy:?}");
         assert!(r.energy_uj() > 0.0);
@@ -226,6 +240,7 @@ fn two_level_claim_multilevel_cache_unchanged_formulation() {
         &p.profile,
         &p.exec,
         &flow_config(p, AllocatorKind::CasaBb),
+        &FlowCtx::default(),
     )
     .expect("casa");
     let none = run_spm_flow(
@@ -233,6 +248,7 @@ fn two_level_claim_multilevel_cache_unchanged_formulation() {
         &p.profile,
         &p.exec,
         &flow_config(p, AllocatorKind::None),
+        &FlowCtx::default(),
     )
     .expect("none");
     // Fewer L1 misses means fewer L2 accesses by construction.
@@ -281,7 +297,9 @@ fn thumb_mode_workflow_end_to_end() {
                 spm_size: 64,
                 allocator,
                 tech: TechParams::default(),
+                trace_cap: None,
             },
+            &FlowCtx::default(),
         )
         .unwrap_or_else(|e| panic!("{allocator:?}: {e}"));
         assert!(r.final_sim.check_fetch_identity(), "{allocator:?}");
@@ -297,7 +315,9 @@ fn thumb_mode_workflow_end_to_end() {
             spm_size: 64,
             allocator: AllocatorKind::None,
             tech: TechParams::default(),
+            trace_cap: None,
         },
+        &FlowCtx::default(),
     )
     .expect("baseline");
     let casa = run_spm_flow(
@@ -309,7 +329,9 @@ fn thumb_mode_workflow_end_to_end() {
             spm_size: 64,
             allocator: AllocatorKind::CasaBb,
             tech: TechParams::default(),
+            trace_cap: None,
         },
+        &FlowCtx::default(),
     )
     .expect("casa");
     assert!(casa.energy_uj() <= none.energy_uj());
