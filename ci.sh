@@ -30,6 +30,32 @@ test -s /tmp/casa_trace.json || { echo "trace file empty or missing"; exit 1; }
 cargo run --release -q -p casa-bench --bin diag -- --render-trace /tmp/casa_trace.json | grep -q "simulate" \
   || { echo "trace does not cover the simulate phase"; exit 1; }
 
+echo "== regression sentinel: two identical smoke runs must not regress"
+# Two back-to-back runs of the same grid append two history records;
+# the second is byte-identical on every deterministic column, so the
+# sentinel must report a clean pass (exit 0) and say so in the
+# machine verdict.
+rm -f /tmp/casa_history.jsonl /tmp/casa_regress.json
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke --history-out /tmp/casa_history.jsonl)
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke --history-out /tmp/casa_history.jsonl)
+cargo run --release -q -p casa-bench --bin sentinel -- --history /tmp/casa_history.jsonl --out /tmp/casa_regress.json \
+  || { echo "sentinel flagged a regression between identical runs"; exit 1; }
+grep -q '"verdict":"pass"' /tmp/casa_regress.json \
+  || { echo "machine verdict is not a pass"; exit 1; }
+
+echo "== flight recorder: deliberate panic must leave a readable dump"
+# CASA_SELFTEST_PANIC makes the sweep bin panic after the grid runs;
+# the installed panic hook must write the flight ring to the sink,
+# and diag --flight must round-trip it back into a table.
+rm -f /tmp/casa_flight.json
+if (cd /tmp && CASA_TRACE=1 CASA_SELFTEST_PANIC=1 cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke --history-out /tmp/casa_selftest_history.jsonl --flight-dump /tmp/casa_flight.json) 2>/dev/null; then
+  echo "self-test panic did not fire"; exit 1
+fi
+rm -f /tmp/casa_selftest_history.jsonl
+test -s /tmp/casa_flight.json || { echo "flight dump empty or missing"; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- --flight /tmp/casa_flight.json | grep -q "cell" \
+  || { echo "flight dump does not cover the cell phase"; exit 1; }
+
 echo "== budget-stress smoke: sweep --smoke --budget-nodes 1"
 # The harshest anytime setting: a single search node per cell. The
 # sweep bin itself asserts every cell still answers (status present;

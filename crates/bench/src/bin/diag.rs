@@ -4,19 +4,26 @@
 //! reproduced tables.
 //!
 //! Usage: `cargo run --release -p casa-bench --bin diag
-//!         [--trace-out <path>] [--render-trace <path>]`
+//!         [--trace-out <path>] [--render-trace <path>]
+//!         [--flight <path>]`
 //!
 //! With `--trace-out` (or `CASA_TRACE=1`) the flows run instrumented
 //! and a per-phase span-tree table is printed at the end.
 //! `--render-trace <path>` instead re-parses a previously captured
 //! Chrome `trace_event` file and prints its span tree, then exits.
+//! `--flight <path>` re-parses a flight-recorder dump (written on
+//! panic, on engine degradation, or by `Obs::dump_flight`) and prints
+//! its events as a time-ordered table, then exits.
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
 use casa_bench::runner::{cli_obs, prepared};
 use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa_energy::TechParams;
 use casa_mem::cache::CacheConfig;
-use casa_obs::{render_span_table, EventKind, TraceEvent};
+use casa_obs::{
+    render_flight_table, render_span_table, ArgValue, EventKind, FlightEvent, FlightKind,
+    TraceEvent,
+};
 use casa_workloads::mediabench;
 
 /// Rebuild span/instant events from a Chrome `trace_event` JSON file.
@@ -49,6 +56,40 @@ fn parse_chrome_trace(json: &str) -> Vec<TraceEvent> {
         .collect()
 }
 
+/// Rebuild [`FlightEvent`]s from a flight-recorder dump
+/// (`flight_dump_json` output). Unknown kinds are skipped rather than
+/// fatal, so a newer dump still renders on an older `diag`.
+fn parse_flight_dump(json: &str) -> (Vec<FlightEvent>, u64, u64) {
+    let v = serde::json::parse(json).expect("malformed flight-dump JSON");
+    assert!(
+        v.get("casa_flight").and_then(|x| x.as_f64()).is_some(),
+        "not a flight dump (missing casa_flight version field)"
+    );
+    let capacity = v.get("capacity").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+    let dropped = v.get("dropped").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+    let events = v
+        .get("events")
+        .and_then(|e| e.as_array())
+        .expect("events array")
+        .iter()
+        .filter_map(|e| {
+            let value = e.get("value").and_then(|val| {
+                val.as_str()
+                    .map(|s| ArgValue::Str(s.to_string()))
+                    .or_else(|| val.as_f64().map(ArgValue::F64))
+            });
+            Some(FlightEvent {
+                seq: e.get("seq")?.as_f64()? as u64,
+                ts_us: e.get("ts_us")?.as_f64()? as u64,
+                kind: FlightKind::from_tag(e.get("kind")?.as_str()?)?,
+                name: e.get("name")?.as_str()?.to_string(),
+                value,
+            })
+        })
+        .collect();
+    (events, capacity, dropped)
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -59,6 +100,18 @@ fn main() {
             let events = parse_chrome_trace(&json);
             println!("span tree of {path} ({} events):", events.len());
             print!("{}", render_span_table(&events));
+            return;
+        }
+        if a == "--flight" {
+            let path = args.next().expect("--flight needs a path");
+            let json =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            let (events, capacity, dropped) = parse_flight_dump(&json);
+            println!(
+                "flight buffer {path}: {} event(s), capacity {capacity}, {dropped} dropped",
+                events.len()
+            );
+            print!("{}", render_flight_table(&events));
             return;
         }
     }

@@ -1,0 +1,62 @@
+//! Noise-aware regression sentinel over `BENCH_history.jsonl`.
+//!
+//! Treats the newest history record as "the current run", diffs it
+//! against the median of the last K comparable records (same schema
+//! version and grid fingerprint), prints the human verdict table, and
+//! writes the machine verdict to `BENCH_regress.json`.
+//!
+//! Usage: `cargo run --release -p casa-bench --bin sentinel --
+//!         [--history <path>] [--k <n>] [--wall-tol <frac>]
+//!         [--out <path>]`
+//!
+//! Defaults: `--history BENCH_history.jsonl`, `--k 5`,
+//! `--wall-tol 0.5`, `--out BENCH_regress.json`.
+//!
+//! Exit status: 0 on pass (including "no baseline yet"), 1 on
+//! regression, 2 on usage/IO errors — so CI can gate on it.
+
+use casa_bench::history::read_history;
+use casa_bench::runner::cli_value;
+use casa_bench::sentinel::{compare, regress_json, render_report, SentinelConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let history_path = cli_value("--history").unwrap_or_else(|| "BENCH_history.jsonl".to_string());
+    let out_path = cli_value("--out").unwrap_or_else(|| "BENCH_regress.json".to_string());
+    let mut cfg = SentinelConfig::default();
+    if let Some(k) = cli_value("--k") {
+        cfg.k = k.parse().expect("--k takes an integer");
+    }
+    if let Some(tol) = cli_value("--wall-tol") {
+        cfg.wall_tol = tol.parse().expect("--wall-tol takes a fraction, e.g. 0.5");
+    }
+
+    let log = match read_history(std::path::Path::new(&history_path)) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("sentinel: cannot read {history_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if log.skipped_lines > 0 {
+        eprintln!(
+            "sentinel: skipped {} unreadable line(s) in {history_path}",
+            log.skipped_lines
+        );
+    }
+    let Some(current) = log.records.last() else {
+        eprintln!("sentinel: {history_path} has no readable records; run `sweep` first");
+        return ExitCode::from(2);
+    };
+
+    let report = compare(current, &log.records, &cfg);
+    print!("{}", render_report(&report));
+    std::fs::write(&out_path, regress_json(&report))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    if report.pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -8,22 +8,34 @@
 //! `BENCH_sweep.json`.
 //!
 //! Usage: `cargo run --release -p casa-bench --bin sweep [scale]
-//!         [--smoke] [--trace-out <path>]
+//!         [--smoke] [--trace-out <path>] [--flight-dump <path>]
+//!         [--history-out <path>]
 //!         [--budget-nodes <n>] [--budget-ms <ms>]`
 //! Worker count: `CASA_SWEEP_THREADS` (default: available cores).
 //! `--smoke` swaps the full grid for [`SweepGrid::smoke`] (one adpcm
 //! workload, three cells) — the CI smoke configuration.
 //! `--trace-out <path>` (or `CASA_TRACE=1`) instruments every flow
-//! phase and writes a Chrome `trace_event` timeline.
+//! phase and writes a Chrome `trace_event` timeline; instrumented
+//! runs also arm the flight recorder's dump sink (`--flight-dump
+//! <path>` / `CASA_FLIGHT_DUMP`) and panic hook.
 //! `--budget-nodes <n>` / `--budget-ms <ms>` solve every cell under
 //! the given anytime budget: cells then report `status` (`optimal` /
 //! `feasible` / `fallback`) and the proven optimality `gap`. Node
 //! budgets keep the byte-identical determinism guarantee; wall-clock
 //! budgets are machine-dependent, so the byte-equality check is
 //! skipped and `deterministic_json` redacts the affected columns.
+//!
+//! Outputs are split by audience: `BENCH_sweep.json` is the **latest
+//! run** in full (overwritten every time — what the experiment docs
+//! and plots read), while `--history-out <path>` (default
+//! `BENCH_history.jsonl`) gets one compact [`HistoryRecord`] line
+//! **appended** per run — the longitudinal log the `sentinel` bin
+//! diffs for regressions.
 
-use casa_bench::runner::{cli_budget, cli_obs, cli_scale};
+use casa_bench::history::{append_record, unix_now_s, HistoryRecord};
+use casa_bench::runner::{cli_budget, cli_obs, cli_scale, cli_value};
 use casa_bench::sweep::{sweep_threads, SweepGrid};
+use std::path::Path;
 
 fn main() {
     let scale = cli_scale();
@@ -116,7 +128,25 @@ fn main() {
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     println!("wrote BENCH_sweep.json ({} bytes)", json.len());
+
+    // Longitudinal record: BENCH_sweep.json holds only the latest run,
+    // so the sentinel's baseline lives in an append-only JSONL log.
+    let history_path =
+        cli_value("--history-out").unwrap_or_else(|| "BENCH_history.jsonl".to_string());
+    let record = HistoryRecord::from_report(&parallel, &grid.fingerprint(), unix_now_s());
+    append_record(Path::new(&history_path), &record)
+        .unwrap_or_else(|e| panic!("append {history_path}: {e}"));
+    println!("appended run record to {history_path}");
+
     if let Some(path) = cli.finish() {
         println!("wrote Chrome trace to {}", path.display());
+    }
+
+    // CI self-test of the crash path: a deliberate panic *after* the
+    // sweep has filled the flight ring, so the installed hook must
+    // leave a non-empty dump at the configured sink. A real panic (not
+    // debug_assert!) so the release binary CI runs exercises it too.
+    if std::env::var("CASA_SELFTEST_PANIC").is_ok_and(|v| !v.is_empty() && v != "0") {
+        panic!("CASA_SELFTEST_PANIC: deliberate crash to exercise the flight-dump path");
     }
 }

@@ -31,7 +31,35 @@ const VALUE_FLAGS: &[&str] = &[
     "--render-trace",
     "--budget-nodes",
     "--budget-ms",
+    "--flight-dump",
+    "--flight",
+    "--history-out",
+    "--history",
+    "--k",
+    "--out",
+    "--wall-tol",
 ];
+
+/// The value following `--<name>` on the command line, if present.
+/// Shared by the binaries for their value-taking flags; a flag listed
+/// in [`VALUE_FLAGS`] stays invisible to [`cli_scale`].
+///
+/// # Panics
+///
+/// Panics when the flag is present without a following value
+/// (experiment drivers want loud failures).
+pub fn cli_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value")),
+            );
+        }
+    }
+    None
+}
 
 /// The optional positional `[scale]` argument shared by the
 /// experiment binaries: the first CLI argument that parses as an
@@ -93,6 +121,11 @@ pub fn cli_budget() -> Budget {
 /// the command line; [`CliObs::finish`] then writes the Chrome
 /// `trace_event` JSON (open with `chrome://tracing` or Perfetto) to
 /// the requested path, defaulting to `casa_trace.json`.
+///
+/// When instrumentation is on, the flight recorder's dump sink is
+/// also wired up — to `--flight-dump <path>` or `CASA_FLIGHT_DUMP`,
+/// defaulting to `casa_flight_dump.json` — and a panic hook is
+/// installed so a crash leaves the recent-event ring on disk.
 #[derive(Debug)]
 pub struct CliObs {
     /// The observability handle to thread through the flows.
@@ -101,22 +134,27 @@ pub struct CliObs {
     pub trace_out: Option<PathBuf>,
 }
 
-/// Parse `--trace-out` / `CASA_TRACE` from the environment.
+/// Parse `--trace-out` / `CASA_TRACE` / `--flight-dump` /
+/// `CASA_FLIGHT_DUMP` from the environment.
 pub fn cli_obs() -> CliObs {
-    let mut trace_out = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--trace-out" {
-            trace_out = Some(PathBuf::from(
-                args.next().expect("--trace-out needs a path"),
-            ));
-        }
-    }
+    let trace_out = cli_value("--trace-out").map(PathBuf::from);
     let obs = if trace_out.is_some() {
         Obs::enabled()
     } else {
         Obs::from_env()
     };
+    if obs.is_enabled() {
+        let sink = cli_value("--flight-dump")
+            .or_else(|| {
+                std::env::var("CASA_FLIGHT_DUMP")
+                    .ok()
+                    .filter(|s| !s.is_empty())
+            })
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("casa_flight_dump.json"));
+        obs.set_flight_sink(Some(sink));
+        obs.install_panic_hook();
+    }
     CliObs { obs, trace_out }
 }
 

@@ -1,0 +1,616 @@
+//! Noise-aware regression sentinel over the run-history store.
+//!
+//! Diffs the newest [`HistoryRecord`] against the **median of the last
+//! K** comparable records (same schema version, same grid
+//! fingerprint) with per-metric policies:
+//!
+//! * **Exact** for metrics the sweep proves deterministic — per-cell
+//!   `energy_uj`, `solver_nodes`, `gap`, `status`, `cache_misses`.
+//!   These are byte-identical across worker counts by construction
+//!   (see `SweepReport::deterministic_json`), so *any* drift is a real
+//!   behaviour change and fails the check.
+//! * **Relative** for wall clocks — phase rollups and the sweep's
+//!   prepare/execute/total seconds — which are legitimately noisy. A
+//!   wall-clock check fails only when the current value exceeds the
+//!   baseline median by more than [`SentinelConfig::wall_tol`]
+//!   relative **and** [`SentinelConfig::wall_floor_secs`] absolute, so
+//!   scheduler jitter on a 3 ms phase can never page anyone.
+//!
+//! The median is the *lower median* (an actually-observed value), so
+//! exact comparisons never manufacture a value no run produced.
+//!
+//! Verdicts are emitted twice: a human-readable table
+//! ([`render_report`]) and a machine document ([`regress_json`],
+//! written as `BENCH_regress.json` by the `sentinel` bin, which exits
+//! non-zero on regression so CI can gate on it).
+
+use crate::history::{HistoryCell, HistoryRecord};
+use casa_obs::{jnum, json_escape};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version of the `BENCH_regress.json` document.
+pub const REGRESS_SCHEMA: u32 = 1;
+
+/// Sentinel knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelConfig {
+    /// How many prior comparable records form the baseline (the most
+    /// recent `k` are used; fewer is fine).
+    pub k: usize,
+    /// Relative tolerance for wall-clock metrics (0.5 = +50%).
+    pub wall_tol: f64,
+    /// Absolute floor for wall-clock regressions, seconds: deltas
+    /// smaller than this never fail regardless of ratio.
+    pub wall_floor_secs: f64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            k: 5,
+            wall_tol: 0.5,
+            wall_floor_secs: 0.05,
+        }
+    }
+}
+
+/// Which comparison policy a check ran under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Deterministic metric: any difference from the baseline median
+    /// is a regression.
+    Exact,
+    /// Noisy wall-clock metric: fails only beyond the relative
+    /// tolerance and the absolute floor.
+    Relative,
+}
+
+impl Policy {
+    /// Stable lowercase tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Policy::Exact => "exact",
+            Policy::Relative => "relative",
+        }
+    }
+}
+
+/// Baseline/current pair of one checked metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckValue {
+    /// Numeric metric.
+    Num {
+        /// Baseline median.
+        baseline: f64,
+        /// Current run's value.
+        current: f64,
+    },
+    /// Categorical metric (e.g. allocation `status`).
+    Tag {
+        /// Baseline consensus (modal value).
+        baseline: String,
+        /// Current run's value.
+        current: String,
+    },
+}
+
+/// One evaluated metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Metric path, e.g. `cell[adpcm/.../l64].energy_uj` or
+    /// `phase[simulate].total_us`.
+    pub metric: String,
+    /// Policy the comparison used.
+    pub policy: Policy,
+    /// The compared values.
+    pub value: CheckValue,
+    /// Whether the check passed.
+    pub ok: bool,
+}
+
+/// Outcome of one sentinel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelReport {
+    /// `true` when every check passed (also when there was no
+    /// baseline to compare against).
+    pub pass: bool,
+    /// Comparable baseline records actually used.
+    pub baseline_runs: usize,
+    /// Grid fingerprint of the compared runs.
+    pub grid_hash: String,
+    /// Every evaluated metric, cells first, wall clocks after.
+    pub checks: Vec<Check>,
+    /// Human-readable context ("no baseline yet", skipped-line
+    /// counts, ...).
+    pub notes: Vec<String>,
+}
+
+impl SentinelReport {
+    /// Failing checks only.
+    pub fn regressions(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+}
+
+/// Lower median of `values` (an observed value, not an average), or
+/// `None` when empty.
+fn lower_median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
+    Some(values[(values.len() - 1) / 2])
+}
+
+/// Most frequent value; ties resolve to the lexicographically first so
+/// the verdict does not depend on record order.
+fn modal(values: &[&str]) -> Option<String> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in values {
+        *counts.entry(v).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+        .map(|(v, _)| v.to_string())
+}
+
+/// `Option<u64>` → comparable f64: `None` (no tree search) maps to -1,
+/// which no real count produces, so a `Some`/`None` flip is caught as
+/// a plain mismatch.
+fn opt_num(v: Option<f64>) -> f64 {
+    v.unwrap_or(-1.0)
+}
+
+fn exact_check(metric: String, baseline: f64, current: f64) -> Check {
+    Check {
+        metric,
+        policy: Policy::Exact,
+        ok: baseline == current,
+        value: CheckValue::Num { baseline, current },
+    }
+}
+
+fn relative_check(
+    cfg: &SentinelConfig,
+    metric: String,
+    baseline_secs: f64,
+    current_secs: f64,
+) -> Check {
+    let over = current_secs - baseline_secs;
+    let ok = !(over > cfg.wall_floor_secs && current_secs > baseline_secs * (1.0 + cfg.wall_tol));
+    Check {
+        metric,
+        policy: Policy::Relative,
+        ok,
+        value: CheckValue::Num {
+            baseline: baseline_secs,
+            current: current_secs,
+        },
+    }
+}
+
+/// Compare `current` against the last [`SentinelConfig::k`] records of
+/// `history` that share its schema version and grid fingerprint.
+/// `history` is the full chronological log; `current` itself is
+/// excluded by identity (the last record of the log is typically the
+/// current run).
+pub fn compare(
+    current: &HistoryRecord,
+    history: &[HistoryRecord],
+    cfg: &SentinelConfig,
+) -> SentinelReport {
+    let comparable: Vec<&HistoryRecord> = history
+        .iter()
+        .filter(|r| {
+            !std::ptr::eq(*r, current)
+                && r.schema_version == current.schema_version
+                && r.grid_hash == current.grid_hash
+        })
+        .collect();
+    let baseline: Vec<&HistoryRecord> =
+        comparable.iter().rev().take(cfg.k).rev().copied().collect();
+
+    let mut report = SentinelReport {
+        pass: true,
+        baseline_runs: baseline.len(),
+        grid_hash: current.grid_hash.clone(),
+        checks: Vec::new(),
+        notes: Vec::new(),
+    };
+    if baseline.is_empty() {
+        report
+            .notes
+            .push("no comparable baseline records; nothing to diff".to_string());
+        return report;
+    }
+
+    // Per-cell deterministic columns.
+    for cell in &current.cells {
+        let key = cell.key();
+        let peers: Vec<&HistoryCell> = baseline
+            .iter()
+            .filter_map(|r| r.cells.iter().find(|c| c.key() == key))
+            .collect();
+        if peers.is_empty() {
+            report
+                .notes
+                .push(format!("cell {key} has no baseline peers"));
+            continue;
+        }
+        let median_of = |f: &dyn Fn(&HistoryCell) -> f64| {
+            lower_median(&mut peers.iter().map(|c| f(c)).collect::<Vec<f64>>())
+                .expect("peers non-empty")
+        };
+        report.checks.push(exact_check(
+            format!("cell[{key}].energy_uj"),
+            median_of(&|c| c.energy_uj),
+            cell.energy_uj,
+        ));
+        report.checks.push(exact_check(
+            format!("cell[{key}].cache_misses"),
+            median_of(&|c| c.cache_misses as f64),
+            cell.cache_misses as f64,
+        ));
+        report.checks.push(exact_check(
+            format!("cell[{key}].solver_nodes"),
+            median_of(&|c| opt_num(c.solver_nodes.map(|n| n as f64))),
+            opt_num(cell.solver_nodes.map(|n| n as f64)),
+        ));
+        report.checks.push(exact_check(
+            format!("cell[{key}].gap"),
+            median_of(&|c| opt_num(c.gap)),
+            opt_num(cell.gap),
+        ));
+        let statuses: Vec<&str> = peers.iter().map(|c| c.status.as_str()).collect();
+        let consensus = modal(&statuses).expect("peers non-empty");
+        report.checks.push(Check {
+            metric: format!("cell[{key}].status"),
+            policy: Policy::Exact,
+            ok: consensus == cell.status,
+            value: CheckValue::Tag {
+                baseline: consensus,
+                current: cell.status.clone(),
+            },
+        });
+    }
+
+    // Wall clocks: phase rollups (µs, compared in seconds) then the
+    // sweep aggregates.
+    for phase in &current.phases {
+        let mut peers: Vec<f64> = baseline
+            .iter()
+            .filter_map(|r| r.phases.iter().find(|p| p.name == phase.name))
+            .map(|p| p.total_us as f64 / 1e6)
+            .collect();
+        if let Some(base) = lower_median(&mut peers) {
+            report.checks.push(relative_check(
+                cfg,
+                format!("phase[{}].total_secs", phase.name),
+                base,
+                phase.total_us as f64 / 1e6,
+            ));
+        }
+    }
+    for (name, get) in [
+        (
+            "prepare_secs",
+            (|r: &HistoryRecord| r.prepare_secs) as fn(&HistoryRecord) -> f64,
+        ),
+        ("execute_secs", |r| r.execute_secs),
+        ("total_secs", |r| r.total_secs),
+    ] {
+        let base = lower_median(&mut baseline.iter().map(|r| get(r)).collect::<Vec<f64>>())
+            .expect("baseline non-empty");
+        report.checks.push(relative_check(
+            cfg,
+            format!("sweep.{name}"),
+            base,
+            get(current),
+        ));
+    }
+
+    report.pass = report.checks.iter().all(|c| c.ok);
+    report
+}
+
+/// Render the human verdict table.
+pub fn render_report(r: &SentinelReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "sentinel: grid {} vs median of {} baseline run(s)",
+        r.grid_hash, r.baseline_runs
+    );
+    for note in &r.notes {
+        let _ = writeln!(s, "  note: {note}");
+    }
+    let _ = writeln!(
+        s,
+        "{:<58} {:>14} {:>14} {:>9} {:<8} verdict",
+        "metric", "baseline", "current", "delta", "policy"
+    );
+    for c in &r.checks {
+        let (b, cur, delta) = match &c.value {
+            CheckValue::Num { baseline, current } => {
+                let delta = if *baseline != 0.0 {
+                    format!("{:+.2}%", 100.0 * (current - baseline) / baseline)
+                } else if current == baseline {
+                    "+0.00%".to_string()
+                } else {
+                    "n/a".to_string()
+                };
+                (format!("{baseline:.6}"), format!("{current:.6}"), delta)
+            }
+            CheckValue::Tag { baseline, current } => {
+                (baseline.clone(), current.clone(), "-".to_string())
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{:<58} {:>14} {:>14} {:>9} {:<8} {}",
+            c.metric,
+            b,
+            cur,
+            delta,
+            c.policy.as_str(),
+            if c.ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    let _ = writeln!(
+        s,
+        "verdict: {} ({} checks, {} regressions)",
+        if r.pass { "PASS" } else { "REGRESSION" },
+        r.checks.len(),
+        r.regressions().len()
+    );
+    s
+}
+
+/// Serialize the machine verdict (`BENCH_regress.json`).
+pub fn regress_json(r: &SentinelReport) -> String {
+    let mut s = format!(
+        "{{\"schema_version\":{REGRESS_SCHEMA},\"verdict\":\"{}\",\"grid_hash\":\"{}\",\
+         \"baseline_runs\":{},\"notes\":[",
+        if r.pass { "pass" } else { "regression" },
+        json_escape(&r.grid_hash),
+        r.baseline_runs,
+    );
+    for (i, n) in r.notes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", json_escape(n));
+    }
+    s.push_str("],\"checks\":[");
+    for (i, c) in r.checks.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let (b, cur) = match &c.value {
+            CheckValue::Num { baseline, current } => (jnum(*baseline), jnum(*current)),
+            CheckValue::Tag { baseline, current } => (
+                format!("\"{}\"", json_escape(baseline)),
+                format!("\"{}\"", json_escape(current)),
+            ),
+        };
+        let _ = write!(
+            s,
+            "{{\"metric\":\"{}\",\"policy\":\"{}\",\"baseline\":{},\"current\":{},\"ok\":{}}}",
+            json_escape(&c.metric),
+            c.policy.as_str(),
+            b,
+            cur,
+            c.ok
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryCell;
+    use crate::sweep::PhaseRollup;
+
+    fn cell(energy: f64, nodes: Option<u64>, status: &str) -> HistoryCell {
+        HistoryCell {
+            benchmark: "adpcm".to_string(),
+            scale: 1,
+            seed: 2004,
+            flavor: "spm:CasaBb".to_string(),
+            cache_size: 128,
+            policy: "Lru".to_string(),
+            local_size: 64,
+            energy_uj: energy,
+            cache_misses: 4096,
+            solver_nodes: nodes,
+            status: status.to_string(),
+            gap: Some(0.0),
+            solver_secs: 0.01,
+            cell_secs: 0.05,
+        }
+    }
+
+    fn record(energy: f64, total_secs: f64) -> HistoryRecord {
+        HistoryRecord {
+            schema_version: 1,
+            ts_unix_s: 1_700_000_000,
+            grid_hash: "feedfacefeedface".to_string(),
+            threads: 1,
+            prepare_secs: 0.1,
+            execute_secs: total_secs - 0.1,
+            total_secs,
+            cells: vec![cell(energy, Some(20), "optimal")],
+            phases: vec![PhaseRollup {
+                name: "simulate".to_string(),
+                count: 3,
+                total_us: 900_000,
+            }],
+            metrics: Default::default(),
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let history = vec![record(100.0, 1.0), record(100.0, 1.05), record(100.0, 1.0)];
+        let r = compare(
+            history.last().unwrap(),
+            &history,
+            &SentinelConfig::default(),
+        );
+        assert!(r.pass, "{}", render_report(&r));
+        assert_eq!(r.baseline_runs, 2);
+        assert!(r.checks.iter().any(|c| c.metric.contains("energy_uj")));
+        assert!(regress_json(&r).contains("\"verdict\":\"pass\""));
+    }
+
+    #[test]
+    fn detects_injected_five_percent_energy_perturbation() {
+        // The acceptance-criterion case: a +5% energy drift — well
+        // within plausible "it still looks fine" territory for a human
+        // eyeballing BENCH_sweep.json — must fail the exact policy.
+        let mut history = vec![record(100.0, 1.0), record(100.0, 1.0), record(100.0, 1.0)];
+        let mut bad = record(100.0, 1.0);
+        bad.cells[0].energy_uj *= 1.05;
+        history.push(bad);
+        let r = compare(
+            history.last().unwrap(),
+            &history,
+            &SentinelConfig::default(),
+        );
+        assert!(!r.pass);
+        let regressions = r.regressions();
+        assert_eq!(regressions.len(), 1, "{}", render_report(&r));
+        assert!(regressions[0].metric.ends_with(".energy_uj"));
+        assert_eq!(regressions[0].policy, Policy::Exact);
+        match &regressions[0].value {
+            CheckValue::Num { baseline, current } => {
+                assert_eq!(*baseline, 100.0);
+                assert_eq!(*current, 105.0);
+            }
+            other => panic!("numeric check expected, got {other:?}"),
+        }
+        assert!(regress_json(&r).contains("\"verdict\":\"regression\""));
+        assert!(render_report(&r).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn wall_clock_noise_tolerated_but_blowups_flagged() {
+        let history = vec![record(100.0, 1.0), record(100.0, 1.1), record(100.0, 0.9)];
+        // +20% wall clock: inside the 50% tolerance → pass.
+        let mut noisy = record(100.0, 1.2);
+        noisy.phases[0].total_us = 1_080_000; // +20%
+        let mut h = history.clone();
+        h.push(noisy);
+        let r = compare(h.last().unwrap(), &h, &SentinelConfig::default());
+        assert!(r.pass, "{}", render_report(&r));
+        // 3x wall clock: beyond tolerance and floor → regression, and
+        // only on the relative checks.
+        let mut slow = record(100.0, 3.0);
+        slow.phases[0].total_us = 2_700_000;
+        let mut h = history.clone();
+        h.push(slow);
+        let r = compare(h.last().unwrap(), &h, &SentinelConfig::default());
+        assert!(!r.pass);
+        assert!(r.regressions().iter().all(|c| c.policy == Policy::Relative));
+        assert!(r
+            .regressions()
+            .iter()
+            .any(|c| c.metric == "phase[simulate].total_secs"));
+    }
+
+    #[test]
+    fn tiny_absolute_wall_clock_deltas_never_fail() {
+        // 4x slower but only 30 ms absolute: under the floor → ok.
+        let history = vec![record(100.0, 0.01), record(100.0, 0.01)];
+        let mut h = history.clone();
+        h.push(record(100.0, 0.04));
+        let r = compare(h.last().unwrap(), &h, &SentinelConfig::default());
+        assert!(r.pass, "{}", render_report(&r));
+    }
+
+    #[test]
+    fn status_flip_and_node_count_drift_are_regressions() {
+        let history = vec![record(100.0, 1.0), record(100.0, 1.0)];
+        let mut bad = record(100.0, 1.0);
+        bad.cells[0].status = "fallback".to_string();
+        bad.cells[0].solver_nodes = Some(21);
+        let mut h = history;
+        h.push(bad);
+        let r = compare(h.last().unwrap(), &h, &SentinelConfig::default());
+        assert!(!r.pass);
+        let failed: Vec<&str> = r.regressions().iter().map(|c| c.metric.as_str()).collect();
+        assert!(failed.iter().any(|m| m.ends_with(".status")));
+        assert!(failed.iter().any(|m| m.ends_with(".solver_nodes")));
+    }
+
+    #[test]
+    fn solver_nodes_some_none_flip_is_caught() {
+        let history = vec![record(100.0, 1.0), record(100.0, 1.0)];
+        let mut bad = record(100.0, 1.0);
+        bad.cells[0].solver_nodes = None;
+        let mut h = history;
+        h.push(bad);
+        let r = compare(h.last().unwrap(), &h, &SentinelConfig::default());
+        assert!(!r.pass);
+        assert!(r
+            .regressions()
+            .iter()
+            .any(|c| c.metric.ends_with(".solver_nodes")));
+    }
+
+    #[test]
+    fn different_grid_hash_is_not_a_baseline() {
+        let mut other = record(999.0, 9.0);
+        other.grid_hash = "0000000000000000".to_string();
+        let history = vec![other, record(100.0, 1.0)];
+        let r = compare(
+            history.last().unwrap(),
+            &history,
+            &SentinelConfig::default(),
+        );
+        assert!(r.pass);
+        assert_eq!(r.baseline_runs, 0, "foreign grids are invisible");
+        assert!(!r.notes.is_empty());
+    }
+
+    #[test]
+    fn baseline_uses_last_k_records() {
+        // Ancient records with a different energy fall out of the K
+        // window; only the recent consensus matters.
+        let mut history: Vec<HistoryRecord> = (0..10).map(|_| record(50.0, 1.0)).collect();
+        history.extend((0..5).map(|_| record(100.0, 1.0)));
+        history.push(record(100.0, 1.0));
+        let cfg = SentinelConfig {
+            k: 5,
+            ..SentinelConfig::default()
+        };
+        let r = compare(history.last().unwrap(), &history, &cfg);
+        assert_eq!(r.baseline_runs, 5);
+        assert!(r.pass, "{}", render_report(&r));
+    }
+
+    #[test]
+    fn regress_json_parses_back() {
+        let history = vec![record(100.0, 1.0), record(105.0, 1.0)];
+        let r = compare(
+            history.last().unwrap(),
+            &history,
+            &SentinelConfig::default(),
+        );
+        let json = regress_json(&r);
+        let v = serde::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("verdict").and_then(|x| x.as_str()),
+            Some("regression")
+        );
+        let checks = v.get("checks").and_then(|x| x.as_array()).unwrap();
+        assert!(!checks.is_empty());
+        assert!(checks
+            .iter()
+            .any(|c| c.get("ok").and_then(|o| o.as_bool()) == Some(false)));
+    }
+}

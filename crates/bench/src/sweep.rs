@@ -45,7 +45,7 @@ use casa_workloads::spec::BenchmarkSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 // The whole point of the pool is shipping these across threads; fail
@@ -295,6 +295,41 @@ impl SweepGrid {
         &self.budget
     }
 
+    /// A stable fingerprint of the grid's *configuration* — workloads,
+    /// cells, budget — as a 16-hex-digit FNV-1a hash. Two runs are
+    /// longitudinally comparable (same energies, same node counts)
+    /// exactly when their fingerprints match, so the run-history store
+    /// stamps every record with it and the regression sentinel only
+    /// diffs runs of the same grid.
+    pub fn fingerprint(&self) -> String {
+        let mut canon = String::new();
+        for w in &self.workloads {
+            let _ = write!(canon, "w:{}:{}:{};", w.benchmark, w.scale, w.seed);
+        }
+        for c in &self.cells {
+            match &c.kind {
+                CellKind::Spm(cfg) => {
+                    let _ = write!(
+                        canon,
+                        "spm:{}:{:?}:{:?}:{}:{:?}:{:?};",
+                        c.workload, cfg.allocator, cfg.cache, cfg.spm_size, cfg.trace_cap, cfg.tech
+                    );
+                }
+                CellKind::LoopCache { cache, capacity } => {
+                    let _ = write!(canon, "lc:{}:{cache:?}:{capacity};", c.workload);
+                }
+            }
+        }
+        let _ = write!(canon, "budget:{:?}", self.budget);
+        // FNV-1a, 64-bit: tiny, stable, dependency-free.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canon.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
     /// The canonical Table-1 sweep: every paper benchmark × four
     /// local-memory sizes × {SP(CASA), SP(Steinke), LC(Ross)} at the
     /// paper's per-benchmark cache size (adpcm's paper row set is
@@ -443,13 +478,12 @@ impl SweepGrid {
                         let cell = &self.cells[i];
                         let w = &prepared_workloads[cell.workload].0;
                         let key = &self.workloads[cell.workload];
-                        // Fresh registry per cell, shared timeline:
-                        // counters stay per-cell deterministic while
-                        // spans interleave into one Chrome trace.
-                        let cell_obs = match obs.collector() {
-                            Some(c) => Obs::with_collector(Arc::clone(c)),
-                            None => Obs::disabled(),
-                        };
+                        // Fresh registry per cell, shared timeline and
+                        // shared flight ring: counters stay per-cell
+                        // deterministic while spans interleave into
+                        // one Chrome trace and the flight recorder
+                        // keeps one post-mortem buffer for the run.
+                        let cell_obs = obs.child();
                         *slots[i].lock().unwrap() =
                             Some(run_cell(key, w, &cell.kind, &self.budget, &cell_obs));
                     });
@@ -855,6 +889,53 @@ mod tests {
         let plain_full = plain.to_json();
         assert!(plain_full.contains("\"metrics\":{}"));
         assert!(plain_full.contains("\"phases\":[]"));
+    }
+
+    #[test]
+    fn flight_recorder_does_not_leak_into_deterministic_json() {
+        // Satellite guard for the PR-4 flight recorder: CellResult's
+        // wall-clock fields and the flight ring are both quarantined
+        // away from deterministic_json, so turning the recorder on
+        // (via an enabled Obs) must not change a single byte, for any
+        // worker count.
+        let g = small_grid();
+        let plain = g.run_with_threads(2).deterministic_json();
+        for threads in [1usize, 2, 4] {
+            let obs = Obs::enabled();
+            let r = g.run_with_threads_obs(threads, &obs);
+            assert_eq!(
+                plain,
+                r.deterministic_json(),
+                "flight-enabled sweep must be byte-identical ({threads} workers)"
+            );
+            // The recorder really was live: cells mirrored events into
+            // the shared ring.
+            assert!(
+                !obs.flight_events().is_empty(),
+                "flight ring empty with {threads} workers"
+            );
+            assert!(obs
+                .flight_events()
+                .iter()
+                .any(|e| e.kind == casa_obs::FlightKind::Span && e.name == "cell"));
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_grid_configuration() {
+        let a = small_grid();
+        let b = small_grid();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same grid, same hash");
+        assert_eq!(a.fingerprint().len(), 16);
+        let mut c = small_grid();
+        c.push_loop_cache(0, CacheConfig::direct_mapped(128, LINE_SIZE), 64);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "extra cell changes hash");
+        let mut d = small_grid();
+        d.set_budget(Budget::nodes(1));
+        assert_ne!(a.fingerprint(), d.fingerprint(), "budget changes hash");
+        // Fingerprints only reflect configuration, not execution.
+        let _ = a.run_with_threads(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

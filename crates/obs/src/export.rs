@@ -39,8 +39,11 @@ pub fn jnum(v: f64) -> String {
 
 /// Serialize a metrics snapshot. Keys come out in sorted order (the
 /// snapshot is a `BTreeMap`), counters and gauges as bare numbers,
-/// histograms as `{"count":..,"sum":..,"buckets":[[le,count],..]}`
-/// with only non-empty buckets listed.
+/// histograms as `{"count":..,"sum":..,"buckets":[[le,count],..],
+/// "p50":..,"p90":..,"p99":..}` with only non-empty buckets listed
+/// and quantiles extracted from the log₂ buckets
+/// ([`crate::metrics::HistogramSnapshot::quantile`]; `null` when the
+/// histogram is empty).
 pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
     let mut s = String::from("{");
     let mut first = true;
@@ -64,7 +67,13 @@ pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
                     }
                     s.push_str(&format!("[{le},{c}]"));
                 }
-                s.push_str("]}");
+                let q = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
+                s.push_str(&format!(
+                    "],\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                    q(h.p50()),
+                    q(h.p90()),
+                    q(h.p99())
+                ));
             }
         }
     }
@@ -152,6 +161,20 @@ mod tests {
         assert!(json.contains("\"z.count\":3"));
         assert!(json.contains("\"a.gauge\":0.5"));
         assert!(json.contains("\"count\":1,\"sum\":4"));
+        // Quantile summaries ride along with every histogram; the one
+        // sample (4) is a power of two, so all quantiles are exact.
+        assert!(json.contains("\"p50\":4,\"p90\":4,\"p99\":4"), "{json}");
+    }
+
+    #[test]
+    fn empty_histogram_exports_null_quantiles() {
+        let r = Registry::new();
+        let _ = r.histogram("h");
+        let json = snapshot_to_json(&r.snapshot());
+        assert!(
+            json.contains("\"p50\":null,\"p90\":null,\"p99\":null"),
+            "{json}"
+        );
     }
 
     #[test]

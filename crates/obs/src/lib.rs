@@ -30,25 +30,33 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod span;
 
 pub use export::{chrome_trace_json, jnum, json_escape, snapshot_to_json};
+pub use flight::{
+    flight_dump_json, render_flight_table, FlightEvent, FlightKind, FlightRecorder,
+    DEFAULT_FLIGHT_CAPACITY, FLIGHT_DUMP_SCHEMA,
+};
 pub use metrics::{
-    bucket_index, bucket_upper_bound, merge_snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
-    LocalCounter, MetricValue, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+    bucket_index, bucket_lower_bound, bucket_upper_bound, merge_snapshot, Counter, Gauge,
+    Histogram, HistogramSnapshot, LocalCounter, MetricValue, MetricsSnapshot, Registry,
+    HISTOGRAM_BUCKETS,
 };
 pub use span::{
     render_span_table, span_tree, ArgValue, EventKind, Span, SpanSummary, TraceCollector,
     TraceEvent,
 };
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 #[derive(Debug)]
 struct ObsInner {
     registry: Registry,
     collector: Arc<TraceCollector>,
+    flight: Arc<FlightRecorder>,
 }
 
 /// Handle threaded through the allocation flow. Clones share the same
@@ -71,13 +79,33 @@ impl Obs {
 
     /// An enabled handle with a fresh registry but a shared trace
     /// collector — lets parallel per-cell registries feed one
-    /// timeline.
+    /// timeline. The flight recorder is fresh; use [`Obs::child`] to
+    /// share it too.
     pub fn with_collector(collector: Arc<TraceCollector>) -> Obs {
         Obs {
             inner: Some(Arc::new(ObsInner {
                 registry: Registry::new(),
                 collector,
+                flight: Arc::new(FlightRecorder::from_env()),
             })),
+        }
+    }
+
+    /// A child handle: fresh registry, shared trace collector **and**
+    /// shared flight recorder (including its dump sink). This is what
+    /// the sweep gives each cell — per-cell metric isolation, one
+    /// timeline, one post-mortem ring. Disabled parents produce
+    /// disabled children.
+    pub fn child(&self) -> Obs {
+        match &self.inner {
+            Some(i) => Obs {
+                inner: Some(Arc::new(ObsInner {
+                    registry: Registry::new(),
+                    collector: Arc::clone(&i.collector),
+                    flight: Arc::clone(&i.flight),
+                })),
+            },
+            None => Obs::disabled(),
         }
     }
 
@@ -108,7 +136,11 @@ impl Obs {
     /// Open a span (no-op guard when disabled).
     pub fn span(&self, name: &str) -> Span {
         match &self.inner {
-            Some(i) => i.collector.begin_span(name, Vec::new()),
+            Some(i) => {
+                i.flight
+                    .push(FlightKind::Span, name, i.collector.elapsed_us(), None);
+                i.collector.begin_span(name, Vec::new())
+            }
             None => Span::noop(),
         }
     }
@@ -116,7 +148,11 @@ impl Obs {
     /// Open a span with arguments (no-op guard when disabled).
     pub fn span_with(&self, name: &str, args: Vec<(String, ArgValue)>) -> Span {
         match &self.inner {
-            Some(i) => i.collector.begin_span(name, args),
+            Some(i) => {
+                i.flight
+                    .push(FlightKind::Span, name, i.collector.elapsed_us(), None);
+                i.collector.begin_span(name, args)
+            }
             None => Span::noop(),
         }
     }
@@ -124,6 +160,8 @@ impl Obs {
     /// Record an instant event.
     pub fn instant(&self, name: &str, args: Vec<(String, ArgValue)>) {
         if let Some(i) = &self.inner {
+            i.flight
+                .push(FlightKind::Instant, name, i.collector.elapsed_us(), None);
             i.collector.instant(name, args);
         }
     }
@@ -131,6 +169,12 @@ impl Obs {
     /// Add to a named counter.
     pub fn add(&self, name: &str, v: u64) {
         if let Some(i) = &self.inner {
+            i.flight.push(
+                FlightKind::Counter,
+                name,
+                i.collector.elapsed_us(),
+                Some(ArgValue::U64(v)),
+            );
             i.registry.counter(name).add(v);
         }
     }
@@ -138,6 +182,12 @@ impl Obs {
     /// Set a named gauge.
     pub fn gauge_set(&self, name: &str, v: f64) {
         if let Some(i) = &self.inner {
+            i.flight.push(
+                FlightKind::Gauge,
+                name,
+                i.collector.elapsed_us(),
+                Some(ArgValue::F64(v)),
+            );
             i.registry.gauge(name).set(v);
         }
     }
@@ -145,6 +195,12 @@ impl Obs {
     /// Record a histogram observation.
     pub fn record(&self, name: &str, v: u64) {
         if let Some(i) = &self.inner {
+            i.flight.push(
+                FlightKind::Histogram,
+                name,
+                i.collector.elapsed_us(),
+                Some(ArgValue::U64(v)),
+            );
             i.registry.histogram(name).record(v);
         }
     }
@@ -163,6 +219,104 @@ impl Obs {
             Some(i) => i.collector.events(),
             None => Vec::new(),
         }
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.inner.as_deref().map(|i| &i.flight)
+    }
+
+    /// Snapshot the flight-recorder ring, oldest first; empty when
+    /// disabled.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        match &self.inner {
+            Some(i) => i.flight.events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serialize the flight ring (plus this handle's metric snapshot)
+    /// as a deterministic JSON document. Empty-but-valid when
+    /// disabled.
+    pub fn dump_flight(&self) -> String {
+        match &self.inner {
+            Some(i) => flight_dump_json(
+                i.flight.capacity(),
+                i.flight.dropped(),
+                &i.flight.events(),
+                &i.registry.snapshot(),
+            ),
+            None => flight_dump_json(0, 0, &[], &MetricsSnapshot::new()),
+        }
+    }
+
+    /// Configure where automatic flight dumps (panic hook, engine
+    /// degradation) are written. The sink lives on the flight
+    /// recorder, so [`Obs::child`] handles inherit it.
+    pub fn set_flight_sink(&self, path: Option<PathBuf>) {
+        if let Some(i) = &self.inner {
+            i.flight.set_sink(path);
+        }
+    }
+
+    /// The configured automatic-dump sink, if any.
+    pub fn flight_sink(&self) -> Option<PathBuf> {
+        self.inner.as_deref().and_then(|i| i.flight.sink())
+    }
+
+    /// Write [`Obs::dump_flight`] to the configured sink (or `fallback`
+    /// when no sink is set) and return the path written. `None` when
+    /// disabled or when the write fails — dump paths are best-effort
+    /// (they run inside panic hooks).
+    pub fn dump_flight_to_sink_or(&self, fallback: &str) -> Option<PathBuf> {
+        self.inner.as_deref()?;
+        let path = self
+            .flight_sink()
+            .unwrap_or_else(|| PathBuf::from(fallback));
+        std::fs::write(&path, self.dump_flight()).ok()?;
+        Some(path)
+    }
+
+    /// Record a degradation note (e.g. the allocation engine
+    /// substituting a fallback allocator) and trigger an automatic
+    /// flight dump to the configured sink. Returns the dump path when
+    /// one was written. No-op (returning `None`) when disabled or when
+    /// no sink is configured — the note is still buffered for later
+    /// on-demand dumps.
+    pub fn note_degradation(&self, name: &str, reason: &str) -> Option<PathBuf> {
+        let i = self.inner.as_deref()?;
+        i.flight.push(
+            FlightKind::Note,
+            name,
+            i.collector.elapsed_us(),
+            Some(ArgValue::Str(reason.to_string())),
+        );
+        let sink = i.flight.sink()?;
+        std::fs::write(&sink, self.dump_flight()).ok()?;
+        Some(sink)
+    }
+
+    /// Install a process-wide panic hook that writes the flight dump
+    /// (to the sink, else `casa_flight_dump.json` in the working
+    /// directory) before delegating to the previous hook. Intended for
+    /// binaries; installing from more than one handle chains the
+    /// hooks. No-op when disabled.
+    pub fn install_panic_hook(&self) {
+        if !self.is_enabled() {
+            return;
+        }
+        let obs = self.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(path) = obs.dump_flight_to_sink_or("casa_flight_dump.json") {
+                eprintln!(
+                    "flight recorder: dumped {} events to {}",
+                    obs.flight_events().len(),
+                    path.display()
+                );
+            }
+            prev(info);
+        }));
     }
 }
 
@@ -222,5 +376,113 @@ mod tests {
     fn obs_is_send_sync() {
         const fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Obs>();
+        assert_send_sync::<FlightRecorder>();
+    }
+
+    #[test]
+    fn flight_ring_mirrors_obs_activity() {
+        let obs = Obs::enabled();
+        {
+            let _g = obs.span("phase");
+            obs.add("n", 2);
+            obs.gauge_set("g", 0.5);
+            obs.record("h", 8);
+            obs.instant("tick", Vec::new());
+        }
+        let evs = obs.flight_events();
+        let kinds: Vec<FlightKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FlightKind::Span,
+                FlightKind::Counter,
+                FlightKind::Gauge,
+                FlightKind::Histogram,
+                FlightKind::Instant,
+            ]
+        );
+        // Sequence numbers are monotone and the payloads survive.
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(evs[1].value, Some(ArgValue::U64(2)));
+        assert_eq!(evs[2].value, Some(ArgValue::F64(0.5)));
+        // Disabled handles record nothing.
+        let off = Obs::disabled();
+        off.add("n", 1);
+        assert!(off.flight_events().is_empty());
+        assert!(off.flight().is_none());
+    }
+
+    #[test]
+    fn child_shares_flight_ring_and_sink_but_not_registry() {
+        let parent = Obs::enabled();
+        parent.set_flight_sink(Some(std::path::PathBuf::from("/tmp/never-written.json")));
+        let child = parent.child();
+        child.add("x", 3);
+        parent.add("y", 1);
+        // One shared ring sees both, in order.
+        let names: Vec<String> = parent.flight_events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(child.flight_sink(), parent.flight_sink());
+        // Registries stay isolated.
+        assert!(parent.snapshot().contains_key("y"));
+        assert!(!parent.snapshot().contains_key("x"));
+        assert!(child.snapshot().contains_key("x"));
+        // Disabled parents produce disabled children.
+        assert!(!Obs::disabled().child().is_enabled());
+    }
+
+    #[test]
+    fn dump_flight_round_trips_through_the_json_parser() {
+        let obs = Obs::enabled();
+        obs.add("solver.nodes", 41);
+        obs.record("trace.size", 64);
+        let dump = obs.dump_flight();
+        let v = serde::json::parse(&dump).expect("flight dump must be valid JSON");
+        let events = v.get("events").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("name").and_then(|x| x.as_str()),
+            Some("solver.nodes")
+        );
+        // The registry snapshot rides along for post-mortem context.
+        let metrics = v.get("metrics").and_then(|x| x.as_object()).unwrap();
+        assert!(metrics.contains_key("solver.nodes"));
+        // A disabled handle still dumps a valid (empty) document.
+        let empty = serde::json::parse(&Obs::disabled().dump_flight()).unwrap();
+        assert_eq!(
+            empty
+                .get("events")
+                .and_then(|x| x.as_array())
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn note_degradation_buffers_and_dumps_to_sink() {
+        let obs = Obs::enabled();
+        // Without a sink: buffered, no file written.
+        assert_eq!(obs.note_degradation("engine.fallback", "no sink yet"), None);
+        let path =
+            std::env::temp_dir().join(format!("casa_flight_test_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        obs.set_flight_sink(Some(path.clone()));
+        let written = obs
+            .note_degradation("engine.fallback", "ilp solve failed: singular basis")
+            .expect("sink configured");
+        assert_eq!(written, path);
+        let dump = std::fs::read_to_string(&path).unwrap();
+        let v = serde::json::parse(&dump).unwrap();
+        let events = v.get("events").and_then(|x| x.as_array()).unwrap();
+        let notes: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some("note"))
+            .collect();
+        assert_eq!(notes.len(), 2, "both degradation notes buffered");
+        assert_eq!(
+            notes[1].get("value").and_then(|x| x.as_str()),
+            Some("ilp solve failed: singular basis")
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

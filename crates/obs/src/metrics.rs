@@ -147,6 +147,14 @@ pub fn bucket_upper_bound(k: usize) -> u64 {
     }
 }
 
+/// The smallest value bucket `k` can hold.
+pub fn bucket_lower_bound(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        _ => 1u64 << (k - 1),
+    }
+}
+
 impl Histogram {
     /// A histogram not registered anywhere.
     pub fn detached() -> Self {
@@ -199,6 +207,54 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the **lower bound** of
+    /// the bucket holding the `ceil(q·count)`-th smallest sample.
+    ///
+    /// Reporting the bucket's lower bound makes the estimate exact
+    /// whenever samples are powers of two (each power of two is the
+    /// lower bound of its own bucket) and never over-reports by more
+    /// than the bucket width otherwise. Quantiles are monotone in `q`
+    /// by construction (the cumulative walk only moves forward).
+    /// `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), clamped to [1, count]: rank of the sample
+        // that splits the distribution at q.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(ub, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                // Recover the bucket index from its upper bound: ub 0
+                // is bucket 0, otherwise the bucket of value ub.
+                return Some(bucket_lower_bound(bucket_index(ub)));
+            }
+        }
+        // Unreachable when count equals the bucket sum; be defensive
+        // against hand-built snapshots.
+        self.buckets
+            .last()
+            .map(|&(ub, _)| bucket_lower_bound(bucket_index(ub)))
+    }
+
+    /// Median estimate ([`Self::quantile`] at 0.5).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
     /// Merge another snapshot into this one (bucket-wise addition).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         self.count += other.count;
@@ -407,6 +463,75 @@ mod tests {
         assert_eq!(s.count, 4);
         assert_eq!(s.sum, 107);
         assert_eq!(s.buckets, vec![(1, 2), (7, 1), (127, 1)]);
+    }
+
+    #[test]
+    fn quantiles_exact_on_power_of_two_samples() {
+        let h = Histogram::detached();
+        // Every sample a power of two: each lands as the lower bound
+        // of its own bucket, so quantile extraction is exact.
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.1), Some(1));
+        assert_eq!(s.p50(), Some(16), "5th of 10 samples");
+        assert_eq!(s.p90(), Some(256), "9th of 10 samples");
+        assert_eq!(s.p99(), Some(512), "ceil(9.9) = 10th sample");
+        assert_eq!(s.quantile(1.0), Some(512));
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::detached();
+        let mut v = 1u64;
+        for i in 0..200u64 {
+            h.record(v + i % 7);
+            if i % 5 == 0 {
+                v = v.saturating_mul(2).min(1 << 40);
+            }
+        }
+        let s = h.snapshot();
+        let mut last = 0u64;
+        for i in 1..=100 {
+            let q = s.quantile(f64::from(i) / 100.0).unwrap();
+            assert!(q >= last, "quantile must be monotone: q{i} = {q} < {last}");
+            last = q;
+        }
+        let (p50, p90, p99) = (s.p50().unwrap(), s.p90().unwrap(), s.p99().unwrap());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} <= {p90} <= {p99}");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let s = Histogram::detached().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p99(), None);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_and_zeros() {
+        let h = Histogram::detached();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Some(0));
+        assert_eq!(s.p99(), Some(0));
+        let h = Histogram::detached();
+        h.record(1000); // bucket [512, 1024) — lower bound reported
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Some(512));
+        assert_eq!(s.p99(), Some(512));
+    }
+
+    #[test]
+    fn bucket_lower_bounds_bracket_their_buckets() {
+        for k in 0..HISTOGRAM_BUCKETS {
+            let lb = bucket_lower_bound(k);
+            assert!(lb <= bucket_upper_bound(k), "bucket {k}");
+            assert_eq!(bucket_index(lb), k, "lower bound of bucket {k}");
+        }
     }
 
     #[test]

@@ -92,6 +92,13 @@ impl TraceCollector {
         self.epoch.elapsed().as_micros() as u64
     }
 
+    /// Microseconds elapsed since the collector's epoch — the timebase
+    /// every event in this collector (and the flight recorder sharing
+    /// it) is stamped with.
+    pub fn elapsed_us(&self) -> u64 {
+        self.now_us()
+    }
+
     fn ordinal(state: &mut CollectorState, id: ThreadId) -> u32 {
         if let Some(i) = state.threads.iter().position(|&t| t == id) {
             return i as u32;
