@@ -56,6 +56,63 @@ test -s /tmp/casa_flight.json || { echo "flight dump empty or missing"; exit 1; 
 cargo run --release -q -p casa-bench --bin diag -- --flight /tmp/casa_flight.json | grep -q "cell" \
   || { echo "flight dump does not cover the cell phase"; exit 1; }
 
+echo "== live telemetry: served sweep, probe, watchdog, determinism"
+# A serverless smoke run records the reference deterministic report;
+# then the same grid runs with the telemetry server, an armed watchdog
+# and the stall self-test. diag's std-only HTTP client probes the live
+# endpoints (valid Prometheus exposition mid-run, required families,
+# span frames over /events), the watchdog must catch the deliberately
+# stalled phase and dump the flight ring, and the served report must
+# stay byte-identical to the serverless one.
+rm -f /tmp/casa_det_plain.json /tmp/casa_det_served.json /tmp/casa_serve_addr \
+      /tmp/casa_probe_flight.json /tmp/casa_telemetry_history.jsonl
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke \
+  --history-out /tmp/casa_telemetry_history.jsonl --det-out /tmp/casa_det_plain.json)
+(cd /tmp && CASA_WATCHDOG_MS=250 CASA_SELFTEST_STALL=1 \
+  cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke \
+  --history-out /tmp/casa_telemetry_history.jsonl --det-out /tmp/casa_det_served.json \
+  --serve 127.0.0.1:0 --serve-addr-file /tmp/casa_serve_addr --serve-linger-ms 60000 \
+  --flight-dump /tmp/casa_probe_flight.json) &
+SWEEP_PID=$!
+i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_serve_addr; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_serve_addr || { echo "served sweep never published its address"; kill $SWEEP_PID; exit 1; }
+ADDR="$(head -n1 /tmp/casa_serve_addr)"
+# Quick probe while the run may still be in flight: healthz + a valid
+# /metrics exposition must hold mid-sweep, not just at the end.
+cargo run --release -q -p casa-bench --bin diag -- --probe-quick "$ADDR" \
+  || { echo "mid-run probe failed"; kill $SWEEP_PID; exit 1; }
+# The watchdog's flight dump doubles as the "stall was caught" signal;
+# once it exists the stall counter is on the exporter too.
+i=0; while [ $i -lt 100 ] && ! test -s /tmp/casa_probe_flight.json; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_probe_flight.json || { echo "watchdog stall left no flight dump"; kill $SWEEP_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- --probe "$ADDR" --expect-spans \
+  --expect casa_sweep_cells_done --expect casa_sweep_cells_total \
+  --expect casa_energy_total_uj --expect casa_watchdog_stalls --quit \
+  || { echo "full probe failed"; kill $SWEEP_PID; exit 1; }
+wait $SWEEP_PID || { echo "served sweep failed"; exit 1; }
+cmp /tmp/casa_det_plain.json /tmp/casa_det_served.json \
+  || { echo "telemetry server changed the deterministic report"; exit 1; }
+
+echo "== sentinel --serve: verdict gauges on the exporter"
+# The two telemetry runs above share a grid fingerprint, so the
+# sentinel has a baseline and must pass; with --serve its verdict is
+# also scraped off /metrics as casa_sentinel_* gauges.
+rm -f /tmp/casa_sentinel_addr /tmp/casa_regress_served.json
+cargo run --release -q -p casa-bench --bin sentinel -- \
+  --history /tmp/casa_telemetry_history.jsonl --out /tmp/casa_regress_served.json \
+  --serve 127.0.0.1:0 --serve-addr-file /tmp/casa_sentinel_addr --serve-linger-ms 60000 &
+SENTINEL_PID=$!
+i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_sentinel_addr; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_sentinel_addr || { echo "sentinel never published its address"; kill $SENTINEL_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- --probe "$(head -n1 /tmp/casa_sentinel_addr)" \
+  --expect casa_sentinel_regressions --expect casa_sentinel_checks \
+  --expect casa_sentinel_pass --expect casa_sentinel_baseline_runs --quit \
+  || { echo "sentinel probe failed"; kill $SENTINEL_PID; exit 1; }
+wait $SENTINEL_PID || { echo "served sentinel flagged a regression between identical runs"; exit 1; }
+grep -q '"verdict":"pass"' /tmp/casa_regress_served.json \
+  || { echo "served sentinel verdict is not a pass"; exit 1; }
+rm -f /tmp/casa_telemetry_history.jsonl
+
 echo "== budget-stress smoke: sweep --smoke --budget-nodes 1"
 # The harshest anytime setting: a single search node per cell. The
 # sweep bin itself asserts every cell still answers (status present;

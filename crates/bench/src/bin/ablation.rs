@@ -2,10 +2,16 @@
 //! baseline (cache only), cache-aware code placement (no SPM),
 //! Steinke, CASA-greedy, CASA-exact, and overlay.
 //!
-//! Usage: `cargo run --release -p casa-bench --bin ablation [scale]`
+//! Usage: `cargo run --release -p casa-bench --bin ablation [scale]
+//!         [--trace-out <path>] [--serve <addr>]
+//!         [--serve-addr-file <path>] [--serve-linger-ms <ms>]`
+//!
+//! `--trace-out <path>` (or `CASA_TRACE=1`) instruments the SPM flows
+//! and writes a Chrome `trace_event` timeline; `--serve <addr>`
+//! exposes live telemetry while the ablation runs.
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
-use casa_bench::runner::{cli_scale, prepared};
+use casa_bench::runner::{cli_obs, cli_scale, prepared};
 use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa_core::overlay::{run_overlay_flow, OverlayMethod};
 use casa_core::placement::run_placement_flow;
@@ -16,6 +22,7 @@ use casa_workloads::mediabench;
 
 fn main() {
     let scale = cli_scale();
+    let cli = cli_obs();
     println!("Ablation — instruction-memory energy (µJ), mid-size SPM per benchmark\n");
     println!(
         "{:<8} {:>10} {:>11} {:>10} {:>10} {:>10} {:>10}",
@@ -39,7 +46,7 @@ fn main() {
                     tech: TechParams::default(),
                     trace_cap: None,
                 },
-                &FlowCtx::default(),
+                &FlowCtx::observed(&cli.obs),
             )
             .expect("flow")
             .energy_uj()
@@ -81,4 +88,8 @@ fn main() {
     println!("            granularity: cache-sized, vs. SPM-sized elsewhere; falls back");
     println!("            to program order when reordering does not cut misses);");
     println!("overlay4  = CASA with dynamic copying across 4 execution phases.");
+    if let Some(path) = cli.finish() {
+        println!("wrote Chrome trace to {}", path.display());
+    }
+    cli.linger();
 }

@@ -5,7 +5,9 @@
 //!
 //! Usage: `cargo run --release -p casa-bench --bin diag
 //!         [--trace-out <path>] [--render-trace <path>]
-//!         [--flight <path>]`
+//!         [--flight <path>]
+//!         [--probe <addr> | --probe-quick <addr>]
+//!         [--expect <family>]... [--expect-spans] [--quit]`
 //!
 //! With `--trace-out` (or `CASA_TRACE=1`) the flows run instrumented
 //! and a per-phase span-tree table is printed at the end.
@@ -14,6 +16,16 @@
 //! `--flight <path>` re-parses a flight-recorder dump (written on
 //! panic, on engine degradation, or by `Obs::dump_flight`) and prints
 //! its events as a time-ordered table, then exits.
+//! `--probe <addr>` is a std-only HTTP client for the live telemetry
+//! service (`--serve` on the experiment binaries): it checks
+//! `/healthz`, validates `/metrics` as Prometheus text exposition,
+//! parses `/snapshot.json` and `/flight.json`, and — with
+//! `--expect-spans` — demands span begin/end frames over `/events`.
+//! `--probe-quick <addr>` only does the healthz + exposition checks
+//! (for polling until a background run is ready). `--expect <family>`
+//! (repeatable) asserts a metric family is declared; `--quit` sends
+//! `/quitquitquit` at the end to release a lingering server. Any
+//! failed check panics, so CI fails loudly.
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
 use casa_bench::runner::{cli_obs, prepared};
@@ -21,10 +33,12 @@ use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa_energy::TechParams;
 use casa_mem::cache::CacheConfig;
 use casa_obs::{
-    render_flight_table, render_span_table, ArgValue, EventKind, FlightEvent, FlightKind,
-    TraceEvent,
+    collect_sse, http_get, render_flight_table, render_span_table, validate_exposition, ArgValue,
+    EventKind, FlightEvent, FlightKind, TraceEvent,
 };
 use casa_workloads::mediabench;
+use std::net::SocketAddr;
+use std::time::Duration;
 
 /// Rebuild span/instant events from a Chrome `trace_event` JSON file.
 /// Parent links are not stored in the Chrome format; the span-tree
@@ -90,6 +104,100 @@ fn parse_flight_dump(json: &str) -> (Vec<FlightEvent>, u64, u64) {
     (events, capacity, dropped)
 }
 
+/// `--probe` / `--probe-quick`: validate a live telemetry server from
+/// the outside with nothing but std TCP. Every failed check panics —
+/// this is a CI gate, and CI wants loud failures.
+fn probe(addr: &str, quick: bool) {
+    let addr: SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|e| panic!("--probe takes host:port, got {addr}: {e}"));
+    let t = Duration::from_secs(5);
+    let get = |path: &str| -> (u16, String) {
+        http_get(&addr, path, t).unwrap_or_else(|e| panic!("GET {path} on {addr}: {e}"))
+    };
+
+    let (code, body) = get("/healthz");
+    assert_eq!(
+        (code, body.as_str()),
+        (200, "ok\n"),
+        "unhealthy exporter at {addr}"
+    );
+
+    let (code, text) = get("/metrics");
+    assert_eq!(code, 200, "/metrics returned {code}");
+    let stats = validate_exposition(&text)
+        .unwrap_or_else(|e| panic!("invalid Prometheus exposition from {addr}: {e}"));
+    println!(
+        "probe {addr}: /metrics is valid exposition ({} families, {} samples)",
+        stats.families, stats.samples
+    );
+
+    // Families CI requires (`--expect <family>`, repeatable). Presence
+    // means a `# TYPE <family> <kind>` declaration, which the exporter
+    // writes for every family it serves.
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a != "--expect" {
+            continue;
+        }
+        let fam = args.next().expect("--expect needs a metric family name");
+        let declared = text.lines().any(|l| {
+            l.strip_prefix("# TYPE ")
+                .and_then(|rest| rest.split_whitespace().next())
+                == Some(fam.as_str())
+        });
+        assert!(declared, "family `{fam}` missing from /metrics:\n{text}");
+        println!("  expected family `{fam}`: present");
+    }
+
+    if !quick {
+        let (code, body) = get("/snapshot.json");
+        assert_eq!(code, 200, "/snapshot.json returned {code}");
+        serde::json::parse(&body).expect("/snapshot.json is not valid JSON");
+        let (code, body) = get("/flight.json");
+        assert_eq!(code, 200, "/flight.json returned {code}");
+        let flight = serde::json::parse(&body).expect("/flight.json is not valid JSON");
+        assert!(
+            flight.get("casa_flight").is_some(),
+            "/flight.json is not a flight dump"
+        );
+        println!("  /snapshot.json and /flight.json parse");
+
+        if std::env::args().any(|a| a == "--expect-spans") {
+            // Subscribing replays the collector's history first, so the
+            // probe sees the run's phase spans even after the sweep is
+            // done and only lingering for scrapers. By then every span
+            // is closed, so history replays as span_end frames (which
+            // carry name, start and duration); span_begin frames only
+            // stream live while a phase is still open.
+            let (frames, _pings) = collect_sse(&addr, "/events", Duration::from_millis(1500), 64)
+                .unwrap_or_else(|e| panic!("GET /events on {addr}: {e}"));
+            let is_span = |ev: &str| ev == "span_begin" || ev == "span_end";
+            let spans = frames.iter().filter(|(ev, _)| is_span(ev)).count();
+            let cells = frames
+                .iter()
+                .filter(|(ev, data)| is_span(ev) && data.contains("\"name\":\"cell\""))
+                .count();
+            assert!(spans > 0, "no span frames over /events (got {frames:?})");
+            assert!(
+                cells > 0,
+                "no `cell` phase span over /events (got {frames:?})"
+            );
+            println!(
+                "  /events streamed {} frame(s) ({spans} span frames, {cells} covering `cell`)",
+                frames.len()
+            );
+        }
+    }
+
+    if std::env::args().any(|a| a == "--quit") {
+        let (code, _) = get("/quitquitquit");
+        assert_eq!(code, 200, "/quitquitquit returned {code}");
+        println!("  released the server via /quitquitquit");
+    }
+    println!("probe {addr}: all checks passed");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -112,6 +220,11 @@ fn main() {
                 events.len()
             );
             print!("{}", render_flight_table(&events));
+            return;
+        }
+        if a == "--probe" || a == "--probe-quick" {
+            let target = args.next().unwrap_or_else(|| panic!("{a} needs host:port"));
+            probe(&target, a == "--probe-quick");
             return;
         }
     }

@@ -7,18 +7,57 @@
 //!
 //! Usage: `cargo run --release -p casa-bench --bin sentinel --
 //!         [--history <path>] [--k <n>] [--wall-tol <frac>]
-//!         [--out <path>]`
+//!         [--out <path>] [--serve <addr>]
+//!         [--serve-addr-file <path>] [--serve-linger-ms <ms>]`
 //!
 //! Defaults: `--history BENCH_history.jsonl`, `--k 5`,
 //! `--wall-tol 0.5`, `--out BENCH_regress.json`.
+//!
+//! `--serve <addr>` additionally publishes the verdict on the live
+//! telemetry exporter — `casa_sentinel_regressions`,
+//! `casa_sentinel_checks`, `casa_sentinel_pass` and
+//! `casa_sentinel_baseline_runs` gauges on `/metrics` — and keeps the
+//! endpoints up for `--serve-linger-ms <ms>` (default 60000) or until
+//! a scraper sends `/quitquitquit`, whichever comes first.
 //!
 //! Exit status: 0 on pass (including "no baseline yet"), 1 on
 //! regression, 2 on usage/IO errors — so CI can gate on it.
 
 use casa_bench::history::read_history;
 use casa_bench::runner::cli_value;
-use casa_bench::sentinel::{compare, regress_json, render_report, SentinelConfig};
+use casa_bench::sentinel::{compare, regress_json, render_report, SentinelConfig, SentinelReport};
+use casa_obs::Obs;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Publish the verdict table as gauges on the live telemetry exporter
+/// and hold the endpoints open for a scraper.
+///
+/// # Panics
+///
+/// Panics when the address cannot be bound or the addr file cannot be
+/// written (CI wants loud failures).
+fn serve_verdict(addr: &str, report: &SentinelReport) {
+    let obs = Obs::enabled();
+    obs.gauge_set("sentinel.regressions", report.regressions().len() as f64);
+    obs.gauge_set("sentinel.checks", report.checks.len() as f64);
+    obs.gauge_set("sentinel.pass", if report.pass { 1.0 } else { 0.0 });
+    obs.gauge_set("sentinel.baseline_runs", report.baseline_runs as f64);
+    let server = obs
+        .serve(addr)
+        .unwrap_or_else(|e| panic!("--serve {addr}: {e}"));
+    let bound = server.local_addr();
+    println!("serving sentinel verdict on {bound}");
+    if let Some(path) = cli_value("--serve-addr-file") {
+        std::fs::write(&path, format!("{bound}\n"))
+            .unwrap_or_else(|e| panic!("--serve-addr-file {path}: {e}"));
+    }
+    let linger_ms: u64 = cli_value("--serve-linger-ms")
+        .map(|v| v.parse().expect("--serve-linger-ms takes milliseconds"))
+        .unwrap_or(60_000);
+    eprintln!("lingering up to {linger_ms} ms (GET /quitquitquit to release)");
+    server.wait_quit(Duration::from_millis(linger_ms));
+}
 
 fn main() -> ExitCode {
     let history_path = cli_value("--history").unwrap_or_else(|| "BENCH_history.jsonl".to_string());
@@ -54,6 +93,9 @@ fn main() -> ExitCode {
     std::fs::write(&out_path, regress_json(&report))
         .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("wrote {out_path}");
+    if let Some(addr) = cli_value("--serve") {
+        serve_verdict(&addr, &report);
+    }
     if report.pass {
         ExitCode::SUCCESS
     } else {

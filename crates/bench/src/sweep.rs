@@ -440,6 +440,7 @@ impl SweepGrid {
                         }
                         let k = &workloads[i];
                         let t = Instant::now();
+                        obs.heartbeat("prepare");
                         let span = obs.span_with(
                             "prepare",
                             vec![("benchmark".into(), ArgValue::Str(k.benchmark.clone()))],
@@ -451,6 +452,7 @@ impl SweepGrid {
                 }
             });
         }
+        obs.heartbeat_done("prepare");
         let prepared_workloads: Vec<(PreparedWorkload, f64)> = prep_slots
             .into_iter()
             .map(|m| m.into_inner().unwrap().expect("workload prepared"))
@@ -459,7 +461,12 @@ impl SweepGrid {
 
         // Phase 2: execute cells on the pool; results land in their
         // own slots so aggregation order is the grid's, not the
-        // scheduler's.
+        // scheduler's. Progress is published live for the telemetry
+        // exporter: `sweep.cells_total` up front, `sweep.cells_done`
+        // as cells finish, plus per-phase heartbeats for the watchdog.
+        // None of this touches the per-cell registries the report is
+        // built from, so determinism is unaffected.
+        obs.gauge_set("sweep.cells_total", self.cells.len() as f64);
         let t_exec = Instant::now();
         let cell_slots: Vec<Mutex<Option<CellResult>>> =
             self.cells.iter().map(|_| Mutex::new(None)).collect();
@@ -478,18 +485,29 @@ impl SweepGrid {
                         let cell = &self.cells[i];
                         let w = &prepared_workloads[cell.workload].0;
                         let key = &self.workloads[cell.workload];
+                        obs.heartbeat("execute");
                         // Fresh registry per cell, shared timeline and
                         // shared flight ring: counters stay per-cell
                         // deterministic while spans interleave into
                         // one Chrome trace and the flight recorder
                         // keeps one post-mortem buffer for the run.
                         let cell_obs = obs.child();
-                        *slots[i].lock().unwrap() =
-                            Some(run_cell(key, w, &cell.kind, &self.budget, &cell_obs));
+                        let res = run_cell(key, w, &cell.kind, &self.budget, &cell_obs);
+                        // Publish the finished cell's isolated metrics
+                        // to the parent registry so a live `/metrics`
+                        // scrape sees per-phase counters and energy
+                        // gauges mid-sweep. Merge order is
+                        // scheduler-dependent, which is fine: the
+                        // report's metrics are rebuilt from the cell
+                        // snapshots in grid order below.
+                        obs.merge_metrics(&res.metrics);
+                        obs.add("sweep.cells_done", 1);
+                        *slots[i].lock().unwrap() = Some(res);
                     });
                 }
             });
         }
+        obs.heartbeat_done("execute");
         let execute_secs = t_exec.elapsed().as_secs_f64();
 
         let cells: Vec<CellResult> = cell_slots
@@ -918,6 +936,59 @@ mod tests {
                 .flight_events()
                 .iter()
                 .any(|e| e.kind == casa_obs::FlightKind::Span && e.name == "cell"));
+        }
+    }
+
+    #[test]
+    fn served_sweep_stays_byte_identical_and_exposes_live_telemetry() {
+        use casa_obs::{collect_sse, http_get, validate_exposition};
+        use std::time::Duration;
+        let g = small_grid();
+        let plain = g.run_with_threads(2).deterministic_json();
+        let t = Duration::from_secs(5);
+        for threads in [1usize, 2, 4] {
+            let obs = Obs::enabled();
+            let mut server = obs.serve("127.0.0.1:0").expect("bind");
+            let r = g.run_with_threads_obs(threads, &obs);
+            // The acceptance bar: serving telemetry must not move a
+            // single byte of the deterministic report, for any worker
+            // count.
+            assert_eq!(
+                plain,
+                r.deterministic_json(),
+                "served sweep diverged with {threads} workers"
+            );
+            let addr = server.local_addr();
+            let (st, metrics) = http_get(&addr, "/metrics", t).unwrap();
+            assert_eq!(st, 200);
+            let stats =
+                validate_exposition(&metrics).unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+            assert!(stats.families > 5, "rich exposition, got {stats:?}");
+            // Progress counters published by the pool...
+            assert!(metrics.contains(&format!("casa_sweep_cells_done {}", g.cell_count())));
+            assert!(metrics.contains(&format!("casa_sweep_cells_total {}", g.cell_count())));
+            // ...heartbeat gauges...
+            assert!(metrics.contains("casa_heartbeat_us_execute"));
+            // ...per-cell flow metrics merged up: per-phase counters,
+            // energy gauges, histogram quantiles.
+            assert!(metrics.contains("# TYPE casa_solver_nodes counter"));
+            assert!(metrics.contains("# TYPE casa_energy_total_uj gauge"));
+            assert!(metrics.contains("quantile=\"0.99\""));
+            // The event stream replays the sweep's phase spans to a
+            // late subscriber (CI probes connect whenever they can).
+            let (frames, _) = collect_sse(&addr, "/events", t, 24).unwrap();
+            let named = |name: &str| {
+                frames
+                    .iter()
+                    .any(|(_, d)| d.contains(&format!("\"name\":\"{name}\"")))
+            };
+            assert!(named("prepare"), "prepare span streamed");
+            assert!(named("cell"), "cell span streamed");
+            assert!(
+                frames.iter().any(|(e, _)| e == "span_end"),
+                "span_end frames present"
+            );
+            server.shutdown();
         }
     }
 

@@ -208,6 +208,68 @@ mod tests {
     }
 
     #[test]
+    fn control_characters_in_names_stay_valid_json_everywhere() {
+        // Regression: a span / metric name carrying raw control
+        // characters (U+0000–U+001F) must come out `\u00XX`-escaped in
+        // every JSON writer, or the Chrome trace, `/snapshot.json`,
+        // and the flight dump all emit invalid documents.
+        let nasty = "phase\nwith\ttabs\u{1}and\u{0}nul";
+        let events = vec![TraceEvent {
+            name: nasty.to_string(),
+            kind: EventKind::Span,
+            tid: 0,
+            parent: None,
+            ts_us: 5,
+            dur_us: Some(10),
+            args: vec![(
+                "why\u{2}".to_string(),
+                ArgValue::Str("ctrl\u{3}arg".to_string()),
+            )],
+        }];
+        let trace = chrome_trace_json(&events);
+        let v = serde::json::parse(&trace).expect("chrome trace stays valid JSON");
+        let e = &v.get("traceEvents").and_then(|x| x.as_array()).unwrap()[0];
+        assert_eq!(e.get("name").and_then(|x| x.as_str()), Some(nasty));
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("why\u{2}"))
+                .and_then(|x| x.as_str()),
+            Some("ctrl\u{3}arg")
+        );
+
+        let r = Registry::new();
+        r.counter(nasty).add(7);
+        let snap_json = snapshot_to_json(&r.snapshot());
+        let v = serde::json::parse(&snap_json).expect("snapshot stays valid JSON");
+        assert_eq!(
+            v.get(nasty).and_then(|x| x.as_f64()),
+            Some(7.0),
+            "escaped key round-trips: {snap_json}"
+        );
+
+        let ring = crate::flight::FlightRecorder::new(4);
+        ring.push(
+            crate::flight::FlightKind::Note,
+            nasty,
+            1,
+            Some(ArgValue::Str("r\u{1f}eason".to_string())),
+        );
+        let dump = crate::flight::flight_dump_json(
+            ring.capacity(),
+            ring.dropped(),
+            &ring.events(),
+            &r.snapshot(),
+        );
+        let v = serde::json::parse(&dump).expect("flight dump stays valid JSON");
+        let ev = &v.get("events").and_then(|x| x.as_array()).unwrap()[0];
+        assert_eq!(ev.get("name").and_then(|x| x.as_str()), Some(nasty));
+        assert_eq!(
+            ev.get("value").and_then(|x| x.as_str()),
+            Some("r\u{1f}eason")
+        );
+    }
+
+    #[test]
     fn chrome_trace_parses_back_with_vendored_serde() {
         let events = vec![TraceEvent {
             name: "a \"quoted\" name".to_string(),

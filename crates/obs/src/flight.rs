@@ -24,7 +24,7 @@ use crate::metrics::MetricsSnapshot;
 use crate::span::ArgValue;
 use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Default ring capacity when `CASA_FLIGHT_CAP` is unset.
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
@@ -108,6 +108,7 @@ pub struct FlightRecorder {
     capacity: usize,
     state: Mutex<FlightState>,
     sink: Mutex<Option<PathBuf>>,
+    dump_lock: Mutex<()>,
 }
 
 impl FlightRecorder {
@@ -117,6 +118,7 @@ impl FlightRecorder {
             capacity: capacity.max(1),
             state: Mutex::new(FlightState::default()),
             sink: Mutex::new(None),
+            dump_lock: Mutex::new(()),
         }
     }
 
@@ -181,6 +183,16 @@ impl FlightRecorder {
     /// The automatic-dump sink path, if configured.
     pub fn sink(&self) -> Option<PathBuf> {
         self.sink.lock().unwrap().clone()
+    }
+
+    /// Serialize access to dump-file writes so concurrent dumps (panic
+    /// hook vs. degradation note vs. watchdog) never interleave within
+    /// one file. Poison-tolerant: dumps run inside panic hooks, where a
+    /// poisoned mutex must not abort the post-mortem write.
+    pub fn dump_guard(&self) -> MutexGuard<'_, ()> {
+        self.dump_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 

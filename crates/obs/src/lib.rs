@@ -32,7 +32,9 @@
 pub mod export;
 pub mod flight;
 pub mod metrics;
+pub mod serve;
 pub mod span;
+pub mod watchdog;
 
 pub use export::{chrome_trace_json, jnum, json_escape, snapshot_to_json};
 pub use flight::{
@@ -44,9 +46,16 @@ pub use metrics::{
     Histogram, HistogramSnapshot, LocalCounter, MetricValue, MetricsSnapshot, Registry,
     HISTOGRAM_BUCKETS,
 };
+pub use serve::{
+    collect_sse, http_get, prometheus_name, prometheus_text, validate_exposition, ExpositionStats,
+    ServeHandle, SSE_SUBSCRIBER_CAPACITY,
+};
 pub use span::{
-    render_span_table, span_tree, ArgValue, EventKind, Span, SpanSummary, TraceCollector,
-    TraceEvent,
+    render_span_table, span_tree, ArgValue, EventKind, Span, SpanSummary, StreamEvent,
+    TraceCollector, TraceEvent,
+};
+pub use watchdog::{
+    watchdog_ms_from_env, Heartbeats, WatchdogConfig, WatchdogHandle, WATCHDOG_ENV,
 };
 
 use std::path::PathBuf;
@@ -57,6 +66,7 @@ struct ObsInner {
     registry: Registry,
     collector: Arc<TraceCollector>,
     flight: Arc<FlightRecorder>,
+    heartbeats: Arc<Heartbeats>,
 }
 
 /// Handle threaded through the allocation flow. Clones share the same
@@ -87,6 +97,7 @@ impl Obs {
                 registry: Registry::new(),
                 collector,
                 flight: Arc::new(FlightRecorder::from_env()),
+                heartbeats: Arc::new(Heartbeats::new()),
             })),
         }
     }
@@ -103,6 +114,7 @@ impl Obs {
                     registry: Registry::new(),
                     collector: Arc::clone(&i.collector),
                     flight: Arc::clone(&i.flight),
+                    heartbeats: Arc::clone(&i.heartbeats),
                 })),
             },
             None => Obs::disabled(),
@@ -264,17 +276,26 @@ impl Obs {
         self.inner.as_deref().and_then(|i| i.flight.sink())
     }
 
-    /// Write [`Obs::dump_flight`] to the configured sink (or `fallback`
-    /// when no sink is set) and return the path written. `None` when
-    /// disabled or when the write fails — dump paths are best-effort
-    /// (they run inside panic hooks).
+    /// Write [`Obs::dump_flight`] to the configured sink, **falling
+    /// back to `fallback`** when no sink is set or the sink write
+    /// fails (unwritable directory, read-only mount — exactly the
+    /// situations a post-mortem dump must survive). Returns the path
+    /// actually written; `None` when disabled or when both writes
+    /// fail. Concurrent dumps (panic hook, degradation note, watchdog)
+    /// serialize on the flight recorder's dump lock so no file ever
+    /// holds two interleaved documents.
     pub fn dump_flight_to_sink_or(&self, fallback: &str) -> Option<PathBuf> {
-        self.inner.as_deref()?;
-        let path = self
-            .flight_sink()
-            .unwrap_or_else(|| PathBuf::from(fallback));
-        std::fs::write(&path, self.dump_flight()).ok()?;
-        Some(path)
+        let i = self.inner.as_deref()?;
+        let _guard = i.flight.dump_guard();
+        let body = self.dump_flight();
+        if let Some(sink) = self.flight_sink() {
+            if std::fs::write(&sink, &body).is_ok() {
+                return Some(sink);
+            }
+        }
+        let fallback = PathBuf::from(fallback);
+        std::fs::write(&fallback, &body).ok()?;
+        Some(fallback)
     }
 
     /// Record a degradation note (e.g. the allocation engine
@@ -292,8 +313,95 @@ impl Obs {
             Some(ArgValue::Str(reason.to_string())),
         );
         let sink = i.flight.sink()?;
+        let _guard = i.flight.dump_guard();
         std::fs::write(&sink, self.dump_flight()).ok()?;
         Some(sink)
+    }
+
+    /// Merge a metrics snapshot into this handle's registry —
+    /// counters add, gauges last-write-wins, histograms merge
+    /// bucket-wise. Unlike the per-event recording methods this does
+    /// **not** mirror into the flight ring: it exists so the sweep can
+    /// publish each finished cell's (deterministic, isolated) metrics
+    /// to the live telemetry registry without flooding the post-mortem
+    /// buffer. No-op when disabled.
+    pub fn merge_metrics(&self, snap: &MetricsSnapshot) {
+        if let Some(i) = &self.inner {
+            i.registry.merge_from(snap);
+        }
+    }
+
+    /// Record a liveness beat for `phase`: stamps the shared heartbeat
+    /// table (monitored by [`Obs::start_watchdog`]) and publishes the
+    /// timestamp as a `heartbeat_us.<phase>` gauge so scrapers see it
+    /// too. Children beat into the same table as their parent.
+    pub fn heartbeat(&self, phase: &str) {
+        if let Some(i) = &self.inner {
+            let now = i.collector.elapsed_us();
+            i.heartbeats.beat(phase, now);
+            i.registry
+                .gauge(&format!("heartbeat_us.{phase}"))
+                .set(now as f64);
+        }
+    }
+
+    /// Stop monitoring `phase` (it completed); a phase that is done is
+    /// never reported as stalled.
+    pub fn heartbeat_done(&self, phase: &str) {
+        if let Some(i) = &self.inner {
+            i.heartbeats.done(phase);
+        }
+    }
+
+    /// The shared heartbeat table, if enabled.
+    pub fn heartbeats(&self) -> Option<&Arc<Heartbeats>> {
+        self.inner.as_deref().map(|i| &i.heartbeats)
+    }
+
+    /// Start the live telemetry HTTP server on `addr` (for example
+    /// `127.0.0.1:9464`, or `127.0.0.1:0` to pick a free port — read
+    /// it back from [`ServeHandle::local_addr`]). See [`crate::serve`]
+    /// for the endpoints. Errors with
+    /// [`std::io::ErrorKind::Unsupported`] on a disabled handle.
+    pub fn serve(&self, addr: &str) -> std::io::Result<ServeHandle> {
+        serve::start(self, addr)
+    }
+
+    /// Start a watchdog thread monitoring the heartbeat table: any
+    /// phase silent longer than `cfg.silence` gets a `watchdog_stall`
+    /// instant event (with `phase` and `silent_us` args), a
+    /// `watchdog.stalls` counter bump, and a flight dump via
+    /// [`Obs::dump_flight_to_sink_or`]. Each stall fires once; a fresh
+    /// heartbeat re-arms the phase. `None` when disabled.
+    pub fn start_watchdog(&self, cfg: WatchdogConfig) -> Option<WatchdogHandle> {
+        let i = self.inner.as_deref()?;
+        let obs = self.clone();
+        let heartbeats = Arc::clone(&i.heartbeats);
+        let collector = Arc::clone(&i.collector);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let t_stop = Arc::clone(&stop);
+        let silence_us = cfg.silence.as_micros() as u64;
+        let thread = std::thread::Builder::new()
+            .name("casa-watchdog".to_string())
+            .spawn(move || {
+                while !t_stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(cfg.poll);
+                    let now = collector.elapsed_us();
+                    for (phase, silent_us) in heartbeats.newly_stalled(now, silence_us) {
+                        obs.instant(
+                            "watchdog_stall",
+                            vec![
+                                ("phase".to_string(), ArgValue::Str(phase.clone())),
+                                ("silent_us".to_string(), ArgValue::U64(silent_us)),
+                            ],
+                        );
+                        obs.add("watchdog.stalls", 1);
+                        obs.dump_flight_to_sink_or(&cfg.fallback_dump_path);
+                    }
+                }
+            })
+            .ok()?;
+        Some(WatchdogHandle::new(stop, thread))
     }
 
     /// Install a process-wide panic hook that writes the flight dump
@@ -456,6 +564,73 @@ mod tests {
                 .map(<[_]>::len),
             Some(0)
         );
+    }
+
+    #[test]
+    fn dump_falls_back_when_sink_write_fails() {
+        let obs = Obs::enabled();
+        obs.add("n", 1);
+        // A sink inside a directory that does not exist: the write
+        // must fail and the dump must land on the fallback path
+        // instead of vanishing.
+        let bad = std::env::temp_dir()
+            .join(format!("casa_no_such_dir_{}", std::process::id()))
+            .join("sink.json");
+        obs.set_flight_sink(Some(bad.clone()));
+        let fallback = std::env::temp_dir().join(format!(
+            "casa_fallback_test_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&fallback);
+        let written = obs
+            .dump_flight_to_sink_or(&fallback.display().to_string())
+            .expect("fallback write succeeds");
+        assert_eq!(written, fallback);
+        assert!(!bad.exists());
+        let body = std::fs::read_to_string(&fallback).unwrap();
+        assert!(serde::json::parse(&body).is_ok(), "fallback dump is valid");
+        let _ = std::fs::remove_file(&fallback);
+    }
+
+    #[test]
+    fn concurrent_dumps_do_not_interleave() {
+        let obs = Obs::enabled();
+        let sink = std::env::temp_dir().join(format!(
+            "casa_dump_race_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&sink);
+        obs.set_flight_sink(Some(sink.clone()));
+        let fallback = sink.display().to_string();
+        // Panic-hook-style dumps and degradation notes race onto the
+        // same sink from many threads; the dump lock serializes the
+        // writes so the file never ends up holding two interleaved
+        // documents. (Readers racing an in-progress write can still
+        // see a truncated file — the guarantee is about writers, so
+        // the file is only inspected after the storm.)
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let obs = obs.clone();
+                let fallback = fallback.clone();
+                s.spawn(move || {
+                    for j in 0..25 {
+                        if t % 2 == 0 {
+                            obs.note_degradation("engine.fallback", &format!("t{t} i{j}"));
+                        } else {
+                            obs.dump_flight_to_sink_or(&fallback);
+                        }
+                    }
+                });
+            }
+        });
+        let final_body = std::fs::read_to_string(&sink).unwrap();
+        assert!(
+            serde::json::parse(&final_body).is_ok(),
+            "sink must hold one complete JSON document"
+        );
+        let _ = std::fs::remove_file(&sink);
     }
 
     #[test]

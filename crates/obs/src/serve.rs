@@ -1,0 +1,789 @@
+//! Live telemetry service: a minimal std-only HTTP/1.1 server
+//! exposing an enabled [`Obs`] handle while the instrumented program
+//! runs.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition rendered from the
+//!   current [`MetricsSnapshot`] ([`prometheus_text`]): counters and
+//!   gauges as their native types, log₂ histograms as summaries with
+//!   p50/p90/p99 quantile lines.
+//! * `GET /snapshot.json` — the deterministic sorted-key JSON snapshot
+//!   ([`crate::snapshot_to_json`]).
+//! * `GET /flight.json` — the flight-recorder ring ([`Obs::dump_flight`]).
+//! * `GET /healthz` — liveness (`ok`).
+//! * `GET /events` — Server-Sent Events stream of span begin/end and
+//!   instant events, tee'd from the [`TraceCollector`] through a
+//!   bounded subscriber channel. Connecting mid-run replays history
+//!   first (atomically, so nothing is missed or duplicated), then
+//!   streams live.
+//! * `GET|POST /quitquitquit` — requests a graceful quit; binaries
+//!   lingering for a scraper ([`ServeHandle::wait_quit`]) exit early.
+//!
+//! The server is deliberately boring: blocking `TcpListener`, one
+//! thread per connection, `Connection: close` on every response. It
+//! never touches the instrumented path — readers take the same locks
+//! any snapshot does, and SSE subscribers are bounded channels that
+//! drop on overflow rather than block a writer.
+//!
+//! The std-only HTTP *client* helpers ([`http_get`], [`collect_sse`])
+//! and the exposition validator ([`validate_exposition`]) live here
+//! too so `diag --probe` and CI share one implementation.
+//!
+//! [`Obs`]: crate::Obs
+//! [`Obs::dump_flight`]: crate::Obs::dump_flight
+//! [`TraceCollector`]: crate::TraceCollector
+//! [`MetricsSnapshot`]: crate::MetricsSnapshot
+
+use crate::export::{json_escape, snapshot_to_json};
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::span::{ArgValue, StreamEvent};
+use crate::Obs;
+use std::collections::BTreeSet;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Bound on each SSE subscriber's channel: a scraper that falls this
+/// many events behind starts losing events instead of slowing the
+/// instrumented program.
+pub const SSE_SUBSCRIBER_CAPACITY: usize = 256;
+
+/// Prefix every exported Prometheus family carries.
+pub const PROMETHEUS_PREFIX: &str = "casa_";
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Map an internal metric name (dotted, free-form) to a Prometheus
+/// family name: `casa_` prefix, every character outside
+/// `[a-zA-Z0-9_:]` replaced by `_` (so `energy.total_uj` becomes
+/// `casa_energy_total_uj`).
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(PROMETHEUS_PREFIX.len() + name.len());
+    out.push_str(PROMETHEUS_PREFIX);
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a Prometheus sample value (`NaN` / `+Inf` /
+/// `-Inf` spellings per the exposition format, shortest round-trip
+/// otherwise).
+pub fn prom_num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Counters and gauges keep their type; log₂
+/// histograms are rendered as `summary` families with quantile lines
+/// (0.5 / 0.9 / 0.99, bucket lower bounds — present only when the
+/// histogram has samples) plus `_sum` and `_count`. Keys iterate in
+/// sorted order; if two internal names sanitize to the same family the
+/// first wins and later ones are skipped (never a duplicate family).
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (name, value) in snap {
+        let fam = prometheus_name(name);
+        if !seen.insert(fam.clone()) {
+            continue;
+        }
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {fam} counter\n{fam} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {fam} gauge\n{fam} {}\n", prom_num(*v)));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {fam} summary\n"));
+                if h.count > 0 {
+                    for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                        if let Some(v) = v {
+                            out.push_str(&format!("{fam}{{quantile=\"{q}\"}} {v}\n"));
+                        }
+                    }
+                }
+                out.push_str(&format!("{fam}_sum {}\n{fam}_count {}\n", h.sum, h.count));
+            }
+        }
+    }
+    out
+}
+
+/// Summary statistics returned by [`validate_exposition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Distinct metric families declared with `# TYPE` lines.
+    pub families: usize,
+    /// Sample lines (family, `_sum`/`_count`, and quantile lines all
+    /// count).
+    pub samples: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_sample_value(v: &str) -> bool {
+    matches!(v, "NaN" | "+Inf" | "-Inf") || v.parse::<f64>().is_ok()
+}
+
+/// Validate Prometheus text exposition: every sample belongs to a
+/// family declared by a preceding `# TYPE` line, no family is declared
+/// twice, names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, and values parse.
+/// Returns counts on success, a description of the first violation on
+/// failure.
+pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut families: BTreeSet<String> = BTreeSet::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, ty) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(t), None) => (n, t),
+                _ => return Err(format!("line {}: malformed TYPE line: {line}", lineno + 1)),
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {}: invalid family name {name:?}", lineno + 1));
+            }
+            if !matches!(
+                ty,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(format!("line {}: unknown metric type {ty:?}", lineno + 1));
+            }
+            if !families.insert(name.to_string()) {
+                return Err(format!("line {}: duplicate family {name:?}", lineno + 1));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free-form comment
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find('{') {
+            Some(brace) => {
+                let close = line[brace..]
+                    .find('}')
+                    .map(|i| brace + i)
+                    .ok_or_else(|| format!("line {}: unclosed label set: {line}", lineno + 1))?;
+                (&line[..brace], line[close + 1..].trim())
+            }
+            None => {
+                let mut it = line.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: empty sample", lineno + 1))?;
+                (name, line[name.len()..].trim())
+            }
+        };
+        let value = value_part
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| format!("line {}: sample without value: {line}", lineno + 1))?;
+        if !valid_metric_name(name_part) {
+            return Err(format!(
+                "line {}: invalid sample name {name_part:?}",
+                lineno + 1
+            ));
+        }
+        if !valid_sample_value(value) {
+            return Err(format!(
+                "line {}: unparsable sample value {value:?}",
+                lineno + 1
+            ));
+        }
+        let base = name_part
+            .strip_suffix("_sum")
+            .or_else(|| name_part.strip_suffix("_count"))
+            .or_else(|| name_part.strip_suffix("_bucket"))
+            .unwrap_or(name_part);
+        if !families.contains(name_part) && !families.contains(base) {
+            return Err(format!(
+                "line {}: sample {name_part:?} has no preceding TYPE line",
+                lineno + 1
+            ));
+        }
+        samples += 1;
+    }
+    Ok(ExpositionStats {
+        families: families.len(),
+        samples,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// SSE frame serialization
+// ---------------------------------------------------------------------------
+
+fn arg_json(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(n) => n.to_string(),
+        ArgValue::F64(n) => crate::export::jnum(*n),
+        ArgValue::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+/// Serialize one tee'd event as the single-line JSON document carried
+/// in an SSE `data:` field.
+pub fn stream_event_json(ev: &StreamEvent) -> String {
+    let e = ev.event();
+    let mut s = format!(
+        "{{\"kind\":\"{}\",\"name\":\"{}\",\"tid\":{},\"ts_us\":{},\"dur_us\":{}",
+        ev.kind_str(),
+        json_escape(&e.name),
+        e.tid,
+        e.ts_us,
+        e.dur_us
+            .map_or_else(|| "null".to_string(), |d| d.to_string())
+    );
+    s.push_str(",\"args\":{");
+    for (i, (k, v)) in e.args.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{}", json_escape(k), arg_json(v)));
+    }
+    s.push_str("}}");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Handle to a running telemetry server; shuts down (and joins the
+/// accept thread) on drop.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    quit: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The address actually bound (port resolved when the request was
+    /// `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a client has requested `/quitquitquit`.
+    pub fn quit_requested(&self) -> bool {
+        self.quit.load(Ordering::SeqCst)
+    }
+
+    /// Block until a client requests `/quitquitquit` or `timeout`
+    /// elapses; returns whether quit was requested. Lets a binary
+    /// linger for a scraper after its work is done without an
+    /// unconditional sleep.
+    pub fn wait_quit(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.quit_requested() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        self.quit_requested()
+    }
+
+    /// Stop accepting connections and join the accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start the telemetry server for an enabled handle. `addr` is any
+/// `host:port` string (`127.0.0.1:0` picks a free port — read it back
+/// from [`ServeHandle::local_addr`]). A disabled handle is an
+/// [`io::ErrorKind::Unsupported`] error: there is nothing to serve.
+pub fn start(obs: &Obs, addr: &str) -> io::Result<ServeHandle> {
+    if !obs.is_enabled() {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "telemetry server needs an enabled Obs handle (set CASA_TRACE=1)",
+        ));
+    }
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let quit = Arc::new(AtomicBool::new(false));
+    let obs = obs.clone();
+    let t_shutdown = Arc::clone(&shutdown);
+    let t_quit = Arc::clone(&quit);
+    let accept = thread::Builder::new()
+        .name("casa-serve".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if t_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let obs = obs.clone();
+                let shutdown = Arc::clone(&t_shutdown);
+                let quit = Arc::clone(&t_quit);
+                let _ = thread::Builder::new()
+                    .name("casa-serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(&obs, stream, &shutdown, &quit);
+                    });
+            }
+        })?;
+    Ok(ServeHandle {
+        addr: local,
+        shutdown,
+        quit,
+        accept: Some(accept),
+    })
+}
+
+/// Read the request head (through the blank line); returns
+/// `(method, path)`.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<(String, String)> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > 16 * 1024 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let first = head.lines().next().unwrap_or("");
+    let mut parts = first.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => Ok((m.to_string(), p.to_string())),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        )),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_connection(
+    obs: &Obs,
+    mut stream: TcpStream,
+    shutdown: &Arc<AtomicBool>,
+    quit: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let (method, path) = read_request_head(&mut stream)?;
+    let path = path.split('?').next().unwrap_or("");
+    match (method.as_str(), path) {
+        ("GET", "/metrics") => write_response(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &prometheus_text(&obs.snapshot()),
+        ),
+        ("GET", "/snapshot.json") => write_response(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &snapshot_to_json(&obs.snapshot()),
+        ),
+        ("GET", "/flight.json") => write_response(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &obs.dump_flight(),
+        ),
+        ("GET", "/healthz") => write_response(&mut stream, "200 OK", "text/plain", "ok\n"),
+        ("GET" | "POST", "/quitquitquit") => {
+            quit.store(true, Ordering::SeqCst);
+            write_response(&mut stream, "200 OK", "text/plain", "bye\n")
+        }
+        ("GET", "/events") => serve_events(obs, stream, shutdown),
+        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn serve_events(obs: &Obs, mut stream: TcpStream, shutdown: &Arc<AtomicBool>) -> io::Result<()> {
+    let Some(collector) = obs.collector().cloned() else {
+        return write_response(
+            &mut stream,
+            "503 Service Unavailable",
+            "text/plain",
+            "off\n",
+        );
+    };
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    let (replay, rx) = collector.subscribe(SSE_SUBSCRIBER_CAPACITY);
+    for ev in &replay {
+        write_sse_frame(&mut stream, ev)?;
+    }
+    stream.flush()?;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(ev) => {
+                write_sse_frame(&mut stream, &ev)?;
+                stream.flush()?;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Comment ping: keeps intermediaries from timing the
+                // stream out and lets us notice a dead client.
+                stream.write_all(b": keep-alive\n\n")?;
+                stream.flush()?;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+fn write_sse_frame(stream: &mut TcpStream, ev: &StreamEvent) -> io::Result<()> {
+    let frame = format!(
+        "event: {}\ndata: {}\n\n",
+        ev.kind_str(),
+        stream_event_json(ev)
+    );
+    stream.write_all(frame.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Std-only HTTP client (shared by `diag --probe` and tests)
+// ---------------------------------------------------------------------------
+
+/// Fetch `path` from a telemetry server: returns `(status, body)`.
+/// Plain HTTP/1.1, `Connection: close`, bounded by `timeout` for
+/// connect and for each read.
+pub fn http_get(addr: &SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Collect SSE frames from `path` until `max_frames` events have
+/// arrived or `window` elapses. Returns the `(event, data)` pairs plus
+/// the number of comment (`:` keep-alive) lines seen.
+pub fn collect_sse(
+    addr: &SocketAddr,
+    path: &str,
+    window: Duration,
+    max_frames: usize,
+) -> io::Result<(Vec<(String, String)>, usize)> {
+    let mut stream = TcpStream::connect_timeout(addr, window)?;
+    stream.set_write_timeout(Some(window))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let deadline = Instant::now() + window;
+    let mut raw: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        stream.set_read_timeout(Some(remaining.min(Duration::from_millis(100))))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&chunk[..n]);
+                if parse_sse_body(&raw).0.len() >= max_frames {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    drop(stream);
+    Ok(parse_sse_body(&raw))
+}
+
+/// Split a raw SSE response into `(event, data)` frames and a count of
+/// comment lines; tolerates the HTTP head still being attached.
+fn parse_sse_body(raw: &[u8]) -> (Vec<(String, String)>, usize) {
+    let text = String::from_utf8_lossy(raw);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map_or_else(|| text.to_string(), |(_, b)| b.to_string());
+    let mut frames = Vec::new();
+    let mut comments = 0usize;
+    let mut event = String::new();
+    let mut data = String::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            if !event.is_empty() || !data.is_empty() {
+                frames.push((std::mem::take(&mut event), std::mem::take(&mut data)));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("event:") {
+            event = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("data:") {
+            data = rest.trim().to_string();
+        } else if line.starts_with(':') {
+            comments += 1;
+        }
+    }
+    (frames, comments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn names_sanitize_with_prefix() {
+        assert_eq!(prometheus_name("energy.total_uj"), "casa_energy_total_uj");
+        assert_eq!(prometheus_name("sweep.cells-done"), "casa_sweep_cells_done");
+        assert_eq!(prometheus_name("a:b"), "casa_a:b");
+    }
+
+    #[test]
+    fn prom_num_spells_non_finite() {
+        assert_eq!(prom_num(1.5), "1.5");
+        assert_eq!(prom_num(f64::NAN), "NaN");
+        assert_eq!(prom_num(f64::INFINITY), "+Inf");
+        assert_eq!(prom_num(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn exposition_renders_and_validates() {
+        let obs = Obs::enabled();
+        obs.add("solver.nodes", 41);
+        obs.gauge_set("energy.total_uj", 12.5);
+        obs.record("conflict.row_degree", 4);
+        obs.record("conflict.row_degree", 16);
+        let text = prometheus_text(&obs.snapshot());
+        assert!(text.contains("# TYPE casa_solver_nodes counter\ncasa_solver_nodes 41\n"));
+        assert!(text.contains("# TYPE casa_energy_total_uj gauge\ncasa_energy_total_uj 12.5\n"));
+        assert!(text.contains("# TYPE casa_conflict_row_degree summary\n"));
+        assert!(text.contains("casa_conflict_row_degree{quantile=\"0.5\"} 4\n"));
+        assert!(text.contains("casa_conflict_row_degree_sum 20\n"));
+        assert!(text.contains("casa_conflict_row_degree_count 2\n"));
+        let stats = validate_exposition(&text).expect("valid exposition");
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.samples, 7);
+    }
+
+    #[test]
+    fn colliding_sanitized_names_keep_first_family() {
+        let obs = Obs::enabled();
+        obs.add("a.b", 1);
+        obs.add("a-b", 2);
+        let text = prometheus_text(&obs.snapshot());
+        assert_eq!(text.matches("# TYPE casa_a_b counter").count(), 1);
+        assert!(validate_exposition(&text).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_duplicates_and_bad_names() {
+        assert!(
+            validate_exposition("# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n")
+                .unwrap_err()
+                .contains("duplicate")
+        );
+        assert!(validate_exposition("# TYPE 9bad counter\n")
+            .unwrap_err()
+            .contains("invalid"));
+        assert!(validate_exposition("orphan 1\n")
+            .unwrap_err()
+            .contains("no preceding TYPE"));
+        assert!(validate_exposition("# TYPE x gauge\nx notanumber\n")
+            .unwrap_err()
+            .contains("unparsable"));
+        let ok =
+            validate_exposition("# TYPE x summary\nx{quantile=\"0.5\"} 2\nx_sum 2\nx_count 1\n")
+                .unwrap();
+        assert_eq!(
+            ok,
+            ExpositionStats {
+                families: 1,
+                samples: 3
+            }
+        );
+    }
+
+    #[test]
+    fn stream_event_json_is_parsable() {
+        let obs = Obs::enabled();
+        obs.instant("tick", vec![("n".to_string(), ArgValue::U64(3))]);
+        let collector = obs.collector().unwrap();
+        let (replay, _rx) = collector.subscribe(4);
+        let json = stream_event_json(&replay[0]);
+        let v = serde::json::parse(&json).expect("valid JSON");
+        assert_eq!(v.get("kind").and_then(|x| x.as_str()), Some("instant"));
+        assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("tick"));
+        assert_eq!(
+            v.get("args")
+                .and_then(|a| a.get("n"))
+                .and_then(|x| x.as_f64()),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn server_serves_all_endpoints() {
+        let obs = Obs::enabled();
+        obs.add("solver.nodes", 7);
+        obs.gauge_set("energy.total_uj", 1.25);
+        {
+            let _g = obs.span("phase");
+        }
+        let mut handle = start(&obs, "127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+        let t = Duration::from_secs(5);
+
+        let (st, body) = http_get(&addr, "/healthz", t).unwrap();
+        assert_eq!((st, body.as_str()), (200, "ok\n"));
+
+        let (st, metrics) = http_get(&addr, "/metrics", t).unwrap();
+        assert_eq!(st, 200);
+        validate_exposition(&metrics).expect("valid exposition over HTTP");
+        assert!(metrics.contains("casa_solver_nodes 7"));
+
+        let (st, snap) = http_get(&addr, "/snapshot.json", t).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(snap, snapshot_to_json(&obs.snapshot()));
+
+        let (st, flight) = http_get(&addr, "/flight.json", t).unwrap();
+        assert_eq!(st, 200);
+        assert!(serde::json::parse(&flight).is_ok());
+
+        let (st, _) = http_get(&addr, "/nope", t).unwrap();
+        assert_eq!(st, 404);
+
+        assert!(!handle.quit_requested());
+        let (st, body) = http_get(&addr, "/quitquitquit", t).unwrap();
+        assert_eq!((st, body.as_str()), (200, "bye\n"));
+        assert!(handle.wait_quit(Duration::from_secs(1)));
+
+        handle.shutdown();
+        // After shutdown the port stops answering (the dummy unblock
+        // connection may still be accepted; a fresh request must not).
+        assert!(http_get(&addr, "/healthz", Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn sse_streams_replay_and_live_events() {
+        let obs = Obs::enabled();
+        {
+            let _g = obs.span("history");
+        }
+        let handle = start(&obs, "127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+        // Live events emitted while the subscriber is attached.
+        let live = {
+            let obs = obs.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(150));
+                let _g = obs.span("live");
+                obs.instant("tick", Vec::new());
+            })
+        };
+        let (frames, _comments) =
+            collect_sse(&addr, "/events", Duration::from_secs(5), 4).expect("sse");
+        live.join().unwrap();
+        let kinds: Vec<&str> = frames.iter().map(|(e, _)| e.as_str()).collect();
+        assert_eq!(kinds, vec!["span_end", "span_begin", "instant", "span_end"]);
+        let names: Vec<String> = frames
+            .iter()
+            .map(|(_, d)| {
+                serde::json::parse(d)
+                    .unwrap()
+                    .get("name")
+                    .and_then(|x| x.as_str())
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(names, vec!["history", "live", "tick", "live"]);
+    }
+
+    #[test]
+    fn disabled_handle_refuses_to_serve() {
+        let err = start(&Obs::disabled(), "127.0.0.1:0").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+}

@@ -12,7 +12,16 @@
 //! Events re-imported from an exported Chrome trace lose the explicit
 //! parent links; [`span_tree`] falls back to timestamp-containment
 //! nesting in that case.
+//!
+//! Live consumers (the `/events` SSE endpoint of [`crate::serve`])
+//! attach through [`TraceCollector::subscribe`]: a **bounded** channel
+//! that tees every span begin/end and instant event as a
+//! [`StreamEvent`]. Subscribers never slow the instrumented path — a
+//! full channel drops the event (counted in
+//! [`TraceCollector::subscriber_dropped`]) and a disconnected
+//! subscriber is pruned on the next notification.
 
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use std::time::Instant;
@@ -57,6 +66,37 @@ pub struct TraceEvent {
     pub args: Vec<(String, ArgValue)>,
 }
 
+/// One live notification tee'd to a subscriber: the collector's view
+/// of a span opening, a span closing (duration filled in), or an
+/// instant event firing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A span just opened; `dur_us` is `None`.
+    SpanBegin(TraceEvent),
+    /// A span just closed; `dur_us` is filled in.
+    SpanEnd(TraceEvent),
+    /// An instant event fired.
+    Instant(TraceEvent),
+}
+
+impl StreamEvent {
+    /// Stable lowercase tag (the SSE `event:` field).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            StreamEvent::SpanBegin(_) => "span_begin",
+            StreamEvent::SpanEnd(_) => "span_end",
+            StreamEvent::Instant(_) => "instant",
+        }
+    }
+
+    /// The carried event.
+    pub fn event(&self) -> &TraceEvent {
+        match self {
+            StreamEvent::SpanBegin(e) | StreamEvent::SpanEnd(e) | StreamEvent::Instant(e) => e,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct CollectorState {
     events: Vec<TraceEvent>,
@@ -64,6 +104,30 @@ struct CollectorState {
     threads: Vec<ThreadId>,
     /// Per-ordinal stack of open span indices.
     stacks: Vec<Vec<usize>>,
+    /// Live subscribers (bounded channels); pruned when disconnected.
+    subscribers: Vec<SyncSender<StreamEvent>>,
+    /// Events dropped because a subscriber's channel was full.
+    sub_dropped: u64,
+}
+
+impl CollectorState {
+    /// Fan an event out to every subscriber without ever blocking: a
+    /// full channel drops the event (counted), a dead one is pruned.
+    fn notify(&mut self, ev: &StreamEvent) {
+        let mut i = 0;
+        while i < self.subscribers.len() {
+            match self.subscribers[i].try_send(ev.clone()) {
+                Ok(()) => i += 1,
+                Err(TrySendError::Full(_)) => {
+                    self.sub_dropped += 1;
+                    i += 1;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.subscribers.swap_remove(i);
+                }
+            }
+        }
+    }
 }
 
 /// Thread-safe accumulator of span / instant events.
@@ -129,6 +193,8 @@ impl TraceCollector {
             args,
         });
         st.stacks[tid as usize].push(idx);
+        let tee = StreamEvent::SpanBegin(st.events[idx].clone());
+        st.notify(&tee);
         Span {
             inner: Some((Arc::clone(self), idx)),
         }
@@ -140,9 +206,11 @@ impl TraceCollector {
         let ev = &mut st.events[idx];
         ev.dur_us = Some(ts.saturating_sub(ev.ts_us));
         let tid = ev.tid as usize;
+        let tee = StreamEvent::SpanEnd(st.events[idx].clone());
         // Guards drop LIFO per thread in normal use; `retain` keeps
         // the stack sane even if one escapes its scope out of order.
         st.stacks[tid].retain(|&i| i != idx);
+        st.notify(&tee);
     }
 
     /// Record a point event on the current thread.
@@ -160,6 +228,44 @@ impl TraceCollector {
             dur_us: None,
             args,
         });
+        let tee = StreamEvent::Instant(st.events.last().expect("just pushed").clone());
+        st.notify(&tee);
+    }
+
+    /// Attach a live subscriber: returns a **replay** of everything
+    /// recorded so far (closed spans as [`StreamEvent::SpanEnd`], still
+    /// open ones as [`StreamEvent::SpanBegin`]) plus a bounded channel
+    /// that receives every subsequent event. Replay and registration
+    /// happen under one lock, so no event is missed or duplicated
+    /// between them. A subscriber that falls `capacity` events behind
+    /// loses events (see [`Self::subscriber_dropped`]); one that is
+    /// dropped is pruned on the next notification.
+    pub fn subscribe(&self, capacity: usize) -> (Vec<StreamEvent>, Receiver<StreamEvent>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+        let mut st = self.state.lock().unwrap();
+        let replay = st
+            .events
+            .iter()
+            .map(|e| match (e.kind, e.dur_us) {
+                (EventKind::Span, Some(_)) => StreamEvent::SpanEnd(e.clone()),
+                (EventKind::Span, None) => StreamEvent::SpanBegin(e.clone()),
+                (EventKind::Instant, _) => StreamEvent::Instant(e.clone()),
+            })
+            .collect();
+        st.subscribers.push(tx);
+        (replay, rx)
+    }
+
+    /// Live subscribers currently attached (dead ones may linger until
+    /// the next notification prunes them).
+    pub fn subscriber_count(&self) -> usize {
+        self.state.lock().unwrap().subscribers.len()
+    }
+
+    /// Events dropped across all subscribers because a bounded channel
+    /// was full.
+    pub fn subscriber_dropped(&self) -> u64 {
+        self.state.lock().unwrap().sub_dropped
     }
 
     /// Snapshot all events. Spans still open are reported with their
@@ -455,5 +561,60 @@ mod tests {
     fn collector_is_send_sync() {
         const fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TraceCollector>();
+    }
+
+    #[test]
+    fn subscribers_get_replay_then_live_events() {
+        let c = Arc::new(TraceCollector::new());
+        {
+            let _g = c.begin_span("history", Vec::new());
+        }
+        let (replay, rx) = c.subscribe(16);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].kind_str(), "span_end");
+        assert_eq!(replay[0].event().name, "history");
+        {
+            let _g = c.begin_span("live", Vec::new());
+            c.instant("tick", Vec::new());
+        }
+        let kinds: Vec<&str> = rx.try_iter().map(|e| e.kind_str()).collect();
+        assert_eq!(kinds, vec!["span_begin", "instant", "span_end"]);
+        assert_eq!(c.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn open_spans_replay_as_begin() {
+        let c = Arc::new(TraceCollector::new());
+        let _open = c.begin_span("still-open", Vec::new());
+        let (replay, _rx) = c.subscribe(4);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].kind_str(), "span_begin");
+        assert_eq!(replay[0].event().dur_us, None);
+    }
+
+    #[test]
+    fn full_subscriber_drops_events_without_blocking() {
+        let c = Arc::new(TraceCollector::new());
+        let (_replay, rx) = c.subscribe(2);
+        for i in 0..5 {
+            c.instant(format!("e{i}"), Vec::new());
+        }
+        // Channel holds the first two; the rest were dropped, counted,
+        // and the instrumented path never blocked.
+        assert_eq!(rx.try_iter().count(), 2);
+        assert_eq!(c.subscriber_dropped(), 3);
+    }
+
+    #[test]
+    fn disconnected_subscribers_are_pruned() {
+        let c = Arc::new(TraceCollector::new());
+        let (_replay, rx) = c.subscribe(4);
+        assert_eq!(c.subscriber_count(), 1);
+        drop(rx);
+        c.instant("after-drop", Vec::new());
+        assert_eq!(c.subscriber_count(), 0);
+        // Disconnection is not a drop: nothing was lost to a full
+        // buffer.
+        assert_eq!(c.subscriber_dropped(), 0);
     }
 }

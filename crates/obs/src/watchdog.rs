@@ -1,0 +1,288 @@
+//! Phase watchdog: heartbeat tracking plus a monitor thread that flags
+//! phases which have gone silent.
+//!
+//! Long-running phases (a branch-and-bound solve chewing through a
+//! node budget, a simulation over a large trace) call
+//! [`Obs::heartbeat`] periodically; the watchdog thread started by
+//! [`Obs::start_watchdog`] wakes every [`WatchdogConfig::poll`] and
+//! compares each live phase's last beat against
+//! [`WatchdogConfig::silence`]. A phase that has been silent longer
+//! than the threshold is flagged **once per stall**: the watchdog
+//! emits a `watchdog_stall` instant event, bumps the
+//! `watchdog.stalls` counter, and triggers a flight dump through
+//! [`Obs::dump_flight_to_sink_or`] so the post-mortem ring survives
+//! even if the process is later killed. A fresh heartbeat re-arms the
+//! phase.
+//!
+//! The heartbeat table lives on the shared [`Obs`] inner state (like
+//! the flight recorder), so [`Obs::child`] handles beat into the same
+//! table the parent's watchdog monitors.
+//!
+//! [`Obs`]: crate::Obs
+//! [`Obs::heartbeat`]: crate::Obs::heartbeat
+//! [`Obs::start_watchdog`]: crate::Obs::start_watchdog
+//! [`Obs::child`]: crate::Obs::child
+//! [`Obs::dump_flight_to_sink_or`]: crate::Obs::dump_flight_to_sink_or
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable holding the watchdog silence threshold in
+/// milliseconds. Unset, empty, or `0` disables the watchdog.
+pub const WATCHDOG_ENV: &str = "CASA_WATCHDOG_MS";
+
+#[derive(Debug, Clone, Copy)]
+struct Beat {
+    last_us: u64,
+    flagged: bool,
+}
+
+/// Shared table of per-phase heartbeat timestamps (µs on the owning
+/// collector's clock). One table per `Obs` family — children share it.
+#[derive(Debug, Default)]
+pub struct Heartbeats {
+    beats: Mutex<BTreeMap<String, Beat>>,
+}
+
+impl Heartbeats {
+    /// An empty table.
+    pub fn new() -> Heartbeats {
+        Heartbeats::default()
+    }
+
+    /// Record a beat for `phase` at `now_us`, re-arming a flagged
+    /// stall.
+    pub fn beat(&self, phase: &str, now_us: u64) {
+        let mut beats = self.beats.lock().unwrap();
+        match beats.get_mut(phase) {
+            Some(b) => {
+                b.last_us = now_us;
+                b.flagged = false;
+            }
+            None => {
+                beats.insert(
+                    phase.to_string(),
+                    Beat {
+                        last_us: now_us,
+                        flagged: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Remove `phase` from monitoring (the phase completed).
+    pub fn done(&self, phase: &str) {
+        self.beats.lock().unwrap().remove(phase);
+    }
+
+    /// Phases currently being monitored, sorted.
+    pub fn live(&self) -> Vec<String> {
+        self.beats.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// Phases whose last beat is older than `silence_us` and which
+    /// have not yet been flagged for this stall. Returns
+    /// `(phase, silent_us)` pairs in sorted phase order and marks them
+    /// flagged so each stall fires exactly once.
+    pub fn newly_stalled(&self, now_us: u64, silence_us: u64) -> Vec<(String, u64)> {
+        let mut beats = self.beats.lock().unwrap();
+        let mut stalled = Vec::new();
+        for (phase, b) in beats.iter_mut() {
+            let silent = now_us.saturating_sub(b.last_us);
+            if !b.flagged && silent > silence_us {
+                b.flagged = true;
+                stalled.push((phase.clone(), silent));
+            }
+        }
+        stalled
+    }
+}
+
+/// Watchdog thread configuration.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// A phase silent longer than this is flagged as stalled.
+    pub silence: Duration,
+    /// How often the monitor thread checks. Defaults to
+    /// `silence / 4`, clamped to ≥ 1 ms, so a stall is detected well
+    /// within 2 × `silence`.
+    pub poll: Duration,
+    /// Fallback flight-dump path used when no sink is configured.
+    pub fallback_dump_path: String,
+}
+
+impl WatchdogConfig {
+    /// A config with the default poll cadence for `silence`.
+    pub fn new(silence: Duration) -> WatchdogConfig {
+        WatchdogConfig {
+            silence,
+            poll: (silence / 4).max(Duration::from_millis(1)),
+            fallback_dump_path: "casa_watchdog_dump.json".to_string(),
+        }
+    }
+}
+
+/// The silence threshold from [`WATCHDOG_ENV`], if the watchdog is
+/// enabled (`None` when unset, unparsable, or zero).
+pub fn watchdog_ms_from_env() -> Option<u64> {
+    let ms = std::env::var(WATCHDOG_ENV)
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()?;
+    if ms == 0 {
+        None
+    } else {
+        Some(ms)
+    }
+}
+
+/// Handle to a running watchdog thread; stops and joins on drop.
+#[derive(Debug)]
+pub struct WatchdogHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WatchdogHandle {
+    pub(crate) fn new(stop: Arc<AtomicBool>, thread: JoinHandle<()>) -> WatchdogHandle {
+        WatchdogHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Signal the monitor thread to exit and wait for it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WatchdogHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::ArgValue;
+    use crate::Obs;
+
+    #[test]
+    fn beats_rearm_and_flag_once() {
+        let hb = Heartbeats::new();
+        hb.beat("solve", 0);
+        hb.beat("simulate", 0);
+        assert!(hb.newly_stalled(50, 100).is_empty(), "within threshold");
+        let stalled = hb.newly_stalled(200, 100);
+        assert_eq!(stalled.len(), 2);
+        assert_eq!(stalled[0].0, "simulate");
+        assert_eq!(stalled[1].0, "solve");
+        assert_eq!(stalled[1].1, 200);
+        // Already flagged — not reported again for the same stall.
+        assert!(hb.newly_stalled(400, 100).is_empty());
+        // A fresh beat re-arms exactly that phase.
+        hb.beat("solve", 500);
+        let again = hb.newly_stalled(700, 100);
+        assert_eq!(
+            again.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>(),
+            vec!["solve"]
+        );
+    }
+
+    #[test]
+    fn done_removes_phase_from_monitoring() {
+        let hb = Heartbeats::new();
+        hb.beat("layout", 0);
+        assert_eq!(hb.live(), vec!["layout".to_string()]);
+        hb.done("layout");
+        assert!(hb.live().is_empty());
+        assert!(hb.newly_stalled(u64::MAX, 1).is_empty());
+    }
+
+    #[test]
+    fn env_parsing_rejects_zero_and_garbage() {
+        // Avoid mutating the process env (other tests run in
+        // parallel): exercise the parse contract directly.
+        assert_eq!("250".trim().parse::<u64>().ok(), Some(250));
+        assert!(watchdog_ms_from_env().is_none() || watchdog_ms_from_env().unwrap() > 0);
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_phase_and_dumps_flight() {
+        let obs = Obs::enabled();
+        let dump = std::env::temp_dir().join(format!(
+            "casa_watchdog_test_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&dump);
+        obs.set_flight_sink(Some(dump.clone()));
+        let mut cfg = WatchdogConfig::new(Duration::from_millis(40));
+        cfg.fallback_dump_path = dump.display().to_string();
+        let mut wd = obs.start_watchdog(cfg).expect("enabled obs starts");
+        obs.heartbeat("selftest.stall");
+        // Never beat again: the phase must be flagged within a few
+        // poll cycles. Generous deadline for loaded CI machines.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut stall_seen = false;
+        while std::time::Instant::now() < deadline {
+            if obs.events().iter().any(|e| e.name == "watchdog_stall") {
+                stall_seen = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        wd.stop();
+        assert!(stall_seen, "watchdog_stall instant event must be emitted");
+        let ev = obs
+            .events()
+            .into_iter()
+            .find(|e| e.name == "watchdog_stall")
+            .unwrap();
+        assert!(ev
+            .args
+            .iter()
+            .any(|(k, v)| k == "phase" && *v == ArgValue::Str("selftest.stall".to_string())));
+        assert!(dump.exists(), "stall must trigger a flight dump");
+        let body = std::fs::read_to_string(&dump).unwrap();
+        assert!(serde::json::parse(&body).is_ok(), "dump is valid JSON");
+        // Counter recorded exactly one stall (flag-once semantics).
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.get("watchdog.stalls"),
+            Some(&crate::MetricValue::Counter(1))
+        );
+        let _ = std::fs::remove_file(&dump);
+    }
+
+    #[test]
+    fn heartbeats_from_children_feed_parent_watchdog() {
+        let parent = Obs::enabled();
+        let child = parent.child();
+        child.heartbeat("cell");
+        // The beat landed in the shared table the parent monitors.
+        assert_eq!(
+            parent.heartbeats().map(|h| h.live()),
+            Some(vec!["cell".to_string()])
+        );
+        child.heartbeat_done("cell");
+        assert_eq!(parent.heartbeats().map(|h| h.live()), Some(Vec::new()));
+        // Disabled handles no-op.
+        let off = Obs::disabled();
+        off.heartbeat("x");
+        assert!(off.heartbeats().is_none());
+        assert!(off
+            .start_watchdog(WatchdogConfig::new(Duration::from_millis(10)))
+            .is_none());
+    }
+}
