@@ -113,6 +113,34 @@ grep -q '"verdict":"pass"' /tmp/casa_regress_served.json \
   || { echo "served sentinel verdict is not a pass"; exit 1; }
 rm -f /tmp/casa_telemetry_history.jsonl
 
+echo "== allocation service: casa-server under concurrent load"
+# Boot the allocation service on an ephemeral port, then drive it with
+# the load generator: two concurrent clients issuing a deterministic
+# mix of cold solves, exact repeats (cache hits), capacity-adjacent
+# pairs (warm starts), and one starved request that must degrade to a
+# feasible answer with a finite gap. The loadgen asserts repeats are
+# byte-identical and that /metrics agrees with its own request count;
+# ci.sh re-checks one repeated pair with cmp and probes the
+# casa_server_* families independently via diag.
+rm -f /tmp/casa_server_addr /tmp/casa_solve_a.json /tmp/casa_solve_b.json
+cargo run --release -q -p casa-bench --bin casa-server -- \
+  --listen 127.0.0.1:0 --addr-file /tmp/casa_server_addr --max-seconds 300 &
+SERVER_PID=$!
+i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_server_addr; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_server_addr || { echo "casa-server never published its address"; kill $SERVER_PID; exit 1; }
+SERVER_ADDR="$(head -n1 /tmp/casa_server_addr)"
+cargo run --release -q -p casa-bench --bin casa-loadgen -- \
+  --addr "$SERVER_ADDR" --clients 2 --graphs 4 --repeat 2 \
+  --dump-a /tmp/casa_solve_a.json --dump-b /tmp/casa_solve_b.json \
+  || { echo "load generator failed"; kill $SERVER_PID; exit 1; }
+cmp /tmp/casa_solve_a.json /tmp/casa_solve_b.json \
+  || { echo "repeated solve responses differ"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- --probe "$SERVER_ADDR" \
+  --expect casa_server_requests_total --expect casa_server_cache_hits_total \
+  --expect casa_server_cache_misses_total --quit \
+  || { echo "casa-server probe failed"; kill $SERVER_PID; exit 1; }
+wait $SERVER_PID || { echo "casa-server did not exit cleanly"; exit 1; }
+
 echo "== budget-stress smoke: sweep --smoke --budget-nodes 1"
 # The harshest anytime setting: a single search node per cell. The
 # sweep bin itself asserts every cell still answers (status present;

@@ -1,0 +1,199 @@
+//! casa-loadgen — CI load generator and checker for `casa-server`.
+//!
+//! Drives a running server with concurrent clients issuing a seeded,
+//! deterministic mix of graph-form solve requests: cold solves,
+//! exact repeats (cache hits), capacity-adjacent pairs (warm
+//! starts), and one deliberately starved request that must degrade
+//! gracefully. Asserts, loudly:
+//!
+//! * every repeated request's response is **byte-identical** to its
+//!   first answer (client-side `assert_eq!`, and optionally dumped to
+//!   files for an independent `cmp` in CI);
+//! * the starved request reports `"status":"feasible"` with a finite
+//!   optimality gap;
+//! * `/metrics` afterwards shows at least the issued number of
+//!   `casa_server_requests_total` and ≥ 1 `casa_server_cache_hits_total`.
+//!
+//! 429 (admission queue full) is retried with backoff — overload
+//! shedding is correct server behaviour, not a test failure.
+//!
+//! Usage: `casa-loadgen --addr <host:port> [--clients 2] [--graphs 4]
+//!         [--repeat 2] [--dump-a <path> --dump-b <path>]`
+//!
+//! Exits 0 iff every check passed (any failure panics).
+
+use casa_bench::runner::cli_value;
+use casa_obs::{http_get, http_post};
+use serde::json::Value;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+/// A deterministic graph-form request body (pure function of `seed`).
+fn request_body(seed: u64, capacity: u32, budget_nodes: Option<u64>) -> String {
+    let mut s = seed;
+    let n = 4 + (lcg(&mut s) % 4) as usize;
+    let fetches: Vec<String> = (0..n)
+        .map(|_| (100 + lcg(&mut s) % 3000).to_string())
+        .collect();
+    let sizes: Vec<String> = (0..n)
+        .map(|_| (8 + 8 * (lcg(&mut s) % 4)).to_string())
+        .collect();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && lcg(&mut s).is_multiple_of(2) {
+                edges.push(format!("[{i},{j},{}]", 1 + lcg(&mut s) % 500));
+            }
+        }
+    }
+    let budget = budget_nodes
+        .map(|nodes| format!(",\"budget\":{{\"nodes\":{nodes}}}"))
+        .unwrap_or_default();
+    format!(
+        "{{\"graph\":{{\"fetches\":[{}],\"sizes\":[{}],\"edges\":[{}]}},\"cache\":{{\"size\":1024,\"line\":16,\"assoc\":1}},\"capacity\":{capacity},\"allocator\":\"casa-bb\"{budget}}}",
+        fetches.join(","),
+        sizes.join(","),
+        edges.join(","),
+    )
+}
+
+/// POST one solve request, retrying 429s with backoff (overload
+/// shedding is expected under concurrent load).
+fn solve(addr: &SocketAddr, body: &str) -> String {
+    for attempt in 0..8u32 {
+        let (status, resp) =
+            http_post(addr, "/solve", "application/json", body, TIMEOUT).expect("POST /solve");
+        match status {
+            200 => return resp,
+            429 => thread::sleep(Duration::from_millis(50 << attempt)),
+            other => panic!("POST /solve returned {other}: {resp}"),
+        }
+    }
+    panic!("POST /solve still overloaded after 8 retries");
+}
+
+/// One client's deterministic request schedule. Returns
+/// `(requests_issued, Vec<(label, body)>)` for cross-checking.
+fn run_client(
+    addr: SocketAddr,
+    client: u64,
+    graphs: u64,
+    repeat: u64,
+) -> (u64, Vec<(String, String)>) {
+    let mut issued = 0;
+    let mut transcript = Vec::new();
+    for g in 0..graphs {
+        let seed = 10_000 * (client + 1) + g;
+        let cold = request_body(seed, 64, None);
+        let adjacent = request_body(seed, 96, None);
+        let first = solve(&addr, &cold);
+        issued += 1;
+        transcript.push((format!("c{client}g{g}:cold"), first.clone()));
+        // Capacity-adjacent request for the same graph: lands on the
+        // same shard (base fingerprint) and can warm-start from the
+        // cold solve's optimum.
+        let adj = solve(&addr, &adjacent);
+        issued += 1;
+        transcript.push((format!("c{client}g{g}:adjacent"), adj));
+        for r in 0..repeat {
+            let again = solve(&addr, &cold);
+            issued += 1;
+            assert_eq!(
+                again, first,
+                "repeat {r} of client {client} graph {g} differs from the first response"
+            );
+            transcript.push((format!("c{client}g{g}:repeat{r}"), again));
+        }
+    }
+    (issued, transcript)
+}
+
+fn metric_value(metrics: &str, family: &str) -> f64 {
+    metrics
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.rsplit_once(' ')?;
+            (name == family).then(|| value.parse::<f64>().ok())?
+        })
+        .sum()
+}
+
+fn main() {
+    let addr: SocketAddr = cli_value("--addr")
+        .expect("--addr <host:port> is required")
+        .parse()
+        .expect("--addr must be host:port");
+    let clients = cli_value("--clients").map_or(2, |v| v.parse().expect("--clients"));
+    let graphs = cli_value("--graphs").map_or(4, |v| v.parse().expect("--graphs"));
+    let repeat = cli_value("--repeat").map_or(2, |v| v.parse().expect("--repeat"));
+
+    // Concurrent clients, each with a disjoint deterministic schedule.
+    let handles: Vec<_> = (0..clients)
+        .map(|c| thread::spawn(move || run_client(addr, c, graphs, repeat)))
+        .collect();
+    let mut issued = 0;
+    let mut transcripts = Vec::new();
+    for h in handles {
+        let (n, t) = h.join().expect("client thread");
+        issued += n;
+        transcripts.push(t);
+    }
+
+    // One starved request: a single search node cannot close a
+    // nontrivial graph, so the reply must be a graceful degradation —
+    // feasible, with a finite proven gap — not an error.
+    let starved = solve(&addr, &request_body(777, 64, Some(1)));
+    issued += 1;
+    let v = serde::json::parse(&starved).expect("degraded response is valid JSON");
+    assert_eq!(
+        v.get("status").and_then(Value::as_str),
+        Some("feasible"),
+        "starved request should degrade gracefully: {starved}"
+    );
+    let gap = v
+        .get("gap")
+        .and_then(Value::as_f64)
+        .expect("degraded response carries a gap");
+    assert!(gap.is_finite() && gap >= 0.0, "gap {gap} not finite");
+
+    // Optional dump of one repeated pair for an independent `cmp` in
+    // CI (defence against this binary's own assert being wrong).
+    if let (Some(a), Some(b)) = (cli_value("--dump-a"), cli_value("--dump-b")) {
+        let first = &transcripts[0][0];
+        let same = transcripts[0]
+            .iter()
+            .find(|(label, _)| label.ends_with(":repeat0"))
+            .expect("repeat in transcript");
+        std::fs::write(&a, &first.1).expect("write --dump-a");
+        std::fs::write(&b, &same.1).expect("write --dump-b");
+    }
+
+    // The server's own accounting must agree.
+    let (status, metrics) = http_get(&addr, "/metrics", TIMEOUT).expect("GET /metrics");
+    assert_eq!(status, 200, "metrics scrape failed");
+    let requests = metric_value(&metrics, "casa_server_requests_total");
+    assert!(
+        requests >= issued as f64,
+        "server counted {requests} requests, loadgen issued {issued}"
+    );
+    let hits = metric_value(&metrics, "casa_server_cache_hits_total");
+    assert!(
+        hits >= 1.0,
+        "expected at least one exact cache hit, server counted {hits}"
+    );
+
+    println!(
+        "casa-loadgen: OK — {clients} clients, {issued} requests, {requests} served, {hits} cache hits, degraded gap {gap:.6}"
+    );
+}

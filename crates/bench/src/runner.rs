@@ -46,6 +46,19 @@ const VALUE_FLAGS: &[&str] = &[
     "--probe",
     "--probe-quick",
     "--expect",
+    "--listen",
+    "--addr-file",
+    "--addr",
+    "--workers",
+    "--queue-cap",
+    "--cache-cap",
+    "--max-budget-nodes",
+    "--max-seconds",
+    "--clients",
+    "--graphs",
+    "--repeat",
+    "--dump-a",
+    "--dump-b",
 ];
 
 /// The value following `--<name>` on the command line, if present.

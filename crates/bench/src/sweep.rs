@@ -321,13 +321,9 @@ impl SweepGrid {
             }
         }
         let _ = write!(canon, "budget:{:?}", self.budget);
-        // FNV-1a, 64-bit: tiny, stable, dependency-free.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in canon.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        format!("{h:016x}")
+        let mut h = casa_obs::Fnv1a::new();
+        h.update(canon.as_bytes());
+        h.hex()
     }
 
     /// The canonical Table-1 sweep: every paper benchmark × four

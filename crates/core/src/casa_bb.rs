@@ -198,7 +198,7 @@ impl SavingsModel {
     }
 
     /// Whether `chosen` respects the capacity (free items are free).
-    fn fits(&self, chosen: &[bool], capacity: u32) -> bool {
+    pub(crate) fn fits(&self, chosen: &[bool], capacity: u32) -> bool {
         let used: u64 = (0..self.n)
             .filter(|&i| chosen[i])
             .map(|i| u64::from(self.sizes[i]))

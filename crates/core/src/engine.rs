@@ -121,9 +121,30 @@ pub fn allocate_budgeted(
     budget: &Budget,
     obs: &Obs,
 ) -> AllocOutcome {
+    allocate_budgeted_warm(model, capacity, kind, budget, None, obs)
+}
+
+/// [`allocate_budgeted`] with an externally supplied warm-start
+/// allocation (one flag per object). The warm start is advisory: it is
+/// adopted only when it fits `capacity` and beats the solver's own
+/// greedy incumbent, so a stale or infeasible hint can never make the
+/// answer worse. Allocators without warm-start support ignore it.
+///
+/// This is the solution cache's seeding hook: a cached optimum for a
+/// *capacity-adjacent* request becomes the incumbent, which tightens
+/// pruning from node zero and guarantees the degraded answer is at
+/// least as good as the hint.
+pub fn allocate_budgeted_warm(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    kind: AllocatorKind,
+    budget: &Budget,
+    warm: Option<&[bool]>,
+    obs: &Obs,
+) -> AllocOutcome {
     let outcome = match kind {
         AllocatorKind::CasaBb => {
-            let out = allocate_bb_budgeted(model, capacity, budget, None, obs);
+            let out = allocate_bb_budgeted(model, capacity, budget, warm, obs);
             let status = if out.is_optimal() {
                 AllocStatus::Optimal
             } else {
@@ -135,8 +156,12 @@ pub fn allocate_budgeted(
                 stopped_by: out.stopped_by,
             }
         }
-        AllocatorKind::CasaIlpPaper => ilp_rung(model, capacity, Linearization::Paper, budget, obs),
-        AllocatorKind::CasaIlpTight => ilp_rung(model, capacity, Linearization::Tight, budget, obs),
+        AllocatorKind::CasaIlpPaper => {
+            ilp_rung(model, capacity, Linearization::Paper, budget, warm, obs)
+        }
+        AllocatorKind::CasaIlpTight => {
+            ilp_rung(model, capacity, Linearization::Tight, budget, warm, obs)
+        }
         AllocatorKind::CasaGreedy => {
             // The greedy answer is certified against the fractional
             // knapsack bound: a zero gap proves it optimal, otherwise
@@ -179,16 +204,31 @@ pub fn allocate_budgeted(
     outcome
 }
 
-/// One CASA-ILP rung of the ladder: greedy warm start, budgeted engine
-/// solve, greedy fallback on failure.
+/// One CASA-ILP rung of the ladder: warm start from the better of the
+/// greedy incumbent and the caller's hint, budgeted engine solve,
+/// greedy fallback on failure.
 fn ilp_rung(
     model: &EnergyModel<'_>,
     capacity: u32,
     lin: Linearization,
     budget: &Budget,
+    hint: Option<&[bool]>,
     obs: &Obs,
 ) -> AllocOutcome {
-    let warm = allocate_greedy(model, capacity);
+    let mut warm = allocate_greedy(model, capacity);
+    if let Some(hint) = hint {
+        let sm = SavingsModel::new(model, capacity);
+        if hint.len() == warm.on_spm.len()
+            && sm.fits(hint, capacity)
+            && sm.exact_savings(hint) > sm.exact_savings(&warm.on_spm)
+        {
+            warm = crate::allocation::Allocation {
+                on_spm: hint.to_vec(),
+                predicted_energy: Some(model.total_energy(hint)),
+                solver_nodes: 0,
+            };
+        }
+    }
     match allocate_ilp_budgeted(
         model,
         capacity,
@@ -344,6 +384,57 @@ mod tests {
         assert_eq!(fb.gap(), None);
         assert_eq!(AllocStatus::Feasible { gap: 2.0 }.gap(), Some(2.0));
         assert!(AllocStatus::Optimal.is_optimal());
+    }
+
+    #[test]
+    fn warm_start_lifts_degraded_answers_and_never_hurts() {
+        let g = graph();
+        let t = table();
+        let model = EnergyModel::new(&g, &t);
+        // The proven optimum, found with an unlimited budget.
+        let opt = allocate_budgeted(
+            &model,
+            32,
+            AllocatorKind::CasaBb,
+            &Budget::unlimited(),
+            &Obs::disabled(),
+        );
+        // One node is not enough to search — but warm-started from the
+        // optimum, the incumbent already IS the optimum.
+        for kind in [
+            AllocatorKind::CasaBb,
+            AllocatorKind::CasaIlpPaper,
+            AllocatorKind::CasaIlpTight,
+        ] {
+            let warm = allocate_budgeted_warm(
+                &model,
+                32,
+                kind,
+                &Budget::nodes(1),
+                Some(&opt.allocation.on_spm),
+                &Obs::disabled(),
+            );
+            let e_warm = model.total_energy(&warm.allocation.on_spm);
+            let e_opt = model.total_energy(&opt.allocation.on_spm);
+            assert!(e_warm <= e_opt + 1e-9, "{kind:?}: {e_warm} vs {e_opt}");
+        }
+        // An infeasible hint (everything on SPM) is ignored, not
+        // adopted: the answer still fits.
+        let bogus = vec![true; g.len()];
+        let out = allocate_budgeted_warm(
+            &model,
+            32,
+            AllocatorKind::CasaBb,
+            &Budget::unlimited(),
+            Some(&bogus),
+            &Obs::disabled(),
+        );
+        let used: u32 = (0..g.len())
+            .filter(|&i| out.allocation.on_spm[i])
+            .map(|i| g.size_of(i))
+            .sum();
+        assert!(used <= 32);
+        assert!(out.status.is_optimal());
     }
 
     #[test]

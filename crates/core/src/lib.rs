@@ -33,6 +33,9 @@
 //! * [`flow`] — the fig. 3 experimental workflow: trace formation →
 //!   profiling simulation → conflict graph → allocation → re-layout →
 //!   final simulation → energy report.
+//! * [`server`] — allocation as a service: request schema, the
+//!   fingerprinted verify-on-hit solution cache, and the sharded
+//!   bounded-admission worker pool behind the `casa-server` binary.
 //! * [`multi_spm`] — the paper's §4 extension to multiple scratchpads.
 //! * [`overlay`] — the paper's §7 future-work extension: phase-wise
 //!   dynamic copying of objects with DMA cost accounting.
@@ -62,6 +65,7 @@ pub mod overlay;
 pub mod placement;
 pub mod report;
 pub mod ross;
+pub mod server;
 pub mod steinke;
 pub mod wcet;
 
@@ -76,3 +80,8 @@ pub use flow::{
 #[allow(deprecated)]
 pub use flow::{run_loop_cache_flow_obs, run_spm_flow_obs};
 pub use report::EnergyBreakdown;
+pub use server::{
+    allocator_tag, parse_allocator, parse_request, response_json, AllocService, CacheOutcome,
+    CacheStats, ParsedRequest, ServiceConfig, SolutionCache, SolveJob, SolveReply, SubmitError,
+    WorkloadRequest,
+};

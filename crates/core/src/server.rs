@@ -1,0 +1,1293 @@
+//! Allocation-as-a-service: the solve-request schema, the
+//! fingerprinted solution cache, and the sharded worker pool behind
+//! the `casa-server` binary.
+//!
+//! The paper's allocator is a batch tool; this module turns it into a
+//! long-lived service. Three pieces:
+//!
+//! * **Requests** ([`parse_request`], [`SolveJob`]) — a POSTed JSON
+//!   document carrying either an inline conflict graph or a workload
+//!   name, plus energy constants (explicit table or cache geometry),
+//!   SPM capacity, allocator choice, and a node/deadline budget.
+//! * **The solution cache** ([`SolutionCache`]) — keyed by an FNV-1a
+//!   fingerprint of the canonical request bytes with
+//!   **verify-on-hit**: a hit must match the full key bytes, so a
+//!   fingerprint collision can never serve a wrong layout. Exact hits
+//!   replay the cached response verbatim; *capacity-adjacent* hits
+//!   (same graph + allocator, different SPM size) seed warm starts.
+//! * **The service** ([`AllocService`]) — a fixed-size worker pool,
+//!   one solution cache per worker, sharded by the cache's *base*
+//!   fingerprint so capacity-adjacent requests land on the worker
+//!   that holds their warm-start candidates. Admission is a bounded
+//!   queue: an overflowing shard rejects with
+//!   [`SubmitError::Overloaded`] (HTTP 429) instead of queueing
+//!   without bound.
+//!
+//! # Determinism
+//!
+//! Responses are deterministic JSON (sorted keys, [`jnum`] number
+//! formatting) and deliberately exclude anything run-dependent (node
+//! counts, timings, cache disposition — the latter travels as an HTTP
+//! header). Warm starts pose a subtle threat to the invariant that a
+//! cache can never change an *answer*: the branch & bound keeps
+//! incumbents on strict improvement, so a warm start that already
+//! attains the optimal value survives verbatim even when the cold
+//! search would have returned a different (equally optimal, but
+//! canonically first in DFS order) layout. The worker therefore
+//! re-solves cold whenever a warm-started solve completes optimally
+//! with the warm layout as its answer — the **canonical re-solve**
+//! rule — so cache-on and cache-off servers are byte-identical for
+//! every budget that closes the search.
+
+use crate::allocation::Allocation;
+use crate::conflict::ConflictGraph;
+use crate::energy_model::EnergyModel;
+use crate::engine::{allocate_budgeted_warm, AllocOutcome, AllocStatus, Budget};
+use crate::flow::AllocatorKind;
+use casa_energy::{EnergyTable, TechParams};
+use casa_mem::cache::{CacheConfig, ReplacementPolicy};
+use casa_obs::{fnv1a_64, jnum, json_escape, Obs};
+use serde::json::Value;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::thread;
+use std::time::Duration;
+
+/// Hard ceiling on per-request node budgets (and the effective budget
+/// of requests that ask for none): one request can never monopolize a
+/// worker indefinitely, and because the ceiling folds into the cache
+/// key, clamped requests still hit.
+pub const DEFAULT_MAX_NODES: u64 = 2_000_000;
+
+// ---------------------------------------------------------------------------
+// Request schema
+// ---------------------------------------------------------------------------
+
+/// One fully resolved solve request: everything the worker needs.
+#[derive(Debug, Clone)]
+pub struct SolveJob {
+    /// The conflict graph to allocate.
+    pub graph: ConflictGraph,
+    /// Energy constants the objective is priced with.
+    pub table: EnergyTable,
+    /// Scratchpad capacity in bytes.
+    pub capacity: u32,
+    /// Which allocator answers.
+    pub allocator: AllocatorKind,
+    /// Requested node budget (`None` = server default; always clamped
+    /// to the server's ceiling by [`SolveJob::normalize`]).
+    pub budget_nodes: Option<u64>,
+    /// Requested wall-clock budget in milliseconds.
+    pub budget_ms: Option<u64>,
+}
+
+/// The workload-name request form: the graph is named, not inlined —
+/// the binary resolves it through trace formation + profiling
+/// simulation (memoized) and turns it into a [`SolveJob`].
+#[derive(Debug, Clone)]
+pub struct WorkloadRequest {
+    /// Benchmark name (`adpcm`, `g721`, `mpeg`, `epic`, ...).
+    pub benchmark: String,
+    /// Trip-count scale factor.
+    pub scale: u64,
+    /// Walker seed.
+    pub seed: u64,
+    /// I-cache geometry; `None` = the paper's per-benchmark default.
+    pub cache: Option<CacheConfig>,
+    /// Scratchpad capacity in bytes.
+    pub capacity: u32,
+    /// Which allocator answers.
+    pub allocator: AllocatorKind,
+    /// Requested node budget.
+    pub budget_nodes: Option<u64>,
+    /// Requested wall-clock budget in milliseconds.
+    pub budget_ms: Option<u64>,
+}
+
+/// A parsed `/solve` request: graph-form (self-contained) or
+/// workload-form (needs benchmark resolution).
+#[derive(Debug, Clone)]
+pub enum ParsedRequest {
+    /// Inline conflict graph: ready to solve.
+    Graph(SolveJob),
+    /// Named workload: the caller resolves the graph.
+    Workload(WorkloadRequest),
+}
+
+/// Stable lowercase tag for each allocator, used in request parsing
+/// and response JSON.
+pub fn allocator_tag(kind: AllocatorKind) -> &'static str {
+    match kind {
+        AllocatorKind::CasaIlpPaper => "casa-ilp-paper",
+        AllocatorKind::CasaIlpTight => "casa-ilp-tight",
+        AllocatorKind::CasaBb => "casa-bb",
+        AllocatorKind::CasaGreedy => "casa-greedy",
+        AllocatorKind::Steinke => "steinke",
+        AllocatorKind::None => "none",
+    }
+}
+
+/// Parse an allocator tag (see [`allocator_tag`]).
+pub fn parse_allocator(tag: &str) -> Option<AllocatorKind> {
+    match tag {
+        "casa-ilp-paper" => Some(AllocatorKind::CasaIlpPaper),
+        "casa-ilp-tight" => Some(AllocatorKind::CasaIlpTight),
+        "casa-bb" => Some(AllocatorKind::CasaBb),
+        "casa-greedy" => Some(AllocatorKind::CasaGreedy),
+        "steinke" => Some(AllocatorKind::Steinke),
+        "none" => Some(AllocatorKind::None),
+        _ => None,
+    }
+}
+
+fn uint_field(v: &Value, what: &str) -> Result<u64, String> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("{what} must be a number"))?;
+    if n < 0.0 || n.fract() != 0.0 || n > 9.007_199_254_740_992e15 {
+        return Err(format!("{what} must be a non-negative integer, got {n}"));
+    }
+    Ok(n as u64)
+}
+
+fn uint_array(v: &Value, what: &str) -> Result<Vec<u64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, x)| uint_field(x, &format!("{what}[{i}]")))
+        .collect()
+}
+
+fn parse_budget(v: &Value) -> Result<(Option<u64>, Option<u64>), String> {
+    let Some(b) = v.get("budget") else {
+        return Ok((None, None));
+    };
+    let nodes = match b.get("nodes") {
+        Some(n) => Some(uint_field(n, "budget.nodes")?),
+        None => None,
+    };
+    let ms = match b.get("ms") {
+        Some(n) => Some(uint_field(n, "budget.ms")?),
+        None => None,
+    };
+    Ok((nodes, ms))
+}
+
+fn parse_cache_config(v: &Value) -> Result<CacheConfig, String> {
+    let size = uint_field(v.get("size").ok_or("cache.size is required")?, "cache.size")? as u32;
+    let line = match v.get("line") {
+        Some(l) => uint_field(l, "cache.line")? as u32,
+        None => 16,
+    };
+    let assoc = match v.get("assoc") {
+        Some(a) => uint_field(a, "cache.assoc")? as u32,
+        None => 1,
+    };
+    if size == 0 || line == 0 || assoc == 0 || !size.is_multiple_of(line) {
+        return Err(format!(
+            "invalid cache geometry: size {size}, line {line}, assoc {assoc}"
+        ));
+    }
+    Ok(CacheConfig {
+        size,
+        line_size: line,
+        associativity: assoc,
+        policy: ReplacementPolicy::Lru,
+    })
+}
+
+fn parse_table(v: &Value) -> Result<EnergyTable, String> {
+    let f = |key: &str| -> Result<f64, String> {
+        let n = v
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("table.{key} must be a number"))?;
+        if !n.is_finite() || n < 0.0 {
+            return Err(format!("table.{key} must be finite and non-negative"));
+        }
+        Ok(n)
+    };
+    Ok(EnergyTable {
+        cache_hit: f("cache_hit")?,
+        cache_miss: f("cache_miss")?,
+        spm_access: f("spm_access")?,
+        lc_access: f("lc_access")?,
+        lc_controller: f("lc_controller")?,
+        mm_word: f("mm_word")?,
+        l2_access: f("l2_access")?,
+    })
+}
+
+fn parse_graph(v: &Value) -> Result<ConflictGraph, String> {
+    let fetches = uint_array(
+        v.get("fetches").ok_or("graph.fetches is required")?,
+        "graph.fetches",
+    )?;
+    let sizes = uint_array(
+        v.get("sizes").ok_or("graph.sizes is required")?,
+        "graph.sizes",
+    )?;
+    if fetches.len() != sizes.len() {
+        return Err(format!(
+            "graph.fetches ({}) and graph.sizes ({}) must have equal length",
+            fetches.len(),
+            sizes.len()
+        ));
+    }
+    let n = fetches.len();
+    let mut edges = HashMap::new();
+    if let Some(raw) = v.get("edges") {
+        let raw = raw.as_array().ok_or("graph.edges must be an array")?;
+        for (k, e) in raw.iter().enumerate() {
+            let triple = uint_array(e, &format!("graph.edges[{k}]"))?;
+            let [i, j, m] = triple[..] else {
+                return Err(format!("graph.edges[{k}] must be [i, j, misses]"));
+            };
+            let (i, j) = (i as usize, j as usize);
+            if i >= n || j >= n || i == j {
+                return Err(format!(
+                    "graph.edges[{k}]: bad endpoints ({i}, {j}) for {n} objects"
+                ));
+            }
+            edges.insert((i, j), m);
+        }
+    }
+    let sizes: Vec<u32> = sizes.iter().map(|&s| s as u32).collect();
+    Ok(ConflictGraph::from_parts(fetches, sizes, edges))
+}
+
+/// Parse a `/solve` request body. See `DESIGN.md` §13 for the schema.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation (the server
+/// returns it as the HTTP 400 body).
+pub fn parse_request(body: &str) -> Result<ParsedRequest, String> {
+    let v = serde::json::parse(body).map_err(|e| e.to_string())?;
+    let capacity = uint_field(v.get("capacity").ok_or("capacity is required")?, "capacity")? as u32;
+    let allocator = match v.get("allocator") {
+        Some(a) => {
+            let tag = a.as_str().ok_or("allocator must be a string")?;
+            parse_allocator(tag).ok_or_else(|| format!("unknown allocator {tag:?}"))?
+        }
+        None => AllocatorKind::CasaBb,
+    };
+    let (budget_nodes, budget_ms) = parse_budget(&v)?;
+    if let Some(w) = v.get("workload") {
+        let benchmark = w
+            .get("benchmark")
+            .and_then(Value::as_str)
+            .ok_or("workload.benchmark is required")?
+            .to_string();
+        let scale = match w.get("scale") {
+            Some(s) => uint_field(s, "workload.scale")?.max(1),
+            None => 1,
+        };
+        let seed = match w.get("seed") {
+            Some(s) => uint_field(s, "workload.seed")?,
+            None => 42,
+        };
+        let cache = match v.get("cache") {
+            Some(c) => Some(parse_cache_config(c)?),
+            None => None,
+        };
+        return Ok(ParsedRequest::Workload(WorkloadRequest {
+            benchmark,
+            scale,
+            seed,
+            cache,
+            capacity,
+            allocator,
+            budget_nodes,
+            budget_ms,
+        }));
+    }
+    let g = v
+        .get("graph")
+        .ok_or("either graph or workload is required")?;
+    let graph = parse_graph(g)?;
+    let table = match (v.get("table"), v.get("cache")) {
+        (Some(t), _) => parse_table(t)?,
+        (None, Some(c)) => {
+            let cfg = parse_cache_config(c)?;
+            EnergyTable::build(
+                cfg.size,
+                cfg.line_size,
+                cfg.associativity,
+                capacity,
+                None,
+                &TechParams::default(),
+            )
+        }
+        (None, None) => return Err("either table or cache is required with graph".to_string()),
+    };
+    Ok(ParsedRequest::Graph(SolveJob {
+        graph,
+        table,
+        capacity,
+        allocator,
+        budget_nodes,
+        budget_ms,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Canonical keys
+// ---------------------------------------------------------------------------
+
+fn push_u32(k: &mut Vec<u8>, v: u32) {
+    k.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(k: &mut Vec<u8>, v: u64) {
+    k.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(k: &mut Vec<u8>, v: f64) {
+    k.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+impl SolveJob {
+    /// Clamp the effective node budget to `max_nodes` (requests
+    /// without one get exactly `max_nodes`). Must run before
+    /// [`Self::exact_key`]: the *effective* budget is part of the
+    /// cache key, so a clamped request and an explicit
+    /// `nodes = max_nodes` request share an entry.
+    pub fn normalize(&mut self, max_nodes: u64) {
+        let ceiling = max_nodes.max(1);
+        let requested = self.budget_nodes.unwrap_or(ceiling);
+        self.budget_nodes = Some(requested.min(ceiling));
+    }
+
+    /// The solver budget this job runs under.
+    pub fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(n) = self.budget_nodes {
+            b = b.with_nodes(n);
+        }
+        if let Some(ms) = self.budget_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        b
+    }
+
+    /// Canonical bytes identifying the *solution family*: conflict
+    /// graph (CSR order) + allocator. Deliberately excludes the energy
+    /// table and capacity — `EnergyTable::spm_access` varies with SPM
+    /// size, so keying warm starts on it would never match across
+    /// capacities. Shard assignment and the warm-start index use this
+    /// key; two requests for the same graph at different capacities
+    /// therefore reach the same worker and see each other's optima.
+    pub fn base_key(&self) -> Vec<u8> {
+        let mut k = Vec::with_capacity(64 + 20 * self.graph.len());
+        k.extend_from_slice(b"casa/solve/base/v1\0");
+        k.extend_from_slice(allocator_tag(self.allocator).as_bytes());
+        k.push(0);
+        push_u64(&mut k, self.graph.len() as u64);
+        for i in 0..self.graph.len() {
+            push_u64(&mut k, self.graph.fetches_of(i));
+            push_u32(&mut k, self.graph.size_of(i));
+        }
+        push_u64(&mut k, self.graph.edge_count() as u64);
+        for ((i, j), m) in self.graph.edges() {
+            push_u64(&mut k, i as u64);
+            push_u64(&mut k, j as u64);
+            push_u64(&mut k, m);
+        }
+        k
+    }
+
+    /// Canonical bytes identifying the *exact answer*: the base key
+    /// plus energy constants (bit-exact), capacity, and the effective
+    /// budget. Two requests with equal exact keys must produce
+    /// byte-identical responses, which is what lets the cache replay
+    /// them verbatim.
+    pub fn exact_key(&self) -> Vec<u8> {
+        let mut k = self.base_key();
+        k.extend_from_slice(b"/exact/v1\0");
+        let t = &self.table;
+        for v in [
+            t.cache_hit,
+            t.cache_miss,
+            t.spm_access,
+            t.lc_access,
+            t.lc_controller,
+            t.mm_word,
+            t.l2_access,
+        ] {
+            push_f64(&mut k, v);
+        }
+        push_u32(&mut k, self.capacity);
+        match self.budget_nodes {
+            Some(n) => {
+                k.push(1);
+                push_u64(&mut k, n);
+            }
+            None => k.push(0),
+        }
+        match self.budget_ms {
+            Some(ms) => {
+                k.push(1);
+                push_u64(&mut k, ms);
+            }
+            None => k.push(0),
+        }
+        k
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solution cache
+// ---------------------------------------------------------------------------
+
+/// Counters a [`SolutionCache`] keeps about itself.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact hits (verified, replayed verbatim).
+    pub hits: u64,
+    /// Exact misses.
+    pub misses: u64,
+    /// Fingerprint matches whose key bytes differed — the collisions
+    /// verify-on-hit exists to catch.
+    pub collisions: u64,
+    /// Capacity-adjacent warm-start hits.
+    pub warm_hits: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted (FIFO) to respect the capacity bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    key: Vec<u8>,
+    body: String,
+}
+
+#[derive(Debug)]
+struct WarmEntry {
+    key: Vec<u8>,
+    capacity: u32,
+    on_spm: Vec<bool>,
+}
+
+/// Bound on warm-start candidates kept per solution family (one per
+/// distinct capacity, closest-capacity wins on lookup).
+const WARM_BUCKET_CAP: usize = 8;
+
+/// The fingerprinted solution cache. FNV-1a 64 is fast and stable but
+/// **not** collision-resistant, so every lookup verifies the stored
+/// canonical key bytes against the request's before serving — a
+/// colliding fingerprint is a miss (and a counted
+/// [`CacheStats::collisions`]), never a wrong answer.
+///
+/// `cap == 0` disables caching entirely (every lookup misses, inserts
+/// are dropped) — the configuration the byte-identity property test
+/// compares against.
+#[derive(Debug)]
+pub struct SolutionCache {
+    cap: usize,
+    len: usize,
+    entries: HashMap<u64, Vec<CacheEntry>>,
+    fifo: VecDeque<(u64, Vec<u8>)>,
+    warm: HashMap<u64, Vec<WarmEntry>>,
+    warm_fifo: VecDeque<u64>,
+    /// Self-observed counters.
+    pub stats: CacheStats,
+}
+
+impl SolutionCache {
+    /// A cache bounded to `cap` exact entries (0 disables).
+    pub fn new(cap: usize) -> Self {
+        SolutionCache {
+            cap,
+            len: 0,
+            entries: HashMap::new(),
+            fifo: VecDeque::new(),
+            warm: HashMap::new(),
+            warm_fifo: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Exact entries currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no exact entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up the response cached under (`fp`, `key`). Verify-on-hit:
+    /// the fingerprint routes to a bucket, but only a byte-equal key
+    /// serves.
+    pub fn lookup(&mut self, fp: u64, key: &[u8]) -> Option<String> {
+        if self.cap == 0 {
+            self.stats.misses += 1;
+            return None;
+        }
+        if let Some(bucket) = self.entries.get(&fp) {
+            if let Some(e) = bucket.iter().find(|e| e.key == key) {
+                self.stats.hits += 1;
+                return Some(e.body.clone());
+            }
+            if !bucket.is_empty() {
+                self.stats.collisions += 1;
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert a response under (`fp`, `key`), evicting FIFO beyond the
+    /// capacity bound.
+    pub fn insert(&mut self, fp: u64, key: Vec<u8>, body: String) {
+        if self.cap == 0 {
+            return;
+        }
+        let bucket = self.entries.entry(fp).or_default();
+        if bucket.iter().any(|e| e.key == key) {
+            return; // identical request raced in ahead of us
+        }
+        bucket.push(CacheEntry {
+            key: key.clone(),
+            body,
+        });
+        self.fifo.push_back((fp, key));
+        self.len += 1;
+        self.stats.insertions += 1;
+        while self.len > self.cap {
+            let Some((old_fp, old_key)) = self.fifo.pop_front() else {
+                break;
+            };
+            if let Some(bucket) = self.entries.get_mut(&old_fp) {
+                bucket.retain(|e| e.key != old_key);
+                if bucket.is_empty() {
+                    self.entries.remove(&old_fp);
+                }
+            }
+            self.len -= 1;
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Find a warm-start layout for `capacity` among the proven optima
+    /// of the same solution family (`base_fp` / `base_key`). The
+    /// closest capacity wins; ties prefer the smaller (its layout is
+    /// certain to fit). Verify-on-hit applies here too.
+    pub fn warm_lookup(
+        &mut self,
+        base_fp: u64,
+        base_key: &[u8],
+        capacity: u32,
+    ) -> Option<Vec<bool>> {
+        if self.cap == 0 {
+            return None;
+        }
+        let bucket = self.warm.get(&base_fp)?;
+        let best = bucket
+            .iter()
+            .filter(|e| e.key == base_key)
+            .min_by_key(|e| {
+                let dist = (i64::from(e.capacity) - i64::from(capacity)).abs();
+                (dist, i64::from(e.capacity))
+            })?;
+        self.stats.warm_hits += 1;
+        Some(best.on_spm.clone())
+    }
+
+    /// Record a **proven-optimal** layout for (`base_key`,
+    /// `capacity`). Non-optimal layouts are never recorded: a degraded
+    /// incumbent would poison warm starts with arbitrary quality.
+    pub fn warm_insert(
+        &mut self,
+        base_fp: u64,
+        base_key: Vec<u8>,
+        capacity: u32,
+        on_spm: Vec<bool>,
+    ) {
+        if self.cap == 0 {
+            return;
+        }
+        if !self.warm.contains_key(&base_fp) {
+            self.warm_fifo.push_back(base_fp);
+        }
+        let bucket = self.warm.entry(base_fp).or_default();
+        if let Some(e) = bucket
+            .iter_mut()
+            .find(|e| e.key == base_key && e.capacity == capacity)
+        {
+            e.on_spm = on_spm;
+            return;
+        }
+        bucket.push(WarmEntry {
+            key: base_key,
+            capacity,
+            on_spm,
+        });
+        if bucket.len() > WARM_BUCKET_CAP {
+            bucket.remove(0);
+        }
+        while self.warm_fifo.len() > self.cap {
+            let Some(old) = self.warm_fifo.pop_front() else {
+                break;
+            };
+            self.warm.remove(&old);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------------
+
+/// Render the deterministic response JSON for one solved job: sorted
+/// keys, [`jnum`] numbers, and **nothing run-dependent** — node
+/// counts, wall time, and cache disposition are deliberately absent
+/// so repeated and cache-served responses are byte-identical.
+pub fn response_json(job: &SolveJob, out: &AllocOutcome, model: &EnergyModel<'_>) -> String {
+    let alloc: &Allocation = &out.allocation;
+    let energy = model.total_energy(&alloc.on_spm);
+    let spm_bytes: u64 = (0..job.graph.len())
+        .filter(|&i| alloc.on_spm[i])
+        .map(|i| u64::from(job.graph.size_of(i)))
+        .sum();
+    let on_spm = alloc
+        .on_spm
+        .iter()
+        .enumerate()
+        .filter(|(_, &on)| on)
+        .map(|(i, _)| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let gap = match out.status.gap() {
+        Some(g) if g.is_finite() => jnum(g),
+        _ => "null".to_string(),
+    };
+    let reason = match &out.status {
+        AllocStatus::Fallback { reason } => format!("\"{}\"", json_escape(reason)),
+        _ => "null".to_string(),
+    };
+    let stopped_by = match out.stopped_by {
+        Some(k) => format!("\"{}\"", k.as_str()),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"allocator\":\"{}\",\"capacity\":{},\"energy_nj\":{},\"gap\":{},\"objects\":{},\"on_spm\":[{}],\"reason\":{},\"spm_bytes\":{},\"status\":\"{}\",\"stopped_by\":{}}}",
+        allocator_tag(job.allocator),
+        job.capacity,
+        jnum(energy),
+        gap,
+        job.graph.len(),
+        on_spm,
+        reason,
+        spm_bytes,
+        out.status.as_str(),
+        stopped_by,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// Sizing knobs for [`AllocService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (each owns one [`SolutionCache`] shard).
+    pub workers: usize,
+    /// Bounded admission queue depth per shard; a full queue rejects
+    /// with [`SubmitError::Overloaded`].
+    pub queue_cap: usize,
+    /// Exact-entry bound per shard cache (0 disables caching).
+    pub cache_cap: usize,
+    /// Ceiling on effective per-request node budgets.
+    pub max_nodes: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 16,
+            cache_cap: 256,
+            max_nodes: DEFAULT_MAX_NODES,
+        }
+    }
+}
+
+/// Why [`AllocService::submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target shard's admission queue is full — HTTP 429.
+    Overloaded,
+    /// The service is shutting down — HTTP 503.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "admission queue full"),
+            SubmitError::Closed => write!(f, "service shut down"),
+        }
+    }
+}
+
+/// How the cache participated in one reply (travels as the
+/// `X-Casa-Cache` response header, never in the body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Exact hit: the body is a verbatim replay.
+    Hit,
+    /// Miss, but a capacity-adjacent optimum seeded the warm start.
+    Warm,
+    /// Cold miss.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase tag (`hit` / `warm` / `miss`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Warm => "warm",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// One answered request.
+#[derive(Debug, Clone)]
+pub struct SolveReply {
+    /// Deterministic response JSON.
+    pub body: String,
+    /// Cache disposition.
+    pub cache: CacheOutcome,
+}
+
+struct JobKeys {
+    exact_fp: u64,
+    exact_key: Vec<u8>,
+    base_fp: u64,
+    base_key: Vec<u8>,
+}
+
+struct QueuedJob {
+    job: SolveJob,
+    keys: JobKeys,
+    reply: SyncSender<SolveReply>,
+}
+
+/// The sharded worker pool with per-shard solution caches. Requests
+/// shard by **base** fingerprint, so all capacities of one graph meet
+/// the same cache.
+#[derive(Debug)]
+pub struct AllocService {
+    shards: Vec<SyncSender<QueuedJob>>,
+    joins: Vec<thread::JoinHandle<()>>,
+    obs: Obs,
+    max_nodes: u64,
+}
+
+impl AllocService {
+    /// Spawn the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread cannot be spawned.
+    pub fn start(cfg: &ServiceConfig, obs: &Obs) -> AllocService {
+        let workers = cfg.workers.max(1);
+        let mut shards = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<QueuedJob>(cfg.queue_cap.max(1));
+            let cache = SolutionCache::new(cfg.cache_cap);
+            let obs = obs.clone();
+            let join = thread::Builder::new()
+                .name(format!("casa-solve-{w}"))
+                .spawn(move || worker_loop(&rx, cache, &obs))
+                .expect("spawn solver worker");
+            shards.push(tx);
+            joins.push(join);
+        }
+        AllocService {
+            shards,
+            joins,
+            obs: obs.clone(),
+            max_nodes: cfg.max_nodes,
+        }
+    }
+
+    /// Submit one job and wait for its reply. Admission is bounded:
+    /// a full shard queue returns [`SubmitError::Overloaded`]
+    /// immediately (the HTTP layer maps it to 429) rather than
+    /// queueing without bound.
+    pub fn submit(&self, mut job: SolveJob) -> Result<SolveReply, SubmitError> {
+        job.normalize(self.max_nodes);
+        let base_key = job.base_key();
+        let base_fp = fnv1a_64(&base_key);
+        let exact_key = job.exact_key();
+        let exact_fp = fnv1a_64(&exact_key);
+        let shard = (base_fp % self.shards.len() as u64) as usize;
+        self.obs.add("server.requests_total", 1);
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        let queued = QueuedJob {
+            job,
+            keys: JobKeys {
+                exact_fp,
+                exact_key,
+                base_fp,
+                base_key,
+            },
+            reply: reply_tx,
+        };
+        match self.shards[shard].try_send(queued) {
+            Ok(()) => reply_rx.recv().map_err(|_| SubmitError::Closed),
+            Err(TrySendError::Full(_)) => {
+                self.obs.add("server.rejected_total", 1);
+                Err(SubmitError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Stop accepting work and join the workers (queued jobs finish
+    /// first). Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shards.clear(); // closes the channels; workers drain and exit
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for AllocService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Receiver<QueuedJob>, mut cache: SolutionCache, obs: &Obs) {
+    while let Ok(q) = rx.recv() {
+        let reply = solve_one(&q.job, &q.keys, &mut cache, obs);
+        let _ = q.reply.send(reply);
+    }
+}
+
+fn solve_one(job: &SolveJob, keys: &JobKeys, cache: &mut SolutionCache, obs: &Obs) -> SolveReply {
+    let collisions_before = cache.stats.collisions;
+    if let Some(body) = cache.lookup(keys.exact_fp, &keys.exact_key) {
+        obs.add("server.cache_hits_total", 1);
+        return SolveReply {
+            body,
+            cache: CacheOutcome::Hit,
+        };
+    }
+    obs.add("server.cache_misses_total", 1);
+    let delta = cache.stats.collisions - collisions_before;
+    if delta > 0 {
+        obs.add("server.cache_collisions_total", delta);
+    }
+    let warm = cache.warm_lookup(keys.base_fp, &keys.base_key, job.capacity);
+    if warm.is_some() {
+        obs.add("server.cache_warm_hits_total", 1);
+    }
+    let model = EnergyModel::new(&job.graph, &job.table);
+    let budget = job.budget();
+    let mut out = allocate_budgeted_warm(
+        &model,
+        job.capacity,
+        job.allocator,
+        &budget,
+        warm.as_deref(),
+        obs,
+    );
+    if let Some(w) = warm.as_deref() {
+        // Canonical re-solve: the B&B keeps incumbents on *strict*
+        // improvement, so a warm start that already attains the
+        // optimal value survives verbatim even though the cold search
+        // would return the first v*-attaining layout in DFS order.
+        // Re-solving cold in exactly that case keeps cache-on and
+        // cache-off responses byte-identical.
+        if out.status.is_optimal() && out.allocation.on_spm == w {
+            obs.add("server.canonical_resolves_total", 1);
+            out = allocate_budgeted_warm(&model, job.capacity, job.allocator, &budget, None, obs);
+        }
+    }
+    obs.add(
+        &format!("server.responses_{}_total", out.status.as_str()),
+        1,
+    );
+    let body = response_json(job, &out, &model);
+    cache.insert(keys.exact_fp, keys.exact_key.clone(), body.clone());
+    if out.status.is_optimal() {
+        cache.warm_insert(
+            keys.base_fp,
+            keys.base_key.clone(),
+            job.capacity,
+            out.allocation.on_spm.clone(),
+        );
+    }
+    SolveReply {
+        body,
+        cache: if warm.is_some() {
+            CacheOutcome::Warm
+        } else {
+            CacheOutcome::Miss
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Barrier};
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    /// A random small solve job (deterministic in `seed`).
+    fn random_job(seed: &mut u64, capacity: u32, allocator: AllocatorKind) -> SolveJob {
+        let n = 3 + (lcg(seed) % 5) as usize;
+        let fetches: Vec<u64> = (0..n).map(|_| 50 + lcg(seed) % 2000).collect();
+        let sizes: Vec<u32> = (0..n).map(|_| 8 + 8 * (lcg(seed) % 4) as u32).collect();
+        let mut edges = HashMap::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && lcg(seed).is_multiple_of(2) {
+                    edges.insert((i, j), 1 + lcg(seed) % 400);
+                }
+            }
+        }
+        SolveJob {
+            graph: ConflictGraph::from_parts(fetches, sizes, edges),
+            table: EnergyTable::build(1024, 16, 1, capacity, None, &TechParams::default()),
+            capacity,
+            allocator,
+            budget_nodes: None,
+            budget_ms: None,
+        }
+    }
+
+    fn graph_request_json(job: &SolveJob) -> String {
+        let g = &job.graph;
+        let fetches: Vec<String> = (0..g.len()).map(|i| g.fetches_of(i).to_string()).collect();
+        let sizes: Vec<String> = (0..g.len()).map(|i| g.size_of(i).to_string()).collect();
+        let edges: Vec<String> = g
+            .edges()
+            .map(|((i, j), m)| format!("[{i},{j},{m}]"))
+            .collect();
+        let t = &job.table;
+        format!(
+            "{{\"graph\":{{\"fetches\":[{}],\"sizes\":[{}],\"edges\":[{}]}},\"table\":{{\"cache_hit\":{},\"cache_miss\":{},\"spm_access\":{},\"lc_access\":{},\"lc_controller\":{},\"mm_word\":{},\"l2_access\":{}}},\"capacity\":{},\"allocator\":\"{}\"}}",
+            fetches.join(","),
+            sizes.join(","),
+            edges.join(","),
+            jnum(t.cache_hit),
+            jnum(t.cache_miss),
+            jnum(t.spm_access),
+            jnum(t.lc_access),
+            jnum(t.lc_controller),
+            jnum(t.mm_word),
+            jnum(t.l2_access),
+            job.capacity,
+            allocator_tag(job.allocator),
+        )
+    }
+
+    #[test]
+    fn parse_round_trips_a_generated_request() {
+        let mut seed = 7;
+        let job = random_job(&mut seed, 64, AllocatorKind::CasaBb);
+        let body = graph_request_json(&job);
+        let ParsedRequest::Graph(parsed) = parse_request(&body).expect("parses") else {
+            panic!("expected graph form");
+        };
+        assert_eq!(parsed.capacity, 64);
+        assert_eq!(parsed.allocator, AllocatorKind::CasaBb);
+        assert_eq!(parsed.graph.len(), job.graph.len());
+        assert_eq!(parsed.exact_key(), job.exact_key());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").unwrap_err().contains("capacity"));
+        assert!(parse_request("{\"capacity\":64}")
+            .unwrap_err()
+            .contains("graph or workload"));
+        // Edge out of range must be a clean error, not a panic.
+        let bad = "{\"capacity\":64,\"cache\":{\"size\":1024},\"graph\":{\"fetches\":[1,2],\"sizes\":[8,8],\"edges\":[[0,9,5]]}}";
+        assert!(parse_request(bad).unwrap_err().contains("bad endpoints"));
+        // Unknown allocator.
+        let bad = "{\"capacity\":64,\"allocator\":\"magic\",\"cache\":{\"size\":1024},\"graph\":{\"fetches\":[1],\"sizes\":[8]}}";
+        assert!(parse_request(bad)
+            .unwrap_err()
+            .contains("unknown allocator"));
+    }
+
+    #[test]
+    fn parse_workload_form() {
+        let body = "{\"capacity\":256,\"workload\":{\"benchmark\":\"adpcm\",\"scale\":2,\"seed\":7},\"budget\":{\"nodes\":1000}}";
+        let ParsedRequest::Workload(w) = parse_request(body).expect("parses") else {
+            panic!("expected workload form");
+        };
+        assert_eq!(w.benchmark, "adpcm");
+        assert_eq!((w.scale, w.seed, w.capacity), (2, 7, 256));
+        assert_eq!(w.budget_nodes, Some(1000));
+        assert_eq!(w.allocator, AllocatorKind::CasaBb);
+    }
+
+    #[test]
+    fn keys_separate_what_must_be_separate() {
+        let mut seed = 11;
+        let a = random_job(&mut seed, 64, AllocatorKind::CasaBb);
+        let mut b = a.clone();
+        // Same everything → same keys.
+        assert_eq!(a.exact_key(), b.exact_key());
+        assert_eq!(a.base_key(), b.base_key());
+        // Capacity changes the exact key (the table too, in real
+        // requests) but NOT the base key — that is what makes
+        // capacity-adjacent warm starts findable.
+        b.capacity = 96;
+        assert_eq!(a.base_key(), b.base_key());
+        assert_ne!(a.exact_key(), b.exact_key());
+        // Allocator changes both.
+        let mut c = a.clone();
+        c.allocator = AllocatorKind::CasaGreedy;
+        assert_ne!(a.base_key(), c.base_key());
+        // Budget changes the exact key.
+        let mut d = a.clone();
+        d.budget_nodes = Some(5);
+        assert_ne!(a.exact_key(), d.exact_key());
+        // Clamping folds into the key: an explicit budget at the
+        // ceiling equals no budget at all.
+        let mut e = a.clone();
+        let mut f = a.clone();
+        e.budget_nodes = Some(DEFAULT_MAX_NODES * 10);
+        e.normalize(DEFAULT_MAX_NODES);
+        f.normalize(DEFAULT_MAX_NODES);
+        assert_eq!(e.exact_key(), f.exact_key());
+    }
+
+    /// The satellite's collision-safety test. Constructing two graphs
+    /// with a *real* FNV-1a 64 collision needs ~2³² birthday work, so
+    /// the forced collision is injected at the cache layer — which is
+    /// exactly the layer whose verify-on-hit must reject it: two
+    /// different canonical keys filed under one fingerprint.
+    #[test]
+    fn forced_fingerprint_collision_never_serves_wrong_answer() {
+        let mut cache = SolutionCache::new(8);
+        let fp = 0x1234_5678_9abc_def0;
+        let key_a = b"request-a".to_vec();
+        let key_b = b"request-b".to_vec();
+        cache.insert(fp, key_a.clone(), "{\"answer\":\"a\"}".to_string());
+        // Same fingerprint, different key: must MISS and count the
+        // collision, never serve body A.
+        assert_eq!(cache.lookup(fp, &key_b), None);
+        assert_eq!(cache.stats.collisions, 1);
+        // The genuine key still hits.
+        assert_eq!(
+            cache.lookup(fp, &key_a).as_deref(),
+            Some("{\"answer\":\"a\"}")
+        );
+        // Both colliding entries can coexist under one fingerprint.
+        cache.insert(fp, key_b.clone(), "{\"answer\":\"b\"}".to_string());
+        assert_eq!(
+            cache.lookup(fp, &key_b).as_deref(),
+            Some("{\"answer\":\"b\"}")
+        );
+        assert_eq!(
+            cache.lookup(fp, &key_a).as_deref(),
+            Some("{\"answer\":\"a\"}")
+        );
+    }
+
+    #[test]
+    fn cache_evicts_fifo_and_respects_disable() {
+        let mut cache = SolutionCache::new(2);
+        cache.insert(1, b"k1".to_vec(), "b1".to_string());
+        cache.insert(2, b"k2".to_vec(), "b2".to_string());
+        cache.insert(3, b"k3".to_vec(), "b3".to_string());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats.evictions, 1);
+        assert_eq!(cache.lookup(1, b"k1"), None, "oldest evicted");
+        assert!(cache.lookup(3, b"k3").is_some());
+
+        let mut off = SolutionCache::new(0);
+        off.insert(1, b"k".to_vec(), "b".to_string());
+        assert_eq!(off.lookup(1, b"k"), None);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn exact_repeats_hit_and_replay_verbatim() {
+        let obs = Obs::enabled();
+        let svc = AllocService::start(&ServiceConfig::default(), &obs);
+        let mut seed = 3;
+        let job = random_job(&mut seed, 64, AllocatorKind::CasaBb);
+        let first = svc.submit(job.clone()).expect("first solve");
+        let second = svc.submit(job).expect("second solve");
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert_eq!(first.body, second.body, "replay must be byte-identical");
+        let snap = obs.snapshot();
+        assert!(snap.contains_key("server.cache_hits_total"));
+        assert!(snap.contains_key("server.requests_total"));
+    }
+
+    /// The satellite's byte-identity property test: a seeded request
+    /// mix (repeats, capacity-adjacent pairs, several allocators)
+    /// must produce byte-identical responses from a cache-on and a
+    /// cache-off server — while actually exercising exact hits AND
+    /// warm-started solves on the cached side.
+    #[test]
+    fn cache_on_and_cache_off_responses_are_byte_identical() {
+        let on = AllocService::start(&ServiceConfig::default(), &Obs::disabled());
+        let off = AllocService::start(
+            &ServiceConfig {
+                cache_cap: 0,
+                ..ServiceConfig::default()
+            },
+            &Obs::disabled(),
+        );
+        let mut seed = 1234;
+        let mut jobs = Vec::new();
+        for kind in [
+            AllocatorKind::CasaBb,
+            AllocatorKind::CasaGreedy,
+            AllocatorKind::CasaIlpTight,
+        ] {
+            for _ in 0..3 {
+                let base = random_job(&mut seed, 64, kind);
+                let mut adjacent = base.clone();
+                adjacent.capacity = 96;
+                adjacent.table = EnergyTable::build(1024, 16, 1, 96, None, &TechParams::default());
+                let repeat = base.clone();
+                jobs.push(base);
+                jobs.push(adjacent); // warm-start candidate
+                jobs.push(repeat); // exact hit
+            }
+        }
+        let mut hits = 0;
+        let mut warms = 0;
+        for job in jobs {
+            let a = on.submit(job.clone()).expect("cache-on solve");
+            let b = off.submit(job).expect("cache-off solve");
+            assert_eq!(a.body, b.body, "cache must never change an answer");
+            match a.cache {
+                CacheOutcome::Hit => hits += 1,
+                CacheOutcome::Warm => warms += 1,
+                CacheOutcome::Miss => {}
+            }
+            assert_eq!(b.cache, CacheOutcome::Miss, "cache-off never hits");
+        }
+        assert!(hits >= 3, "property test exercised {hits} exact hits");
+        assert!(warms >= 3, "property test exercised {warms} warm starts");
+    }
+
+    #[test]
+    fn degraded_responses_carry_a_finite_gap() {
+        let svc = AllocService::start(&ServiceConfig::default(), &Obs::disabled());
+        let mut seed = 99;
+        let mut job = random_job(&mut seed, 32, AllocatorKind::CasaBb);
+        job.budget_nodes = Some(1);
+        let reply = svc.submit(job).expect("solve");
+        let v = serde::json::parse(&reply.body).expect("valid JSON");
+        assert_eq!(
+            v.get("status").and_then(Value::as_str),
+            Some("feasible"),
+            "{}",
+            reply.body
+        );
+        let gap = v.get("gap").and_then(Value::as_f64).expect("finite gap");
+        assert!(gap.is_finite() && gap >= 0.0);
+        assert_eq!(v.get("stopped_by").and_then(Value::as_str), Some("nodes"));
+    }
+
+    #[test]
+    fn overloaded_shard_rejects_instead_of_queueing() {
+        // One worker, queue depth one: with the worker pinned on a
+        // deadline-budgeted solve and one job queued, further
+        // concurrent submissions must bounce with Overloaded.
+        let svc = Arc::new(AllocService::start(
+            &ServiceConfig {
+                workers: 1,
+                queue_cap: 1,
+                cache_cap: 0,
+                max_nodes: u64::MAX,
+            },
+            &Obs::disabled(),
+        ));
+        let clients = 6;
+        let barrier = Arc::new(Barrier::new(clients));
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let svc = Arc::clone(&svc);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    // Dense 26-object graph: the search cannot finish
+                    // inside the deadline, so the worker stays busy.
+                    let mut seed = 1000 + c as u64;
+                    let n = 26;
+                    let fetches: Vec<u64> = (0..n).map(|_| 100 + lcg(&mut seed) % 900).collect();
+                    let sizes: Vec<u32> = vec![8; n];
+                    let mut edges = HashMap::new();
+                    for i in 0..n {
+                        for j in 0..n {
+                            if i != j {
+                                edges.insert((i, j), 1 + lcg(&mut seed) % 100);
+                            }
+                        }
+                    }
+                    let job = SolveJob {
+                        graph: ConflictGraph::from_parts(fetches, sizes, edges),
+                        table: EnergyTable::build(1024, 16, 1, 64, None, &TechParams::default()),
+                        capacity: 64,
+                        allocator: AllocatorKind::CasaBb,
+                        budget_nodes: None,
+                        budget_ms: Some(300),
+                    };
+                    barrier.wait();
+                    svc.submit(job)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let rejected = results
+            .iter()
+            .filter(|r| matches!(r, Err(SubmitError::Overloaded)))
+            .count();
+        let served = results.iter().filter(|r| r.is_ok()).count();
+        assert!(rejected >= 1, "no request was rejected under overload");
+        assert!(served >= 1, "at least the admitted request must be served");
+        assert_eq!(rejected + served, clients);
+    }
+
+    #[test]
+    fn responses_exclude_run_dependent_fields() {
+        let svc = AllocService::start(&ServiceConfig::default(), &Obs::disabled());
+        let mut seed = 21;
+        let reply = svc
+            .submit(random_job(&mut seed, 64, AllocatorKind::CasaBb))
+            .expect("solve");
+        let v = serde::json::parse(&reply.body).expect("valid JSON");
+        let obj = v.as_object().expect("object");
+        for banned in ["nodes", "solver_nodes", "elapsed_ms", "cache"] {
+            assert!(!obj.contains_key(banned), "run-dependent field {banned:?}");
+        }
+        // And the keys are sorted (deterministic rendering).
+        let keys: Vec<&String> = obj.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

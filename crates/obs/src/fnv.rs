@@ -1,0 +1,98 @@
+//! FNV-1a 64-bit hashing, shared by every fingerprint in the
+//! workspace (sweep-grid identity stamps, the allocation server's
+//! solution-cache keys).
+//!
+//! FNV-1a is tiny, stable across platforms and releases, and
+//! dependency-free — exactly what a *persisted* fingerprint needs.
+//! It is **not** collision-resistant: anything keyed by an FNV
+//! fingerprint must verify the full key on a hit (see the solution
+//! cache's verify-on-hit rule) or tolerate collisions (the sweep
+//! fingerprint only gates longitudinal comparability).
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher.
+///
+/// ```
+/// use casa_obs::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.update(b"foo");
+/// h.update(b"bar");
+/// assert_eq!(h.finish(), casa_obs::fnv1a_64(b"foobar"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorb `bytes`. Chunking is irrelevant: `update(a); update(b)`
+    /// equals `update(ab)`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current 64-bit digest (the hasher remains usable).
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as the canonical 16-hex-digit string used wherever
+    /// fingerprints are persisted.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// One-shot FNV-1a 64 of `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"hello ");
+        h.update(b"");
+        h.update(b"world");
+        assert_eq!(h.finish(), fnv1a_64(b"hello world"));
+        assert_eq!(h.hex(), format!("{:016x}", fnv1a_64(b"hello world")));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(fnv1a_64(b"adpcm:1:42"), fnv1a_64(b"adpcm:1:43"));
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod export;
 pub mod flight;
+pub mod fnv;
 pub mod metrics;
 pub mod serve;
 pub mod span;
@@ -41,18 +42,20 @@ pub use flight::{
     flight_dump_json, render_flight_table, FlightEvent, FlightKind, FlightRecorder,
     DEFAULT_FLIGHT_CAPACITY, FLIGHT_DUMP_SCHEMA,
 };
+pub use fnv::{fnv1a_64, Fnv1a, FNV_OFFSET, FNV_PRIME};
 pub use metrics::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, merge_snapshot, Counter, Gauge,
     Histogram, HistogramSnapshot, LocalCounter, MetricValue, MetricsSnapshot, Registry,
     HISTOGRAM_BUCKETS,
 };
 pub use serve::{
-    collect_sse, http_get, prometheus_name, prometheus_text, validate_exposition, ExpositionStats,
-    ServeHandle, SSE_SUBSCRIBER_CAPACITY,
+    collect_sse, http_get, http_post, prometheus_name, prometheus_text, status_text,
+    validate_exposition, ExpositionStats, Request, Response, Router, ServeHandle, ServeOptions,
+    SSE_SUBSCRIBER_CAPACITY,
 };
 pub use span::{
     render_span_table, span_tree, ArgValue, EventKind, Span, SpanSummary, StreamEvent,
-    TraceCollector, TraceEvent,
+    SubscriberId, TraceCollector, TraceEvent,
 };
 pub use watchdog::{
     watchdog_ms_from_env, Heartbeats, WatchdogConfig, WatchdogHandle, WATCHDOG_ENV,

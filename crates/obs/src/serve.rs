@@ -43,7 +43,7 @@ use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -280,6 +280,155 @@ pub fn stream_event_json(ev: &StreamEvent) -> String {
 // Server
 // ---------------------------------------------------------------------------
 
+/// One parsed HTTP request, as handed to a [`Router`].
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// Request path with any `?query` suffix stripped.
+    pub path: String,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A response a [`Router`] hands back to the connection handler.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code (200, 400, 429, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+    /// Extra headers appended verbatim (name, value).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain".to_string(),
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Append an extra header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// The canonical reason phrase for a status code (only the codes this
+/// stack emits; anything else renders as `Status`).
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// Application hook: inspects a request before the built-in telemetry
+/// routes; returning `Some` sends that response, `None` falls through
+/// to `/metrics`, `/events`, etc. This is how `casa-server` mounts
+/// `POST /solve` on the telemetry stack without duplicating the HTTP
+/// plumbing.
+pub type Router = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
+
+/// Limits and deadlines for the connection handlers.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Total wall-clock allowance for reading one request — head *and*
+    /// body. This is a deadline, not a per-read timeout: a client that
+    /// drips one byte per second cannot pin a handler thread past it
+    /// (the slowloris defence).
+    pub read_deadline: Duration,
+    /// Maximum request-line + header bytes.
+    pub max_head_bytes: usize,
+    /// Maximum request body bytes (`Content-Length` above this is
+    /// rejected with 413 before reading the body).
+    pub max_body_bytes: usize,
+    /// How long [`ServeHandle::shutdown`] waits for in-flight
+    /// connection handlers to finish before giving up on them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_deadline: Duration::from_secs(5),
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Count of in-flight connection handlers, waitable for shutdown
+/// draining.
+#[derive(Debug, Default)]
+struct Drain {
+    active: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Drain {
+    fn enter(self: &Arc<Self>) -> DrainGuard {
+        let mut n = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+        *n += 1;
+        DrainGuard(Arc::clone(self))
+    }
+
+    /// Wait until no handler is in flight; returns whether the pool
+    /// drained within `timeout`.
+    fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut n = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+        while *n > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _) = self
+                .idle
+                .wait_timeout(n, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            n = guard;
+        }
+        true
+    }
+}
+
+struct DrainGuard(Arc<Drain>);
+
+impl Drop for DrainGuard {
+    fn drop(&mut self) {
+        let mut n = self.0.active.lock().unwrap_or_else(PoisonError::into_inner);
+        *n = n.saturating_sub(1);
+        self.0.idle.notify_all();
+    }
+}
+
 /// Handle to a running telemetry server; shuts down (and joins the
 /// accept thread) on drop.
 #[derive(Debug)]
@@ -288,6 +437,8 @@ pub struct ServeHandle {
     shutdown: Arc<AtomicBool>,
     quit: Arc<AtomicBool>,
     accept: Option<thread::JoinHandle<()>>,
+    drain: Arc<Drain>,
+    drain_timeout: Duration,
 }
 
 impl ServeHandle {
@@ -317,7 +468,11 @@ impl ServeHandle {
         self.quit_requested()
     }
 
-    /// Stop accepting connections and join the accept thread. Idempotent.
+    /// Stop accepting connections, join the accept thread, then
+    /// **drain**: wait (up to the configured drain timeout) for every
+    /// in-flight connection handler to finish writing its response.
+    /// Without the drain, a quit landing concurrently with a `/metrics`
+    /// scrape could tear the process down mid-response. Idempotent.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
@@ -325,6 +480,7 @@ impl ServeHandle {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
+        self.drain.wait_idle(self.drain_timeout);
     }
 }
 
@@ -339,6 +495,19 @@ impl Drop for ServeHandle {
 /// from [`ServeHandle::local_addr`]). A disabled handle is an
 /// [`io::ErrorKind::Unsupported`] error: there is nothing to serve.
 pub fn start(obs: &Obs, addr: &str) -> io::Result<ServeHandle> {
+    start_with(obs, addr, ServeOptions::default(), None)
+}
+
+/// Like [`start`], with explicit [`ServeOptions`] and an optional
+/// application [`Router`] consulted before the built-in telemetry
+/// routes. This is the full-control entry point `casa-server` uses to
+/// mount `POST /solve` on the same listener that serves `/metrics`.
+pub fn start_with(
+    obs: &Obs,
+    addr: &str,
+    opts: ServeOptions,
+    router: Option<Router>,
+) -> io::Result<ServeHandle> {
     if !obs.is_enabled() {
         return Err(io::Error::new(
             io::ErrorKind::Unsupported,
@@ -349,9 +518,12 @@ pub fn start(obs: &Obs, addr: &str) -> io::Result<ServeHandle> {
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let quit = Arc::new(AtomicBool::new(false));
+    let drain = Arc::new(Drain::default());
+    let drain_timeout = opts.drain_timeout;
     let obs = obs.clone();
     let t_shutdown = Arc::clone(&shutdown);
     let t_quit = Arc::clone(&quit);
+    let t_drain = Arc::clone(&drain);
     let accept = thread::Builder::new()
         .name("casa-serve".to_string())
         .spawn(move || {
@@ -363,10 +535,18 @@ pub fn start(obs: &Obs, addr: &str) -> io::Result<ServeHandle> {
                 let obs = obs.clone();
                 let shutdown = Arc::clone(&t_shutdown);
                 let quit = Arc::clone(&t_quit);
+                let opts = opts.clone();
+                let router = router.clone();
+                // The guard is taken on the accept thread — before
+                // shutdown can observe the listener unblocked — so a
+                // connection is either refused or fully drained, never
+                // half-tracked.
+                let guard = t_drain.enter();
                 let _ = thread::Builder::new()
                     .name("casa-serve-conn".to_string())
                     .spawn(move || {
-                        let _ = handle_connection(&obs, stream, &shutdown, &quit);
+                        let _guard = guard;
+                        let _ = handle_connection(&obs, stream, &shutdown, &quit, &opts, &router);
                     });
             }
         })?;
@@ -375,38 +555,123 @@ pub fn start(obs: &Obs, addr: &str) -> io::Result<ServeHandle> {
         shutdown,
         quit,
         accept: Some(accept),
+        drain,
+        drain_timeout,
     })
 }
 
-/// Read the request head (through the blank line); returns
-/// `(method, path)`.
-fn read_request_head(stream: &mut TcpStream) -> io::Result<(String, String)> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
-        if buf.len() > 16 * 1024 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request head too large",
-            ));
+/// Why a request could not be read; each maps to an HTTP status.
+#[derive(Debug)]
+enum ReadError {
+    /// The read deadline expired before the request arrived.
+    Timeout,
+    /// Request line + headers exceeded the configured bound.
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeded the configured bound.
+    BodyTooLarge,
+    /// Structurally invalid request.
+    Malformed(&'static str),
+    /// The socket failed outright; nothing can be written back. The
+    /// payload exists for `Debug` rendering only.
+    Io(#[allow(dead_code)] io::Error),
+}
+
+impl ReadError {
+    fn response(&self) -> Option<(u16, String)> {
+        match self {
+            ReadError::Timeout => Some((408, "request read deadline exceeded\n".to_string())),
+            ReadError::HeadTooLarge => Some((413, "request head too large\n".to_string())),
+            ReadError::BodyTooLarge => Some((413, "request body too large\n".to_string())),
+            ReadError::Malformed(why) => Some((400, format!("{why}\n"))),
+            ReadError::Io(_) => None,
         }
-        let n = stream.read(&mut chunk)?;
+    }
+}
+
+/// One `read` bounded by an absolute deadline rather than a per-call
+/// timeout: re-arming the socket timeout with the *remaining* time is
+/// what closes the slowloris hole — a client feeding one byte per
+/// second used to reset the old 5 s per-read timeout indefinitely.
+fn read_with_deadline(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+) -> Result<usize, ReadError> {
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(ReadError::Timeout);
+        }
+        stream.set_read_timeout(Some(left)).map_err(ReadError::Io)?;
+        match stream.read(chunk) {
+            Ok(n) => return Ok(n),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue; // deadline re-checked at the top
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read one full request — head and (`Content-Length`-framed) body —
+/// under `opts`'s size and deadline bounds.
+fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Request, ReadError> {
+    let deadline = Instant::now() + opts.read_deadline;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_len = loop {
+        if let Some(pos) = head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > opts.max_head_bytes {
+            return Err(ReadError::HeadTooLarge);
+        }
+        let n = read_with_deadline(stream, &mut chunk, deadline)?;
         if n == 0 {
-            break;
+            return Err(ReadError::Malformed("connection closed before request"));
         }
         buf.extend_from_slice(&chunk[..n]);
-    }
-    let head = String::from_utf8_lossy(&buf);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_len]).into_owned();
     let first = head.lines().next().unwrap_or("");
     let mut parts = first.split_whitespace();
-    match (parts.next(), parts.next()) {
-        (Some(m), Some(p)) => Ok((m.to_string(), p.to_string())),
-        _ => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "malformed request line",
-        )),
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Err(ReadError::Malformed("malformed request line")),
+    };
+    let mut content_length = 0usize;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("unparsable Content-Length"))?;
+            }
+        }
     }
+    if content_length > opts.max_body_bytes {
+        return Err(ReadError::BodyTooLarge);
+    }
+    let mut body = buf[head_len + 4..].to_vec();
+    while body.len() < content_length {
+        let n = read_with_deadline(stream, &mut chunk, deadline)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let path = path.split('?').next().unwrap_or("").to_string();
+    Ok(Request { method, path, body })
 }
 
 fn write_response(
@@ -424,15 +689,47 @@ fn write_response(
     stream.flush()
 }
 
+fn write_router_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
 fn handle_connection(
     obs: &Obs,
     mut stream: TcpStream,
     shutdown: &Arc<AtomicBool>,
     quit: &Arc<AtomicBool>,
+    opts: &ServeOptions,
+    router: &Option<Router>,
 ) -> io::Result<()> {
-    let (method, path) = read_request_head(&mut stream)?;
-    let path = path.split('?').next().unwrap_or("");
-    match (method.as_str(), path) {
+    let req = match read_request(&mut stream, opts) {
+        Ok(req) => req,
+        Err(e) => {
+            if let Some((status, body)) = e.response() {
+                let status_line = format!("{status} {}", status_text(status));
+                return write_response(&mut stream, &status_line, "text/plain", &body);
+            }
+            return Ok(()); // socket error: nothing to write to
+        }
+    };
+    if let Some(router) = router {
+        if let Some(resp) = router(&req) {
+            return write_router_response(&mut stream, &resp);
+        }
+    }
+    match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/metrics") => write_response(
             &mut stream,
             "200 OK",
@@ -461,6 +758,21 @@ fn handle_connection(
     }
 }
 
+/// Unsubscribes its collector tee on drop, so *every* exit from the
+/// SSE loop — client disconnect, shutdown, write error — releases the
+/// subscription immediately instead of leaking it until the next
+/// event happens to flow.
+struct SseGuard {
+    collector: Arc<crate::TraceCollector>,
+    id: crate::span::SubscriberId,
+}
+
+impl Drop for SseGuard {
+    fn drop(&mut self) {
+        self.collector.unsubscribe(self.id);
+    }
+}
+
 fn serve_events(obs: &Obs, mut stream: TcpStream, shutdown: &Arc<AtomicBool>) -> io::Result<()> {
     let Some(collector) = obs.collector().cloned() else {
         return write_response(
@@ -473,7 +785,11 @@ fn serve_events(obs: &Obs, mut stream: TcpStream, shutdown: &Arc<AtomicBool>) ->
     stream.write_all(
         b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
     )?;
-    let (replay, rx) = collector.subscribe(SSE_SUBSCRIBER_CAPACITY);
+    let (replay, rx, id) = collector.subscribe_tracked(SSE_SUBSCRIBER_CAPACITY);
+    let _guard = SseGuard {
+        collector: Arc::clone(&collector),
+        id,
+    };
     for ev in &replay {
         write_sse_frame(&mut stream, ev)?;
     }
@@ -521,6 +837,42 @@ pub fn http_get(addr: &SocketAddr, path: &str, timeout: Duration) -> io::Result<
     stream.write_all(
         format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
     )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// POST `body` to `path` on a telemetry server: returns
+/// `(status, body)`. Plain HTTP/1.1, `Connection: close`, bounded by
+/// `timeout` for connect and for each read.
+pub fn http_post(
+    addr: &SocketAddr,
+    path: &str,
+    content_type: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.write_all(body.as_bytes())?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     let status = raw
@@ -785,5 +1137,242 @@ mod tests {
     fn disabled_handle_refuses_to_serve() {
         let err = start(&Obs::disabled(), "127.0.0.1:0").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    /// Regression (slowloris): a client that connects and then hangs —
+    /// or drips bytes slower than the deadline — must be cut off at
+    /// the *total* read deadline, not kept alive by per-read timeouts.
+    #[test]
+    fn stalled_client_is_cut_off_at_the_read_deadline() {
+        let obs = Obs::enabled();
+        let opts = ServeOptions {
+            read_deadline: Duration::from_millis(300),
+            ..ServeOptions::default()
+        };
+        let mut handle = start_with(&obs, "127.0.0.1:0", opts, None).expect("bind");
+        let addr = handle.local_addr();
+
+        // Connect-then-hang: send half a request line, never finish.
+        let began = Instant::now();
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+        stream.write_all(b"GET /heal").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("server closes");
+        assert!(
+            raw.starts_with("HTTP/1.1 408"),
+            "expected 408 on stall, got {raw:?}"
+        );
+        assert!(
+            began.elapsed() < Duration::from_secs(3),
+            "handler pinned for {:?}",
+            began.elapsed()
+        );
+
+        // Drip-feed: one byte per 100 ms outruns any per-read timeout
+        // but not the absolute deadline.
+        let began = Instant::now();
+        let mut drip = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+        let mut dripped = Vec::new();
+        for b in b"GET /healthz HTTP/1.1\r\n\r\n" {
+            if drip.write_all(&[*b]).is_err() {
+                break; // server already gave up on us — the point
+            }
+            dripped.push(*b);
+            thread::sleep(Duration::from_millis(100));
+            if began.elapsed() > Duration::from_secs(2) {
+                panic!("drip client still being read after {:?}", began.elapsed());
+            }
+        }
+        drip.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut raw = String::new();
+        let _ = drip.read_to_string(&mut raw);
+        assert!(
+            raw.is_empty() || raw.starts_with("HTTP/1.1 408"),
+            "drip client should see a timeout or a reset, got {raw:?}"
+        );
+
+        // The server is still healthy for well-behaved clients.
+        let (st, body) = http_get(&addr, "/healthz", Duration::from_secs(5)).unwrap();
+        assert_eq!((st, body.as_str()), (200, "ok\n"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let obs = Obs::enabled();
+        let opts = ServeOptions {
+            max_head_bytes: 256,
+            max_body_bytes: 64,
+            ..ServeOptions::default()
+        };
+        let mut handle = start_with(&obs, "127.0.0.1:0", opts, None).expect("bind");
+        let addr = handle.local_addr();
+
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(4096));
+        let _ = stream.write_all(huge.as_bytes());
+        let mut raw = String::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let _ = stream.read_to_string(&mut raw);
+        assert!(raw.starts_with("HTTP/1.1 413"), "got {raw:?}");
+
+        let big_body = "y".repeat(128);
+        let (st, _) = http_post(
+            &addr,
+            "/solve",
+            "application/json",
+            &big_body,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(st, 413);
+        handle.shutdown();
+    }
+
+    /// Regression (SSE leak): subscribers whose clients disconnect
+    /// must be pruned even when no further event ever flows through
+    /// the collector.
+    #[test]
+    fn sse_disconnects_leave_zero_subscribers() {
+        let obs = Obs::enabled();
+        obs.instant("seed", Vec::new());
+        let collector = Arc::clone(obs.collector().expect("enabled"));
+        let mut handle = start(&obs, "127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+        for _ in 0..4 {
+            // Connect, read the replay, then vanish without a trace.
+            let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+            stream
+                .write_all(b"GET /events HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut chunk = [0u8; 1024];
+            let _ = stream.read(&mut chunk);
+            drop(stream);
+        }
+        // No event is emitted here — pruning must not depend on one.
+        // The handlers notice the dead socket on a keep-alive ping
+        // (≤ ~200 ms) and unsubscribe on exit.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while collector.subscriber_count() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(
+            collector.subscriber_count(),
+            0,
+            "disconnected SSE clients left subscribers registered"
+        );
+        handle.shutdown();
+    }
+
+    /// Regression (shutdown race): `shutdown()` must drain in-flight
+    /// handlers, so a response that started before shutdown completes
+    /// in full and the handler finishes before `shutdown()` returns.
+    #[test]
+    fn shutdown_drains_inflight_handlers() {
+        let obs = Obs::enabled();
+        let handler_done: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
+        let done = Arc::clone(&handler_done);
+        let router: Router = Arc::new(move |req: &Request| {
+            if req.path == "/slow" {
+                thread::sleep(Duration::from_millis(250));
+                *done.lock().unwrap() = Some(Instant::now());
+                Some(Response::text(200, "slow-done"))
+            } else {
+                None
+            }
+        });
+        let mut handle =
+            start_with(&obs, "127.0.0.1:0", ServeOptions::default(), Some(router)).expect("bind");
+        let addr = handle.local_addr();
+        let client = thread::spawn(move || http_get(&addr, "/slow", Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(50)); // let the request land
+        handle.shutdown();
+        let returned = Instant::now();
+        let finished = handler_done
+            .lock()
+            .unwrap()
+            .expect("shutdown returned before the in-flight handler finished");
+        assert!(finished <= returned);
+        let (st, body) = client.join().unwrap().expect("response completes");
+        assert_eq!((st, body.as_str()), (200, "slow-done"));
+    }
+
+    /// The satellite's scenario verbatim: quit lands concurrently with
+    /// `/metrics` scrapes; every scrape that got through must carry a
+    /// complete, valid exposition.
+    #[test]
+    fn quit_concurrent_with_metrics_scrape_is_clean() {
+        let obs = Obs::enabled();
+        obs.add("solver.nodes", 3);
+        let mut handle = start(&obs, "127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+        let scrapers: Vec<_> = (0..4)
+            .map(|_| {
+                thread::spawn(move || {
+                    let mut bodies = Vec::new();
+                    for _ in 0..10 {
+                        if let Ok((200, body)) = http_get(&addr, "/metrics", Duration::from_secs(5))
+                        {
+                            bodies.push(body);
+                        }
+                    }
+                    bodies
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
+        let _ = http_get(&addr, "/quitquitquit", Duration::from_secs(5));
+        assert!(handle.wait_quit(Duration::from_secs(5)));
+        handle.shutdown();
+        let mut seen = 0usize;
+        for s in scrapers {
+            for body in s.join().unwrap() {
+                validate_exposition(&body).expect("every completed scrape is a full exposition");
+                assert!(body.contains("casa_solver_nodes 3"));
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "no scrape completed at all");
+    }
+
+    #[test]
+    fn router_mounts_post_routes_and_falls_through() {
+        let obs = Obs::enabled();
+        let router: Router = Arc::new(|req: &Request| {
+            if req.method == "POST" && req.path == "/echo" {
+                Some(
+                    Response::json(200, String::from_utf8_lossy(&req.body).into_owned())
+                        .with_header("X-Casa-Cache", "miss"),
+                )
+            } else {
+                None
+            }
+        });
+        let mut handle =
+            start_with(&obs, "127.0.0.1:0", ServeOptions::default(), Some(router)).expect("bind");
+        let addr = handle.local_addr();
+        let (st, body) = http_post(
+            &addr,
+            "/echo",
+            "application/json",
+            "{\"x\":1}",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!((st, body.as_str()), (200, "{\"x\":1}"));
+        // Built-in routes still work under a router.
+        let (st, body) = http_get(&addr, "/healthz", Duration::from_secs(5)).unwrap();
+        assert_eq!((st, body.as_str()), (200, "ok\n"));
+        let (st, _) = http_get(&addr, "/nope", Duration::from_secs(5)).unwrap();
+        assert_eq!(st, 404);
+        handle.shutdown();
     }
 }

@@ -104,8 +104,11 @@ struct CollectorState {
     threads: Vec<ThreadId>,
     /// Per-ordinal stack of open span indices.
     stacks: Vec<Vec<usize>>,
-    /// Live subscribers (bounded channels); pruned when disconnected.
-    subscribers: Vec<SyncSender<StreamEvent>>,
+    /// Live subscribers (bounded channels) with their registration
+    /// ids; pruned when disconnected or explicitly unsubscribed.
+    subscribers: Vec<(SubscriberId, SyncSender<StreamEvent>)>,
+    /// Registration id handed to the next subscriber.
+    next_sub_id: u64,
     /// Events dropped because a subscriber's channel was full.
     sub_dropped: u64,
 }
@@ -116,7 +119,7 @@ impl CollectorState {
     fn notify(&mut self, ev: &StreamEvent) {
         let mut i = 0;
         while i < self.subscribers.len() {
-            match self.subscribers[i].try_send(ev.clone()) {
+            match self.subscribers[i].1.try_send(ev.clone()) {
                 Ok(()) => i += 1,
                 Err(TrySendError::Full(_)) => {
                     self.sub_dropped += 1;
@@ -129,6 +132,16 @@ impl CollectorState {
         }
     }
 }
+
+/// Opaque handle identifying one live subscription, returned by
+/// [`TraceCollector::subscribe_tracked`] and accepted by
+/// [`TraceCollector::unsubscribe`]. Send-failure pruning inside
+/// `notify` still works without it; the id exists so a serving loop
+/// can drop its tee **immediately** when the client goes away instead
+/// of waiting for the next event to flow (which, on an idle
+/// collector, never comes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriberId(u64);
 
 /// Thread-safe accumulator of span / instant events.
 #[derive(Debug)]
@@ -241,6 +254,20 @@ impl TraceCollector {
     /// loses events (see [`Self::subscriber_dropped`]); one that is
     /// dropped is pruned on the next notification.
     pub fn subscribe(&self, capacity: usize) -> (Vec<StreamEvent>, Receiver<StreamEvent>) {
+        let (replay, rx, _id) = self.subscribe_tracked(capacity);
+        (replay, rx)
+    }
+
+    /// Like [`Self::subscribe`], but also returns a [`SubscriberId`]
+    /// the caller passes to [`Self::unsubscribe`] the moment it stops
+    /// reading. Long-lived serving loops must use this form: relying
+    /// on send-failure pruning alone leaks the channel (and its
+    /// buffered events) until the *next* notification, which on an
+    /// idle collector is forever.
+    pub fn subscribe_tracked(
+        &self,
+        capacity: usize,
+    ) -> (Vec<StreamEvent>, Receiver<StreamEvent>, SubscriberId) {
         let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
         let mut st = self.state.lock().unwrap();
         let replay = st
@@ -252,8 +279,20 @@ impl TraceCollector {
                 (EventKind::Instant, _) => StreamEvent::Instant(e.clone()),
             })
             .collect();
-        st.subscribers.push(tx);
-        (replay, rx)
+        let id = SubscriberId(st.next_sub_id);
+        st.next_sub_id += 1;
+        st.subscribers.push((id, tx));
+        (replay, rx, id)
+    }
+
+    /// Drop the subscription registered under `id`; returns whether it
+    /// was still present (false when send-failure pruning already
+    /// removed it, or on a double unsubscribe). Idempotent.
+    pub fn unsubscribe(&self, id: SubscriberId) -> bool {
+        let mut st = self.state.lock().unwrap();
+        let before = st.subscribers.len();
+        st.subscribers.retain(|(sid, _)| *sid != id);
+        st.subscribers.len() != before
     }
 
     /// Live subscribers currently attached (dead ones may linger until
@@ -616,5 +655,34 @@ mod tests {
         // Disconnection is not a drop: nothing was lost to a full
         // buffer.
         assert_eq!(c.subscriber_dropped(), 0);
+    }
+
+    #[test]
+    fn tracked_unsubscribe_removes_without_any_notification() {
+        // The regression scenario: a subscriber goes away while the
+        // collector is idle. Send-failure pruning never fires (no
+        // events flow), so only an explicit unsubscribe can clean up.
+        let c = Arc::new(TraceCollector::new());
+        let (_replay, rx, id) = c.subscribe_tracked(4);
+        assert_eq!(c.subscriber_count(), 1);
+        drop(rx);
+        assert!(c.unsubscribe(id));
+        assert_eq!(c.subscriber_count(), 0);
+        // Idempotent: a second unsubscribe is a no-op.
+        assert!(!c.unsubscribe(id));
+    }
+
+    #[test]
+    fn unsubscribe_targets_only_its_own_subscription() {
+        let c = Arc::new(TraceCollector::new());
+        let (_r1, rx1, id1) = c.subscribe_tracked(4);
+        let (_r2, _rx2, _id2) = c.subscribe_tracked(4);
+        assert_eq!(c.subscriber_count(), 2);
+        drop(rx1);
+        assert!(c.unsubscribe(id1));
+        assert_eq!(c.subscriber_count(), 1);
+        // The surviving subscription still receives events.
+        c.instant("still-live", Vec::new());
+        assert_eq!(c.subscriber_count(), 1);
     }
 }
