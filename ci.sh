@@ -141,6 +141,64 @@ cargo run --release -q -p casa-bench --bin diag -- --probe "$SERVER_ADDR" \
   || { echo "casa-server probe failed"; kill $SERVER_PID; exit 1; }
 wait $SERVER_PID || { echo "casa-server did not exit cleanly"; exit 1; }
 
+echo "== request observability: id echo, journal, slow-capture, byte-identity"
+# Boot casa-server with a 100 ms slow-request threshold and the
+# slow-request self-test armed (requests whose id starts with "slow-"
+# sleep 300 ms in the handler). Then: (1) POST /solve with an explicit
+# X-Casa-Request-Id — diag --post asserts the echo; (2) the request
+# journal must contain that id with full solve attribution (cache
+# outcome, gap); (3) a "slow-" request must cross the threshold and
+# leave a flight dump tagged with its id; (4) a second server with the
+# journal disabled must answer the same request with byte-identical
+# /solve bytes — observability may never leak into answers.
+rm -f /tmp/casa_req_addr /tmp/casa_req_body.json /tmp/casa_req_tail.txt \
+      /tmp/casa_solve_on.json /tmp/casa_solve_off.json /tmp/casa_slow_flight.json
+cat > /tmp/casa_req_body.json <<'BODY'
+{"graph":{"fetches":[900,400,700],"sizes":[16,24,8],"edges":[[0,1,120],[1,0,80],[1,2,60]]},"cache":{"size":1024,"line":16,"assoc":1},"capacity":32,"allocator":"casa-bb"}
+BODY
+CASA_SLOW_REQ_MS=100 CASA_SELFTEST_SLOW_REQ=300 \
+cargo run --release -q -p casa-bench --bin casa-server -- \
+  --listen 127.0.0.1:0 --addr-file /tmp/casa_req_addr --max-seconds 300 \
+  --flight-dump /tmp/casa_slow_flight.json &
+SERVER_PID=$!
+i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_req_addr; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_req_addr || { echo "casa-server never published its address"; kill $SERVER_PID; exit 1; }
+REQ_ADDR="$(head -n1 /tmp/casa_req_addr)"
+cargo run --release -q -p casa-bench --bin diag -- --post "$REQ_ADDR" /tmp/casa_req_body.json \
+  --req-id ci-req-42 --out /tmp/casa_solve_on.json \
+  || { echo "tagged solve failed or id was not echoed"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- --tail "$REQ_ADDR" > /tmp/casa_req_tail.txt \
+  || { echo "journal tail failed"; kill $SERVER_PID; exit 1; }
+grep "ci-req-42" /tmp/casa_req_tail.txt | grep "cache=" | grep -q "gap=" \
+  || { echo "journal entry for ci-req-42 lacks solve attribution"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- --post "$REQ_ADDR" /tmp/casa_req_body.json \
+  --req-id slow-ci-1 --out /dev/null \
+  || { echo "slow-tagged solve failed"; kill $SERVER_PID; exit 1; }
+i=0; while [ $i -lt 100 ] && ! test -s /tmp/casa_slow_flight.json; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_slow_flight.json || { echo "slow request left no flight dump"; kill $SERVER_PID; exit 1; }
+grep -q "slow-ci-1" /tmp/casa_slow_flight.json \
+  || { echo "slow-request flight dump is not tagged with the request id"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- --probe "$REQ_ADDR" \
+  --expect casa_server_requests_total --quit \
+  || { echo "request-observability probe failed"; kill $SERVER_PID; exit 1; }
+wait $SERVER_PID || { echo "casa-server did not exit cleanly"; exit 1; }
+rm -f /tmp/casa_req_addr
+CASA_REQ_JOURNAL_CAP=0 cargo run --release -q -p casa-bench --bin casa-server -- \
+  --listen 127.0.0.1:0 --addr-file /tmp/casa_req_addr --max-seconds 300 &
+SERVER_PID=$!
+i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_req_addr; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_req_addr || { echo "journal-off casa-server never published its address"; kill $SERVER_PID; exit 1; }
+REQ_ADDR="$(head -n1 /tmp/casa_req_addr)"
+cargo run --release -q -p casa-bench --bin diag -- --post "$REQ_ADDR" /tmp/casa_req_body.json \
+  --req-id ci-req-42 --out /tmp/casa_solve_off.json \
+  || { echo "journal-off solve failed"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- --probe "$REQ_ADDR" \
+  --expect casa_server_requests_total --quit \
+  || { echo "journal-off probe failed"; kill $SERVER_PID; exit 1; }
+wait $SERVER_PID || { echo "journal-off casa-server did not exit cleanly"; exit 1; }
+cmp /tmp/casa_solve_on.json /tmp/casa_solve_off.json \
+  || { echo "journal changed the /solve response bytes"; exit 1; }
+
 echo "== budget-stress smoke: sweep --smoke --budget-nodes 1"
 # The harshest anytime setting: a single search node per cell. The
 # sweep bin itself asserts every cell still answers (status present;

@@ -14,22 +14,61 @@
 //! * `/metrics` afterwards shows at least the issued number of
 //!   `casa_server_requests_total` and ≥ 1 `casa_server_cache_hits_total`.
 //!
+//! Per request **class** (`cold` / `adjacent` / `repeat` / `starved`)
+//! it reports client-observed latency p50/p90/p99 and an error count;
+//! any class that saw an unexpected HTTP status (or a starved reply
+//! that did not degrade to `feasible`) makes the run exit nonzero.
+//!
 //! 429 (admission queue full) is retried with backoff — overload
-//! shedding is correct server behaviour, not a test failure.
+//! shedding is correct server behaviour, not a test failure. A
+//! request still rejected after the retry budget counts as an error.
 //!
 //! Usage: `casa-loadgen --addr <host:port> [--clients 2] [--graphs 4]
 //!         [--repeat 2] [--dump-a <path> --dump-b <path>]`
 //!
-//! Exits 0 iff every check passed (any failure panics).
+//! Exits 0 iff every check passed.
 
 use casa_bench::runner::cli_value;
 use casa_obs::{http_get, http_post};
 use serde::json::Value;
 use std::net::SocketAddr;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Request classes the generator distinguishes, in report order.
+const CLASSES: [&str; 4] = ["cold", "adjacent", "repeat", "starved"];
+const COLD: usize = 0;
+const ADJACENT: usize = 1;
+const REPEAT: usize = 2;
+const STARVED: usize = 3;
+
+/// Client-observed outcomes for one request class.
+#[derive(Debug, Default, Clone)]
+struct ClassStats {
+    latencies_us: Vec<u64>,
+    errors: u64,
+}
+
+impl ClassStats {
+    fn merge(&mut self, other: &ClassStats) {
+        self.latencies_us.extend_from_slice(&other.latencies_us);
+        self.errors += other.errors;
+    }
+
+    /// Exact sample percentile (nearest-rank): the smallest recorded
+    /// latency such that at least `q` of the samples are ≤ it.
+    fn percentile_us(&self, q: f64) -> u64 {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
 
 fn lcg(seed: &mut u64) -> u64 {
     *seed = seed
@@ -68,54 +107,77 @@ fn request_body(seed: u64, capacity: u32, budget_nodes: Option<u64>) -> String {
 }
 
 /// POST one solve request, retrying 429s with backoff (overload
-/// shedding is expected under concurrent load).
-fn solve(addr: &SocketAddr, body: &str) -> String {
+/// shedding is expected under concurrent load), and record the
+/// outcome under `class`: the final attempt's latency always counts;
+/// any terminal status other than 200 counts as an error. Returns the
+/// body on success.
+fn solve(addr: &SocketAddr, body: &str, stats: &mut ClassStats) -> Option<String> {
+    let mut last_status = 0;
     for attempt in 0..8u32 {
+        let began = Instant::now();
         let (status, resp) =
             http_post(addr, "/solve", "application/json", body, TIMEOUT).expect("POST /solve");
+        let latency_us = began.elapsed().as_micros() as u64;
+        last_status = status;
         match status {
-            200 => return resp,
+            200 => {
+                stats.latencies_us.push(latency_us);
+                return Some(resp);
+            }
             429 => thread::sleep(Duration::from_millis(50 << attempt)),
-            other => panic!("POST /solve returned {other}: {resp}"),
+            _ => {
+                stats.latencies_us.push(latency_us);
+                break;
+            }
         }
     }
-    panic!("POST /solve still overloaded after 8 retries");
+    eprintln!("casa-loadgen: POST /solve ended with status {last_status}");
+    stats.errors += 1;
+    None
 }
 
 /// One client's deterministic request schedule. Returns
-/// `(requests_issued, Vec<(label, body)>)` for cross-checking.
+/// `(requests_issued, Vec<(label, body)>, per-class stats)`.
 fn run_client(
     addr: SocketAddr,
     client: u64,
     graphs: u64,
     repeat: u64,
-) -> (u64, Vec<(String, String)>) {
+) -> (u64, Vec<(String, String)>, Vec<ClassStats>) {
     let mut issued = 0;
     let mut transcript = Vec::new();
+    let mut stats = vec![ClassStats::default(); CLASSES.len()];
     for g in 0..graphs {
         let seed = 10_000 * (client + 1) + g;
         let cold = request_body(seed, 64, None);
         let adjacent = request_body(seed, 96, None);
-        let first = solve(&addr, &cold);
+        let first = solve(&addr, &cold, &mut stats[COLD]);
         issued += 1;
-        transcript.push((format!("c{client}g{g}:cold"), first.clone()));
+        if let Some(body) = &first {
+            transcript.push((format!("c{client}g{g}:cold"), body.clone()));
+        }
         // Capacity-adjacent request for the same graph: lands on the
         // same shard (base fingerprint) and can warm-start from the
         // cold solve's optimum.
-        let adj = solve(&addr, &adjacent);
+        if let Some(adj) = solve(&addr, &adjacent, &mut stats[ADJACENT]) {
+            transcript.push((format!("c{client}g{g}:adjacent"), adj));
+        }
         issued += 1;
-        transcript.push((format!("c{client}g{g}:adjacent"), adj));
         for r in 0..repeat {
-            let again = solve(&addr, &cold);
+            let again = solve(&addr, &cold, &mut stats[REPEAT]);
             issued += 1;
-            assert_eq!(
-                again, first,
-                "repeat {r} of client {client} graph {g} differs from the first response"
-            );
-            transcript.push((format!("c{client}g{g}:repeat{r}"), again));
+            // On an error the failure is already counted; there is
+            // nothing to compare.
+            if let (Some(first), Some(again)) = (&first, again) {
+                assert_eq!(
+                    &again, first,
+                    "repeat {r} of client {client} graph {g} differs from the first response"
+                );
+                transcript.push((format!("c{client}g{g}:repeat{r}"), again));
+            }
         }
     }
-    (issued, transcript)
+    (issued, transcript, stats)
 }
 
 fn metric_value(metrics: &str, family: &str) -> f64 {
@@ -144,28 +206,36 @@ fn main() {
         .collect();
     let mut issued = 0;
     let mut transcripts = Vec::new();
+    let mut stats = vec![ClassStats::default(); CLASSES.len()];
     for h in handles {
-        let (n, t) = h.join().expect("client thread");
+        let (n, t, s) = h.join().expect("client thread");
         issued += n;
         transcripts.push(t);
+        for (agg, part) in stats.iter_mut().zip(&s) {
+            agg.merge(part);
+        }
     }
 
     // One starved request: a single search node cannot close a
     // nontrivial graph, so the reply must be a graceful degradation —
     // feasible, with a finite proven gap — not an error.
-    let starved = solve(&addr, &request_body(777, 64, Some(1)));
+    let starved = solve(&addr, &request_body(777, 64, Some(1)), &mut stats[STARVED]);
     issued += 1;
-    let v = serde::json::parse(&starved).expect("degraded response is valid JSON");
-    assert_eq!(
-        v.get("status").and_then(Value::as_str),
-        Some("feasible"),
-        "starved request should degrade gracefully: {starved}"
-    );
-    let gap = v
-        .get("gap")
-        .and_then(Value::as_f64)
-        .expect("degraded response carries a gap");
-    assert!(gap.is_finite() && gap >= 0.0, "gap {gap} not finite");
+    let mut gap = f64::NAN;
+    // (An HTTP-level starved failure is already counted as an error.)
+    if let Some(body) = &starved {
+        let v = serde::json::parse(body).expect("degraded response is valid JSON");
+        if v.get("status").and_then(Value::as_str) == Some("feasible") {
+            gap = v
+                .get("gap")
+                .and_then(Value::as_f64)
+                .expect("degraded response carries a gap");
+            assert!(gap.is_finite() && gap >= 0.0, "gap {gap} not finite");
+        } else {
+            eprintln!("casa-loadgen: starved request did not degrade to feasible: {body}");
+            stats[STARVED].errors += 1;
+        }
+    }
 
     // Optional dump of one repeated pair for an independent `cmp` in
     // CI (defence against this binary's own assert being wrong).
@@ -193,6 +263,24 @@ fn main() {
         "expected at least one exact cache hit, server counted {hits}"
     );
 
+    // Per-class latency/error report, then the verdict.
+    println!("casa-loadgen: class     count  errors  p50_us  p90_us  p99_us");
+    let mut errors = 0;
+    for (name, s) in CLASSES.iter().zip(&stats) {
+        println!(
+            "casa-loadgen: {name:<9} {:>5}  {:>6}  {:>6}  {:>6}  {:>6}",
+            s.latencies_us.len(),
+            s.errors,
+            s.percentile_us(0.50),
+            s.percentile_us(0.90),
+            s.percentile_us(0.99),
+        );
+        errors += s.errors;
+    }
+    if errors > 0 {
+        eprintln!("casa-loadgen: FAILED — {errors} request(s) saw an unexpected status");
+        std::process::exit(1);
+    }
     println!(
         "casa-loadgen: OK — {clients} clients, {issued} requests, {requests} served, {hits} cache hits, degraded gap {gap:.6}"
     );

@@ -11,7 +11,15 @@
 //! Usage: `cargo run --release -p casa-bench --bin casa-server --
 //!         [--listen 127.0.0.1:0] [--addr-file <path>]
 //!         [--workers N] [--queue-cap N] [--cache-cap N]
-//!         [--max-budget-nodes N] [--max-seconds N]`
+//!         [--max-budget-nodes N] [--max-seconds N]
+//!         [--flight-dump <path>]`
+//!
+//! Every response carries an `X-Casa-Request-Id` correlation header
+//! (client-supplied or minted), each `/solve` reply's solve
+//! attribution (cache outcome, gap, nodes, queue wait, worker shard)
+//! lands in the request journal at `/requests.json` and the access
+//! log — see the "Request observability" section of the README.
+//! `--flight-dump` sets the sink slow/degraded requests auto-dump to.
 //!
 //! `--addr-file` writes the bound address (useful with port 0) once
 //! the service is up — CI polls for the file, then points the load
@@ -124,12 +132,29 @@ fn error_json(message: &str) -> String {
     format!("{{\"error\":\"{}\"}}", json_escape(message))
 }
 
-fn solve_response(service: &AllocService, job: SolveJob) -> Response {
-    match service.submit(job) {
+fn solve_response(service: &AllocService, job: SolveJob, req_id: &str) -> Response {
+    match service.submit_tagged(job, Some(req_id)) {
         Ok(reply) => Response::json(200, reply.body.clone())
-            .with_header("X-Casa-Cache", reply.cache.as_str()),
+            .with_header("X-Casa-Cache", reply.cache.as_str())
+            .with_solve(reply.attribution),
         Err(SubmitError::Overloaded) => Response::json(429, error_json("admission queue full")),
         Err(SubmitError::Closed) => Response::json(503, error_json("service shut down")),
+    }
+}
+
+/// CI hook: with `CASA_SELFTEST_SLOW_REQ=<ms>` set, requests whose
+/// correlation ID starts with `slow-` sleep that long before solving —
+/// a deterministic way to drive the slow-request flight capture
+/// (`CASA_SLOW_REQ_MS`) without making every request slow.
+fn selftest_slow_req(req_id: &str) {
+    if !req_id.starts_with("slow-") {
+        return;
+    }
+    if let Some(ms) = std::env::var("CASA_SELFTEST_SLOW_REQ")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::sleep(Duration::from_millis(ms));
     }
 }
 
@@ -137,8 +162,9 @@ fn handle_solve(service: &AllocService, memo: &WorkloadMemo, req: &Request) -> R
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::json(400, error_json("request body is not UTF-8"));
     };
+    selftest_slow_req(&req.req_id);
     match casa_core::server::parse_request(body) {
-        Ok(ParsedRequest::Graph(job)) => solve_response(service, job),
+        Ok(ParsedRequest::Graph(job)) => solve_response(service, job, &req.req_id),
         Ok(ParsedRequest::Workload(w)) => match memo.resolve(&w) {
             Ok(resolved) => {
                 let (graph, table) = (&resolved.0, &resolved.1);
@@ -152,6 +178,7 @@ fn handle_solve(service: &AllocService, memo: &WorkloadMemo, req: &Request) -> R
                         budget_nodes: w.budget_nodes,
                         budget_ms: w.budget_ms,
                     },
+                    &req.req_id,
                 )
             }
             Err(e) => Response::json(400, error_json(&e)),
@@ -185,6 +212,9 @@ fn main() {
     let max_seconds = flag_u64("max-seconds", 600);
 
     let obs = Obs::enabled();
+    if let Some(path) = cli_value("--flight-dump") {
+        obs.set_flight_sink(Some(path.into()));
+    }
     let service = Arc::new(AllocService::start(&cfg, &obs));
     let memo = Arc::new(WorkloadMemo {
         cache: Mutex::new(HashMap::new()),

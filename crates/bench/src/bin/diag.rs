@@ -7,7 +7,9 @@
 //!         [--trace-out <path>] [--render-trace <path>]
 //!         [--flight <path>]
 //!         [--probe <addr> | --probe-quick <addr>]
-//!         [--expect <family>]... [--expect-spans] [--quit]`
+//!         [--expect <family>]... [--expect-spans] [--quit]
+//!         [--tail <addr>]
+//!         [--post <addr> <body-file> [--req-id <id>] [--out <path>]]`
 //!
 //! With `--trace-out` (or `CASA_TRACE=1`) the flows run instrumented
 //! and a per-phase span-tree table is printed at the end.
@@ -26,15 +28,22 @@
 //! (repeatable) asserts a metric family is declared; `--quit` sends
 //! `/quitquitquit` at the end to release a lingering server. Any
 //! failed check panics, so CI fails loudly.
+//! `--tail <addr>` fetches `/requests.json` and prints one greppable
+//! line per journal entry (ID, route, status, latency, and — for
+//! `/solve` — cache outcome, gap, nodes, queue wait, worker shard).
+//! `--post <addr> <body-file>` POSTs the file to `/solve` with an
+//! optional `--req-id` correlation header, asserts the 200 and the ID
+//! echo, and writes the reply body to `--out` (or stdout).
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
-use casa_bench::runner::{cli_obs, prepared};
+use casa_bench::runner::{cli_obs, cli_value, prepared};
 use casa_core::flow::{run_spm_flow, AllocatorKind, FlowConfig, FlowCtx};
 use casa_energy::TechParams;
 use casa_mem::cache::CacheConfig;
 use casa_obs::{
-    collect_sse, http_get, render_flight_table, render_span_table, validate_exposition, ArgValue,
-    EventKind, FlightEvent, FlightKind, TraceEvent,
+    collect_sse, header_value, http_get, http_request, render_flight_table, render_span_table,
+    validate_exposition, ArgValue, EventKind, FlightEvent, FlightKind, TraceEvent,
+    REQUEST_ID_HEADER,
 };
 use casa_workloads::mediabench;
 use std::net::SocketAddr;
@@ -198,6 +207,99 @@ fn probe(addr: &str, quick: bool) {
     println!("probe {addr}: all checks passed");
 }
 
+/// `--tail <addr>`: fetch the request journal and print one greppable
+/// line per entry, oldest first.
+fn tail(addr: &str) {
+    let addr: SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|e| panic!("--tail takes host:port, got {addr}: {e}"));
+    let t = Duration::from_secs(5);
+    let (code, body) = http_get(&addr, "/requests.json", t)
+        .unwrap_or_else(|e| panic!("GET /requests.json on {addr}: {e}"));
+    assert_eq!(code, 200, "/requests.json returned {code}");
+    let v = serde::json::parse(&body).expect("/requests.json is not valid JSON");
+    let cap = v.get("cap").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+    let dropped = v.get("dropped").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+    let entries = v
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .expect("entries array");
+    println!(
+        "request journal of {addr}: {} entr(ies), cap {cap}, {dropped} dropped",
+        entries.len()
+    );
+    for e in entries {
+        let f = |k: &str| e.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+        let s = |k: &str| e.get(k).and_then(|x| x.as_str()).unwrap_or("-").to_string();
+        let mut line = format!(
+            "  #{:<6} {:<16} {:<4} {:<16} {} in {} out {} dur_us {}",
+            f("seq"),
+            s("id"),
+            s("method"),
+            s("path"),
+            f("status"),
+            f("bytes_in"),
+            f("bytes_out"),
+            f("handler_us"),
+        );
+        if let Some(solve) = e.get("solve").filter(|s| s.as_object().is_some()) {
+            let gap = solve
+                .get("gap")
+                .and_then(|x| x.as_f64())
+                .map_or("null".to_string(), |g| format!("{g}"));
+            line.push_str(&format!(
+                " | cache={} status={} gap={gap} nodes={} wait_us={} worker={}",
+                solve.get("cache").and_then(|x| x.as_str()).unwrap_or("-"),
+                solve.get("status").and_then(|x| x.as_str()).unwrap_or("-"),
+                solve.get("nodes").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64,
+                solve
+                    .get("queue_wait_us")
+                    .and_then(|x| x.as_f64())
+                    .unwrap_or(0.0) as u64,
+                solve.get("worker").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64,
+            ));
+        }
+        println!("{line}");
+    }
+}
+
+/// `--post <addr> <body-file>`: POST a solve request with an optional
+/// `--req-id` correlation header, assert the 200 and the ID echo, and
+/// write the reply body to `--out` (else stdout).
+fn post_solve(addr: &str, body_path: &str) {
+    let addr: SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|e| panic!("--post takes host:port, got {addr}: {e}"));
+    let body =
+        std::fs::read_to_string(body_path).unwrap_or_else(|e| panic!("read {body_path}: {e}"));
+    let req_id = cli_value("--req-id");
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(id) = &req_id {
+        headers.push((REQUEST_ID_HEADER, id));
+    }
+    let (code, resp_headers, resp) = http_request(
+        &addr,
+        "POST",
+        "/solve",
+        &headers,
+        Some(("application/json", &body)),
+        Duration::from_secs(30),
+    )
+    .unwrap_or_else(|e| panic!("POST /solve on {addr}: {e}"));
+    assert_eq!(code, 200, "POST /solve returned {code}: {resp}");
+    let echoed = header_value(&resp_headers, REQUEST_ID_HEADER)
+        .unwrap_or_else(|| panic!("no {REQUEST_ID_HEADER} header in reply"));
+    if let Some(id) = &req_id {
+        assert_eq!(echoed, id, "server echoed a different request ID");
+    }
+    let cache = header_value(&resp_headers, "X-Casa-Cache").unwrap_or("-");
+    eprintln!("post {addr}: 200, id {echoed}, cache {cache}");
+    match cli_value("--out") {
+        Some(path) => std::fs::write(&path, &resp).unwrap_or_else(|e| panic!("write {path}: {e}")),
+        None => println!("{resp}"),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -225,6 +327,17 @@ fn main() {
         if a == "--probe" || a == "--probe-quick" {
             let target = args.next().unwrap_or_else(|| panic!("{a} needs host:port"));
             probe(&target, a == "--probe-quick");
+            return;
+        }
+        if a == "--tail" {
+            let target = args.next().expect("--tail needs host:port");
+            tail(&target);
+            return;
+        }
+        if a == "--post" {
+            let target = args.next().expect("--post needs host:port");
+            let body_path = args.next().expect("--post needs a body file");
+            post_solve(&target, &body_path);
             return;
         }
     }

@@ -135,8 +135,8 @@ pub struct HistoryRecord {
 
 /// Flatten a metrics snapshot to scalars for longitudinal storage:
 /// counters and gauges keep their name, histograms expand to
-/// `.count`, `.sum` and the log₂-derived `.p50`/`.p90`/`.p99`
-/// quantile estimates (omitted when empty).
+/// `.count`, `.sum` and the within-bucket-interpolated
+/// `.p50`/`.p90`/`.p99` quantile estimates (omitted when empty).
 pub fn flatten_metrics(snap: &MetricsSnapshot) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     for (name, v) in snap {
@@ -152,7 +152,7 @@ pub fn flatten_metrics(snap: &MetricsSnapshot) -> BTreeMap<String, f64> {
                 out.insert(format!("{name}.sum"), h.sum as f64);
                 for (tag, q) in [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99())] {
                     if let Some(q) = q {
-                        out.insert(format!("{name}.{tag}"), q as f64);
+                        out.insert(format!("{name}.{tag}"), q);
                     }
                 }
             }
@@ -485,6 +485,8 @@ mod tests {
             count: 2,
             sum: 5,
             buckets: vec![(1, 1), (7, 1)],
+            min: Some(1),
+            max: Some(4),
         };
         snap.insert("h".to_string(), MetricValue::Histogram(h));
         let flat = flatten_metrics(&snap);

@@ -142,6 +142,23 @@ pub fn allocate_budgeted_warm(
     warm: Option<&[bool]>,
     obs: &Obs,
 ) -> AllocOutcome {
+    // Spans nest per-thread, so when the allocation service opens a
+    // `server.request` span on its worker, this span (and the B&B /
+    // ILP spans beneath it) become children of that request — which is
+    // what makes a trace filterable to one request ID.
+    let _span = obs.span_with(
+        "engine.allocate",
+        vec![
+            (
+                "allocator".to_string(),
+                casa_obs::ArgValue::Str(format!("{kind:?}")),
+            ),
+            (
+                "capacity".to_string(),
+                casa_obs::ArgValue::U64(u64::from(capacity)),
+            ),
+        ],
+    );
     let outcome = match kind {
         AllocatorKind::CasaBb => {
             let out = allocate_bb_budgeted(model, capacity, budget, warm, obs);

@@ -46,12 +46,14 @@ use crate::engine::{allocate_budgeted_warm, AllocOutcome, AllocStatus, Budget};
 use crate::flow::AllocatorKind;
 use casa_energy::{EnergyTable, TechParams};
 use casa_mem::cache::{CacheConfig, ReplacementPolicy};
-use casa_obs::{fnv1a_64, jnum, json_escape, Obs};
+use casa_obs::{fnv1a_64, jnum, json_escape, ArgValue, Obs, SolveAttribution};
 use serde::json::Value;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard ceiling on per-request node budgets (and the effective budget
 /// of requests that ask for none): one request can never monopolize a
@@ -459,10 +461,24 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// What the exact cache stores per entry: the verbatim response body
+/// plus the (run-independent) solve quality facts that per-request
+/// attribution reports on a replay — a hit can honestly say "optimal,
+/// gap 0" without re-parsing its own JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedAnswer {
+    /// Deterministic response JSON, replayed verbatim.
+    pub body: String,
+    /// `AllocStatus::as_str()` of the solve that produced the body.
+    pub status: String,
+    /// Proven optimality gap of that solve (`None` for fallbacks).
+    pub gap: Option<f64>,
+}
+
 #[derive(Debug)]
 struct CacheEntry {
     key: Vec<u8>,
-    body: String,
+    answer: CachedAnswer,
 }
 
 #[derive(Debug)]
@@ -524,7 +540,7 @@ impl SolutionCache {
     /// Look up the response cached under (`fp`, `key`). Verify-on-hit:
     /// the fingerprint routes to a bucket, but only a byte-equal key
     /// serves.
-    pub fn lookup(&mut self, fp: u64, key: &[u8]) -> Option<String> {
+    pub fn lookup(&mut self, fp: u64, key: &[u8]) -> Option<CachedAnswer> {
         if self.cap == 0 {
             self.stats.misses += 1;
             return None;
@@ -532,7 +548,7 @@ impl SolutionCache {
         if let Some(bucket) = self.entries.get(&fp) {
             if let Some(e) = bucket.iter().find(|e| e.key == key) {
                 self.stats.hits += 1;
-                return Some(e.body.clone());
+                return Some(e.answer.clone());
             }
             if !bucket.is_empty() {
                 self.stats.collisions += 1;
@@ -544,7 +560,7 @@ impl SolutionCache {
 
     /// Insert a response under (`fp`, `key`), evicting FIFO beyond the
     /// capacity bound.
-    pub fn insert(&mut self, fp: u64, key: Vec<u8>, body: String) {
+    pub fn insert(&mut self, fp: u64, key: Vec<u8>, answer: CachedAnswer) {
         if self.cap == 0 {
             return;
         }
@@ -554,7 +570,7 @@ impl SolutionCache {
         }
         bucket.push(CacheEntry {
             key: key.clone(),
-            body,
+            answer,
         });
         self.fifo.push_back((fp, key));
         self.len += 1;
@@ -767,6 +783,12 @@ pub struct SolveReply {
     pub body: String,
     /// Cache disposition.
     pub cache: CacheOutcome,
+    /// Per-request solve attribution for the observability layer:
+    /// everything run-dependent that the body deliberately excludes
+    /// (cache outcome, status, gap, nodes, budget stop, queue wait,
+    /// worker shard). Travels in headers / the request journal, never
+    /// in the response body.
+    pub attribution: SolveAttribution,
 }
 
 struct JobKeys {
@@ -779,6 +801,12 @@ struct JobKeys {
 struct QueuedJob {
     job: SolveJob,
     keys: JobKeys,
+    /// Correlation ID of the HTTP request that queued this job, if
+    /// the caller tagged one ([`AllocService::submit_tagged`]).
+    req_id: Option<String>,
+    /// When the job was admitted — queue wait is measured from here
+    /// to the moment a worker dequeues it.
+    enqueued_at: Instant,
     reply: SyncSender<SolveReply>,
 }
 
@@ -788,6 +816,10 @@ struct QueuedJob {
 #[derive(Debug)]
 pub struct AllocService {
     shards: Vec<SyncSender<QueuedJob>>,
+    /// Live depth of each shard's admission queue (incremented at
+    /// admission, decremented at dequeue) — exported as
+    /// `server.queue_depth.<shard>` gauges.
+    depths: Vec<Arc<AtomicU64>>,
     joins: Vec<thread::JoinHandle<()>>,
     obs: Obs,
     max_nodes: u64,
@@ -802,20 +834,25 @@ impl AllocService {
     pub fn start(cfg: &ServiceConfig, obs: &Obs) -> AllocService {
         let workers = cfg.workers.max(1);
         let mut shards = Vec::with_capacity(workers);
+        let mut depths = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
         for w in 0..workers {
             let (tx, rx) = std::sync::mpsc::sync_channel::<QueuedJob>(cfg.queue_cap.max(1));
             let cache = SolutionCache::new(cfg.cache_cap);
+            let depth = Arc::new(AtomicU64::new(0));
+            let worker_depth = Arc::clone(&depth);
             let obs = obs.clone();
             let join = thread::Builder::new()
                 .name(format!("casa-solve-{w}"))
-                .spawn(move || worker_loop(&rx, cache, &obs))
+                .spawn(move || worker_loop(&rx, cache, &obs, w as u64, &worker_depth))
                 .expect("spawn solver worker");
             shards.push(tx);
+            depths.push(depth);
             joins.push(join);
         }
         AllocService {
             shards,
+            depths,
             joins,
             obs: obs.clone(),
             max_nodes: cfg.max_nodes,
@@ -826,7 +863,21 @@ impl AllocService {
     /// a full shard queue returns [`SubmitError::Overloaded`]
     /// immediately (the HTTP layer maps it to 429) rather than
     /// queueing without bound.
-    pub fn submit(&self, mut job: SolveJob) -> Result<SolveReply, SubmitError> {
+    pub fn submit(&self, job: SolveJob) -> Result<SolveReply, SubmitError> {
+        self.submit_tagged(job, None)
+    }
+
+    /// [`AllocService::submit`] with a correlation ID: the worker opens
+    /// a `server.request` span carrying `req_id` (parenting the
+    /// engine/B&B spans it runs, since spans nest per-thread) and
+    /// stamps the ID into the flight ring, so traces and flight dumps
+    /// are filterable to one request. Tagging never changes the reply
+    /// body — only what telemetry records about producing it.
+    pub fn submit_tagged(
+        &self,
+        mut job: SolveJob,
+        req_id: Option<&str>,
+    ) -> Result<SolveReply, SubmitError> {
         job.normalize(self.max_nodes);
         let base_key = job.base_key();
         let base_fp = fnv1a_64(&base_key);
@@ -843,15 +894,29 @@ impl AllocService {
                 base_fp,
                 base_key,
             },
+            req_id: req_id.map(str::to_string),
+            enqueued_at: Instant::now(),
             reply: reply_tx,
         };
+        // Count the admission before the send so the worker's matching
+        // decrement can never race the gauge below zero.
+        let depth = self.depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        self.obs
+            .gauge_set(&format!("server.queue_depth.{shard}"), depth as f64);
         match self.shards[shard].try_send(queued) {
             Ok(()) => reply_rx.recv().map_err(|_| SubmitError::Closed),
-            Err(TrySendError::Full(_)) => {
-                self.obs.add("server.rejected_total", 1);
-                Err(SubmitError::Overloaded)
+            Err(e) => {
+                let depth = self.depths[shard].fetch_sub(1, Ordering::Relaxed) - 1;
+                self.obs
+                    .gauge_set(&format!("server.queue_depth.{shard}"), depth as f64);
+                match e {
+                    TrySendError::Full(_) => {
+                        self.obs.add("server.rejected_total", 1);
+                        Err(SubmitError::Overloaded)
+                    }
+                    TrySendError::Disconnected(_) => Err(SubmitError::Closed),
+                }
             }
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
         }
     }
 
@@ -871,19 +936,63 @@ impl Drop for AllocService {
     }
 }
 
-fn worker_loop(rx: &Receiver<QueuedJob>, mut cache: SolutionCache, obs: &Obs) {
+fn worker_loop(
+    rx: &Receiver<QueuedJob>,
+    mut cache: SolutionCache,
+    obs: &Obs,
+    worker: u64,
+    depth: &AtomicU64,
+) {
     while let Ok(q) = rx.recv() {
-        let reply = solve_one(&q.job, &q.keys, &mut cache, obs);
+        let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        obs.gauge_set(&format!("server.queue_depth.{worker}"), d as f64);
+        let queue_wait_us = q.enqueued_at.elapsed().as_micros() as u64;
+        obs.record("server.queue_wait_us", queue_wait_us);
+        // The request span opens on the worker thread, so the engine
+        // and B&B spans the solve produces nest under it — that
+        // parent/child link is what makes a trace filterable to one
+        // request ID.
+        let id = q.req_id.clone().unwrap_or_default();
+        let _span = obs.span_with(
+            "server.request",
+            vec![
+                ("req_id".to_string(), ArgValue::Str(id.clone())),
+                ("shard".to_string(), ArgValue::U64(worker)),
+            ],
+        );
+        if !id.is_empty() {
+            // Stamp the ID into the flight ring (no dump) so a
+            // post-mortem dump can be filtered to this request too.
+            obs.annotate("server.request", &id);
+        }
+        let reply = solve_one(&q.job, &q.keys, &mut cache, obs, worker, queue_wait_us);
         let _ = q.reply.send(reply);
     }
 }
 
-fn solve_one(job: &SolveJob, keys: &JobKeys, cache: &mut SolutionCache, obs: &Obs) -> SolveReply {
+fn solve_one(
+    job: &SolveJob,
+    keys: &JobKeys,
+    cache: &mut SolutionCache,
+    obs: &Obs,
+    worker: u64,
+    queue_wait_us: u64,
+) -> SolveReply {
     let collisions_before = cache.stats.collisions;
-    if let Some(body) = cache.lookup(keys.exact_fp, &keys.exact_key) {
+    if let Some(ans) = cache.lookup(keys.exact_fp, &keys.exact_key) {
         obs.add("server.cache_hits_total", 1);
         return SolveReply {
-            body,
+            attribution: SolveAttribution {
+                cache: CacheOutcome::Hit.as_str().to_string(),
+                status: ans.status.clone(),
+                gap: ans.gap,
+                nodes: 0,
+                stopped_by: None,
+                reason: None,
+                queue_wait_us,
+                worker,
+            },
+            body: ans.body,
             cache: CacheOutcome::Hit,
         };
     }
@@ -923,7 +1032,33 @@ fn solve_one(job: &SolveJob, keys: &JobKeys, cache: &mut SolutionCache, obs: &Ob
         1,
     );
     let body = response_json(job, &out, &model);
-    cache.insert(keys.exact_fp, keys.exact_key.clone(), body.clone());
+    let outcome = if warm.is_some() {
+        CacheOutcome::Warm
+    } else {
+        CacheOutcome::Miss
+    };
+    let attribution = SolveAttribution {
+        cache: outcome.as_str().to_string(),
+        status: out.status.as_str().to_string(),
+        gap: out.status.gap().filter(|g| g.is_finite()),
+        nodes: out.allocation.solver_nodes,
+        stopped_by: out.stopped_by.map(|k| k.as_str().to_string()),
+        reason: match &out.status {
+            AllocStatus::Fallback { reason } => Some(reason.clone()),
+            _ => None,
+        },
+        queue_wait_us,
+        worker,
+    };
+    cache.insert(
+        keys.exact_fp,
+        keys.exact_key.clone(),
+        CachedAnswer {
+            body: body.clone(),
+            status: out.status.as_str().to_string(),
+            gap: out.status.gap().filter(|g| g.is_finite()),
+        },
+    );
     if out.status.is_optimal() {
         cache.warm_insert(
             keys.base_fp,
@@ -934,11 +1069,8 @@ fn solve_one(job: &SolveJob, keys: &JobKeys, cache: &mut SolutionCache, obs: &Ob
     }
     SolveReply {
         body,
-        cache: if warm.is_some() {
-            CacheOutcome::Warm
-        } else {
-            CacheOutcome::Miss
-        },
+        cache: outcome,
+        attribution,
     }
 }
 
@@ -1083,47 +1215,56 @@ mod tests {
     /// the forced collision is injected at the cache layer — which is
     /// exactly the layer whose verify-on-hit must reject it: two
     /// different canonical keys filed under one fingerprint.
+    /// A [`CachedAnswer`] wrapping just a body, for cache-layer tests.
+    fn ans(body: &str) -> CachedAnswer {
+        CachedAnswer {
+            body: body.to_string(),
+            status: "optimal".to_string(),
+            gap: Some(0.0),
+        }
+    }
+
     #[test]
     fn forced_fingerprint_collision_never_serves_wrong_answer() {
         let mut cache = SolutionCache::new(8);
         let fp = 0x1234_5678_9abc_def0;
         let key_a = b"request-a".to_vec();
         let key_b = b"request-b".to_vec();
-        cache.insert(fp, key_a.clone(), "{\"answer\":\"a\"}".to_string());
+        cache.insert(fp, key_a.clone(), ans("{\"answer\":\"a\"}"));
         // Same fingerprint, different key: must MISS and count the
         // collision, never serve body A.
         assert_eq!(cache.lookup(fp, &key_b), None);
         assert_eq!(cache.stats.collisions, 1);
         // The genuine key still hits.
         assert_eq!(
-            cache.lookup(fp, &key_a).as_deref(),
-            Some("{\"answer\":\"a\"}")
+            cache.lookup(fp, &key_a).map(|a| a.body),
+            Some("{\"answer\":\"a\"}".to_string())
         );
         // Both colliding entries can coexist under one fingerprint.
-        cache.insert(fp, key_b.clone(), "{\"answer\":\"b\"}".to_string());
+        cache.insert(fp, key_b.clone(), ans("{\"answer\":\"b\"}"));
         assert_eq!(
-            cache.lookup(fp, &key_b).as_deref(),
-            Some("{\"answer\":\"b\"}")
+            cache.lookup(fp, &key_b).map(|a| a.body),
+            Some("{\"answer\":\"b\"}".to_string())
         );
         assert_eq!(
-            cache.lookup(fp, &key_a).as_deref(),
-            Some("{\"answer\":\"a\"}")
+            cache.lookup(fp, &key_a).map(|a| a.body),
+            Some("{\"answer\":\"a\"}".to_string())
         );
     }
 
     #[test]
     fn cache_evicts_fifo_and_respects_disable() {
         let mut cache = SolutionCache::new(2);
-        cache.insert(1, b"k1".to_vec(), "b1".to_string());
-        cache.insert(2, b"k2".to_vec(), "b2".to_string());
-        cache.insert(3, b"k3".to_vec(), "b3".to_string());
+        cache.insert(1, b"k1".to_vec(), ans("b1"));
+        cache.insert(2, b"k2".to_vec(), ans("b2"));
+        cache.insert(3, b"k3".to_vec(), ans("b3"));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats.evictions, 1);
         assert_eq!(cache.lookup(1, b"k1"), None, "oldest evicted");
         assert!(cache.lookup(3, b"k3").is_some());
 
         let mut off = SolutionCache::new(0);
-        off.insert(1, b"k".to_vec(), "b".to_string());
+        off.insert(1, b"k".to_vec(), ans("b"));
         assert_eq!(off.lookup(1, b"k"), None);
         assert!(off.is_empty());
     }
@@ -1192,6 +1333,54 @@ mod tests {
         }
         assert!(hits >= 3, "property test exercised {hits} exact hits");
         assert!(warms >= 3, "property test exercised {warms} warm starts");
+    }
+
+    /// Tagging a submission with a request ID must never change the
+    /// reply body (determinism), and the attribution must record the
+    /// solve facts the body deliberately omits — including honest
+    /// hit attribution (zero nodes, cached status/gap) on a replay.
+    #[test]
+    fn tagged_submissions_attribute_without_changing_bodies() {
+        let obs = Obs::enabled();
+        let svc = AllocService::start(&ServiceConfig::default(), &obs);
+        let mut seed = 5;
+        let job = random_job(&mut seed, 64, AllocatorKind::CasaBb);
+        let plain = svc.submit(job.clone()).expect("untagged solve");
+        let tagged = svc
+            .submit_tagged(job, Some("req-attr-1"))
+            .expect("tagged solve");
+        assert_eq!(plain.body, tagged.body, "tagging must not change bodies");
+        assert_eq!(plain.attribution.cache, "miss");
+        assert_eq!(plain.attribution.status, "optimal");
+        assert_eq!(plain.attribution.gap, Some(0.0));
+        assert!(plain.attribution.nodes > 0, "cold solve explores nodes");
+        // The repeat is an exact hit: replayed, zero nodes, but the
+        // cached solve quality still reported.
+        assert_eq!(tagged.cache, CacheOutcome::Hit);
+        assert_eq!(tagged.attribution.cache, "hit");
+        assert_eq!(tagged.attribution.status, "optimal");
+        assert_eq!(tagged.attribution.gap, Some(0.0));
+        assert_eq!(tagged.attribution.nodes, 0);
+        assert!((plain.attribution.worker as usize) < 2);
+        // The tagged request's span carries the ID, on the worker
+        // thread, so engine spans nest under it.
+        let events = obs.events();
+        let req_span = events
+            .iter()
+            .find(|e| {
+                e.name == "server.request"
+                    && e.args.iter().any(|(k, v)| {
+                        k == "req_id" && *v == ArgValue::Str("req-attr-1".to_string())
+                    })
+            })
+            .expect("tagged request span recorded");
+        assert!(req_span.dur_us.is_some());
+        // And the flight ring holds the correlation note.
+        assert!(obs
+            .flight_events()
+            .iter()
+            .any(|e| e.name == "server.request"
+                && e.value == Some(ArgValue::Str("req-attr-1".to_string()))));
     }
 
     #[test]

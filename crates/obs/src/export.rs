@@ -40,10 +40,10 @@ pub fn jnum(v: f64) -> String {
 /// Serialize a metrics snapshot. Keys come out in sorted order (the
 /// snapshot is a `BTreeMap`), counters and gauges as bare numbers,
 /// histograms as `{"count":..,"sum":..,"buckets":[[le,count],..],
-/// "p50":..,"p90":..,"p99":..}` with only non-empty buckets listed
-/// and quantiles extracted from the log₂ buckets
-/// ([`crate::metrics::HistogramSnapshot::quantile`]; `null` when the
-/// histogram is empty).
+/// "p50":..,"p90":..,"p99":..,"min":..,"max":..}` with only
+/// non-empty buckets listed, quantiles interpolated within the log₂
+/// buckets ([`crate::metrics::HistogramSnapshot::quantile`]), and the
+/// exact recorded extremes (`null` when the histogram is empty).
 pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
     let mut s = String::from("{");
     let mut first = true;
@@ -67,12 +67,15 @@ pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
                     }
                     s.push_str(&format!("[{le},{c}]"));
                 }
-                let q = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
+                let q = |v: Option<f64>| v.map_or_else(|| "null".to_string(), jnum);
+                let e = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
                 s.push_str(&format!(
-                    "],\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                    "],\"p50\":{},\"p90\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
                     q(h.p50()),
                     q(h.p90()),
-                    q(h.p99())
+                    q(h.p99()),
+                    e(h.min),
+                    e(h.max)
                 ));
             }
         }
@@ -161,9 +164,10 @@ mod tests {
         assert!(json.contains("\"z.count\":3"));
         assert!(json.contains("\"a.gauge\":0.5"));
         assert!(json.contains("\"count\":1,\"sum\":4"));
-        // Quantile summaries ride along with every histogram; the one
-        // sample (4) is a power of two, so all quantiles are exact.
+        // Quantile summaries ride along with every histogram; a
+        // single sample clamps every quantile to that exact value.
         assert!(json.contains("\"p50\":4,\"p90\":4,\"p99\":4"), "{json}");
+        assert!(json.contains("\"min\":4,\"max\":4"), "{json}");
     }
 
     #[test]
@@ -172,7 +176,7 @@ mod tests {
         let _ = r.histogram("h");
         let json = snapshot_to_json(&r.snapshot());
         assert!(
-            json.contains("\"p50\":null,\"p90\":null,\"p99\":null"),
+            json.contains("\"p50\":null,\"p90\":null,\"p99\":null,\"min\":null,\"max\":null"),
             "{json}"
         );
     }

@@ -49,9 +49,10 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use serve::{
-    collect_sse, http_get, http_post, prometheus_name, prometheus_text, status_text,
-    validate_exposition, ExpositionStats, Request, Response, Router, ServeHandle, ServeOptions,
-    SSE_SUBSCRIBER_CAPACITY,
+    collect_sse, header_value, http_get, http_post, http_request, prometheus_name, prometheus_text,
+    status_text, valid_request_id, validate_exposition, ExpositionStats, JournalEntry, Request,
+    RequestJournal, Response, Router, ServeHandle, ServeOptions, SolveAttribution,
+    REQUEST_ID_HEADER, SSE_SUBSCRIBER_CAPACITY,
 };
 pub use span::{
     render_span_table, span_tree, ArgValue, EventKind, Span, SpanSummary, StreamEvent,
@@ -319,6 +320,22 @@ impl Obs {
         let _guard = i.flight.dump_guard();
         std::fs::write(&sink, self.dump_flight()).ok()?;
         Some(sink)
+    }
+
+    /// Buffer a note in the flight ring **without** triggering a dump
+    /// — the quiet sibling of [`Obs::note_degradation`]. The server
+    /// uses this to stamp each request's correlation ID into the
+    /// post-mortem ring, so a captured flight dump can be filtered to
+    /// one request without every request forcing a disk write.
+    pub fn annotate(&self, name: &str, value: &str) {
+        if let Some(i) = &self.inner {
+            i.flight.push(
+                FlightKind::Note,
+                name,
+                i.collector.elapsed_us(),
+                Some(ArgValue::Str(value.to_string())),
+            );
+        }
     }
 
     /// Merge a metrics snapshot into this handle's registry —
@@ -634,6 +651,24 @@ mod tests {
             "sink must hold one complete JSON document"
         );
         let _ = std::fs::remove_file(&sink);
+    }
+
+    #[test]
+    fn annotate_buffers_a_note_without_dumping() {
+        let obs = Obs::enabled();
+        let sink =
+            std::env::temp_dir().join(format!("casa_annotate_never_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&sink);
+        obs.set_flight_sink(Some(sink.clone()));
+        obs.annotate("server.request", "r000001");
+        assert!(!sink.exists(), "annotate must not write the sink");
+        let evs = obs.flight_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, FlightKind::Note);
+        assert_eq!(evs[0].name, "server.request");
+        assert_eq!(evs[0].value, Some(ArgValue::Str("r000001".to_string())));
+        // Disabled handles stay inert.
+        Obs::disabled().annotate("x", "y");
     }
 
     #[test]

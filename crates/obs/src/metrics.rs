@@ -110,6 +110,11 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 struct HistogramCore {
     count: AtomicU64,
     sum: AtomicU64,
+    // Exact extremes, so quantile interpolation can be clamped to the
+    // observed range instead of the (up to 2x wider) bucket bounds.
+    // Sentinels (u64::MAX / 0) are never exported while count == 0.
+    min: AtomicU64,
+    max: AtomicU64,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
@@ -118,6 +123,8 @@ impl Default for HistogramCore {
         HistogramCore {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -165,6 +172,8 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.min.fetch_min(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
         self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -184,6 +193,12 @@ impl Histogram {
     pub fn add_snapshot(&self, s: &HistogramSnapshot) {
         self.0.count.fetch_add(s.count, Ordering::Relaxed);
         self.0.sum.fetch_add(s.sum, Ordering::Relaxed);
+        if let Some(m) = s.min_estimate() {
+            self.0.min.fetch_min(m, Ordering::Relaxed);
+        }
+        if let Some(m) = s.max_estimate() {
+            self.0.max.fetch_max(m, Ordering::Relaxed);
+        }
         for &(ub, c) in &s.buckets {
             self.0.buckets[bucket_index(ub)].fetch_add(c, Ordering::Relaxed);
         }
@@ -197,10 +212,13 @@ impl Histogram {
                 (c > 0).then_some((bucket_upper_bound(k), c))
             })
             .collect();
+        let count = self.count();
         HistogramSnapshot {
-            count: self.count(),
+            count,
             sum: self.sum(),
             buckets,
+            min: (count > 0).then(|| self.0.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| self.0.max.load(Ordering::Relaxed)),
         }
     }
 }
@@ -215,59 +233,112 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// `(upper_bound, count)` for every non-empty bucket, ascending.
     pub buckets: Vec<(u64, u64)>,
+    /// Smallest recorded sample (`None` when empty or the snapshot
+    /// was built without extremes, e.g. by hand in tests).
+    pub min: Option<u64>,
+    /// Largest recorded sample (`None` when empty or unknown).
+    pub max: Option<u64>,
 }
 
 impl HistogramSnapshot {
-    /// The `q`-quantile (`0.0 < q <= 1.0`) as the **lower bound** of
-    /// the bucket holding the `ceil(q·count)`-th smallest sample.
+    /// The smallest sample, falling back to the first non-empty
+    /// bucket's lower bound when exact extremes are absent.
+    pub fn min_estimate(&self) -> Option<u64> {
+        self.min.or_else(|| {
+            self.buckets
+                .first()
+                .map(|&(ub, _)| bucket_lower_bound(bucket_index(ub)))
+        })
+    }
+
+    /// The largest sample, falling back to the last non-empty
+    /// bucket's upper bound when exact extremes are absent.
+    pub fn max_estimate(&self) -> Option<u64> {
+        self.max.or_else(|| self.buckets.last().map(|&(ub, _)| ub))
+    }
+
+    /// The `q`-quantile (`0.0 <= q <= 1.0`) with within-bucket linear
+    /// interpolation, clamped to the exact observed `[min, max]`.
     ///
-    /// Reporting the bucket's lower bound makes the estimate exact
-    /// whenever samples are powers of two (each power of two is the
-    /// lower bound of its own bucket) and never over-reports by more
-    /// than the bucket width otherwise. Quantiles are monotone in `q`
-    /// by construction (the cumulative walk only moves forward).
-    /// `None` for an empty histogram.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
+    /// The cumulative target `q·count` is located in the bucket walk;
+    /// the estimate interpolates linearly between that bucket's bounds
+    /// by the fraction of its samples below the target. The first and
+    /// last buckets are tightened to the recorded min/max, so a
+    /// single-sample histogram reports the sample exactly, `q -> 0`
+    /// approaches the minimum, and `q = 1` is the maximum. Monotone in
+    /// `q` by construction. `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
-        // ceil(q * count), clamped to [1, count]: rank of the sample
-        // that splits the distribution at q.
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for &(ub, c) in &self.buckets {
-            seen += c;
-            if seen >= rank {
-                // Recover the bucket index from its upper bound: ub 0
-                // is bucket 0, otherwise the bucket of value ub.
-                return Some(bucket_lower_bound(bucket_index(ub)));
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        let last_idx = self.buckets.len().checked_sub(1)?;
+        for (bi, &(ub, c)) in self.buckets.iter().enumerate() {
+            let next = cum + c;
+            if (next as f64) >= target || bi == last_idx {
+                let k = bucket_index(ub);
+                let mut lo = bucket_lower_bound(k) as f64;
+                let mut hi = ub as f64;
+                if bi == 0 {
+                    if let Some(m) = self.min {
+                        lo = lo.max(m as f64);
+                    }
+                }
+                if bi == last_idx {
+                    if let Some(m) = self.max {
+                        hi = hi.min(m as f64);
+                    }
+                }
+                if hi < lo {
+                    hi = lo;
+                }
+                let frac = if c == 0 {
+                    1.0
+                } else {
+                    ((target - cum as f64) / c as f64).clamp(0.0, 1.0)
+                };
+                let mut v = lo + (hi - lo) * frac;
+                if let (Some(mn), Some(mx)) = (self.min, self.max) {
+                    v = v.clamp(mn as f64, mx as f64);
+                }
+                return Some(v);
             }
+            cum = next;
         }
-        // Unreachable when count equals the bucket sum; be defensive
-        // against hand-built snapshots.
-        self.buckets
-            .last()
-            .map(|&(ub, _)| bucket_lower_bound(bucket_index(ub)))
+        None
     }
 
     /// Median estimate ([`Self::quantile`] at 0.5).
-    pub fn p50(&self) -> Option<u64> {
+    pub fn p50(&self) -> Option<f64> {
         self.quantile(0.5)
     }
 
     /// 90th-percentile estimate.
-    pub fn p90(&self) -> Option<u64> {
+    pub fn p90(&self) -> Option<f64> {
         self.quantile(0.9)
     }
 
     /// 99th-percentile estimate.
-    pub fn p99(&self) -> Option<u64> {
+    pub fn p99(&self) -> Option<f64> {
         self.quantile(0.99)
     }
 
-    /// Merge another snapshot into this one (bucket-wise addition).
+    /// Merge another snapshot into this one (bucket-wise addition;
+    /// extremes combine, estimating from bucket bounds for a side
+    /// that lacks them).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mins = (self.min_estimate(), other.min_estimate());
+        let maxs = (self.max_estimate(), other.max_estimate());
+        self.min = match mins {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match maxs {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
         self.count += other.count;
         self.sum += other.sum;
         for &(le, c) in &other.buckets {
@@ -494,22 +565,63 @@ mod tests {
         assert_eq!(s.count, 4);
         assert_eq!(s.sum, 107);
         assert_eq!(s.buckets, vec![(1, 2), (7, 1), (127, 1)]);
+        assert_eq!(s.min, Some(1), "merged min is the smaller exact min");
+        assert_eq!(s.max, Some(100), "merged max is the larger exact max");
     }
 
     #[test]
-    fn quantiles_exact_on_power_of_two_samples() {
+    fn quantiles_interpolate_within_buckets() {
         let h = Histogram::detached();
-        // Every sample a power of two: each lands as the lower bound
-        // of its own bucket, so quantile extraction is exact.
         for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
             h.record(v);
         }
         let s = h.snapshot();
-        assert_eq!(s.quantile(0.1), Some(1));
-        assert_eq!(s.p50(), Some(16), "5th of 10 samples");
-        assert_eq!(s.p90(), Some(256), "9th of 10 samples");
-        assert_eq!(s.p99(), Some(512), "ceil(9.9) = 10th sample");
-        assert_eq!(s.quantile(1.0), Some(512));
+        assert_eq!(s.min, Some(1));
+        assert_eq!(s.max, Some(512));
+        // One sample per bucket: the q-target lands exactly on each
+        // bucket's cumulative boundary, so interpolation reports that
+        // bucket's (min/max-tightened) upper edge.
+        assert_eq!(s.quantile(0.1), Some(1.0), "first bucket clamps to min");
+        assert_eq!(s.p50(), Some(31.0), "upper edge of the 5th bucket");
+        assert_eq!(s.p90(), Some(511.0), "upper edge of the 9th bucket");
+        assert_eq!(s.p99(), Some(512.0), "last bucket clamps to max");
+        assert_eq!(s.quantile(1.0), Some(512.0), "q = 1 is the maximum");
+    }
+
+    #[test]
+    fn quantiles_pin_known_sample_sets() {
+        // Regression for the pre-interpolation underestimate: a
+        // cluster at 100 used to report p50 = 64 (the bucket's lower
+        // bound) no matter what the samples were.
+        let h = Histogram::detached();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Some(100.0), "identical samples are exact");
+        assert_eq!(s.p99(), Some(100.0));
+        // Uniform 1..=1000: true p50 is 500, p90 is 900. The log2
+        // estimate must land inside the correct bucket, clamped to
+        // the exact extremes, and must not report the old lower
+        // bounds (256 / 512).
+        let h = Histogram::detached();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min, Some(1));
+        assert_eq!(s.max, Some(1000));
+        let p50 = s.p50().unwrap();
+        assert!(
+            (256.0..=511.0).contains(&p50) && p50 > 256.0,
+            "p50 {p50} must interpolate above the bucket floor 256"
+        );
+        let p99 = s.p99().unwrap();
+        assert!(
+            (512.0..=1000.0).contains(&p99) && p99 > 512.0,
+            "p99 {p99} must interpolate above the bucket floor 512"
+        );
+        assert_eq!(s.quantile(1.0), Some(1000.0));
     }
 
     #[test]
@@ -523,7 +635,7 @@ mod tests {
             }
         }
         let s = h.snapshot();
-        let mut last = 0u64;
+        let mut last = 0.0f64;
         for i in 1..=100 {
             let q = s.quantile(f64::from(i) / 100.0).unwrap();
             assert!(q >= last, "quantile must be monotone: q{i} = {q} < {last}");
@@ -547,13 +659,14 @@ mod tests {
         let h = Histogram::detached();
         h.record(0);
         let s = h.snapshot();
-        assert_eq!(s.p50(), Some(0));
-        assert_eq!(s.p99(), Some(0));
+        assert_eq!(s.p50(), Some(0.0));
+        assert_eq!(s.p99(), Some(0.0));
         let h = Histogram::detached();
-        h.record(1000); // bucket [512, 1024) — lower bound reported
+        h.record(1000); // bucket [512, 1024) — exact extremes pin it
         let s = h.snapshot();
-        assert_eq!(s.p50(), Some(512));
-        assert_eq!(s.p99(), Some(512));
+        assert_eq!((s.min, s.max), (Some(1000), Some(1000)));
+        assert_eq!(s.p50(), Some(1000.0));
+        assert_eq!(s.p99(), Some(1000.0));
     }
 
     #[test]
@@ -623,6 +736,8 @@ mod tests {
                 assert_eq!(h.count, 3);
                 assert_eq!(h.sum, 108);
                 assert_eq!(h.buckets, vec![(7, 2), (127, 1)]);
+                assert_eq!(h.min, Some(4), "merge_from carries exact extremes");
+                assert_eq!(h.max, Some(100));
             }
             other => panic!("histogram expected, got {other:?}"),
         }

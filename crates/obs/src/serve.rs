@@ -11,6 +11,10 @@
 //! * `GET /snapshot.json` — the deterministic sorted-key JSON snapshot
 //!   ([`crate::snapshot_to_json`]).
 //! * `GET /flight.json` — the flight-recorder ring ([`Obs::dump_flight`]).
+//! * `GET /requests.json` — the bounded in-memory [`RequestJournal`]:
+//!   the last `CASA_REQ_JOURNAL_CAP` finished requests with status,
+//!   byte counts, handler wall time, and (for `/solve`) the
+//!   [`SolveAttribution`] the router attached.
 //! * `GET /healthz` — liveness (`ok`).
 //! * `GET /events` — Server-Sent Events stream of span begin/end and
 //!   instant events, tee'd from the [`TraceCollector`] through a
@@ -19,6 +23,26 @@
 //!   streams live.
 //! * `GET|POST /quitquitquit` — requests a graceful quit; binaries
 //!   lingering for a scraper ([`ServeHandle::wait_quit`]) exit early.
+//!
+//! # Request-scoped observability
+//!
+//! Every request carries a **correlation ID**: the client's
+//! `X-Casa-Request-Id` header when it is well-formed (≤ 64 chars of
+//! `[A-Za-z0-9._-]`), otherwise one minted from a deterministic
+//! per-listener counter (`r000001`, `r000002`, ...). The ID is echoed
+//! in an `X-Casa-Request-Id` response header on *every* response —
+//! including read-error responses and the SSE stream — and is handed
+//! to the [`Router`] via [`Request::req_id`] so the application can
+//! thread it into worker pools and span trees. Each finished request
+//! emits an `http.access` instant event, appends a [`JournalEntry`]
+//! to the journal (and to the optional `CASA_ACCESS_LOG` file sink,
+//! one JSON object per line), and records per-route latency
+//! histograms plus per-status counters. Requests slower than
+//! `CASA_SLOW_REQ_MS` — or whose solve attribution carries a
+//! degradation reason — trigger a flight-dump capture tagged with the
+//! request ID ([`Obs::note_degradation`]). None of this touches
+//! response *bodies*: the determinism contract (byte-identical
+//! `/solve` replies with the journal on or off) is pinned by test.
 //!
 //! The server is deliberately boring: blocking `TcpListener`, one
 //! thread per connection, `Connection: close` on every response. It
@@ -32,17 +56,19 @@
 //!
 //! [`Obs`]: crate::Obs
 //! [`Obs::dump_flight`]: crate::Obs::dump_flight
+//! [`Obs::note_degradation`]: crate::Obs::note_degradation
 //! [`TraceCollector`]: crate::TraceCollector
 //! [`MetricsSnapshot`]: crate::MetricsSnapshot
 
-use crate::export::{json_escape, snapshot_to_json};
+use crate::export::{jnum, json_escape, snapshot_to_json};
 use crate::metrics::{MetricValue, MetricsSnapshot};
 use crate::span::{ArgValue, StreamEvent};
 use crate::Obs;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -94,10 +120,11 @@ pub fn prom_num(v: f64) -> String {
 /// Render a metrics snapshot in the Prometheus text exposition format
 /// (version 0.0.4). Counters and gauges keep their type; log₂
 /// histograms are rendered as `summary` families with quantile lines
-/// (0.5 / 0.9 / 0.99, bucket lower bounds — present only when the
-/// histogram has samples) plus `_sum` and `_count`. Keys iterate in
-/// sorted order; if two internal names sanitize to the same family the
-/// first wins and later ones are skipped (never a duplicate family).
+/// (0.5 / 0.9 / 0.99, interpolated within buckets and clamped to the
+/// exact observed extremes — present only when the histogram has
+/// samples) plus `_sum` and `_count`. Keys iterate in sorted order;
+/// if two internal names sanitize to the same family the first wins
+/// and later ones are skipped (never a duplicate family).
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
@@ -118,7 +145,7 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
                 if h.count > 0 {
                     for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
                         if let Some(v) = v {
-                            out.push_str(&format!("{fam}{{quantile=\"{q}\"}} {v}\n"));
+                            out.push_str(&format!("{fam}{{quantile=\"{q}\"}} {}\n", prom_num(v)));
                         }
                     }
                 }
@@ -280,6 +307,21 @@ pub fn stream_event_json(ev: &StreamEvent) -> String {
 // Server
 // ---------------------------------------------------------------------------
 
+/// Header carrying the request correlation ID, both directions.
+pub const REQUEST_ID_HEADER: &str = "X-Casa-Request-Id";
+
+/// Whether a client-supplied correlation ID is acceptable: non-empty,
+/// at most 64 characters, all in `[A-Za-z0-9._-]` (so an ID can be
+/// embedded verbatim in headers, JSON, metrics notes, and file names
+/// without escaping).
+pub fn valid_request_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
 /// One parsed HTTP request, as handed to a [`Router`].
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -289,6 +331,64 @@ pub struct Request {
     pub path: String,
     /// Request body (empty unless the client sent `Content-Length`).
     pub body: Vec<u8>,
+    /// Correlation ID: the client's `X-Casa-Request-Id` when valid
+    /// ([`valid_request_id`]), else minted from the listener's
+    /// deterministic counter before the router runs. Echoed in every
+    /// response.
+    pub req_id: String,
+    /// Request bytes consumed (head + framed body).
+    pub bytes_in: u64,
+}
+
+/// Per-request solve attribution: what the allocation service did for
+/// one `/solve` request, recorded in the journal and access log but
+/// **never** in the response body (which must stay byte-identical
+/// across cache and observability configurations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveAttribution {
+    /// Cache disposition: `hit` (exact replay), `warm` (warm-started
+    /// solve), or `miss` (cold solve).
+    pub cache: String,
+    /// Allocation status: `optimal`, `feasible`, or `fallback`.
+    pub status: String,
+    /// Proven optimality gap (0 when optimal, `None` for fallback).
+    pub gap: Option<f64>,
+    /// Branch-and-bound nodes expanded for this request (0 on an
+    /// exact cache hit — no search ran).
+    pub nodes: u64,
+    /// Which budget stopped the search early, if any
+    /// (`nodes` / `deadline` / `cancelled`).
+    pub stopped_by: Option<String>,
+    /// Degradation reason when the engine fell back.
+    pub reason: Option<String>,
+    /// Time the job waited in the admission queue before a worker
+    /// picked it up, microseconds.
+    pub queue_wait_us: u64,
+    /// Worker shard that solved the job.
+    pub worker: u64,
+}
+
+impl SolveAttribution {
+    /// Deterministic-field-order JSON object (run-dependent values
+    /// like `queue_wait_us` are fine here — this never enters a
+    /// response body).
+    pub fn to_json(&self) -> String {
+        let os = |v: &Option<String>| {
+            v.as_ref()
+                .map_or_else(|| "null".to_string(), |s| format!("\"{}\"", json_escape(s)))
+        };
+        format!(
+            "{{\"cache\":\"{}\",\"status\":\"{}\",\"gap\":{},\"nodes\":{},\"stopped_by\":{},\"reason\":{},\"queue_wait_us\":{},\"worker\":{}}}",
+            json_escape(&self.cache),
+            json_escape(&self.status),
+            self.gap.map_or_else(|| "null".to_string(), jnum),
+            self.nodes,
+            os(&self.stopped_by),
+            os(&self.reason),
+            self.queue_wait_us,
+            self.worker,
+        )
+    }
 }
 
 /// A response a [`Router`] hands back to the connection handler.
@@ -302,6 +402,9 @@ pub struct Response {
     pub body: String,
     /// Extra headers appended verbatim (name, value).
     pub headers: Vec<(String, String)>,
+    /// Solve attribution for the journal / access log; not serialized
+    /// into the response.
+    pub solve: Option<SolveAttribution>,
 }
 
 impl Response {
@@ -312,6 +415,7 @@ impl Response {
             content_type: "application/json".to_string(),
             body: body.into(),
             headers: Vec::new(),
+            solve: None,
         }
     }
 
@@ -322,12 +426,19 @@ impl Response {
             content_type: "text/plain".to_string(),
             body: body.into(),
             headers: Vec::new(),
+            solve: None,
         }
     }
 
     /// Append an extra header.
     pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
         self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Attach solve attribution for the request journal.
+    pub fn with_solve(mut self, solve: SolveAttribution) -> Self {
+        self.solve = Some(solve);
         self
     }
 }
@@ -339,12 +450,139 @@ pub fn status_text(code: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Status",
+    }
+}
+
+/// One finished request as recorded in the [`RequestJournal`] and the
+/// access-log sink.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Monotone sequence number assigned at journal insertion.
+    pub seq: u64,
+    /// Correlation ID ([`Request::req_id`]).
+    pub id: String,
+    /// Request method (`-` when the request never parsed).
+    pub method: String,
+    /// Request path (`-` when the request never parsed).
+    pub path: String,
+    /// Response status written.
+    pub status: u16,
+    /// Request bytes consumed.
+    pub bytes_in: u64,
+    /// Response bytes written (head + body; 0 if the write failed).
+    pub bytes_out: u64,
+    /// Handler wall time, microseconds (read through write).
+    pub handler_us: u64,
+    /// Solve attribution, when the router attached one.
+    pub solve: Option<SolveAttribution>,
+}
+
+impl JournalEntry {
+    /// Deterministic-field-order JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"id\":\"{}\",\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\"bytes_in\":{},\"bytes_out\":{},\"handler_us\":{},\"solve\":{}}}",
+            self.seq,
+            json_escape(&self.id),
+            json_escape(&self.method),
+            json_escape(&self.path),
+            self.status,
+            self.bytes_in,
+            self.bytes_out,
+            self.handler_us,
+            self.solve
+                .as_ref()
+                .map_or_else(|| "null".to_string(), SolveAttribution::to_json),
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct JournalInner {
+    seq: u64,
+    dropped: u64,
+    entries: VecDeque<JournalEntry>,
+}
+
+/// Bounded in-memory ring of finished requests, served at
+/// `/requests.json`. Capacity 0 disables recording entirely (entries
+/// are dropped on arrival, `dropped` still counts them).
+#[derive(Debug)]
+pub struct RequestJournal {
+    cap: usize,
+    inner: Mutex<JournalInner>,
+}
+
+impl RequestJournal {
+    /// A journal holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        RequestJournal {
+            cap,
+            inner: Mutex::new(JournalInner::default()),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append one finished request, assigning its sequence number
+    /// (written back into `entry` so the access-log line carries the
+    /// same `seq`) and evicting the oldest entry when full.
+    pub fn push(&self, entry: &mut JournalEntry) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.seq += 1;
+        entry.seq = inner.seq;
+        if self.cap == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        while inner.entries.len() >= self.cap {
+            inner.entries.pop_front();
+            inner.dropped += 1;
+        }
+        inner.entries.push_back(entry.clone());
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .len()
+    }
+
+    /// Whether the journal holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `/requests.json` document:
+    /// `{"cap":..,"dropped":..,"entries":[..]}` with entries oldest
+    /// first.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut s = format!(
+            "{{\"cap\":{},\"dropped\":{},\"entries\":[",
+            self.cap, inner.dropped
+        );
+        for (i, e) in inner.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&e.to_json());
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -371,15 +609,41 @@ pub struct ServeOptions {
     /// How long [`ServeHandle::shutdown`] waits for in-flight
     /// connection handlers to finish before giving up on them.
     pub drain_timeout: Duration,
+    /// Request-journal capacity; 0 disables recording. The default
+    /// reads `CASA_REQ_JOURNAL_CAP` (256 when unset).
+    pub journal_cap: usize,
+    /// Requests whose handler wall time reaches this many
+    /// milliseconds trigger a flight-dump capture tagged with the
+    /// request ID. The default reads `CASA_SLOW_REQ_MS` (off when
+    /// unset).
+    pub slow_req_ms: Option<u64>,
+    /// Optional access-log sink: one [`JournalEntry`] JSON object per
+    /// line, appended. The default reads `CASA_ACCESS_LOG` (off when
+    /// unset).
+    pub access_log: Option<PathBuf>,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 impl Default for ServeOptions {
+    /// Connection limits are fixed; the request-observability knobs
+    /// (`journal_cap`, `slow_req_ms`, `access_log`) are read from the
+    /// environment so a binary gets them without new flags. Set the
+    /// fields explicitly to ignore the environment.
     fn default() -> Self {
         ServeOptions {
             read_deadline: Duration::from_secs(5),
             max_head_bytes: 16 * 1024,
             max_body_bytes: 4 * 1024 * 1024,
             drain_timeout: Duration::from_secs(10),
+            journal_cap: env_u64("CASA_REQ_JOURNAL_CAP").map_or(256, |v| v as usize),
+            slow_req_ms: env_u64("CASA_SLOW_REQ_MS"),
+            access_log: std::env::var("CASA_ACCESS_LOG")
+                .ok()
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from),
         }
     }
 }
@@ -520,6 +784,11 @@ pub fn start_with(
     let quit = Arc::new(AtomicBool::new(false));
     let drain = Arc::new(Drain::default());
     let drain_timeout = opts.drain_timeout;
+    let state = Arc::new(ServeState {
+        next_id: AtomicU64::new(0),
+        inflight: AtomicU64::new(0),
+        journal: RequestJournal::new(opts.journal_cap),
+    });
     let obs = obs.clone();
     let t_shutdown = Arc::clone(&shutdown);
     let t_quit = Arc::clone(&quit);
@@ -537,6 +806,7 @@ pub fn start_with(
                 let quit = Arc::clone(&t_quit);
                 let opts = opts.clone();
                 let router = router.clone();
+                let state = Arc::clone(&state);
                 // The guard is taken on the accept thread — before
                 // shutdown can observe the listener unblocked — so a
                 // connection is either refused or fully drained, never
@@ -546,7 +816,9 @@ pub fn start_with(
                     .name("casa-serve-conn".to_string())
                     .spawn(move || {
                         let _guard = guard;
-                        let _ = handle_connection(&obs, stream, &shutdown, &quit, &opts, &router);
+                        let _ = handle_connection(
+                            &obs, stream, &shutdown, &quit, &opts, &router, &state,
+                        );
                     });
             }
         })?;
@@ -648,6 +920,7 @@ fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Request, 
         _ => return Err(ReadError::Malformed("malformed request line")),
     };
     let mut content_length = 0usize;
+    let mut req_id = String::new();
     for line in head.lines().skip(1) {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
@@ -655,6 +928,13 @@ fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Request, 
                     .trim()
                     .parse()
                     .map_err(|_| ReadError::Malformed("unparsable Content-Length"))?;
+            } else if name.trim().eq_ignore_ascii_case(REQUEST_ID_HEADER) {
+                let id = value.trim();
+                // A malformed ID is treated as absent (minted instead),
+                // not an error: correlation is best-effort.
+                if valid_request_id(id) {
+                    req_id = id.to_string();
+                }
             }
         }
     }
@@ -671,25 +951,38 @@ fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Request, 
     }
     body.truncate(content_length);
     let path = path.split('?').next().unwrap_or("").to_string();
-    Ok(Request { method, path, body })
+    let bytes_in = (head_len + 4 + content_length) as u64;
+    Ok(Request {
+        method,
+        path,
+        body,
+        req_id,
+        bytes_in,
+    })
 }
 
-fn write_response(
+/// Shared per-listener request state: the deterministic ID mint, the
+/// in-flight gauge backing store, and the request journal.
+#[derive(Debug)]
+struct ServeState {
+    next_id: AtomicU64,
+    inflight: AtomicU64,
+    journal: RequestJournal,
+}
+
+impl ServeState {
+    fn mint_id(&self) -> String {
+        format!("r{:06}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+}
+
+/// Write `resp` with the correlation ID echoed (unless the router
+/// already set one); returns bytes written (head + body).
+fn write_response_with_id(
     stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-fn write_router_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    resp: &Response,
+    req_id: &str,
+) -> io::Result<u64> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         resp.status,
@@ -697,13 +990,126 @@ fn write_router_response(stream: &mut TcpStream, resp: &Response) -> io::Result<
         resp.content_type,
         resp.body.len()
     );
+    if !resp
+        .headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case(REQUEST_ID_HEADER))
+    {
+        head.push_str(&format!("{REQUEST_ID_HEADER}: {req_id}\r\n"));
+    }
     for (name, value) in &resp.headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(resp.body.as_bytes())?;
-    stream.flush()
+    stream.flush()?;
+    Ok((head.len() + resp.body.len()) as u64)
+}
+
+/// Normalize a path to a bounded per-route label so latency
+/// histograms cannot explode on attacker-chosen paths.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/" => "root",
+        "/solve" => "solve",
+        "/metrics" => "metrics",
+        "/snapshot.json" => "snapshot",
+        "/flight.json" => "flight",
+        "/healthz" => "healthz",
+        "/events" => "events",
+        "/requests.json" => "requests",
+        "/quitquitquit" => "quit",
+        _ => "other",
+    }
+}
+
+/// The methods a built-in route accepts, `None` for unknown paths.
+fn builtin_methods(path: &str) -> Option<&'static [&'static str]> {
+    match path {
+        "/metrics" | "/snapshot.json" | "/flight.json" | "/healthz" | "/events"
+        | "/requests.json" => Some(&["GET"]),
+        "/quitquitquit" => Some(&["GET", "POST"]),
+        _ => None,
+    }
+}
+
+/// Post-response bookkeeping for one finished request: counters,
+/// per-route latency, the `http.access` instant event, the journal,
+/// the optional access-log sink, and the slow/degraded flight
+/// capture. Runs after the response bytes are on the wire, so none of
+/// it can perturb response content.
+#[allow(clippy::too_many_arguments)]
+fn finish_request(
+    obs: &Obs,
+    state: &ServeState,
+    opts: &ServeOptions,
+    began: Instant,
+    req_id: &str,
+    method: &str,
+    path: &str,
+    status: u16,
+    bytes_in: u64,
+    bytes_out: u64,
+    solve: Option<SolveAttribution>,
+) {
+    let handler_us = u64::try_from(began.elapsed().as_micros()).unwrap_or(u64::MAX);
+    obs.add("serve.requests_total", 1);
+    obs.add(&format!("serve.responses.{status}_total"), 1);
+    obs.record(
+        &format!("serve.latency_us.{}", route_label(path)),
+        handler_us,
+    );
+    obs.add("serve.bytes_in_total", bytes_in);
+    obs.add("serve.bytes_out_total", bytes_out);
+    if let Some(s) = &solve {
+        obs.record("serve.queue_wait_us", s.queue_wait_us);
+    }
+    obs.instant(
+        "http.access",
+        vec![
+            ("id".to_string(), ArgValue::Str(req_id.to_string())),
+            ("method".to_string(), ArgValue::Str(method.to_string())),
+            ("path".to_string(), ArgValue::Str(path.to_string())),
+            ("status".to_string(), ArgValue::U64(u64::from(status))),
+            ("bytes_in".to_string(), ArgValue::U64(bytes_in)),
+            ("bytes_out".to_string(), ArgValue::U64(bytes_out)),
+            ("dur_us".to_string(), ArgValue::U64(handler_us)),
+        ],
+    );
+    let degraded = solve.as_ref().is_some_and(|s| s.reason.is_some());
+    let mut entry = JournalEntry {
+        seq: 0,
+        id: req_id.to_string(),
+        method: method.to_string(),
+        path: path.to_string(),
+        status,
+        bytes_in,
+        bytes_out,
+        handler_us,
+        solve,
+    };
+    // The journal assigns the sequence number even when it retains
+    // nothing (cap 0), so the access-log line below shares it.
+    state.journal.push(&mut entry);
+    if let Some(sink) = &opts.access_log {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(sink)
+        {
+            let _ = f.write_all(format!("{}\n", entry.to_json()).as_bytes());
+        }
+    }
+    let slow = opts
+        .slow_req_ms
+        .is_some_and(|ms| handler_us >= ms.saturating_mul(1000));
+    if slow || degraded {
+        obs.note_degradation(
+            "serve.slow_request",
+            &format!("id={req_id} path={path} status={status} dur_us={handler_us}"),
+        );
+    }
 }
 
 fn handle_connection(
@@ -713,49 +1119,107 @@ fn handle_connection(
     quit: &Arc<AtomicBool>,
     opts: &ServeOptions,
     router: &Option<Router>,
+    state: &Arc<ServeState>,
 ) -> io::Result<()> {
-    let req = match read_request(&mut stream, opts) {
+    let began = Instant::now();
+    let inflight = state.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    obs.gauge_set("serve.inflight", inflight as f64);
+    let out = serve_one(obs, &mut stream, shutdown, quit, opts, router, state, began);
+    let inflight = state.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+    obs.gauge_set("serve.inflight", inflight as f64);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    obs: &Obs,
+    stream: &mut TcpStream,
+    shutdown: &Arc<AtomicBool>,
+    quit: &Arc<AtomicBool>,
+    opts: &ServeOptions,
+    router: &Option<Router>,
+    state: &Arc<ServeState>,
+    began: Instant,
+) -> io::Result<()> {
+    let mut req = match read_request(stream, opts) {
         Ok(req) => req,
         Err(e) => {
-            if let Some((status, body)) = e.response() {
-                let status_line = format!("{status} {}", status_text(status));
-                return write_response(&mut stream, &status_line, "text/plain", &body);
-            }
-            return Ok(()); // socket error: nothing to write to
+            // Even a request that never parsed gets an ID, an echo,
+            // and a journal entry — "-" marks the unparsed fields.
+            let req_id = state.mint_id();
+            let Some((status, body)) = e.response() else {
+                return Ok(()); // socket error: nothing to write to
+            };
+            let resp = Response::text(status, body);
+            let write_res = write_response_with_id(stream, &resp, &req_id);
+            let bytes_out = *write_res.as_ref().unwrap_or(&0);
+            finish_request(
+                obs, state, opts, began, &req_id, "-", "-", status, 0, bytes_out, None,
+            );
+            return write_res.map(|_| ());
         }
     };
-    if let Some(router) = router {
-        if let Some(resp) = router(&req) {
-            return write_router_response(&mut stream, &resp);
-        }
+    if req.req_id.is_empty() {
+        req.req_id = state.mint_id();
     }
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/metrics") => write_response(
-            &mut stream,
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            &prometheus_text(&obs.snapshot()),
-        ),
-        ("GET", "/snapshot.json") => write_response(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &snapshot_to_json(&obs.snapshot()),
-        ),
-        ("GET", "/flight.json") => write_response(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &obs.dump_flight(),
-        ),
-        ("GET", "/healthz") => write_response(&mut stream, "200 OK", "text/plain", "ok\n"),
-        ("GET" | "POST", "/quitquitquit") => {
-            quit.store(true, Ordering::SeqCst);
-            write_response(&mut stream, "200 OK", "text/plain", "bye\n")
-        }
-        ("GET", "/events") => serve_events(obs, stream, shutdown),
-        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
-    }
+    let routed = router.as_ref().and_then(|r| r(&req));
+    let resp = match routed {
+        Some(resp) => resp,
+        None => match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/metrics") => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+                body: prometheus_text(&obs.snapshot()),
+                headers: Vec::new(),
+                solve: None,
+            },
+            ("GET", "/snapshot.json") => Response::json(200, snapshot_to_json(&obs.snapshot())),
+            ("GET", "/flight.json") => Response::json(200, obs.dump_flight()),
+            ("GET", "/requests.json") => Response::json(200, state.journal.to_json()),
+            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("GET" | "POST", "/quitquitquit") => {
+                quit.store(true, Ordering::SeqCst);
+                Response::text(200, "bye\n")
+            }
+            ("GET", "/events") => {
+                let out = serve_events(obs, stream, shutdown, &req.req_id);
+                finish_request(
+                    obs,
+                    state,
+                    opts,
+                    began,
+                    &req.req_id,
+                    &req.method,
+                    &req.path,
+                    200,
+                    req.bytes_in,
+                    0,
+                    None,
+                );
+                return out;
+            }
+            (_, path) if builtin_methods(path).is_some() => {
+                Response::text(405, "method not allowed\n")
+            }
+            _ => Response::text(404, "not found\n"),
+        },
+    };
+    let write_res = write_response_with_id(stream, &resp, &req.req_id);
+    let bytes_out = *write_res.as_ref().unwrap_or(&0);
+    finish_request(
+        obs,
+        state,
+        opts,
+        began,
+        &req.req_id,
+        &req.method,
+        &req.path,
+        resp.status,
+        req.bytes_in,
+        bytes_out,
+        resp.solve,
+    );
+    write_res.map(|_| ())
 }
 
 /// Unsubscribes its collector tee on drop, so *every* exit from the
@@ -773,17 +1237,21 @@ impl Drop for SseGuard {
     }
 }
 
-fn serve_events(obs: &Obs, mut stream: TcpStream, shutdown: &Arc<AtomicBool>) -> io::Result<()> {
+fn serve_events(
+    obs: &Obs,
+    stream: &mut TcpStream,
+    shutdown: &Arc<AtomicBool>,
+    req_id: &str,
+) -> io::Result<()> {
     let Some(collector) = obs.collector().cloned() else {
-        return write_response(
-            &mut stream,
-            "503 Service Unavailable",
-            "text/plain",
-            "off\n",
-        );
+        let resp = Response::text(503, "off\n");
+        return write_response_with_id(stream, &resp, req_id).map(|_| ());
     };
     stream.write_all(
-        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\n{REQUEST_ID_HEADER}: {req_id}\r\nConnection: close\r\n\r\n"
+        )
+        .as_bytes(),
     )?;
     let (replay, rx, id) = collector.subscribe_tracked(SSE_SUBSCRIBER_CAPACITY);
     let _guard = SseGuard {
@@ -791,7 +1259,7 @@ fn serve_events(obs: &Obs, mut stream: TcpStream, shutdown: &Arc<AtomicBool>) ->
         id,
     };
     for ev in &replay {
-        write_sse_frame(&mut stream, ev)?;
+        write_sse_frame(stream, ev)?;
     }
     stream.flush()?;
     loop {
@@ -800,7 +1268,7 @@ fn serve_events(obs: &Obs, mut stream: TcpStream, shutdown: &Arc<AtomicBool>) ->
         }
         match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(ev) => {
-                write_sse_frame(&mut stream, &ev)?;
+                write_sse_frame(stream, &ev)?;
                 stream.flush()?;
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
@@ -827,16 +1295,43 @@ fn write_sse_frame(stream: &mut TcpStream, ev: &StreamEvent) -> io::Result<()> {
 // Std-only HTTP client (shared by `diag --probe` and tests)
 // ---------------------------------------------------------------------------
 
-/// Fetch `path` from a telemetry server: returns `(status, body)`.
-/// Plain HTTP/1.1, `Connection: close`, bounded by `timeout` for
-/// connect and for each read.
-pub fn http_get(addr: &SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+/// `(status, response headers, body)` of one [`http_request`]
+/// exchange.
+pub type HttpExchange = (u16, Vec<(String, String)>, String);
+
+/// One full HTTP exchange: returns
+/// `(status, response_headers, body)`. `headers` are extra request
+/// headers (e.g. `X-Casa-Request-Id`); `body` is
+/// `(content_type, payload)` for methods that carry one. Plain
+/// HTTP/1.1, `Connection: close`, bounded by `timeout` for connect
+/// and for each read. This is the one client implementation `diag`,
+/// `casa-loadgen`, CI, and the tests share.
+pub fn http_request(
+    addr: &SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<(&str, &str)>,
+    timeout: Duration,
+) -> io::Result<HttpExchange> {
     let mut stream = TcpStream::connect_timeout(addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    stream.write_all(
-        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
-    )?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if let Some((content_type, payload)) = body {
+        head.push_str(&format!(
+            "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+            payload.len()
+        ));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some((_, payload)) = body {
+        stream.write_all(payload.as_bytes())?;
+    }
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     let status = raw
@@ -845,10 +1340,32 @@ pub fn http_get(addr: &SocketAddr, path: &str, timeout: Duration) -> io::Result<
         .and_then(|l| l.split_whitespace().nth(1))
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
-    let body = raw
+    let (resp_head, resp_body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
+        .map_or((raw.as_str(), ""), |(h, b)| (h, b));
+    let resp_headers = resp_head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Ok((status, resp_headers, resp_body.to_string()))
+}
+
+/// Case-insensitive response-header lookup for [`http_request`]
+/// results.
+pub fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Fetch `path` from a telemetry server: returns `(status, body)`.
+/// Plain HTTP/1.1, `Connection: close`, bounded by `timeout` for
+/// connect and for each read.
+pub fn http_get(addr: &SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let (status, _, body) = http_request(addr, "GET", path, &[], None, timeout)?;
     Ok((status, body))
 }
 
@@ -862,29 +1379,8 @@ pub fn http_post(
     body: &str,
     timeout: Duration,
 ) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect_timeout(addr, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    stream.write_all(
-        format!(
-            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            body.len()
-        )
-        .as_bytes(),
-    )?;
-    stream.write_all(body.as_bytes())?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let status = raw
-        .lines()
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
+    let (status, _, body) =
+        http_request(addr, "POST", path, &[], Some((content_type, body)), timeout)?;
     Ok((status, body))
 }
 
@@ -991,7 +1487,11 @@ mod tests {
         assert!(text.contains("# TYPE casa_solver_nodes counter\ncasa_solver_nodes 41\n"));
         assert!(text.contains("# TYPE casa_energy_total_uj gauge\ncasa_energy_total_uj 12.5\n"));
         assert!(text.contains("# TYPE casa_conflict_row_degree summary\n"));
-        assert!(text.contains("casa_conflict_row_degree{quantile=\"0.5\"} 4\n"));
+        // Samples {4, 16}: the median target lands on the [4,7]
+        // bucket's cumulative boundary, so interpolation reports its
+        // upper edge; p90/p99 clamp to the exact max.
+        assert!(text.contains("casa_conflict_row_degree{quantile=\"0.5\"} 7\n"));
+        assert!(text.contains("casa_conflict_row_degree{quantile=\"0.99\"} 16\n"));
         assert!(text.contains("casa_conflict_row_degree_sum 20\n"));
         assert!(text.contains("casa_conflict_row_degree_count 2\n"));
         let stats = validate_exposition(&text).expect("valid exposition");
@@ -1074,14 +1574,35 @@ mod tests {
         assert_eq!(st, 200);
         validate_exposition(&metrics).expect("valid exposition over HTTP");
         assert!(metrics.contains("casa_solver_nodes 7"));
+        // Request-scoped serve metrics ride along in the exposition.
+        assert!(metrics.contains("# TYPE casa_serve_requests_total counter"));
+        assert!(metrics.contains("# TYPE casa_serve_inflight gauge"));
 
         let (st, snap) = http_get(&addr, "/snapshot.json", t).unwrap();
         assert_eq!(st, 200);
-        assert_eq!(snap, snapshot_to_json(&obs.snapshot()));
+        let v = serde::json::parse(&snap).expect("snapshot is valid JSON");
+        assert_eq!(v.get("solver.nodes").and_then(|x| x.as_f64()), Some(7.0));
+        assert!(
+            snap.contains("\"serve.latency_us.healthz\""),
+            "per-route latency family missing: {snap}"
+        );
 
         let (st, flight) = http_get(&addr, "/flight.json", t).unwrap();
         assert_eq!(st, 200);
         assert!(serde::json::parse(&flight).is_ok());
+
+        let (st, journal) = http_get(&addr, "/requests.json", t).unwrap();
+        assert_eq!(st, 200);
+        let v = serde::json::parse(&journal).expect("journal is valid JSON");
+        let entries = v.get("entries").and_then(|x| x.as_array()).unwrap();
+        assert!(
+            !entries.is_empty(),
+            "earlier requests should be journaled: {journal}"
+        );
+        let first = &entries[0];
+        assert_eq!(first.get("path").and_then(|x| x.as_str()), Some("/healthz"));
+        assert_eq!(first.get("status").and_then(|x| x.as_f64()), Some(200.0));
+        assert!(first.get("id").and_then(|x| x.as_str()).is_some());
 
         let (st, _) = http_get(&addr, "/nope", t).unwrap();
         assert_eq!(st, 404);
@@ -1374,5 +1895,257 @@ mod tests {
         let (st, _) = http_get(&addr, "/nope", Duration::from_secs(5)).unwrap();
         assert_eq!(st, 404);
         handle.shutdown();
+    }
+
+    #[test]
+    fn request_id_validation_rules() {
+        assert!(valid_request_id("r000001"));
+        assert!(valid_request_id("abc-123.x_Y"));
+        assert!(!valid_request_id(""));
+        assert!(!valid_request_id("has space"));
+        assert!(!valid_request_id("semi;colon"));
+        assert!(!valid_request_id(&"x".repeat(65)));
+        assert!(valid_request_id(&"x".repeat(64)));
+    }
+
+    #[test]
+    fn journal_entry_json_round_trips() {
+        let e = JournalEntry {
+            seq: 3,
+            id: "ci-req-42".to_string(),
+            method: "POST".to_string(),
+            path: "/solve".to_string(),
+            status: 200,
+            bytes_in: 120,
+            bytes_out: 256,
+            handler_us: 1500,
+            solve: Some(SolveAttribution {
+                cache: "warm".to_string(),
+                status: "feasible".to_string(),
+                gap: Some(0.125),
+                nodes: 42,
+                stopped_by: Some("nodes".to_string()),
+                reason: None,
+                queue_wait_us: 7,
+                worker: 1,
+            }),
+        };
+        let json = e.to_json();
+        let v = serde::json::parse(&json).expect("entry JSON parses");
+        assert_eq!(v.get("id").and_then(|x| x.as_str()), Some("ci-req-42"));
+        assert_eq!(v.get("status").and_then(|x| x.as_f64()), Some(200.0));
+        let solve = v.get("solve").expect("solve object");
+        assert_eq!(solve.get("cache").and_then(|x| x.as_str()), Some("warm"));
+        assert_eq!(solve.get("gap").and_then(|x| x.as_f64()), Some(0.125));
+        assert_eq!(solve.get("nodes").and_then(|x| x.as_f64()), Some(42.0));
+        assert_eq!(
+            solve.get("stopped_by").and_then(|x| x.as_str()),
+            Some("nodes")
+        );
+    }
+
+    /// Satellite: the four router edge cases pin their status codes
+    /// AND that each increments exactly its own per-status counter.
+    #[test]
+    fn router_edge_cases_pin_codes_and_counters() {
+        let obs = Obs::enabled();
+        let router: Router = Arc::new(|req: &Request| {
+            (req.method == "POST" && req.path == "/echo")
+                .then(|| Response::json(200, String::from_utf8_lossy(&req.body).into_owned()))
+        });
+        let opts = ServeOptions {
+            max_body_bytes: 64,
+            ..ServeOptions::default()
+        };
+        let mut handle = start_with(&obs, "127.0.0.1:0", opts, Some(router)).expect("bind");
+        let addr = handle.local_addr();
+        let t = Duration::from_secs(5);
+
+        // Unknown route -> 404.
+        let (st, _) = http_get(&addr, "/definitely-not-mounted", t).unwrap();
+        assert_eq!(st, 404);
+        // Wrong method on a mounted route -> 405.
+        let (st, _, _) =
+            http_request(&addr, "POST", "/metrics", &[], Some(("text/plain", "x")), t).unwrap();
+        assert_eq!(st, 405);
+        // Body over the configured cap -> 413.
+        let big = "y".repeat(128);
+        let (st, _) = http_post(&addr, "/echo", "application/json", &big, t).unwrap();
+        assert_eq!(st, 413);
+        // Malformed request line -> 400, and even that echoes an ID.
+        let mut stream = TcpStream::connect_timeout(&addr, t).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        stream.set_read_timeout(Some(t)).unwrap();
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw);
+        assert!(raw.starts_with("HTTP/1.1 400"), "got {raw:?}");
+        assert!(
+            raw.contains("X-Casa-Request-Id:"),
+            "read-error responses still echo an ID: {raw:?}"
+        );
+        drop(stream);
+
+        let snap = obs.snapshot();
+        let get = |name: &str| match snap.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        assert_eq!(get("serve.responses.404_total"), 1, "{snap:?}");
+        assert_eq!(get("serve.responses.405_total"), 1, "{snap:?}");
+        assert_eq!(get("serve.responses.413_total"), 1, "{snap:?}");
+        assert_eq!(get("serve.responses.400_total"), 1, "{snap:?}");
+        assert_eq!(get("serve.responses.200_total"), 0, "{snap:?}");
+        assert_eq!(get("serve.requests_total"), 4, "{snap:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn every_response_carries_a_request_id() {
+        let obs = Obs::enabled();
+        let mut handle = start(&obs, "127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+        let t = Duration::from_secs(5);
+        // No header -> minted from the deterministic counter.
+        let (st, headers, _) = http_request(&addr, "GET", "/healthz", &[], None, t).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(header_value(&headers, REQUEST_ID_HEADER), Some("r000001"));
+        // Client-supplied ID -> echoed verbatim, counter untouched.
+        let (_, headers, _) = http_request(
+            &addr,
+            "GET",
+            "/healthz",
+            &[(REQUEST_ID_HEADER, "abc-123.x_Y")],
+            None,
+            t,
+        )
+        .unwrap();
+        assert_eq!(
+            header_value(&headers, REQUEST_ID_HEADER),
+            Some("abc-123.x_Y")
+        );
+        // Malformed ID -> minted instead (next counter value).
+        let (_, headers, _) = http_request(
+            &addr,
+            "GET",
+            "/healthz",
+            &[(REQUEST_ID_HEADER, "bad id!")],
+            None,
+            t,
+        )
+        .unwrap();
+        assert_eq!(header_value(&headers, REQUEST_ID_HEADER), Some("r000002"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn journal_rings_and_drops_oldest() {
+        let obs = Obs::enabled();
+        let opts = ServeOptions {
+            journal_cap: 2,
+            ..ServeOptions::default()
+        };
+        let mut handle = start_with(&obs, "127.0.0.1:0", opts, None).expect("bind");
+        let addr = handle.local_addr();
+        let t = Duration::from_secs(5);
+        for _ in 0..3 {
+            let (st, _) = http_get(&addr, "/healthz", t).unwrap();
+            assert_eq!(st, 200);
+        }
+        let (st, journal) = http_get(&addr, "/requests.json", t).unwrap();
+        assert_eq!(st, 200);
+        let v = serde::json::parse(&journal).expect("journal JSON");
+        assert_eq!(v.get("cap").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(v.get("dropped").and_then(|x| x.as_f64()), Some(1.0));
+        let entries = v.get("entries").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(entries.len(), 2);
+        // FIFO eviction: the survivors are requests 2 and 3.
+        assert_eq!(entries[0].get("seq").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(entries[1].get("seq").and_then(|x| x.as_f64()), Some(3.0));
+        handle.shutdown();
+    }
+
+    /// The determinism contract, pinned: `/solve` response bytes are
+    /// identical with the journal/access machinery on or off, and the
+    /// attribution lands in the journal (never the body).
+    #[test]
+    fn solve_bytes_identical_with_journal_on_and_off() {
+        fn solve_router() -> Router {
+            Arc::new(|req: &Request| {
+                (req.method == "POST" && req.path == "/solve").then(|| {
+                    Response::json(200, "{\"gap\":0,\"status\":\"optimal\"}")
+                        .with_header("X-Casa-Cache", "warm")
+                        .with_solve(SolveAttribution {
+                            cache: "warm".to_string(),
+                            status: "optimal".to_string(),
+                            gap: Some(0.0),
+                            nodes: 42,
+                            stopped_by: None,
+                            reason: None,
+                            queue_wait_us: 7,
+                            worker: 0,
+                        })
+                })
+            })
+        }
+        let t = Duration::from_secs(5);
+        let body = ("application/json", "{\"capacity\":64}");
+        let hdrs = [(REQUEST_ID_HEADER, "det-check-1")];
+
+        let obs_on = Obs::enabled();
+        let on_opts = ServeOptions {
+            journal_cap: 256,
+            slow_req_ms: Some(0), // everything is "slow": exercise the capture path
+            ..ServeOptions::default()
+        };
+        let mut on = start_with(&obs_on, "127.0.0.1:0", on_opts, Some(solve_router())).unwrap();
+        let (st_on, h_on, b_on) =
+            http_request(&on.local_addr(), "POST", "/solve", &hdrs, Some(body), t).unwrap();
+
+        let obs_off = Obs::enabled();
+        let off_opts = ServeOptions {
+            journal_cap: 0,
+            ..ServeOptions::default()
+        };
+        let mut off = start_with(&obs_off, "127.0.0.1:0", off_opts, Some(solve_router())).unwrap();
+        let (st_off, h_off, b_off) =
+            http_request(&off.local_addr(), "POST", "/solve", &hdrs, Some(body), t).unwrap();
+
+        assert_eq!((st_on, st_off), (200, 200));
+        assert_eq!(b_on, b_off, "journal on/off must not change response bytes");
+        assert_eq!(
+            header_value(&h_on, REQUEST_ID_HEADER),
+            Some("det-check-1"),
+            "explicit ID echoed"
+        );
+        assert_eq!(
+            header_value(&h_on, REQUEST_ID_HEADER),
+            header_value(&h_off, REQUEST_ID_HEADER),
+        );
+
+        // Journal-on server recorded the attribution alongside.
+        let (st, journal) = http_get(&on.local_addr(), "/requests.json", t).unwrap();
+        assert_eq!(st, 200);
+        let v = serde::json::parse(&journal).expect("journal JSON");
+        let entries = v.get("entries").and_then(|x| x.as_array()).unwrap();
+        let e = entries
+            .iter()
+            .find(|e| e.get("id").and_then(|x| x.as_str()) == Some("det-check-1"))
+            .expect("solve request journaled by its ID");
+        let solve = e.get("solve").expect("attribution recorded");
+        assert_eq!(solve.get("cache").and_then(|x| x.as_str()), Some("warm"));
+        assert_eq!(solve.get("gap").and_then(|x| x.as_f64()), Some(0.0));
+        assert_eq!(solve.get("nodes").and_then(|x| x.as_f64()), Some(42.0));
+
+        // Journal-off server serves an empty journal.
+        let (st, journal) = http_get(&off.local_addr(), "/requests.json", t).unwrap();
+        assert_eq!(st, 200);
+        let v = serde::json::parse(&journal).expect("journal JSON");
+        assert_eq!(v.get("cap").and_then(|x| x.as_f64()), Some(0.0));
+        assert_eq!(
+            v.get("entries").and_then(|x| x.as_array()).map(<[_]>::len),
+            Some(0)
+        );
+        on.shutdown();
+        off.shutdown();
     }
 }
