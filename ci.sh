@@ -27,7 +27,7 @@ ROOT="$(pwd)"
 (cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke --trace-out /tmp/casa_trace.json)
 test -s /tmp/casa_trace.json || { echo "trace file empty or missing"; exit 1; }
 # Valid JSON + well-formed spans: re-parse it with the diag renderer.
-cargo run --release -q -p casa-bench --bin diag -- --render-trace /tmp/casa_trace.json | grep -q "simulate" \
+cargo run --release -q -p casa-bench --bin diag -- render-trace /tmp/casa_trace.json | grep -q "simulate" \
   || { echo "trace does not cover the simulate phase"; exit 1; }
 
 echo "== regression sentinel: two identical smoke runs must not regress"
@@ -53,7 +53,7 @@ if (cd /tmp && CASA_TRACE=1 CASA_SELFTEST_PANIC=1 cargo run --manifest-path "$RO
 fi
 rm -f /tmp/casa_selftest_history.jsonl
 test -s /tmp/casa_flight.json || { echo "flight dump empty or missing"; exit 1; }
-cargo run --release -q -p casa-bench --bin diag -- --flight /tmp/casa_flight.json | grep -q "cell" \
+cargo run --release -q -p casa-bench --bin diag -- flight /tmp/casa_flight.json | grep -q "cell" \
   || { echo "flight dump does not cover the cell phase"; exit 1; }
 
 echo "== live telemetry: served sweep, probe, watchdog, determinism"
@@ -79,13 +79,13 @@ test -s /tmp/casa_serve_addr || { echo "served sweep never published its address
 ADDR="$(head -n1 /tmp/casa_serve_addr)"
 # Quick probe while the run may still be in flight: healthz + a valid
 # /metrics exposition must hold mid-sweep, not just at the end.
-cargo run --release -q -p casa-bench --bin diag -- --probe-quick "$ADDR" \
+cargo run --release -q -p casa-bench --bin diag -- probe "$ADDR" --quick \
   || { echo "mid-run probe failed"; kill $SWEEP_PID; exit 1; }
 # The watchdog's flight dump doubles as the "stall was caught" signal;
 # once it exists the stall counter is on the exporter too.
 i=0; while [ $i -lt 100 ] && ! test -s /tmp/casa_probe_flight.json; do i=$((i+1)); sleep 0.1; done
 test -s /tmp/casa_probe_flight.json || { echo "watchdog stall left no flight dump"; kill $SWEEP_PID; exit 1; }
-cargo run --release -q -p casa-bench --bin diag -- --probe "$ADDR" --expect-spans \
+cargo run --release -q -p casa-bench --bin diag -- probe "$ADDR" --expect-spans \
   --expect casa_sweep_cells_done --expect casa_sweep_cells_total \
   --expect casa_energy_total_uj --expect casa_watchdog_stalls --quit \
   || { echo "full probe failed"; kill $SWEEP_PID; exit 1; }
@@ -104,7 +104,7 @@ cargo run --release -q -p casa-bench --bin sentinel -- \
 SENTINEL_PID=$!
 i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_sentinel_addr; do i=$((i+1)); sleep 0.1; done
 test -s /tmp/casa_sentinel_addr || { echo "sentinel never published its address"; kill $SENTINEL_PID; exit 1; }
-cargo run --release -q -p casa-bench --bin diag -- --probe "$(head -n1 /tmp/casa_sentinel_addr)" \
+cargo run --release -q -p casa-bench --bin diag -- probe "$(head -n1 /tmp/casa_sentinel_addr)" \
   --expect casa_sentinel_regressions --expect casa_sentinel_checks \
   --expect casa_sentinel_pass --expect casa_sentinel_baseline_runs --quit \
   || { echo "sentinel probe failed"; kill $SENTINEL_PID; exit 1; }
@@ -135,7 +135,7 @@ cargo run --release -q -p casa-bench --bin casa-loadgen -- \
   || { echo "load generator failed"; kill $SERVER_PID; exit 1; }
 cmp /tmp/casa_solve_a.json /tmp/casa_solve_b.json \
   || { echo "repeated solve responses differ"; kill $SERVER_PID; exit 1; }
-cargo run --release -q -p casa-bench --bin diag -- --probe "$SERVER_ADDR" \
+cargo run --release -q -p casa-bench --bin diag -- probe "$SERVER_ADDR" \
   --expect casa_server_requests_total --expect casa_server_cache_hits_total \
   --expect casa_server_cache_misses_total --quit \
   || { echo "casa-server probe failed"; kill $SERVER_PID; exit 1; }
@@ -164,21 +164,21 @@ SERVER_PID=$!
 i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_req_addr; do i=$((i+1)); sleep 0.1; done
 test -s /tmp/casa_req_addr || { echo "casa-server never published its address"; kill $SERVER_PID; exit 1; }
 REQ_ADDR="$(head -n1 /tmp/casa_req_addr)"
-cargo run --release -q -p casa-bench --bin diag -- --post "$REQ_ADDR" /tmp/casa_req_body.json \
+cargo run --release -q -p casa-bench --bin diag -- post "$REQ_ADDR" /tmp/casa_req_body.json \
   --req-id ci-req-42 --out /tmp/casa_solve_on.json \
   || { echo "tagged solve failed or id was not echoed"; kill $SERVER_PID; exit 1; }
-cargo run --release -q -p casa-bench --bin diag -- --tail "$REQ_ADDR" > /tmp/casa_req_tail.txt \
+cargo run --release -q -p casa-bench --bin diag -- tail "$REQ_ADDR" > /tmp/casa_req_tail.txt \
   || { echo "journal tail failed"; kill $SERVER_PID; exit 1; }
 grep "ci-req-42" /tmp/casa_req_tail.txt | grep "cache=" | grep -q "gap=" \
   || { echo "journal entry for ci-req-42 lacks solve attribution"; kill $SERVER_PID; exit 1; }
-cargo run --release -q -p casa-bench --bin diag -- --post "$REQ_ADDR" /tmp/casa_req_body.json \
+cargo run --release -q -p casa-bench --bin diag -- post "$REQ_ADDR" /tmp/casa_req_body.json \
   --req-id slow-ci-1 --out /dev/null \
   || { echo "slow-tagged solve failed"; kill $SERVER_PID; exit 1; }
 i=0; while [ $i -lt 100 ] && ! test -s /tmp/casa_slow_flight.json; do i=$((i+1)); sleep 0.1; done
 test -s /tmp/casa_slow_flight.json || { echo "slow request left no flight dump"; kill $SERVER_PID; exit 1; }
 grep -q "slow-ci-1" /tmp/casa_slow_flight.json \
   || { echo "slow-request flight dump is not tagged with the request id"; kill $SERVER_PID; exit 1; }
-cargo run --release -q -p casa-bench --bin diag -- --probe "$REQ_ADDR" \
+cargo run --release -q -p casa-bench --bin diag -- probe "$REQ_ADDR" \
   --expect casa_server_requests_total --quit \
   || { echo "request-observability probe failed"; kill $SERVER_PID; exit 1; }
 wait $SERVER_PID || { echo "casa-server did not exit cleanly"; exit 1; }
@@ -189,10 +189,10 @@ SERVER_PID=$!
 i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_req_addr; do i=$((i+1)); sleep 0.1; done
 test -s /tmp/casa_req_addr || { echo "journal-off casa-server never published its address"; kill $SERVER_PID; exit 1; }
 REQ_ADDR="$(head -n1 /tmp/casa_req_addr)"
-cargo run --release -q -p casa-bench --bin diag -- --post "$REQ_ADDR" /tmp/casa_req_body.json \
+cargo run --release -q -p casa-bench --bin diag -- post "$REQ_ADDR" /tmp/casa_req_body.json \
   --req-id ci-req-42 --out /tmp/casa_solve_off.json \
   || { echo "journal-off solve failed"; kill $SERVER_PID; exit 1; }
-cargo run --release -q -p casa-bench --bin diag -- --probe "$REQ_ADDR" \
+cargo run --release -q -p casa-bench --bin diag -- probe "$REQ_ADDR" \
   --expect casa_server_requests_total --quit \
   || { echo "journal-off probe failed"; kill $SERVER_PID; exit 1; }
 wait $SERVER_PID || { echo "journal-off casa-server did not exit cleanly"; exit 1; }
@@ -206,18 +206,76 @@ echo "== budget-stress smoke: sweep --smoke --budget-nodes 1"
 # node-budgeted report stays byte-identical across worker counts.
 (cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke --budget-nodes 1)
 
-echo "== deprecated-shim grep"
-# The pre-engine entry points survive only as #[deprecated] shims;
-# nothing outside their defining modules (and the tests that pin the
-# shims themselves) may call them.
-if grep -rn "run_spm_flow_obs(\|run_loop_cache_flow_obs(\|form_traces_obs(\|solve_obs(\|solve_with_stats(" \
-    crates src examples \
-    --include='*.rs' \
-    | grep -v "^crates/core/src/flow.rs:" \
-    | grep -v "^crates/trace/src/trace.rs:" \
-    | grep -v "^crates/ilp/src/branch_bound.rs:" \
-    | grep -v "^crates/ilp/src/engine.rs:"; then
-  echo "deprecated shim called outside its defining module"; exit 1
+echo "== deprecated-surface grep: no #[deprecated] items remain"
+# The pre-engine shims were deleted outright in the v1 API cleanup.
+# The public surface must stay free of deprecated items; removing an
+# API is done by removing it, not by letting shims accumulate.
+if grep -rn "#\[deprecated" crates src examples --include='*.rs'; then
+  echo "deprecated item reintroduced"; exit 1
 fi
+
+echo "== record/replay: golden sessions from a smoke sweep"
+# A smoke sweep with --session-dir records one .casa-session (plus a
+# .report.json sibling) per scratchpad cell. Every session must replay
+# byte-identically offline: diag replay re-executes the decision log,
+# asserts the regenerated response equals the recording, and the
+# report it writes must match the sibling byte for byte. One cell also
+# goes through --divergence: a cold re-solve of a cold recording must
+# match the log decision for decision.
+rm -rf /tmp/casa_sessions
+rm -f /tmp/casa_replay_report.json
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke --session-dir /tmp/casa_sessions)
+ls /tmp/casa_sessions/*.casa-session >/dev/null 2>&1 \
+  || { echo "smoke sweep recorded no sessions"; exit 1; }
+for f in /tmp/casa_sessions/*.casa-session; do
+  rm -f /tmp/casa_replay_report.json
+  cargo run --release -q -p casa-bench --bin diag -- replay "$f" --report-out /tmp/casa_replay_report.json \
+    || { echo "replay mismatch for $f"; exit 1; }
+  cmp /tmp/casa_replay_report.json "${f%.casa-session}.report.json" \
+    || { echo "replayed report differs from the recorded sibling for $f"; exit 1; }
+done
+FIRST_SESSION="$(ls /tmp/casa_sessions/*.casa-session | head -n1)"
+cargo run --release -q -p casa-bench --bin diag -- replay "$FIRST_SESSION" --divergence \
+  || { echo "cold recording diverged from its own re-solve"; exit 1; }
+
+echo "== served capture: CASA_SESSION_DIR replay matches the journal"
+# casa-server with CASA_SESSION_DIR set captures each cache-miss solve
+# as a session tagged with the request ID. The captured session must
+# (a) replay cleanly, (b) carry a report byte-identical to the /solve
+# body the client actually received, and (c) replay to the same
+# status/gap/nodes attribution the request journal recorded.
+rm -rf /tmp/casa_srv_sessions
+rm -f /tmp/casa_cap_addr /tmp/casa_cap_reply.json /tmp/casa_cap_tail.txt \
+      /tmp/casa_cap_report.json /tmp/casa_cap_replay.txt
+CASA_SESSION_DIR=/tmp/casa_srv_sessions \
+cargo run --release -q -p casa-bench --bin casa-server -- \
+  --listen 127.0.0.1:0 --addr-file /tmp/casa_cap_addr --max-seconds 300 &
+SERVER_PID=$!
+i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_cap_addr; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_cap_addr || { echo "capturing casa-server never published its address"; kill $SERVER_PID; exit 1; }
+CAP_ADDR="$(head -n1 /tmp/casa_cap_addr)"
+cargo run --release -q -p casa-bench --bin diag -- post "$CAP_ADDR" /tmp/casa_req_body.json \
+  --req-id ci-replay-7 --out /tmp/casa_cap_reply.json \
+  || { echo "captured solve failed"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- tail "$CAP_ADDR" > /tmp/casa_cap_tail.txt \
+  || { echo "capture journal tail failed"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- probe "$CAP_ADDR" \
+  --expect casa_server_sessions_captured_total --quit \
+  || { echo "capture probe failed"; kill $SERVER_PID; exit 1; }
+wait $SERVER_PID || { echo "capturing casa-server did not exit cleanly"; exit 1; }
+test -s /tmp/casa_srv_sessions/ci-replay-7.casa-session \
+  || { echo "no session captured for ci-replay-7"; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- replay /tmp/casa_srv_sessions/ci-replay-7.casa-session \
+  --report-out /tmp/casa_cap_report.json > /tmp/casa_cap_replay.txt \
+  || { echo "captured session does not replay"; exit 1; }
+cmp /tmp/casa_cap_report.json /tmp/casa_cap_reply.json \
+  || { echo "captured session report differs from the served /solve bytes"; exit 1; }
+# The journal line and the replay line both render the attribution as
+# "status=.. gap=.. nodes=.."; the triples must agree exactly.
+JOURNAL_ATTR="$(grep "ci-replay-7" /tmp/casa_cap_tail.txt | grep -o "status=[^ ]* gap=[^ ]* nodes=[^ ]*")"
+REPLAY_ATTR="$(grep -o "status=[^ ]* gap=[^ ]* nodes=[^ ]*" /tmp/casa_cap_replay.txt)"
+test -n "$JOURNAL_ATTR" || { echo "journal has no solve attribution for ci-replay-7"; exit 1; }
+test "$JOURNAL_ATTR" = "$REPLAY_ATTR" \
+  || { echo "replay attribution ($REPLAY_ATTR) differs from the journal ($JOURNAL_ATTR)"; exit 1; }
 
 echo "CI OK"

@@ -183,15 +183,21 @@ fn handle_solve(service: &AllocService, memo: &WorkloadMemo, req: &Request) -> R
             }
             Err(e) => Response::json(400, error_json(&e)),
         },
-        Err(e) => Response::json(400, error_json(&e)),
+        // Parse refusals carry their own structured 400 body — version
+        // refusals include the `supported` list clients negotiate on.
+        Err(e) => Response::json(400, e.http_body()),
     }
 }
 
 const HELP: &str = "casa-server: POST /solve with a JSON allocation request.\n\
-    Request: {\"graph\":{\"fetches\":[..],\"sizes\":[..],\"edges\":[[i,j,m],..]},\n\
+    Request: {\"v\":1, \"graph\":{\"fetches\":[..],\"sizes\":[..],\"edges\":[[i,j,m],..]},\n\
     \x20         \"table\":{..} | \"cache\":{\"size\":..,\"line\":..,\"assoc\":..},\n\
     \x20         \"capacity\":N, \"allocator\":\"casa-bb\", \"budget\":{\"nodes\":N,\"ms\":N}}\n\
     or       {\"workload\":{\"benchmark\":\"adpcm\",\"scale\":1,\"seed\":42}, \"capacity\":N, ..}\n\
+    \"v\" is the wire-schema version (absent = 1); unknown versions get a\n\
+    structured 400 listing the supported ones.\n\
+    CASA_SESSION_DIR=<dir> captures every solved request as a replayable\n\
+    .casa-session file named by its X-Casa-Request-Id (see `diag replay`).\n\
     Telemetry: /metrics /healthz /snapshot.json /events; /quitquitquit stops the server.\n";
 
 fn flag_u64(name: &str, default: u64) -> u64 {
@@ -208,6 +214,10 @@ fn main() {
         queue_cap: flag_u64("queue-cap", 16) as usize,
         cache_cap: flag_u64("cache-cap", 256) as usize,
         max_nodes: flag_u64("max-budget-nodes", DEFAULT_MAX_NODES),
+        session_dir: std::env::var("CASA_SESSION_DIR")
+            .ok()
+            .filter(|d| !d.is_empty())
+            .map(Into::into),
     };
     let max_seconds = flag_u64("max-seconds", 600);
 

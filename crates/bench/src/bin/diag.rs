@@ -1,39 +1,52 @@
-//! Workload diagnostics: code size, hot-set size, baseline cache
-//! behaviour and conflict-graph density at the paper's cache sizes.
-//! Used to calibrate the synthetic benchmarks; not part of the
-//! reproduced tables.
+//! Diagnostics toolbox, one subcommand per job:
 //!
-//! Usage: `cargo run --release -p casa-bench --bin diag
-//!         [--trace-out <path>] [--render-trace <path>]
-//!         [--flight <path>]
-//!         [--probe <addr> | --probe-quick <addr>]
-//!         [--expect <family>]... [--expect-spans] [--quit]
-//!         [--tail <addr>]
-//!         [--post <addr> <body-file> [--req-id <id>] [--out <path>]]`
+//! ```text
+//! diag replay <file> [--divergence] [--report-out <path>]
+//! diag tail <addr>
+//! diag post <addr> <body-file> [--req-id <id>] [--out <path>]
+//! diag probe <addr> [--quick] [--expect <family>]... [--expect-spans] [--quit]
+//! diag flight <path>
+//! diag render-trace <path>
+//! diag help [<subcommand>]
+//! diag                       # workload calibration tables (no subcommand)
+//! ```
 //!
-//! With `--trace-out` (or `CASA_TRACE=1`) the flows run instrumented
-//! and a per-phase span-tree table is printed at the end.
-//! `--render-trace <path>` instead re-parses a previously captured
-//! Chrome `trace_event` file and prints its span tree, then exits.
-//! `--flight <path>` re-parses a flight-recorder dump (written on
-//! panic, on engine degradation, or by `Obs::dump_flight`) and prints
-//! its events as a time-ordered table, then exits.
-//! `--probe <addr>` is a std-only HTTP client for the live telemetry
-//! service (`--serve` on the experiment binaries): it checks
-//! `/healthz`, validates `/metrics` as Prometheus text exposition,
-//! parses `/snapshot.json` and `/flight.json`, and — with
-//! `--expect-spans` — demands span begin/end frames over `/events`.
-//! `--probe-quick <addr>` only does the healthz + exposition checks
-//! (for polling until a background run is ready). `--expect <family>`
-//! (repeatable) asserts a metric family is declared; `--quit` sends
-//! `/quitquitquit` at the end to release a lingering server. Any
-//! failed check panics, so CI fails loudly.
-//! `--tail <addr>` fetches `/requests.json` and prints one greppable
-//! line per journal entry (ID, route, status, latency, and — for
-//! `/solve` — cache outcome, gap, nodes, queue wait, worker shard).
-//! `--post <addr> <body-file>` POSTs the file to `/solve` with an
-//! optional `--req-id` correlation header, asserts the 200 and the ID
-//! echo, and writes the reply body to `--out` (or stdout).
+//! `replay` loads a recorded `.casa-session` (or its `.json` sibling),
+//! re-executes the solve from the recorded decision log, and asserts
+//! layout, energy, gap and report byte-equivalence — exit 0 and a
+//! `replay <file>: status=.. gap=.. nodes=..` line on success, exit 1
+//! with the first mismatch otherwise. `--divergence` instead re-solves
+//! from scratch and pinpoints the first decision where the fresh
+//! search departs from the recording; `--report-out <path>` writes the
+//! replay-verified response JSON.
+//! `tail` fetches `/requests.json` and prints one greppable line per
+//! journal entry (ID, route, status, latency, and — for `/solve` —
+//! cache outcome, gap, nodes, queue wait, worker shard).
+//! `post` POSTs a body file to `/solve` with an optional `--req-id`
+//! correlation header, asserts the 200 and the ID echo, and writes the
+//! reply body to `--out` (or stdout).
+//! `probe` is a std-only HTTP client for the live telemetry service:
+//! it checks `/healthz`, validates `/metrics` as Prometheus text
+//! exposition, parses `/snapshot.json` and `/flight.json`, and — with
+//! `--expect-spans` — demands span frames over `/events`. `--quick`
+//! only does the healthz + exposition checks (for polling until a
+//! background run is ready); `--expect <family>` (repeatable) asserts
+//! a metric family is declared; `--quit` sends `/quitquitquit` at the
+//! end. Any failed check panics, so CI fails loudly.
+//! `flight` re-parses a flight-recorder dump (written on panic, on
+//! engine degradation, or by `Obs::dump_flight`) and prints its events
+//! as a time-ordered table. `render-trace` re-parses a captured Chrome
+//! `trace_event` file and prints its span tree.
+//!
+//! Without a subcommand, `diag` prints the workload calibration
+//! tables (code size, hot-set size, baseline cache behaviour,
+//! conflict-graph density, model fidelity) used to tune the synthetic
+//! benchmarks; `--trace-out <path>` (or `CASA_TRACE=1`) instruments
+//! the flows and appends a per-phase span-tree table.
+//!
+//! The pre-subcommand spellings (`--render-trace`, `--flight`,
+//! `--probe`, `--probe-quick`, `--tail`, `--post`) keep working as
+//! aliases with a deprecation note on stderr.
 
 use casa_bench::experiments::{paper_sizes, LINE_SIZE};
 use casa_bench::runner::{cli_obs, cli_value, prepared};
@@ -300,45 +313,141 @@ fn post_solve(addr: &str, body_path: &str) {
     }
 }
 
+/// `replay <file>`: load a recorded session, re-execute it from the
+/// decision log, and assert byte-equivalence with the recording.
+fn replay_cmd(rest: &[String]) {
+    let file = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| {
+            panic!("usage: diag replay <file> [--divergence] [--report-out <path>]")
+        });
+    let session = casa_core::Session::load(std::path::Path::new(file))
+        .unwrap_or_else(|e| panic!("load {file}: {e}"));
+    if rest.iter().any(|a| a == "--divergence") {
+        // Divergence analysis: a fresh cold solve of the recorded
+        // request, diffed decision-by-decision against the log. A
+        // warm-started server capture legitimately diverges at its
+        // first incumbent; the point of this mode is to say exactly
+        // where and how.
+        match session.divergence() {
+            Ok(None) => println!("replay {file}: no divergence (cold re-solve matches the log)"),
+            Ok(Some(d)) => {
+                eprintln!("replay {file}: DIVERGENCE: {d}");
+                std::process::exit(1);
+            }
+            Err(e) => panic!("replay {file}: request not re-solvable: {e}"),
+        }
+        return;
+    }
+    match session.replay() {
+        Ok(summary) => {
+            let gap = summary.gap.map_or("null".to_string(), |g| format!("{g}"));
+            println!(
+                "replay {file}: status={} gap={gap} nodes={}",
+                summary.status, summary.nodes
+            );
+            if let Some(out) = cli_value("--report-out") {
+                // replay() proved the regenerated response equals the
+                // recorded bytes, so this *is* the regenerated report.
+                std::fs::write(&out, session.report.as_bytes())
+                    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+            }
+        }
+        Err(e) => {
+            eprintln!("replay {file}: MISMATCH: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn render_trace_cmd(path: &str) {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let events = parse_chrome_trace(&json);
+    println!("span tree of {path} ({} events):", events.len());
+    print!("{}", render_span_table(&events));
+}
+
+fn flight_cmd(path: &str) {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let (events, capacity, dropped) = parse_flight_dump(&json);
+    println!(
+        "flight buffer {path}: {} event(s), capacity {capacity}, {dropped} dropped",
+        events.len()
+    );
+    print!("{}", render_flight_table(&events));
+}
+
+const USAGE: &str = "diag subcommands:\n\
+    \x20 replay <file> [--divergence] [--report-out <path>]   replay a recorded .casa-session\n\
+    \x20 tail <addr>                                          print the server request journal\n\
+    \x20 post <addr> <body-file> [--req-id <id>] [--out <p>]  POST a /solve body\n\
+    \x20 probe <addr> [--quick] [--expect <fam>]... [--expect-spans] [--quit]\n\
+    \x20                                                      validate a live telemetry server\n\
+    \x20 flight <path>                                        render a flight-recorder dump\n\
+    \x20 render-trace <path>                                  render a Chrome trace span tree\n\
+    \x20 (no subcommand)                                      workload calibration tables\n";
+
+/// Note a deprecated `--flag` spelling on stderr, pointing at the
+/// subcommand that replaced it.
+fn deprecation_note(old: &str, new: &str) {
+    eprintln!("note: `{old}` is deprecated; use `diag {new}`");
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("replay") => return replay_cmd(&argv[1..]),
+        Some("tail") => {
+            let addr = argv.get(1).expect("usage: diag tail <addr>");
+            return tail(addr);
+        }
+        Some("post") => {
+            let addr = argv.get(1).expect("usage: diag post <addr> <body-file>");
+            let body = argv.get(2).expect("usage: diag post <addr> <body-file>");
+            return post_solve(addr, body);
+        }
+        Some("probe") => {
+            let addr = argv.get(1).expect("usage: diag probe <addr> [--quick]");
+            return probe(addr, argv.iter().any(|a| a == "--quick"));
+        }
+        Some("flight") => {
+            return flight_cmd(argv.get(1).expect("usage: diag flight <path>"));
+        }
+        Some("render-trace") => {
+            return render_trace_cmd(argv.get(1).expect("usage: diag render-trace <path>"));
+        }
+        Some("help" | "--help" | "-h") => {
+            print!("{USAGE}");
+            return;
+        }
+        _ => {}
+    }
+    // Pre-subcommand `--flag` spellings: honored, with a nudge.
+    let mut args = argv.iter().cloned();
     while let Some(a) = args.next() {
         if a == "--render-trace" {
-            let path = args.next().expect("--render-trace needs a path");
-            let json =
-                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-            let events = parse_chrome_trace(&json);
-            println!("span tree of {path} ({} events):", events.len());
-            print!("{}", render_span_table(&events));
-            return;
+            deprecation_note(&a, "render-trace <path>");
+            return render_trace_cmd(&args.next().expect("--render-trace needs a path"));
         }
         if a == "--flight" {
-            let path = args.next().expect("--flight needs a path");
-            let json =
-                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-            let (events, capacity, dropped) = parse_flight_dump(&json);
-            println!(
-                "flight buffer {path}: {} event(s), capacity {capacity}, {dropped} dropped",
-                events.len()
-            );
-            print!("{}", render_flight_table(&events));
-            return;
+            deprecation_note(&a, "flight <path>");
+            return flight_cmd(&args.next().expect("--flight needs a path"));
         }
         if a == "--probe" || a == "--probe-quick" {
+            deprecation_note(&a, "probe <addr> [--quick]");
             let target = args.next().unwrap_or_else(|| panic!("{a} needs host:port"));
-            probe(&target, a == "--probe-quick");
-            return;
+            return probe(&target, a == "--probe-quick");
         }
         if a == "--tail" {
-            let target = args.next().expect("--tail needs host:port");
-            tail(&target);
-            return;
+            deprecation_note(&a, "tail <addr>");
+            return tail(&args.next().expect("--tail needs host:port"));
         }
         if a == "--post" {
+            deprecation_note(&a, "post <addr> <body-file>");
             let target = args.next().expect("--post needs host:port");
             let body_path = args.next().expect("--post needs a body file");
-            post_solve(&target, &body_path);
-            return;
+            return post_solve(&target, &body_path);
         }
     }
     let cli = cli_obs();

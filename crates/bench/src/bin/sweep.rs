@@ -11,6 +11,7 @@
 //!         [--smoke] [--trace-out <path>] [--flight-dump <path>]
 //!         [--history-out <path>] [--det-out <path>]
 //!         [--budget-nodes <n>] [--budget-ms <ms>]
+//!         [--session-dir <dir>]
 //!         [--serve <addr>] [--serve-addr-file <path>]
 //!         [--serve-linger-ms <ms>]`
 //! Worker count: `CASA_SWEEP_THREADS` (default: available cores).
@@ -35,6 +36,10 @@
 //! the phase watchdog on top of the sweep's heartbeats.
 //! `--det-out <path>` writes the run's `deterministic_json()` — what
 //! CI diffs between served and serverless runs.
+//! `--session-dir <dir>` records every scratchpad cell's solve as a
+//! replayable `.casa-session` file (plus a `.report.json` sibling)
+//! under `dir` — the input to `diag replay` and CI's golden-trace
+//! gate.
 //!
 //! Outputs are split by audience: `BENCH_sweep.json` is the **latest
 //! run** in full (overwritten every time — what the experiment docs
@@ -60,6 +65,10 @@ fn main() {
         SweepGrid::table1_paper(scale, 2004)
     };
     grid.set_budget(budget.clone());
+    let session_dir = cli_value("--session-dir");
+    if let Some(dir) = &session_dir {
+        grid.set_session_dir(dir);
+    }
     println!(
         "sweep: {} cells over {} workloads (scale {scale}), {threads} worker(s)",
         grid.cell_count(),
@@ -139,6 +148,9 @@ fn main() {
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     println!("wrote BENCH_sweep.json ({} bytes)", json.len());
+    if let Some(dir) = &session_dir {
+        println!("recorded scratchpad-cell sessions under {dir}");
+    }
 
     // Longitudinal record: BENCH_sweep.json holds only the latest run,
     // so the sentinel's baseline lives in an append-only JSONL log.

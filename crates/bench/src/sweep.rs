@@ -33,10 +33,11 @@
 
 use crate::experiments::{paper_sizes, LINE_SIZE, LOOP_CACHE_SLOTS};
 use crate::runner::{prepared, PreparedWorkload};
-use casa_core::engine::Budget;
+use casa_core::engine::{AllocOutcome, Budget};
 use casa_core::flow::{
     run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig, FlowCtx, LoopCacheConfig,
 };
+use casa_core::{EnergyModel, Session, SessionRecorder, SolveJob};
 use casa_energy::TechParams;
 use casa_mem::CacheConfig;
 use casa_obs::{merge_snapshot, snapshot_to_json, ArgValue, EventKind, MetricsSnapshot, Obs};
@@ -44,6 +45,7 @@ use casa_workloads::mediabench;
 use casa_workloads::spec::BenchmarkSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -100,6 +102,7 @@ pub struct SweepGrid {
     workloads: Vec<WorkloadKey>,
     cells: Vec<SweepCell>,
     budget: Budget,
+    session_dir: Option<PathBuf>,
 }
 
 /// Per-cell measurements. Wall-clock fields (`solver_secs`,
@@ -295,6 +298,14 @@ impl SweepGrid {
         &self.budget
     }
 
+    /// Capture every scratchpad cell's solve as a `.casa-session` file
+    /// (plus a `.report.json` sibling holding the canonical response)
+    /// under `dir`. Capture is an output channel, not a configuration
+    /// of *what* is computed, so it does not enter [`Self::fingerprint`].
+    pub fn set_session_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.session_dir = Some(dir.into());
+    }
+
     /// A stable fingerprint of the grid's *configuration* — workloads,
     /// cells, budget — as a 16-hex-digit FNV-1a hash. Two runs are
     /// longitudinally comparable (same energies, same node counts)
@@ -417,6 +428,10 @@ impl SweepGrid {
     pub fn run_with_threads_obs(&self, threads: usize, obs: &Obs) -> SweepReport {
         let threads = threads.max(1);
         let t_total = Instant::now();
+        if let Some(dir) = &self.session_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("session dir {}: {e}", dir.display()));
+        }
 
         // Phase 1: prepare each distinct workload once, in parallel.
         let t_prep = Instant::now();
@@ -488,7 +503,14 @@ impl SweepGrid {
                         // one Chrome trace and the flight recorder
                         // keeps one post-mortem buffer for the run.
                         let cell_obs = obs.child();
-                        let res = run_cell(key, w, &cell.kind, &self.budget, &cell_obs);
+                        let res = run_cell(
+                            key,
+                            w,
+                            &cell.kind,
+                            &self.budget,
+                            self.session_dir.as_deref(),
+                            &cell_obs,
+                        );
                         // Publish the finished cell's isolated metrics
                         // to the parent registry so a live `/metrics`
                         // scrape sees per-phase counters and energy
@@ -565,6 +587,7 @@ fn run_cell(
     w: &PreparedWorkload,
     kind: &CellKind,
     budget: &Budget,
+    session_dir: Option<&Path>,
     obs: &Obs,
 ) -> CellResult {
     let t = Instant::now();
@@ -580,7 +603,15 @@ fn run_cell(
             ("local_size".into(), ArgValue::U64(u64::from(local_size))),
         ],
     );
-    let ctx = FlowCtx::observed(obs).with_budget(budget.clone());
+    // Sessions only make sense for scratchpad cells — the loop-cache
+    // flow has no allocation solve to record.
+    let recorder = match (session_dir, kind) {
+        (Some(_), CellKind::Spm(_)) => SessionRecorder::enabled(),
+        _ => SessionRecorder::disabled(),
+    };
+    let ctx = FlowCtx::observed(obs)
+        .with_budget(budget.clone())
+        .with_session(&recorder);
     let (report, cache) = match kind {
         CellKind::Spm(config) => {
             let r = run_spm_flow(&w.program, &w.profile, &w.exec, config, &ctx)
@@ -595,6 +626,9 @@ fn run_cell(
         }
     };
     drop(span);
+    if let (Some(dir), CellKind::Spm(config)) = (session_dir, kind) {
+        write_cell_session(dir, key, &flavor, config, budget, &report, &recorder);
+    }
     // B&B/ILP flows have a real node count; knapsack, greedy, the
     // baseline and the loop cache have no tree search to report.
     let solver_nodes = match kind {
@@ -629,6 +663,69 @@ fn run_cell(
         cell_secs: t.elapsed().as_secs_f64(),
         metrics: obs.snapshot(),
     }
+}
+
+/// Persist one scratchpad cell's solve as `<stem>.casa-session` plus a
+/// `<stem>.report.json` sibling holding the canonical response bytes,
+/// where the stem is `<benchmark>-<flavor>-<size>` (flavor sanitized
+/// for filesystems). Reruns of the same grid rewrite identical bytes,
+/// so the serial/parallel double-run in the sweep binary is safe.
+///
+/// # Panics
+///
+/// Panics on I/O failure, like the rest of the sweep driver.
+fn write_cell_session(
+    dir: &Path,
+    key: &WorkloadKey,
+    flavor: &str,
+    config: &FlowConfig,
+    budget: &Budget,
+    report: &casa_core::flow::FlowReport,
+    recorder: &SessionRecorder,
+) {
+    let job = SolveJob {
+        graph: report.conflict_graph.clone(),
+        table: report.energy_table,
+        capacity: config.spm_size,
+        allocator: config.allocator,
+        budget_nodes: budget.max_nodes,
+        budget_ms: budget.deadline.map(|d| d.as_millis() as u64),
+    };
+    let out = AllocOutcome {
+        allocation: report.allocation.clone(),
+        status: report.alloc_status.clone(),
+        stopped_by: report.stopped_by,
+    };
+    let model = EnergyModel::new(&job.graph, &job.table);
+    let session = Session::capture(
+        &job,
+        &out,
+        &model,
+        recorder.take().expect("cell recorder enabled"),
+        vec![
+            ("source".to_string(), "sweep".to_string()),
+            ("benchmark".to_string(), key.benchmark.clone()),
+            ("scale".to_string(), key.scale.to_string()),
+            ("seed".to_string(), key.seed.to_string()),
+        ],
+    );
+    let stem: String = format!("{}-{flavor}-{}", key.benchmark, config.spm_size)
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{stem}.casa-session"));
+    session
+        .save(&path)
+        .unwrap_or_else(|e| panic!("write session {}: {e}", path.display()));
+    let sibling = dir.join(format!("{stem}.report.json"));
+    std::fs::write(&sibling, session.report.as_bytes())
+        .unwrap_or_else(|e| panic!("write report {}: {e}", sibling.display()));
 }
 
 // ---- JSON rendering -------------------------------------------------
@@ -1000,6 +1097,13 @@ mod tests {
         let mut d = small_grid();
         d.set_budget(Budget::nodes(1));
         assert_ne!(a.fingerprint(), d.fingerprint(), "budget changes hash");
+        let mut e = small_grid();
+        e.set_session_dir(std::env::temp_dir());
+        assert_eq!(
+            a.fingerprint(),
+            e.fingerprint(),
+            "session capture is an output channel, not configuration"
+        );
         // Fingerprints only reflect configuration, not execution.
         let _ = a.run_with_threads(1);
         assert_eq!(a.fingerprint(), b.fingerprint());
@@ -1019,6 +1123,66 @@ mod tests {
         // Shared preparation: one workload, many cells.
         assert_eq!(r.workloads.len(), 1);
         assert_eq!(r.cells.len(), 6);
+    }
+
+    #[test]
+    fn session_capture_writes_replayable_files_for_spm_cells() {
+        let dir = std::env::temp_dir().join(format!("casa-sweep-sessions-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut g = SweepGrid::new();
+        let w = g.workload("adpcm", 1, 2004);
+        let cache = CacheConfig::direct_mapped(128, LINE_SIZE);
+        for alloc in [AllocatorKind::CasaBb, AllocatorKind::Steinke] {
+            g.push_spm(
+                w,
+                FlowConfig {
+                    cache,
+                    spm_size: 128,
+                    allocator: alloc,
+                    tech: TechParams::default(),
+                    trace_cap: None,
+                },
+            );
+        }
+        g.push_loop_cache(w, cache, 128);
+        g.set_session_dir(&dir);
+        let report = g.run_with_threads(1);
+        assert_eq!(report.cells.len(), 3);
+
+        let mut sessions: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .expect("session dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().is_some_and(|x| x == "casa-session"))
+            .collect();
+        sessions.sort();
+        assert_eq!(
+            sessions.len(),
+            2,
+            "one session per SPM cell, none for loop-cache"
+        );
+        for path in &sessions {
+            let s = casa_core::Session::load(path).expect("session loads");
+            let summary = s
+                .replay()
+                .unwrap_or_else(|e| panic!("{} replay: {e}", path.display()));
+            let cell = report
+                .cells
+                .iter()
+                .find(|c| {
+                    let stem = format!("{}-{}-{}", c.benchmark, c.flavor.replace(':', "_"), 128);
+                    path.file_name().is_some_and(|f| {
+                        f.to_string_lossy().as_ref() == format!("{stem}.casa-session")
+                    })
+                })
+                .expect("session maps back to a cell");
+            assert_eq!(summary.status, cell.status);
+            // The canonical report sibling holds exactly the session's
+            // rendered response.
+            let bytes =
+                std::fs::read(path.with_extension("report.json")).expect("report sibling exists");
+            assert_eq!(bytes, s.report.as_bytes());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::allocation::Allocation;
 use crate::energy_model::EnergyModel;
+use crate::session::SessionRecorder;
 use casa_ilp::engine::{Budget, BudgetKind, CancelToken};
 use casa_obs::{ArgValue, Obs};
 use std::time::Instant;
@@ -197,6 +198,12 @@ impl SavingsModel {
         chosen
     }
 
+    /// The static branch order (density-sorted candidate indices) —
+    /// what a recorded session stores and replay re-derives.
+    pub(crate) fn order(&self) -> &[usize] {
+        &self.order
+    }
+
     /// Whether `chosen` respects the capacity (free items are free).
     pub(crate) fn fits(&self, chosen: &[bool], capacity: u32) -> bool {
         let used: u64 = (0..self.n)
@@ -248,6 +255,28 @@ pub fn allocate_bb_budgeted(
     warm_start: Option<&[bool]>,
     obs: &Obs,
 ) -> BbOutcome {
+    allocate_bb_recorded(
+        model,
+        capacity,
+        budget,
+        warm_start,
+        obs,
+        &SessionRecorder::disabled(),
+    )
+}
+
+/// [`allocate_bb_budgeted`] with a [`SessionRecorder`]: the static
+/// branch order, the initial (greedy-vs-warm) incumbent as entry 0,
+/// every DFS incumbent adoption, and the stop disposition land in the
+/// recorder's decision log for session capture and offline replay.
+pub fn allocate_bb_recorded(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    budget: &Budget,
+    warm_start: Option<&[bool]>,
+    obs: &Obs,
+    rec: &SessionRecorder,
+) -> BbOutcome {
     let sm = SavingsModel::new(model, capacity);
     let n = sm.n;
 
@@ -262,6 +291,11 @@ pub fn allocate_bb_budgeted(
             }
         }
     }
+    // The initial incumbent travels as log entry 0 because replay
+    // cannot re-derive it: a server warm hint comes from the solution
+    // cache, not from the request.
+    rec.record_order(sm.order().iter().map(|&i| i as u32));
+    rec.record_incumbent(0, best_sav, best_chosen.clone());
 
     // DFS over `order` positions: at each position decide take/skip.
     // State: current savings (exact), pairs already counted, capacity.
@@ -276,6 +310,7 @@ pub fn allocate_bb_budgeted(
         best_sav: f64,
         best_chosen: Vec<bool>,
         obs: &'s Obs,
+        rec: &'s SessionRecorder,
     }
 
     impl Search<'_> {
@@ -313,6 +348,8 @@ pub fn allocate_bb_budgeted(
                 self.best_sav = cur_sav;
                 self.best_chosen = chosen.clone();
                 self.incumbents += 1;
+                self.rec
+                    .record_incumbent(self.nodes, cur_sav, chosen.clone());
                 self.obs.instant(
                     "bb.incumbent",
                     vec![
@@ -376,6 +413,7 @@ pub fn allocate_bb_budgeted(
         best_sav,
         best_chosen,
         obs,
+        rec,
     };
     {
         let mut chosen = vec![false; n];
@@ -399,6 +437,7 @@ pub fn allocate_bb_budgeted(
     let on_spm = search.best_chosen;
     let nodes = search.nodes;
     let stopped_by = search.stopped;
+    rec.record_stop(stopped_by.map(BudgetKind::as_str), nodes);
     obs.add("core.bb.nodes", nodes);
     obs.add("core.bb.incumbents", search.incumbents);
 

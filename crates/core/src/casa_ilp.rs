@@ -22,7 +22,8 @@
 
 use crate::allocation::Allocation;
 use crate::energy_model::EnergyModel;
-use casa_ilp::engine::{Budget, BudgetKind, SolveRequest};
+use crate::session::SessionRecorder;
+use casa_ilp::engine::{Budget, BudgetKind, SearchRecorder, SolveRequest};
 use casa_ilp::model::VarKind;
 use casa_ilp::{ConstraintOp, Model, Sense, SolveError, SolverOptions, Var};
 use serde::{Deserialize, Serialize};
@@ -241,16 +242,51 @@ pub fn allocate_ilp_budgeted(
     warm_start: Option<&[bool]>,
     obs: &casa_obs::Obs,
 ) -> Result<IlpOutcome, SolveError> {
+    allocate_ilp_recorded(
+        model,
+        capacity,
+        lin,
+        options,
+        budget,
+        warm_start,
+        obs,
+        &SessionRecorder::disabled(),
+    )
+}
+
+/// [`allocate_ilp_budgeted`] with a [`SessionRecorder`]: the engine's
+/// raw search log (branched variable indices, incumbents as full
+/// assignments, bound improvements) is translated into allocation
+/// terms — incumbent assignments become scratchpad sets through the
+/// `l` variables — and streamed into `rec`, including on error paths
+/// so a failed solve still leaves its partial log behind.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_ilp_recorded(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    lin: Linearization,
+    options: &SolverOptions,
+    budget: &Budget,
+    warm_start: Option<&[bool]>,
+    obs: &casa_obs::Obs,
+    rec: &SessionRecorder,
+) -> Result<IlpOutcome, SolveError> {
     let build_span = obs.span("solve.ilp.build");
     let (ilp, l, pair_vars) = build_model_parts(model, capacity, lin);
     drop(build_span);
     obs.add("ilp.model.vars", ilp.num_vars() as u64);
     obs.add("ilp.model.integer_vars", integer_var_count(&ilp) as u64);
     let solve_span = obs.span("solve.ilp");
+    let srec = if rec.is_enabled() {
+        SearchRecorder::enabled()
+    } else {
+        SearchRecorder::disabled()
+    };
     let mut request = SolveRequest::new(&ilp)
         .options(*options)
         .budget(budget.clone())
-        .observe(obs);
+        .observe(obs)
+        .record(&srec);
     let warm_values;
     if let Some(ws) = warm_start {
         if ws.len() == l.len() {
@@ -258,7 +294,20 @@ pub fn allocate_ilp_budgeted(
             request = request.warm_start(&warm_values);
         }
     }
-    let out = request.solve()?;
+    let result = request.solve();
+    if let Some(log) = srec.take() {
+        rec.record_order(log.branched);
+        for (node, min_obj, values) in log.incumbents {
+            // `l[i] = 0` means object i moves to the scratchpad.
+            let on_spm: Vec<bool> = l.iter().map(|&v| values[v.index()] < 0.5).collect();
+            rec.record_incumbent(node, min_obj, on_spm);
+        }
+        for (node, bound) in log.bounds {
+            rec.record_bound(node, bound);
+        }
+        rec.record_stop(log.stop.map(|k| k.as_str()), log.nodes);
+    }
+    let out = result?;
     drop(solve_span);
     let on_spm: Vec<bool> = l.iter().map(|&v| !out.solution.bool_value(v)).collect();
     // Report the model-evaluated energy rather than the raw objective

@@ -18,12 +18,13 @@
 //! instead, so no gap is claimed.
 
 use crate::allocation::Allocation;
-use crate::casa_bb::allocate_bb_budgeted;
+use crate::casa_bb::allocate_bb_recorded;
 use crate::casa_bb::SavingsModel;
-use crate::casa_ilp::{allocate_ilp_budgeted, Linearization};
+use crate::casa_ilp::{allocate_ilp_recorded, Linearization};
 use crate::energy_model::EnergyModel;
 use crate::flow::AllocatorKind;
 use crate::greedy::allocate_greedy;
+use crate::session::SessionRecorder;
 use crate::steinke::allocate_steinke;
 use casa_ilp::SolverOptions;
 use casa_obs::Obs;
@@ -142,6 +143,31 @@ pub fn allocate_budgeted_warm(
     warm: Option<&[bool]>,
     obs: &Obs,
 ) -> AllocOutcome {
+    allocate_recorded(
+        model,
+        capacity,
+        kind,
+        budget,
+        warm,
+        obs,
+        &SessionRecorder::disabled(),
+    )
+}
+
+/// [`allocate_budgeted_warm`] with a [`SessionRecorder`]: the exact
+/// allocators (specialized B&B and the ILP variants) stream their
+/// decision log — branch order, incumbents, bound updates, stop
+/// disposition — into `rec` for session capture and offline replay.
+/// Heuristic allocators record nothing; replay re-executes them.
+pub fn allocate_recorded(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    kind: AllocatorKind,
+    budget: &Budget,
+    warm: Option<&[bool]>,
+    obs: &Obs,
+    rec: &SessionRecorder,
+) -> AllocOutcome {
     // Spans nest per-thread, so when the allocation service opens a
     // `server.request` span on its worker, this span (and the B&B /
     // ILP spans beneath it) become children of that request — which is
@@ -161,7 +187,7 @@ pub fn allocate_budgeted_warm(
     );
     let outcome = match kind {
         AllocatorKind::CasaBb => {
-            let out = allocate_bb_budgeted(model, capacity, budget, warm, obs);
+            let out = allocate_bb_recorded(model, capacity, budget, warm, obs, rec);
             let status = if out.is_optimal() {
                 AllocStatus::Optimal
             } else {
@@ -173,12 +199,24 @@ pub fn allocate_budgeted_warm(
                 stopped_by: out.stopped_by,
             }
         }
-        AllocatorKind::CasaIlpPaper => {
-            ilp_rung(model, capacity, Linearization::Paper, budget, warm, obs)
-        }
-        AllocatorKind::CasaIlpTight => {
-            ilp_rung(model, capacity, Linearization::Tight, budget, warm, obs)
-        }
+        AllocatorKind::CasaIlpPaper => ilp_rung(
+            model,
+            capacity,
+            Linearization::Paper,
+            budget,
+            warm,
+            obs,
+            rec,
+        ),
+        AllocatorKind::CasaIlpTight => ilp_rung(
+            model,
+            capacity,
+            Linearization::Tight,
+            budget,
+            warm,
+            obs,
+            rec,
+        ),
         AllocatorKind::CasaGreedy => {
             // The greedy answer is certified against the fractional
             // knapsack bound: a zero gap proves it optimal, otherwise
@@ -231,6 +269,7 @@ fn ilp_rung(
     budget: &Budget,
     hint: Option<&[bool]>,
     obs: &Obs,
+    rec: &SessionRecorder,
 ) -> AllocOutcome {
     let mut warm = allocate_greedy(model, capacity);
     if let Some(hint) = hint {
@@ -246,7 +285,7 @@ fn ilp_rung(
             };
         }
     }
-    match allocate_ilp_budgeted(
+    match allocate_ilp_recorded(
         model,
         capacity,
         lin,
@@ -254,6 +293,7 @@ fn ilp_rung(
         budget,
         Some(&warm.on_spm),
         obs,
+        rec,
     ) {
         Ok(out) => {
             let status = if out.stopped_by.is_none() && out.gap <= GAP_EPS {

@@ -11,17 +11,19 @@
 //! block sequence, so allocators are compared on identical executions.
 //!
 //! The canonical entry points take a [`FlowCtx`] bundling everything
-//! ambient to a run — observability sink, solver [`Budget`], and the
-//! simulator recorder choice — so one signature serves the silent, the
-//! instrumented, and the budgeted cases. The former `*_obs` twins
-//! remain as deprecated shims for one release.
+//! ambient to a run — observability sink, solver [`Budget`], the
+//! simulator recorder choice, and an optional [`SessionRecorder`] for
+//! record/replay — so one signature serves the silent, the
+//! instrumented, the budgeted, and the recorded cases. (The former
+//! `*_obs` twins, deprecated for one release, are gone.)
 
 use crate::allocation::Allocation;
 use crate::conflict::ConflictGraph;
 use crate::energy_model::EnergyModel;
-use crate::engine::{allocate_budgeted, AllocStatus, Budget, BudgetKind};
+use crate::engine::{allocate_recorded, AllocStatus, Budget, BudgetKind};
 use crate::report::EnergyBreakdown;
 use crate::ross::{allocate_loop_cache, LoopCacheAssignment};
+use crate::session::SessionRecorder;
 use casa_energy::{EnergyTable, TechParams};
 use casa_ilp::SolveError;
 use casa_ir::{Profile, Program};
@@ -250,6 +252,9 @@ pub struct FlowCtx {
     pub budget: Budget,
     /// Recorder for the final simulation.
     pub recorder: RecorderKind,
+    /// Session recorder for the allocator's decision log; the default
+    /// disabled recorder costs nothing.
+    pub session: SessionRecorder,
 }
 
 impl FlowCtx {
@@ -281,6 +286,13 @@ impl FlowCtx {
     #[must_use]
     pub fn with_recorder(mut self, recorder: RecorderKind) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attach a session recorder (clones share the same log).
+    #[must_use]
+    pub fn with_session(mut self, session: &SessionRecorder) -> Self {
+        self.session = session.clone();
         self
     }
 }
@@ -324,8 +336,8 @@ impl FlowReport {
 pub enum FlowError {
     /// The ILP solver failed. Since the budgeted engine degrades to
     /// the greedy heuristic instead of failing, this no longer occurs
-    /// in the scratchpad flow; the variant remains for the deprecated
-    /// shims' signatures.
+    /// in the scratchpad flow; the variant remains so callers matching
+    /// on [`FlowError`] keep compiling.
     Solve(SolveError),
     /// Loop-cache preloading failed (allocator produced ranges the
     /// controller rejects — a bug, surfaced rather than panicking).
@@ -408,7 +420,15 @@ pub fn run_spm_flow(
 
     let span = obs.span("solve");
     let started = std::time::Instant::now();
-    let outcome = allocate_budgeted(&model, config.spm_size, config.allocator, &ctx.budget, obs);
+    let outcome = allocate_recorded(
+        &model,
+        config.spm_size,
+        config.allocator,
+        &ctx.budget,
+        None,
+        obs,
+        &ctx.session,
+    );
     let solver_time = started.elapsed();
     let allocation = outcome.allocation;
     obs.add("solver.nodes", allocation.solver_nodes);
@@ -442,22 +462,6 @@ pub fn run_spm_flow(
         breakdown,
         solver_time,
     })
-}
-
-/// Deprecated shim over [`run_spm_flow`] with an explicit [`Obs`].
-///
-/// # Errors
-///
-/// Same as [`run_spm_flow`].
-#[deprecated(since = "0.2.0", note = "use run_spm_flow with FlowCtx::observed(obs)")]
-pub fn run_spm_flow_obs(
-    program: &Program,
-    profile: &Profile,
-    exec: &ExecutionTrace,
-    config: &FlowConfig,
-    obs: &Obs,
-) -> Result<FlowReport, FlowError> {
-    run_spm_flow(program, profile, exec, config, &FlowCtx::observed(obs))
 }
 
 /// Run the preloaded-loop-cache workflow (paper fig. 1(b)) under
@@ -532,36 +536,6 @@ pub fn run_loop_cache_flow(
         breakdown,
         solver_time,
     })
-}
-
-/// Deprecated shim over [`run_loop_cache_flow`] with unpacked
-/// parameters and an explicit [`Obs`].
-///
-/// # Errors
-///
-/// Same as [`run_loop_cache_flow`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use run_loop_cache_flow with LoopCacheConfig and FlowCtx::observed(obs)"
-)]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn run_loop_cache_flow_obs(
-    program: &Program,
-    profile: &Profile,
-    exec: &ExecutionTrace,
-    cache: CacheConfig,
-    capacity: u32,
-    max_objects: usize,
-    tech: &TechParams,
-    obs: &Obs,
-) -> Result<FlowReport, FlowError> {
-    let config = LoopCacheConfig {
-        cache,
-        capacity,
-        max_objects,
-        tech: *tech,
-    };
-    run_loop_cache_flow(program, profile, exec, &config, &FlowCtx::observed(obs))
 }
 
 /// The final simulation under the context's recorder choice.
@@ -823,37 +797,24 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_canonical_flows() {
+    fn session_recorder_captures_the_flow_decision_log() {
         let (p, prof, exec) = thrash_workload();
         let cfg = config(AllocatorKind::CasaBb);
-        let canonical = run_spm_flow(&p, &prof, &exec, &cfg, &ctx()).unwrap();
-        let cache = CacheConfig::direct_mapped(64, 16);
-        let lc_canonical = run_loop_cache_flow(
-            &p,
-            &prof,
-            &exec,
-            &LoopCacheConfig::new(cache, 64, 4),
-            &ctx(),
-        )
-        .unwrap();
-        #[allow(deprecated)]
-        {
-            let shim = run_spm_flow_obs(&p, &prof, &exec, &cfg, &Obs::disabled()).unwrap();
-            assert_eq!(canonical.allocation.on_spm, shim.allocation.on_spm);
-            assert!((canonical.energy_uj() - shim.energy_uj()).abs() < 1e-12);
-            let lc_shim = run_loop_cache_flow_obs(
-                &p,
-                &prof,
-                &exec,
-                cache,
-                64,
-                4,
-                &TechParams::default(),
-                &Obs::disabled(),
-            )
-            .unwrap();
-            assert!((lc_canonical.energy_uj() - lc_shim.energy_uj()).abs() < 1e-12);
-        }
+        let rec = SessionRecorder::enabled();
+        let ctx = FlowCtx::default().with_session(&rec);
+        let report = run_spm_flow(&p, &prof, &exec, &cfg, &ctx).unwrap();
+        let log = rec.take().expect("enabled recorder yields a log");
+        // The recorded final incumbent IS the flow's allocation, and
+        // the recorder does not perturb the answer.
+        let last = log
+            .incumbents
+            .last()
+            .expect("at least the initial incumbent");
+        assert_eq!(last.on_spm, report.allocation.on_spm);
+        assert_eq!(log.stop, None, "unbudgeted search closes");
+        let silent = run_spm_flow(&p, &prof, &exec, &cfg, &FlowCtx::default()).unwrap();
+        assert_eq!(silent.allocation.on_spm, report.allocation.on_spm);
+        assert!((silent.energy_uj() - report.energy_uj()).abs() < 1e-12);
     }
 
     #[test]

@@ -36,6 +36,9 @@
 //! * [`server`] — allocation as a service: request schema, the
 //!   fingerprinted verify-on-hit solution cache, and the sharded
 //!   bounded-admission worker pool behind the `casa-server` binary.
+//! * [`session`] — record/replay: the versioned `.casa-session`
+//!   on-disk format capturing a solve's request, decision log, and
+//!   answer, plus byte-exact offline replay and divergence analysis.
 //! * [`multi_spm`] — the paper's §4 extension to multiple scratchpads.
 //! * [`overlay`] — the paper's §7 future-work extension: phase-wise
 //!   dynamic copying of objects with DMA cost accounting.
@@ -66,22 +69,28 @@ pub mod placement;
 pub mod report;
 pub mod ross;
 pub mod server;
+pub mod session;
 pub mod steinke;
 pub mod wcet;
 
 pub use allocation::Allocation;
 pub use conflict::ConflictGraph;
 pub use energy_model::EnergyModel;
-pub use engine::{allocate_budgeted, AllocOutcome, AllocStatus, Budget, BudgetKind, CancelToken};
+pub use engine::{
+    allocate_budgeted, allocate_recorded, AllocOutcome, AllocStatus, Budget, BudgetKind,
+    CancelToken,
+};
 pub use flow::{
     run_loop_cache_flow, run_spm_flow, AllocatorKind, ConfigError, FlowConfig, FlowCtx, FlowReport,
     LoopCacheConfig, RecorderKind,
 };
-#[allow(deprecated)]
-pub use flow::{run_loop_cache_flow_obs, run_spm_flow_obs};
 pub use report::EnergyBreakdown;
 pub use server::{
     allocator_tag, parse_allocator, parse_request, response_json, AllocService, CacheOutcome,
-    CacheStats, ParsedRequest, ServiceConfig, SolutionCache, SolveJob, SolveReply, SubmitError,
-    WorkloadRequest,
+    CacheStats, ParsedRequest, RequestError, ServiceConfig, SolutionCache, SolveJob, SolveReply,
+    SubmitError, WorkloadRequest, WIRE_VERSION,
+};
+pub use session::{
+    request_json, DecisionLog, ReplayError, ReplaySummary, Session, SessionError, SessionRecorder,
+    SESSION_SCHEMA,
 };

@@ -42,13 +42,15 @@
 use crate::allocation::Allocation;
 use crate::conflict::ConflictGraph;
 use crate::energy_model::EnergyModel;
-use crate::engine::{allocate_budgeted_warm, AllocOutcome, AllocStatus, Budget};
+use crate::engine::{allocate_recorded, AllocOutcome, AllocStatus, Budget};
 use crate::flow::AllocatorKind;
+use crate::session::{Session, SessionRecorder};
 use casa_energy::{EnergyTable, TechParams};
 use casa_mem::cache::{CacheConfig, ReplacementPolicy};
 use casa_obs::{fnv1a_64, jnum, json_escape, ArgValue, Obs, SolveAttribution};
 use serde::json::Value;
 use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -259,14 +261,93 @@ fn parse_graph(v: &Value) -> Result<ConflictGraph, String> {
     Ok(ConflictGraph::from_parts(fetches, sizes, edges))
 }
 
-/// Parse a `/solve` request body. See `DESIGN.md` §13 for the schema.
+/// The only wire-schema major version this build speaks.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Why a `/solve` request body was refused (HTTP 400).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The envelope declared a wire-schema version this server does
+    /// not speak. Unknown *fields* are tolerated; unknown *versions*
+    /// are not — a client declaring `"v": 2` is asking for semantics
+    /// this build cannot promise.
+    UnsupportedVersion {
+        /// The version the request declared.
+        got: u64,
+    },
+    /// The body is malformed: the first violation, human-readable.
+    Invalid(String),
+}
+
+impl RequestError {
+    /// The HTTP 400 response body: a structured
+    /// `{"error","detail","supported"}` object for version refusals
+    /// (so clients can negotiate down), a plain `{"error"}` object
+    /// otherwise.
+    pub fn http_body(&self) -> String {
+        match self {
+            RequestError::UnsupportedVersion { got } => format!(
+                "{{\"detail\":\"unsupported schema version {got}\",\
+                 \"error\":\"unsupported_version\",\"supported\":[{WIRE_VERSION}]}}"
+            ),
+            RequestError::Invalid(e) => format!("{{\"error\":\"{}\"}}", json_escape(e)),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported schema version {got} (supported: {WIRE_VERSION})"
+                )
+            }
+            RequestError::Invalid(e) => f.write_str(e),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<String> for RequestError {
+    fn from(e: String) -> Self {
+        RequestError::Invalid(e)
+    }
+}
+
+impl From<&str> for RequestError {
+    fn from(e: &str) -> Self {
+        RequestError::Invalid(e.to_string())
+    }
+}
+
+/// Parse a `/solve` request body. See `DESIGN.md` §13 for the schema
+/// and the compatibility policy.
+///
+/// The optional `"v"` envelope field declares the wire-schema major
+/// version; absent means version 1 (every pre-envelope request is a
+/// valid v1 request). Unknown fields are ignored at every level.
 ///
 /// # Errors
 ///
-/// A human-readable description of the first violation (the server
-/// returns it as the HTTP 400 body).
-pub fn parse_request(body: &str) -> Result<ParsedRequest, String> {
-    let v = serde::json::parse(body).map_err(|e| e.to_string())?;
+/// [`RequestError::UnsupportedVersion`] when `"v"` names a version
+/// other than [`WIRE_VERSION`]; [`RequestError::Invalid`] with a
+/// human-readable description of the first violation otherwise. The
+/// server returns [`RequestError::http_body`] as the HTTP 400 body.
+pub fn parse_request(body: &str) -> Result<ParsedRequest, RequestError> {
+    let v = serde::json::parse(body).map_err(|e| RequestError::Invalid(e.to_string()))?;
+    // The version gate runs before any field validation: a v2 request
+    // should hear "unsupported version", not a complaint about some
+    // v2-only field this build happens to trip over first.
+    let version = match v.get("v") {
+        Some(x) => uint_field(x, "v")?,
+        None => WIRE_VERSION,
+    };
+    if version != WIRE_VERSION {
+        return Err(RequestError::UnsupportedVersion { got: version });
+    }
     let capacity = uint_field(v.get("capacity").ok_or("capacity is required")?, "capacity")? as u32;
     let allocator = match v.get("allocator") {
         Some(a) => {
@@ -322,7 +403,11 @@ pub fn parse_request(body: &str) -> Result<ParsedRequest, String> {
                 &TechParams::default(),
             )
         }
-        (None, None) => return Err("either table or cache is required with graph".to_string()),
+        (None, None) => {
+            return Err(RequestError::Invalid(
+                "either table or cache is required with graph".to_string(),
+            ))
+        }
     };
     Ok(ParsedRequest::Graph(SolveJob {
         graph,
@@ -692,7 +777,7 @@ pub fn response_json(job: &SolveJob, out: &AllocOutcome, model: &EnergyModel<'_>
         None => "null".to_string(),
     };
     format!(
-        "{{\"allocator\":\"{}\",\"capacity\":{},\"energy_nj\":{},\"gap\":{},\"objects\":{},\"on_spm\":[{}],\"reason\":{},\"spm_bytes\":{},\"status\":\"{}\",\"stopped_by\":{}}}",
+        "{{\"allocator\":\"{}\",\"capacity\":{},\"energy_nj\":{},\"gap\":{},\"objects\":{},\"on_spm\":[{}],\"reason\":{},\"spm_bytes\":{},\"status\":\"{}\",\"stopped_by\":{},\"v\":{WIRE_VERSION}}}",
         allocator_tag(job.allocator),
         job.capacity,
         jnum(energy),
@@ -722,6 +807,13 @@ pub struct ServiceConfig {
     pub cache_cap: usize,
     /// Ceiling on effective per-request node budgets.
     pub max_nodes: u64,
+    /// When set, every solved (cache-missing) request is captured as a
+    /// replayable [`Session`] file under this directory, named after
+    /// the request's correlation ID (or its exact fingerprint when
+    /// untagged). Capture never changes the response bytes and a
+    /// failed write never fails the request — it only increments
+    /// `server.session_write_failures_total`.
+    pub session_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -731,6 +823,7 @@ impl Default for ServiceConfig {
             queue_cap: 16,
             cache_cap: 256,
             max_nodes: DEFAULT_MAX_NODES,
+            session_dir: None,
         }
     }
 }
@@ -833,6 +926,11 @@ impl AllocService {
     /// Panics if a worker thread cannot be spawned.
     pub fn start(cfg: &ServiceConfig, obs: &Obs) -> AllocService {
         let workers = cfg.workers.max(1);
+        if let Some(dir) = &cfg.session_dir {
+            // Best-effort: a missing directory surfaces as per-write
+            // failures (counted), never as failed requests.
+            let _ = std::fs::create_dir_all(dir);
+        }
         let mut shards = Vec::with_capacity(workers);
         let mut depths = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
@@ -842,9 +940,19 @@ impl AllocService {
             let depth = Arc::new(AtomicU64::new(0));
             let worker_depth = Arc::clone(&depth);
             let obs = obs.clone();
+            let session_dir = cfg.session_dir.clone();
             let join = thread::Builder::new()
                 .name(format!("casa-solve-{w}"))
-                .spawn(move || worker_loop(&rx, cache, &obs, w as u64, &worker_depth))
+                .spawn(move || {
+                    worker_loop(
+                        &rx,
+                        cache,
+                        &obs,
+                        w as u64,
+                        &worker_depth,
+                        session_dir.as_deref(),
+                    );
+                })
                 .expect("spawn solver worker");
             shards.push(tx);
             depths.push(depth);
@@ -942,6 +1050,7 @@ fn worker_loop(
     obs: &Obs,
     worker: u64,
     depth: &AtomicU64,
+    session_dir: Option<&Path>,
 ) {
     while let Ok(q) = rx.recv() {
         let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
@@ -965,11 +1074,21 @@ fn worker_loop(
             // post-mortem dump can be filtered to this request too.
             obs.annotate("server.request", &id);
         }
-        let reply = solve_one(&q.job, &q.keys, &mut cache, obs, worker, queue_wait_us);
+        let reply = solve_one(
+            &q.job,
+            &q.keys,
+            &mut cache,
+            obs,
+            worker,
+            queue_wait_us,
+            &id,
+            session_dir,
+        );
         let _ = q.reply.send(reply);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve_one(
     job: &SolveJob,
     keys: &JobKeys,
@@ -977,6 +1096,8 @@ fn solve_one(
     obs: &Obs,
     worker: u64,
     queue_wait_us: u64,
+    req_id: &str,
+    session_dir: Option<&Path>,
 ) -> SolveReply {
     let collisions_before = cache.stats.collisions;
     if let Some(ans) = cache.lookup(keys.exact_fp, &keys.exact_key) {
@@ -1007,13 +1128,22 @@ fn solve_one(
     }
     let model = EnergyModel::new(&job.graph, &job.table);
     let budget = job.budget();
-    let mut out = allocate_budgeted_warm(
+    let fresh_recorder = || {
+        if session_dir.is_some() {
+            SessionRecorder::enabled()
+        } else {
+            SessionRecorder::disabled()
+        }
+    };
+    let mut rec = fresh_recorder();
+    let mut out = allocate_recorded(
         &model,
         job.capacity,
         job.allocator,
         &budget,
         warm.as_deref(),
         obs,
+        &rec,
     );
     if let Some(w) = warm.as_deref() {
         // Canonical re-solve: the B&B keeps incumbents on *strict*
@@ -1021,10 +1151,21 @@ fn solve_one(
         // optimal value survives verbatim even though the cold search
         // would return the first v*-attaining layout in DFS order.
         // Re-solving cold in exactly that case keeps cache-on and
-        // cache-off responses byte-identical.
+        // cache-off responses byte-identical. The re-solve's decision
+        // log wins the captured session too: it is the one the
+        // response describes, and it replays without divergence.
         if out.status.is_optimal() && out.allocation.on_spm == w {
             obs.add("server.canonical_resolves_total", 1);
-            out = allocate_budgeted_warm(&model, job.capacity, job.allocator, &budget, None, obs);
+            rec = fresh_recorder();
+            out = allocate_recorded(
+                &model,
+                job.capacity,
+                job.allocator,
+                &budget,
+                None,
+                obs,
+                &rec,
+            );
         }
     }
     obs.add(
@@ -1032,6 +1173,9 @@ fn solve_one(
         1,
     );
     let body = response_json(job, &out, &model);
+    if let Some(dir) = session_dir {
+        write_request_session(dir, job, &out, &model, &rec, req_id, keys.exact_fp, obs);
+    }
     let outcome = if warm.is_some() {
         CacheOutcome::Warm
     } else {
@@ -1071,6 +1215,50 @@ fn solve_one(
         body,
         cache: outcome,
         attribution,
+    }
+}
+
+/// Capture one solved request as a `.casa-session` file, named after
+/// the sanitized correlation ID (untagged requests fall back to the
+/// exact fingerprint). Best-effort by contract: success bumps
+/// `server.sessions_captured_total`, failure bumps
+/// `server.session_write_failures_total`, and neither path touches the
+/// reply.
+#[allow(clippy::too_many_arguments)]
+fn write_request_session(
+    dir: &Path,
+    job: &SolveJob,
+    out: &AllocOutcome,
+    model: &EnergyModel<'_>,
+    rec: &SessionRecorder,
+    req_id: &str,
+    exact_fp: u64,
+    obs: &Obs,
+) {
+    let Some(log) = rec.take() else { return };
+    let mut meta = vec![("source".to_string(), "casa-server".to_string())];
+    if !req_id.is_empty() {
+        meta.push(("req_id".to_string(), req_id.to_string()));
+    }
+    meta.push(("exact_fp".to_string(), format!("{exact_fp:016x}")));
+    let session = Session::capture(job, out, model, log, meta);
+    let stem: String = if req_id.is_empty() {
+        format!("{exact_fp:016x}")
+    } else {
+        req_id
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    };
+    match session.save(&dir.join(format!("{stem}.casa-session"))) {
+        Ok(()) => obs.add("server.sessions_captured_total", 1),
+        Err(_) => obs.add("server.session_write_failures_total", 1),
     }
 }
 
@@ -1152,18 +1340,75 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_requests() {
         assert!(parse_request("not json").is_err());
-        assert!(parse_request("{}").unwrap_err().contains("capacity"));
+        assert!(parse_request("{}")
+            .unwrap_err()
+            .to_string()
+            .contains("capacity"));
         assert!(parse_request("{\"capacity\":64}")
             .unwrap_err()
+            .to_string()
             .contains("graph or workload"));
         // Edge out of range must be a clean error, not a panic.
         let bad = "{\"capacity\":64,\"cache\":{\"size\":1024},\"graph\":{\"fetches\":[1,2],\"sizes\":[8,8],\"edges\":[[0,9,5]]}}";
-        assert!(parse_request(bad).unwrap_err().contains("bad endpoints"));
+        assert!(parse_request(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("bad endpoints"));
         // Unknown allocator.
         let bad = "{\"capacity\":64,\"allocator\":\"magic\",\"cache\":{\"size\":1024},\"graph\":{\"fetches\":[1],\"sizes\":[8]}}";
         assert!(parse_request(bad)
             .unwrap_err()
+            .to_string()
             .contains("unknown allocator"));
+    }
+
+    #[test]
+    fn version_envelope_gates_requests() {
+        // Absent `v` means v1; an explicit 1 is accepted too.
+        let base =
+            "\"capacity\":64,\"cache\":{\"size\":1024},\"graph\":{\"fetches\":[1],\"sizes\":[8]}";
+        assert!(parse_request(&format!("{{{base}}}")).is_ok());
+        assert!(parse_request(&format!("{{\"v\":1,{base}}}")).is_ok());
+        // Unknown fields stay tolerated under the envelope.
+        assert!(parse_request(&format!("{{\"v\":1,\"future_knob\":true,{base}}}")).is_ok());
+        // A foreign major version is refused before field validation —
+        // even when the rest of the body would not parse as v1.
+        let err = parse_request("{\"v\":2}").unwrap_err();
+        assert_eq!(err, RequestError::UnsupportedVersion { got: 2 });
+        let body = err.http_body();
+        let v = serde::json::parse(&body).expect("structured 400 body");
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("unsupported_version")
+        );
+        assert_eq!(
+            v.get("detail").and_then(Value::as_str),
+            Some("unsupported schema version 2")
+        );
+        let supported = v.get("supported").and_then(Value::as_array).expect("list");
+        assert_eq!(supported.len(), 1);
+        assert_eq!(supported[0].as_f64(), Some(1.0));
+        // A non-integer version is malformed, not "unsupported".
+        assert!(matches!(
+            parse_request("{\"v\":\"two\"}").unwrap_err(),
+            RequestError::Invalid(_)
+        ));
+        // Responses carry the envelope back.
+        let ParsedRequest::Graph(mut job) = parse_request(&format!("{{{base}}}")).expect("parses")
+        else {
+            panic!("graph form");
+        };
+        job.normalize(DEFAULT_MAX_NODES);
+        let model = EnergyModel::new(&job.graph, &job.table);
+        let out = crate::engine::allocate_budgeted(
+            &model,
+            job.capacity,
+            job.allocator,
+            &job.budget(),
+            &Obs::disabled(),
+        );
+        let body = response_json(&job, &out, &model);
+        assert!(body.ends_with(",\"v\":1}"), "{body}");
     }
 
     #[test]
@@ -1403,6 +1648,88 @@ mod tests {
     }
 
     #[test]
+    fn captured_request_session_replays_to_the_journaled_attribution() {
+        let dir = std::env::temp_dir().join(format!("casa-server-sessions-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = Obs::enabled();
+        let svc = AllocService::start(
+            &ServiceConfig {
+                session_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            },
+            &obs,
+        );
+        let mut seed = 7;
+        let job = random_job(&mut seed, 32, AllocatorKind::CasaBb);
+        let reply = svc
+            .submit_tagged(job, Some("req/42:capture"))
+            .expect("solve");
+        // Sanitized correlation ID names the file.
+        let path = dir.join("req_42_capture.casa-session");
+        let session = crate::session::Session::load(&path).expect("captured session loads");
+        assert_eq!(
+            session.report, reply.body,
+            "session holds the exact response bytes"
+        );
+        assert!(session
+            .meta
+            .iter()
+            .any(|(k, v)| k == "req_id" && v == "req/42:capture"));
+        let summary = session.replay().expect("captured session replays");
+        assert_eq!(summary.status, reply.attribution.status);
+        assert_eq!(summary.gap, reply.attribution.gap);
+        assert_eq!(summary.nodes, reply.attribution.nodes);
+        // An exact cache hit replays the body without re-solving, so it
+        // must not rewrite (or fail to rewrite) the session.
+        let mut seed = 7;
+        let again = svc
+            .submit_tagged(
+                random_job(&mut seed, 32, AllocatorKind::CasaBb),
+                Some("hit-1"),
+            )
+            .expect("solve");
+        assert_eq!(again.cache, CacheOutcome::Hit);
+        assert!(!dir.join("hit-1.casa-session").exists());
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.get("server.sessions_captured_total"),
+            Some(&casa_obs::MetricValue::Counter(1))
+        );
+        assert!(!snap.contains_key("server.session_write_failures_total"));
+        drop(svc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn untagged_capture_falls_back_to_the_exact_fingerprint() {
+        let dir = std::env::temp_dir().join(format!(
+            "casa-server-sessions-untagged-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = AllocService::start(
+            &ServiceConfig {
+                session_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            },
+            &Obs::disabled(),
+        );
+        let mut seed = 11;
+        let job = random_job(&mut seed, 32, AllocatorKind::CasaGreedy);
+        svc.submit(job.clone()).expect("solve");
+        let mut normalized = job;
+        normalized.normalize(DEFAULT_MAX_NODES);
+        let expect = dir.join(format!(
+            "{:016x}.casa-session",
+            fnv1a_64(&normalized.exact_key())
+        ));
+        let session = crate::session::Session::load(&expect).expect("fingerprint-named session");
+        session.replay().expect("replays");
+        drop(svc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn overloaded_shard_rejects_instead_of_queueing() {
         // One worker, queue depth one: with the worker pinned on a
         // deadline-budgeted solve and one job queued, further
@@ -1413,6 +1740,7 @@ mod tests {
                 queue_cap: 1,
                 cache_cap: 0,
                 max_nodes: u64::MAX,
+                session_dir: None,
             },
             &Obs::disabled(),
         ));

@@ -2,16 +2,10 @@
 //! [`Model`], using the simplex LP relaxation for bounds.
 //!
 //! The search itself lives in [`crate::engine`]; this module keeps the
-//! solver tunables ([`SolverOptions`]), the effort statistics
-//! ([`BbStats`]) and `#[deprecated]` shims for the pre-engine entry
-//! points (`solve` / `solve_obs` / `solve_with_stats`), which are kept
-//! for one PR and then removed. New code should build a
-//! [`SolveRequest`](crate::engine::SolveRequest).
-
-use crate::engine::SolveRequest;
-use crate::model::Model;
-use crate::solution::{Solution, SolveError};
-use casa_obs::Obs;
+//! solver tunables ([`SolverOptions`]) and the effort statistics
+//! ([`BbStats`]). The pre-engine entry points (`solve` / `solve_obs` /
+//! `solve_with_stats`) are gone — build a
+//! [`SolveRequest`](crate::engine::SolveRequest) instead.
 
 /// Tunables for the branch-and-bound search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,76 +47,48 @@ pub struct BbStats {
     pub best_bound: Option<f64>,
 }
 
-/// Solve `model` to integral optimality.
-///
-/// # Errors
-///
-/// * [`SolveError::Infeasible`] — no integral point satisfies the
-///   constraints.
-/// * [`SolveError::Unbounded`] — the root relaxation is unbounded.
-/// * [`SolveError::NodeLimit`] — the node limit was exhausted before
-///   any feasible integral point was found.
-/// * [`SolveError::IterationLimit`] — simplex failed to converge.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a casa_ilp::engine::SolveRequest instead; it adds budgets, warm starts and gap reporting"
-)]
-pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
-    SolveRequest::new(model)
-        .options(*options)
-        .solve()
-        .map(|outcome| outcome.solution)
-}
-
-/// Like [`solve`], recording solver internals into `obs`: counters
-/// `ilp.bb.nodes` / `ilp.bb.incumbents` / `ilp.simplex.pivots`, gauge
-/// `ilp.bb.best_bound`, and an instant trace event per incumbent
-/// improvement.
-///
-/// # Errors
-///
-/// Fails under the same conditions as [`solve`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use casa_ilp::engine::SolveRequest::new(model).observe(obs).solve() instead"
-)]
-pub fn solve_obs(
-    model: &Model,
-    options: &SolverOptions,
-    obs: &Obs,
-) -> Result<Solution, SolveError> {
-    SolveRequest::new(model)
-        .options(*options)
-        .observe(obs)
-        .solve()
-        .map(|outcome| outcome.solution)
-}
-
-/// Core search: returns the solution (or error) together with
-/// [`BbStats`]; incumbent improvements are emitted as instant trace
-/// events on `obs` while the search runs.
-#[deprecated(
-    since = "0.2.0",
-    note = "use casa_ilp::engine::SolveRequest::solve_with_stats instead"
-)]
-pub fn solve_with_stats(
-    model: &Model,
-    options: &SolverOptions,
-    obs: &Obs,
-) -> (Result<Solution, SolveError>, BbStats) {
-    let (result, stats) = SolveRequest::new(model)
-        .options(*options)
-        .observe(obs)
-        .solve_with_stats();
-    (result.map(|outcome| outcome.solution), stats)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // this module pins the shims' behavior for their final PR
 mod tests {
     use super::*;
+    use crate::engine::SolveRequest;
     use crate::model::{ConstraintOp, Model};
-    use crate::solution::Status;
+    use crate::solution::{Solution, SolveError, Status};
+    use casa_obs::Obs;
+
+    /// Pre-engine `solve` semantics, pinned through the engine: the
+    /// solution alone, budgetless, warm-start-less.
+    fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
+        SolveRequest::new(model)
+            .options(*options)
+            .solve()
+            .map(|outcome| outcome.solution)
+    }
+
+    /// Pre-engine `solve_obs` semantics through the engine.
+    fn solve_obs(
+        model: &Model,
+        options: &SolverOptions,
+        obs: &Obs,
+    ) -> Result<Solution, SolveError> {
+        SolveRequest::new(model)
+            .options(*options)
+            .observe(obs)
+            .solve()
+            .map(|outcome| outcome.solution)
+    }
+
+    /// Pre-engine `solve_with_stats` semantics through the engine.
+    fn solve_with_stats(
+        model: &Model,
+        options: &SolverOptions,
+        obs: &Obs,
+    ) -> (Result<Solution, SolveError>, BbStats) {
+        let (result, stats) = SolveRequest::new(model)
+            .options(*options)
+            .observe(obs)
+            .solve_with_stats();
+        (result.map(|outcome| outcome.solution), stats)
+    }
 
     #[test]
     fn binary_knapsack_exact() {

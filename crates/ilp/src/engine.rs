@@ -1,12 +1,13 @@
 //! Anytime solver engine: budgets, cancellation, warm starts, and
 //! gap-reporting outcomes on top of the branch-and-bound search.
 //!
-//! The old entry points ([`solve`](crate::branch_bound::solve) and its
-//! `_obs` / `_with_stats` twins) answered "what is the optimum?" and
-//! failed outright when the node limit ran out. This module answers the
-//! production question instead: *"what is the best allocation you can
-//! prove within this budget?"* A [`SolveRequest`] bundles the model,
-//! tunables, an optional warm start and a [`Budget`]; [`SolveOutcome`]
+//! The pre-engine entry points (a `solve` / `solve_obs` /
+//! `solve_with_stats` triplet, since removed) answered "what is the
+//! optimum?" and failed outright when the node limit ran out. This
+//! module answers the production question instead: *"what is the best
+//! allocation you can prove within this budget?"* A [`SolveRequest`]
+//! bundles the model, tunables, an optional warm start, a [`Budget`],
+//! and an optional [`SearchRecorder`]; [`SolveOutcome`]
 //! carries the incumbent together with an [`EngineStatus`] — either
 //! proven [`EngineStatus::Optimal`] or [`EngineStatus::Feasible`] with
 //! the **absolute optimality gap** proven by the LP relaxation bound at
@@ -27,7 +28,7 @@ use casa_obs::{ArgValue, Obs};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Cooperative cancellation handle, cheaply cloneable and shareable
@@ -58,6 +59,83 @@ impl CancelToken {
 impl PartialEq for CancelToken {
     fn eq(&self, other: &Self) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Everything the branch & bound decided during one search, in the
+/// order it decided it — the raw material of a replayable session
+/// (see `casa_core::session`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchLog {
+    /// Variable index branched on at each branching node, in order.
+    pub branched: Vec<u32>,
+    /// Every incumbent adoption: `(node, min-oriented objective,
+    /// full value vector)`. Node 0 is a warm-start incumbent.
+    pub incumbents: Vec<(u64, f64, Vec<f64>)>,
+    /// Every strict improvement of the global optimistic bound:
+    /// `(node, min-oriented bound)`.
+    pub bounds: Vec<(u64, f64)>,
+    /// Which budget dimension stopped the search (`None` = closed).
+    pub stop: Option<BudgetKind>,
+    /// Total nodes popped.
+    pub nodes: u64,
+}
+
+/// Recorder for the solver decision log, following the [`Obs`]
+/// pattern: cheap to clone, a no-op unless explicitly enabled, and
+/// shareable across the request/solve boundary.
+#[derive(Debug, Clone, Default)]
+pub struct SearchRecorder(Option<Arc<Mutex<SearchLog>>>);
+
+impl SearchRecorder {
+    /// A recorder that captures the decision log.
+    pub fn enabled() -> Self {
+        SearchRecorder(Some(Arc::new(Mutex::new(SearchLog::default()))))
+    }
+
+    /// The no-op recorder (the default).
+    pub fn disabled() -> Self {
+        SearchRecorder(None)
+    }
+
+    /// Whether this recorder captures anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn with<F: FnOnce(&mut SearchLog)>(&self, f: F) {
+        if let Some(log) = &self.0 {
+            if let Ok(mut log) = log.lock() {
+                f(&mut log);
+            }
+        }
+    }
+
+    fn branch(&self, var: usize) {
+        self.with(|l| l.branched.push(var as u32));
+    }
+
+    fn incumbent(&self, node: u64, min_obj: f64, values: &[f64]) {
+        self.with(|l| l.incumbents.push((node, min_obj, values.to_vec())));
+    }
+
+    fn bound(&self, node: u64, value: f64) {
+        self.with(|l| l.bounds.push((node, value)));
+    }
+
+    fn stop(&self, kind: Option<BudgetKind>, nodes: u64) {
+        self.with(|l| {
+            l.stop = kind;
+            l.nodes = nodes;
+        });
+    }
+
+    /// Take the captured log, leaving an empty one behind. `None` when
+    /// the recorder is disabled.
+    pub fn take(&self) -> Option<SearchLog> {
+        self.0
+            .as_ref()
+            .and_then(|log| log.lock().ok().map(|mut l| std::mem::take(&mut *l)))
     }
 }
 
@@ -270,11 +348,12 @@ pub struct SolveRequest<'a> {
     budget: Budget,
     warm_start: Option<&'a [f64]>,
     obs: Obs,
+    recorder: SearchRecorder,
 }
 
 impl<'a> SolveRequest<'a> {
     /// A request with default options, an unlimited budget, no warm
-    /// start, and observability disabled.
+    /// start, and observability and decision recording disabled.
     pub fn new(model: &'a Model) -> Self {
         SolveRequest {
             model,
@@ -282,6 +361,7 @@ impl<'a> SolveRequest<'a> {
             budget: Budget::unlimited(),
             warm_start: None,
             obs: Obs::disabled(),
+            recorder: SearchRecorder::disabled(),
         }
     }
 
@@ -317,6 +397,15 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Record the solver's decision log — branch order, incumbents,
+    /// bound updates, stop reason — into `recorder`. No-op with a
+    /// disabled recorder (the default). The log is what makes a solve
+    /// replayable offline (`casa_core::session`).
+    pub fn record(mut self, recorder: &SearchRecorder) -> Self {
+        self.recorder = recorder.clone();
+        self
+    }
+
     /// Run the search.
     ///
     /// Budget exhaustion with an incumbent in hand is **not** an
@@ -341,6 +430,7 @@ impl<'a> SolveRequest<'a> {
             &self.budget,
             self.warm_start,
             &self.obs,
+            &self.recorder,
             &mut stats,
         );
         self.export_obs(&result, &stats);
@@ -357,6 +447,7 @@ impl<'a> SolveRequest<'a> {
             &self.budget,
             self.warm_start,
             &self.obs,
+            &self.recorder,
             &mut stats,
         );
         self.export_obs(&result, &stats);
@@ -400,6 +491,7 @@ fn search(
     budget: &Budget,
     warm_start: Option<&[f64]>,
     obs: &Obs,
+    rec: &SearchRecorder,
     stats: &mut BbStats,
 ) -> Result<SolveOutcome, SolveError> {
     // Work in minimization orientation internally.
@@ -434,6 +526,7 @@ fn search(
                     ],
                 );
                 obs.add("ilp.engine.warm_start.accepted", 1);
+                rec.incumbent(0, obj, &values);
                 incumbent = Some((values, obj));
             }
             None => obs.add("ilp.engine.warm_start.rejected", 1),
@@ -462,6 +555,9 @@ fn search(
     while let Some(HeapEntry { node, .. }) = heap.pop() {
         nodes += 1;
         stats.nodes = nodes;
+        if rec.is_enabled() && node.bound > bound_floor && node.bound.is_finite() {
+            rec.bound(nodes, node.bound);
+        }
         bound_floor = bound_floor.max(node.bound);
         if let Some(kind) = clock.exhausted(nodes) {
             stopped = Some(kind);
@@ -520,6 +616,7 @@ fn search(
                 match &incumbent {
                     Some((_, best)) if rounded_obj >= *best - options.gap_tol => {}
                     _ => {
+                        rec.incumbent(nodes, rounded_obj, &rounded);
                         incumbent = Some((rounded, rounded_obj));
                         stats.incumbent_updates += 1;
                         obs.instant(
@@ -536,6 +633,7 @@ fn search(
                 }
             }
             Some((i, x)) => {
+                rec.branch(i);
                 let (lb, ub) = node.bounds[i];
                 let floor = x.floor();
                 let ceil = x.ceil();
@@ -572,6 +670,7 @@ fn search(
     if root_unbounded {
         return Err(SolveError::Unbounded);
     }
+    rec.stop(stopped, nodes);
 
     if let Some(kind) = stopped {
         if bound_floor.is_finite() {

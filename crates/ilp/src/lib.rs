@@ -56,10 +56,11 @@ pub mod presolve;
 pub mod simplex;
 pub mod solution;
 
-#[allow(deprecated)] // shims re-exported for one PR; see branch_bound docs
-pub use branch_bound::{solve, solve_obs, solve_with_stats};
 pub use branch_bound::{BbStats, SolverOptions};
-pub use engine::{Budget, BudgetKind, CancelToken, EngineStatus, SolveOutcome, SolveRequest};
+pub use engine::{
+    Budget, BudgetKind, CancelToken, EngineStatus, SearchLog, SearchRecorder, SolveOutcome,
+    SolveRequest,
+};
 pub use knapsack::knapsack_01;
 pub use lp_format::to_lp_format;
 pub use model::{ConstraintOp, Model, Sense, Var};

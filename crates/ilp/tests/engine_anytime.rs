@@ -1,18 +1,25 @@
 //! Property tests for the anytime engine (satellite of the engine PR):
 //!
-//! 1. `Optimal` outcomes from the engine equal the old `solve()`
-//!    result — same objective, same point.
+//! 1. `Optimal` outcomes from a budgetless engine run equal a plain
+//!    unbudgeted solve — same objective, same point.
 //! 2. `Feasible` gaps are always ≥ 0 and monotonically non-increasing
 //!    as the node budget grows (the deterministic best-first search
 //!    has the prefix property: the state at node N is identical for
 //!    every budget ≥ N, the incumbent never worsens, and the proven
 //!    bound never loosens).
-#![allow(deprecated)] // compares the engine against the old solve() shim
 
 use casa_ilp::engine::{Budget, EngineStatus, SolveRequest};
 use casa_ilp::model::{ConstraintOp, Model, Sense};
-use casa_ilp::{solve, SolveError, SolverOptions};
+use casa_ilp::{Solution, SolveError, SolverOptions};
 use proptest::prelude::*;
+
+/// The pre-engine `solve()` semantics: solution only, no budget.
+fn solve(model: &Model, options: &SolverOptions) -> Result<Solution, SolveError> {
+    SolveRequest::new(model)
+        .options(*options)
+        .solve()
+        .map(|outcome| outcome.solution)
+}
 
 /// Random binary program over integer coefficient pools.
 fn build(n: usize, obj: &[i32], rows: &[(Vec<i32>, u8, i32)], maximize: bool) -> Model {

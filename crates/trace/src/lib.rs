@@ -30,6 +30,4 @@ pub mod layout;
 pub mod trace;
 
 pub use layout::{Layout, Location, Region};
-#[allow(deprecated)] // shim re-exported for one PR; see its docs
-pub use trace::form_traces_obs;
 pub use trace::{form_traces, Trace, TraceConfig, TraceId, TraceSet};

@@ -323,21 +323,6 @@ fn form_traces_impl(program: &Program, profile: &Profile, config: TraceConfig) -
     }
 }
 
-/// Former observability twin of [`form_traces`]; the obs handle is now
-/// a parameter of the canonical function.
-#[deprecated(
-    since = "0.2.0",
-    note = "form_traces now takes the Obs handle directly; call it instead"
-)]
-pub fn form_traces_obs(
-    program: &Program,
-    profile: &Profile,
-    config: TraceConfig,
-    obs: &casa_obs::Obs,
-) -> TraceSet {
-    form_traces(program, profile, config, obs)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,11 +471,6 @@ mod tests {
         let off = casa_obs::Obs::disabled();
         assert_eq!(super::form_traces(&p, &prof, config, &off), plain);
         assert!(off.snapshot().is_empty());
-        // The deprecated shim stays behavior-identical for its last PR.
-        #[allow(deprecated)]
-        {
-            assert_eq!(form_traces_obs(&p, &prof, config, &off), plain);
-        }
     }
 
     #[test]
