@@ -278,4 +278,79 @@ test -n "$JOURNAL_ATTR" || { echo "journal has no solve attribution for ci-repla
 test "$JOURNAL_ATTR" = "$REPLAY_ATTR" \
   || { echo "replay attribution ($REPLAY_ATTR) differs from the journal ($JOURNAL_ATTR)"; exit 1; }
 
+echo "== solver introspection: tree + time-series capture, worker byte-identity"
+# Capture is an output channel, never an input to the solve: the same
+# smoke grid runs under 1, 2 and 4 workers with --tree-out and
+# --ts-out, and the search trees, the time-series, and the
+# deterministic report must all be byte-identical across worker
+# counts. A capture-free run must then reproduce the same
+# deterministic report (capture changes no allocation decision), and
+# diag tree must render the captured document as a convergence report.
+rm -f /tmp/casa_introspect_history.jsonl /tmp/casa_det_ref.json \
+      /tmp/casa_trees_ref.json /tmp/casa_ts_ref.json /tmp/casa_tree_render.txt
+for T in 1 2 4; do
+  rm -f /tmp/casa_det_cur.json /tmp/casa_trees_cur.json /tmp/casa_ts_cur.json
+  (cd /tmp && CASA_SWEEP_THREADS=$T cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke \
+    --history-out /tmp/casa_introspect_history.jsonl \
+    --det-out /tmp/casa_det_cur.json --tree-out /tmp/casa_trees_cur.json --ts-out /tmp/casa_ts_cur.json)
+  if [ ! -s /tmp/casa_det_ref.json ]; then
+    mv /tmp/casa_det_cur.json /tmp/casa_det_ref.json
+    mv /tmp/casa_trees_cur.json /tmp/casa_trees_ref.json
+    mv /tmp/casa_ts_cur.json /tmp/casa_ts_ref.json
+  else
+    cmp /tmp/casa_det_ref.json /tmp/casa_det_cur.json \
+      || { echo "deterministic report depends on CASA_SWEEP_THREADS=$T"; exit 1; }
+    cmp /tmp/casa_trees_ref.json /tmp/casa_trees_cur.json \
+      || { echo "captured search trees depend on CASA_SWEEP_THREADS=$T"; exit 1; }
+    cmp /tmp/casa_ts_ref.json /tmp/casa_ts_cur.json \
+      || { echo "time-series depend on CASA_SWEEP_THREADS=$T"; exit 1; }
+  fi
+done
+rm -f /tmp/casa_det_nocap.json
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke \
+  --history-out /tmp/casa_introspect_history.jsonl --det-out /tmp/casa_det_nocap.json)
+cmp /tmp/casa_det_ref.json /tmp/casa_det_nocap.json \
+  || { echo "tree/time-series capture changed the deterministic report"; exit 1; }
+grep -q '"casa_timeseries":1' /tmp/casa_ts_ref.json \
+  || { echo "time-series document missing its schema tag"; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- tree /tmp/casa_trees_ref.json > /tmp/casa_tree_render.txt \
+  || { echo "diag tree rejected the captured sweep document"; exit 1; }
+grep -q "spm_CasaBb" /tmp/casa_tree_render.txt \
+  || { echo "tree report lacks the B&B cell"; exit 1; }
+grep -q "incumbent" /tmp/casa_tree_render.txt \
+  || { echo "tree report lacks the incumbent convergence table"; exit 1; }
+rm -f /tmp/casa_introspect_history.jsonl
+
+echo "== sentinel --explain: injected regression is attributed"
+# Corrupt the newest history record — every cell energy plus the
+# tick-0 point of the sweep.energy_uj series — then demand the
+# sentinel fails (exit 1) and attributes the damage: the family
+# census names cell.energy_uj, the first divergent tick is located,
+# and the machine verdict embeds the same attribution.
+rm -f /tmp/casa_attr_history.jsonl /tmp/casa_attr_regress.json /tmp/casa_attr_verdict.txt
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke \
+  --history-out /tmp/casa_attr_history.jsonl)
+(cd /tmp && cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke \
+  --history-out /tmp/casa_attr_history.jsonl)
+BROKEN="$(tail -n1 /tmp/casa_attr_history.jsonl \
+  | sed -e 's/"energy_uj":[0-9][0-9.eE+-]*/"energy_uj":999999999.0/g' \
+        -e 's/"sweep.energy_uj":\[\[0,[0-9][0-9.eE+-]*/"sweep.energy_uj":[[0,999999999.0/')"
+sed '$d' /tmp/casa_attr_history.jsonl > /tmp/casa_attr_history.tmp
+printf '%s\n' "$BROKEN" >> /tmp/casa_attr_history.tmp
+mv /tmp/casa_attr_history.tmp /tmp/casa_attr_history.jsonl
+rc=0
+cargo run --release -q -p casa-bench --bin sentinel -- --explain \
+  --history /tmp/casa_attr_history.jsonl --out /tmp/casa_attr_regress.json \
+  > /tmp/casa_attr_verdict.txt || rc=$?
+[ "$rc" -eq 1 ] || { echo "sentinel did not flag the injected regression (rc=$rc)"; exit 1; }
+grep -q "attribution: why this run failed" /tmp/casa_attr_verdict.txt \
+  || { echo "failing sentinel printed no attribution"; exit 1; }
+grep -q "cell.energy_uj" /tmp/casa_attr_verdict.txt \
+  || { echo "attribution does not name the damaged family"; exit 1; }
+grep -q "first time-series divergence: sweep.energy_uj at tick 0" /tmp/casa_attr_verdict.txt \
+  || { echo "attribution missed the first divergent tick"; exit 1; }
+grep -q '"family":"cell.energy_uj"' /tmp/casa_attr_regress.json \
+  || { echo "machine verdict lacks the attribution"; exit 1; }
+rm -f /tmp/casa_attr_history.jsonl
+
 echo "CI OK"

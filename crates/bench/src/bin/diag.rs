@@ -7,6 +7,7 @@
 //! diag probe <addr> [--quick] [--expect <family>]... [--expect-spans] [--quit]
 //! diag flight <path>
 //! diag render-trace <path>
+//! diag tree <path>
 //! diag help [<subcommand>]
 //! diag                       # workload calibration tables (no subcommand)
 //! ```
@@ -37,6 +38,14 @@
 //! engine degradation, or by `Obs::dump_flight`) and prints its events
 //! as a time-ordered table. `render-trace` re-parses a captured Chrome
 //! `trace_event` file and prints its span tree.
+//! `tree` renders a captured B&B search-tree log — either one
+//! `casa_tree` document (a casa-server `<stem>.tree.json` capture) or
+//! a whole `casa_tree_sweep` document (`sweep --tree-out`) — as a
+//! convergence report per tree: event breakdown by kind, incumbent
+//! trajectory with the local bound at each adoption, and the deepest
+//! explored node. Values are in the engine's recorded orientation
+//! (savings for the DFS allocator, signed energy objective for the
+//! ILP engine).
 //!
 //! Without a subcommand, `diag` prints the workload calibration
 //! tables (code size, hot-set size, baseline cache behaviour,
@@ -361,6 +370,96 @@ fn replay_cmd(rest: &[String]) {
     }
 }
 
+/// Render one captured search tree as a convergence report: totals,
+/// event breakdown by kind, the incumbent trajectory (with the local
+/// bound at each adoption), and the deepest explored node.
+fn render_tree_report(log: &casa_ilp::tree::TreeLog) -> String {
+    use casa_ilp::tree::TreeEventKind;
+    use std::fmt::Write as _;
+    let fnum = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "-".to_string()
+        }
+    };
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "  {} node(s) explored, {} event(s) captured (cap {}, {} dropped)",
+        log.nodes,
+        log.events.len(),
+        log.cap,
+        log.dropped
+    );
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for e in &log.events {
+        *counts.entry(e.kind.as_str()).or_default() += 1;
+    }
+    let breakdown: Vec<String> = counts.iter().map(|(k, c)| format!("{k} {c}")).collect();
+    let _ = writeln!(s, "  events: {}", breakdown.join(", "));
+    let pruned = counts.get("prune_bound").copied().unwrap_or(0)
+        + counts.get("prune_infeasible").copied().unwrap_or(0);
+    let opened = counts.get("open").copied().unwrap_or(0);
+    if opened > 0 {
+        let _ = writeln!(
+            s,
+            "  pruning: {pruned}/{opened} opened node(s) cut ({:.1}%)",
+            100.0 * pruned as f64 / opened as f64
+        );
+    }
+    if let Some(deep) = log.events.iter().max_by_key(|e| e.depth) {
+        let _ = writeln!(s, "  deepest node: #{} at depth {}", deep.node, deep.depth);
+    }
+    let incumbents: Vec<_> = log
+        .events
+        .iter()
+        .filter(|e| e.kind == TreeEventKind::Incumbent)
+        .collect();
+    if incumbents.is_empty() {
+        let _ = writeln!(s, "  no incumbent adopted within the captured window");
+    } else {
+        let _ = writeln!(s, "  convergence ({} incumbent(s)):", incumbents.len());
+        let _ = writeln!(s, "    {:>10} {:>14} {:>14}", "node", "incumbent", "bound");
+        for e in &incumbents {
+            let _ = writeln!(
+                s,
+                "    {:>10} {:>14} {:>14}",
+                e.node,
+                fnum(e.best),
+                fnum(e.bound)
+            );
+        }
+    }
+    s
+}
+
+/// `tree <path>`: render a `casa_tree` or `casa_tree_sweep` document
+/// as per-tree convergence reports.
+fn tree_cmd(path: &str) {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let v = serde::json::parse(&json).unwrap_or_else(|e| panic!("{path}: malformed JSON: {e}"));
+    if v.get("casa_tree_sweep").is_some() {
+        let cells = v
+            .get("cells")
+            .and_then(|c| c.as_array())
+            .expect("cells array");
+        println!("search-tree sweep {path}: {} captured tree(s)", cells.len());
+        for cell in cells {
+            let key = cell.get("key").and_then(|k| k.as_str()).unwrap_or("?");
+            let tree = cell.get("tree").expect("cell tree");
+            let log = casa_ilp::tree::parse_tree_value(tree)
+                .unwrap_or_else(|e| panic!("{path}: cell {key}: {e}"));
+            println!("[{key}]");
+            print!("{}", render_tree_report(&log));
+        }
+    } else {
+        let log = casa_ilp::tree::parse_tree_log(&json).unwrap_or_else(|e| panic!("{path}: {e}"));
+        println!("search tree {path}:");
+        print!("{}", render_tree_report(&log));
+    }
+}
+
 fn render_trace_cmd(path: &str) {
     let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let events = parse_chrome_trace(&json);
@@ -386,6 +485,7 @@ const USAGE: &str = "diag subcommands:\n\
     \x20                                                      validate a live telemetry server\n\
     \x20 flight <path>                                        render a flight-recorder dump\n\
     \x20 render-trace <path>                                  render a Chrome trace span tree\n\
+    \x20 tree <path>                                          render a captured B&B search tree\n\
     \x20 (no subcommand)                                      workload calibration tables\n";
 
 /// Note a deprecated `--flag` spelling on stderr, pointing at the
@@ -416,6 +516,9 @@ fn main() {
         }
         Some("render-trace") => {
             return render_trace_cmd(argv.get(1).expect("usage: diag render-trace <path>"));
+        }
+        Some("tree") => {
+            return tree_cmd(argv.get(1).expect("usage: diag tree <path>"));
         }
         Some("help" | "--help" | "-h") => {
             print!("{USAGE}");

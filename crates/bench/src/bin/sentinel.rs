@@ -7,11 +7,19 @@
 //!
 //! Usage: `cargo run --release -p casa-bench --bin sentinel --
 //!         [--history <path>] [--k <n>] [--wall-tol <frac>]
-//!         [--out <path>] [--serve <addr>]
+//!         [--out <path>] [--explain] [--serve <addr>]
 //!         [--serve-addr-file <path>] [--serve-linger-ms <ms>]`
 //!
 //! Defaults: `--history BENCH_history.jsonl`, `--k 5`,
 //! `--wall-tol 0.5`, `--out BENCH_regress.json`.
+//!
+//! `--explain` prints the regression attribution after the verdict
+//! table on a failing run: which metric families regressed, the worst
+//! divergent checks with signed deltas, and the first logical tick
+//! where the run's time-series departed from the baseline's. The
+//! machine document always embeds the same attribution under
+//! `"attribution"` (null on a pass), so CI artifacts carry it whether
+//! or not the flag was passed.
 //!
 //! `--serve <addr>` additionally publishes the verdict on the live
 //! telemetry exporter — `casa_sentinel_regressions`,
@@ -25,7 +33,9 @@
 
 use casa_bench::history::read_history;
 use casa_bench::runner::cli_value;
-use casa_bench::sentinel::{compare, regress_json, render_report, SentinelConfig, SentinelReport};
+use casa_bench::sentinel::{
+    compare, regress_json, render_attribution, render_report, SentinelConfig, SentinelReport,
+};
 use casa_obs::Obs;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -90,6 +100,9 @@ fn main() -> ExitCode {
 
     let report = compare(current, &log.records, &cfg);
     print!("{}", render_report(&report));
+    if std::env::args().any(|a| a == "--explain") {
+        print!("{}", render_attribution(&report));
+    }
     std::fs::write(&out_path, regress_json(&report))
         .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("wrote {out_path}");

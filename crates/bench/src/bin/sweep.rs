@@ -10,6 +10,7 @@
 //! Usage: `cargo run --release -p casa-bench --bin sweep [scale]
 //!         [--smoke] [--trace-out <path>] [--flight-dump <path>]
 //!         [--history-out <path>] [--det-out <path>]
+//!         [--tree-out <path>] [--ts-out <path>]
 //!         [--budget-nodes <n>] [--budget-ms <ms>]
 //!         [--session-dir <dir>]
 //!         [--serve <addr>] [--serve-addr-file <path>]
@@ -40,6 +41,15 @@
 //! replayable `.casa-session` file (plus a `.report.json` sibling)
 //! under `dir` — the input to `diag replay` and CI's golden-trace
 //! gate.
+//! `--tree-out <path>` captures every tree-searching cell's B&B
+//! search tree (cap: `CASA_TREE_CAP`) and writes the grid-ordered
+//! `casa_tree_sweep` document — the input to `diag tree`. Capture
+//! changes no allocation decision and the document is byte-identical
+//! across worker counts.
+//! `--ts-out <path>` writes the run's merged logical-tick time-series
+//! (`casa_timeseries` document: `sweep.*` per-cell series plus the
+//! flow/solver series from every cell, grid order); implies
+//! instrumentation. Byte-identical across worker counts.
 //!
 //! Outputs are split by audience: `BENCH_sweep.json` is the **latest
 //! run** in full (overwritten every time — what the experiment docs
@@ -69,6 +79,10 @@ fn main() {
     if let Some(dir) = &session_dir {
         grid.set_session_dir(dir);
     }
+    let tree_out = cli_value("--tree-out");
+    if tree_out.is_some() {
+        grid.set_capture_trees(true);
+    }
     println!(
         "sweep: {} cells over {} workloads (scale {scale}), {threads} worker(s)",
         grid.cell_count(),
@@ -92,6 +106,13 @@ fn main() {
             "sweep results must not depend on the worker count or tracing"
         );
         println!("determinism: serial and {threads}-worker reports are byte-identical");
+        if tree_out.is_some() {
+            assert_eq!(
+                serial.tree_json(),
+                parallel.tree_json(),
+                "captured search trees must not depend on the worker count"
+            );
+        }
     }
 
     // Anytime contract: a budget may truncate the search, but every
@@ -166,6 +187,28 @@ fn main() {
         let det = parallel.deterministic_json();
         std::fs::write(&path, &det).unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote deterministic report to {path} ({} bytes)", det.len());
+    }
+
+    // Solver introspection artifacts: the search trees and the merged
+    // logical-tick time-series, both byte-identical across worker
+    // counts (CI diffs them between CASA_SWEEP_THREADS values).
+    if let Some(path) = &tree_out {
+        let json = parallel.tree_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        let captured = parallel.cells.iter().filter(|c| c.tree.is_some()).count();
+        println!(
+            "wrote {captured} search tree(s) to {path} ({} bytes)",
+            json.len()
+        );
+    }
+    if let Some(path) = cli_value("--ts-out") {
+        let json = parallel.timeseries_json();
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "wrote time-series to {path} ({} bytes, {} points)",
+            json.len(),
+            parallel.timeseries.points()
+        );
     }
 
     if let Some(path) = cli.finish() {

@@ -22,7 +22,9 @@
 //! version and grid fingerprint both match.
 
 use crate::sweep::{CellResult, PhaseRollup, SweepReport};
-use casa_obs::{jnum, json_escape, MetricValue, MetricsSnapshot};
+use casa_obs::{
+    jnum, json_escape, timeseries_json, MetricValue, MetricsSnapshot, TimeSeriesSnapshot,
+};
 use serde::json::Value;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -131,6 +133,11 @@ pub struct HistoryRecord {
     /// Flattened metrics rollup: counters and gauges by name,
     /// histograms as `<name>.count/.sum/.p50/.p90/.p99`.
     pub metrics: BTreeMap<String, f64>,
+    /// Logical-tick time-series of the run (grid-order merge of
+    /// `sweep.*` and per-cell series). An *addition* under the schema
+    /// policy: old readers ignore the field, and records written
+    /// before it parse back with an empty snapshot.
+    pub timeseries: TimeSeriesSnapshot,
 }
 
 /// Flatten a metrics snapshot to scalars for longitudinal storage:
@@ -183,6 +190,7 @@ impl HistoryRecord {
             cells: report.cells.iter().map(HistoryCell::from).collect(),
             phases: report.phases.clone(),
             metrics: flatten_metrics(&report.metrics),
+            timeseries: report.timeseries.clone(),
         }
     }
 
@@ -246,7 +254,9 @@ impl HistoryRecord {
             }
             let _ = write!(s, "\"{}\":{}", json_escape(k), jnum(*v));
         }
-        s.push_str("}}");
+        s.push('}');
+        let _ = write!(s, ",\"timeseries\":{}", timeseries_json(&self.timeseries));
+        s.push('}');
         s
     }
 
@@ -287,8 +297,43 @@ impl HistoryRecord {
             cells,
             phases,
             metrics,
+            timeseries: v
+                .get("timeseries")
+                .map(parse_timeseries)
+                .unwrap_or_default(),
         })
     }
+}
+
+/// Parse an embedded `casa_timeseries` document back to a snapshot.
+/// Malformed points are skipped (never fatal): the time-series is
+/// diagnostic context, not a required column.
+fn parse_timeseries(v: &Value) -> TimeSeriesSnapshot {
+    let mut snap = TimeSeriesSnapshot {
+        cap: v.get("cap").and_then(Value::as_f64).unwrap_or(0.0) as usize,
+        dropped: v.get("dropped").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+        series: BTreeMap::new(),
+    };
+    let Some(series) = v.get("series").and_then(Value::as_object) else {
+        return snap;
+    };
+    for (name, points) in series {
+        let Some(points) = points.as_array() else {
+            continue;
+        };
+        let parsed: Vec<(u64, f64)> = points
+            .iter()
+            .filter_map(|p| {
+                let p = p.as_array()?;
+                let tick = p.first()?.as_f64()? as u64;
+                // `null` marks a non-finite sample; keep the point.
+                let value = p.get(1).and_then(Value::as_f64).unwrap_or(f64::NAN);
+                Some((tick, value))
+            })
+            .collect();
+        snap.series.insert(name.clone(), parsed);
+    }
+    snap
 }
 
 fn parse_cell(v: &Value) -> Option<HistoryCell> {
@@ -402,6 +447,14 @@ mod tests {
                 total_us: 1500,
             }],
             metrics: BTreeMap::from([("solver.nodes".to_string(), 17.0)]),
+            timeseries: TimeSeriesSnapshot {
+                cap: 8,
+                dropped: 0,
+                series: BTreeMap::from([
+                    ("sweep.energy_uj".to_string(), vec![(0, energy)]),
+                    ("bb.incumbent_savings".to_string(), vec![(1, 3.5), (4, 7.0)]),
+                ]),
+            },
         }
     }
 
@@ -457,6 +510,18 @@ mod tests {
         assert_eq!(log.records[0].cells[0].energy_uj, 1.0);
         assert_eq!(log.records[1].cells[0].energy_uj, 2.0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lines_without_timeseries_parse_to_an_empty_snapshot() {
+        // A record written before the timeseries field existed.
+        let mut r = record(1.0);
+        let line = r.to_json_line();
+        let (prefix, _) = line.split_once(",\"timeseries\":").expect("field present");
+        let old_line = format!("{prefix}}}");
+        let back = HistoryRecord::parse(&old_line).expect("old line still parses");
+        r.timeseries = TimeSeriesSnapshot::default();
+        assert_eq!(back, r);
     }
 
     #[test]

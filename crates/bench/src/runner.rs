@@ -29,6 +29,9 @@ pub struct PreparedWorkload {
 /// [`cli_scale`] when scanning for the positional scale.
 const VALUE_FLAGS: &[&str] = &[
     "--trace-out",
+    "--tree-out",
+    "--ts-out",
+    "--session-dir",
     "--render-trace",
     "--budget-nodes",
     "--budget-ms",
@@ -140,7 +143,9 @@ pub fn cli_budget() -> Budget {
 /// Instrumentation turns on when `CASA_TRACE` is set to a non-empty
 /// value other than `0`, **or** `--trace-out <path>` is on the
 /// command line, **or** `--serve <addr>` requests the live telemetry
-/// server; [`CliObs::finish`] then writes the Chrome `trace_event`
+/// server, **or** `--ts-out <path>` asks for the logical-tick
+/// time-series (which only the instrumented flows sample);
+/// [`CliObs::finish`] then writes the Chrome `trace_event`
 /// JSON (open with `chrome://tracing` or Perfetto) to the requested
 /// path, defaulting to `casa_trace.json`.
 ///
@@ -178,7 +183,8 @@ pub struct CliObs {
 pub fn cli_obs() -> CliObs {
     let trace_out = cli_value("--trace-out").map(PathBuf::from);
     let serve_addr = cli_value("--serve");
-    let obs = if trace_out.is_some() || serve_addr.is_some() {
+    let ts_out = cli_value("--ts-out");
+    let obs = if trace_out.is_some() || serve_addr.is_some() || ts_out.is_some() {
         Obs::enabled()
     } else {
         Obs::from_env()

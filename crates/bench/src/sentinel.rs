@@ -25,12 +25,15 @@
 //! non-zero on regression so CI can gate on it).
 
 use crate::history::{HistoryCell, HistoryRecord};
-use casa_obs::{jnum, json_escape};
+use casa_obs::{jnum, json_escape, TimeSeriesSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema version of the `BENCH_regress.json` document.
 pub const REGRESS_SCHEMA: u32 = 1;
+
+/// How many ranked entries a [`RegressionAttribution`] keeps.
+pub const ATTRIBUTION_TOP: usize = 8;
 
 /// Sentinel knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +112,56 @@ pub struct Check {
     pub ok: bool,
 }
 
+/// One failing check, ranked for attribution: what moved, by how
+/// much, and which metric family it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionEntry {
+    /// Full metric path of the failing check.
+    pub metric: String,
+    /// Family the metric belongs to ([`metric_family`]): the path with
+    /// its `[...]` instance stripped, e.g. `cell.energy_uj`.
+    pub family: String,
+    /// Signed absolute delta `current - baseline`; `None` for
+    /// categorical flips (e.g. `status`).
+    pub delta: Option<f64>,
+    /// Ranking key: `|delta / baseline|`, or `+inf` for categorical
+    /// flips and something-from-nothing numeric changes.
+    pub severity: f64,
+}
+
+/// The earliest logical tick at which the current run's time-series
+/// diverges from the baseline's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Series name (e.g. `sweep.energy_uj`, `bb.incumbent_savings`).
+    pub series: String,
+    /// Logical tick of the first diverging point.
+    pub tick: u64,
+    /// Baseline value at that point (`NaN` when the baseline series
+    /// ends before it).
+    pub baseline: f64,
+    /// Current value at that point.
+    pub current: f64,
+}
+
+/// Why a failing sentinel run failed: the divergent checks ranked by
+/// severity, a per-family census of every regression, and — when both
+/// runs recorded time-series — the first logical tick where their
+/// trajectories split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionAttribution {
+    /// The worst failing checks, severity-descending (ties broken by
+    /// metric name), truncated to [`ATTRIBUTION_TOP`].
+    pub top: Vec<AttributionEntry>,
+    /// Regression count per metric family, over **all** failing
+    /// checks (never truncated).
+    pub families: BTreeMap<String, usize>,
+    /// First time-series divergence against the most recent baseline
+    /// record that carried a time-series; `None` when neither side has
+    /// one or they agree point-for-point.
+    pub first_divergence: Option<Divergence>,
+}
+
 /// Outcome of one sentinel run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SentinelReport {
@@ -124,12 +177,26 @@ pub struct SentinelReport {
     /// Human-readable context ("no baseline yet", skipped-line
     /// counts, ...).
     pub notes: Vec<String>,
+    /// Present exactly when the run failed: which metrics moved and
+    /// where the trajectories first split.
+    pub attribution: Option<RegressionAttribution>,
 }
 
 impl SentinelReport {
     /// Failing checks only.
     pub fn regressions(&self) -> Vec<&Check> {
         self.checks.iter().filter(|c| !c.ok).collect()
+    }
+}
+
+/// A metric's family: the path with its `[...]` instance stripped, so
+/// every cell's `energy_uj` check lands in one `cell.energy_uj`
+/// bucket (`phase[simulate].total_secs` → `phase.total_secs`;
+/// bracket-free paths like `sweep.total_secs` are their own family).
+pub fn metric_family(metric: &str) -> String {
+    match (metric.find('['), metric.rfind(']')) {
+        (Some(a), Some(b)) if b > a => format!("{}{}", &metric[..a], &metric[b + 1..]),
+        _ => metric.to_string(),
     }
 }
 
@@ -218,6 +285,7 @@ pub fn compare(
         grid_hash: current.grid_hash.clone(),
         checks: Vec::new(),
         notes: Vec::new(),
+        attribution: None,
     };
     if baseline.is_empty() {
         report
@@ -312,7 +380,103 @@ pub fn compare(
     }
 
     report.pass = report.checks.iter().all(|c| c.ok);
+    if !report.pass {
+        report.attribution = Some(attribute(&report.checks, current, &baseline));
+    }
     report
+}
+
+/// Build the attribution for a failing run: rank the failing checks,
+/// census their families, and locate the first time-series divergence
+/// against the most recent baseline record that carried one.
+fn attribute(
+    checks: &[Check],
+    current: &HistoryRecord,
+    baseline: &[&HistoryRecord],
+) -> RegressionAttribution {
+    let mut top: Vec<AttributionEntry> = Vec::new();
+    let mut families: BTreeMap<String, usize> = BTreeMap::new();
+    for c in checks.iter().filter(|c| !c.ok) {
+        let family = metric_family(&c.metric);
+        *families.entry(family.clone()).or_default() += 1;
+        let (delta, severity) = match &c.value {
+            CheckValue::Num { baseline, current } => {
+                let delta = current - baseline;
+                let severity = if *baseline != 0.0 {
+                    (delta / baseline).abs()
+                } else {
+                    f64::INFINITY
+                };
+                (Some(delta), severity)
+            }
+            CheckValue::Tag { .. } => (None, f64::INFINITY),
+        };
+        top.push(AttributionEntry {
+            metric: c.metric.clone(),
+            family,
+            delta,
+            severity,
+        });
+    }
+    // Severity-descending; ties break on the metric name so the
+    // ranking (and the JSON) is deterministic.
+    top.sort_by(|a, b| {
+        b.severity
+            .partial_cmp(&a.severity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.metric.cmp(&b.metric))
+    });
+    top.truncate(ATTRIBUTION_TOP);
+    let first_divergence = baseline
+        .iter()
+        .rev()
+        .find(|r| !r.timeseries.is_empty())
+        .and_then(|r| first_divergence(&current.timeseries, &r.timeseries));
+    RegressionAttribution {
+        top,
+        families,
+        first_divergence,
+    }
+}
+
+/// Earliest logical tick where `current` departs from `baseline`:
+/// for every series present in both snapshots, points are compared in
+/// sample order; the winning divergence is the one with the smallest
+/// tick (ties broken by series name). A `null`-exported non-finite
+/// sample equals another non-finite sample.
+fn first_divergence(
+    current: &TimeSeriesSnapshot,
+    baseline: &TimeSeriesSnapshot,
+) -> Option<Divergence> {
+    let mut best: Option<Divergence> = None;
+    for (name, cur) in &current.series {
+        let Some(base) = baseline.series.get(name) else {
+            continue;
+        };
+        for (i, &(tick, value)) in cur.iter().enumerate() {
+            let peer = base.get(i).copied();
+            let same = peer.is_some_and(|(bt, bv)| {
+                bt == tick && (bv == value || (bv.is_nan() && value.is_nan()))
+            });
+            if same {
+                continue;
+            }
+            let d = Divergence {
+                series: name.clone(),
+                tick,
+                baseline: peer.map_or(f64::NAN, |(_, bv)| bv),
+                current: value,
+            };
+            let wins = best
+                .as_ref()
+                .is_none_or(|b| (d.tick, &d.series) < (b.tick, &b.series));
+            if wins {
+                best = Some(d);
+            }
+            break;
+        }
+    }
+    best
 }
 
 /// Render the human verdict table.
@@ -368,6 +532,44 @@ pub fn render_report(r: &SentinelReport) -> String {
     s
 }
 
+/// Render the attribution as a human table (`sentinel --explain`).
+/// Empty string when the report passed (nothing to attribute).
+pub fn render_attribution(r: &SentinelReport) -> String {
+    let Some(a) = &r.attribution else {
+        return String::new();
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "attribution: why this run failed");
+    let _ = writeln!(s, "  families ({} regressed):", a.families.len());
+    for (family, count) in &a.families {
+        let _ = writeln!(s, "    {family:<28} {count} regression(s)");
+    }
+    let _ = writeln!(s, "  top divergent checks:");
+    for e in &a.top {
+        let delta = match e.delta {
+            Some(d) => format!("{d:+.6}"),
+            None => "flip".to_string(),
+        };
+        let _ = writeln!(s, "    {:<58} {:>14}  [{}]", e.metric, delta, e.family);
+    }
+    match &a.first_divergence {
+        Some(d) => {
+            let _ = writeln!(
+                s,
+                "  first time-series divergence: {} at tick {} ({} -> {})",
+                d.series,
+                d.tick,
+                jnum(d.baseline),
+                jnum(d.current)
+            );
+        }
+        None => {
+            let _ = writeln!(s, "  first time-series divergence: none recorded");
+        }
+    }
+    s
+}
+
 /// Serialize the machine verdict (`BENCH_regress.json`).
 pub fn regress_json(r: &SentinelReport) -> String {
     let mut s = format!(
@@ -405,7 +607,53 @@ pub fn regress_json(r: &SentinelReport) -> String {
             c.ok
         );
     }
-    s.push_str("]}");
+    s.push_str("],\"attribution\":");
+    match &r.attribution {
+        None => s.push_str("null"),
+        Some(a) => {
+            s.push_str("{\"top\":[");
+            for (i, e) in a.top.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"metric\":\"{}\",\"family\":\"{}\",\"delta\":{},\"severity\":{}}}",
+                    json_escape(&e.metric),
+                    json_escape(&e.family),
+                    e.delta.map_or_else(|| "null".to_string(), jnum),
+                    jnum(e.severity)
+                );
+            }
+            s.push_str("],\"families\":[");
+            for (i, (family, count)) in a.families.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"family\":\"{}\",\"regressions\":{count}}}",
+                    json_escape(family)
+                );
+            }
+            s.push_str("],\"first_divergence\":");
+            match &a.first_divergence {
+                None => s.push_str("null"),
+                Some(d) => {
+                    let _ = write!(
+                        s,
+                        "{{\"series\":\"{}\",\"tick\":{},\"baseline\":{},\"current\":{}}}",
+                        json_escape(&d.series),
+                        d.tick,
+                        jnum(d.baseline),
+                        jnum(d.current)
+                    );
+                }
+            }
+            s.push('}');
+        }
+    }
+    s.push('}');
     s
 }
 
@@ -450,6 +698,14 @@ mod tests {
                 total_us: 900_000,
             }],
             metrics: Default::default(),
+            timeseries: TimeSeriesSnapshot {
+                cap: 16,
+                dropped: 0,
+                series: BTreeMap::from([(
+                    "sweep.energy_uj".to_string(),
+                    vec![(0, energy), (1, energy * 2.0)],
+                )]),
+            },
         }
     }
 
@@ -465,6 +721,9 @@ mod tests {
         assert_eq!(r.baseline_runs, 2);
         assert!(r.checks.iter().any(|c| c.metric.contains("energy_uj")));
         assert!(regress_json(&r).contains("\"verdict\":\"pass\""));
+        assert_eq!(r.attribution, None, "nothing to attribute on a pass");
+        assert!(regress_json(&r).contains("\"attribution\":null"));
+        assert_eq!(render_attribution(&r), "");
     }
 
     #[test]
@@ -475,6 +734,13 @@ mod tests {
         let mut history = vec![record(100.0, 1.0), record(100.0, 1.0), record(100.0, 1.0)];
         let mut bad = record(100.0, 1.0);
         bad.cells[0].energy_uj *= 1.05;
+        // The sweep samples `sweep.energy_uj` from the same cell
+        // results, so the run's time-series drifts with it.
+        bad.timeseries
+            .series
+            .get_mut("sweep.energy_uj")
+            .expect("fixture series")[0]
+            .1 *= 1.05;
         history.push(bad);
         let r = compare(
             history.last().unwrap(),
@@ -495,6 +761,69 @@ mod tests {
         }
         assert!(regress_json(&r).contains("\"verdict\":\"regression\""));
         assert!(render_report(&r).contains("REGRESSION"));
+        // Attribution names the family, the signed delta, and the
+        // first logical tick where the trajectories split.
+        let a = r.attribution.as_ref().expect("failing run attributes");
+        assert_eq!(a.top.len(), 1);
+        assert_eq!(a.top[0].family, "cell.energy_uj");
+        assert_eq!(a.top[0].delta, Some(5.0));
+        assert!((a.top[0].severity - 0.05).abs() < 1e-12);
+        assert_eq!(a.families.get("cell.energy_uj"), Some(&1));
+        let d = a.first_divergence.as_ref().expect("timeseries diverged");
+        assert_eq!(d.series, "sweep.energy_uj");
+        assert_eq!(d.tick, 0);
+        assert_eq!(d.baseline, 100.0);
+        assert_eq!(d.current, 105.0);
+        let explain = render_attribution(&r);
+        assert!(explain.contains("cell.energy_uj"), "{explain}");
+        assert!(explain.contains("tick 0"), "{explain}");
+        // The machine document always carries the attribution.
+        let json = regress_json(&r);
+        let v = serde::json::parse(&json).expect("valid JSON");
+        let attr = v.get("attribution").expect("attribution present");
+        let top = attr.get("top").and_then(|t| t.as_array()).expect("top");
+        assert_eq!(
+            top[0].get("family").and_then(|f| f.as_str()),
+            Some("cell.energy_uj")
+        );
+        assert_eq!(top[0].get("delta").and_then(|x| x.as_f64()), Some(5.0));
+        let fd = attr.get("first_divergence").expect("divergence present");
+        assert_eq!(fd.get("tick").and_then(|t| t.as_f64()), Some(0.0));
+        assert_eq!(
+            fd.get("series").and_then(|x| x.as_str()),
+            Some("sweep.energy_uj")
+        );
+    }
+
+    #[test]
+    fn attribution_ranks_flips_above_numeric_drift_and_truncates() {
+        let history = vec![record(100.0, 1.0), record(100.0, 1.0)];
+        let mut bad = record(100.0, 1.0);
+        bad.cells[0].energy_uj = 101.0; // +1%
+        bad.cells[0].status = "fallback".to_string(); // categorical flip
+        let mut h = history;
+        h.push(bad);
+        let r = compare(h.last().unwrap(), &h, &SentinelConfig::default());
+        let a = r.attribution.as_ref().expect("attribution");
+        assert_eq!(a.top[0].family, "cell.status", "flips rank first");
+        assert_eq!(a.top[0].delta, None);
+        assert!(a.top.len() <= ATTRIBUTION_TOP);
+        // Identical timeseries: divergence honestly reports nothing.
+        assert_eq!(a.first_divergence, None);
+        assert!(render_attribution(&r).contains("none recorded"));
+    }
+
+    #[test]
+    fn metric_family_strips_the_instance() {
+        assert_eq!(
+            metric_family("cell[adpcm/s1/r2004/spm:CasaBb/c128/Lru/l64].energy_uj"),
+            "cell.energy_uj"
+        );
+        assert_eq!(
+            metric_family("phase[simulate].total_secs"),
+            "phase.total_secs"
+        );
+        assert_eq!(metric_family("sweep.total_secs"), "sweep.total_secs");
     }
 
     #[test]

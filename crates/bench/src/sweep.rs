@@ -33,14 +33,18 @@
 
 use crate::experiments::{paper_sizes, LINE_SIZE, LOOP_CACHE_SLOTS};
 use crate::runner::{prepared, PreparedWorkload};
-use casa_core::engine::{AllocOutcome, Budget};
+use casa_core::engine::{AllocOutcome, Budget, TreeRecorder};
 use casa_core::flow::{
     run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig, FlowCtx, LoopCacheConfig,
 };
 use casa_core::{EnergyModel, Session, SessionRecorder, SolveJob};
 use casa_energy::TechParams;
+use casa_ilp::tree::tree_log_json;
 use casa_mem::CacheConfig;
-use casa_obs::{merge_snapshot, snapshot_to_json, ArgValue, EventKind, MetricsSnapshot, Obs};
+use casa_obs::{
+    merge_snapshot, snapshot_to_json, timeseries_json, ArgValue, EventKind, MetricsSnapshot, Obs,
+    TimeSeriesSnapshot, TimeSeriesStore,
+};
 use casa_workloads::mediabench;
 use casa_workloads::spec::BenchmarkSpec;
 use serde::{Deserialize, Serialize};
@@ -103,6 +107,7 @@ pub struct SweepGrid {
     cells: Vec<SweepCell>,
     budget: Budget,
     session_dir: Option<PathBuf>,
+    capture_trees: bool,
 }
 
 /// Per-cell measurements. Wall-clock fields (`solver_secs`,
@@ -164,6 +169,16 @@ pub struct CellResult {
     /// by [`SweepReport::to_json`] only, never by
     /// [`SweepReport::deterministic_json`].
     pub metrics: MetricsSnapshot,
+    /// Per-cell logical-tick time-series (flow phase progress, solver
+    /// convergence). Empty when observability is off. Exported by
+    /// [`SweepReport::timeseries_json`] after a grid-order merge;
+    /// never part of [`CellResult::json`] in either view.
+    pub timeseries: TimeSeriesSnapshot,
+    /// The cell's B&B search-tree log as a `casa_tree` JSON document,
+    /// when tree capture is on ([`SweepGrid::set_capture_trees`]) and
+    /// the cell's allocator actually runs a tree search. Exported by
+    /// [`SweepReport::tree_json`]; never part of [`CellResult::json`].
+    pub tree: Option<String>,
 }
 
 /// Aggregated wall time of one span name across the whole sweep.
@@ -208,6 +223,12 @@ pub struct SweepReport {
     /// Per-phase span rollups across the whole sweep. Empty when
     /// observability is off.
     pub phases: Vec<PhaseRollup>,
+    /// Grid-order merge of every cell's time-series, prefixed by the
+    /// sweep's own `sweep.energy_uj` / `sweep.cache_misses` series
+    /// sampled at the cell's grid index. Built the same way for every
+    /// worker count, so [`SweepReport::timeseries_json`] is
+    /// byte-identical across `CASA_SWEEP_THREADS` values.
+    pub timeseries: TimeSeriesSnapshot,
 }
 
 /// Resolve the sweep worker count: `CASA_SWEEP_THREADS` when set and
@@ -304,6 +325,16 @@ impl SweepGrid {
     /// of *what* is computed, so it does not enter [`Self::fingerprint`].
     pub fn set_session_dir(&mut self, dir: impl Into<PathBuf>) {
         self.session_dir = Some(dir.into());
+    }
+
+    /// Capture each tree-searching scratchpad cell's B&B search tree
+    /// as a `casa_tree` log ([`CellResult::tree`], exported by
+    /// [`SweepReport::tree_json`]). The event cap comes from
+    /// `CASA_TREE_CAP`. Like session capture, this is an output
+    /// channel: it changes no allocation decision and does not enter
+    /// [`Self::fingerprint`].
+    pub fn set_capture_trees(&mut self, on: bool) {
+        self.capture_trees = on;
     }
 
     /// A stable fingerprint of the grid's *configuration* — workloads,
@@ -509,6 +540,7 @@ impl SweepGrid {
                             &cell.kind,
                             &self.budget,
                             self.session_dir.as_deref(),
+                            self.capture_trees,
                             &cell_obs,
                         );
                         // Publish the finished cell's isolated metrics
@@ -519,6 +551,7 @@ impl SweepGrid {
                         // report's metrics are rebuilt from the cell
                         // snapshots in grid order below.
                         obs.merge_metrics(&res.metrics);
+                        obs.merge_timeseries(&res.timeseries);
                         obs.add("sweep.cells_done", 1);
                         *slots[i].lock().unwrap() = Some(res);
                     });
@@ -548,6 +581,17 @@ impl SweepGrid {
         for c in &cells {
             merge_snapshot(&mut metrics, &c.metrics);
         }
+        // Sweep-level time-series: one point per cell at its grid
+        // index (a logical tick), then each cell's own series appended
+        // in grid order — execution order never shows through.
+        let ts = TimeSeriesStore::from_env();
+        for (i, c) in cells.iter().enumerate() {
+            ts.sample("sweep.energy_uj", i as u64, c.energy_uj);
+            #[allow(clippy::cast_precision_loss)]
+            ts.sample("sweep.cache_misses", i as u64, c.cache_misses as f64);
+            ts.merge(&c.timeseries);
+        }
+        let timeseries = ts.snapshot();
         let phases = if obs.is_enabled() {
             let mut agg: std::collections::BTreeMap<String, (u64, u64)> =
                 std::collections::BTreeMap::new();
@@ -578,7 +622,21 @@ impl SweepGrid {
             cells,
             metrics,
             phases,
+            timeseries,
         }
+    }
+}
+
+/// Whether this cell's allocator explores a branch-and-bound tree
+/// (and therefore has a search tree worth capturing and a node count
+/// worth reporting).
+fn has_tree_search(kind: &CellKind) -> bool {
+    match kind {
+        CellKind::Spm(config) => matches!(
+            config.allocator,
+            AllocatorKind::CasaBb | AllocatorKind::CasaIlpPaper | AllocatorKind::CasaIlpTight
+        ),
+        CellKind::LoopCache { .. } => false,
     }
 }
 
@@ -588,6 +646,7 @@ fn run_cell(
     kind: &CellKind,
     budget: &Budget,
     session_dir: Option<&Path>,
+    capture_trees: bool,
     obs: &Obs,
 ) -> CellResult {
     let t = Instant::now();
@@ -609,9 +668,17 @@ fn run_cell(
         (Some(_), CellKind::Spm(_)) => SessionRecorder::enabled(),
         _ => SessionRecorder::disabled(),
     };
+    // Tree capture only attaches where a tree search will run; the
+    // recorder's presence changes no allocation decision.
+    let tree = if capture_trees && has_tree_search(kind) {
+        TreeRecorder::from_env()
+    } else {
+        TreeRecorder::disabled()
+    };
     let ctx = FlowCtx::observed(obs)
         .with_budget(budget.clone())
-        .with_session(&recorder);
+        .with_session(&recorder)
+        .with_tree(&tree);
     let (report, cache) = match kind {
         CellKind::Spm(config) => {
             let r = run_spm_flow(&w.program, &w.profile, &w.exec, config, &ctx)
@@ -631,14 +698,10 @@ fn run_cell(
     }
     // B&B/ILP flows have a real node count; knapsack, greedy, the
     // baseline and the loop cache have no tree search to report.
-    let solver_nodes = match kind {
-        CellKind::Spm(config) => match config.allocator {
-            AllocatorKind::CasaBb | AllocatorKind::CasaIlpPaper | AllocatorKind::CasaIlpTight => {
-                Some(report.allocation.solver_nodes)
-            }
-            _ => None,
-        },
-        CellKind::LoopCache { .. } => None,
+    let solver_nodes = if has_tree_search(kind) {
+        Some(report.allocation.solver_nodes)
+    } else {
+        None
     };
     let stats = &report.final_sim.stats;
     CellResult {
@@ -662,7 +725,26 @@ fn run_cell(
         solver_secs: report.solver_time.as_secs_f64(),
         cell_secs: t.elapsed().as_secs_f64(),
         metrics: obs.snapshot(),
+        timeseries: obs.timeseries_snapshot(),
+        tree: tree.take().map(|log| tree_log_json(&log)),
     }
+}
+
+/// Filesystem-safe stem naming one cell: `<benchmark>-<flavor>-<size>`
+/// with anything outside `[A-Za-z0-9._-]` replaced by `_`. Shared by
+/// session capture and the tree export so artifacts of one cell
+/// correlate by name.
+fn cell_stem(benchmark: &str, flavor: &str, local_size: u32) -> String {
+    format!("{benchmark}-{flavor}-{local_size}")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Persist one scratchpad cell's solve as `<stem>.casa-session` plus a
@@ -709,16 +791,7 @@ fn write_cell_session(
             ("seed".to_string(), key.seed.to_string()),
         ],
     );
-    let stem: String = format!("{}-{flavor}-{}", key.benchmark, config.spm_size)
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
-                c
-            } else {
-                '_'
-            }
-        })
-        .collect();
+    let stem = cell_stem(&key.benchmark, flavor, config.spm_size);
     let path = dir.join(format!("{stem}.casa-session"));
     session
         .save(&path)
@@ -818,6 +891,36 @@ impl SweepReport {
     pub fn deterministic_json(&self) -> String {
         let cells: Vec<String> = self.cells.iter().map(|c| c.json(false)).collect();
         format!("{{\"cells\":[{}]}}", cells.join(","))
+    }
+
+    /// The sweep's merged logical-tick time-series as a deterministic
+    /// `casa_timeseries` JSON document (what `sweep --ts-out` writes).
+    /// Byte-identical across worker counts: the merge walks cells in
+    /// grid order.
+    pub fn timeseries_json(&self) -> String {
+        timeseries_json(&self.timeseries)
+    }
+
+    /// Every captured search tree as one deterministic JSON document:
+    /// `{"casa_tree_sweep":1,"cells":[{"key":...,"tree":...},...]}` in
+    /// grid order, listing only cells that captured a tree (what
+    /// `sweep --tree-out` writes). The `key` is the cell's
+    /// [`cell_stem`], the same stem session capture uses, and `tree`
+    /// is the cell's embedded `casa_tree` document.
+    pub fn tree_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .filter_map(|c| {
+                let tree = c.tree.as_ref()?;
+                let key = cell_stem(&c.benchmark, &c.flavor, c.local_size);
+                Some(format!(
+                    "{{\"key\":\"{}\",\"tree\":{tree}}}",
+                    json_escape(&key)
+                ))
+            })
+            .collect();
+        format!("{{\"casa_tree_sweep\":1,\"cells\":[{}]}}", cells.join(","))
     }
 
     /// Full JSON including thread count and per-phase / per-cell wall
@@ -1104,6 +1207,13 @@ mod tests {
             e.fingerprint(),
             "session capture is an output channel, not configuration"
         );
+        let mut f = small_grid();
+        f.set_capture_trees(true);
+        assert_eq!(
+            a.fingerprint(),
+            f.fingerprint(),
+            "tree capture is an output channel, not configuration"
+        );
         // Fingerprints only reflect configuration, not execution.
         let _ = a.run_with_threads(1);
         assert_eq!(a.fingerprint(), b.fingerprint());
@@ -1254,6 +1364,74 @@ mod tests {
             assert!(c.wall_clock_budget);
             assert_eq!(c.status, "optimal", "deadline never fires: {c:?}");
         }
+    }
+
+    #[test]
+    fn tree_and_timeseries_capture_stay_deterministic_and_quarantined() {
+        let mut g = small_grid();
+        g.set_capture_trees(true);
+        let plain = small_grid().run_with_threads(2).deterministic_json();
+        let reports: Vec<SweepReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| g.run_with_threads_obs(t, &Obs::enabled()))
+            .collect();
+        // Capture must not move a byte of the deterministic report...
+        for r in &reports {
+            assert_eq!(plain, r.deterministic_json());
+        }
+        // ...and the capture documents are themselves byte-identical
+        // across worker counts (grid-order merging).
+        for r in &reports[1..] {
+            assert_eq!(reports[0].tree_json(), r.tree_json());
+            assert_eq!(reports[0].timeseries_json(), r.timeseries_json());
+        }
+        let r = &reports[0];
+        // Exactly the tree-searching cells captured a tree, and each
+        // log agrees with the cell's reported node count.
+        for c in &r.cells {
+            if c.flavor == "spm:CasaBb" {
+                let tree = c.tree.as_ref().expect("CasaBb cell captured a tree");
+                let log = casa_ilp::tree::parse_tree_log(tree).expect("valid casa_tree doc");
+                assert_eq!(Some(log.nodes), c.solver_nodes);
+                assert!(!log.events.is_empty());
+            } else {
+                assert_eq!(c.tree, None, "no tree for {}", c.flavor);
+            }
+        }
+        // The sweep-level document embeds every captured tree under
+        // its session stem, in grid order, and parses as JSON.
+        let doc = serde::json::parse(&r.tree_json()).expect("valid tree sweep doc");
+        assert_eq!(
+            doc.get("casa_tree_sweep").and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        let cells = doc.get("cells").and_then(|v| v.as_array()).expect("cells");
+        assert_eq!(
+            cells.len(),
+            r.cells.iter().filter(|c| c.tree.is_some()).count()
+        );
+        let key0 = cells[0].get("key").and_then(|v| v.as_str()).expect("key");
+        assert!(key0.contains("spm_CasaBb"), "stem sanitized: {key0}");
+        // Time-series carry the sweep's own per-cell series plus the
+        // flow- and solver-level series merged up from the cells.
+        let ts = &r.timeseries;
+        assert_eq!(
+            ts.series.get("sweep.energy_uj").map(Vec::len),
+            Some(r.cells.len())
+        );
+        assert!(ts.series.contains_key("flow.progress"));
+        assert!(ts.series.contains_key("bb.incumbent_savings"));
+        // Tree capture rides the flow, not the Obs: an uninstrumented
+        // run captures identical trees but no flow series.
+        let off = g.run_with_threads(2);
+        assert_eq!(off.tree_json(), r.tree_json());
+        assert!(!off.timeseries.series.contains_key("flow.progress"));
+        // Without opting in, no cell pays for capture.
+        assert!(small_grid()
+            .run_with_threads(1)
+            .cells
+            .iter()
+            .all(|c| c.tree.is_none()));
     }
 
     #[test]

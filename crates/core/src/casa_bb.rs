@@ -29,6 +29,7 @@ use crate::allocation::Allocation;
 use crate::energy_model::EnergyModel;
 use crate::session::SessionRecorder;
 use casa_ilp::engine::{Budget, BudgetKind, CancelToken};
+use casa_ilp::tree::{TreeEvent, TreeEventKind, TreeRecorder};
 use casa_obs::{ArgValue, Obs};
 use std::time::Instant;
 
@@ -277,6 +278,33 @@ pub fn allocate_bb_recorded(
     obs: &Obs,
     rec: &SessionRecorder,
 ) -> BbOutcome {
+    allocate_bb_traced(
+        model,
+        capacity,
+        budget,
+        warm_start,
+        obs,
+        rec,
+        &TreeRecorder::disabled(),
+    )
+}
+
+/// [`allocate_bb_recorded`] with search-tree telemetry: every DFS node
+/// entry, branch, fractional-bound prune, and incumbent adoption lands
+/// in `tree` as a [`TreeEvent`]. Node id is the DFS visit counter and
+/// depth is the position in the static branch order; bounds are
+/// **savings** (maximization orientation — larger is better), matching
+/// the objective this solver proves against. Capture changes no search
+/// decision: with a node budget the event log is deterministic.
+pub fn allocate_bb_traced(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    budget: &Budget,
+    warm_start: Option<&[bool]>,
+    obs: &Obs,
+    rec: &SessionRecorder,
+    tree: &TreeRecorder,
+) -> BbOutcome {
     let sm = SavingsModel::new(model, capacity);
     let n = sm.n;
 
@@ -311,6 +339,7 @@ pub fn allocate_bb_recorded(
         best_chosen: Vec<bool>,
         obs: &'s Obs,
         rec: &'s SessionRecorder,
+        tree: &'s TreeRecorder,
     }
 
     impl Search<'_> {
@@ -344,6 +373,23 @@ pub fn allocate_bb_recorded(
                     }
                 }
             }
+            // Optimistic local bound (savings orientation): only worth
+            // computing when the tree is being captured — the search
+            // itself re-derives it at the prune check below.
+            let local_bound = if self.tree.is_enabled() {
+                let b = cur_sav + self.sm.fractional_bound(pos, cap_left);
+                self.tree.record(TreeEvent {
+                    kind: TreeEventKind::Open,
+                    node: self.nodes,
+                    depth: pos as u32,
+                    bound: b,
+                    best: self.best_sav,
+                    var: None,
+                });
+                b
+            } else {
+                f64::NAN
+            };
             if cur_sav > self.best_sav + 1e-9 {
                 self.best_sav = cur_sav;
                 self.best_chosen = chosen.clone();
@@ -357,14 +403,46 @@ pub fn allocate_bb_recorded(
                         ("node".into(), ArgValue::U64(self.nodes)),
                     ],
                 );
+                self.obs
+                    .ts_sample("bb.incumbent_savings", self.nodes, cur_sav);
+                if self.tree.is_enabled() {
+                    self.tree.record(TreeEvent {
+                        kind: TreeEventKind::Incumbent,
+                        node: self.nodes,
+                        depth: pos as u32,
+                        bound: local_bound,
+                        best: cur_sav,
+                        var: None,
+                    });
+                }
             }
             if pos >= self.sm.order.len() {
                 return;
             }
             if cur_sav + self.sm.fractional_bound(pos, cap_left) <= self.best_sav + 1e-9 {
+                if self.tree.is_enabled() {
+                    self.tree.record(TreeEvent {
+                        kind: TreeEventKind::PruneBound,
+                        node: self.nodes,
+                        depth: pos as u32,
+                        bound: local_bound,
+                        best: self.best_sav,
+                        var: None,
+                    });
+                }
                 return; // prune
             }
             let i = self.sm.order[pos];
+            if self.tree.is_enabled() {
+                self.tree.record(TreeEvent {
+                    kind: TreeEventKind::Branch,
+                    node: self.nodes,
+                    depth: pos as u32,
+                    bound: local_bound,
+                    best: self.best_sav,
+                    var: Some(i as u32),
+                });
+            }
             // Branch 1: take i (if it fits).
             if self.sm.sizes[i] <= cap_left {
                 let mut gained = self.sm.a[i];
@@ -414,6 +492,7 @@ pub fn allocate_bb_recorded(
         best_chosen,
         obs,
         rec,
+        tree,
     };
     {
         let mut chosen = vec![false; n];
@@ -438,6 +517,7 @@ pub fn allocate_bb_recorded(
     let nodes = search.nodes;
     let stopped_by = search.stopped;
     rec.record_stop(stopped_by.map(BudgetKind::as_str), nodes);
+    tree.set_nodes(nodes);
     obs.add("core.bb.nodes", nodes);
     obs.add("core.bb.incumbents", search.incumbents);
 
@@ -681,6 +761,64 @@ mod tests {
             .map(|i| g.size_of(i))
             .sum();
         assert!(used <= 64, "infeasible warm start leaked into outcome");
+    }
+
+    #[test]
+    fn tree_capture_is_deterministic_and_changes_no_decision() {
+        let g = graph(
+            vec![1000, 1000, 3000],
+            vec![64, 64, 64],
+            &[(0, 1, 500), (1, 0, 500)],
+        );
+        let t = table();
+        let m = EnergyModel::new(&g, &t);
+        let run = || {
+            let tree = TreeRecorder::with_cap(4096);
+            let out = allocate_bb_traced(
+                &m,
+                128,
+                &Budget::unlimited(),
+                None,
+                &Obs::disabled(),
+                &SessionRecorder::disabled(),
+                &tree,
+            );
+            (out, tree.take().unwrap())
+        };
+        let (out, log) = run();
+        let plain = allocate_bb(&m, 128);
+        assert_eq!(out.allocation, plain, "capture must not steer the search");
+        assert_eq!(log.nodes, out.allocation.solver_nodes);
+        let opens = log
+            .events
+            .iter()
+            .filter(|e| e.kind == TreeEventKind::Open)
+            .count() as u64;
+        assert_eq!(opens, log.nodes, "one open event per DFS visit");
+        assert!(log
+            .events
+            .iter()
+            .any(|e| e.kind == TreeEventKind::Branch && e.var.is_some()));
+        // Savings orientation: a prune-by-bound fires exactly when the
+        // subtree's optimistic savings cannot beat the incumbent.
+        for e in log
+            .events
+            .iter()
+            .filter(|e| e.kind == TreeEventKind::PruneBound)
+        {
+            assert!(
+                e.bound <= e.best + 1e-9,
+                "pruned with bound {} above best {}",
+                e.bound,
+                e.best
+            );
+        }
+        let (_, log2) = run();
+        assert_eq!(
+            casa_ilp::tree::tree_log_json(&log),
+            casa_ilp::tree::tree_log_json(&log2),
+            "same instance, same tree bytes"
+        );
     }
 
     #[test]

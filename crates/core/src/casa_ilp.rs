@@ -25,6 +25,7 @@ use crate::energy_model::EnergyModel;
 use crate::session::SessionRecorder;
 use casa_ilp::engine::{Budget, BudgetKind, SearchRecorder, SolveRequest};
 use casa_ilp::model::VarKind;
+use casa_ilp::tree::TreeRecorder;
 use casa_ilp::{ConstraintOp, Model, Sense, SolveError, SolverOptions, Var};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -271,6 +272,36 @@ pub fn allocate_ilp_recorded(
     obs: &casa_obs::Obs,
     rec: &SessionRecorder,
 ) -> Result<IlpOutcome, SolveError> {
+    allocate_ilp_traced(
+        model,
+        capacity,
+        lin,
+        options,
+        budget,
+        warm_start,
+        obs,
+        rec,
+        &TreeRecorder::disabled(),
+    )
+}
+
+/// [`allocate_ilp_recorded`] with search-tree telemetry: the engine's
+/// per-node open/branch/prune/incumbent events stream into `tree`
+/// (see [`casa_ilp::tree`]). Note the orientation difference from the
+/// specialized B&B: the ILP minimizes energy, so tree bounds here are
+/// energy lower bounds (smaller is better).
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_ilp_traced(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    lin: Linearization,
+    options: &SolverOptions,
+    budget: &Budget,
+    warm_start: Option<&[bool]>,
+    obs: &casa_obs::Obs,
+    rec: &SessionRecorder,
+    tree: &TreeRecorder,
+) -> Result<IlpOutcome, SolveError> {
     let build_span = obs.span("solve.ilp.build");
     let (ilp, l, pair_vars) = build_model_parts(model, capacity, lin);
     drop(build_span);
@@ -286,7 +317,8 @@ pub fn allocate_ilp_recorded(
         .options(*options)
         .budget(budget.clone())
         .observe(obs)
-        .record(&srec);
+        .record(&srec)
+        .trace_tree(tree);
     let warm_values;
     if let Some(ws) = warm_start {
         if ws.len() == l.len() {

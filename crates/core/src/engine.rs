@@ -18,9 +18,9 @@
 //! instead, so no gap is claimed.
 
 use crate::allocation::Allocation;
-use crate::casa_bb::allocate_bb_recorded;
+use crate::casa_bb::allocate_bb_traced;
 use crate::casa_bb::SavingsModel;
-use crate::casa_ilp::{allocate_ilp_recorded, Linearization};
+use crate::casa_ilp::{allocate_ilp_traced, Linearization};
 use crate::energy_model::EnergyModel;
 use crate::flow::AllocatorKind;
 use crate::greedy::allocate_greedy;
@@ -30,6 +30,7 @@ use casa_ilp::SolverOptions;
 use casa_obs::Obs;
 
 pub use casa_ilp::engine::{Budget, BudgetKind, CancelToken};
+pub use casa_ilp::tree::TreeRecorder;
 
 /// Numerical slack below which a proven gap counts as closed.
 const GAP_EPS: f64 = 1e-9;
@@ -168,6 +169,33 @@ pub fn allocate_recorded(
     obs: &Obs,
     rec: &SessionRecorder,
 ) -> AllocOutcome {
+    allocate_traced(
+        model,
+        capacity,
+        kind,
+        budget,
+        warm,
+        obs,
+        rec,
+        &TreeRecorder::disabled(),
+    )
+}
+
+/// [`allocate_recorded`] with search-tree telemetry: the exact
+/// allocators (specialized B&B and the ILP variants) additionally
+/// stream per-node [`casa_ilp::tree::TreeEvent`]s into `tree`.
+/// Heuristic allocators have no search tree and record nothing there.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_traced(
+    model: &EnergyModel<'_>,
+    capacity: u32,
+    kind: AllocatorKind,
+    budget: &Budget,
+    warm: Option<&[bool]>,
+    obs: &Obs,
+    rec: &SessionRecorder,
+    tree: &TreeRecorder,
+) -> AllocOutcome {
     // Spans nest per-thread, so when the allocation service opens a
     // `server.request` span on its worker, this span (and the B&B /
     // ILP spans beneath it) become children of that request — which is
@@ -187,7 +215,7 @@ pub fn allocate_recorded(
     );
     let outcome = match kind {
         AllocatorKind::CasaBb => {
-            let out = allocate_bb_recorded(model, capacity, budget, warm, obs, rec);
+            let out = allocate_bb_traced(model, capacity, budget, warm, obs, rec, tree);
             let status = if out.is_optimal() {
                 AllocStatus::Optimal
             } else {
@@ -207,6 +235,7 @@ pub fn allocate_recorded(
             warm,
             obs,
             rec,
+            tree,
         ),
         AllocatorKind::CasaIlpTight => ilp_rung(
             model,
@@ -216,6 +245,7 @@ pub fn allocate_recorded(
             warm,
             obs,
             rec,
+            tree,
         ),
         AllocatorKind::CasaGreedy => {
             // The greedy answer is certified against the fractional
@@ -262,6 +292,7 @@ pub fn allocate_recorded(
 /// One CASA-ILP rung of the ladder: warm start from the better of the
 /// greedy incumbent and the caller's hint, budgeted engine solve,
 /// greedy fallback on failure.
+#[allow(clippy::too_many_arguments)]
 fn ilp_rung(
     model: &EnergyModel<'_>,
     capacity: u32,
@@ -270,6 +301,7 @@ fn ilp_rung(
     hint: Option<&[bool]>,
     obs: &Obs,
     rec: &SessionRecorder,
+    tree: &TreeRecorder,
 ) -> AllocOutcome {
     let mut warm = allocate_greedy(model, capacity);
     if let Some(hint) = hint {
@@ -285,7 +317,7 @@ fn ilp_rung(
             };
         }
     }
-    match allocate_ilp_recorded(
+    match allocate_ilp_traced(
         model,
         capacity,
         lin,
@@ -294,6 +326,7 @@ fn ilp_rung(
         Some(&warm.on_spm),
         obs,
         rec,
+        tree,
     ) {
         Ok(out) => {
             let status = if out.stopped_by.is_none() && out.gap <= GAP_EPS {

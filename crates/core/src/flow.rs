@@ -20,7 +20,7 @@
 use crate::allocation::Allocation;
 use crate::conflict::ConflictGraph;
 use crate::energy_model::EnergyModel;
-use crate::engine::{allocate_recorded, AllocStatus, Budget, BudgetKind};
+use crate::engine::{allocate_traced, AllocStatus, Budget, BudgetKind, TreeRecorder};
 use crate::report::EnergyBreakdown;
 use crate::ross::{allocate_loop_cache, LoopCacheAssignment};
 use crate::session::SessionRecorder;
@@ -255,6 +255,9 @@ pub struct FlowCtx {
     /// Session recorder for the allocator's decision log; the default
     /// disabled recorder costs nothing.
     pub session: SessionRecorder,
+    /// Search-tree recorder for the exact allocators; the default
+    /// disabled recorder costs nothing.
+    pub tree: TreeRecorder,
 }
 
 impl FlowCtx {
@@ -293,6 +296,13 @@ impl FlowCtx {
     #[must_use]
     pub fn with_session(mut self, session: &SessionRecorder) -> Self {
         self.session = session.clone();
+        self
+    }
+
+    /// Attach a search-tree recorder (clones share the same ring).
+    #[must_use]
+    pub fn with_tree(mut self, tree: &TreeRecorder) -> Self {
+        self.tree = tree.clone();
         self
     }
 }
@@ -394,9 +404,13 @@ pub fn run_spm_flow(
     let obs = &ctx.obs;
     let line = config.cache.line_size;
     let trace_cap = config.effective_trace_cap();
+    // Phase-completion samples on a logical clock (the fig. 3 phase
+    // ordinal), with a deterministic progress measure per phase —
+    // byte-identical across machines and worker counts.
     let span = obs.span("trace");
     let traces = form_traces(program, profile, TraceConfig::new(trace_cap, line), obs);
     drop(span);
+    obs.ts_sample("flow.progress", 0, traces.len() as f64);
 
     // Profiling run: everything in main memory.
     let layout0 = Layout::initial(program, &traces);
@@ -404,9 +418,11 @@ pub fn run_spm_flow(
     let span = obs.span("profile_sim");
     let sim0 = simulate(program, &traces, &layout0, exec, &prof_cfg)?;
     drop(span);
+    obs.ts_sample("flow.progress", 1, sim0.stats.cache_misses as f64);
     let span = obs.span("conflict");
     let graph = ConflictGraph::from_simulation_obs(&traces, &sim0, obs);
     drop(span);
+    obs.ts_sample("flow.progress", 2, graph.len() as f64);
 
     let table = EnergyTable::build(
         config.cache.size,
@@ -420,7 +436,7 @@ pub fn run_spm_flow(
 
     let span = obs.span("solve");
     let started = std::time::Instant::now();
-    let outcome = allocate_recorded(
+    let outcome = allocate_traced(
         &model,
         config.spm_size,
         config.allocator,
@@ -428,12 +444,14 @@ pub fn run_spm_flow(
         None,
         obs,
         &ctx.session,
+        &ctx.tree,
     );
     let solver_time = started.elapsed();
     let allocation = outcome.allocation;
     obs.add("solver.nodes", allocation.solver_nodes);
     obs.add("solver.spm_objects", allocation.spm_count() as u64);
     drop(span);
+    obs.ts_sample("flow.progress", 3, allocation.solver_nodes as f64);
 
     let span = obs.span("layout");
     let layout = Layout::with_placement(
@@ -446,8 +464,10 @@ pub fn run_spm_flow(
     let span = obs.span("simulate");
     let final_sim = run_final_sim(program, &traces, &layout, exec, &prof_cfg, ctx)?;
     drop(span);
+    obs.ts_sample("flow.progress", 4, final_sim.stats.cache_misses as f64);
     let breakdown = EnergyBreakdown::from_stats(&final_sim.stats, &table, false);
     export_energy(obs, &breakdown);
+    obs.ts_sample("flow.progress", 5, breakdown.total_uj());
 
     Ok(FlowReport {
         traces,
@@ -815,6 +835,46 @@ mod tests {
         let silent = run_spm_flow(&p, &prof, &exec, &cfg, &FlowCtx::default()).unwrap();
         assert_eq!(silent.allocation.on_spm, report.allocation.on_spm);
         assert!((silent.energy_uj() - report.energy_uj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_samples_deterministic_phase_timeseries_and_tree() {
+        let (p, prof, exec) = thrash_workload();
+        let cfg = config(AllocatorKind::CasaBb);
+        let run = || {
+            let obs = Obs::enabled();
+            let tree = TreeRecorder::with_cap(4096);
+            let ctx = FlowCtx::observed(&obs).with_tree(&tree);
+            let report = run_spm_flow(&p, &prof, &exec, &cfg, &ctx).unwrap();
+            (report, obs.timeseries_snapshot(), tree.take().unwrap())
+        };
+        let (report, ts, tree) = run();
+        let flow = ts.series.get("flow.progress").expect("flow phases sampled");
+        assert_eq!(
+            flow.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5],
+            "one sample per fig. 3 phase, in phase order"
+        );
+        assert_eq!(flow[3].1, report.allocation.solver_nodes as f64);
+        assert!(
+            ts.series.contains_key("bb.incumbent_savings"),
+            "B&B incumbents sampled at node ticks: {:?}",
+            ts.series.keys().collect::<Vec<_>>()
+        );
+        assert!(!tree.events.is_empty(), "flow tree capture records nodes");
+        // Determinism: both exports byte-identical across runs.
+        let (_, ts2, tree2) = run();
+        assert_eq!(
+            casa_obs::timeseries_json(&ts),
+            casa_obs::timeseries_json(&ts2)
+        );
+        assert_eq!(
+            casa_ilp::tree::tree_log_json(&tree),
+            casa_ilp::tree::tree_log_json(&tree2)
+        );
+        // Capture is passive: same answer with everything disabled.
+        let silent = run_spm_flow(&p, &prof, &exec, &cfg, &FlowCtx::default()).unwrap();
+        assert_eq!(silent.allocation.on_spm, report.allocation.on_spm);
     }
 
     #[test]

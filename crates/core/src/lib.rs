@@ -77,8 +77,8 @@ pub use allocation::Allocation;
 pub use conflict::ConflictGraph;
 pub use energy_model::EnergyModel;
 pub use engine::{
-    allocate_budgeted, allocate_recorded, AllocOutcome, AllocStatus, Budget, BudgetKind,
-    CancelToken,
+    allocate_budgeted, allocate_recorded, allocate_traced, AllocOutcome, AllocStatus, Budget,
+    BudgetKind, CancelToken, TreeRecorder,
 };
 pub use flow::{
     run_loop_cache_flow, run_spm_flow, AllocatorKind, ConfigError, FlowConfig, FlowCtx, FlowReport,

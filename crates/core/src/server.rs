@@ -42,7 +42,7 @@
 use crate::allocation::Allocation;
 use crate::conflict::ConflictGraph;
 use crate::energy_model::EnergyModel;
-use crate::engine::{allocate_recorded, AllocOutcome, AllocStatus, Budget};
+use crate::engine::{allocate_traced, AllocOutcome, AllocStatus, Budget, TreeRecorder};
 use crate::flow::AllocatorKind;
 use crate::session::{Session, SessionRecorder};
 use casa_energy::{EnergyTable, TechParams};
@@ -1052,6 +1052,7 @@ fn worker_loop(
     depth: &AtomicU64,
     session_dir: Option<&Path>,
 ) {
+    let mut completed = 0u64;
     while let Ok(q) = rx.recv() {
         let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
         obs.gauge_set(&format!("server.queue_depth.{worker}"), d as f64);
@@ -1083,6 +1084,16 @@ fn worker_loop(
             queue_wait_us,
             &id,
             session_dir,
+        );
+        // Request-completion series on a logical clock: tick = this
+        // worker's completion ordinal, value = search effort. Workers
+        // own their series, so interleaving across shards cannot
+        // scramble any one series' order.
+        completed += 1;
+        obs.ts_sample(
+            &format!("server.completed.{worker}"),
+            completed,
+            reply.attribution.nodes as f64,
         );
         let _ = q.reply.send(reply);
     }
@@ -1135,8 +1146,19 @@ fn solve_one(
             SessionRecorder::disabled()
         }
     };
+    // Tree capture rides the session-capture plumbing: enabled per
+    // request when a session directory is configured, ring-capped via
+    // CASA_TREE_CAP, written as a `.tree.json` sibling of the session.
+    let fresh_tree = || {
+        if session_dir.is_some() {
+            TreeRecorder::from_env()
+        } else {
+            TreeRecorder::disabled()
+        }
+    };
     let mut rec = fresh_recorder();
-    let mut out = allocate_recorded(
+    let mut tree = fresh_tree();
+    let mut out = allocate_traced(
         &model,
         job.capacity,
         job.allocator,
@@ -1144,6 +1166,7 @@ fn solve_one(
         warm.as_deref(),
         obs,
         &rec,
+        &tree,
     );
     if let Some(w) = warm.as_deref() {
         // Canonical re-solve: the B&B keeps incumbents on *strict*
@@ -1157,7 +1180,8 @@ fn solve_one(
         if out.status.is_optimal() && out.allocation.on_spm == w {
             obs.add("server.canonical_resolves_total", 1);
             rec = fresh_recorder();
-            out = allocate_recorded(
+            tree = fresh_tree();
+            out = allocate_traced(
                 &model,
                 job.capacity,
                 job.allocator,
@@ -1165,6 +1189,7 @@ fn solve_one(
                 None,
                 obs,
                 &rec,
+                &tree,
             );
         }
     }
@@ -1175,6 +1200,7 @@ fn solve_one(
     let body = response_json(job, &out, &model);
     if let Some(dir) = session_dir {
         write_request_session(dir, job, &out, &model, &rec, req_id, keys.exact_fp, obs);
+        write_request_tree(dir, &tree, req_id, keys.exact_fp, obs);
     }
     let outcome = if warm.is_some() {
         CacheOutcome::Warm
@@ -1242,7 +1268,17 @@ fn write_request_session(
     }
     meta.push(("exact_fp".to_string(), format!("{exact_fp:016x}")));
     let session = Session::capture(job, out, model, log, meta);
-    let stem: String = if req_id.is_empty() {
+    let stem = capture_stem(req_id, exact_fp);
+    match session.save(&dir.join(format!("{stem}.casa-session"))) {
+        Ok(()) => obs.add("server.sessions_captured_total", 1),
+        Err(_) => obs.add("server.session_write_failures_total", 1),
+    }
+}
+
+/// Filename stem for per-request capture artifacts: the sanitized
+/// correlation ID, or the exact fingerprint for untagged requests.
+fn capture_stem(req_id: &str, exact_fp: u64) -> String {
+    if req_id.is_empty() {
         format!("{exact_fp:016x}")
     } else {
         req_id
@@ -1255,10 +1291,19 @@ fn write_request_session(
                 }
             })
             .collect()
-    };
-    match session.save(&dir.join(format!("{stem}.casa-session"))) {
-        Ok(()) => obs.add("server.sessions_captured_total", 1),
-        Err(_) => obs.add("server.session_write_failures_total", 1),
+    }
+}
+
+/// Capture one request's search tree as a `<stem>.tree.json` sibling
+/// of its session file. Same best-effort contract as session capture:
+/// never touches the reply, success and failure are only counted.
+fn write_request_tree(dir: &Path, tree: &TreeRecorder, req_id: &str, exact_fp: u64, obs: &Obs) {
+    let Some(log) = tree.take() else { return };
+    let stem = capture_stem(req_id, exact_fp);
+    let json = casa_ilp::tree::tree_log_json(&log);
+    match std::fs::write(dir.join(format!("{stem}.tree.json")), json) {
+        Ok(()) => obs.add("server.trees_captured_total", 1),
+        Err(_) => obs.add("server.tree_write_failures_total", 1),
     }
 }
 
@@ -1679,6 +1724,13 @@ mod tests {
         assert_eq!(summary.status, reply.attribution.status);
         assert_eq!(summary.gap, reply.attribution.gap);
         assert_eq!(summary.nodes, reply.attribution.nodes);
+        // The search tree is captured as a sibling artifact, named by
+        // the same stem, and reports the same search effort.
+        let tree_json =
+            std::fs::read_to_string(dir.join("req_42_capture.tree.json")).expect("tree sibling");
+        let tree = casa_ilp::tree::parse_tree_log(&tree_json).expect("valid tree log");
+        assert_eq!(tree.nodes, reply.attribution.nodes);
+        assert!(!tree.events.is_empty());
         // An exact cache hit replays the body without re-solving, so it
         // must not rewrite (or fail to rewrite) the session.
         let mut seed = 7;
@@ -1690,12 +1742,18 @@ mod tests {
             .expect("solve");
         assert_eq!(again.cache, CacheOutcome::Hit);
         assert!(!dir.join("hit-1.casa-session").exists());
+        assert!(!dir.join("hit-1.tree.json").exists());
         let snap = obs.snapshot();
         assert_eq!(
             snap.get("server.sessions_captured_total"),
             Some(&casa_obs::MetricValue::Counter(1))
         );
+        assert_eq!(
+            snap.get("server.trees_captured_total"),
+            Some(&casa_obs::MetricValue::Counter(1))
+        );
         assert!(!snap.contains_key("server.session_write_failures_total"));
+        assert!(!snap.contains_key("server.tree_write_failures_total"));
         drop(svc);
         std::fs::remove_dir_all(&dir).ok();
     }

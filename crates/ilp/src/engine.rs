@@ -24,6 +24,7 @@ use crate::branch_bound::{BbStats, SolverOptions};
 use crate::model::{Model, Sense};
 use crate::simplex::{solve_lp_counted, LpResult};
 use crate::solution::{Solution, SolveError, Status};
+use crate::tree::{TreeEvent, TreeEventKind, TreeRecorder};
 use casa_obs::{ArgValue, Obs};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -349,6 +350,7 @@ pub struct SolveRequest<'a> {
     warm_start: Option<&'a [f64]>,
     obs: Obs,
     recorder: SearchRecorder,
+    tree: TreeRecorder,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -362,6 +364,7 @@ impl<'a> SolveRequest<'a> {
             warm_start: None,
             obs: Obs::disabled(),
             recorder: SearchRecorder::disabled(),
+            tree: TreeRecorder::disabled(),
         }
     }
 
@@ -406,6 +409,16 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Capture the search tree — one [`TreeEvent`] per node open,
+    /// branch, prune, and incumbent adoption, with stable node ids —
+    /// into `tree`. No-op with a disabled recorder (the default).
+    /// Bounds and objectives in the events are reported in the model's
+    /// own objective orientation.
+    pub fn trace_tree(mut self, tree: &TreeRecorder) -> Self {
+        self.tree = tree.clone();
+        self
+    }
+
     /// Run the search.
     ///
     /// Budget exhaustion with an incumbent in hand is **not** an
@@ -431,6 +444,7 @@ impl<'a> SolveRequest<'a> {
             self.warm_start,
             &self.obs,
             &self.recorder,
+            &self.tree,
             &mut stats,
         );
         self.export_obs(&result, &stats);
@@ -448,6 +462,7 @@ impl<'a> SolveRequest<'a> {
             self.warm_start,
             &self.obs,
             &self.recorder,
+            &self.tree,
             &mut stats,
         );
         self.export_obs(&result, &stats);
@@ -485,6 +500,7 @@ impl<'a> SolveRequest<'a> {
 /// `branch_bound::solve_inner` extended with warm starts and the
 /// budget clock; the node-expansion order is untouched, so unbudgeted
 /// engine runs reproduce the old `solve()` byte for byte.
+#[allow(clippy::too_many_arguments)]
 fn search(
     model: &Model,
     options: &SolverOptions,
@@ -492,6 +508,7 @@ fn search(
     warm_start: Option<&[f64]>,
     obs: &Obs,
     rec: &SearchRecorder,
+    tree: &TreeRecorder,
     stats: &mut BbStats,
 ) -> Result<SolveOutcome, SolveError> {
     // Work in minimization orientation internally.
@@ -526,7 +543,18 @@ fn search(
                     ],
                 );
                 obs.add("ilp.engine.warm_start.accepted", 1);
+                obs.ts_sample("ilp.bb.incumbent", 0, sense_sign * obj);
                 rec.incumbent(0, obj, &values);
+                if tree.is_enabled() {
+                    tree.record(TreeEvent {
+                        kind: TreeEventKind::Incumbent,
+                        node: 0,
+                        depth: 0,
+                        bound: f64::NAN,
+                        best: sense_sign * obj,
+                        var: None,
+                    });
+                }
                 incumbent = Some((values, obj));
             }
             None => obs.add("ilp.engine.warm_start.rejected", 1),
@@ -542,6 +570,7 @@ fn search(
         node: Node {
             bounds: root_bounds,
             bound: f64::NEG_INFINITY,
+            depth: 0,
         },
     });
 
@@ -551,14 +580,33 @@ fn search(
     // Best-first pops see non-decreasing parent bounds, so the bound
     // of the most recent pop is a valid global optimistic bound.
     let mut bound_floor = f64::NEG_INFINITY;
+    // Tree telemetry reports bounds/objectives in the model's own
+    // orientation; `best_for_tree` is NaN (exported as null) while no
+    // incumbent exists. Node id = pop counter, a search-order value
+    // that is deterministic under node budgets (warm-start = node 0).
+    let best_for_tree =
+        |inc: &Option<(Vec<f64>, f64)>| inc.as_ref().map_or(f64::NAN, |(_, b)| sense_sign * b);
 
     while let Some(HeapEntry { node, .. }) = heap.pop() {
         nodes += 1;
         stats.nodes = nodes;
-        if rec.is_enabled() && node.bound > bound_floor && node.bound.is_finite() {
-            rec.bound(nodes, node.bound);
+        if node.bound > bound_floor && node.bound.is_finite() {
+            if rec.is_enabled() {
+                rec.bound(nodes, node.bound);
+            }
+            obs.ts_sample("ilp.bb.bound", nodes, sense_sign * node.bound);
         }
         bound_floor = bound_floor.max(node.bound);
+        if tree.is_enabled() {
+            tree.record(TreeEvent {
+                kind: TreeEventKind::Open,
+                node: nodes,
+                depth: node.depth,
+                bound: sense_sign * node.bound,
+                best: best_for_tree(&incumbent),
+                var: None,
+            });
+        }
         if let Some(kind) = clock.exhausted(nodes) {
             stopped = Some(kind);
             break;
@@ -566,13 +614,35 @@ fn search(
         // Prune against incumbent using the parent bound.
         if let Some((_, best)) = &incumbent {
             if node.bound >= *best - options.gap_tol {
+                if tree.is_enabled() {
+                    tree.record(TreeEvent {
+                        kind: TreeEventKind::PruneBound,
+                        node: nodes,
+                        depth: node.depth,
+                        bound: sense_sign * node.bound,
+                        best: sense_sign * best,
+                        var: None,
+                    });
+                }
                 continue;
             }
         }
         let (lp, pivots) = solve_lp_counted(model, &node.bounds)?;
         stats.simplex_pivots += pivots;
         let (values, objective) = match lp {
-            LpResult::Infeasible => continue,
+            LpResult::Infeasible => {
+                if tree.is_enabled() {
+                    tree.record(TreeEvent {
+                        kind: TreeEventKind::PruneInfeasible,
+                        node: nodes,
+                        depth: node.depth,
+                        bound: sense_sign * node.bound,
+                        best: best_for_tree(&incumbent),
+                        var: None,
+                    });
+                }
+                continue;
+            }
             LpResult::Unbounded => {
                 if nodes == 1 {
                     root_unbounded = true;
@@ -587,6 +657,16 @@ fn search(
         let min_obj = sense_sign * objective;
         if let Some((_, best)) = &incumbent {
             if min_obj >= *best - options.gap_tol {
+                if tree.is_enabled() {
+                    tree.record(TreeEvent {
+                        kind: TreeEventKind::PruneBound,
+                        node: nodes,
+                        depth: node.depth,
+                        bound: objective,
+                        best: sense_sign * best,
+                        var: None,
+                    });
+                }
                 continue;
             }
         }
@@ -629,11 +709,32 @@ fn search(
                                 ("node".to_string(), ArgValue::U64(nodes)),
                             ],
                         );
+                        obs.ts_sample("ilp.bb.incumbent", nodes, sense_sign * rounded_obj);
+                        if tree.is_enabled() {
+                            tree.record(TreeEvent {
+                                kind: TreeEventKind::Incumbent,
+                                node: nodes,
+                                depth: node.depth,
+                                bound: objective,
+                                best: sense_sign * rounded_obj,
+                                var: None,
+                            });
+                        }
                     }
                 }
             }
             Some((i, x)) => {
                 rec.branch(i);
+                if tree.is_enabled() {
+                    tree.record(TreeEvent {
+                        kind: TreeEventKind::Branch,
+                        node: nodes,
+                        depth: node.depth,
+                        bound: objective,
+                        best: best_for_tree(&incumbent),
+                        var: Some(i as u32),
+                    });
+                }
                 let (lb, ub) = node.bounds[i];
                 let floor = x.floor();
                 let ceil = x.ceil();
@@ -647,6 +748,7 @@ fn search(
                         node: Node {
                             bounds: b,
                             bound: min_obj,
+                            depth: node.depth + 1,
                         },
                     });
                 }
@@ -660,6 +762,7 @@ fn search(
                         node: Node {
                             bounds: b,
                             bound: min_obj,
+                            depth: node.depth + 1,
                         },
                     });
                 }
@@ -671,6 +774,7 @@ fn search(
         return Err(SolveError::Unbounded);
     }
     rec.stop(stopped, nodes);
+    tree.set_nodes(nodes);
 
     if let Some(kind) = stopped {
         if bound_floor.is_finite() {
@@ -751,6 +855,8 @@ struct Node {
     /// LP bound of the parent (optimistic value for this node), in
     /// minimization orientation.
     bound: f64,
+    /// Branching decisions between the root and this node.
+    depth: u32,
 }
 
 struct HeapEntry {
@@ -984,6 +1090,100 @@ mod tests {
             Some(casa_obs::MetricValue::Counter(1)) => {}
             other => panic!("expected warm-start counter, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tree_capture_records_a_convergent_deterministic_search() {
+        let (m, _, _) = branching_model();
+        let run = || {
+            let tree = TreeRecorder::with_cap(1024);
+            let out = SolveRequest::new(&m).trace_tree(&tree).solve().unwrap();
+            (out, tree.take().unwrap())
+        };
+        let (out, log) = run();
+        assert!(out.is_optimal());
+        assert_eq!(log.nodes, out.stats.nodes);
+        let opens = log
+            .events
+            .iter()
+            .filter(|e| e.kind == TreeEventKind::Open)
+            .count() as u64;
+        assert_eq!(opens, log.nodes, "every popped node logs an open event");
+        assert!(
+            log.events
+                .iter()
+                .any(|e| e.kind == TreeEventKind::Branch && e.var.is_some() && e.bound.is_finite()),
+            "fractional root must branch: {:?}",
+            log.events
+        );
+        let incumbents: Vec<&TreeEvent> = log
+            .events
+            .iter()
+            .filter(|e| e.kind == TreeEventKind::Incumbent)
+            .collect();
+        assert!(!incumbents.is_empty());
+        assert!(
+            (incumbents.last().unwrap().best - 4.0).abs() < 1e-6,
+            "final incumbent carries the model-oriented optimum"
+        );
+        assert!(
+            log.events.iter().all(|e| e.node <= log.nodes),
+            "node ids are pop-counter values"
+        );
+        // Root opens at depth 0; every branch deepens by exactly one.
+        assert_eq!(log.events[0].depth, 0);
+        // Same model, same bytes: the capture inherits search determinism.
+        let (_, log2) = run();
+        assert_eq!(
+            crate::tree::tree_log_json(&log),
+            crate::tree::tree_log_json(&log2)
+        );
+        // With capture off, the solve outcome is unchanged.
+        let plain = SolveRequest::new(&m).solve().unwrap();
+        assert_eq!(plain.solution.values(), out.solution.values());
+        assert_eq!(plain.stats.nodes, out.stats.nodes);
+    }
+
+    #[test]
+    fn tree_instants_respect_a_tiny_flight_ring() {
+        // Satellite: tree-adjacent observability must coexist with a
+        // tiny flight ring — exact drop accounting, no panic, and a
+        // valid deterministic dump of whatever survived.
+        let (m, _, _) = branching_model();
+        let obs = casa_obs::Obs::with_flight_capacity(3);
+        let tree = TreeRecorder::with_cap(2);
+        let out = SolveRequest::new(&m)
+            .observe(&obs)
+            .trace_tree(&tree)
+            .solve()
+            .unwrap();
+        assert!(out.is_optimal());
+        let log = tree.take().unwrap();
+        assert_eq!(log.cap, 2);
+        assert_eq!(log.events.len(), 2, "ring is full, never over");
+        assert!(log.dropped > 0, "a real search overflows a 2-event ring");
+        // A closed search records Open per pop plus branches/incumbents
+        // /prunes; surviving + dropped = everything that was recorded.
+        assert!(
+            log.dropped + log.events.len() as u64 > log.nodes,
+            "recorded more events than nodes: {} + 2 vs {}",
+            log.dropped,
+            log.nodes
+        );
+        let flight = obs.flight().expect("enabled obs has a flight ring");
+        let events = obs.flight_events();
+        assert!(events.len() <= 3, "flight ring respects its cap");
+        if let Some(first) = events.first() {
+            assert_eq!(
+                flight.dropped(),
+                first.seq,
+                "drop count equals the number of evicted leading seqs"
+            );
+        }
+        let json = obs.dump_flight();
+        assert!(serde::json::parse(&json).is_ok(), "valid dump: {json}");
+        let tree_json = crate::tree::tree_log_json(&log);
+        assert!(serde::json::parse(&tree_json).is_ok());
     }
 
     #[test]

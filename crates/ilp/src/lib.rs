@@ -55,6 +55,7 @@ pub mod model;
 pub mod presolve;
 pub mod simplex;
 pub mod solution;
+pub mod tree;
 
 pub use branch_bound::{BbStats, SolverOptions};
 pub use engine::{
@@ -67,3 +68,7 @@ pub use model::{ConstraintOp, Model, Sense, Var};
 pub use presolve::{presolve, solve_presolved, solve_presolved_obs};
 pub use simplex::solve_lp_counted;
 pub use solution::{Solution, SolveError, Status};
+pub use tree::{
+    parse_tree_log, parse_tree_value, tree_chrome_json, tree_log_json, TreeEvent, TreeEventKind,
+    TreeLog, TreeRecorder, DEFAULT_TREE_CAPACITY, TREE_LOG_SCHEMA,
+};

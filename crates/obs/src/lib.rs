@@ -35,6 +35,7 @@ pub mod fnv;
 pub mod metrics;
 pub mod serve;
 pub mod span;
+pub mod timeseries;
 pub mod watchdog;
 
 pub use export::{chrome_trace_json, jnum, json_escape, snapshot_to_json};
@@ -58,6 +59,10 @@ pub use span::{
     render_span_table, span_tree, ArgValue, EventKind, Span, SpanSummary, StreamEvent,
     SubscriberId, TraceCollector, TraceEvent,
 };
+pub use timeseries::{
+    timeseries_json, TimePoint, TimeSeriesSnapshot, TimeSeriesStore, DEFAULT_TIMESERIES_CAPACITY,
+    TIMESERIES_SCHEMA,
+};
 pub use watchdog::{
     watchdog_ms_from_env, Heartbeats, WatchdogConfig, WatchdogHandle, WATCHDOG_ENV,
 };
@@ -71,6 +76,7 @@ struct ObsInner {
     collector: Arc<TraceCollector>,
     flight: Arc<FlightRecorder>,
     heartbeats: Arc<Heartbeats>,
+    timeseries: TimeSeriesStore,
 }
 
 /// Handle threaded through the allocation flow. Clones share the same
@@ -102,15 +108,32 @@ impl Obs {
                 collector,
                 flight: Arc::new(FlightRecorder::from_env()),
                 heartbeats: Arc::new(Heartbeats::new()),
+                timeseries: TimeSeriesStore::from_env(),
             })),
         }
     }
 
-    /// A child handle: fresh registry, shared trace collector **and**
-    /// shared flight recorder (including its dump sink). This is what
-    /// the sweep gives each cell — per-cell metric isolation, one
-    /// timeline, one post-mortem ring. Disabled parents produce
-    /// disabled children.
+    /// An enabled handle whose flight ring holds at most `cap` events
+    /// — for tests and tools that exercise ring-wrap behaviour without
+    /// touching `CASA_FLIGHT_CAP` (environment writes race across
+    /// threads).
+    pub fn with_flight_capacity(cap: usize) -> Obs {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                registry: Registry::new(),
+                collector: Arc::new(TraceCollector::new()),
+                flight: Arc::new(FlightRecorder::new(cap)),
+                heartbeats: Arc::new(Heartbeats::new()),
+                timeseries: TimeSeriesStore::from_env(),
+            })),
+        }
+    }
+
+    /// A child handle: fresh registry and time-series store, shared
+    /// trace collector **and** shared flight recorder (including its
+    /// dump sink). This is what the sweep gives each cell — per-cell
+    /// metric/series isolation, one timeline, one post-mortem ring.
+    /// Disabled parents produce disabled children.
     pub fn child(&self) -> Obs {
         match &self.inner {
             Some(i) => Obs {
@@ -119,6 +142,7 @@ impl Obs {
                     collector: Arc::clone(&i.collector),
                     flight: Arc::clone(&i.flight),
                     heartbeats: Arc::clone(&i.heartbeats),
+                    timeseries: TimeSeriesStore::from_env(),
                 })),
             },
             None => Obs::disabled(),
@@ -351,6 +375,38 @@ impl Obs {
         }
     }
 
+    /// Append one time-series sample at an explicit **logical** tick
+    /// (phase ordinal, B&B node count, request-completion counter —
+    /// never a wall-clock reading, or the series stops being
+    /// comparable across runs). Like [`Obs::merge_metrics`] this does
+    /// **not** mirror into the flight ring: the sampling path is the
+    /// deterministic one, and per-node samples would flood the
+    /// post-mortem buffer. No-op when disabled.
+    pub fn ts_sample(&self, series: &str, tick: u64, value: f64) {
+        if let Some(i) = &self.inner {
+            i.timeseries.sample(series, tick, value);
+        }
+    }
+
+    /// Snapshot the time-series store; empty when disabled.
+    pub fn timeseries_snapshot(&self) -> TimeSeriesSnapshot {
+        match &self.inner {
+            Some(i) => i.timeseries.snapshot(),
+            None => TimeSeriesSnapshot::default(),
+        }
+    }
+
+    /// Merge a time-series snapshot into this handle's store —
+    /// points append in the snapshot's order, drop evidence carries
+    /// over. The sweep uses this to publish each finished cell's
+    /// isolated series to the live telemetry store. No-op when
+    /// disabled.
+    pub fn merge_timeseries(&self, snap: &TimeSeriesSnapshot) {
+        if let Some(i) = &self.inner {
+            i.timeseries.merge(snap);
+        }
+    }
+
     /// Record a liveness beat for `phase`: stamps the shared heartbeat
     /// table (monitored by [`Obs::start_watchdog`]) and publishes the
     /// timestamp as a `heartbeat_us.<phase>` gauge so scrapers see it
@@ -498,6 +554,40 @@ mod tests {
         assert_eq!(a.snapshot().get("x"), Some(&MetricValue::Counter(1)));
         assert_eq!(b.snapshot().get("x"), Some(&MetricValue::Counter(10)));
         assert_eq!(collector.events().len(), 2, "one timeline for both");
+    }
+
+    #[test]
+    fn timeseries_is_isolated_per_child_and_merges_back() {
+        let parent = Obs::enabled();
+        let child = parent.child();
+        child.ts_sample("bb.incumbent", 3, 42.0);
+        child.ts_sample("bb.incumbent", 9, 40.0);
+        parent.ts_sample("sweep.cells_done", 0, 1.0);
+        // Stores are isolated (like registries)...
+        assert!(!parent
+            .timeseries_snapshot()
+            .series
+            .contains_key("bb.incumbent"));
+        assert_eq!(child.timeseries_snapshot().points(), 2);
+        // ...and merge publishes the child's series to the parent.
+        parent.merge_timeseries(&child.timeseries_snapshot());
+        let snap = parent.timeseries_snapshot();
+        assert_eq!(
+            snap.series.get("bb.incumbent"),
+            Some(&vec![(3, 42.0), (9, 40.0)])
+        );
+        assert_eq!(snap.series.get("sweep.cells_done"), Some(&vec![(0, 1.0)]));
+        // Disabled handles stay inert and snapshot empty.
+        let off = Obs::disabled();
+        off.ts_sample("s", 0, 1.0);
+        assert!(off.timeseries_snapshot().is_empty());
+    }
+
+    #[test]
+    fn ts_sample_does_not_mirror_into_the_flight_ring() {
+        let obs = Obs::enabled();
+        obs.ts_sample("bb.bound", 1, 2.0);
+        assert!(obs.flight_events().is_empty());
     }
 
     #[test]

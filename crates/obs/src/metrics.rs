@@ -510,6 +510,49 @@ mod tests {
     use super::*;
 
     #[test]
+    fn quantile_of_single_sample_is_the_sample_at_every_q() {
+        let h = Histogram::detached();
+        h.record(37);
+        let snap = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), Some(37.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_clamp_to_exact_min_and_max() {
+        let h = Histogram::detached();
+        for v in [5, 9, 100, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // q=0 is the recorded minimum exactly (not the first bucket's
+        // lower bound), q=1 the recorded maximum exactly (not the last
+        // bucket's upper bound).
+        assert_eq!(snap.quantile(0.0), Some(5.0));
+        assert_eq!(snap.quantile(1.0), Some(1000.0));
+        // Every interior quantile stays inside [min, max].
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let v = snap.quantile(q).unwrap();
+            assert!((5.0..=1000.0).contains(&v), "q={q} escaped: {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_out_of_range_q_clamps_into_unit_interval() {
+        let h = Histogram::detached();
+        h.record(4);
+        h.record(64);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(-3.5), snap.quantile(0.0));
+        assert_eq!(snap.quantile(7.0), snap.quantile(1.0));
+        assert_eq!(snap.quantile(f64::NEG_INFINITY), snap.quantile(0.0));
+        assert_eq!(snap.quantile(f64::INFINITY), snap.quantile(1.0));
+        assert_eq!(snap.quantile(-0.0), Some(4.0));
+    }
+
+    #[test]
     fn local_counter_is_a_plain_add() {
         let mut c = LocalCounter::new();
         c.inc();

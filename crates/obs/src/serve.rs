@@ -11,6 +11,9 @@
 //! * `GET /snapshot.json` — the deterministic sorted-key JSON snapshot
 //!   ([`crate::snapshot_to_json`]).
 //! * `GET /flight.json` — the flight-recorder ring ([`Obs::dump_flight`]).
+//! * `GET /timeseries.json` — the logical-tick time-series store
+//!   ([`crate::timeseries_json`]): named series of `(tick, value)`
+//!   points sampled at deterministic logical clocks.
 //! * `GET /requests.json` — the bounded in-memory [`RequestJournal`]:
 //!   the last `CASA_REQ_JOURNAL_CAP` finished requests with status,
 //!   byte counts, handler wall time, and (for `/solve`) the
@@ -176,7 +179,13 @@ fn valid_metric_name(name: &str) -> bool {
 }
 
 fn valid_sample_value(v: &str) -> bool {
-    matches!(v, "NaN" | "+Inf" | "-Inf") || v.parse::<f64>().is_ok()
+    // Non-finite values are legal only in their canonical Prometheus
+    // spellings. Rust's `f64` parser would happily accept `inf`,
+    // `-infinity` or `nan` too, so the finite check below must not be
+    // allowed to wave those through — a gauge rendered with `{}`
+    // formatting (Rust's `inf`) is exactly the bug this validator
+    // exists to catch.
+    matches!(v, "NaN" | "+Inf" | "-Inf") || v.parse::<f64>().is_ok_and(|f| f.is_finite())
 }
 
 /// Validate Prometheus text exposition: every sample belongs to a
@@ -1016,6 +1025,7 @@ fn route_label(path: &str) -> &'static str {
         "/metrics" => "metrics",
         "/snapshot.json" => "snapshot",
         "/flight.json" => "flight",
+        "/timeseries.json" => "timeseries",
         "/healthz" => "healthz",
         "/events" => "events",
         "/requests.json" => "requests",
@@ -1027,8 +1037,8 @@ fn route_label(path: &str) -> &'static str {
 /// The methods a built-in route accepts, `None` for unknown paths.
 fn builtin_methods(path: &str) -> Option<&'static [&'static str]> {
     match path {
-        "/metrics" | "/snapshot.json" | "/flight.json" | "/healthz" | "/events"
-        | "/requests.json" => Some(&["GET"]),
+        "/metrics" | "/snapshot.json" | "/flight.json" | "/timeseries.json" | "/healthz"
+        | "/events" | "/requests.json" => Some(&["GET"]),
         "/quitquitquit" => Some(&["GET", "POST"]),
         _ => None,
     }
@@ -1175,6 +1185,10 @@ fn serve_one(
             },
             ("GET", "/snapshot.json") => Response::json(200, snapshot_to_json(&obs.snapshot())),
             ("GET", "/flight.json") => Response::json(200, obs.dump_flight()),
+            ("GET", "/timeseries.json") => Response::json(
+                200,
+                crate::timeseries::timeseries_json(&obs.timeseries_snapshot()),
+            ),
             ("GET", "/requests.json") => Response::json(200, state.journal.to_json()),
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET" | "POST", "/quitquitquit") => {
@@ -1477,6 +1491,49 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_samples_survive_the_full_exposition_path() {
+        // A NaN/±Inf gauge must come out in the Prometheus-legal
+        // spellings — never Rust's `inf` / `-inf` / debug forms — and
+        // the rendered document must still validate end to end.
+        let obs = Obs::enabled();
+        obs.gauge_set("gap.unproven", f64::NAN);
+        obs.gauge_set("bound.upper", f64::INFINITY);
+        obs.gauge_set("bound.lower", f64::NEG_INFINITY);
+        obs.gauge_set("bound.finite", 2.5);
+        let text = prometheus_text(&obs.snapshot());
+        assert!(text.contains("casa_gap_unproven NaN\n"), "{text}");
+        assert!(text.contains("casa_bound_upper +Inf\n"), "{text}");
+        assert!(text.contains("casa_bound_lower -Inf\n"), "{text}");
+        for rust_form in ["inf\n", "-inf\n", "infinity", "nan\n"] {
+            assert!(
+                !text.contains(rust_form),
+                "Rust float spelling {rust_form:?} leaked into the exposition:\n{text}"
+            );
+        }
+        let stats = validate_exposition(&text).expect("non-finite samples are legal exposition");
+        assert_eq!(stats.families, 4);
+    }
+
+    #[test]
+    fn validator_rejects_rust_spelled_non_finite_values() {
+        // `f64::from_str` accepts all of these, so a validator that
+        // only tries `parse::<f64>()` would wave them through.
+        for bad in ["inf", "-inf", "+inf", "infinity", "-Infinity", "nan", "NAN"] {
+            let doc = format!("# TYPE x gauge\nx {bad}\n");
+            assert!(
+                validate_exposition(&doc)
+                    .unwrap_err()
+                    .contains("unparsable"),
+                "{bad:?} must be rejected"
+            );
+        }
+        for good in ["NaN", "+Inf", "-Inf", "1.5", "-0.25", "3e8"] {
+            let doc = format!("# TYPE x gauge\nx {good}\n");
+            assert!(validate_exposition(&doc).is_ok(), "{good:?} must be legal");
+        }
+    }
+
+    #[test]
     fn exposition_renders_and_validates() {
         let obs = Obs::enabled();
         obs.add("solver.nodes", 41);
@@ -1538,6 +1595,61 @@ mod tests {
     }
 
     #[test]
+    fn journal_ring_wrap_keeps_order_and_request_attribution() {
+        // `diag tail` contract: after CASA_REQ_JOURNAL_CAP overflow the
+        // journal must list exactly the newest `cap` requests, oldest
+        // first, with contiguous sequence numbers and the correlation
+        // IDs of the requests that actually survived — no duplicates,
+        // no ghosts of evicted entries.
+        let obs = Obs::enabled();
+        let opts = ServeOptions {
+            journal_cap: 3,
+            ..ServeOptions::default()
+        };
+        let mut handle = start_with(&obs, "127.0.0.1:0", opts, None).expect("bind");
+        let addr = handle.local_addr();
+        let t = Duration::from_secs(5);
+        for i in 1..=5 {
+            let id = format!("wrap-{i:02}");
+            let (code, _, _) = http_request(
+                &addr,
+                "GET",
+                "/healthz",
+                &[(REQUEST_ID_HEADER, &id)],
+                None,
+                t,
+            )
+            .unwrap();
+            assert_eq!(code, 200);
+        }
+        let (st, body) = http_get(&addr, "/requests.json", t).unwrap();
+        assert_eq!(st, 200);
+        let v = serde::json::parse(&body).expect("journal is valid JSON");
+        assert_eq!(v.get("cap").and_then(|x| x.as_f64()), Some(3.0));
+        assert_eq!(
+            v.get("dropped").and_then(|x| x.as_f64()),
+            Some(2.0),
+            "two evictions past the cap: {body}"
+        );
+        let entries = v.get("entries").and_then(|x| x.as_array()).unwrap();
+        let seqs: Vec<u64> = entries
+            .iter()
+            .map(|e| e.get("seq").and_then(|x| x.as_f64()).unwrap() as u64)
+            .collect();
+        assert_eq!(seqs, vec![3, 4, 5], "oldest-first, contiguous: {body}");
+        let ids: Vec<&str> = entries
+            .iter()
+            .map(|e| e.get("id").and_then(|x| x.as_str()).unwrap())
+            .collect();
+        assert_eq!(
+            ids,
+            vec!["wrap-03", "wrap-04", "wrap-05"],
+            "the three newest requests, correctly attributed: {body}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
     fn stream_event_json_is_parsable() {
         let obs = Obs::enabled();
         obs.instant("tick", vec![("n".to_string(), ArgValue::U64(3))]);
@@ -1590,6 +1702,16 @@ mod tests {
         let (st, flight) = http_get(&addr, "/flight.json", t).unwrap();
         assert_eq!(st, 200);
         assert!(serde::json::parse(&flight).is_ok());
+
+        obs.ts_sample("bb.incumbent", 12, 99.5);
+        let (st, ts) = http_get(&addr, "/timeseries.json", t).unwrap();
+        assert_eq!(st, 200);
+        let v = serde::json::parse(&ts).expect("timeseries is valid JSON");
+        assert_eq!(v.get("casa_timeseries").and_then(|x| x.as_f64()), Some(1.0));
+        assert!(
+            ts.contains("\"bb.incumbent\":[[12,99.5]]"),
+            "sampled series missing: {ts}"
+        );
 
         let (st, journal) = http_get(&addr, "/requests.json", t).unwrap();
         assert_eq!(st, 200);
