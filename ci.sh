@@ -319,6 +319,9 @@ grep -q "spm_CasaBb" /tmp/casa_tree_render.txt \
   || { echo "tree report lacks the B&B cell"; exit 1; }
 grep -q "incumbent" /tmp/casa_tree_render.txt \
   || { echo "tree report lacks the incumbent convergence table"; exit 1; }
+# The same report as machine-readable JSON for downstream consumers.
+cargo run --release -q -p casa-bench --bin diag -- tree /tmp/casa_trees_ref.json --json | grep -q '"casa_tree_report_sweep":1' \
+  || { echo "diag tree --json did not emit the JSON convergence report"; exit 1; }
 rm -f /tmp/casa_introspect_history.jsonl
 
 echo "== sentinel --explain: injected regression is attributed"
@@ -352,5 +355,92 @@ grep -q "first time-series divergence: sweep.energy_uj at tick 0" /tmp/casa_attr
 grep -q '"family":"cell.energy_uj"' /tmp/casa_attr_regress.json \
   || { echo "machine verdict lacks the attribution"; exit 1; }
 rm -f /tmp/casa_attr_history.jsonl
+
+echo "== explainability: capture byte-identity across workers, renderer"
+# Explain capture is an output channel, never an input to the solve:
+# the same smoke grid runs with --explain-out under 1, 2 and 4
+# workers. The explain documents and the deterministic report must be
+# byte-identical across worker counts, and the report must match the
+# capture-free reference from the introspection gate above (explain
+# on/off changes no allocation decision). The history records of these
+# runs must carry the per-cell top-regret census, and diag explain
+# must render the captured document with all three report sections.
+rm -f /tmp/casa_explain_history.jsonl /tmp/casa_explain_ref.json \
+      /tmp/casa_det_exp_ref.json /tmp/casa_explain_render.txt
+for T in 1 2 4; do
+  rm -f /tmp/casa_explain_cur.json /tmp/casa_det_exp_cur.json
+  (cd /tmp && CASA_SWEEP_THREADS=$T cargo run --manifest-path "$ROOT/Cargo.toml" --release -q -p casa-bench --bin sweep -- --smoke \
+    --history-out /tmp/casa_explain_history.jsonl \
+    --det-out /tmp/casa_det_exp_cur.json --explain-out /tmp/casa_explain_cur.json)
+  if [ ! -s /tmp/casa_explain_ref.json ]; then
+    mv /tmp/casa_explain_cur.json /tmp/casa_explain_ref.json
+    mv /tmp/casa_det_exp_cur.json /tmp/casa_det_exp_ref.json
+  else
+    cmp /tmp/casa_explain_ref.json /tmp/casa_explain_cur.json \
+      || { echo "explain documents depend on CASA_SWEEP_THREADS=$T"; exit 1; }
+    cmp /tmp/casa_det_exp_ref.json /tmp/casa_det_exp_cur.json \
+      || { echo "deterministic report depends on CASA_SWEEP_THREADS=$T under explain capture"; exit 1; }
+  fi
+done
+cmp /tmp/casa_det_ref.json /tmp/casa_det_exp_ref.json \
+  || { echo "explain capture changed the deterministic report"; exit 1; }
+grep -q '"casa_explain_sweep":1' /tmp/casa_explain_ref.json \
+  || { echo "explain sweep document missing its schema tag"; exit 1; }
+grep -q '"explain_census":' /tmp/casa_explain_history.jsonl \
+  || { echo "history records of an explain run carry no census"; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- explain /tmp/casa_explain_ref.json --top 5 > /tmp/casa_explain_render.txt \
+  || { echo "diag explain rejected the captured sweep document"; exit 1; }
+grep -q "capacity shadow price:" /tmp/casa_explain_render.txt \
+  || { echo "explain report lacks the shadow-price line"; exit 1; }
+grep -q "top 5 by regret:" /tmp/casa_explain_render.txt \
+  || { echo "explain report lacks the regret table"; exit 1; }
+grep -q "flip distances" /tmp/casa_explain_render.txt \
+  || { echo "explain report lacks the flip-distance ranking"; exit 1; }
+rm -f /tmp/casa_explain_history.jsonl
+
+echo "== served explain: opt-in sibling agrees with the reply and journal"
+# A request with "explain":true against a CASA_SESSION_DIR server must
+# leave a <stem>.explain.json sibling (misses only). The sibling must
+# render, and its account must agree with what the server actually
+# served: the scratchpad bytes in the reply equal the bytes the
+# explain document says were used, and the journal shows the request
+# as the cache miss the capture contract requires.
+rm -rf /tmp/casa_exp_sessions
+rm -f /tmp/casa_exp_addr /tmp/casa_exp_body.json /tmp/casa_exp_reply.json \
+      /tmp/casa_exp_tail.txt /tmp/casa_exp_render.txt
+cat > /tmp/casa_exp_body.json <<'BODY'
+{"graph":{"fetches":[900,400,700],"sizes":[16,24,8],"edges":[[0,1,120],[1,0,80],[1,2,60]]},"cache":{"size":1024,"line":16,"assoc":1},"capacity":32,"allocator":"casa-bb","explain":true}
+BODY
+CASA_SESSION_DIR=/tmp/casa_exp_sessions \
+cargo run --release -q -p casa-bench --bin casa-server -- \
+  --listen 127.0.0.1:0 --addr-file /tmp/casa_exp_addr --max-seconds 300 &
+SERVER_PID=$!
+i=0; while [ $i -lt 300 ] && ! test -s /tmp/casa_exp_addr; do i=$((i+1)); sleep 0.1; done
+test -s /tmp/casa_exp_addr || { echo "explain casa-server never published its address"; kill $SERVER_PID; exit 1; }
+EXP_ADDR="$(head -n1 /tmp/casa_exp_addr)"
+cargo run --release -q -p casa-bench --bin diag -- post "$EXP_ADDR" /tmp/casa_exp_body.json \
+  --req-id ci-explain-9 --out /tmp/casa_exp_reply.json \
+  || { echo "explain-tagged solve failed"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- tail "$EXP_ADDR" > /tmp/casa_exp_tail.txt \
+  || { echo "explain journal tail failed"; kill $SERVER_PID; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- probe "$EXP_ADDR" \
+  --expect casa_server_explains_captured_total --quit \
+  || { echo "explain capture counter missing from /metrics"; kill $SERVER_PID; exit 1; }
+wait $SERVER_PID || { echo "explain casa-server did not exit cleanly"; exit 1; }
+test -s /tmp/casa_exp_sessions/ci-explain-9.explain.json \
+  || { echo "no explain sibling captured for ci-explain-9"; exit 1; }
+cargo run --release -q -p casa-bench --bin diag -- explain /tmp/casa_exp_sessions/ci-explain-9.explain.json > /tmp/casa_exp_render.txt \
+  || { echo "captured explain sibling does not render"; exit 1; }
+grep -q "capacity shadow price:" /tmp/casa_exp_render.txt \
+  || { echo "captured explain sibling lacks the shadow-price line"; exit 1; }
+# Agreement with the served reply: the scratchpad usage the document
+# explains is the one the response reports.
+SPM_BYTES="$(grep -o '"spm_bytes":[0-9]*' /tmp/casa_exp_reply.json | cut -d: -f2)"
+grep -q "\"spm_used\":${SPM_BYTES}[,}]" /tmp/casa_exp_sessions/ci-explain-9.explain.json \
+  || { echo "explain sibling disagrees with the reply on scratchpad bytes"; exit 1; }
+# Agreement with the journal: the capture contract says siblings are
+# written on misses, and the journal must show exactly that.
+grep "ci-explain-9" /tmp/casa_exp_tail.txt | grep -q "cache=miss" \
+  || { echo "journal does not record ci-explain-9 as the miss its sibling implies"; exit 1; }
 
 echo "CI OK"

@@ -177,6 +177,7 @@ fn handle_solve(service: &AllocService, memo: &WorkloadMemo, req: &Request) -> R
                         allocator: w.allocator,
                         budget_nodes: w.budget_nodes,
                         budget_ms: w.budget_ms,
+                        explain: w.explain,
                     },
                     &req.req_id,
                 )
@@ -198,6 +199,8 @@ const HELP: &str = "casa-server: POST /solve with a JSON allocation request.\n\
     structured 400 listing the supported ones.\n\
     CASA_SESSION_DIR=<dir> captures every solved request as a replayable\n\
     .casa-session file named by its X-Casa-Request-Id (see `diag replay`).\n\
+    \"explain\":true additionally captures a decision-provenance document\n\
+    as a <stem>.explain.json sibling (misses only; see `diag explain`).\n\
     Telemetry: /metrics /healthz /snapshot.json /events; /quitquitquit stops the server.\n";
 
 fn flag_u64(name: &str, default: u64) -> u64 {

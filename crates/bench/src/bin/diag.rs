@@ -7,7 +7,8 @@
 //! diag probe <addr> [--quick] [--expect <family>]... [--expect-spans] [--quit]
 //! diag flight <path>
 //! diag render-trace <path>
-//! diag tree <path>
+//! diag tree <path> [--json]
+//! diag explain <path> [--top <n>]
 //! diag help [<subcommand>]
 //! diag                       # workload calibration tables (no subcommand)
 //! ```
@@ -45,7 +46,13 @@
 //! trajectory with the local bound at each adoption, and the deepest
 //! explored node. Values are in the engine's recorded orientation
 //! (savings for the DFS allocator, signed energy objective for the
-//! ILP engine).
+//! ILP engine). `--json` emits the same convergence report as a
+//! deterministic sorted-key JSON document instead of text.
+//! `explain` renders a captured `casa_explain` document (a casa-server
+//! `<stem>.explain.json` capture, or a whole `casa_explain_sweep`
+//! from `sweep --explain-out`) as a decision report per cell: the
+//! capacity shadow-price line, the top-N regret table (`--top <n>`,
+//! default 10), and the flip-distance ranking.
 //!
 //! Without a subcommand, `diag` prints the workload calibration
 //! tables (code size, hot-set size, baseline cache behaviour,
@@ -434,9 +441,55 @@ fn render_tree_report(log: &casa_ilp::tree::TreeLog) -> String {
     s
 }
 
-/// `tree <path>`: render a `casa_tree` or `casa_tree_sweep` document
-/// as per-tree convergence reports.
-fn tree_cmd(path: &str) {
+/// The convergence report of one tree as a deterministic sorted-key
+/// JSON object (what `diag tree --json` emits): totals, event
+/// breakdown, pruning, deepest node and the incumbent trajectory —
+/// derived from the log only, so identical logs give identical bytes.
+fn tree_report_json(log: &casa_ilp::tree::TreeLog) -> String {
+    use casa_ilp::tree::TreeEventKind;
+    use casa_obs::jnum;
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for e in &log.events {
+        *counts.entry(e.kind.as_str()).or_default() += 1;
+    }
+    let events: Vec<String> = counts.iter().map(|(k, c)| format!("\"{k}\":{c}")).collect();
+    let pruned = counts.get("prune_bound").copied().unwrap_or(0)
+        + counts.get("prune_infeasible").copied().unwrap_or(0);
+    let deepest = log
+        .events
+        .iter()
+        .max_by_key(|e| e.depth)
+        .map_or("null".to_string(), |e| {
+            format!("{{\"depth\":{},\"node\":{}}}", e.depth, e.node)
+        });
+    let incumbents: Vec<String> = log
+        .events
+        .iter()
+        .filter(|e| e.kind == TreeEventKind::Incumbent)
+        .map(|e| {
+            format!(
+                "{{\"best\":{},\"bound\":{},\"node\":{}}}",
+                jnum(e.best),
+                jnum(e.bound),
+                e.node
+            )
+        })
+        .collect();
+    format!(
+        "{{\"cap\":{},\"casa_tree_report\":1,\"deepest\":{deepest},\"dropped\":{},\
+         \"events\":{{{}}},\"incumbents\":[{}],\"nodes\":{},\"pruned\":{pruned}}}",
+        log.cap,
+        log.dropped,
+        events.join(","),
+        incumbents.join(","),
+        log.nodes,
+    )
+}
+
+/// `tree <path> [--json]`: render a `casa_tree` or `casa_tree_sweep`
+/// document as per-tree convergence reports — human text by default,
+/// a deterministic JSON document with `--json`.
+fn tree_cmd(path: &str, as_json: bool) {
     let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let v = serde::json::parse(&json).unwrap_or_else(|e| panic!("{path}: malformed JSON: {e}"));
     if v.get("casa_tree_sweep").is_some() {
@@ -444,19 +497,117 @@ fn tree_cmd(path: &str) {
             .get("cells")
             .and_then(|c| c.as_array())
             .expect("cells array");
-        println!("search-tree sweep {path}: {} captured tree(s)", cells.len());
-        for cell in cells {
-            let key = cell.get("key").and_then(|k| k.as_str()).unwrap_or("?");
-            let tree = cell.get("tree").expect("cell tree");
-            let log = casa_ilp::tree::parse_tree_value(tree)
-                .unwrap_or_else(|e| panic!("{path}: cell {key}: {e}"));
+        let parsed: Vec<(&str, casa_ilp::tree::TreeLog)> = cells
+            .iter()
+            .map(|cell| {
+                let key = cell.get("key").and_then(|k| k.as_str()).unwrap_or("?");
+                let tree = cell.get("tree").expect("cell tree");
+                let log = casa_ilp::tree::parse_tree_value(tree)
+                    .unwrap_or_else(|e| panic!("{path}: cell {key}: {e}"));
+                (key, log)
+            })
+            .collect();
+        if as_json {
+            let cells: Vec<String> = parsed
+                .iter()
+                .map(|(key, log)| {
+                    format!(
+                        "{{\"key\":\"{}\",\"report\":{}}}",
+                        casa_obs::json_escape(key),
+                        tree_report_json(log)
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"casa_tree_report_sweep\":1,\"cells\":[{}]}}",
+                cells.join(",")
+            );
+            return;
+        }
+        println!(
+            "search-tree sweep {path}: {} captured tree(s)",
+            parsed.len()
+        );
+        for (key, log) in &parsed {
             println!("[{key}]");
-            print!("{}", render_tree_report(&log));
+            print!("{}", render_tree_report(log));
         }
     } else {
         let log = casa_ilp::tree::parse_tree_log(&json).unwrap_or_else(|e| panic!("{path}: {e}"));
+        if as_json {
+            println!("{}", tree_report_json(&log));
+            return;
+        }
         println!("search tree {path}:");
         print!("{}", render_tree_report(&log));
+    }
+}
+
+/// `explain <path> [--top <n>]`: render a `casa_explain` document (or
+/// a whole `casa_explain_sweep`) as per-cell decision reports — the
+/// shadow-price line, the top-N regret table, and the flip-distance
+/// ranking.
+fn explain_cmd(path: &str) {
+    let top = cli_value("--top").map_or(10, |v| {
+        v.parse()
+            .unwrap_or_else(|e| panic!("--top takes a count, got {v}: {e}"))
+    });
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let v = serde::json::parse(&json).unwrap_or_else(|e| panic!("{path}: malformed JSON: {e}"));
+    if v.get("casa_explain_sweep").is_some() {
+        let cells = v
+            .get("cells")
+            .and_then(|c| c.as_array())
+            .expect("cells array");
+        println!("explain sweep {path}: {} captured document(s)", cells.len());
+        for cell in cells {
+            let key = cell.get("key").and_then(|k| k.as_str()).unwrap_or("?");
+            // Re-serialize the embedded document through its own
+            // parser (cheapest path with the vendored mini-parser:
+            // slice the raw text is fragile, so round-trip via the
+            // canonical codec instead).
+            let raw = cell
+                .get("explain")
+                .map(render_value_json)
+                .expect("cell explain");
+            let doc = casa_core::parse_explain(&raw)
+                .unwrap_or_else(|e| panic!("{path}: cell {key}: {e}"));
+            println!("[{key}]");
+            print!("{}", casa_core::render_explain(&doc, top));
+        }
+    } else {
+        let doc = casa_core::parse_explain(&json).unwrap_or_else(|e| panic!("{path}: {e}"));
+        println!("explain {path}:");
+        print!("{}", casa_core::render_explain(&doc, top));
+    }
+}
+
+/// Re-serialize a parsed [`serde::json::Value`] as JSON text, so an
+/// embedded sub-document can be handed to its own typed parser.
+fn render_value_json(v: &serde::json::Value) -> String {
+    use serde::json::Value;
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => casa_obs::jnum(*n),
+        Value::Str(s) => format!("\"{}\"", casa_obs::json_escape(s)),
+        Value::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render_value_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Obj(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, val)| {
+                    format!(
+                        "\"{}\":{}",
+                        casa_obs::json_escape(k),
+                        render_value_json(val)
+                    )
+                })
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
     }
 }
 
@@ -485,7 +636,8 @@ const USAGE: &str = "diag subcommands:\n\
     \x20                                                      validate a live telemetry server\n\
     \x20 flight <path>                                        render a flight-recorder dump\n\
     \x20 render-trace <path>                                  render a Chrome trace span tree\n\
-    \x20 tree <path>                                          render a captured B&B search tree\n\
+    \x20 tree <path> [--json]                                 render a captured B&B search tree\n\
+    \x20 explain <path> [--top <n>]                           render a captured explain document\n\
     \x20 (no subcommand)                                      workload calibration tables\n";
 
 /// Note a deprecated `--flag` spelling on stderr, pointing at the
@@ -518,7 +670,13 @@ fn main() {
             return render_trace_cmd(argv.get(1).expect("usage: diag render-trace <path>"));
         }
         Some("tree") => {
-            return tree_cmd(argv.get(1).expect("usage: diag tree <path>"));
+            return tree_cmd(
+                argv.get(1).expect("usage: diag tree <path> [--json]"),
+                argv.iter().any(|a| a == "--json"),
+            );
+        }
+        Some("explain") => {
+            return explain_cmd(argv.get(1).expect("usage: diag explain <path> [--top <n>]"));
         }
         Some("help" | "--help" | "-h") => {
             print!("{USAGE}");

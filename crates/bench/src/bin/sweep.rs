@@ -11,6 +11,7 @@
 //!         [--smoke] [--trace-out <path>] [--flight-dump <path>]
 //!         [--history-out <path>] [--det-out <path>]
 //!         [--tree-out <path>] [--ts-out <path>]
+//!         [--explain-out <path>]
 //!         [--budget-nodes <n>] [--budget-ms <ms>]
 //!         [--session-dir <dir>]
 //!         [--serve <addr>] [--serve-addr-file <path>]
@@ -50,6 +51,12 @@
 //! (`casa_timeseries` document: `sweep.*` per-cell series plus the
 //! flow/solver series from every cell, grid order); implies
 //! instrumentation. Byte-identical across worker counts.
+//! `--explain-out <path>` captures every scratchpad cell's decision
+//! provenance (density ranks, reduced costs, shadow price, flip
+//! distances) and writes the grid-ordered `casa_explain_sweep`
+//! document — the input to `diag explain`. Capture changes no
+//! allocation decision and the document is byte-identical across
+//! worker counts.
 //!
 //! Outputs are split by audience: `BENCH_sweep.json` is the **latest
 //! run** in full (overwritten every time — what the experiment docs
@@ -83,6 +90,10 @@ fn main() {
     if tree_out.is_some() {
         grid.set_capture_trees(true);
     }
+    let explain_out = cli_value("--explain-out");
+    if explain_out.is_some() {
+        grid.set_capture_explain(true);
+    }
     println!(
         "sweep: {} cells over {} workloads (scale {scale}), {threads} worker(s)",
         grid.cell_count(),
@@ -111,6 +122,13 @@ fn main() {
                 serial.tree_json(),
                 parallel.tree_json(),
                 "captured search trees must not depend on the worker count"
+            );
+        }
+        if explain_out.is_some() {
+            assert_eq!(
+                serial.explain_json(),
+                parallel.explain_json(),
+                "explain documents must not depend on the worker count"
             );
         }
     }
@@ -198,6 +216,19 @@ fn main() {
         let captured = parallel.cells.iter().filter(|c| c.tree.is_some()).count();
         println!(
             "wrote {captured} search tree(s) to {path} ({} bytes)",
+            json.len()
+        );
+    }
+    if let Some(path) = &explain_out {
+        let json = parallel.explain_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        let captured = parallel
+            .cells
+            .iter()
+            .filter(|c| c.explain.is_some())
+            .count();
+        println!(
+            "wrote {captured} explain document(s) to {path} ({} bytes)",
             json.len()
         );
     }

@@ -22,6 +22,7 @@
 //! version and grid fingerprint both match.
 
 use crate::sweep::{CellResult, PhaseRollup, SweepReport};
+use casa_core::parse_explain;
 use casa_obs::{
     jnum, json_escape, timeseries_json, MetricValue, MetricsSnapshot, TimeSeriesSnapshot,
 };
@@ -33,6 +34,9 @@ use std::path::Path;
 
 /// Current history-record schema version.
 pub const HISTORY_SCHEMA: u32 = 1;
+
+/// How many top-regret objects the per-cell explain census keeps.
+pub const CENSUS_TOP: usize = 5;
 
 /// Per-cell measurements as persisted in a history record — the
 /// deterministic result columns plus the (noisy, never
@@ -109,6 +113,59 @@ impl From<&CellResult> for HistoryCell {
     }
 }
 
+/// One object of a cell's explain census: the highest-regret
+/// placements of the run, compact enough to persist on every line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensusObject {
+    /// Object index in the cell's conflict graph.
+    pub index: usize,
+    /// Whether the run placed it on the scratchpad.
+    pub on_spm: bool,
+    /// Energy at stake in the placement, nJ (the explain document's
+    /// regret: linear saving plus realized conflict premium).
+    pub regret: f64,
+}
+
+/// Top-regret object census of one cell, distilled from its explain
+/// document when the sweep ran with explain capture. An *addition*
+/// under the schema policy: absent on old lines (and on runs without
+/// capture), and [`crate::sentinel`] uses it only when both sides of a
+/// comparison carry one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainCensus {
+    /// [`HistoryCell::key`] of the cell the census describes.
+    pub key: String,
+    /// Top [`CENSUS_TOP`] objects by regret (descending, ties by
+    /// index).
+    pub objects: Vec<CensusObject>,
+}
+
+/// Distill a cell's explain document to its census: parse, rank by
+/// regret, keep the top [`CENSUS_TOP`]. `None` when the document is
+/// missing or unreadable (census is context, never a hard dependency).
+fn census_of(cell: &CellResult) -> Option<ExplainCensus> {
+    let doc = parse_explain(cell.explain.as_deref()?).ok()?;
+    let mut objects: Vec<&casa_core::ObjectExplain> = doc.objects.iter().collect();
+    objects.sort_by(|a, b| {
+        b.regret
+            .partial_cmp(&a.regret)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    Some(ExplainCensus {
+        key: HistoryCell::from(cell).key(),
+        objects: objects
+            .into_iter()
+            .take(CENSUS_TOP)
+            .map(|o| CensusObject {
+                index: o.index,
+                on_spm: o.on_spm,
+                regret: o.regret,
+            })
+            .collect(),
+    })
+}
+
 /// One appended line of `BENCH_history.jsonl`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistoryRecord {
@@ -138,6 +195,10 @@ pub struct HistoryRecord {
     /// policy: old readers ignore the field, and records written
     /// before it parse back with an empty snapshot.
     pub timeseries: TimeSeriesSnapshot,
+    /// Per-cell top-regret object census (grid order), present only
+    /// when the sweep captured explain documents. Same addition
+    /// policy as the time-series.
+    pub explain_census: Vec<ExplainCensus>,
 }
 
 /// Flatten a metrics snapshot to scalars for longitudinal storage:
@@ -191,6 +252,7 @@ impl HistoryRecord {
             phases: report.phases.clone(),
             metrics: flatten_metrics(&report.metrics),
             timeseries: report.timeseries.clone(),
+            explain_census: report.cells.iter().filter_map(census_of).collect(),
         }
     }
 
@@ -256,6 +318,29 @@ impl HistoryRecord {
         }
         s.push('}');
         let _ = write!(s, ",\"timeseries\":{}", timeseries_json(&self.timeseries));
+        if !self.explain_census.is_empty() {
+            s.push_str(",\"explain_census\":[");
+            for (i, c) in self.explain_census.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{{\"key\":\"{}\",\"objects\":[", json_escape(&c.key));
+                for (j, o) in c.objects.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"i\":{},\"on_spm\":{},\"regret\":{}}}",
+                        o.index,
+                        o.on_spm,
+                        jnum(o.regret)
+                    );
+                }
+                s.push_str("]}");
+            }
+            s.push(']');
+        }
         s.push('}');
         s
     }
@@ -301,8 +386,33 @@ impl HistoryRecord {
                 .get("timeseries")
                 .map(parse_timeseries)
                 .unwrap_or_default(),
+            explain_census: v
+                .get("explain_census")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().filter_map(parse_census).collect())
+                .unwrap_or_default(),
         })
     }
+}
+
+/// Parse one census entry; malformed objects are skipped (diagnostic
+/// context, not a required column).
+fn parse_census(v: &Value) -> Option<ExplainCensus> {
+    Some(ExplainCensus {
+        key: v.get("key")?.as_str()?.to_string(),
+        objects: v
+            .get("objects")?
+            .as_array()?
+            .iter()
+            .filter_map(|o| {
+                Some(CensusObject {
+                    index: o.get("i")?.as_f64()? as usize,
+                    on_spm: o.get("on_spm")?.as_bool()?,
+                    regret: o.get("regret")?.as_f64()?,
+                })
+            })
+            .collect(),
+    })
 }
 
 /// Parse an embedded `casa_timeseries` document back to a snapshot.
@@ -455,6 +565,21 @@ mod tests {
                     ("bb.incumbent_savings".to_string(), vec![(1, 3.5), (4, 7.0)]),
                 ]),
             },
+            explain_census: vec![ExplainCensus {
+                key: cell("adpcm", energy).key(),
+                objects: vec![
+                    CensusObject {
+                        index: 6,
+                        on_spm: true,
+                        regret: 9_000.5,
+                    },
+                    CensusObject {
+                        index: 2,
+                        on_spm: false,
+                        regret: 450.0,
+                    },
+                ],
+            }],
         }
     }
 
@@ -521,6 +646,7 @@ mod tests {
         let old_line = format!("{prefix}}}");
         let back = HistoryRecord::parse(&old_line).expect("old line still parses");
         r.timeseries = TimeSeriesSnapshot::default();
+        r.explain_census = Vec::new();
         assert_eq!(back, r);
     }
 

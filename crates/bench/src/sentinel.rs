@@ -24,7 +24,7 @@
 //! written as `BENCH_regress.json` by the `sentinel` bin, which exits
 //! non-zero on regression so CI can gate on it).
 
-use crate::history::{HistoryCell, HistoryRecord};
+use crate::history::{ExplainCensus, HistoryCell, HistoryRecord};
 use casa_obs::{jnum, json_escape, TimeSeriesSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -144,6 +144,26 @@ pub struct Divergence {
     pub current: f64,
 }
 
+/// One object whose scratchpad placement flipped between the current
+/// run and the baseline, named by the per-cell top-regret explain
+/// census: the cell, the object, both placements, and the energy at
+/// stake. Only objects that appear in *both* censuses can be named —
+/// the census is top-K, so absence of flips is evidence about the
+/// highest-regret objects only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementFlip {
+    /// [`HistoryCell::key`] of the cell.
+    pub cell: String,
+    /// Object index within the cell's conflict graph.
+    pub object: usize,
+    /// Baseline placement (`true` = scratchpad).
+    pub baseline_on_spm: bool,
+    /// Current placement.
+    pub current_on_spm: bool,
+    /// Current run's regret for the object, nJ.
+    pub regret: f64,
+}
+
 /// Why a failing sentinel run failed: the divergent checks ranked by
 /// severity, a per-family census of every regression, and — when both
 /// runs recorded time-series — the first logical tick where their
@@ -160,6 +180,11 @@ pub struct RegressionAttribution {
     /// record that carried a time-series; `None` when neither side has
     /// one or they agree point-for-point.
     pub first_divergence: Option<Divergence>,
+    /// Top-regret objects whose placements flipped against the most
+    /// recent baseline record carrying an explain census,
+    /// regret-descending. Empty when either side lacks a census or no
+    /// censused placement moved.
+    pub placement_flips: Vec<PlacementFlip>,
 }
 
 /// Outcome of one sentinel run.
@@ -432,11 +457,52 @@ fn attribute(
         .rev()
         .find(|r| !r.timeseries.is_empty())
         .and_then(|r| first_divergence(&current.timeseries, &r.timeseries));
+    let placement_flips = baseline
+        .iter()
+        .rev()
+        .find(|r| !r.explain_census.is_empty())
+        .map(|r| census_flips(&current.explain_census, &r.explain_census))
+        .unwrap_or_default();
     RegressionAttribution {
         top,
         families,
         first_divergence,
+        placement_flips,
     }
+}
+
+/// Diff two explain censuses: for every cell and object present in
+/// both, report a [`PlacementFlip`] when the scratchpad placement
+/// differs. Regret-descending (ties by cell then object) so the most
+/// energy-significant flip leads.
+fn census_flips(current: &[ExplainCensus], baseline: &[ExplainCensus]) -> Vec<PlacementFlip> {
+    let mut flips = Vec::new();
+    for cur in current {
+        let Some(base) = baseline.iter().find(|c| c.key == cur.key) else {
+            continue;
+        };
+        for o in &cur.objects {
+            let Some(b) = base.objects.iter().find(|b| b.index == o.index) else {
+                continue;
+            };
+            if b.on_spm != o.on_spm {
+                flips.push(PlacementFlip {
+                    cell: cur.key.clone(),
+                    object: o.index,
+                    baseline_on_spm: b.on_spm,
+                    current_on_spm: o.on_spm,
+                    regret: o.regret,
+                });
+            }
+        }
+    }
+    flips.sort_by(|a, b| {
+        b.regret
+            .partial_cmp(&a.regret)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (&a.cell, a.object).cmp(&(&b.cell, b.object)))
+    });
+    flips
 }
 
 /// Earliest logical tick where `current` departs from `baseline`:
@@ -567,6 +633,27 @@ pub fn render_attribution(r: &SentinelReport) -> String {
             let _ = writeln!(s, "  first time-series divergence: none recorded");
         }
     }
+    if a.placement_flips.is_empty() {
+        let _ = writeln!(s, "  placement flips (top-regret census): none recorded");
+    } else {
+        let _ = writeln!(
+            s,
+            "  placement flips (top-regret census): {}",
+            a.placement_flips.len()
+        );
+        for f in &a.placement_flips {
+            let side = |on: bool| if on { "spm" } else { "cache" };
+            let _ = writeln!(
+                s,
+                "    {} obj {:>3}: {} -> {} ({} nJ at stake)",
+                f.cell,
+                f.object,
+                side(f.baseline_on_spm),
+                side(f.current_on_spm),
+                jnum(f.regret)
+            );
+        }
+    }
     s
 }
 
@@ -650,7 +737,23 @@ pub fn regress_json(r: &SentinelReport) -> String {
                     );
                 }
             }
-            s.push('}');
+            s.push_str(",\"placement_flips\":[");
+            for (i, f) in a.placement_flips.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"cell\":\"{}\",\"object\":{},\"baseline_on_spm\":{},\
+                     \"current_on_spm\":{},\"regret\":{}}}",
+                    json_escape(&f.cell),
+                    f.object,
+                    f.baseline_on_spm,
+                    f.current_on_spm,
+                    jnum(f.regret)
+                );
+            }
+            s.push_str("]}");
         }
     }
     s.push('}');
@@ -660,7 +763,7 @@ pub fn regress_json(r: &SentinelReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::HistoryCell;
+    use crate::history::{CensusObject, ExplainCensus, HistoryCell};
     use crate::sweep::PhaseRollup;
 
     fn cell(energy: f64, nodes: Option<u64>, status: &str) -> HistoryCell {
@@ -706,6 +809,21 @@ mod tests {
                     vec![(0, energy), (1, energy * 2.0)],
                 )]),
             },
+            explain_census: vec![ExplainCensus {
+                key: cell(energy, Some(20), "optimal").key(),
+                objects: vec![
+                    CensusObject {
+                        index: 3,
+                        on_spm: true,
+                        regret: 7_500.0,
+                    },
+                    CensusObject {
+                        index: 1,
+                        on_spm: false,
+                        regret: 300.0,
+                    },
+                ],
+            }],
         }
     }
 
@@ -811,6 +929,57 @@ mod tests {
         // Identical timeseries: divergence honestly reports nothing.
         assert_eq!(a.first_divergence, None);
         assert!(render_attribution(&r).contains("none recorded"));
+    }
+
+    #[test]
+    fn attribution_names_census_placement_flips_by_regret() {
+        let history = vec![record(100.0, 1.0), record(100.0, 1.0)];
+        let mut bad = record(100.0, 1.0);
+        // The regression: energy moved, and the census says which
+        // placement did it — object 3 left the scratchpad.
+        bad.cells[0].energy_uj = 107.5;
+        bad.explain_census[0].objects[0].on_spm = false;
+        let mut h = history;
+        h.push(bad);
+        let r = compare(h.last().unwrap(), &h, &SentinelConfig::default());
+        assert!(!r.pass);
+        let a = r.attribution.as_ref().expect("attribution");
+        assert_eq!(a.placement_flips.len(), 1);
+        let f = &a.placement_flips[0];
+        assert_eq!(f.object, 3);
+        assert!(f.baseline_on_spm && !f.current_on_spm);
+        assert_eq!(f.regret, 7_500.0);
+        assert_eq!(f.cell, cell(100.0, Some(20), "optimal").key());
+        let text = render_attribution(&r);
+        assert!(text.contains("obj   3: spm -> cache"), "{text}");
+        let v = serde::json::parse(&regress_json(&r)).expect("valid JSON");
+        let flips = v
+            .get("attribution")
+            .and_then(|a| a.get("placement_flips"))
+            .and_then(|f| f.as_array())
+            .expect("placement_flips");
+        assert_eq!(flips.len(), 1);
+        assert_eq!(flips[0].get("object").and_then(|o| o.as_f64()), Some(3.0));
+        assert_eq!(
+            flips[0].get("current_on_spm").and_then(|b| b.as_bool()),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn unchanged_census_attributes_no_flips() {
+        // A wall-clock-only failure with an identical census: the
+        // attribution honestly reports no placement movement.
+        let history = vec![record(100.0, 1.0), record(100.0, 1.0)];
+        let mut slow = record(100.0, 9.0);
+        slow.phases[0].total_us = 9_000_000;
+        let mut h = history;
+        h.push(slow);
+        let r = compare(h.last().unwrap(), &h, &SentinelConfig::default());
+        assert!(!r.pass);
+        let a = r.attribution.as_ref().expect("attribution");
+        assert!(a.placement_flips.is_empty());
+        assert!(render_attribution(&r).contains("placement flips (top-regret census): none"));
     }
 
     #[test]

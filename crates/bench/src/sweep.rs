@@ -37,7 +37,7 @@ use casa_core::engine::{AllocOutcome, Budget, TreeRecorder};
 use casa_core::flow::{
     run_loop_cache_flow, run_spm_flow, AllocatorKind, FlowConfig, FlowCtx, LoopCacheConfig,
 };
-use casa_core::{EnergyModel, Session, SessionRecorder, SolveJob};
+use casa_core::{explain_json, EnergyModel, ExplainRecorder, Session, SessionRecorder, SolveJob};
 use casa_energy::TechParams;
 use casa_ilp::tree::tree_log_json;
 use casa_mem::CacheConfig;
@@ -108,6 +108,7 @@ pub struct SweepGrid {
     budget: Budget,
     session_dir: Option<PathBuf>,
     capture_trees: bool,
+    capture_explain: bool,
 }
 
 /// Per-cell measurements. Wall-clock fields (`solver_secs`,
@@ -179,6 +180,12 @@ pub struct CellResult {
     /// the cell's allocator actually runs a tree search. Exported by
     /// [`SweepReport::tree_json`]; never part of [`CellResult::json`].
     pub tree: Option<String>,
+    /// The cell's decision-provenance document as a `casa_explain`
+    /// JSON document, when explain capture is on
+    /// ([`SweepGrid::set_capture_explain`]) and the cell is a
+    /// scratchpad cell. Exported by [`SweepReport::explain_json`];
+    /// never part of [`CellResult::json`] in either view.
+    pub explain: Option<String>,
 }
 
 /// Aggregated wall time of one span name across the whole sweep.
@@ -335,6 +342,15 @@ impl SweepGrid {
     /// [`Self::fingerprint`].
     pub fn set_capture_trees(&mut self, on: bool) {
         self.capture_trees = on;
+    }
+
+    /// Capture each scratchpad cell's decision provenance as a
+    /// `casa_explain` document ([`CellResult::explain`], exported by
+    /// [`SweepReport::explain_json`]). Like session and tree capture,
+    /// this is an output channel: it changes no allocation decision
+    /// and does not enter [`Self::fingerprint`].
+    pub fn set_capture_explain(&mut self, on: bool) {
+        self.capture_explain = on;
     }
 
     /// A stable fingerprint of the grid's *configuration* — workloads,
@@ -541,8 +557,17 @@ impl SweepGrid {
                             &self.budget,
                             self.session_dir.as_deref(),
                             self.capture_trees,
+                            self.capture_explain,
                             &cell_obs,
                         );
+                        // Live view only: the latest finished cell's
+                        // explain doc behind `/explain.json` (the
+                        // report's explain export is rebuilt in grid
+                        // order below, so scheduler order never shows
+                        // through there).
+                        if let Some(doc) = &res.explain {
+                            obs.publish_doc("explain", doc.clone());
+                        }
                         // Publish the finished cell's isolated metrics
                         // to the parent registry so a live `/metrics`
                         // scrape sees per-phase counters and energy
@@ -640,6 +665,7 @@ fn has_tree_search(kind: &CellKind) -> bool {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     key: &WorkloadKey,
     w: &PreparedWorkload,
@@ -647,6 +673,7 @@ fn run_cell(
     budget: &Budget,
     session_dir: Option<&Path>,
     capture_trees: bool,
+    capture_explain: bool,
     obs: &Obs,
 ) -> CellResult {
     let t = Instant::now();
@@ -675,10 +702,18 @@ fn run_cell(
     } else {
         TreeRecorder::disabled()
     };
+    // Explain applies to every scratchpad cell: exact allocators get
+    // LP provenance, heuristics a density/regret account.
+    let explain = if capture_explain && matches!(kind, CellKind::Spm(_)) {
+        ExplainRecorder::enabled()
+    } else {
+        ExplainRecorder::disabled()
+    };
     let ctx = FlowCtx::observed(obs)
         .with_budget(budget.clone())
         .with_session(&recorder)
-        .with_tree(&tree);
+        .with_tree(&tree)
+        .with_explain(&explain);
     let (report, cache) = match kind {
         CellKind::Spm(config) => {
             let r = run_spm_flow(&w.program, &w.profile, &w.exec, config, &ctx)
@@ -727,6 +762,7 @@ fn run_cell(
         metrics: obs.snapshot(),
         timeseries: obs.timeseries_snapshot(),
         tree: tree.take().map(|log| tree_log_json(&log)),
+        explain: explain.take().map(|doc| explain_json(&doc)),
     }
 }
 
@@ -772,6 +808,7 @@ fn write_cell_session(
         allocator: config.allocator,
         budget_nodes: budget.max_nodes,
         budget_ms: budget.deadline.map(|d| d.as_millis() as u64),
+        explain: false,
     };
     let out = AllocOutcome {
         allocation: report.allocation.clone(),
@@ -921,6 +958,32 @@ impl SweepReport {
             })
             .collect();
         format!("{{\"casa_tree_sweep\":1,\"cells\":[{}]}}", cells.join(","))
+    }
+
+    /// Every captured explain document as one deterministic JSON
+    /// document: `{"casa_explain_sweep":1,"cells":[{"key":...,
+    /// "explain":...},...]}` in grid order, listing only cells that
+    /// captured one (what `sweep --explain-out` writes). The `key` is
+    /// the cell's [`cell_stem`], the same stem session and tree capture
+    /// use, and `explain` is the cell's embedded `casa_explain`
+    /// document.
+    pub fn explain_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .filter_map(|c| {
+                let explain = c.explain.as_ref()?;
+                let key = cell_stem(&c.benchmark, &c.flavor, c.local_size);
+                Some(format!(
+                    "{{\"key\":\"{}\",\"explain\":{explain}}}",
+                    json_escape(&key)
+                ))
+            })
+            .collect();
+        format!(
+            "{{\"casa_explain_sweep\":1,\"cells\":[{}]}}",
+            cells.join(",")
+        )
     }
 
     /// Full JSON including thread count and per-phase / per-cell wall
@@ -1432,6 +1495,73 @@ mod tests {
             .cells
             .iter()
             .all(|c| c.tree.is_none()));
+    }
+
+    #[test]
+    fn explain_capture_stays_deterministic_and_quarantined() {
+        let mut g = small_grid();
+        g.set_capture_explain(true);
+        let plain = small_grid().run_with_threads(2).deterministic_json();
+        let reports: Vec<SweepReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| g.run_with_threads(t))
+            .collect();
+        // Explain must not move a byte of the deterministic report...
+        for r in &reports {
+            assert_eq!(plain, r.deterministic_json());
+        }
+        // ...and the explain document itself is byte-identical across
+        // worker counts (grid-order assembly; serial ≡ parallel).
+        for r in &reports[1..] {
+            assert_eq!(reports[0].explain_json(), r.explain_json());
+        }
+        let r = &reports[0];
+        // Every scratchpad cell carries a provenance document whose
+        // per-object records agree with the cell's placement counts;
+        // the loop-cache cell has no allocation solve to explain.
+        for c in &r.cells {
+            if c.flavor == "loop-cache" {
+                assert_eq!(c.explain, None, "no explain for {}", c.flavor);
+                continue;
+            }
+            let text = c.explain.as_ref().expect("spm cell captured explain");
+            let doc = casa_core::parse_explain(text).expect("valid casa_explain doc");
+            assert!(!doc.objects.is_empty(), "{}", c.flavor);
+            for o in &doc.objects {
+                assert!(o.regret.is_finite());
+            }
+            let exact =
+                ["spm:CasaBb", "spm:CasaIlpPaper", "spm:CasaIlpTight"].contains(&c.flavor.as_str());
+            if exact {
+                assert!(
+                    doc.shadow_price.is_some(),
+                    "exact cells report a shadow price: {}",
+                    c.flavor
+                );
+                assert!(doc
+                    .objects
+                    .iter()
+                    .all(|o| o.fixed_by != casa_core::FixedBy::Heuristic));
+            }
+        }
+        // The sweep-level document embeds every captured explain doc
+        // under its session stem, in grid order, and parses as JSON.
+        let doc = serde::json::parse(&r.explain_json()).expect("valid explain sweep doc");
+        assert_eq!(
+            doc.get("casa_explain_sweep").and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        let cells = doc.get("cells").and_then(|v| v.as_array()).expect("cells");
+        assert_eq!(
+            cells.len(),
+            r.cells.iter().filter(|c| c.explain.is_some()).count()
+        );
+        // Without opting in, no cell pays for capture.
+        assert!(small_grid()
+            .run_with_threads(1)
+            .cells
+            .iter()
+            .all(|c| c.explain.is_none()));
     }
 
     #[test]

@@ -205,6 +205,34 @@ impl SavingsModel {
         &self.order
     }
 
+    /// Optimistic saving `a_i + Σ incident w_ij` — the density
+    /// numerator of the knapsack bound.
+    pub(crate) fn optimistic_saving(&self, i: usize) -> f64 {
+        self.opt[i]
+    }
+
+    /// Object size in bytes.
+    pub(crate) fn size(&self, i: usize) -> u32 {
+        self.sizes[i]
+    }
+
+    /// Marginal saving of object `i` relative to `chosen`: `a_i` plus
+    /// every incident pair weight not already covered by the *other*
+    /// endpoint. For a chosen object this is what evicting it costs;
+    /// for an unchosen one, what adding it would gain (capacity
+    /// permitting) — the explain layer's per-object regret.
+    pub(crate) fn marginal_saving(&self, i: usize, chosen: &[bool]) -> f64 {
+        let mut s = self.a[i];
+        for &p in &self.incident[i] {
+            let (a, b, w) = self.pairs[p];
+            let other = if a == i { b } else { a };
+            if !chosen[other] {
+                s += w;
+            }
+        }
+        s
+    }
+
     /// Whether `chosen` respects the capacity (free items are free).
     pub(crate) fn fits(&self, chosen: &[bool], capacity: u32) -> bool {
         let used: u64 = (0..self.n)

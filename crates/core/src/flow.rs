@@ -21,6 +21,7 @@ use crate::allocation::Allocation;
 use crate::conflict::ConflictGraph;
 use crate::energy_model::EnergyModel;
 use crate::engine::{allocate_traced, AllocStatus, Budget, BudgetKind, TreeRecorder};
+use crate::explain::{explain_allocation, ExplainRecorder};
 use crate::report::EnergyBreakdown;
 use crate::ross::{allocate_loop_cache, LoopCacheAssignment};
 use crate::session::SessionRecorder;
@@ -258,6 +259,10 @@ pub struct FlowCtx {
     /// Search-tree recorder for the exact allocators; the default
     /// disabled recorder costs nothing.
     pub tree: TreeRecorder,
+    /// Explain recorder: when enabled, the flow assembles a
+    /// decision-provenance document after the solve phase. A pure
+    /// output channel — it never alters the allocation.
+    pub explain: ExplainRecorder,
 }
 
 impl FlowCtx {
@@ -303,6 +308,13 @@ impl FlowCtx {
     #[must_use]
     pub fn with_tree(mut self, tree: &TreeRecorder) -> Self {
         self.tree = tree.clone();
+        self
+    }
+
+    /// Attach an explain recorder (clones share the same slot).
+    #[must_use]
+    pub fn with_explain(mut self, explain: &ExplainRecorder) -> Self {
+        self.explain = explain.clone();
         self
     }
 }
@@ -452,6 +464,20 @@ pub fn run_spm_flow(
     obs.add("solver.spm_objects", allocation.spm_count() as u64);
     drop(span);
     obs.ts_sample("flow.progress", 3, allocation.solver_nodes as f64);
+
+    // Explain is assembled strictly after the decision, from the same
+    // model the solver saw — an output channel that cannot feed back
+    // into the allocation (and is excluded from fingerprints and
+    // deterministic exports).
+    if ctx.explain.is_enabled() {
+        let span = obs.span("explain");
+        let doc = explain_allocation(&model, config.spm_size, config.allocator, &allocation);
+        // Also behind `/explain.json` on any telemetry server bound to
+        // this handle (no-op when observability is off).
+        obs.publish_doc("explain", crate::explain::explain_json(&doc));
+        ctx.explain.record(doc);
+        drop(span);
+    }
 
     let span = obs.span("layout");
     let layout = Layout::with_placement(
@@ -875,6 +901,38 @@ mod tests {
         // Capture is passive: same answer with everything disabled.
         let silent = run_spm_flow(&p, &prof, &exec, &cfg, &FlowCtx::default()).unwrap();
         assert_eq!(silent.allocation.on_spm, report.allocation.on_spm);
+    }
+
+    #[test]
+    fn flow_explain_is_passive_and_deterministic() {
+        let (p, prof, exec) = thrash_workload();
+        let cfg = config(AllocatorKind::CasaBb);
+        let run = || {
+            let explain = ExplainRecorder::enabled();
+            let ctx = FlowCtx::default().with_explain(&explain);
+            let report = run_spm_flow(&p, &prof, &exec, &cfg, &ctx).unwrap();
+            (report, explain.take().expect("explain captured"))
+        };
+        let (report, doc) = run();
+        // Every allocated object carries a provenance record that
+        // agrees with the flow's decision.
+        assert_eq!(doc.objects.len(), report.allocation.on_spm.len());
+        for o in &doc.objects {
+            assert_eq!(o.on_spm, report.allocation.on_spm[o.index]);
+        }
+        assert_eq!(doc.allocator, "casa-bb");
+        assert_eq!(doc.capacity, cfg.spm_size);
+        // Byte-determinism of the document across runs.
+        let (_, doc2) = run();
+        assert_eq!(
+            crate::explain::explain_json(&doc),
+            crate::explain::explain_json(&doc2)
+        );
+        // Explain is an output channel: the allocation and energy are
+        // identical with the recorder disabled.
+        let silent = run_spm_flow(&p, &prof, &exec, &cfg, &FlowCtx::default()).unwrap();
+        assert_eq!(silent.allocation.on_spm, report.allocation.on_spm);
+        assert!((silent.energy_uj() - report.energy_uj()).abs() < 1e-12);
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //! * [`flow`] — the fig. 3 experimental workflow: trace formation →
 //!   profiling simulation → conflict graph → allocation → re-layout →
 //!   final simulation → energy report.
+//! * [`explain`] — decision provenance and sensitivity: per-object
+//!   density rank, root-LP reduced cost, capacity shadow price, and
+//!   flip distances, as a deterministic sorted-key JSON document.
 //! * [`server`] — allocation as a service: request schema, the
 //!   fingerprinted verify-on-hit solution cache, and the sharded
 //!   bounded-admission worker pool behind the `casa-server` binary.
@@ -61,6 +64,7 @@ pub mod conflict;
 pub mod data_alloc;
 pub mod energy_model;
 pub mod engine;
+pub mod explain;
 pub mod flow;
 pub mod greedy;
 pub mod multi_spm;
@@ -79,6 +83,10 @@ pub use energy_model::EnergyModel;
 pub use engine::{
     allocate_budgeted, allocate_recorded, allocate_traced, AllocOutcome, AllocStatus, Budget,
     BudgetKind, CancelToken, TreeRecorder,
+};
+pub use explain::{
+    explain_allocation, explain_json, parse_explain, render_explain, ExplainDoc, ExplainError,
+    ExplainRecorder, FixedBy, ObjectExplain, ProbeResult, EXPLAIN_SCHEMA, MAX_PROBES,
 };
 pub use flow::{
     run_loop_cache_flow, run_spm_flow, AllocatorKind, ConfigError, FlowConfig, FlowCtx, FlowReport,

@@ -43,6 +43,7 @@ use crate::allocation::Allocation;
 use crate::conflict::ConflictGraph;
 use crate::energy_model::EnergyModel;
 use crate::engine::{allocate_traced, AllocOutcome, AllocStatus, Budget, TreeRecorder};
+use crate::explain::{explain_allocation, explain_json};
 use crate::flow::AllocatorKind;
 use crate::session::{Session, SessionRecorder};
 use casa_energy::{EnergyTable, TechParams};
@@ -83,6 +84,13 @@ pub struct SolveJob {
     pub budget_nodes: Option<u64>,
     /// Requested wall-clock budget in milliseconds.
     pub budget_ms: Option<u64>,
+    /// Capture a decision-provenance document for this solve, written
+    /// as a `<stem>.explain.json` sibling of the session capture. An
+    /// output channel only: excluded from both cache keys (explain-on
+    /// and explain-off requests share entries) and from the response
+    /// body, and produced only on misses — a cache hit replays the
+    /// cached body without re-deriving provenance.
+    pub explain: bool,
 }
 
 /// The workload-name request form: the graph is named, not inlined —
@@ -106,6 +114,8 @@ pub struct WorkloadRequest {
     pub budget_nodes: Option<u64>,
     /// Requested wall-clock budget in milliseconds.
     pub budget_ms: Option<u64>,
+    /// Capture a decision-provenance sibling for this solve.
+    pub explain: bool,
 }
 
 /// A parsed `/solve` request: graph-form (self-contained) or
@@ -357,6 +367,10 @@ pub fn parse_request(body: &str) -> Result<ParsedRequest, RequestError> {
         None => AllocatorKind::CasaBb,
     };
     let (budget_nodes, budget_ms) = parse_budget(&v)?;
+    let explain = match v.get("explain") {
+        Some(b) => b.as_bool().ok_or("explain must be a boolean")?,
+        None => false,
+    };
     if let Some(w) = v.get("workload") {
         let benchmark = w
             .get("benchmark")
@@ -384,6 +398,7 @@ pub fn parse_request(body: &str) -> Result<ParsedRequest, RequestError> {
             allocator,
             budget_nodes,
             budget_ms,
+            explain,
         }));
     }
     let g = v
@@ -416,6 +431,7 @@ pub fn parse_request(body: &str) -> Result<ParsedRequest, RequestError> {
         allocator,
         budget_nodes,
         budget_ms,
+        explain,
     }))
 }
 
@@ -1201,6 +1217,9 @@ fn solve_one(
     if let Some(dir) = session_dir {
         write_request_session(dir, job, &out, &model, &rec, req_id, keys.exact_fp, obs);
         write_request_tree(dir, &tree, req_id, keys.exact_fp, obs);
+        if job.explain {
+            write_request_explain(dir, job, &out, &model, req_id, keys.exact_fp, obs);
+        }
     }
     let outcome = if warm.is_some() {
         CacheOutcome::Warm
@@ -1307,6 +1326,34 @@ fn write_request_tree(dir: &Path, tree: &TreeRecorder, req_id: &str, exact_fp: u
     }
 }
 
+/// Capture a request's decision-provenance document as a
+/// `<stem>.explain.json` sibling (requests that set `"explain": true`,
+/// misses only). The document is derived *after* the solve from the
+/// model and the returned allocation, so it can never perturb the
+/// answer; it is also published on the telemetry handle, so the
+/// server's `/explain.json` route serves the most recent one. Same
+/// best-effort contract as the other capture artifacts.
+fn write_request_explain(
+    dir: &Path,
+    job: &SolveJob,
+    out: &AllocOutcome,
+    model: &EnergyModel<'_>,
+    req_id: &str,
+    exact_fp: u64,
+    obs: &Obs,
+) {
+    let span = obs.span("server.explain");
+    let doc = explain_allocation(model, job.capacity, job.allocator, &out.allocation);
+    let json = explain_json(&doc);
+    drop(span);
+    obs.publish_doc("explain", json.clone());
+    let stem = capture_stem(req_id, exact_fp);
+    match std::fs::write(dir.join(format!("{stem}.explain.json")), json) {
+        Ok(()) => obs.add("server.explains_captured_total", 1),
+        Err(_) => obs.add("server.explain_write_failures_total", 1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1339,6 +1386,7 @@ mod tests {
             allocator,
             budget_nodes: None,
             budget_ms: None,
+            explain: false,
         }
     }
 
@@ -1759,6 +1807,75 @@ mod tests {
     }
 
     #[test]
+    fn explain_opt_in_writes_a_sibling_that_matches_the_response() {
+        // The flag never enters the cache keys: explain-on and
+        // explain-off requests share entries.
+        let mut seed = 11;
+        let job = random_job(&mut seed, 32, AllocatorKind::CasaBb);
+        let mut tagged = job.clone();
+        tagged.explain = true;
+        assert_eq!(job.exact_key(), tagged.exact_key());
+        assert_eq!(job.base_key(), tagged.base_key());
+
+        let dir = std::env::temp_dir().join(format!("casa-server-explain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = Obs::enabled();
+        let svc = AllocService::start(
+            &ServiceConfig {
+                session_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            },
+            &obs,
+        );
+        let reply = svc
+            .submit_tagged(tagged.clone(), Some("exp-1"))
+            .expect("solve");
+        assert_eq!(reply.cache, CacheOutcome::Miss);
+        let json = std::fs::read_to_string(dir.join("exp-1.explain.json")).expect("sibling");
+        let doc = crate::explain::parse_explain(&json).expect("valid explain doc");
+        // The document describes exactly the placement the response
+        // reports, one provenance record per object.
+        let v = serde::json::parse(&reply.body).expect("valid body");
+        let on_spm: Vec<usize> = v
+            .get("on_spm")
+            .and_then(Value::as_array)
+            .expect("on_spm")
+            .iter()
+            .map(|x| x.as_f64().unwrap() as usize)
+            .collect();
+        assert_eq!(doc.objects.len(), tagged.graph.len());
+        for o in &doc.objects {
+            assert_eq!(o.on_spm, on_spm.contains(&o.index), "object {}", o.index);
+        }
+        assert_eq!(doc.allocator, allocator_tag(tagged.allocator));
+        // The latest document is also served on the telemetry handle.
+        assert_eq!(obs.published_doc("explain"), Some(json));
+        // A cache hit replays the body without re-deriving provenance:
+        // no sibling, even with the flag set.
+        let again = svc.submit_tagged(tagged, Some("exp-hit")).expect("solve");
+        assert_eq!(again.cache, CacheOutcome::Hit);
+        assert!(!dir.join("exp-hit.explain.json").exists());
+        // Without the opt-in, a miss writes no sibling either.
+        let mut seed = 13;
+        let plain = svc
+            .submit_tagged(
+                random_job(&mut seed, 32, AllocatorKind::CasaBb),
+                Some("plain-1"),
+            )
+            .expect("solve");
+        assert_eq!(plain.cache, CacheOutcome::Miss);
+        assert!(!dir.join("plain-1.explain.json").exists());
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.get("server.explains_captured_total"),
+            Some(&casa_obs::MetricValue::Counter(1))
+        );
+        assert!(!snap.contains_key("server.explain_write_failures_total"));
+        drop(svc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn untagged_capture_falls_back_to_the_exact_fingerprint() {
         let dir = std::env::temp_dir().join(format!(
             "casa-server-sessions-untagged-{}",
@@ -1830,6 +1947,7 @@ mod tests {
                         allocator: AllocatorKind::CasaBb,
                         budget_nodes: None,
                         budget_ms: Some(300),
+                        explain: false,
                     };
                     barrier.wait();
                     svc.submit(job)

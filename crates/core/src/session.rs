@@ -1329,6 +1329,7 @@ mod tests {
             allocator,
             budget_nodes,
             budget_ms: None,
+            explain: false,
         }
     }
 

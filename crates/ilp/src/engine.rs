@@ -63,6 +63,21 @@ impl PartialEq for CancelToken {
     }
 }
 
+/// The root LP relaxation as provenance material: values, objective,
+/// and the dual information the simplex final basis carries for free.
+/// Everything is in the model's own orientation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RootLp {
+    /// Relaxation value per model variable.
+    pub values: Vec<f64>,
+    /// Relaxation objective (an optimistic bound on the optimum).
+    pub objective: f64,
+    /// Shadow price per model constraint: `d(objective)/d(rhs_k)`.
+    pub duals: Vec<f64>,
+    /// Reduced cost per model variable over model constraints.
+    pub reduced_costs: Vec<f64>,
+}
+
 /// Everything the branch & bound decided during one search, in the
 /// order it decided it — the raw material of a replayable session
 /// (see `casa_core::session`).
@@ -80,6 +95,14 @@ pub struct SearchLog {
     pub stop: Option<BudgetKind>,
     /// Total nodes popped.
     pub nodes: u64,
+    /// The root relaxation with duals and reduced costs, captured the
+    /// first time the root LP solves to optimality (provenance for
+    /// `casa_core::explain`; `None` when the root never solved).
+    pub root_lp: Option<RootLp>,
+    /// Per-branch provenance: `(node, variable, LP relaxation value at
+    /// the moment of branching)`. Parallel to `branched` (which is
+    /// kept as the compact replay order for the session codec).
+    pub branch_events: Vec<(u64, u32, f64)>,
 }
 
 /// Recorder for the solver decision log, following the [`Obs`]
@@ -112,8 +135,19 @@ impl SearchRecorder {
         }
     }
 
-    fn branch(&self, var: usize) {
-        self.with(|l| l.branched.push(var as u32));
+    fn branch(&self, node: u64, var: usize, lp_value: f64) {
+        self.with(|l| {
+            l.branched.push(var as u32);
+            l.branch_events.push((node, var as u32, lp_value));
+        });
+    }
+
+    fn root_lp(&self, root: &RootLp) {
+        self.with(|l| {
+            if l.root_lp.is_none() {
+                l.root_lp = Some(root.clone());
+            }
+        });
     }
 
     fn incumbent(&self, node: u64, min_obj: f64, values: &[f64]) {
@@ -652,7 +686,22 @@ fn search(
                 // the root was bounded; treat defensively as a dead end.
                 continue;
             }
-            LpResult::Optimal { values, objective } => (values, objective),
+            LpResult::Optimal {
+                values,
+                objective,
+                duals,
+                reduced_costs,
+            } => {
+                if nodes == 1 && rec.is_enabled() {
+                    rec.root_lp(&RootLp {
+                        values: values.clone(),
+                        objective,
+                        duals,
+                        reduced_costs,
+                    });
+                }
+                (values, objective)
+            }
         };
         let min_obj = sense_sign * objective;
         if let Some((_, best)) = &incumbent {
@@ -724,7 +773,7 @@ fn search(
                 }
             }
             Some((i, x)) => {
-                rec.branch(i);
+                rec.branch(nodes, i, x);
                 if tree.is_enabled() {
                     tree.record(TreeEvent {
                         kind: TreeEventKind::Branch,
@@ -1184,6 +1233,34 @@ mod tests {
         assert!(serde::json::parse(&json).is_ok(), "valid dump: {json}");
         let tree_json = crate::tree::tree_log_json(&log);
         assert!(serde::json::parse(&tree_json).is_ok());
+    }
+
+    #[test]
+    fn recorder_captures_root_lp_and_branch_provenance() {
+        let (m, _, _) = branching_model();
+        let rec = SearchRecorder::enabled();
+        let out = SolveRequest::new(&m).record(&rec).solve().unwrap();
+        assert!(out.is_optimal());
+        let log = rec.take().unwrap();
+        let root = log.root_lp.expect("root LP solved to optimality");
+        // Model-oriented root relaxation bound of the max problem: at
+        // least the integer optimum, with the known LP value 4.6.
+        assert!((root.objective - 4.6).abs() < 1e-6, "{}", root.objective);
+        assert_eq!(root.values.len(), 2);
+        assert_eq!(root.duals.len(), 2);
+        assert_eq!(root.reduced_costs.len(), 2);
+        assert!(root.duals.iter().all(|d| d.is_finite()));
+        // Both constraints bind at the fractional vertex (12/5, 11/5).
+        assert!(root.duals.iter().all(|&d| d > 0.0), "{:?}", root.duals);
+        // Branch provenance parallels the compact order and records a
+        // genuinely fractional LP value for each branch decision.
+        assert_eq!(log.branch_events.len(), log.branched.len());
+        for (k, &(node, var, x)) in log.branch_events.iter().enumerate() {
+            assert_eq!(var, log.branched[k]);
+            assert!(node >= 1 && node <= log.nodes);
+            assert!((x - x.round()).abs() > 1e-6, "branch value fractional: {x}");
+        }
+        assert!(!log.branch_events.is_empty(), "fractional root must branch");
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod tree;
 
 pub use branch_bound::{BbStats, SolverOptions};
 pub use engine::{
-    Budget, BudgetKind, CancelToken, EngineStatus, SearchLog, SearchRecorder, SolveOutcome,
+    Budget, BudgetKind, CancelToken, EngineStatus, RootLp, SearchLog, SearchRecorder, SolveOutcome,
     SolveRequest,
 };
 pub use knapsack::knapsack_01;

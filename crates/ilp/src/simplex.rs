@@ -23,11 +23,41 @@ pub enum LpResult {
         values: Vec<f64>,
         /// Objective at the optimum.
         objective: f64,
+        /// Dual value (shadow price) per model constraint, in model
+        /// orientation: `duals[k]` is `d(objective)/d(rhs_k)` at the
+        /// final basis. Constraints whose variables were all fixed by
+        /// the caller's bounds report `0.0`.
+        duals: Vec<f64>,
+        /// Reduced cost per model variable in model orientation:
+        /// `c_i − Σ_k duals[k]·a_ki`, the classical reduced cost over
+        /// the model's own constraints (variable-bound rows excluded).
+        /// Zero for basic variables; the sign of a nonbasic variable's
+        /// reduced cost says which way moving it changes the objective.
+        reduced_costs: Vec<f64>,
     },
     /// No feasible point under the given bounds.
     Infeasible,
     /// Objective unbounded in the optimization direction.
     Unbounded,
+}
+
+/// Reduced costs `c − yᵀA` over the model's constraints, given model-
+/// oriented duals `y`. Shared by the tableau path and the all-fixed
+/// degenerate path so both report the same convention.
+fn reduced_costs_from_duals(model: &Model, duals: &[f64]) -> Vec<f64> {
+    let mut rc = vec![0.0f64; model.num_vars()];
+    for &(v, c) in model.objective() {
+        rc[v.index()] += c;
+    }
+    for (k, con) in model.constraints().iter().enumerate() {
+        let y = duals[k];
+        if y != 0.0 {
+            for &(v, c) in &con.terms {
+                rc[v.index()] -= y * c;
+            }
+        }
+    }
+    rc
 }
 
 const EPS: f64 = 1e-9;
@@ -119,9 +149,16 @@ fn solve_lp_inner(
         coefs: Vec<f64>, // dense over free columns
         op: ConstraintOp,
         rhs: f64,
+        /// Index of the model constraint this row came from (`None`
+        /// for variable upper-bound rows) — the dual-extraction key.
+        model_idx: Option<usize>,
+        /// −1.0 when the b ≥ 0 normalization negated the row (which
+        /// also negates its dual).
+        flip: f64,
     }
+    let n_con = model.constraints().len();
     let mut rows: Vec<Row> = Vec::new();
-    for con in model.constraints() {
+    for (k, con) in model.constraints().iter().enumerate() {
         let mut coefs = vec![0.0f64; n];
         let mut rhs = con.rhs;
         let mut any = false;
@@ -151,6 +188,8 @@ fn solve_lp_inner(
             coefs,
             op: con.op,
             rhs,
+            model_idx: Some(k),
+            flip: 1.0,
         });
     }
     for (j, &i) in free_vars.iter().enumerate() {
@@ -162,6 +201,8 @@ fn solve_lp_inner(
                 coefs,
                 op: ConstraintOp::Le,
                 rhs: ub - lb,
+                model_idx: None,
+                flip: 1.0,
             });
         }
     }
@@ -178,15 +219,25 @@ fn solve_lp_inner(
                 ConstraintOp::Ge => ConstraintOp::Le,
                 ConstraintOp::Eq => ConstraintOp::Eq,
             };
+            row.flip = -1.0;
         }
     }
 
     let m = rows.len();
     if n == 0 {
-        // Everything fixed and all rows checked above.
+        // Everything fixed and all rows checked above. No basis exists,
+        // so every constraint reports a zero dual and reduced costs
+        // degenerate to the raw objective coefficients.
         let values: Vec<f64> = (0..n_model).map(|i| bounds[i].0).collect();
         let objective = model.eval_objective(&values);
-        return Ok(LpResult::Optimal { values, objective });
+        let duals = vec![0.0f64; n_con];
+        let reduced_costs = reduced_costs_from_duals(model, &duals);
+        return Ok(LpResult::Optimal {
+            values,
+            objective,
+            duals,
+            reduced_costs,
+        });
     }
 
     // Column layout: [structural n][slack/surplus][artificial][rhs].
@@ -202,17 +253,25 @@ fn solve_lp_inner(
     let mut t = vec![vec![0.0f64; total + 1]; m];
     let mut basis = vec![usize::MAX; m];
     let art_start = n + n_slack;
+    // Dual provenance: for each model constraint that made it into the
+    // tableau, the column whose final phase-2 reduced cost encodes the
+    // row's dual, the sign relating that reduced cost to the internal
+    // dual (slack: y = −d, surplus: y = +d, artificial: y = −d), and
+    // the normalization flip. Reading duals off *columns* keeps this
+    // valid even when phase 1 deletes redundant rows.
+    let mut dual_cols: Vec<(usize, usize, f64, f64)> = Vec::new();
     {
         let mut s = n;
         let mut a = art_start;
         for (i, row) in rows.iter().enumerate() {
             t[i][..n].copy_from_slice(&row.coefs);
             t[i][total] = row.rhs;
-            match row.op {
+            let (col, col_sign) = match row.op {
                 ConstraintOp::Le => {
                     t[i][s] = 1.0;
                     basis[i] = s;
                     s += 1;
+                    (s - 1, -1.0)
                 }
                 ConstraintOp::Ge => {
                     t[i][s] = -1.0;
@@ -220,12 +279,17 @@ fn solve_lp_inner(
                     t[i][a] = 1.0;
                     basis[i] = a;
                     a += 1;
+                    (s - 1, 1.0)
                 }
                 ConstraintOp::Eq => {
                     t[i][a] = 1.0;
                     basis[i] = a;
                     a += 1;
+                    (a - 1, -1.0)
                 }
+            };
+            if let Some(k) = row.model_idx {
+                dual_cols.push((k, col, col_sign, row.flip));
             }
         }
     }
@@ -236,7 +300,7 @@ fn solve_lp_inner(
         for c in c1.iter_mut().skip(art_start) {
             *c = 1.0;
         }
-        let (opt, feasible) = run_phase(&mut t, &mut basis, &c1, total, usize::MAX, pivots)?;
+        let (opt, feasible, _) = run_phase(&mut t, &mut basis, &c1, total, usize::MAX, pivots)?;
         let _ = feasible;
         if opt > 1e-6 {
             return Ok(LpResult::Infeasible);
@@ -264,7 +328,7 @@ fn solve_lp_inner(
     let mut c2 = vec![0.0f64; total];
     c2[..n].copy_from_slice(&cost);
     let bar_from = if n_art > 0 { art_start } else { usize::MAX };
-    let (opt, bounded) = run_phase(&mut t, &mut basis, &c2, total, bar_from, pivots)?;
+    let (opt, bounded, d) = run_phase(&mut t, &mut basis, &c2, total, bar_from, pivots)?;
     if !bounded {
         return Ok(LpResult::Unbounded);
     }
@@ -286,11 +350,28 @@ fn solve_lp_inner(
     // `opt` equals cost·shifted (minimization form over shifted vars);
     // fold the variable shift and the sense back in.
     let objective = obj_base + sign * opt;
-    Ok(LpResult::Optimal { values, objective })
+    // Duals: the final phase-2 reduced cost of a row's slack / surplus
+    // / artificial column is (up to sign) its internal minimization
+    // dual; the sense sign and the b ≥ 0 flip map it back to
+    // d(objective)/d(rhs) in model orientation. Constraints skipped as
+    // all-fixed (and rows phase 1 proved redundant) keep dual 0.
+    let mut duals = vec![0.0f64; n_con];
+    for &(k, col, col_sign, flip) in &dual_cols {
+        duals[k] = sign * flip * col_sign * d[col];
+    }
+    let reduced_costs = reduced_costs_from_duals(model, &duals);
+    Ok(LpResult::Optimal {
+        values,
+        objective,
+        duals,
+        reduced_costs,
+    })
 }
 
 /// Run simplex with cost vector `c` (columns `>= bar_from` may not
-/// enter the basis). Returns `(objective, bounded)`; when unbounded,
+/// enter the basis). Returns `(objective, bounded, reduced_costs)`
+/// where `reduced_costs` is the final reduced-cost row over all
+/// columns — the raw material for dual extraction; when unbounded,
 /// `objective` is meaningless and `bounded` is false.
 fn run_phase(
     t: &mut [Vec<f64>],
@@ -299,7 +380,7 @@ fn run_phase(
     total: usize,
     bar_from: usize,
     pivots: &mut u64,
-) -> Result<(f64, bool), SolveError> {
+) -> Result<(f64, bool, Vec<f64>), SolveError> {
     let m = t.len();
     // Reduced-cost row: z = c_B B^-1 A - c ; store d_j = cbar_j.
     let mut d = c.to_vec();
@@ -346,7 +427,7 @@ fn run_phase(
             }
         }
         let Some(j) = enter else {
-            return Ok((obj, true));
+            return Ok((obj, true, d));
         };
         // Ratio test; ties broken by smallest basis index (Bland).
         let mut leave: Option<usize> = None;
@@ -369,7 +450,7 @@ fn run_phase(
             }
         }
         let Some(r) = leave else {
-            return Ok((obj, false)); // unbounded
+            return Ok((obj, false, d)); // unbounded
         };
         pivot_with_costs(t, basis, &mut d, &mut obj, r, j, total);
         *pivots += 1;
@@ -440,7 +521,9 @@ mod tests {
         m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
         m.add_constraint([(x, 1.0), (y, 3.0)], ConstraintOp::Le, 6.0);
         match solve_lp(&m, &bounds_of(&m)).unwrap() {
-            LpResult::Optimal { values, objective } => {
+            LpResult::Optimal {
+                values, objective, ..
+            } => {
                 assert!((values[0] - 4.0).abs() < 1e-6, "x = {}", values[0]);
                 assert!(values[1].abs() < 1e-6);
                 assert!((objective - 12.0).abs() < 1e-6);
@@ -459,7 +542,9 @@ mod tests {
         m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0);
         m.add_constraint([(x, 1.0)], ConstraintOp::Ge, 1.0);
         match solve_lp(&m, &bounds_of(&m)).unwrap() {
-            LpResult::Optimal { objective, values } => {
+            LpResult::Optimal {
+                objective, values, ..
+            } => {
                 assert!((objective - 3.0).abs() < 1e-6);
                 assert!(values[0] >= 1.0 - 1e-6);
             }
@@ -494,7 +579,9 @@ mod tests {
         m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 2.0);
         let b = vec![(1.0, 1.0), (0.0, 10.0)];
         match solve_lp(&m, &b).unwrap() {
-            LpResult::Optimal { values, objective } => {
+            LpResult::Optimal {
+                values, objective, ..
+            } => {
                 assert_eq!(values[0], 1.0);
                 assert!((values[1] - 1.0).abs() < 1e-6);
                 assert!((objective - 1.0).abs() < 1e-6);
@@ -545,7 +632,9 @@ mod tests {
         let x = m.continuous("x", 2.0, 5.0);
         m.set_objective([(x, 1.0)]);
         match solve_lp(&m, &bounds_of(&m)).unwrap() {
-            LpResult::Optimal { values, objective } => {
+            LpResult::Optimal {
+                values, objective, ..
+            } => {
                 assert!((values[0] - 2.0).abs() < 1e-9);
                 assert!((objective - 2.0).abs() < 1e-9);
             }
@@ -567,6 +656,141 @@ mod tests {
         // A model with every variable fixed solves by substitution.
         let (_, pivots) = solve_lp_counted(&m, &[(1.0, 1.0), (1.0, 1.0)]).unwrap();
         assert_eq!(pivots, 0);
+    }
+
+    #[test]
+    fn duals_and_reduced_costs_textbook_max() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6. Optimum x=4, y=0:
+        // row 1 binding (dual 3 = d(obj)/d(rhs)), row 2 slack (dual 0).
+        // rc_x = 3 - 3·1 = 0 (basic); rc_y = 2 - 3·1 = -1 (raising y
+        // off its bound loses one unit of objective).
+        let mut m = Model::maximize();
+        let x = m.continuous("x", 0.0, 10.0);
+        let y = m.continuous("y", 0.0, 10.0);
+        m.set_objective([(x, 3.0), (y, 2.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], ConstraintOp::Le, 6.0);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal {
+                duals,
+                reduced_costs,
+                ..
+            } => {
+                assert_eq!(duals.len(), 2);
+                assert!((duals[0] - 3.0).abs() < 1e-9, "duals {duals:?}");
+                assert!(duals[1].abs() < 1e-9, "duals {duals:?}");
+                assert!(reduced_costs[0].abs() < 1e-9, "rc {reduced_costs:?}");
+                assert!(
+                    (reduced_costs[1] + 1.0).abs() < 1e-9,
+                    "rc {reduced_costs:?}"
+                );
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duals_on_ge_and_eq_rows_min() {
+        // min x + 2y s.t. x + y >= 3 -> x=3, dual 1 (each extra unit of
+        // rhs costs one more unit of x). rc_y = 2 - 1 = 1.
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.set_objective([(x, 1.0), (y, 2.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal {
+                duals,
+                reduced_costs,
+                ..
+            } => {
+                assert!((duals[0] - 1.0).abs() < 1e-9, "duals {duals:?}");
+                assert!(reduced_costs[0].abs() < 1e-9);
+                assert!((reduced_costs[1] - 1.0).abs() < 1e-9);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+        // Same with an equality row: duals survive phase 2 because the
+        // artificial column's reduced cost keeps being updated.
+        let mut m2 = Model::minimize();
+        let x2 = m2.continuous("x", 0.0, f64::INFINITY);
+        let y2 = m2.continuous("y", 0.0, f64::INFINITY);
+        m2.set_objective([(x2, 1.0), (y2, 2.0)]);
+        m2.add_constraint([(x2, 1.0), (y2, 1.0)], ConstraintOp::Eq, 3.0);
+        match solve_lp(&m2, &bounds_of(&m2)).unwrap() {
+            LpResult::Optimal { duals, .. } => {
+                assert!((duals[0] - 1.0).abs() < 1e-9, "eq dual {duals:?}");
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dual_sign_survives_rhs_flip_normalization() {
+        // min x s.t. -x <= -2 (i.e. x >= 2 written with a negative rhs
+        // that the b >= 0 normalization will negate). In model
+        // orientation x = -rhs, so d(obj)/d(rhs) = -1.
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        m.set_objective([(x, 1.0)]);
+        m.add_constraint([(x, -1.0)], ConstraintOp::Le, -2.0);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal { values, duals, .. } => {
+                assert!((values[0] - 2.0).abs() < 1e-9);
+                assert!((duals[0] + 1.0).abs() < 1e-9, "flipped dual {duals:?}");
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn knapsack_lp_dual_is_marginal_density() {
+        // Fractional knapsack: max 6a + 5b + 4c, 2a + 2b + 2c <= 5,
+        // x in [0,1]. Optimum a=b=1, c=0.5; the capacity dual is the
+        // marginal item's value density 4/2 = 2, and rc_i = v_i - 2·w_i.
+        let mut m = Model::maximize();
+        let a = m.continuous("a", 0.0, 1.0);
+        let b = m.continuous("b", 0.0, 1.0);
+        let c = m.continuous("c", 0.0, 1.0);
+        m.set_objective([(a, 6.0), (b, 5.0), (c, 4.0)]);
+        m.add_constraint([(a, 2.0), (b, 2.0), (c, 2.0)], ConstraintOp::Le, 5.0);
+        match solve_lp(&m, &bounds_of(&m)).unwrap() {
+            LpResult::Optimal {
+                values,
+                duals,
+                reduced_costs,
+                ..
+            } => {
+                assert!((values[2] - 0.5).abs() < 1e-9, "marginal item fractional");
+                assert!((duals[0] - 2.0).abs() < 1e-9, "capacity dual {duals:?}");
+                assert!((reduced_costs[0] - 2.0).abs() < 1e-9);
+                assert!((reduced_costs[1] - 1.0).abs() < 1e-9);
+                assert!(reduced_costs[2].abs() < 1e-9, "marginal item rc 0");
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_fixed_model_reports_zero_duals_and_raw_cost_rc() {
+        // Every variable fixed: the degenerate path reports zero duals
+        // and reduced costs equal to the raw objective coefficients.
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 1.0);
+        let y = m.continuous("y", 0.0, 1.0);
+        m.set_objective([(x, 3.0), (y, -2.0)]);
+        m.add_constraint([(x, 1.0), (y, 1.0)], ConstraintOp::Le, 5.0);
+        match solve_lp(&m, &[(1.0, 1.0), (0.0, 0.0)]).unwrap() {
+            LpResult::Optimal {
+                duals,
+                reduced_costs,
+                ..
+            } => {
+                assert_eq!(duals, vec![0.0]);
+                assert_eq!(reduced_costs, vec![3.0, -2.0]);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -67,8 +67,9 @@ pub use watchdog::{
     watchdog_ms_from_env, Heartbeats, WatchdogConfig, WatchdogHandle, WATCHDOG_ENV,
 };
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug)]
 struct ObsInner {
@@ -77,6 +78,7 @@ struct ObsInner {
     flight: Arc<FlightRecorder>,
     heartbeats: Arc<Heartbeats>,
     timeseries: TimeSeriesStore,
+    docs: Mutex<BTreeMap<String, String>>,
 }
 
 /// Handle threaded through the allocation flow. Clones share the same
@@ -109,6 +111,7 @@ impl Obs {
                 flight: Arc::new(FlightRecorder::from_env()),
                 heartbeats: Arc::new(Heartbeats::new()),
                 timeseries: TimeSeriesStore::from_env(),
+                docs: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -125,6 +128,7 @@ impl Obs {
                 flight: Arc::new(FlightRecorder::new(cap)),
                 heartbeats: Arc::new(Heartbeats::new()),
                 timeseries: TimeSeriesStore::from_env(),
+                docs: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -143,6 +147,7 @@ impl Obs {
                     flight: Arc::clone(&i.flight),
                     heartbeats: Arc::clone(&i.heartbeats),
                     timeseries: TimeSeriesStore::from_env(),
+                    docs: Mutex::new(BTreeMap::new()),
                 })),
             },
             None => Obs::disabled(),
@@ -156,6 +161,24 @@ impl Obs {
             Ok(v) if !v.is_empty() && v != "0" => Obs::enabled(),
             _ => Obs::disabled(),
         }
+    }
+
+    /// Publish a named JSON document for the telemetry server to
+    /// serve (e.g. `"explain"` behind `/explain.json`). Documents are
+    /// an output channel: publishing replaces any earlier document of
+    /// the same name and is a no-op on a disabled handle.
+    pub fn publish_doc(&self, name: &str, json: String) {
+        if let Some(i) = &self.inner {
+            if let Ok(mut docs) = i.docs.lock() {
+                docs.insert(name.to_string(), json);
+            }
+        }
+    }
+
+    /// The most recently published document under `name`, if any.
+    pub fn published_doc(&self, name: &str) -> Option<String> {
+        let i = self.inner.as_deref()?;
+        i.docs.lock().ok()?.get(name).cloned()
     }
 
     /// Whether instrumentation is live.

@@ -123,9 +123,11 @@ pub fn prom_num(v: f64) -> String {
 /// Render a metrics snapshot in the Prometheus text exposition format
 /// (version 0.0.4). Counters and gauges keep their type; log₂
 /// histograms are rendered as `summary` families with quantile lines
-/// (0.5 / 0.9 / 0.99, interpolated within buckets and clamped to the
-/// exact observed extremes — present only when the histogram has
-/// samples) plus `_sum` and `_count`. Keys iterate in sorted order;
+/// (0.5 / 0.9 / 0.99 / 0.999, interpolated within buckets and clamped
+/// to the exact observed extremes — present only when the histogram
+/// has samples) plus `_sum` and `_count`, and `_min` / `_max` sibling
+/// gauges carrying the exact observed extremes when known. Keys
+/// iterate in sorted order;
 /// if two internal names sanitize to the same family the first wins
 /// and later ones are skipped (never a duplicate family).
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
@@ -146,13 +148,30 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
             MetricValue::Histogram(h) => {
                 out.push_str(&format!("# TYPE {fam} summary\n"));
                 if h.count > 0 {
-                    for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                    for (q, v) in [
+                        ("0.5", h.p50()),
+                        ("0.9", h.p90()),
+                        ("0.99", h.p99()),
+                        ("0.999", h.quantile(0.999)),
+                    ] {
                         if let Some(v) = v {
                             out.push_str(&format!("{fam}{{quantile=\"{q}\"}} {}\n", prom_num(v)));
                         }
                     }
                 }
                 out.push_str(&format!("{fam}_sum {}\n{fam}_count {}\n", h.sum, h.count));
+                // The interpolated tail quantiles are clamped to the
+                // observed extremes; export the extremes themselves as
+                // sibling gauges so dashboards can show exact
+                // best/worst samples per family.
+                for (suffix, v) in [("min", h.min), ("max", h.max)] {
+                    if let Some(v) = v {
+                        let gauge = format!("{fam}_{suffix}");
+                        if seen.insert(gauge.clone()) {
+                            out.push_str(&format!("# TYPE {gauge} gauge\n{gauge} {v}\n"));
+                        }
+                    }
+                }
             }
         }
     }
@@ -1026,6 +1045,7 @@ fn route_label(path: &str) -> &'static str {
         "/snapshot.json" => "snapshot",
         "/flight.json" => "flight",
         "/timeseries.json" => "timeseries",
+        "/explain.json" => "explain",
         "/healthz" => "healthz",
         "/events" => "events",
         "/requests.json" => "requests",
@@ -1037,8 +1057,8 @@ fn route_label(path: &str) -> &'static str {
 /// The methods a built-in route accepts, `None` for unknown paths.
 fn builtin_methods(path: &str) -> Option<&'static [&'static str]> {
     match path {
-        "/metrics" | "/snapshot.json" | "/flight.json" | "/timeseries.json" | "/healthz"
-        | "/events" | "/requests.json" => Some(&["GET"]),
+        "/metrics" | "/snapshot.json" | "/flight.json" | "/timeseries.json" | "/explain.json"
+        | "/healthz" | "/events" | "/requests.json" => Some(&["GET"]),
         "/quitquitquit" => Some(&["GET", "POST"]),
         _ => None,
     }
@@ -1190,6 +1210,13 @@ fn serve_one(
                 crate::timeseries::timeseries_json(&obs.timeseries_snapshot()),
             ),
             ("GET", "/requests.json") => Response::json(200, state.journal.to_json()),
+            // The latest explain document published on this handle
+            // (`Obs::publish_doc("explain", ...)`); 404 until a solve
+            // has published one.
+            ("GET", "/explain.json") => match obs.published_doc("explain") {
+                Some(doc) => Response::json(200, doc),
+                None => Response::text(404, "no explain document published\n"),
+            },
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET" | "POST", "/quitquitquit") => {
                 quit.store(true, Ordering::SeqCst);
@@ -1549,11 +1576,16 @@ mod tests {
         // upper edge; p90/p99 clamp to the exact max.
         assert!(text.contains("casa_conflict_row_degree{quantile=\"0.5\"} 7\n"));
         assert!(text.contains("casa_conflict_row_degree{quantile=\"0.99\"} 16\n"));
+        assert!(text.contains("casa_conflict_row_degree{quantile=\"0.999\"} 16\n"));
         assert!(text.contains("casa_conflict_row_degree_sum 20\n"));
         assert!(text.contains("casa_conflict_row_degree_count 2\n"));
+        // Exact observed extremes ride along as sibling gauges.
+        assert!(text.contains("# TYPE casa_conflict_row_degree_min gauge\n"));
+        assert!(text.contains("casa_conflict_row_degree_min 4\n"));
+        assert!(text.contains("casa_conflict_row_degree_max 16\n"));
         let stats = validate_exposition(&text).expect("valid exposition");
-        assert_eq!(stats.families, 3);
-        assert_eq!(stats.samples, 7);
+        assert_eq!(stats.families, 5);
+        assert_eq!(stats.samples, 10);
     }
 
     #[test]
@@ -1725,6 +1757,16 @@ mod tests {
         assert_eq!(first.get("path").and_then(|x| x.as_str()), Some("/healthz"));
         assert_eq!(first.get("status").and_then(|x| x.as_f64()), Some(200.0));
         assert!(first.get("id").and_then(|x| x.as_str()).is_some());
+
+        // /explain.json serves the latest published explain document,
+        // 404 before any solve has published one.
+        let (st, _) = http_get(&addr, "/explain.json", t).unwrap();
+        assert_eq!(st, 404);
+        obs.publish_doc("explain", "{\"casa_explain\":1,\"objects\":[]}".to_string());
+        let (st, doc) = http_get(&addr, "/explain.json", t).unwrap();
+        assert_eq!(st, 200);
+        let v = serde::json::parse(&doc).expect("explain doc is valid JSON");
+        assert_eq!(v.get("casa_explain").and_then(|x| x.as_f64()), Some(1.0));
 
         let (st, _) = http_get(&addr, "/nope", t).unwrap();
         assert_eq!(st, 404);
